@@ -1,0 +1,212 @@
+// Ablations of the method's design choices (DESIGN.md §"Key design
+// choices"), each run on the small scenario with the choice toggled:
+//   1. min-per-bin filtering vs mean aggregation under ICMP slow-path noise,
+//   2. the 7 ms elevation threshold swept,
+//   3. destination redundancy (3 vs 1 destinations) under route churn,
+//   4. level-shift vs autocorrelation detection across peak utilizations,
+//   5. near-side exclusion on/off under access-internal congestion.
+#include <cstdio>
+
+#include "analysis/classify.h"
+#include "bdrmap/bdrmap.h"
+#include "infer/level_shift.h"
+#include "scenario/small.h"
+#include "tslp/tslp.h"
+
+using namespace manic;
+using scenario::MakeSmallScenario;
+using scenario::SmallScenarioOptions;
+using scenario::SmallScenario;
+
+namespace {
+
+struct Campaign {
+  tsdb::Database db;
+  topo::Ipv4Addr far;
+  std::unique_ptr<scenario::SmallScenario> world;
+};
+
+Campaign Run(SmallScenarioOptions options, int days,
+             int max_dests = 3, bool slow_path = false) {
+  Campaign c;
+  c.world = std::make_unique<scenario::SmallScenario>(
+      MakeSmallScenario(options));
+  if (slow_path) {
+    topo::Router& far_router = c.world->topo->router(c.world->content_nyc);
+    far_router.icmp.slow_path_prob = 0.25;
+    far_router.icmp.slow_path_extra_ms = 50.0;
+  }
+  bdrmap::Bdrmap bdrmap(*c.world->net, c.world->vp);
+  tslp::TslpScheduler::Config config;
+  config.max_dests = max_dests;
+  tslp::TslpScheduler tslp(*c.world->net, c.world->vp, c.db, config);
+  tslp.UpdateProbingSet(bdrmap.RunCycle(9 * 3600));
+  for (sim::TimeSec t = 0; t < days * 86400; t += 300) tslp.RunRound(t);
+  c.far = c.world->topo->iface(c.world->topo->link(c.world->peering_nyc).iface_b)
+              .addr;
+  return c;
+}
+
+infer::AutocorrConfig ShortWindow(int days) {
+  infer::AutocorrConfig cfg;
+  cfg.window_days = days;
+  cfg.min_elevated_days = std::max(3, days / 2);
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Ablations of the method's design choices ===\n");
+  constexpr int kDays = 10;
+
+  // ---- 1. min-filter vs mean aggregation under slow-path noise -------------
+  {
+    SmallScenarioOptions options;
+    options.congested_peak_utilization = 0.5;  // genuinely clean link
+    Campaign c = Run(options, kDays, 3, /*slow_path=*/true);
+    const auto cfg = ShortWindow(kDays);
+    const auto series = c.db.QueryMerged(
+        tslp::kMeasurementRtt,
+        tslp::TslpScheduler::Tags("vp-nyc", c.far, tslp::kSideFar), 0,
+        kDays * 86400);
+    auto elevated_bins = [&](stats::BinAgg agg) {
+      const auto binned = series.Bin(cfg.bin_width, agg);
+      double floor = 1e18;
+      for (const auto& p : binned.points()) floor = std::min(floor, p.value);
+      int elevated = 0;
+      for (const auto& p : binned.points()) {
+        if (p.value > floor + cfg.elevation_ms) ++elevated;
+      }
+      return elevated;
+    };
+    const int min_elev = elevated_bins(stats::BinAgg::kMin);
+    const int mean_elev = elevated_bins(stats::BinAgg::kMean);
+    std::printf(
+        "1. ICMP slow-path noise on an UNCONGESTED link (25%% of replies "
+        "+50 ms):\n   falsely-elevated 15-min bins: min-filter %d, "
+        "mean-aggregation %d (of %d)\n   (min-per-bin absorbs control-plane "
+        "outliers at the bin level; the recurrence requirement is the second "
+        "line of defense)\n\n",
+        min_elev, mean_elev, kDays * 96);
+  }
+
+  // ---- 2. elevation threshold sweep -----------------------------------------
+  {
+    SmallScenarioOptions options;
+    options.congested_peak_utilization = 1.02;  // shallow congestion
+    options.queue_buffer_ms = 12.0;             // standing queue of ~12 ms
+    Campaign c = Run(options, kDays);
+    std::puts("2. Elevation threshold sweep (shallow congestion, ~12 ms "
+              "standing queue):");
+    for (const double thr : {3.0, 7.0, 15.0, 30.0}) {
+      auto cfg = ShortWindow(kDays);
+      cfg.elevation_ms = thr;
+      const auto inference =
+          analysis::InferLink(c.db, "vp-nyc", c.far, 0, kDays, cfg);
+      std::printf("   threshold %5.1f ms -> %s\n", thr,
+                  inference.result.recurring ? "detected" : "missed");
+    }
+    std::puts("   (7 ms sits between propagation jitter and shallow-queue "
+              "depths; 30 ms misses shallow but real congestion)\n");
+  }
+
+  // ---- 3. destination redundancy under route churn ---------------------------
+  {
+    for (const int dests : {1, 3}) {
+      SmallScenarioOptions options;
+      Campaign c = Run(options, 2, dests);
+      // Hijack the first destination mid-campaign; with a single destination
+      // and no backups the link goes dark, with three it keeps flowing.
+      tsdb::Database db2;
+      bdrmap::Bdrmap bdrmap(*c.world->net, c.world->vp);
+      tslp::TslpScheduler::Config config;
+      config.max_dests = dests;
+      config.max_backups = 0;  // isolate pure redundancy (no reactive repair)
+      config.visibility_miss_limit = 3;
+      tslp::TslpScheduler tslp(*c.world->net, c.world->vp, db2, config);
+      tslp.UpdateProbingSet(bdrmap.RunCycle(9 * 3600));
+      const tslp::TslpTarget* target = nullptr;
+      for (const auto& t : tslp.targets()) {
+        if (t.far_addr == c.far) target = &t;
+      }
+      if (target == nullptr || target->dests.empty()) continue;
+      const topo::Prefix specific(target->dests.front().dst, 24);
+      c.world->topo->Announce(SmallScenario::kTransit, specific);
+      c.world->net->InvalidatePaths();
+      for (int round = 0; round < 24; ++round) tslp.RunRound(round * 300);
+      const auto series = db2.QueryMerged(
+          tslp::kMeasurementRtt,
+          tslp::TslpScheduler::Tags("vp-nyc", c.far, tslp::kSideFar),
+          12 * 300, 24 * 300);
+      std::printf("3. Route churn with %d destination(s): far series %s "
+                  "after the hijack (%zu points/hour)\n",
+                  dests, series.empty() ? "DARK" : "still flowing",
+                  series.size());
+    }
+    std::puts("   (three destinations keep a link observable when one route "
+              "moves, §3.1)\n");
+  }
+
+  // ---- 4. level-shift vs autocorrelation across peak utilizations ------------
+  {
+    std::puts("4. Detection vs peak utilization (10-day campaigns):");
+    std::puts("   peak-util  level-shift  autocorrelation");
+    for (const double peak : {0.90, 0.97, 1.00, 1.10, 1.30}) {
+      SmallScenarioOptions options;
+      options.congested_peak_utilization = peak;
+      Campaign c = Run(options, kDays);
+      const auto series = c.db.QueryMerged(
+          tslp::kMeasurementRtt,
+          tslp::TslpScheduler::Tags("vp-nyc", c.far, tslp::kSideFar), 0,
+          kDays * 86400);
+      const auto shifts =
+          infer::DetectLevelShifts(series.Bin(300, stats::BinAgg::kMin));
+      const auto inference = analysis::InferLink(c.db, "vp-nyc", c.far, 0,
+                                                 kDays, ShortWindow(kDays));
+      std::printf("   %8.2f   %-11s  %s\n", peak,
+                  shifts.HasCongestion() ? "events" : "none",
+                  inference.result.recurring ? "recurring" : "none");
+    }
+    std::puts("   (level-shift fires on any sustained elevation — its role "
+              "is reactive triggering, §4.1; autocorrelation demands "
+              "day-over-day recurrence above min+7ms, so borderline "
+              "saturation needs deeper overload or a longer window — the "
+              "conservatism that keeps the §6 claims defensible)\n");
+  }
+
+  // ---- 5. near-side exclusion -------------------------------------------------
+  {
+    SmallScenarioOptions options;
+    options.congested_peak_utilization = 0.5;
+    Campaign c = Run(options, kDays);
+    // Re-run with access-internal congestion on the core->border link.
+    sim::LinkDemand demand;
+    demand.default_peak_utilization = 1.3;
+    c.world->net->SetDemand(0, sim::Direction::kAtoB, demand);
+    c.world->net->SetDemand(0, sim::Direction::kBtoA, demand);
+    tsdb::Database db2;
+    bdrmap::Bdrmap bdrmap(*c.world->net, c.world->vp);
+    tslp::TslpScheduler tslp(*c.world->net, c.world->vp, db2);
+    tslp.UpdateProbingSet(bdrmap.RunCycle(9 * 3600));
+    for (sim::TimeSec t = 0; t < kDays * 86400; t += 300) tslp.RunRound(t);
+
+    const auto cfg = ShortWindow(kDays);
+    const auto grids = analysis::LoadGrids(db2, "vp-nyc", c.far, 0, kDays, cfg);
+    const auto with_excl = infer::AnalyzeWindow(grids.far, grids.near, cfg);
+    // Ablate the exclusion by replacing the near grid with a flat one.
+    infer::DayGrid flat(kDays, 96);
+    for (int d = 0; d < kDays; ++d) {
+      for (int s = 0; s < 96; ++s) flat.Set(d, s, 2.0f);
+    }
+    const auto without_excl = infer::AnalyzeWindow(grids.far, flat, cfg);
+    std::printf("5. Access-internal congestion (interdomain link CLEAN):\n"
+                "   with near-side exclusion:    %s\n"
+                "   without near-side exclusion: %s\n"
+                "   (§4.2: near-side elevation must veto the interdomain "
+                "inference)\n",
+                with_excl.recurring ? "FALSE POSITIVE" : "correctly clean",
+                without_excl.recurring ? "FALSE POSITIVE" : "correctly clean");
+  }
+  return 0;
+}

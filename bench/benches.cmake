@@ -1,0 +1,27 @@
+# Experiment binaries land in build/bench/ with nothing else, so that
+#   for b in build/bench/*; do $b; done
+# runs the whole evaluation. Included from the top-level CMakeLists (not
+# add_subdirectory) to keep CMake bookkeeping out of that directory.
+
+function(manic_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE manic_all manic_warnings)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+manic_bench(table3_overview)
+manic_bench(table4_pairs)
+manic_bench(fig7_evolution)
+manic_bench(fig8_mean_congestion)
+manic_bench(fig9_timeofday)
+manic_bench(fig3_timeseries)
+manic_bench(table2_ndt)
+manic_bench(fig6_ndt_timeseries)
+manic_bench(table1_loss_validation)
+manic_bench(fig4_youtube_cdfs)
+manic_bench(fig5_failure_rates)
+manic_bench(operator_validation)
+manic_bench(micro_algorithms)
+target_link_libraries(micro_algorithms PRIVATE benchmark::benchmark)
+manic_bench(ablation_design)

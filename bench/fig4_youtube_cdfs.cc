@@ -1,0 +1,74 @@
+// Figure 4 (§5.2): CDFs of YouTube streaming performance during congested vs
+// uncongested periods across the congested access<->Google links — (a)
+// ON-period throughput, (b) startup delay. Shape criteria: the congested
+// CDF of ON-period throughput sits left of the uncongested one (paper:
+// median -25.4%), the congested startup-delay CDF sits right (median
+// +20.0%), and the fraction of tests starting within 2 seconds drops
+// (paper: 91.2% -> 67.9%).
+#include <cstdio>
+
+#include "bench/yt_scenario.h"
+#include "stats/descriptive.h"
+
+using namespace manic;
+using namespace manic::benchyt;
+
+int main() {
+  std::puts("=== Figure 4: YouTube streaming CDFs, congested vs uncongested "
+            "===");
+  scenario::UsBroadband world = scenario::MakeUsBroadband();
+  const ytstream::VideoSpec video;
+  const std::uint16_t flow = 0x5954;
+
+  const auto setups = SetupYtLinks(world, flow);
+  std::printf("Congested Google links with streaming coverage: %zu "
+              "(paper: 17)\n\n",
+              setups.size());
+
+  std::vector<double> on_c, on_u, start_c, start_u;
+  int started2s_c = 0, total_c = 0, started2s_u = 0, total_u = 0;
+  for (const YtLinkSetup& setup : setups) {
+    for (const YtTest& test : RunCampaign(world, setup, video, 13.0)) {
+      auto& on = test.congested ? on_c : on_u;
+      auto& st = test.congested ? start_c : start_u;
+      if (test.result.completed) on.push_back(test.result.on_throughput_mbps);
+      if (test.result.startup_delay_s > 0.0) {
+        st.push_back(test.result.startup_delay_s);
+        (test.congested ? total_c : total_u)++;
+        if (test.result.startup_delay_s <= 2.0) {
+          (test.congested ? started2s_c : started2s_u)++;
+        }
+      }
+    }
+  }
+
+  auto print_cdf = [](const char* name, std::vector<double>& xs) {
+    const stats::EmpiricalCdf cdf = stats::MakeCdf(xs);
+    std::printf("%-28s n=%5zu  ", name, xs.size());
+    for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+      std::printf("p%.0f=%6.2f  ", 100 * q, cdf.Quantile(q));
+    }
+    std::printf("\n");
+  };
+
+  std::puts("(a) ON-period throughput (Mbps):");
+  print_cdf("  uncongested", on_u);
+  print_cdf("  congested", on_c);
+  const double med_u = stats::Median(on_u);
+  const double med_c = stats::Median(on_c);
+  std::printf(
+      "  median drop: %.1f%% (paper: 25.4%%, 12.4 -> 9.2 Mbps)\n\n",
+      100.0 * (1.0 - med_c / med_u));
+
+  std::puts("(b) Startup delay (s):");
+  print_cdf("  uncongested", start_u);
+  print_cdf("  congested", start_c);
+  std::printf("  median inflation: %.1f%% (paper: 20.0%%)\n",
+              100.0 * (stats::Median(start_c) / stats::Median(start_u) - 1.0));
+  std::printf(
+      "  started within 2 s: uncongested %.1f%%, congested %.1f%% "
+      "(paper: 91.2%% vs 67.9%%)\n",
+      100.0 * started2s_u / std::max(1, total_u),
+      100.0 * started2s_c / std::max(1, total_c));
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 6 (§5.3): five-day time series (Dec 7-11 2017) of TSLP latency and
+// NDT download throughput for Link 1 (Comcast-Tata, New York), with inferred
+// congested periods marked. Shape criteria: a clear diurnal pattern — far
+// RTT rises and download throughput collapses together every evening, while
+// off-peak throughput sits near the plan rate.
+#include <cstdio>
+
+#include "bench/ndt_scenario.h"
+#include "tslp/tslp.h"
+
+using namespace manic;
+using namespace manic::benchndt;
+
+int main() {
+  std::puts("=== Figure 6: TSLP latency + NDT throughput, Comcast-Tata "
+            "Link 1, Dec 7-11 2017 ===");
+  scenario::UsBroadband world = scenario::MakeUsBroadband();
+  sim::SimNetwork& net = *world.net;
+
+  const std::int64_t dec7 = sim::StudyMonthStartDay(21) + 6;
+  const auto setups = SetupNdtLinks(world, dec7);
+  if (setups.empty()) {
+    std::puts("ERROR: Link 1 not found");
+    return 1;
+  }
+  const NdtLinkSetup& link1 = setups.front();
+  std::printf("VP %s, link far IP %s (%s), NDT server %s\n\n",
+              link1.link.vp_name.c_str(),
+              link1.link.far_addr.ToString().c_str(),
+              link1.link.info->city.c_str(),
+              link1.server.addr.ToString().c_str());
+
+  WindowClassifier classifier;
+  classifier.Build(net, link1.link, dec7 + 5, 0x7AB2);
+
+  // Real TSLP probing across the five days.
+  tsdb::Database db;
+  tslp::TslpScheduler tslp(net, link1.vp, db);
+  {
+    bdrmap::Bdrmap bdrmap(net, link1.vp);
+    tslp.UpdateProbingSet(
+        bdrmap.RunCycle((dec7 - 60) * sim::kSecPerDay + 9 * 3600));
+  }
+  const sim::TimeSec t0 = dec7 * sim::kSecPerDay;
+  const sim::TimeSec t1 = t0 + 5 * sim::kSecPerDay;
+  for (sim::TimeSec t = t0; t < t1; t += 300) tslp.RunRound(t);
+
+  ndt::NdtClient::Config config;
+  config.access_plan_mbps = 25.0;
+  ndt::NdtClient client(net, link1.vp, config);
+  const int vp_tz = net.topology()
+                        .router(net.topology().vp(link1.vp).first_hop)
+                        .utc_offset_hours;
+
+  std::puts("UTC time       farRTT(min)  NDT down Mbps  congested");
+  for (sim::TimeSec t = t0; t < t1; t += 2 * sim::kSecPerHour) {
+    const auto series = db.QueryMerged(
+        tslp::kMeasurementRtt,
+        tslp::TslpScheduler::Tags(link1.link.vp_name, link1.link.far_addr,
+                                  tslp::kSideFar),
+        t, t + 2 * sim::kSecPerHour);
+    double rtt = -1.0;
+    for (const auto& p : series.points()) {
+      rtt = rtt < 0.0 ? p.value : std::min(rtt, p.value);
+    }
+    // One NDT test inside the two-hour slot (at the next due instant).
+    double down = -1.0;
+    for (sim::TimeSec tt = t; tt < t + 2 * sim::kSecPerHour;
+         tt += 15 * sim::kSecPerMin) {
+      if (!ndt::NdtClient::TestDueAt(tt, vp_tz)) continue;
+      const ndt::NdtResult r = client.RunTest(link1.server, tt);
+      if (r.ok) down = r.download_mbps;
+      break;
+    }
+    const int day = 7 + static_cast<int>((t - t0) / sim::kSecPerDay);
+    std::printf("Dec %2d %02d:00     %7.1f      %7.2f      %s\n", day,
+                static_cast<int>(sim::SecondOfDayUtc(t) / 3600), rtt, down,
+                classifier.Congested(t + sim::kSecPerHour) ? "####" : "");
+  }
+  return 0;
+}

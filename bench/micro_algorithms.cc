@@ -1,0 +1,167 @@
+// Microbenchmarks (google-benchmark) of the performance-critical algorithms
+// and the ablation comparisons DESIGN.md calls out: batch vs rolling
+// autocorrelation, fluid vs packet-level queue model, prefix-trie lookup,
+// BGP route computation, per-probe simulation cost, and the level-shift
+// detector.
+#include <benchmark/benchmark.h>
+
+#include "infer/autocorr.h"
+#include "infer/level_shift.h"
+#include "infer/rolling.h"
+#include "scenario/small.h"
+#include "sim/packet_queue.h"
+#include "stats/rng.h"
+#include "topo/prefix_trie.h"
+#include "tsdb/tsdb.h"
+
+namespace {
+
+using namespace manic;
+
+// ---- inference ------------------------------------------------------------
+
+infer::DayGrid MakeFarGrid(int days, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  infer::DayGrid grid(days, 96);
+  for (int d = 0; d < days; ++d) {
+    for (int s = 0; s < 96; ++s) {
+      double v = 12.0 + rng.NextDouble();
+      if (s >= 80 && s < 92) v += 20.0;
+      grid.Set(d, s, static_cast<float>(v));
+    }
+  }
+  return grid;
+}
+
+void BM_AutocorrBatch(benchmark::State& state) {
+  const infer::DayGrid far = MakeFarGrid(50, 1);
+  const infer::DayGrid near = MakeFarGrid(50, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::AnalyzeWindow(far, near));
+  }
+}
+BENCHMARK(BM_AutocorrBatch);
+
+void BM_AutocorrRollingPerDay(benchmark::State& state) {
+  // Ablation partner of BM_AutocorrBatch: the incremental analyzer's
+  // amortized per-day cost (add one day + classify).
+  stats::Rng rng(3);
+  infer::RollingAutocorr rolling;
+  std::vector<float> far(96), near(96);
+  auto fill = [&] {
+    for (int s = 0; s < 96; ++s) {
+      far[static_cast<std::size_t>(s)] =
+          static_cast<float>(12.0 + rng.NextDouble() +
+                             ((s >= 80 && s < 92) ? 20.0 : 0.0));
+      near[static_cast<std::size_t>(s)] =
+          static_cast<float>(6.0 + rng.NextDouble());
+    }
+  };
+  for (int d = 0; d < 50; ++d) {
+    fill();
+    rolling.AddDay(far, near);
+  }
+  for (auto _ : state) {
+    fill();
+    rolling.AddDay(far, near);
+    benchmark::DoNotOptimize(rolling.Classify());
+  }
+}
+BENCHMARK(BM_AutocorrRollingPerDay);
+
+void BM_LevelShift(benchmark::State& state) {
+  stats::Rng rng(5);
+  stats::TimeSeries ts;
+  const int bins = static_cast<int>(state.range(0));
+  for (int i = 0; i < bins; ++i) {
+    double v = 10.0 + rng.NextDouble();
+    if ((i / 12) % 24 >= 20) v += 25.0;
+    ts.Append(i * 300, v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::DetectLevelShifts(ts));
+  }
+}
+BENCHMARK(BM_LevelShift)->Arg(288)->Arg(288 * 7);
+
+// ---- substrate --------------------------------------------------------------
+
+void BM_PrefixTrieLookup(benchmark::State& state) {
+  topo::PrefixTrie<topo::Asn> trie;
+  stats::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    trie.Insert(topo::Prefix(topo::Ipv4Addr(static_cast<std::uint32_t>(
+                                 rng.NextU64())),
+                             8 + static_cast<int>(rng.UniformInt(17))),
+                static_cast<topo::Asn>(i));
+  }
+  std::uint64_t q = 1;
+  for (auto _ : state) {
+    q = q * 2862933555777941757ULL + 3037000493ULL;
+    benchmark::DoNotOptimize(
+        trie.Lookup(topo::Ipv4Addr(static_cast<std::uint32_t>(q >> 32))));
+  }
+}
+BENCHMARK(BM_PrefixTrieLookup);
+
+void BM_ProbeRoundTrip(benchmark::State& state) {
+  auto s = scenario::MakeSmallScenario();
+  const auto dst = *s.topo->DestinationIn(scenario::SmallScenario::kContent, 0);
+  sim::TimeSec t = 9 * 3600;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.net->Probe(s.vp, dst, 3, sim::FlowId{7}, t));
+    t += 300;
+  }
+}
+BENCHMARK(BM_ProbeRoundTrip);
+
+void BM_BgpRouteCompute(benchmark::State& state) {
+  auto s = scenario::MakeSmallScenario();
+  for (auto _ : state) {
+    s.net->routing().Invalidate();
+    benchmark::DoNotOptimize(s.net->routing().AsPath(
+        scenario::SmallScenario::kAccess, scenario::SmallScenario::kStubCustomer));
+  }
+}
+BENCHMARK(BM_BgpRouteCompute);
+
+// Fluid closed form vs packet-level event simulation (ablation: the scale
+// enabler; same question answered ~10^6x faster).
+void BM_FluidQueueObservation(benchmark::State& state) {
+  sim::LinkQueueModel model;
+  double u = 0.5;
+  for (auto _ : state) {
+    u = u > 1.2 ? 0.5 : u + 1e-4;
+    benchmark::DoNotOptimize(model.Observe(u));
+  }
+}
+BENCHMARK(BM_FluidQueueObservation);
+
+void BM_PacketQueueSecond(benchmark::State& state) {
+  sim::PacketQueueConfig config;
+  config.capacity_bps = 1e9;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::PacketQueueSim sim(config, ++seed);
+    benchmark::DoNotOptimize(sim.Run(1.05, 1.0));
+  }
+}
+BENCHMARK(BM_PacketQueueSecond);
+
+void BM_TsdbWriteQuery(benchmark::State& state) {
+  tsdb::Database db;
+  const tsdb::TagSet tags{{"vp", "x"}, {"link", "10.0.0.1"}, {"side", "far"}};
+  stats::TimeSec t = 0;
+  for (auto _ : state) {
+    db.Write("rtt", tags, t, 12.0);
+    t += 300;
+    if (t % (300 * 1024) == 0) {
+      benchmark::DoNotOptimize(db.QueryMerged("rtt", tags, t - 86400, t));
+    }
+  }
+}
+BENCHMARK(BM_TsdbWriteQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,172 @@
+// Shared setup for the NDT validation experiments (Table 2, Figure 6): the
+// three links of §5.3 recreated in the synthetic ecosystem —
+//   Link 1: Comcast-Tata, New York  — congested, symmetric NDT path;
+//   Link 2: Comcast-Tata, Chicago   — congested, but the NDT server attaches
+//            elsewhere in Tata so the *reverse* (download) path exits over a
+//            different, uncongested interconnect (the asymmetric-return
+//            confound that makes Table 2's Link 2 non-significant);
+//   Link 3: CenturyLink-Cogent      — mildly congested in late 2017.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "infer/autocorr.h"
+#include "ndt/ndt.h"
+#include "scenario/driver.h"
+#include "sim/sim_time.h"
+
+namespace manic::benchndt {
+
+using scenario::DiscoveredLink;
+using scenario::UsBroadband;
+using U = scenario::UsBroadband;
+
+struct NdtLinkSetup {
+  std::string label;
+  topo::VpId vp = 0;
+  DiscoveredLink link;
+  ndt::NdtServer server;
+  bool reverse_symmetric = true;
+  double paper_uncongested = 0.0;
+  double paper_congested = 0.0;
+  double paper_p = 0.0;  // <0: "p < 0.001"
+};
+
+// Classifier: batch autocorrelation over a window of synthesized days.
+struct WindowClassifier {
+  infer::AutocorrConfig cfg;
+  infer::DayGrid far{1, 1};
+  infer::DayGrid near{1, 1};
+  infer::AutocorrResult result;
+  std::int64_t first_day = 0;
+
+  void Build(sim::SimNetwork& net, const DiscoveredLink& link,
+             std::int64_t end_day, std::uint64_t seed) {
+    first_day = end_day - cfg.window_days;
+    scenario::TslpSynthesizer synth(net, link.info->link, link.base_far_ms,
+                                    link.base_near_ms, seed);
+    far = infer::DayGrid(cfg.window_days, cfg.intervals_per_day);
+    near = infer::DayGrid(cfg.window_days, cfg.intervals_per_day);
+    std::vector<float> frow, nrow;
+    for (int d = 0; d < cfg.window_days; ++d) {
+      synth.Day(first_day + d, frow, nrow);
+      for (int s = 0; s < cfg.intervals_per_day; ++s) {
+        far.Set(d, s, frow[static_cast<std::size_t>(s)]);
+        near.Set(d, s, nrow[static_cast<std::size_t>(s)]);
+      }
+    }
+    result = infer::AnalyzeWindow(far, near, cfg);
+  }
+
+  bool Congested(sim::TimeSec t) const {
+    if (!result.recurring) return false;
+    const std::int64_t day = sim::DayOf(t) - first_day;
+    if (day < 0 || day >= far.days()) return false;
+    const int interval =
+        static_cast<int>(sim::SecondOfDayUtc(t) / cfg.bin_width);
+    if (!result.InWindow(interval, cfg.intervals_per_day)) return false;
+    const float v = far.At(static_cast<int>(day), interval);
+    return !infer::DayGrid::Missing(v) &&
+           v > static_cast<float>(result.threshold_ms);
+  }
+};
+
+// Finds a destination behind `target_as` whose forward path from `vp`
+// crosses `link` and whose serving router satisfies the symmetry predicate.
+inline std::optional<topo::Ipv4Addr> FindServerDest(
+    sim::SimNetwork& net, topo::VpId vp, const DiscoveredLink& link,
+    topo::Asn target_as, std::uint16_t flow, bool want_symmetric,
+    std::int64_t probe_day) {
+  const topo::Topology& topo = net.topology();
+  const topo::Link& l = topo.link(link.info->link);
+  const topo::RouterId far_router =
+      topo.router(l.router_a).owner == target_as ? l.router_a : l.router_b;
+  for (std::size_t k = 0; k < 400; ++k) {
+    const auto dst = topo.DestinationIn(target_as, k);
+    if (!dst) break;
+    const auto& path = net.PathFromVp(vp, *dst, sim::FlowId{flow});
+    if (!path.reached || path.hops.empty()) continue;
+    bool crosses = false;
+    for (const auto& hop : path.hops) {
+      crosses = crosses || hop.via_link == link.info->link;
+    }
+    if (!crosses) continue;
+    const bool symmetric = path.hops.back().router == far_router;
+    if (symmetric != want_symmetric) continue;
+    if (!want_symmetric) {
+      // The reverse (download) path must genuinely avoid not just the
+      // targeted link but *any* congested interconnect, or the asymmetric-
+      // return confound would not manifest as "throughput unaffected".
+      const topo::VantagePoint& v = topo.vp(vp);
+      const auto& rev = net.PathFromRouter(path.hops.back().router, v.addr,
+                                           sim::FlowId{flow});
+      bool rev_congested = false;
+      for (const auto& hop : rev.hops) {
+        if (hop.via_link == topo::kInvalidId) continue;
+        rev_congested =
+            rev_congested || net.TrueCongestedFraction(hop.via_link,
+                                                       hop.via_dir, probe_day,
+                                                       0.96) > 0.0;
+      }
+      if (rev_congested) continue;
+    }
+    return dst;
+  }
+  return std::nullopt;
+}
+
+// Locates the three §5.3 links and their NDT servers.
+inline std::vector<NdtLinkSetup> SetupNdtLinks(UsBroadband& world,
+                                               std::int64_t probe_day) {
+  std::vector<NdtLinkSetup> out;
+  sim::SimNetwork& net = *world.net;
+  const sim::TimeSec discover_t =
+      (probe_day - 60) * sim::kSecPerDay + 9 * sim::kSecPerHour;
+
+  struct Want {
+    std::string label;
+    topo::Asn access;
+    topo::Asn tcp;
+    std::size_t vp_index;
+    bool symmetric;
+    double paper_u, paper_c, paper_p;
+  };
+  const std::vector<Want> wants = {
+      {"Link 1 [Comcast-Tata]", U::kComcast, U::kTata, 2, true, 26.79, 7.85,
+       -1.0},
+      {"Link 2 [Comcast-Tata]", U::kComcast, U::kTata, 3, false, 23.75, 23.55,
+       0.324},
+      {"Link 3 [CentLink-Cogent]", U::kCenturyLink, U::kCogent, 0, true,
+       23.92, 23.04, -1.0},
+  };
+  for (const Want& want : wants) {
+    const topo::VpId vp = world.vps_by_access.at(want.access)[want.vp_index];
+    for (const DiscoveredLink& dl :
+         scenario::DiscoverVpLinks(world, vp, discover_t)) {
+      if (dl.info->tcp != want.tcp) continue;
+      if (net.TrueCongestedFraction(dl.info->link, sim::Direction::kBtoA,
+                                    probe_day, 0.96) <= 0.0) {
+        continue;
+      }
+      const auto server = FindServerDest(net, vp, dl, want.tcp, 0x4E44,
+                                         want.symmetric, probe_day);
+      if (!server) continue;
+      NdtLinkSetup setup;
+      setup.label = want.label;
+      setup.vp = vp;
+      setup.link = dl;
+      setup.server = {want.label, *server, want.tcp};
+      setup.reverse_symmetric = want.symmetric;
+      setup.paper_uncongested = want.paper_u;
+      setup.paper_congested = want.paper_c;
+      setup.paper_p = want.paper_p;
+      out.push_back(setup);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace manic::benchndt

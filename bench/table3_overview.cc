@@ -1,0 +1,71 @@
+// Table 3 (§6.1): per access ISP — observed transit & content providers,
+// number of congested T&CPs, and the percentage of congested day-links over
+// the 22-month window, side by side with the paper's values. Shape criteria:
+// congestion is NOT widespread (only a small share of T&CPs congested per
+// AP, overall congested day-link percentage in the single digits), with Cox
+// the highest.
+#include <cstdio>
+#include <map>
+
+#include "analysis/report.h"
+#include "scenario/driver.h"
+
+using namespace manic;
+
+int main() {
+  std::puts("=== Table 3: U.S. interdomain congestion overview "
+            "(Mar 2016 - Dec 2017) ===");
+  scenario::UsBroadband world = scenario::MakeUsBroadband();
+  const scenario::StudyResult result =
+      scenario::RunLongitudinalStudy(world);
+
+  struct PaperRow {
+    int obs;
+    int congested;
+    double pct;
+  };
+  using U = scenario::UsBroadband;
+  const std::map<topo::Asn, PaperRow> paper = {
+      {U::kCenturyLink, {28, 7, 1.39}}, {U::kAtt, {34, 7, 2.58}},
+      {U::kCox, {20, 5, 8.41}},         {U::kComcast, {34, 5, 4.46}},
+      {U::kCharter, {18, 4, 1.36}},     {U::kTwc, {25, 4, 3.73}},
+      {U::kVerizon, {26, 3, 3.09}},     {U::kRcn, {19, 1, 0.52}},
+  };
+
+  analysis::TextTable table(
+      {"Access Network", "Obs. T&CPs", "(paper)", "Cong. T&CPs", "(paper)",
+       "%Cong. Day-Links", "(paper)"});
+  for (const auto& row : result.day_links.Table3()) {
+    const auto it = paper.find(row.access);
+    table.AddRow({world.AsName(row.access), std::to_string(row.observed_tcps),
+                  it != paper.end() ? std::to_string(it->second.obs) : "?",
+                  std::to_string(row.congested_tcps),
+                  it != paper.end() ? std::to_string(it->second.congested) : "?",
+                  analysis::TextTable::Fmt(row.pct_congested_day_links),
+                  it != paper.end() ? analysis::TextTable::Fmt(it->second.pct)
+                                    : "?"});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+
+  std::printf(
+      "\nDiscovery: %zu VP-link pairs over %zu distinct interdomain links; "
+      "%llu probes for border mapping.\n",
+      result.vp_link_pairs, result.links_observed,
+      static_cast<unsigned long long>(result.probes_for_discovery));
+  const auto ever = result.links_ever_by_access.find(U::kComcast);
+  const auto recent = result.links_final_month_by_access.find(U::kComcast);
+  if (ever != result.links_ever_by_access.end() &&
+      recent != result.links_final_month_by_access.end()) {
+    std::printf(
+        "Link-population dynamics (Comcast): %d links observed over the "
+        "study, %d visible in Dec 2017 (paper: 973 / 345 — our inventory is "
+        "~2x smaller, the ever/current ratio is the comparable shape).\n",
+        ever->second, recent->second);
+  }
+  std::printf(
+      "Ground-truth day-link agreement (operator-validation analogue): "
+      "%.2f%%  (tp=%lld fp=%lld fn=%lld tn=%lld)\n",
+      100.0 * result.TruthAccuracy(), result.truth_tp, result.truth_fp,
+      result.truth_fn, result.truth_tn);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Table 4 (§6.1): percentage of congested day-links for each (access ISP x
+// transit/content provider) pair, for the nine most frequently congested
+// T&CPs, side by side with the paper's values. Shape criteria: CenturyLink-
+// Google extreme (94%), AT&T-Tata heavy (51%), Comcast-Tata/NTT heavy, the
+// excluded pairs absent, most other cells small.
+#include <cstdio>
+#include <map>
+
+#include "analysis/report.h"
+#include "scenario/driver.h"
+
+using namespace manic;
+using U = scenario::UsBroadband;
+
+namespace {
+
+// Paper Table 4 values; -1 = no observations ("-"), -2 = "Z" (< 0.01%).
+const std::map<topo::Asn, std::map<topo::Asn, double>>& PaperTable4() {
+  static const std::map<topo::Asn, std::map<topo::Asn, double>> t = {
+      {U::kGoogle,
+       {{U::kComcast, 21.63}, {U::kVerizon, 25.47}, {U::kCenturyLink, 94.09},
+        {U::kAtt, 15.05}, {U::kCox, 1.36}, {U::kTwc, -1}, {U::kCharter, 3.01},
+        {U::kRcn, -2}}},
+      {U::kTata,
+       {{U::kComcast, 39.82}, {U::kVerizon, 1.68}, {U::kCenturyLink, 7.07},
+        {U::kAtt, 51.46}, {U::kCox, -1}, {U::kTwc, 26.95}, {U::kCharter, -1},
+        {U::kRcn, -1}}},
+      {U::kNtt,
+       {{U::kComcast, 29.16}, {U::kVerizon, -2}, {U::kCenturyLink, -2},
+        {U::kAtt, 11.59}, {U::kCox, 7.06}, {U::kTwc, -1}, {U::kCharter, -2},
+        {U::kRcn, -2}}},
+      {U::kXo,
+       {{U::kComcast, 6.33}, {U::kVerizon, 0.35}, {U::kCenturyLink, 5.25},
+        {U::kAtt, 15.27}, {U::kCox, -1}, {U::kTwc, 8.17}, {U::kCharter, 4.82},
+        {U::kRcn, -1}}},
+      {U::kNetflix,
+       {{U::kComcast, 1.01}, {U::kVerizon, 4.42}, {U::kCenturyLink, 11.18},
+        {U::kAtt, 2.13}, {U::kCox, 19.24}, {U::kTwc, 27.75},
+        {U::kCharter, 4.64}, {U::kRcn, -2}}},
+      {U::kLevel3,
+       {{U::kComcast, 1.29}, {U::kVerizon, 0.63}, {U::kCenturyLink, 3.69},
+        {U::kAtt, 3.80}, {U::kCox, 32.28}, {U::kTwc, 1.81}, {U::kCharter, -2},
+        {U::kRcn, 0.12}}},
+      {U::kVodafone,
+       {{U::kComcast, 2.65}, {U::kVerizon, 5.30}, {U::kCenturyLink, 6.76},
+        {U::kAtt, -1}, {U::kCox, -2}, {U::kTwc, 2.09}, {U::kCharter, -1},
+        {U::kRcn, -1}}},
+      {U::kTelia,
+       {{U::kComcast, 2.37}, {U::kVerizon, 0.90}, {U::kCenturyLink, 0.60},
+        {U::kAtt, 11.89}, {U::kCox, -2}, {U::kTwc, 3.58}, {U::kCharter, -2},
+        {U::kRcn, -2}}},
+      {U::kZayo,
+       {{U::kComcast, 0.34}, {U::kVerizon, 0.11}, {U::kCenturyLink, 0.39},
+        {U::kAtt, -2}, {U::kCox, 1.63}, {U::kTwc, 0.04}, {U::kCharter, -1},
+        {U::kRcn, 16.07}}},
+  };
+  return t;
+}
+
+std::string Cell(double measured, bool observed) {
+  if (!observed) return "-";
+  if (measured < 0.01) return "Z";
+  return analysis::TextTable::Fmt(measured);
+}
+
+std::string PaperCell(double v) {
+  if (v == -1) return "-";
+  if (v == -2) return "Z";
+  return analysis::TextTable::Fmt(v);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Table 4: % congested day-links per (T&CP x access ISP) ===");
+  std::puts("Each cell: measured / paper.  '-' no observations, 'Z' < 0.01%.");
+  scenario::UsBroadband world = scenario::MakeUsBroadband();
+  const scenario::StudyResult result = scenario::RunLongitudinalStudy(world);
+  const auto& pairs = result.day_links.Pairs();
+
+  const std::vector<topo::Asn> aps = {U::kComcast, U::kVerizon,
+                                      U::kCenturyLink, U::kAtt,
+                                      U::kCox, U::kTwc, U::kCharter, U::kRcn};
+  std::vector<std::string> headers = {"T&CP"};
+  for (const topo::Asn ap : aps) headers.push_back(world.AsName(ap));
+  analysis::TextTable table(headers);
+
+  for (const auto& [tcp, paper_row] : PaperTable4()) {
+    std::vector<std::string> row = {world.AsName(tcp)};
+    for (const topo::Asn ap : aps) {
+      const auto it = pairs.find({ap, tcp});
+      const std::string measured =
+          Cell(it == pairs.end() ? 0.0 : it->second.PercentCongested(),
+               it != pairs.end());
+      row.push_back(measured + "/" + PaperCell(paper_row.at(ap)));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::fputs(table.Render().c_str(), stdout);
+
+  // The paper's ranking claim: these nine T&CPs top the per-T&CP average.
+  std::puts("\nT&CPs ranked by average % congested day-links across APs:");
+  int rank = 1;
+  for (const topo::Asn tcp : result.day_links.TopCongestedTcps(9)) {
+    std::printf("  %d. %s\n", rank++, world.AsName(tcp).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Shared setup for the YouTube validation experiments (Figures 4 and 5):
+// locates congested access<->Google links visible from the study VPs (the
+// paper used 16 SamKnows-measured Comcast links plus one Ark-measured
+// CenturyLink link), finds a cache destination behind Google whose forward
+// and return paths cross each link, runs streaming tests across a campaign
+// window, and classifies each test instant with the autocorrelation method.
+#pragma once
+
+#include <vector>
+
+#include "bench/ndt_scenario.h"
+#include "ytstream/ytstream.h"
+
+namespace manic::benchyt {
+
+using benchndt::FindServerDest;
+using benchndt::WindowClassifier;
+using scenario::DiscoveredLink;
+using U = scenario::UsBroadband;
+
+struct YtLinkSetup {
+  topo::VpId vp = 0;
+  DiscoveredLink link;
+  topo::Ipv4Addr cache;
+  std::int64_t campaign_start = 0;  // epoch day
+  int campaign_days = 45;
+  WindowClassifier classifier;
+  char vp_type = 'A';  // 'A' Ark-like, 'S' SamKnows-like (per Fig 5 labels)
+};
+
+struct YtTest {
+  bool congested = false;
+  ytstream::StreamResult result;
+};
+
+// Per-ISP campaign windows chosen inside the scheduled congestion episodes.
+inline std::int64_t CampaignStartFor(topo::Asn access) {
+  switch (access) {
+    case U::kComcast: return sim::StudyMonthStartDay(9);       // Dec 2016
+    case U::kCenturyLink: return sim::StudyMonthStartDay(19);  // Oct 2017
+    case U::kVerizon: return sim::StudyMonthStartDay(4);
+    case U::kAtt: return sim::StudyMonthStartDay(5);
+    case U::kCharter: return sim::StudyMonthStartDay(6);
+    case U::kCox: return sim::StudyMonthStartDay(8);
+    default: return sim::StudyMonthStartDay(9);
+  }
+}
+
+inline std::vector<YtLinkSetup> SetupYtLinks(scenario::UsBroadband& world,
+                                             std::uint16_t flow) {
+  std::vector<YtLinkSetup> out;
+  sim::SimNetwork& net = *world.net;
+  for (const topo::VpId vp : world.vps) {
+    const topo::Asn access = world.topo->vp(vp).host_as;
+    const std::int64_t start = CampaignStartFor(access);
+    const sim::TimeSec discovery =
+        (start - 60) * sim::kSecPerDay + 9 * sim::kSecPerHour;
+    for (const DiscoveredLink& dl :
+         scenario::DiscoverVpLinks(world, vp, discovery)) {
+      if (dl.info->tcp != U::kGoogle) continue;
+      if (net.TrueCongestedFraction(dl.info->link, sim::Direction::kBtoA,
+                                    start + 10, 0.96) <= 0.0) {
+        continue;
+      }
+      const auto cache = FindServerDest(net, vp, dl, U::kGoogle, flow,
+                                        /*want_symmetric=*/true, start + 10);
+      if (!cache) continue;
+      YtLinkSetup setup;
+      setup.vp = vp;
+      setup.link = dl;
+      setup.cache = *cache;
+      setup.campaign_start = start;
+      setup.classifier.Build(net, dl, start + setup.campaign_days, 0x575);
+      setup.vp_type = access == U::kComcast ? 'S' : 'A';
+      out.push_back(std::move(setup));
+    }
+  }
+  return out;
+}
+
+// Runs the streaming campaign for one link: one test every 3 hours.
+inline std::vector<YtTest> RunCampaign(scenario::UsBroadband& world,
+                                       const YtLinkSetup& setup,
+                                       const ytstream::VideoSpec& video,
+                                       double access_plan_mbps) {
+  std::vector<YtTest> tests;
+  ytstream::YoutubeClient::Config config;
+  config.access_plan_mbps = access_plan_mbps;
+  ytstream::YoutubeClient client(*world.net, setup.vp, config);
+  const sim::TimeSec t0 = setup.campaign_start * sim::kSecPerDay;
+  const sim::TimeSec t1 =
+      t0 + static_cast<sim::TimeSec>(setup.campaign_days) * sim::kSecPerDay;
+  for (sim::TimeSec t = t0; t < t1; t += 3 * sim::kSecPerHour) {
+    YtTest test;
+    test.congested = setup.classifier.Congested(t);
+    test.result = client.Stream(setup.cache, video, t);
+    tests.push_back(test);
+  }
+  return tests;
+}
+
+}  // namespace manic::benchyt

@@ -1,0 +1,103 @@
+// Quickstart: the full MANIC pipeline on a small synthetic network, end to
+// end — build a topology, discover its interdomain links with bdrmap, probe
+// them with TSLP for a week, and run both congestion-inference methods.
+//
+//   $ ./example_quickstart
+//
+// Expected outcome: the NYC access<->content peering (whose content->access
+// direction saturates every evening) is flagged by both the level-shift and
+// the autocorrelation method; the clean LAX peering and the transit link are
+// not.
+#include <cstdio>
+
+#include "analysis/classify.h"
+#include "analysis/dashboard.h"
+#include "bdrmap/bdrmap.h"
+#include "infer/level_shift.h"
+#include "scenario/small.h"
+#include "tslp/tslp.h"
+
+using namespace manic;
+
+int main() {
+  // 1. A small world: an access ISP (AS 100) hosting our vantage point,
+  //    a content provider (AS 200) peered in NYC and LAX, a transit
+  //    provider, a sibling AS, an IXP-connected CDN, and a stub customer.
+  //    The NYC peering's inbound direction exceeds capacity at peak.
+  scenario::SmallScenarioOptions options;
+  options.congested_peak_utilization = 1.25;
+  scenario::SmallScenario world = scenario::MakeSmallScenario(options);
+  std::printf("Topology: %zu routers, %zu links, %zu interfaces\n",
+              world.topo->RouterCount(), world.topo->LinkCount(),
+              world.topo->IfaceCount());
+
+  // 2. Border mapping: one bdrmap cycle from the VP.
+  bdrmap::Bdrmap bdrmap(*world.net, world.vp);
+  const bdrmap::BdrmapResult borders = bdrmap.RunCycle(9 * 3600);
+  std::printf("bdrmap: %zu traces, %zu border links discovered\n",
+              borders.traces, borders.links.size());
+  for (const auto& link : borders.links) {
+    std::printf("  far %-14s neighbor AS%-5u %s\n",
+                link.far_addr.ToString().c_str(), link.neighbor,
+                link.via_ixp ? "(via IXP)" : "");
+  }
+
+  // 3. TSLP: probe near+far of every discovered link every 5 minutes for a
+  //    week (under the 100 pps budget), into the time-series database.
+  tsdb::Database db;
+  tslp::TslpScheduler tslp(*world.net, world.vp, db);
+  tslp.UpdateProbingSet(borders);
+  constexpr sim::TimeSec kWeek = 7 * 86400;
+  for (sim::TimeSec t = 0; t < kWeek; t += 300) tslp.RunRound(t);
+  std::printf("\nTSLP: %llu probes sent, response rate %.1f%%, %zu series, "
+              "%zu points\n",
+              static_cast<unsigned long long>(tslp.probes_this_session()),
+              100.0 * tslp.ResponseRate(), db.SeriesCount(tslp::kMeasurementRtt),
+              db.TotalPoints());
+
+  // 4. Inference: both methods per link.
+  infer::AutocorrConfig autocfg;
+  autocfg.window_days = 7;  // the example probes a single week
+  autocfg.min_elevated_days = 4;
+  std::puts("\nlink            level-shift               autocorrelation");
+  for (const tslp::TslpTarget& target : tslp.targets()) {
+    const auto far_series = db.QueryMerged(
+        tslp::kMeasurementRtt,
+        tslp::TslpScheduler::Tags("vp-nyc", target.far_addr, tslp::kSideFar),
+        0, kWeek);
+    const auto binned = far_series.Bin(300, stats::BinAgg::kMin);
+    const infer::LevelShiftResult shifts = infer::DetectLevelShifts(binned);
+
+    const analysis::LinkInference inference =
+        analysis::InferLink(db, "vp-nyc", target.far_addr, 0, 7, autocfg);
+    double congested_hours = 0.0;
+    for (const double f : inference.result.day_fraction) {
+      congested_hours += f * 24.0;
+    }
+    std::printf("%-15s %2zu events (%5.1f h total)   %s",
+                target.far_addr.ToString().c_str(), shifts.events.size(),
+                shifts.CongestedSeconds(0, kWeek) / 3600.0,
+                inference.result.recurring ? "RECURRING" : "clean");
+    if (inference.result.recurring) {
+      std::printf(", window %02d:%02d UTC, %.1f h congested",
+                  inference.result.window_start / 4,
+                  (inference.result.window_start % 4) * 15, congested_hours);
+    }
+    std::printf("\n");
+  }
+
+  // 5. The operator's view: a dashboard of the congested link.
+  for (const tslp::TslpTarget& target : tslp.targets()) {
+    const analysis::LinkInference inference =
+        analysis::InferLink(db, "vp-nyc", target.far_addr, 0, 7, autocfg);
+    if (!inference.result.recurring) continue;
+    analysis::DashboardConfig dash;
+    dash.days = 7;
+    std::printf("\n%s", analysis::RenderLinkDashboard(db, "vp-nyc",
+                                                       target.far_addr, 0,
+                                                       dash)
+                             .c_str());
+    break;
+  }
+  return 0;
+}

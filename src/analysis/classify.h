@@ -1,0 +1,54 @@
+// Bridges raw TSLP measurements (in the time-series DB) to the inference
+// core, and exposes the binary 15-minute interval classification the
+// validation experiments compare against (§5: "congested" vs "uncongested"
+// intervals per the autocorrelation method).
+#pragma once
+
+#include <string>
+
+#include "infer/autocorr.h"
+#include "topo/ipv4.h"
+#include "tsdb/tsdb.h"
+
+namespace manic::analysis {
+
+using infer::AutocorrConfig;
+using infer::AutocorrResult;
+using stats::TimeSec;
+using topo::Ipv4Addr;
+
+// Autocorrelation inference for one (vp, link) over [t0, t0 + days*86400),
+// built from the stored near/far TSLP series.
+struct LinkInference {
+  AutocorrResult result;
+  TimeSec t0 = 0;
+  int days = 0;
+  AutocorrConfig config;
+
+  // True when `t` falls in a 15-minute interval classified congested: the
+  // link shows recurring congestion, t lies inside the recurring window,
+  // and that day actually contributed elevation.
+  bool IntervalCongested(TimeSec t, const infer::DayGrid& far,
+                         const infer::DayGrid& near) const;
+
+  // Convenience: same decision using only day/window membership and the
+  // day's congested flag (no per-interval elevation check). Coarser; used
+  // where the paper aggregates per-day.
+  bool DayCongested(TimeSec t) const;
+};
+
+// Loads the far/near grids for one (vp, link far address) from `db`.
+struct LinkGrids {
+  infer::DayGrid far;
+  infer::DayGrid near;
+};
+LinkGrids LoadGrids(const tsdb::Database& db, const std::string& vp_name,
+                    Ipv4Addr far_addr, TimeSec t0, int days,
+                    const AutocorrConfig& config = {});
+
+// Full pipeline: load grids and run the batch autocorrelation analysis.
+LinkInference InferLink(const tsdb::Database& db, const std::string& vp_name,
+                        Ipv4Addr far_addr, TimeSec t0, int days,
+                        const AutocorrConfig& config = {});
+
+}  // namespace manic::analysis

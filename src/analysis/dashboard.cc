@@ -1,0 +1,138 @@
+#include "analysis/dashboard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "lossprobe/lossprobe.h"
+#include "tslp/tslp.h"
+
+namespace manic::analysis {
+
+namespace {
+
+// Heat ramp for RTT elevation above the baseline.
+char HeatCell(double elevation_ms) {
+  if (std::isnan(elevation_ms)) return '.';
+  if (elevation_ms < 3.0) return ' ';
+  if (elevation_ms < 7.0) return '-';
+  if (elevation_ms < 15.0) return '+';
+  if (elevation_ms < 30.0) return '*';
+  return '#';
+}
+
+}  // namespace
+
+std::string RenderLinkDashboard(const tsdb::Database& db,
+                                const std::string& vp_name,
+                                topo::Ipv4Addr far_addr, stats::TimeSec t0,
+                                const DashboardConfig& config) {
+  std::ostringstream os;
+  const stats::TimeSec t1 =
+      t0 + static_cast<stats::TimeSec>(config.days) * 86400;
+  const auto far = db.QueryMerged(
+      tslp::kMeasurementRtt,
+      tslp::TslpScheduler::Tags(vp_name, far_addr, tslp::kSideFar), t0, t1);
+  const auto near = db.QueryMerged(
+      tslp::kMeasurementRtt,
+      tslp::TslpScheduler::Tags(vp_name, far_addr, tslp::kSideNear), t0, t1);
+
+  os << "=== link " << far_addr.ToString() << " seen from " << vp_name
+     << " ===\n";
+  if (far.empty()) {
+    os << "(no far-side measurements)\n";
+    return os.str();
+  }
+
+  double baseline = 1e18, worst = 0.0;
+  for (const auto& p : far.points()) {
+    baseline = std::min(baseline, p.value);
+    worst = std::max(worst, p.value);
+  }
+  double near_baseline = 1e18;
+  for (const auto& p : near.points()) {
+    near_baseline = std::min(near_baseline, p.value);
+  }
+
+  // Inference over the rendered window.
+  infer::AutocorrConfig cfg = config.autocorr;
+  cfg.window_days = config.days;
+  cfg.min_elevated_days = std::max(3, config.days / 2);
+  const LinkInference inference =
+      InferLink(db, vp_name, far_addr, t0, config.days, cfg);
+
+  // Heat map: one row per day, one column per bin.
+  const int cols = static_cast<int>(86400 / config.bin_width);
+  const auto bins = far.BinDense(t0, t1, config.bin_width, stats::BinAgg::kMin);
+  os << "far-RTT elevation heat map (cols = UTC hours; ' '<3ms '-'<7 '+'<15 "
+        "'*'<30 '#'>=30):\n";
+  os << "      ";
+  for (int c = 0; c < cols; ++c) os << (c % 6 == 0 ? '|' : ' ');
+  os << '\n';
+  for (int d = 0; d < config.days; ++d) {
+    os << "day" << (d < 10 ? " " : "") << d << " ";
+    for (int c = 0; c < cols; ++c) {
+      const std::size_t slot = static_cast<std::size_t>(d) * cols + c;
+      if (slot >= bins.size() || !bins[slot]) {
+        os << '.';
+      } else {
+        os << HeatCell(*bins[slot] - baseline);
+      }
+    }
+    os << '\n';
+  }
+
+  // Recurring-window ruler.
+  if (inference.result.recurring) {
+    os << "window";
+    const int per_col =
+        cfg.intervals_per_day / std::max(1, cols);
+    for (int c = 0; c < cols; ++c) {
+      bool in = false;
+      for (int k = 0; k < per_col; ++k) {
+        in = in || inference.result.InWindow(c * per_col + k,
+                                             cfg.intervals_per_day);
+      }
+      os << (in ? '^' : ' ');
+    }
+    os << "  (recurring congestion window)\n";
+  } else {
+    os << "no recurring congestion inferred ("
+       << (inference.result.reject == infer::RejectReason::kNoPeak
+               ? "no peak"
+               : "filtered")
+       << ")\n";
+  }
+
+  // Optional loss overlay (mean loss % per column across the window).
+  const auto loss = db.QueryMerged(
+      lossprobe::kMeasurementLoss,
+      tslp::TslpScheduler::Tags(vp_name, far_addr, tslp::kSideFar), t0, t1);
+  if (!loss.empty()) {
+    std::vector<double> sums(static_cast<std::size_t>(cols), 0.0);
+    std::vector<int> counts(static_cast<std::size_t>(cols), 0);
+    for (const auto& p : loss.points()) {
+      const int c = static_cast<int>(((p.t - t0) % 86400) / config.bin_width);
+      sums[static_cast<std::size_t>(c)] += p.value;
+      ++counts[static_cast<std::size_t>(c)];
+    }
+    os << "loss%% ";
+    for (int c = 0; c < cols; ++c) {
+      const double mean = counts[static_cast<std::size_t>(c)] == 0
+                              ? 0.0
+                              : sums[static_cast<std::size_t>(c)] /
+                                    counts[static_cast<std::size_t>(c)];
+      os << (mean < 0.1 ? ' ' : mean < 1.0 ? '-' : mean < 5.0 ? '*' : '#');
+    }
+    os << "  (mean far loss per hour)\n";
+  }
+
+  os << "baseline " << baseline << " ms, worst bin " << worst
+     << " ms, near baseline "
+     << (near_baseline < 1e17 ? std::to_string(near_baseline) : "n/a")
+     << " ms, " << far.size() << " far samples over " << config.days
+     << " days\n";
+  return os.str();
+}
+
+}  // namespace manic::analysis

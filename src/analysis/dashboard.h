@@ -1,0 +1,28 @@
+// Text dashboard for one interdomain link — the Grafana-substitute view the
+// system's operators lived in (§3, Figure 1 "interactive data exploration /
+// real-time dashboards / longitudinal views"): a day-by-hour heat map of
+// far-side minimum RTT, the near-side baseline, the inferred recurring
+// window, optional loss overlay, and summary statistics.
+#pragma once
+
+#include <string>
+
+#include "analysis/classify.h"
+#include "tsdb/tsdb.h"
+
+namespace manic::analysis {
+
+struct DashboardConfig {
+  int days = 14;                 // rows
+  stats::TimeSec bin_width = 3600;  // one column per hour
+  infer::AutocorrConfig autocorr;   // window/threshold parameters
+};
+
+// Renders the dashboard for (vp_name, far_addr) starting at t0. Returns a
+// multi-line string; missing data renders as '.'.
+std::string RenderLinkDashboard(const tsdb::Database& db,
+                                const std::string& vp_name,
+                                topo::Ipv4Addr far_addr, stats::TimeSec t0,
+                                const DashboardConfig& config = {});
+
+}  // namespace manic::analysis

@@ -1,0 +1,164 @@
+#include "analysis/daylink.h"
+
+#include <algorithm>
+#include <array>
+
+namespace manic::analysis {
+
+void DayLinkTable::Add(const DayLinkRecord& record) {
+  if (!record.observed) return;
+  ++total_records_;
+  const auto key = std::make_pair(record.access, record.tcp);
+  PairStats& pair = pairs_[key];
+  ++pair.observed_day_links;
+  const bool congested = record.fraction >= kDayLinkThreshold;
+  if (congested) ++pair.congested_day_links;
+
+  const int month = sim::StudyMonthOfDay(record.day);
+  if (month >= 0) {
+    auto& months = monthly_[key];
+    if (months.size() <= static_cast<std::size_t>(month)) {
+      months.resize(static_cast<std::size_t>(month) + 1);
+    }
+    MonthAgg& agg = months[static_cast<std::size_t>(month)];
+    ++agg.observed;
+    if (congested) ++agg.congested;
+    if (record.fraction > 0.0) {
+      agg.fraction_sum += record.fraction;
+      ++agg.fraction_n;
+    }
+  }
+}
+
+std::vector<DayLinkTable::AccessSummary> DayLinkTable::Table3() const {
+  std::map<Asn, AccessSummary> rows;
+  for (const auto& [key, stats] : pairs_) {
+    AccessSummary& row = rows[key.first];
+    row.access = key.first;
+    ++row.observed_tcps;
+    if (stats.PercentCongested() >= 1.0) ++row.congested_tcps;
+  }
+  for (auto& [asn, row] : rows) {
+    std::int64_t observed = 0, congested = 0;
+    for (const auto& [key, stats] : pairs_) {
+      if (key.first != asn) continue;
+      observed += stats.observed_day_links;
+      congested += stats.congested_day_links;
+    }
+    row.pct_congested_day_links =
+        observed == 0 ? 0.0 : 100.0 * static_cast<double>(congested) / observed;
+  }
+  std::vector<AccessSummary> out;
+  out.reserve(rows.size());
+  for (const auto& [asn, row] : rows) out.push_back(row);
+  return out;
+}
+
+std::vector<Asn> DayLinkTable::TopCongestedTcps(std::size_t n) const {
+  std::map<Asn, std::pair<double, int>> acc;  // tcp -> (sum pct, #APs)
+  for (const auto& [key, stats] : pairs_) {
+    auto& slot = acc[key.second];
+    slot.first += stats.PercentCongested();
+    ++slot.second;
+  }
+  std::vector<std::pair<double, Asn>> ranked;
+  for (const auto& [tcp, slot] : acc) {
+    ranked.push_back({slot.first / slot.second, tcp});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<Asn> out;
+  for (std::size_t i = 0; i < std::min(n, ranked.size()); ++i) {
+    out.push_back(ranked[i].second);
+  }
+  return out;
+}
+
+std::vector<double> DayLinkTable::MonthlyCongestedPct(Asn access,
+                                                      Asn tcp) const {
+  std::vector<double> out(sim::kStudyMonths, -1.0);
+  const auto it = monthly_.find({access, tcp});
+  if (it == monthly_.end()) return out;
+  for (std::size_t m = 0; m < it->second.size() && m < out.size(); ++m) {
+    const MonthAgg& agg = it->second[m];
+    if (agg.observed > 0) {
+      out[m] = 100.0 * static_cast<double>(agg.congested) / agg.observed;
+    }
+  }
+  return out;
+}
+
+std::vector<double> DayLinkTable::MonthlyMeanCongestion(Asn access,
+                                                        Asn tcp) const {
+  std::vector<double> out(sim::kStudyMonths, -1.0);
+  const auto it = monthly_.find({access, tcp});
+  if (it == monthly_.end()) return out;
+  for (std::size_t m = 0; m < it->second.size() && m < out.size(); ++m) {
+    const MonthAgg& agg = it->second[m];
+    if (agg.fraction_n > 0) {
+      out[m] = 100.0 * agg.fraction_sum / static_cast<double>(agg.fraction_n);
+    }
+  }
+  return out;
+}
+
+std::set<Asn> DayLinkTable::AccessNetworks() const {
+  std::set<Asn> out;
+  for (const auto& [key, stats] : pairs_) out.insert(key.first);
+  return out;
+}
+
+std::set<Asn> DayLinkTable::TcpsOf(Asn access) const {
+  std::set<Asn> out;
+  for (const auto& [key, stats] : pairs_) {
+    if (key.first == access) out.insert(key.second);
+  }
+  return out;
+}
+
+void TimeOfDayHistogram::Add(double local_hour, bool weekend) {
+  int bin = static_cast<int>(local_hour);
+  bin = std::clamp(bin, 0, 23);
+  if (weekend) {
+    ++weekend_[static_cast<std::size_t>(bin)];
+    ++weekend_total_;
+  } else {
+    ++weekday_[static_cast<std::size_t>(bin)];
+    ++weekday_total_;
+  }
+}
+
+std::vector<double> TimeOfDayHistogram::Normalized(bool weekend) const {
+  const auto& bins = weekend ? weekend_ : weekday_;
+  const std::int64_t total = weekend ? weekend_total_ : weekday_total_;
+  std::vector<double> out(24, 0.0);
+  if (total == 0) return out;
+  for (int h = 0; h < 24; ++h) {
+    out[static_cast<std::size_t>(h)] =
+        static_cast<double>(bins[static_cast<std::size_t>(h)]) /
+        static_cast<double>(total);
+  }
+  return out;
+}
+
+int TimeOfDayHistogram::ModeHour(bool weekend) const {
+  const auto& bins = weekend ? weekend_ : weekday_;
+  int best = 0;
+  for (int h = 1; h < 24; ++h) {
+    if (bins[static_cast<std::size_t>(h)] > bins[static_cast<std::size_t>(best)]) {
+      best = h;
+    }
+  }
+  return best;
+}
+
+double TimeOfDayHistogram::FccPeakShare(bool weekend) const {
+  const auto& bins = weekend ? weekend_ : weekday_;
+  const std::int64_t total = weekend ? weekend_total_ : weekday_total_;
+  if (total == 0) return 0.0;
+  std::int64_t peak = 0;
+  for (int h = 19; h < 23; ++h) peak += bins[static_cast<std::size_t>(h)];
+  return static_cast<double>(peak) / static_cast<double>(total);
+}
+
+}  // namespace manic::analysis

@@ -1,0 +1,63 @@
+// Table 1 machinery (§5.1): month-link validation of congestion inferences
+// against high-frequency loss measurements. For each month of data for one
+// (VP, link):
+//   - eligibility: the link was significantly congested (>= 1 day with >= 4%
+//     day-link congestion) and both interfaces answered loss probes;
+//   - restrict to month-links with a statistically significant difference in
+//     far-end loss between congested and uncongested periods;
+//   - far-end test: far loss (congested) > far loss (uncongested)?
+//   - localization test: far loss (congested) > near loss (congested)?
+// Both tests use the two-sample binomial proportion test at p < 0.05.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/classify.h"
+#include "lossprobe/lossprobe.h"
+#include "stats/tests.h"
+
+namespace manic::analysis {
+
+struct MonthLinkResult {
+  std::string vp;
+  Ipv4Addr far_addr;
+  int month_index = 0;
+  // Filtering state.
+  bool eligible = false;             // congested enough + both ends answered
+  bool significant_far_diff = false; // |far cong - far uncong| significant
+  // The two §5.1 tests (valid only when significant_far_diff).
+  bool far_end_test = false;
+  bool localization_test = false;
+  // Observed loss rates (fractions).
+  double far_congested = 0.0;
+  double far_uncongested = 0.0;
+  double near_congested = 0.0;
+  long long congested_windows = 0;
+  long long uncongested_windows = 0;
+};
+
+struct Table1Summary {
+  int month_links_total = 0;      // eligible month-links examined
+  int with_significant_diff = 0;  // the 145-link analogue
+  int both_tests = 0;             // far-end + localization   (81% row)
+  int far_only = 0;               // far-end only             (8% row)
+  int contradicting = 0;          // far loss decreased       (11% row)
+  void Add(const MonthLinkResult& r);
+};
+
+// Evaluates one month-link. `inference` must cover the month (t0/days
+// aligned to the inference window used to classify intervals); loss series
+// are read from `db`. `probes_per_window` converts loss percentages back to
+// Binomial counts for the proportion tests.
+MonthLinkResult EvaluateMonthLink(const tsdb::Database& db,
+                                  const LinkInference& inference,
+                                  const infer::DayGrid& far_grid,
+                                  const infer::DayGrid& near_grid,
+                                  const std::string& vp_name,
+                                  Ipv4Addr far_addr, TimeSec month_start,
+                                  TimeSec month_end,
+                                  int probes_per_window = 300,
+                                  double alpha = 0.05);
+
+}  // namespace manic::analysis

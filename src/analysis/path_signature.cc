@@ -1,0 +1,94 @@
+#include "analysis/path_signature.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "tslp/tslp.h"
+
+namespace manic::analysis {
+
+namespace {
+
+// Per-bin elevation residuals: max(0, min RTT in bin - series baseline).
+std::vector<double> Residuals(const stats::TimeSeries& series,
+                              stats::TimeSec t0, stats::TimeSec t1,
+                              stats::TimeSec bin_width) {
+  const auto bins = series.BinDense(t0, t1, bin_width, stats::BinAgg::kMin);
+  double baseline = std::numeric_limits<double>::infinity();
+  for (const auto& bin : bins) {
+    if (bin) baseline = std::min(baseline, *bin);
+  }
+  std::vector<double> out(bins.size(),
+                          std::numeric_limits<double>::quiet_NaN());
+  if (!std::isfinite(baseline)) return out;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (bins[i]) out[i] = std::max(0.0, *bins[i] - baseline);
+  }
+  return out;
+}
+
+}  // namespace
+
+SignatureComparison CompareCongestionSignatures(
+    const tsdb::Database& db, const std::string& vp_name,
+    topo::Ipv4Addr far_a, topo::Ipv4Addr far_b, stats::TimeSec t0,
+    stats::TimeSec t1, const SignatureConfig& config) {
+  SignatureComparison cmp;
+  const auto series_a = db.QueryMerged(
+      tslp::kMeasurementRtt,
+      tslp::TslpScheduler::Tags(vp_name, far_a, tslp::kSideFar), t0, t1);
+  const auto series_b = db.QueryMerged(
+      tslp::kMeasurementRtt,
+      tslp::TslpScheduler::Tags(vp_name, far_b, tslp::kSideFar), t0, t1);
+  const auto res_a = Residuals(series_a, t0, t1, config.bin_width);
+  const auto res_b = Residuals(series_b, t0, t1, config.bin_width);
+
+  std::vector<double> xs, ys;
+  std::size_t elevated = 0;
+  for (std::size_t i = 0; i < std::min(res_a.size(), res_b.size()); ++i) {
+    if (std::isnan(res_a[i]) || std::isnan(res_b[i])) continue;
+    const double a = res_a[i] >= config.elevation_ms ? res_a[i] : 0.0;
+    const double b = res_b[i] >= config.elevation_ms ? res_b[i] : 0.0;
+    if (a > 0.0 || b > 0.0) ++elevated;
+    xs.push_back(a);
+    ys.push_back(b);
+  }
+  cmp.bins = xs.size();
+  if (cmp.bins < config.min_bins || elevated < config.min_elevated_bins) {
+    return cmp;
+  }
+  cmp.comparable = true;
+  cmp.correlation = stats::PearsonCorrelation(xs, ys);
+  cmp.likely_shared_path = cmp.correlation >= config.share_threshold;
+  return cmp;
+}
+
+ReturnSymmetryCheck CheckReturnSymmetry(sim::SimNetwork& net, topo::VpId vp,
+                                        topo::Ipv4Addr far_addr,
+                                        topo::Ipv4Addr dst, int far_ttl,
+                                        std::uint16_t flow, stats::TimeSec t,
+                                        int attempts) {
+  ReturnSymmetryCheck check;
+  for (int i = 0; i < attempts; ++i) {
+    const auto rr =
+        net.ProbeRecordRoute(vp, dst, far_ttl, sim::FlowId{flow}, t + i);
+    if (rr.reply.outcome != sim::ProbeOutcome::kTtlExpired ||
+        rr.reply.responder != far_addr) {
+      continue;
+    }
+    check.usable = true;
+    check.reverse_route = rr.reverse_route;
+    for (const topo::Ipv4Addr addr : rr.reverse_route) {
+      if (addr == far_addr) {
+        check.symmetric = true;
+        break;
+      }
+    }
+    break;
+  }
+  return check;
+}
+
+}  // namespace manic::analysis

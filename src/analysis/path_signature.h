@@ -1,0 +1,57 @@
+// Return-path congestion signatures (§7): the paper proposes detecting
+// shared (possibly asymmetric) congested return paths by correlating the
+// TSLP time series of two targets — if replies from two far interfaces ride
+// the same congested queue, their latency elevations co-occur. This module
+// implements that check over stored TSLP series: residual-above-baseline
+// series are built per link and compared with Pearson correlation.
+#pragma once
+
+#include <string>
+
+#include "sim/network.h"
+#include "topo/ipv4.h"
+#include "tsdb/tsdb.h"
+
+namespace manic::analysis {
+
+struct SignatureComparison {
+  double correlation = 0.0;   // Pearson over elevation residuals
+  std::size_t bins = 0;       // overlapping bins compared
+  bool comparable = false;    // enough overlapping elevated data to judge
+  // Heuristic verdict: strongly correlated elevations => the replies likely
+  // shared a congested path.
+  bool likely_shared_path = false;
+};
+
+struct SignatureConfig {
+  stats::TimeSec bin_width = 900;
+  double elevation_ms = 7.0;       // residuals below this are clamped to 0
+  std::size_t min_bins = 96;       // minimum overlap to compare
+  std::size_t min_elevated_bins = 8;
+  double share_threshold = 0.7;    // correlation implying a shared path
+};
+
+// Compares the far-side TSLP congestion signatures of two links measured
+// from the same VP over [t0, t1).
+SignatureComparison CompareCongestionSignatures(
+    const tsdb::Database& db, const std::string& vp_name,
+    topo::Ipv4Addr far_a, topo::Ipv4Addr far_b, stats::TimeSec t0,
+    stats::TimeSec t1, const SignatureConfig& config = {});
+
+// §7's other proposed asymmetry detector: probe the far interface with the
+// IP Record Route option and check whether the reply's recorded route
+// includes the far interface itself (a reply crossing the targeted link
+// egresses through it). `attempts` probes are sent; the verdict uses the
+// first one that elicits a usable RR reply.
+struct ReturnSymmetryCheck {
+  bool usable = false;     // at least one RR reply obtained
+  bool symmetric = false;  // the reply crossed the targeted link
+  std::vector<topo::Ipv4Addr> reverse_route;
+};
+ReturnSymmetryCheck CheckReturnSymmetry(sim::SimNetwork& net, topo::VpId vp,
+                                        topo::Ipv4Addr far_addr,
+                                        topo::Ipv4Addr dst, int far_ttl,
+                                        std::uint16_t flow, stats::TimeSec t,
+                                        int attempts = 4);
+
+}  // namespace manic::analysis

@@ -1,0 +1,106 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace manic::analysis {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+// Display width in code points (sparkline cells are multi-byte UTF-8).
+std::size_t GlyphWidth(const std::string& s) {
+  std::size_t w = 0;
+  for (const char c : s) {
+    if ((static_cast<unsigned char>(c) & 0xC0) != 0x80) ++w;
+  }
+  return w;
+}
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '%' && c != '+' && c != '<') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = GlyphWidth(headers_[c]);
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], GlyphWidth(row[c]));
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells, bool numeric_ok) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const bool right = numeric_ok && LooksNumeric(cells[c]);
+      const std::size_t pad = width[c] - GlyphWidth(cells[c]);
+      os << ' ';
+      if (right) os << std::string(pad, ' ');
+      os << cells[c];
+      if (!right) os << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+  emit_row(headers_, false);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row, true);
+  return os.str();
+}
+
+std::string TextTable::Fmt(double value, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << value;
+  return os.str();
+}
+
+std::string TextTable::FmtOrDash(double value, int decimals) {
+  return value < 0.0 ? "-" : Fmt(value, decimals);
+}
+
+std::string Sparkline(const std::vector<double>& values) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  double max_v = 0.0;
+  for (const double v : values) max_v = std::max(max_v, v);
+  std::string out;
+  for (const double v : values) {
+    if (v < 0.0) {
+      out += ' ';
+    } else if (max_v <= 0.0) {
+      out += kBlocks[0];
+    } else {
+      const int idx = std::min(
+          7, static_cast<int>(std::floor(v / max_v * 7.999)));
+      out += kBlocks[idx];
+    }
+  }
+  return out;
+}
+
+}  // namespace manic::analysis

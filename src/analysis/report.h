@@ -1,0 +1,32 @@
+// Plain-text table rendering for the bench harnesses (the Grafana-substitute
+// output layer): fixed-width columns, headers, numeric formatting, and a
+// simple ASCII sparkline for time-series rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace manic::analysis {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders with column alignment; numbers right-aligned heuristically.
+  std::string Render() const;
+
+  static std::string Fmt(double value, int decimals = 2);
+  // "-" for negatives used as missing markers.
+  static std::string FmtOrDash(double value, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Unicode block sparkline of a series; negative values render as spaces
+// (missing months in Fig 7/8).
+std::string Sparkline(const std::vector<double>& values);
+
+}  // namespace manic::analysis

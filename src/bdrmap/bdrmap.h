@@ -1,0 +1,118 @@
+// bdrmap (Luckie et al., IMC 2016) — inference of the interdomain links of
+// the network hosting a vantage point, at IP-link granularity (§3.2). The
+// pipeline: (1) Paris traceroute toward every routed prefix with a stable
+// per-prefix flow id; (2) Ally-style alias resolution over candidate
+// interface pairs (shared monotonic IP-ID counter); (3) ownership heuristics
+// combining the prefix-to-AS map, AS relationships, sibling (org) lists and
+// the IXP prefix list to locate the border; (4) emit each discovered border
+// link keyed by its far-side interface address, with the set of destinations
+// that cross it (input to TSLP target selection).
+//
+// The classic ambiguity handled here: the far side of a border link is
+// usually numbered from the *near* network's address space, so naive
+// prefix2as annotation places the border one hop too far. Evidence from
+// successor hops and destination origins pulls it back.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "probe/probe.h"
+#include "topo/topology.h"
+
+namespace manic::bdrmap {
+
+using probe::Prober;
+using probe::TracerouteResult;
+using sim::SimNetwork;
+using sim::TimeSec;
+using topo::Asn;
+using topo::Ipv4Addr;
+using topo::Prefix;
+using topo::VpId;
+
+// One destination known to traverse a border link, with the TTL at which the
+// far end responds (TSLP probes far_ttl and far_ttl - 1).
+struct BorderDest {
+  Prefix prefix;
+  Ipv4Addr dst;
+  std::uint16_t flow = 0;
+  int far_ttl = 0;
+  Asn origin = 0;
+};
+
+struct BorderLink {
+  Ipv4Addr far_addr;   // canonical identifier (paper labels links by far IP)
+  Ipv4Addr near_addr;  // near router's responding (ingress) interface
+  Asn neighbor = 0;    // inferred AS on the far side
+  bool via_ixp = false;
+  std::vector<BorderDest> dests;
+};
+
+struct BdrmapResult {
+  std::vector<BorderLink> links;
+  std::size_t traces = 0;
+  std::size_t responding_hops = 0;
+  std::size_t ally_pairs_tested = 0;
+  std::size_t alias_groups = 0;
+
+  const BorderLink* FindByFarAddr(Ipv4Addr far) const noexcept;
+  // Links whose inferred neighbor is `asn`.
+  std::vector<const BorderLink*> LinksToNeighbor(Asn asn) const;
+};
+
+class Bdrmap {
+ public:
+  struct Config {
+    int max_ttl = 32;
+    int attempts = 2;
+    bool run_alias_resolution = true;
+    int ally_probes = 4;           // pings per interface in an Ally test
+    std::size_t max_prefixes = 0;  // 0 = all routed prefixes
+    // Traceroute sweeps accumulated into one inference. The deployed system
+    // runs continuously; extra cycles recover hops that ICMP rate limiting
+    // silenced in a single pass.
+    int cycles = 1;
+    TimeSec cycle_spacing = 6 * 3600;
+  };
+
+  Bdrmap(SimNetwork& net, VpId vp, Config config);
+  Bdrmap(SimNetwork& net, VpId vp) : Bdrmap(net, vp, Config{}) {}
+
+  // One full border-mapping cycle at simulated time t (the real system takes
+  // 1-3 days per cycle; callers advance t accordingly).
+  BdrmapResult RunCycle(TimeSec t);
+
+  // Ally alias test outcome. kNoResponse is transient (rate-limited or lossy
+  // targets) and must not be cached as a negative.
+  enum class AllyOutcome { kAliased, kNotAliased, kNoResponse };
+
+  // Ally alias test: whether the two addresses appear to share an IP-ID
+  // counter. Each ping is retried a few times so ICMP rate limiting degrades
+  // the test to kNoResponse instead of a false negative. Exposed for tests
+  // and for MAP-IT-style extensions.
+  AllyOutcome AllyProbe(Ipv4Addr a, Ipv4Addr b, TimeSec t);
+  bool AllyTest(Ipv4Addr a, Ipv4Addr b, TimeSec t) {
+    return AllyProbe(a, b, t) == AllyOutcome::kAliased;
+  }
+
+ private:
+  struct HopInfo {
+    Ipv4Addr addr;
+    Asn annotated_as = 0;  // prefix2as annotation (0: unknown)
+    bool is_ixp = false;
+    bool host_side = false;  // annotated as host AS or a sibling
+  };
+
+  HopInfo Annotate(Ipv4Addr addr) const;
+
+  SimNetwork* net_;
+  VpId vp_;
+  Config config_;
+  Asn host_as_;
+  std::set<Asn> host_siblings_;
+};
+
+}  // namespace manic::bdrmap

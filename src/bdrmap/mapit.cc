@@ -1,0 +1,166 @@
+#include "bdrmap/mapit.h"
+
+#include <map>
+#include <set>
+
+namespace manic::bdrmap {
+
+namespace {
+
+struct Key {
+  std::uint32_t near;
+  std::uint32_t far;
+  friend bool operator<(const Key& a, const Key& b) {
+    return std::tie(a.near, a.far) < std::tie(b.near, b.far);
+  }
+};
+
+struct AHop {
+  topo::Ipv4Addr addr;
+  topo::Asn as;
+};
+
+struct TraceRec {
+  topo::Asn host_as;  // AS of the vantage point that collected the trace
+  topo::Asn origin;
+  bool reached;
+  std::vector<AHop> hops;
+};
+
+// One traceroute sweep from `vp` appended to `out`.
+void CollectTraces(sim::SimNetwork& net, topo::VpId vp, sim::TimeSec t,
+                   const MapItConfig& config, std::vector<TraceRec>* out) {
+  const topo::Topology& topo = net.topology();
+  probe::Prober prober(net, vp);
+  const auto& p2a = topo.Prefix2As();
+  std::vector<std::pair<topo::Prefix, topo::Asn>> prefixes =
+      topo.RoutedPrefixes();
+  if (config.max_prefixes > 0 && prefixes.size() > config.max_prefixes) {
+    prefixes.resize(config.max_prefixes);
+  }
+  for (const auto& [prefix, origin] : prefixes) {
+    const topo::Ipv4Addr dst(prefix.address().value() + 10);
+    for (int f = 0; f < std::max(1, config.flows_per_prefix); ++f) {
+      const std::uint16_t flow = static_cast<std::uint16_t>(
+          0x9000u |
+          (stats::Rng::HashMix(prefix.address().value(), origin, f) &
+           0x0fffu));
+      const auto raw = prober.Traceroute(dst, sim::FlowId{flow}, t, 32,
+                                         config.traceroute_attempts);
+      TraceRec trace;
+      trace.host_as = topo.vp(vp).host_as;
+      trace.origin = origin;
+      trace.reached = raw.reached;
+      for (const auto& h : raw.hops) {
+        if (!h.addr) continue;
+        trace.hops.push_back({*h.addr, p2a.Lookup(*h.addr).value_or(0)});
+      }
+      if (trace.reached && !trace.hops.empty()) trace.hops.pop_back();
+      if (trace.hops.size() >= 2) out->push_back(std::move(trace));
+    }
+  }
+}
+
+std::vector<RemoteBorder> AnalyzeCorpus(const std::vector<TraceRec>& traces,
+                                        const MapItConfig& config) {
+  // Corpus-wide successor annotations: an interface is the shared-addressed
+  // far half of a border into AS B only if everything ever observed after it
+  // is annotated B; an ordinary internal interface of the near network fans
+  // out to several annotations (other neighbors, deeper same-network hops —
+  // and, with several vantage points, approaches from other directions).
+  std::map<std::uint32_t, std::set<topo::Asn>> successors;
+  for (const TraceRec& trace : traces) {
+    for (std::size_t i = 0; i + 1 < trace.hops.size(); ++i) {
+      if (trace.hops[i + 1].as != 0) {
+        successors[trace.hops[i].addr.value()].insert(trace.hops[i + 1].as);
+      }
+    }
+  }
+  auto exclusively = [&](topo::Ipv4Addr addr, topo::Asn b) {
+    const auto it = successors.find(addr.value());
+    if (it == successors.end()) return true;  // no evidence against (tail)
+    return it->second.size() == 1 && *it->second.begin() == b;
+  };
+
+  // Votes per boundary, per claimed AS pair: the majority interpretation
+  // across traces (and vantage points) wins.
+  std::map<Key, std::map<std::pair<topo::Asn, topo::Asn>, int>> votes;
+  auto vote = [&](topo::Ipv4Addr near, topo::Ipv4Addr far, topo::Asn a,
+                  topo::Asn b) {
+    ++votes[{near.value(), far.value()}][{a, b}];
+  };
+
+  for (const TraceRec& trace : traces) {
+    const auto& hops = trace.hops;
+    topo::Asn current = trace.host_as;
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      const topo::Asn x = hops[i + 1].as;
+      if (hops[i].as == 0 || x == 0) continue;
+      if (x != current) {
+        // Clean transition: hops[i+1] announces its own network.
+        vote(hops[i].addr, hops[i + 1].addr, current, x);
+        current = x;
+        continue;
+      }
+      // Same annotation as the network being traversed: hops[i+1] is the
+      // shared-addressed far half of a border link only if the path leaves
+      // `current` immediately afterwards (or the trace ends) AND the corpus
+      // shows this interface forwarding exclusively into that next network.
+      topo::Asn next_distinct = 0;
+      if (i + 2 < hops.size()) {
+        if (hops[i + 2].as != 0 && hops[i + 2].as != current) {
+          next_distinct = hops[i + 2].as;
+        }
+      } else if (trace.reached && trace.origin != current) {
+        next_distinct = trace.origin;
+      }
+      if (next_distinct != 0 && exclusively(hops[i + 1].addr, next_distinct)) {
+        vote(hops[i].addr, hops[i + 1].addr, current, next_distinct);
+        current = next_distinct;
+      }
+      // Otherwise the hop belongs to `current`; keep walking.
+    }
+  }
+
+  std::vector<RemoteBorder> out;
+  for (const auto& [key, claims] : votes) {
+    RemoteBorder border;
+    border.near_addr = topo::Ipv4Addr(key.near);
+    border.far_addr = topo::Ipv4Addr(key.far);
+    int total = 0;
+    int best = 0;
+    for (const auto& [pair, count] : claims) {
+      total += count;
+      if (count > best) {
+        best = count;
+        border.near_as = pair.first;
+        border.far_as = pair.second;
+      }
+    }
+    border.observations = total;
+    if (total >= config.min_observations) out.push_back(border);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<RemoteBorder> InferRemoteBorders(sim::SimNetwork& net,
+                                             topo::VpId vp, sim::TimeSec t,
+                                             const MapItConfig& config) {
+  std::vector<TraceRec> traces;
+  CollectTraces(net, vp, t, config, &traces);
+  return AnalyzeCorpus(traces, config);
+}
+
+std::vector<RemoteBorder> InferRemoteBordersMultiVp(
+    sim::SimNetwork& net, const std::vector<topo::VpId>& vps, sim::TimeSec t,
+    const MapItConfig& config) {
+  std::vector<TraceRec> traces;
+  for (const topo::VpId vp : vps) {
+    CollectTraces(net, vp, t, config, &traces);
+  }
+  return AnalyzeCorpus(traces, config);
+}
+
+}  // namespace manic::bdrmap

@@ -1,0 +1,55 @@
+// Simplified MAP-IT (Marder & Smith, IMC 2016) — the §9 future direction of
+// combining bdrmap with MAP-IT to observe interdomain links *beyond* the
+// host network's immediate border. Works purely passively over a traceroute
+// corpus: an interdomain boundary is inferred wherever the prefix-to-AS
+// annotation transitions along a path, with the point-to-point convention
+// handled (the far half of a border link is commonly numbered from the near
+// network's space, so the transition appears one hop late; surrounding-hop
+// evidence pulls it back).
+#pragma once
+
+#include <vector>
+
+#include "probe/probe.h"
+#include "topo/topology.h"
+
+namespace manic::bdrmap {
+
+struct RemoteBorder {
+  topo::Ipv4Addr near_addr;  // responding interface of the near router
+  topo::Ipv4Addr far_addr;   // responding interface of the far router
+  topo::Asn near_as = 0;
+  topo::Asn far_as = 0;
+  int observations = 0;      // traces exhibiting this boundary
+};
+
+struct MapItConfig {
+  int min_observations = 1;
+  std::size_t max_prefixes = 0;  // 0 = all routed prefixes
+  int traceroute_attempts = 2;
+  // Distinct flow identifiers traced per prefix: ECMP then exposes several
+  // parallel paths, widening the successor evidence that disambiguates
+  // shared-addressed far halves from internal hops. Single-VP corpora
+  // remain imperfect (real MAP-IT reports ~90% precision); multi-VP fusion
+  // is the real remedy.
+  int flows_per_prefix = 2;
+};
+
+// Runs one traceroute sweep from `vp` and infers interdomain boundaries at
+// any depth. Boundaries involving the host network itself are also reported
+// (bdrmap remains the authoritative tool for those; MAP-IT extends reach).
+std::vector<RemoteBorder> InferRemoteBorders(sim::SimNetwork& net,
+                                             topo::VpId vp, sim::TimeSec t,
+                                             const MapItConfig& config = {});
+
+// Multi-vantage fusion: sweeps from every VP, pools the trace corpora, and
+// resolves each (near_addr, far_addr) boundary by majority vote across
+// vantage points. Different VPs approach the same routers from different
+// directions, so interfaces that look "exclusively forwarding into B" from
+// one VP gain contradicting successor evidence from another — the remedy for
+// the single-VP [A, A, B] ambiguity documented on MapItConfig.
+std::vector<RemoteBorder> InferRemoteBordersMultiVp(
+    sim::SimNetwork& net, const std::vector<topo::VpId>& vps, sim::TimeSec t,
+    const MapItConfig& config = {});
+
+}  // namespace manic::bdrmap

@@ -1,0 +1,155 @@
+#include "infer/level_shift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "stats/descriptive.h"
+#include "stats/special.h"
+#include "stats/tests.h"
+
+namespace manic::infer {
+
+namespace {
+
+// Average variance over a moving window of length l (the paper's sigma^2
+// estimate, robust to regime changes because each window is short).
+double AverageMovingVariance(std::span<const double> v, int l) {
+  if (static_cast<int>(v.size()) < l || l < 2) return stats::Variance(v);
+  double acc = 0.0;
+  std::size_t windows = 0;
+  for (std::size_t i = 0; i + static_cast<std::size_t>(l) <= v.size(); ++i) {
+    acc += stats::Variance(v.subspan(i, static_cast<std::size_t>(l)));
+    ++windows;
+  }
+  return windows == 0 ? 0.0 : acc / static_cast<double>(windows);
+}
+
+}  // namespace
+
+double LevelShiftResult::CongestedSeconds(TimeSec t0, TimeSec t1) const noexcept {
+  double total = 0.0;
+  for (const LevelShiftEvent& e : events) {
+    const TimeSec lo = std::max(t0, e.start);
+    const TimeSec hi = std::min(t1, e.end);
+    if (hi > lo) total += static_cast<double>(hi - lo);
+  }
+  return total;
+}
+
+bool LevelShiftResult::IsCongestedAt(TimeSec t) const noexcept {
+  for (const LevelShiftEvent& e : events) {
+    if (t >= e.start && t < e.end) return true;
+  }
+  return false;
+}
+
+LevelShiftResult DetectLevelShifts(const stats::TimeSeries& series,
+                                   const LevelShiftConfig& config) {
+  LevelShiftResult result;
+  const std::vector<double> v = series.Values();
+  const int l = config.cutoff_len;
+  const int n = static_cast<int>(v.size());
+  if (n < 2 * l) return result;
+
+  const double sigma2 = AverageMovingVariance(v, l);
+  result.sigma = std::sqrt(sigma2);
+  const double t_crit =
+      stats::StudentTCritical(static_cast<double>(2 * l - 2), config.alpha);
+  result.delta = t_crit * std::sqrt(2.0 * sigma2 / static_cast<double>(l));
+
+  // Huber-weighted mean difference across each candidate boundary.
+  std::vector<double> diff(static_cast<std::size_t>(n), 0.0);
+  const std::span<const double> vs(v);
+  for (int i = l; i + l <= n; ++i) {
+    const double m1 = stats::HuberMean(
+        vs.subspan(static_cast<std::size_t>(i - l), static_cast<std::size_t>(l)),
+        result.sigma, config.huber_p);
+    const double m2 = stats::HuberMean(
+        vs.subspan(static_cast<std::size_t>(i), static_cast<std::size_t>(l)),
+        result.sigma, config.huber_p);
+    diff[static_cast<std::size_t>(i)] = m2 - m1;
+  }
+
+  // Shift points: |diff| exceeds delta and is the local maximum within
+  // +/- l/2 (avoids a cluster of boundaries for one transition).
+  std::vector<int> shifts;
+  const int radius = std::max(1, l / 2);
+  for (int i = l; i + l <= n; ++i) {
+    const double d = std::fabs(diff[static_cast<std::size_t>(i)]);
+    if (d < result.delta) continue;
+    bool is_peak = true;
+    for (int k = std::max(l, i - radius); k <= std::min(n - l, i + radius);
+         ++k) {
+      const double dk = std::fabs(diff[static_cast<std::size_t>(k)]);
+      if (dk > d || (dk == d && k < i)) {
+        is_peak = k == i;
+        if (!is_peak) break;
+      }
+    }
+    if (is_peak) shifts.push_back(i);
+  }
+  for (const int s : shifts) {
+    result.shift_points.push_back(series[static_cast<std::size_t>(s)].t);
+  }
+
+  // Segment levels between shifts.
+  struct Segment {
+    int begin;
+    int end;
+    double level;
+  };
+  std::vector<Segment> segments;
+  int begin = 0;
+  for (std::size_t k = 0; k <= shifts.size(); ++k) {
+    const int end = k < shifts.size() ? shifts[k] : n;
+    if (end > begin) {
+      const double level = stats::HuberMean(
+          vs.subspan(static_cast<std::size_t>(begin),
+                     static_cast<std::size_t>(end - begin)),
+          result.sigma, config.huber_p);
+      segments.push_back({begin, end, level});
+    }
+    begin = end;
+  }
+  if (segments.empty()) return result;
+
+  double baseline = segments.front().level;
+  for (const Segment& s : segments) baseline = std::min(baseline, s.level);
+
+  // Elevated runs: consecutive segments >= baseline + delta/2, minimum
+  // duration l/2 bins.
+  const double elevation =
+      baseline + std::max(result.delta, config.min_elevation_ms);
+  const int min_bins = std::max(1, l / 2);
+  std::size_t i = 0;
+  while (i < segments.size()) {
+    if (segments[i].level < elevation) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    double level_acc = 0.0;
+    int bins = 0;
+    while (j < segments.size() && segments[j].level >= elevation) {
+      level_acc += segments[j].level * (segments[j].end - segments[j].begin);
+      bins += segments[j].end - segments[j].begin;
+      ++j;
+    }
+    if (bins >= min_bins) {
+      LevelShiftEvent event;
+      event.start = series[static_cast<std::size_t>(segments[i].begin)].t;
+      const int end_bin = segments[j - 1].end;
+      event.end = end_bin < n ? series[static_cast<std::size_t>(end_bin)].t
+                              : series[static_cast<std::size_t>(n - 1)].t +
+                                    config.bin_width;
+      event.baseline_ms = baseline;
+      event.elevated_ms = level_acc / bins;
+      result.events.push_back(event);
+    }
+    i = j;
+  }
+  return result;
+}
+
+}  // namespace manic::infer

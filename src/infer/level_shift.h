@@ -1,0 +1,62 @@
+// Level-shift congestion detection (§4.1): a CUSUM-flavoured change-point
+// detector over 5-minute-binned minimum latencies. Given cutoff length l
+// (deployment value 12 bins = 1 hour) the detector:
+//   1. estimates the series' average variance sigma^2 as the mean variance
+//      over a moving window of length l,
+//   2. derives the minimum mean difference Delta between two adjacent
+//      length-l regimes that is significant under Student's t at 95%,
+//   3. computes Huber-weighted means (tuning parameter P, deployment P=1)
+//      of the two regimes flanking every candidate boundary and marks a
+//      level shift where their difference exceeds Delta and is a local
+//      maximum,
+//   4. segments the series at the shifts and reports maximal runs of
+//      elevated segments (level above the baseline segment by >= Delta/2)
+//      as congestion episodes of duration >= l/2 bins.
+// The paper ran this weekly to trigger reactive loss probing (§3.3).
+#pragma once
+
+#include <vector>
+
+#include "stats/timeseries.h"
+
+namespace manic::infer {
+
+using stats::TimeSec;
+
+struct LevelShiftConfig {
+  int cutoff_len = 12;      // l: regime length in bins (12 x 5 min = 1 h)
+  double huber_p = 1.0;     // P: outlier tolerance in standard deviations
+  double alpha = 0.05;      // significance level for the t-test threshold
+  TimeSec bin_width = 300;  // seconds per bin (5 minutes)
+  // Minimum level elevation (ms) above the baseline for a segment to count
+  // as congested. The statistical Delta alone admits sub-millisecond
+  // "shifts" on long low-noise series (multiple-comparison effect); real
+  // queueing episodes move latency by milliseconds.
+  double min_elevation_ms = 3.0;
+};
+
+struct LevelShiftEvent {
+  TimeSec start = 0;            // inclusive
+  TimeSec end = 0;              // exclusive
+  double baseline_ms = 0.0;     // series baseline level
+  double elevated_ms = 0.0;     // mean level during the episode
+  double DurationSec() const noexcept { return static_cast<double>(end - start); }
+};
+
+struct LevelShiftResult {
+  std::vector<TimeSec> shift_points;    // boundaries where the level moved
+  std::vector<LevelShiftEvent> events;  // elevated episodes
+  double sigma = 0.0;                   // estimated noise std-dev
+  double delta = 0.0;                   // minimum significant mean difference
+  bool HasCongestion() const noexcept { return !events.empty(); }
+  // Total congested seconds in [t0, t1).
+  double CongestedSeconds(TimeSec t0, TimeSec t1) const noexcept;
+  bool IsCongestedAt(TimeSec t) const noexcept;
+};
+
+// Runs the detector over a series of per-bin minimum latencies (time-binned
+// already, e.g. by TimeSeries::Bin(300, BinAgg::kMin)).
+LevelShiftResult DetectLevelShifts(const stats::TimeSeries& binned_min_rtt,
+                                   const LevelShiftConfig& config = {});
+
+}  // namespace manic::infer

@@ -1,0 +1,160 @@
+#include "infer/rolling.h"
+
+#include <algorithm>
+
+namespace manic::infer {
+
+namespace {
+
+float RowMin(std::span<const float> row) noexcept {
+  float m = std::numeric_limits<float>::infinity();
+  for (const float v : row) {
+    if (!DayGrid::Missing(v)) m = std::min(m, v);
+  }
+  return m;
+}
+
+}  // namespace
+
+RollingAutocorr::RollingAutocorr(AutocorrConfig config)
+    : config_(config),
+      counts_(static_cast<std::size_t>(config.intervals_per_day), 0) {}
+
+void RollingAutocorr::ComputeDayFlags(std::span<const float> far,
+                                      std::span<const float> near,
+                                      std::vector<std::uint8_t>& flags) const {
+  const double far_thr = far_min_ + config_.elevation_ms;
+  const double near_thr = near_min_ + config_.elevation_ms;
+  flags.assign(static_cast<std::size_t>(config_.intervals_per_day), 0);
+  for (int s = 0; s < config_.intervals_per_day; ++s) {
+    const float fv = far[static_cast<std::size_t>(s)];
+    if (DayGrid::Missing(fv) || fv <= far_thr) continue;
+    const float nv = near[static_cast<std::size_t>(s)];
+    if (!DayGrid::Missing(nv) && nv > near_thr) continue;
+    flags[static_cast<std::size_t>(s)] = 1;
+  }
+}
+
+void RollingAutocorr::RecomputeFlags() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  for (std::size_t d = 0; d < far_.size(); ++d) {
+    ComputeDayFlags(far_[d], near_[d], flags_[d]);
+    for (int s = 0; s < config_.intervals_per_day; ++s) {
+      counts_[static_cast<std::size_t>(s)] += flags_[d][static_cast<std::size_t>(s)];
+    }
+  }
+}
+
+void RollingAutocorr::AddDay(std::span<const float> far,
+                             std::span<const float> near) {
+  bool min_dirty = false;
+
+  if (static_cast<int>(far_.size()) >= config_.window_days) {
+    // Evict the oldest day.
+    for (int s = 0; s < config_.intervals_per_day; ++s) {
+      counts_[static_cast<std::size_t>(s)] -=
+          flags_.front()[static_cast<std::size_t>(s)];
+    }
+    const bool held_far_min =
+        static_cast<double>(day_far_min_.front()) <= far_min_;
+    const bool held_near_min =
+        static_cast<double>(day_near_min_.front()) <= near_min_;
+    far_.pop_front();
+    near_.pop_front();
+    flags_.pop_front();
+    day_far_min_.pop_front();
+    day_near_min_.pop_front();
+    if (held_far_min || held_near_min) {
+      far_min_ = std::numeric_limits<double>::infinity();
+      near_min_ = std::numeric_limits<double>::infinity();
+      for (std::size_t d = 0; d < far_.size(); ++d) {
+        far_min_ = std::min(far_min_, static_cast<double>(day_far_min_[d]));
+        near_min_ = std::min(near_min_, static_cast<double>(day_near_min_[d]));
+      }
+      min_dirty = true;
+    }
+  }
+
+  far_.emplace_back(far.begin(), far.end());
+  near_.emplace_back(near.begin(), near.end());
+  day_far_min_.push_back(RowMin(far));
+  day_near_min_.push_back(RowMin(near));
+  if (static_cast<double>(day_far_min_.back()) < far_min_) {
+    far_min_ = day_far_min_.back();
+    min_dirty = true;
+  }
+  if (static_cast<double>(day_near_min_.back()) < near_min_) {
+    near_min_ = day_near_min_.back();
+    min_dirty = true;
+  }
+
+  flags_.emplace_back();
+  if (min_dirty) {
+    RecomputeFlags();
+  } else {
+    ComputeDayFlags(far_.back(), near_.back(), flags_.back());
+    for (int s = 0; s < config_.intervals_per_day; ++s) {
+      counts_[static_cast<std::size_t>(s)] +=
+          flags_.back()[static_cast<std::size_t>(s)];
+    }
+  }
+}
+
+DayClassification RollingAutocorr::Classify() const {
+  DayClassification cls;
+  if (far_.empty()) return cls;
+
+  // Usable-data guard mirroring the batch implementation.
+  std::size_t defined = 0;
+  for (const auto& row : far_) {
+    for (const float v : row) {
+      if (!DayGrid::Missing(v)) ++defined;
+    }
+  }
+  const std::size_t total =
+      far_.size() * static_cast<std::size_t>(config_.intervals_per_day);
+  cls.threshold_ms = far_min_ + config_.elevation_ms;
+  if (defined < total / 4) {
+    cls.reject = RejectReason::kInsufficientData;
+    return cls;
+  }
+
+  const auto det = detail::DetectRecurringWindow(
+      counts_, static_cast<int>(far_.size()),
+      [&](int d, int s) {
+        return flags_[static_cast<std::size_t>(d)]
+                     [static_cast<std::size_t>(s)] != 0;
+      },
+      config_);
+  cls.reject = det.reject;
+  cls.recurring = det.recurring;
+  cls.window_start = det.window_start;
+  cls.window_len = det.window_len;
+  if (!det.recurring) return cls;
+
+  const auto& today = flags_.back();
+  for (int k = 0; k < det.window_len; ++k) {
+    const int s = (det.window_start + k) % config_.intervals_per_day;
+    if (today[static_cast<std::size_t>(s)] != 0) {
+      cls.congested_intervals.push_back(s);
+    }
+  }
+  cls.congested = !cls.congested_intervals.empty();
+  cls.fraction = static_cast<double>(cls.congested_intervals.size()) /
+                 config_.intervals_per_day;
+  return cls;
+}
+
+AutocorrResult RollingAutocorr::AnalyzeBatch() const {
+  DayGrid far(static_cast<int>(far_.size()), config_.intervals_per_day);
+  DayGrid near(static_cast<int>(near_.size()), config_.intervals_per_day);
+  for (std::size_t d = 0; d < far_.size(); ++d) {
+    for (int s = 0; s < config_.intervals_per_day; ++s) {
+      far.Set(static_cast<int>(d), s, far_[d][static_cast<std::size_t>(s)]);
+      near.Set(static_cast<int>(d), s, near_[d][static_cast<std::size_t>(s)]);
+    }
+  }
+  return AnalyzeWindow(far, near, config_);
+}
+
+}  // namespace manic::infer

@@ -1,0 +1,66 @@
+// Incremental (rolling-window) variant of the autocorrelation method, used
+// by the longitudinal benches that classify every day of a 22-month study
+// for ~1000 links: instead of rescanning the 50x96 grid per day, it
+// maintains per-interval elevated-day counts and updates them as days enter
+// and leave the window. Guaranteed (and property-tested) to classify the
+// newest day exactly as the batch AnalyzeWindow would on the same window.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <span>
+
+#include "infer/autocorr.h"
+
+namespace manic::infer {
+
+struct DayClassification {
+  bool recurring = false;       // link shows recurring congestion this window
+  RejectReason reject = RejectReason::kNone;
+  bool congested = false;       // the newest day, inside the recurring window
+  double fraction = 0.0;        // congestion level of the newest day
+  int window_start = 0;
+  int window_len = 0;
+  double threshold_ms = 0.0;
+  // Interval-of-day indices (within the recurring window) that were elevated
+  // on the newest day — the per-interval detail Fig 9's histograms consume.
+  std::vector<int> congested_intervals;
+};
+
+class RollingAutocorr {
+ public:
+  explicit RollingAutocorr(AutocorrConfig config = {});
+
+  // Appends one day of per-interval minimum RTTs (NaN = missing bin) for
+  // the far and near side; evicts the oldest day once the window is full.
+  void AddDay(std::span<const float> far, std::span<const float> near);
+
+  // True once window_days days have been accumulated.
+  bool WindowFull() const noexcept {
+    return static_cast<int>(far_.size()) >= config_.window_days;
+  }
+  int DaysHeld() const noexcept { return static_cast<int>(far_.size()); }
+
+  // Classification of the newest day against the current window.
+  DayClassification Classify() const;
+
+  // Batch-equivalent view of the current window (for tests).
+  AutocorrResult AnalyzeBatch() const;
+
+ private:
+  void RecomputeFlags();
+  void ComputeDayFlags(std::span<const float> far, std::span<const float> near,
+                       std::vector<std::uint8_t>& flags) const;
+
+  AutocorrConfig config_;
+  std::deque<std::vector<float>> far_;
+  std::deque<std::vector<float>> near_;
+  std::deque<std::vector<std::uint8_t>> flags_;  // elevated per interval
+  std::deque<float> day_far_min_;
+  std::deque<float> day_near_min_;
+  std::vector<int> counts_;
+  double far_min_ = std::numeric_limits<double>::infinity();
+  double near_min_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace manic::infer

@@ -1,0 +1,90 @@
+#include "lossprobe/lossprobe.h"
+
+namespace manic::lossprobe {
+
+LossProber::LossProber(SimNetwork& net, VpId vp, tsdb::Database& db,
+                       Config config)
+    : net_(&net),
+      vp_(vp),
+      db_(&db),
+      config_(config),
+      rng_(stats::Rng::HashMix(0x1055, vp)) {
+  vp_name_ = net.topology().vp(vp).name;
+}
+
+std::size_t LossProber::SelectTargets(
+    const std::vector<tslp::TslpTarget>& tslp_targets,
+    const std::set<std::uint32_t>& recently_congested,
+    const std::set<Asn>& static_large_ases) {
+  targets_.clear();
+  const topo::Topology& topo = net_->topology();
+  const Asn host = topo.vp(vp_).host_as;
+  // Each target consumes 2 probes/second (near + far interface).
+  probe::RateBudget budget(config_.pps_budget);
+  for (const tslp::TslpTarget& t : tslp_targets) {
+    if (t.dests.empty()) continue;
+    const auto rel = topo.relationships.Get(host, t.neighbor);
+    const bool eligible_rel =
+        (rel.has_value() && (*rel == topo::Relationship::kPeer ||
+                             *rel == topo::Relationship::kProvider)) ||
+        static_large_ases.contains(t.neighbor);
+    if (!eligible_rel) continue;
+    if (!recently_congested.contains(t.far_addr.value())) continue;
+    if (!budget.Commit(2.0, 1.0)) break;
+    const tslp::TslpDest& d = t.dests.front();
+    targets_.push_back({t.far_addr, d.dst, d.flow, d.far_ttl});
+  }
+  return targets_.size();
+}
+
+double LossProber::WindowLossPct(const LossTarget& target, int ttl,
+                                 TimeSec t) {
+  const sim::FlowId flow{target.flow};
+  if (config_.mode == LossMode::kAggregate) {
+    // Evaluate the probe loss probability at a few instants across the
+    // window (demand noise is per-5-minute already) and draw the lost count
+    // once.
+    const auto exp = net_->ExpectProbe(vp_, target.dst, ttl, flow,
+                                       t + config_.window / 2);
+    if (!exp.reachable) return 100.0;
+    const std::uint32_t lost = rng_.Binomial(
+        static_cast<std::uint32_t>(config_.probes_per_window), exp.loss_prob);
+    return 100.0 * static_cast<double>(lost) /
+           static_cast<double>(config_.probes_per_window);
+  }
+  int lost = 0;
+  for (int i = 0; i < config_.probes_per_window; ++i) {
+    const TimeSec when =
+        t + i * config_.window / config_.probes_per_window;
+    const sim::ProbeReply r = net_->Probe(vp_, target.dst, ttl, flow, when);
+    if (r.outcome != sim::ProbeOutcome::kTtlExpired) ++lost;
+  }
+  return 100.0 * static_cast<double>(lost) /
+         static_cast<double>(config_.probes_per_window);
+}
+
+LossProber::WindowLoss LossProber::MeasureWindow(const LossTarget& target,
+                                                 TimeSec t) {
+  WindowLoss w;
+  w.near_pct = WindowLossPct(target, target.far_ttl - 1, t);
+  w.far_pct = WindowLossPct(target, target.far_ttl, t);
+  return w;
+}
+
+void LossProber::RunCampaign(TimeSec t0, TimeSec t1) {
+  for (TimeSec t = t0; t < t1; t += config_.window) {
+    for (const LossTarget& target : targets_) {
+      const WindowLoss w = MeasureWindow(target, t);
+      db_->Write(kMeasurementLoss,
+                 tslp::TslpScheduler::Tags(vp_name_, target.far_addr,
+                                           tslp::kSideNear),
+                 t, w.near_pct);
+      db_->Write(kMeasurementLoss,
+                 tslp::TslpScheduler::Tags(vp_name_, target.far_addr,
+                                           tslp::kSideFar),
+                 t, w.far_pct);
+    }
+  }
+}
+
+}  // namespace manic::lossprobe

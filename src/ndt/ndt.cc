@@ -1,0 +1,102 @@
+#include "ndt/ndt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/sim_time.h"
+
+namespace manic::ndt {
+
+NdtClient::NdtClient(SimNetwork& net, VpId vp, Config config)
+    : net_(&net),
+      vp_(vp),
+      config_(config),
+      rng_(stats::Rng::HashMix(0x4E44, vp)) {}
+
+double NdtClient::MathisThroughputMbps(double rtt_ms, double loss_prob,
+                                       double mss_bytes, double cap_mbps) {
+  if (rtt_ms <= 0.0) return cap_mbps;
+  const double p = std::max(loss_prob, 1e-6);
+  const double rtt_s = rtt_ms / 1e3;
+  const double tput_bps = mss_bytes * 8.0 / (rtt_s * std::sqrt(2.0 * p / 3.0));
+  return std::min(cap_mbps, tput_bps / 1e6);
+}
+
+bool NdtClient::TestDueAt(TimeSec t, int vp_utc_offset_hours) {
+  const double hour = sim::LocalHour(t, vp_utc_offset_hours);
+  const TimeSec sod = sim::SecondOfDayUtc(
+      t + static_cast<TimeSec>(vp_utc_offset_hours) * sim::kSecPerHour);
+  const bool peak = hour >= 17.0 && hour < 23.0;
+  const TimeSec cadence = peak ? 15 * sim::kSecPerMin : sim::kSecPerHour;
+  return sod % cadence == 0;
+}
+
+NdtResult NdtClient::RunTest(const NdtServer& server, TimeSec t,
+                             const std::set<std::uint32_t>& known_far_addrs) {
+  NdtResult result;
+  result.when = t;
+  result.server = server.addr;
+  const sim::FlowId flow{config_.flow};
+
+  double down_acc = 0.0, up_acc = 0.0, rtt_acc = 0.0;
+  int ok_samples = 0;
+  for (int i = 0; i < config_.samples_per_test; ++i) {
+    const TimeSec when =
+        t + static_cast<TimeSec>(i * config_.test_duration_s /
+                                 std::max(1, config_.samples_per_test - 1));
+    const sim::PathMetrics m = net_->MetricsFor(vp_, server.addr, flow, when);
+    if (!m.reachable) continue;
+    ++ok_samples;
+    rtt_acc += m.rtt_ms;
+    down_acc += MathisThroughputMbps(m.rtt_ms, m.loss_down, config_.mss_bytes,
+                                     config_.access_plan_mbps);
+    up_acc += MathisThroughputMbps(m.rtt_ms, m.loss_up, config_.mss_bytes,
+                                   config_.access_plan_mbps);
+  }
+  if (ok_samples == 0) return result;
+  const double noise = std::exp(rng_.Normal(0.0, config_.noise_sigma));
+  result.ok = true;
+  result.rtt_ms = rtt_acc / ok_samples;
+  result.download_mbps = down_acc / ok_samples * noise;
+  result.upload_mbps = up_acc / ok_samples *
+                       std::exp(rng_.Normal(0.0, config_.noise_sigma));
+
+  // Post-test traceroute: identify the border link on the forward path.
+  probe::Prober prober(*net_, vp_);
+  const probe::TracerouteResult trace = prober.Traceroute(server.addr, flow, t);
+  for (const probe::TracerouteHop& hop : trace.hops) {
+    if (hop.addr && known_far_addrs.contains(hop.addr->value())) {
+      result.forward_link = *hop.addr;
+      break;
+    }
+  }
+  return result;
+}
+
+std::optional<NdtServer> NdtClient::SelectServer(
+    const std::vector<NdtServer>& servers,
+    const std::set<std::uint32_t>& congested_far_addrs, TimeSec t) {
+  probe::Prober prober(*net_, vp_);
+  std::optional<NdtServer> best;
+  double best_rtt = std::numeric_limits<double>::infinity();
+  for (const NdtServer& server : servers) {
+    const probe::TracerouteResult trace =
+        prober.Traceroute(server.addr, sim::FlowId{config_.flow}, t);
+    bool crosses = false;
+    for (const probe::TracerouteHop& hop : trace.hops) {
+      if (hop.addr && congested_far_addrs.contains(hop.addr->value())) {
+        crosses = true;
+        break;
+      }
+    }
+    if (!crosses || !trace.reached) continue;
+    const double rtt = trace.hops.back().rtt_ms;
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best = server;
+    }
+  }
+  return best;
+}
+
+}  // namespace manic::ndt

@@ -1,0 +1,92 @@
+// NDT-style throughput measurement (§3.4): upload/download TCP throughput
+// tests from a VP to a measurement server, server selection via traceroutes
+// so the tested path crosses a border link of interest, and a post-test
+// traceroute identifying the interdomain link on the forward path. TCP
+// steady-state throughput follows the Mathis model
+//     T = MSS / (RTT * sqrt(2p/3))
+// capped by the access plan rate, evaluated at several instants across the
+// 10-second test (TSLP-correlated drops in Table 2 emerge from the path's
+// loss/RTT at test time). Invasive-measurement pacing (every 15 minutes in
+// peak hours, hourly otherwise) is provided by TestDueAt.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "probe/probe.h"
+#include "tsdb/tsdb.h"
+
+namespace manic::ndt {
+
+using sim::SimNetwork;
+using sim::TimeSec;
+using topo::Asn;
+using topo::Ipv4Addr;
+using topo::VpId;
+
+inline constexpr const char* kMeasurementDownload = "ndt_download_mbps";
+inline constexpr const char* kMeasurementUpload = "ndt_upload_mbps";
+
+struct NdtServer {
+  std::string name;
+  Ipv4Addr addr;
+  Asn asn = 0;
+};
+
+struct NdtResult {
+  bool ok = false;
+  double download_mbps = 0.0;
+  double upload_mbps = 0.0;
+  double rtt_ms = 0.0;
+  TimeSec when = 0;
+  Ipv4Addr server;
+  // Far address of the border link the forward path crossed (if it matched
+  // one of the known TSLP links).
+  std::optional<Ipv4Addr> forward_link;
+};
+
+class NdtClient {
+ public:
+  struct Config {
+    double access_plan_mbps = 100.0;  // last-mile cap
+    double mss_bytes = 1460.0;
+    double test_duration_s = 10.0;
+    int samples_per_test = 5;   // instants averaged across the test
+    double noise_sigma = 0.05;  // multiplicative measurement noise
+    std::uint16_t flow = 0x4E44;
+  };
+
+  NdtClient(SimNetwork& net, VpId vp, Config config);
+  NdtClient(SimNetwork& net, VpId vp) : NdtClient(net, vp, Config{}) {}
+
+  // Runs upload+download tests against a server at time t, then a
+  // traceroute to locate the border link crossed (matched against
+  // `known_far_addrs`).
+  NdtResult RunTest(const NdtServer& server, TimeSec t,
+                    const std::set<std::uint32_t>& known_far_addrs = {});
+
+  // Server selection: traceroute toward every candidate; keep servers whose
+  // forward path crosses one of `congested_far_addrs`; among those pick the
+  // lowest-RTT one (the paper picks the server closest to the VP).
+  std::optional<NdtServer> SelectServer(
+      const std::vector<NdtServer>& servers,
+      const std::set<std::uint32_t>& congested_far_addrs, TimeSec t);
+
+  // True when a test is due at time t under the §3.5 pacing: every 15
+  // minutes from 17:00-23:00 VP-local, hourly otherwise.
+  static bool TestDueAt(TimeSec t, int vp_utc_offset_hours);
+
+  // Mathis-model steady-state throughput (Mbps).
+  static double MathisThroughputMbps(double rtt_ms, double loss_prob,
+                                     double mss_bytes, double cap_mbps);
+
+ private:
+  SimNetwork* net_;
+  VpId vp_;
+  Config config_;
+  stats::Rng rng_;
+};
+
+}  // namespace manic::ndt

@@ -1,0 +1,38 @@
+#include "probe/probe.h"
+
+namespace manic::probe {
+
+TracerouteResult Prober::Traceroute(Ipv4Addr dst, FlowId flow, TimeSec t,
+                                    int max_ttl, int attempts, int gap_limit) {
+  TracerouteResult result;
+  result.dst = dst;
+  result.flow = flow;
+  result.when = t;
+  int consecutive_silent = 0;
+  for (int ttl = 1; ttl <= max_ttl; ++ttl) {
+    TracerouteHop hop;
+    hop.ttl = ttl;
+    for (int a = 0; a < attempts; ++a) {
+      const ProbeReply reply = TtlProbe(dst, ttl, flow, t);
+      if (reply.outcome == ProbeOutcome::kLost) continue;
+      hop.addr = reply.responder;
+      hop.rtt_ms = reply.rtt_ms;
+      hop.ip_id = reply.ip_id;
+      if (reply.outcome == ProbeOutcome::kEchoReply) {
+        result.hops.push_back(hop);
+        result.reached = true;
+        return result;
+      }
+      break;
+    }
+    result.hops.push_back(hop);
+    if (hop.addr.has_value()) {
+      consecutive_silent = 0;
+    } else if (++consecutive_silent >= gap_limit) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace manic::probe

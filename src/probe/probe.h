@@ -1,0 +1,96 @@
+// Active probing primitives available to a vantage point: ICMP ping,
+// TTL-limited probes, and Paris-style traceroute (constant flow identifier
+// per destination so ECMP keeps the path stable, §3.1). Also the probing
+// rate budget that the paper's modules respect (TSLP: 100 pps, loss: 150
+// pps per VP).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace manic::probe {
+
+using sim::FlowId;
+using sim::ProbeOutcome;
+using sim::ProbeReply;
+using sim::SimNetwork;
+using sim::TimeSec;
+using topo::Ipv4Addr;
+using topo::VpId;
+
+struct TracerouteHop {
+  int ttl = 0;
+  std::optional<Ipv4Addr> addr;  // nullopt: no response at this TTL
+  double rtt_ms = 0.0;
+  std::uint32_t ip_id = 0;
+};
+
+struct TracerouteResult {
+  Ipv4Addr dst;
+  FlowId flow;
+  TimeSec when = 0;
+  std::vector<TracerouteHop> hops;  // hops[i] has ttl i+1
+  bool reached = false;             // destination echo-replied
+};
+
+// Accounting for a per-VP packets-per-second budget. Probing modules ask
+// whether a sustained rate fits and record what they actually send; the
+// tests assert the budget is never exceeded.
+class RateBudget {
+ public:
+  explicit RateBudget(double pps) noexcept : pps_(pps) {}
+  double pps() const noexcept { return pps_; }
+
+  // Can `count` probes per `interval_s` seconds be sustained on top of the
+  // already-committed rate?
+  bool Fits(double count, double interval_s) const noexcept {
+    return committed_pps_ + count / interval_s <= pps_ + 1e-9;
+  }
+  // Reserve a sustained rate; returns false (and reserves nothing) if it
+  // does not fit.
+  bool Commit(double count, double interval_s) noexcept {
+    if (!Fits(count, interval_s)) return false;
+    committed_pps_ += count / interval_s;
+    return true;
+  }
+  void Release(double count, double interval_s) noexcept {
+    committed_pps_ -= count / interval_s;
+    if (committed_pps_ < 0.0) committed_pps_ = 0.0;
+  }
+  double CommittedPps() const noexcept { return committed_pps_; }
+
+ private:
+  double pps_;
+  double committed_pps_ = 0.0;
+};
+
+class Prober {
+ public:
+  Prober(SimNetwork& net, VpId vp) noexcept : net_(&net), vp_(vp) {}
+
+  VpId vp() const noexcept { return vp_; }
+
+  ProbeReply Ping(Ipv4Addr dst, FlowId flow, TimeSec t) {
+    return net_->Ping(vp_, dst, flow, t);
+  }
+
+  ProbeReply TtlProbe(Ipv4Addr dst, int ttl, FlowId flow, TimeSec t) {
+    return net_->Probe(vp_, dst, ttl, flow, t);
+  }
+
+  // Paris traceroute: per-TTL probes with a constant flow id, `attempts`
+  // tries per hop, halting after `gap_limit` consecutive silent hops or on
+  // reaching the destination.
+  TracerouteResult Traceroute(Ipv4Addr dst, FlowId flow, TimeSec t,
+                              int max_ttl = 32, int attempts = 2,
+                              int gap_limit = 5);
+
+ private:
+  SimNetwork* net_;
+  VpId vp_;
+};
+
+}  // namespace manic::probe

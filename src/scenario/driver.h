@@ -1,0 +1,120 @@
+// The longitudinal study driver: operationalizes the full pipeline of
+// Figure 1 over the 22-month window for every vantage point — bdrmap
+// discovery, per-link TSLP series, rolling autocorrelation classification,
+// multi-VP merging into day-link records — and scores the result against the
+// simulator's ground truth (the "operator feedback" analogue, §5.4).
+//
+// TSLP series for the long window are produced by TslpSynthesizer, which
+// evaluates the same demand/queue models the per-probe simulator uses but
+// one 15-minute bin at a time (the equivalence is tested in
+// test_driver.cc); the focused validation benches run the real per-probe
+// TSLP scheduler instead.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "analysis/daylink.h"
+#include "infer/rolling.h"
+#include "scenario/us_broadband.h"
+
+namespace manic::scenario {
+
+// Synthesizes per-day near/far 15-minute minimum-RTT rows for one
+// (VP, border link) pair directly from the link's demand model.
+class TslpSynthesizer {
+ public:
+  struct Config {
+    double base_missing_prob = 0.01;  // bins lost to probing gaps
+    int samples_per_bin = 6;          // TSLP probes contributing a bin's min
+    double jitter_ms = 0.25;          // spread of the per-bin minimum
+    stats::TimeSec bin_width = 900;
+  };
+
+  TslpSynthesizer(sim::SimNetwork& net, topo::LinkId link,
+                  double base_far_rtt_ms, double base_near_rtt_ms,
+                  std::uint64_t noise_key, Config config);
+  TslpSynthesizer(sim::SimNetwork& net, topo::LinkId link,
+                  double base_far_rtt_ms, double base_near_rtt_ms,
+                  std::uint64_t noise_key)
+      : TslpSynthesizer(net, link, base_far_rtt_ms, base_near_rtt_ms,
+                        noise_key, Config{}) {}
+
+  // Fills `far` / `near` (each intervals-per-day long) for epoch day `day`.
+  void Day(std::int64_t day, std::vector<float>& far,
+           std::vector<float>& near) const;
+
+ private:
+  sim::SimNetwork* net_;
+  topo::LinkId link_;
+  double base_far_;
+  double base_near_;
+  std::uint64_t noise_key_;
+  Config config_;
+};
+
+// A border link as one VP sees it, with the destination TSLP would probe and
+// the congestion-free baseline RTTs — the shared starting point of every
+// experiment harness.
+struct DiscoveredLink {
+  topo::VpId vp = 0;
+  std::string vp_name;
+  int vp_utc_offset = 0;
+  const InterLinkInfo* info = nullptr;
+  topo::Ipv4Addr far_addr;
+  topo::Ipv4Addr dest;
+  std::uint16_t flow = 0;
+  int far_ttl = 0;
+  double base_far_ms = 0.0;
+  double base_near_ms = 0.0;
+};
+
+// Runs bdrmap from `vp` at time t and resolves the discovered borders against
+// the world's interdomain link inventory (customer and tier-1 mesh links are
+// dropped).
+std::vector<DiscoveredLink> DiscoverVpLinks(UsBroadband& world, topo::VpId vp,
+                                            stats::TimeSec t);
+
+struct StudyOptions {
+  int days = -1;          // default: the full 22-month window
+  int warmup_days = 50;   // classification needs a full window first
+  infer::AutocorrConfig autocorr;
+  std::uint64_t seed = 99;
+  // Restrict to N vantage points (0 = all); tests use a subset for speed.
+  std::size_t max_vps = 0;
+  // Visibility churn (§6: "the population of links varies, as our
+  // visibility of interdomain links is dynamic"): this fraction of VP-link
+  // pairs either appears late or disappears early in the study window,
+  // deterministically per (seed, vp, link).
+  double churn_fraction = 0.3;
+};
+
+struct StudyResult {
+  analysis::DayLinkTable day_links;
+  // Fig 9 inputs: one histogram per Comcast VP plus the consolidated one
+  // (in Pacific time, as in the paper's bottom panel).
+  std::map<std::string, analysis::TimeOfDayHistogram> comcast_vp_hists;
+  analysis::TimeOfDayHistogram comcast_consolidated;
+  std::size_t vp_link_pairs = 0;
+  std::size_t links_observed = 0;
+  std::uint64_t probes_for_discovery = 0;
+  // Link-population dynamics per access ISP: distinct links observed at any
+  // point of the study vs. links still visible during the final study month
+  // (the paper's "973 links since March 2016 / 345 in December 2017").
+  std::map<topo::Asn, int> links_ever_by_access;
+  std::map<topo::Asn, int> links_final_month_by_access;
+  // Day-link confusion matrix vs ground truth (>= 4% congested), the
+  // operator-validation analogue.
+  long long truth_tp = 0, truth_fp = 0, truth_fn = 0, truth_tn = 0;
+  double TruthAccuracy() const noexcept {
+    const long long total = truth_tp + truth_fp + truth_fn + truth_tn;
+    return total == 0 ? 0.0
+                      : static_cast<double>(truth_tp + truth_tn) /
+                            static_cast<double>(total);
+  }
+};
+
+StudyResult RunLongitudinalStudy(UsBroadband& world,
+                                 const StudyOptions& options = {});
+
+}  // namespace manic::scenario

@@ -1,0 +1,132 @@
+#include "scenario/small.h"
+
+#include "topo/ipv4.h"
+
+namespace manic::scenario {
+
+using topo::Ipv4Addr;
+using topo::Prefix;
+
+namespace {
+
+Prefix P(std::uint8_t a, std::uint8_t b, int len) {
+  return Prefix(Ipv4Addr(a, b, 0, 0), len);
+}
+
+}  // namespace
+
+SmallScenario MakeSmallScenario(const SmallScenarioOptions& options) {
+  SmallScenario s;
+  s.topo = std::make_unique<topo::Topology>();
+  topo::Topology& t = *s.topo;
+
+  // --- ASes, address space (infrastructure pools are announced too, as in
+  // the real Internet, so traceroute hops are annotatable) ----------------
+  t.AddAs(SmallScenario::kAccess, "AccessNet");
+  t.AddAs(SmallScenario::kAccessSibling, "AccessNet-East");
+  t.AddAs(SmallScenario::kContent, "ContentCo");
+  t.AddAs(SmallScenario::kTransit, "TransitCo");
+  t.AddAs(SmallScenario::kStubCustomer, "StubLeaf");
+  const topo::Asn kCdn = 500;
+  t.AddAs(kCdn, "CdnAtIx");
+  const topo::Asn kVideoCdn = 600;  // peers only at LAX (successor diversity)
+  t.AddAs(kVideoCdn, "VideoCdn");
+
+  auto give_space = [&](Asn asn, std::uint8_t net, std::uint8_t infra) {
+    t.Announce(asn, P(10, net, 16));
+    t.AddInfrastructure(asn, P(172, infra, 16));
+    t.Announce(asn, P(172, infra, 16));
+  };
+  give_space(SmallScenario::kAccess, 100, 16);
+  give_space(SmallScenario::kAccessSibling, 101, 21);
+  give_space(SmallScenario::kContent, 200, 17);
+  give_space(SmallScenario::kTransit, 30, 18);
+  give_space(SmallScenario::kStubCustomer, 40, 19);
+  give_space(kCdn, 50, 22);
+  give_space(kVideoCdn, 60, 23);
+
+  // The sibling shares AccessNet's organization (manually curated, §3.2).
+  t.orgs.Override(SmallScenario::kAccessSibling, "AccessNet");
+
+  // --- relationships -------------------------------------------------------
+  t.relationships.SetProviderCustomer(SmallScenario::kTransit,
+                                      SmallScenario::kAccess);
+  t.relationships.SetProviderCustomer(SmallScenario::kTransit,
+                                      SmallScenario::kContent);
+  t.relationships.SetPeers(SmallScenario::kAccess, SmallScenario::kContent);
+  t.relationships.SetProviderCustomer(SmallScenario::kContent,
+                                      SmallScenario::kStubCustomer);
+  t.relationships.SetProviderCustomer(SmallScenario::kTransit,
+                                      SmallScenario::kStubCustomer);
+  t.relationships.SetPeers(SmallScenario::kAccess, kCdn);
+  t.relationships.SetProviderCustomer(SmallScenario::kTransit, kCdn);
+  t.relationships.SetPeers(SmallScenario::kAccess, kVideoCdn);
+  t.relationships.SetProviderCustomer(SmallScenario::kTransit, kVideoCdn);
+  t.relationships.SetProviderCustomer(SmallScenario::kAccess,
+                                      SmallScenario::kAccessSibling);
+
+  // --- routers --------------------------------------------------------------
+  s.access_core = t.AddRouter(SmallScenario::kAccess, "acc-core", "nyc", -5);
+  s.access_nyc = t.AddRouter(SmallScenario::kAccess, "acc-br-nyc", "nyc", -5);
+  s.access_lax = t.AddRouter(SmallScenario::kAccess, "acc-br-lax", "lax", -8);
+  s.content_nyc = t.AddRouter(SmallScenario::kContent, "cdn-nyc", "nyc", -5);
+  s.content_lax = t.AddRouter(SmallScenario::kContent, "cdn-lax", "lax", -8);
+  s.transit_r = t.AddRouter(SmallScenario::kTransit, "tr-nyc", "nyc", -5);
+  const RouterId sibling_r =
+      t.AddRouter(SmallScenario::kAccessSibling, "sib-bos", "bos", -5);
+  const RouterId stub_r =
+      t.AddRouter(SmallScenario::kStubCustomer, "stub-1", "chi", -6);
+  const RouterId cdn_r = t.AddRouter(kCdn, "cdnix-1", "nyc", -5);
+  const RouterId vcdn_r = t.AddRouter(kVideoCdn, "vcdn-lax", "lax", -8);
+
+  t.ConnectIntra(s.access_core, s.access_nyc, 0.4);
+  t.ConnectIntra(s.access_core, s.access_lax, 12.0);
+  t.ConnectIntra(s.content_nyc, s.content_lax, 12.0);
+
+  const std::optional<Asn> addr_from =
+      options.number_links_from_access
+          ? std::optional<Asn>(SmallScenario::kAccess)
+          : std::optional<Asn>(SmallScenario::kContent);
+  s.peering_nyc =
+      t.ConnectInter(s.access_nyc, s.content_nyc, 1.0, 100.0, addr_from);
+  s.peering_lax =
+      t.ConnectInter(s.access_lax, s.content_lax, 1.0, 100.0, addr_from);
+  s.transit_access = t.ConnectInter(s.transit_r, s.access_core, 1.5, 200.0);
+  s.transit_content = t.ConnectInter(s.transit_r, s.content_nyc, 1.5, 200.0);
+  t.ConnectInter(s.content_nyc, stub_r, 4.0, 50.0);
+  t.ConnectInter(s.transit_r, stub_r, 4.0, 50.0);
+  t.ConnectInter(s.access_core, sibling_r, 2.0, 100.0);
+  t.ConnectAtIxp(s.access_nyc, cdn_r, P(198, 32, 24), "SIM-IX", 1.0, 100.0);
+  // VideoCdn numbers its own side of the LAX peering: acc-br-lax then has
+  // successors in two distinct ASes, the evidence bdrmap's reassignment
+  // heuristic needs to keep near-side border routers host-owned.
+  t.ConnectInter(vcdn_r, s.access_lax, 1.0, 100.0, kVideoCdn);
+
+  s.vp = t.AddVantagePoint("vp-nyc", SmallScenario::kAccess, s.access_core);
+
+  // --- dynamics --------------------------------------------------------------
+  s.net = std::make_unique<sim::SimNetwork>(t, options.seed);
+
+  sim::LinkDemand congested;
+  congested.default_peak_utilization = 0.55;
+  congested.regimes.push_back({options.regime_start_day, options.regime_end_day,
+                               options.congested_peak_utilization, -1.0});
+  // peering_nyc was created as (access_nyc = a, content_nyc = b): the
+  // congested direction content->access is B->A.
+  s.net->SetDemand(s.peering_nyc, sim::Direction::kBtoA, congested);
+
+  sim::LinkDemand mild;
+  mild.default_peak_utilization = 0.40;
+  s.net->SetDemand(s.peering_nyc, sim::Direction::kAtoB, mild);
+  s.net->SetDemand(s.peering_lax, sim::Direction::kBtoA, mild);
+  s.net->SetDemand(s.peering_lax, sim::Direction::kAtoB, mild);
+
+  sim::LinkQueueModel queue;
+  queue.buffer_ms = options.queue_buffer_ms;
+  s.net->SetQueueModel(s.peering_nyc, queue);
+  s.net->SetQueueModel(s.peering_lax, queue);
+
+  return s;
+}
+
+}  // namespace manic::scenario

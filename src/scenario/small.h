@@ -1,0 +1,57 @@
+// Small, fully-specified scenarios used by unit/integration tests, the
+// examples, and the focused validation benches: one access network hosting a
+// VP, one content provider peered over parallel links, one transit provider,
+// and a stub customer AS. The content->access direction of the first peering
+// link carries an evening congestion regime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace manic::scenario {
+
+using topo::Asn;
+using topo::LinkId;
+using topo::RouterId;
+using topo::VpId;
+
+struct SmallScenario {
+  std::unique_ptr<topo::Topology> topo;
+  std::unique_ptr<sim::SimNetwork> net;
+
+  // ASNs
+  static constexpr Asn kAccess = 100;
+  static constexpr Asn kContent = 200;
+  static constexpr Asn kTransit = 300;
+  static constexpr Asn kStubCustomer = 400;
+  static constexpr Asn kAccessSibling = 101;  // sibling of the host AS
+
+  VpId vp = 0;
+  RouterId access_nyc = 0, access_lax = 0, access_core = 0;
+  RouterId content_nyc = 0, content_lax = 0;
+  RouterId transit_r = 0;
+  LinkId peering_nyc = 0;   // access<->content in NYC (congested regime)
+  LinkId peering_lax = 0;   // access<->content in LAX (clean)
+  LinkId transit_access = 0;
+  LinkId transit_content = 0;
+};
+
+struct SmallScenarioOptions {
+  std::uint64_t seed = 42;
+  // Peak utilization of the content->access direction of peering_nyc.
+  double congested_peak_utilization = 1.3;
+  // Days (from epoch) the regime is active; default: always.
+  std::int64_t regime_start_day = 0;
+  std::int64_t regime_end_day = 100000;
+  // Address the interdomain links from the access side (the hard
+  // border-mapping case) or the content side.
+  bool number_links_from_access = true;
+  double queue_buffer_ms = 45.0;
+};
+
+SmallScenario MakeSmallScenario(const SmallScenarioOptions& options = {});
+
+}  // namespace manic::scenario

@@ -1,0 +1,101 @@
+// The synthetic U.S. broadband ecosystem of §6: eight access ISPs, the nine
+// frequently-congested transit & content providers of Table 4 (plus Cogent
+// for Table 2), filler T&CPs to reach each ISP's observed-neighbor count
+// (Table 3), customer stubs, 29 vantage points, and a 22-month schedule of
+// per-pair congestion episodes encoding the paper's §6.2 narrative (e.g.
+// CenturyLink-Google congested nearly the whole window; Comcast-Google
+// dissipating in July 2017 as Comcast-Tata/NTT rise). ASNs are the real
+// ones; everything else (topology, addresses, traffic) is synthetic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace manic::scenario {
+
+using topo::Asn;
+using topo::LinkId;
+using topo::VpId;
+
+struct UsBroadbandOptions {
+  std::uint64_t seed = 2016;
+  // Scales the number of parallel links per AS pair (1.0 = default study
+  // size, ~500 interdomain links; tests use smaller).
+  double link_scale = 1.0;
+  int customers_per_access = 6;
+  int filler_pool = 40;
+  bool add_vantage_points = true;
+};
+
+struct InterLinkInfo {
+  LinkId link = topo::kInvalidId;
+  Asn access = 0;
+  Asn tcp = 0;
+  std::string city;
+  bool scheduled_congested = false;  // covered by at least one episode
+};
+
+// One congestion episode for an (access, tcp) pair: study months [m0, m1),
+// affecting the first ceil(link_frac * n) parallel links, with the peak-hour
+// utilization ramping peak0 -> peak1 across the episode.
+struct Episode {
+  Asn access = 0;
+  Asn tcp = 0;
+  int m0 = 0;
+  int m1 = 0;
+  double link_frac = 0.0;
+  double peak0 = 1.0;
+  double peak1 = 1.0;
+};
+
+struct UsBroadband {
+  std::unique_ptr<topo::Topology> topo;
+  std::unique_ptr<sim::SimNetwork> net;
+
+  // Access ISPs (real-world ASNs, synthetic everything else).
+  static constexpr Asn kComcast = 7922;
+  static constexpr Asn kAtt = 7018;
+  static constexpr Asn kVerizon = 701;
+  static constexpr Asn kCenturyLink = 209;
+  static constexpr Asn kCox = 22773;
+  static constexpr Asn kTwc = 7843;
+  static constexpr Asn kCharter = 20115;
+  static constexpr Asn kRcn = 6079;
+  // T&CPs.
+  static constexpr Asn kGoogle = 15169;
+  static constexpr Asn kNetflix = 2906;
+  static constexpr Asn kTata = 6453;
+  static constexpr Asn kNtt = 2914;
+  static constexpr Asn kXo = 2828;
+  static constexpr Asn kLevel3 = 3356;
+  static constexpr Asn kVodafone = 1273;
+  static constexpr Asn kTelia = 1299;
+  static constexpr Asn kZayo = 6461;
+  static constexpr Asn kCogent = 174;
+
+  std::vector<Asn> access_ases;
+  std::vector<Asn> named_tcps;
+  std::set<Asn> tcp_set;  // named + fillers: the "reduced set" of §6
+  std::vector<VpId> vps;
+  std::map<Asn, std::vector<VpId>> vps_by_access;
+  std::vector<InterLinkInfo> interdomain;  // access<->tcp links only
+  std::vector<Episode> schedule;
+
+  const InterLinkInfo* FindLink(LinkId link) const noexcept;
+  std::vector<const InterLinkInfo*> LinksOfPair(Asn access, Asn tcp) const;
+  std::string AsName(Asn asn) const;
+};
+
+UsBroadband MakeUsBroadband(const UsBroadbandOptions& options = {});
+
+// The paper-narrative schedule (exposed for the EXPERIMENTS.md ground-truth
+// column and for tests).
+std::vector<Episode> UsBroadbandSchedule();
+
+}  // namespace manic::scenario

@@ -1,0 +1,66 @@
+#include "sim/demand.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace manic::sim {
+
+namespace {
+
+double Gaussian(double x, double mu, double sigma) noexcept {
+  // Wrap-around distance on the 24h circle.
+  double d = std::fabs(x - mu);
+  d = std::min(d, 24.0 - d);
+  return std::exp(-d * d / (2.0 * sigma * sigma));
+}
+
+}  // namespace
+
+double DiurnalShape::At(double local_hour, bool weekend) const noexcept {
+  const double peak = weekend ? peak_hour + weekend_peak_shift_h : peak_hour;
+  double s = trough;
+  s += (1.0 - trough) * Gaussian(local_hour, peak, peak_width_h);
+  s += morning_bump * Gaussian(local_hour, 10.0, 2.0);
+  if (weekend) s *= weekend_scale;
+  return std::clamp(s, 0.01, 1.05);
+}
+
+double LinkDemand::PeakTarget(std::int64_t day) const noexcept {
+  double target = default_peak_utilization;
+  for (const DemandRegime& r : regimes) {
+    if (day >= r.start_day && day < r.end_day) {
+      if (r.peak_utilization_end >= 0.0 && r.end_day > r.start_day) {
+        const double frac = static_cast<double>(day - r.start_day) /
+                            static_cast<double>(r.end_day - r.start_day);
+        target = r.peak_utilization +
+                 frac * (r.peak_utilization_end - r.peak_utilization);
+      } else {
+        target = r.peak_utilization;
+      }
+    }
+  }
+  return target;
+}
+
+double LinkDemand::MeanUtilization(TimeSec t,
+                                   int utc_offset_hours) const noexcept {
+  const std::int64_t day = DayOf(t);
+  const double hour = LocalHour(t, utc_offset_hours);
+  const bool weekend = IsWeekend(LocalWeekday(t, utc_offset_hours));
+  return PeakTarget(day) * shape.At(hour, weekend);
+}
+
+double LinkDemand::Utilization(TimeSec t, int utc_offset_hours) const noexcept {
+  const double mean = MeanUtilization(t, utc_offset_hours);
+  if (noise_sigma <= 0.0) return mean;
+  // Reproducible noise keyed by (link seed, 5-minute slot): two independent
+  // uniform draws approximate a normal via sum-of-uniforms; cheap and smooth
+  // enough for multiplicative load noise.
+  const std::uint64_t slot = static_cast<std::uint64_t>(t / (5 * kSecPerMin));
+  const double u1 = stats::Rng::HashToUnit(noise_seed, slot, 0x51);
+  const double u2 = stats::Rng::HashToUnit(noise_seed, slot, 0x52);
+  const double gauss = (u1 + u2 - 1.0) * 1.732;  // ~N(0,0.5) -> scaled below
+  return std::max(0.0, mean * (1.0 + noise_sigma * gauss * 1.414));
+}
+
+}  // namespace manic::sim

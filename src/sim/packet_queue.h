@@ -1,0 +1,58 @@
+// Event-driven packet-level FIFO queue with a finite buffer: the reference
+// model used to validate the closed-form fluid approximation in
+// link_model.h, and to demonstrate (tests + micro benchmark) that probe
+// packets sampled through a standing queue see the delay plateau + loss
+// onset the paper's method keys on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace manic::sim {
+
+struct PacketQueueConfig {
+  double capacity_bps = 10e9;      // link rate
+  double packet_bytes = 1500.0;    // background packet size
+  double buffer_bytes = 62.5e6;    // => 50 ms drain time at 10 Gbps
+  bool poisson_arrivals = true;    // exponential vs deterministic interarrival
+};
+
+struct PacketQueueStats {
+  std::uint64_t arrivals = 0;
+  std::uint64_t drops = 0;
+  double mean_queue_delay_ms = 0.0;  // over accepted packets
+  double max_queue_delay_ms = 0.0;
+  double LossRate() const noexcept {
+    return arrivals == 0 ? 0.0
+                         : static_cast<double>(drops) /
+                               static_cast<double>(arrivals);
+  }
+};
+
+// Simulates background traffic at `utilization` x capacity for `duration_s`
+// seconds and reports queue statistics. Also supports injecting probe
+// packets at fixed intervals and reporting their individual delays/drops.
+class PacketQueueSim {
+ public:
+  PacketQueueSim(PacketQueueConfig config, std::uint64_t seed) noexcept
+      : config_(config), rng_(seed) {}
+
+  // Runs background-only traffic; returns aggregate stats.
+  PacketQueueStats Run(double utilization, double duration_s);
+
+  // Runs background traffic and injects one probe every `probe_interval_s`.
+  // Probe delays (ms) for delivered probes are appended to `probe_delays`;
+  // dropped probe count returned via `probe_drops`.
+  PacketQueueStats RunWithProbes(double utilization, double duration_s,
+                                 double probe_interval_s,
+                                 std::vector<double>* probe_delays,
+                                 std::uint64_t* probe_drops);
+
+ private:
+  PacketQueueConfig config_;
+  stats::Rng rng_;
+};
+
+}  // namespace manic::sim

@@ -1,0 +1,162 @@
+#include "sim/routing.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+
+namespace manic::sim {
+
+using topo::Relationship;
+
+void BgpRouting::Compute(Asn origin, OriginTable& table) const {
+  const auto& rel = topo_->relationships;
+
+  // Phase 1 — customer routes: propagate from the origin upward along
+  // customer->provider edges (BFS, so lengths are minimal).
+  std::map<Asn, AsRouteEntry>& e = table.entries;
+  e[origin] = {RouteType::kOrigin, 0, origin};
+  std::deque<Asn> frontier{origin};
+  while (!frontier.empty()) {
+    const Asn cur = frontier.front();
+    frontier.pop_front();
+    const int next_len = e[cur].length + 1;
+    for (const Asn provider : rel.Providers(cur)) {
+      auto it = e.find(provider);
+      const bool better =
+          it == e.end() ||
+          (it->second.type == RouteType::kCustomer &&
+           (next_len < it->second.length ||
+            (next_len == it->second.length && cur < it->second.next_hop)));
+      if (it == e.end()) {
+        e[provider] = {RouteType::kCustomer, next_len, cur};
+        frontier.push_back(provider);
+      } else if (better && it->second.type == RouteType::kCustomer) {
+        // Equal-or-better length found later can only happen on ties because
+        // BFS visits in length order; update the tie-break only.
+        if (next_len == it->second.length && cur < it->second.next_hop) {
+          it->second.next_hop = cur;
+        }
+      }
+    }
+  }
+
+  // Phase 2 — peer routes: one peer hop from any AS holding a
+  // customer/origin route.
+  std::vector<std::pair<Asn, AsRouteEntry>> peer_routes;
+  for (const auto& [asn, entry] : e) {
+    if (entry.type != RouteType::kOrigin && entry.type != RouteType::kCustomer) {
+      continue;
+    }
+    for (const Asn peer : rel.Peers(asn)) {
+      if (e.contains(peer)) continue;  // customer route wins at `peer`
+      peer_routes.push_back({peer, {RouteType::kPeer, entry.length + 1, asn}});
+    }
+  }
+  for (auto& [asn, entry] : peer_routes) {
+    const auto it = e.find(asn);
+    if (it == e.end() || (it->second.type == RouteType::kPeer &&
+                          (entry.length < it->second.length ||
+                           (entry.length == it->second.length &&
+                            entry.next_hop < it->second.next_hop)))) {
+      e[asn] = entry;
+    }
+  }
+
+  // Phase 3 — provider routes: Dijkstra descending provider->customer edges
+  // from every AS that already holds a route; an AS exports its chosen route
+  // (of any type) to its customers.
+  using Item = std::pair<int, Asn>;  // (length at the customer, customer)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  std::map<Asn, AsRouteEntry> down;
+  auto relax = [&](Asn from, int from_len) {
+    for (const Asn customer : rel.Customers(from)) {
+      if (e.contains(customer)) continue;  // better class of route exists
+      const int len = from_len + 1;
+      const auto it = down.find(customer);
+      if (it == down.end() || len < it->second.length ||
+          (len == it->second.length && from < it->second.next_hop)) {
+        down[customer] = {RouteType::kProvider, len, from};
+        heap.push({len, customer});
+      }
+    }
+  };
+  for (const auto& [asn, entry] : e) relax(asn, entry.length);
+  while (!heap.empty()) {
+    const auto [len, asn] = heap.top();
+    heap.pop();
+    const auto it = down.find(asn);
+    if (it == down.end() || it->second.length != len) continue;
+    relax(asn, len);
+  }
+  for (const auto& [asn, entry] : down) e[asn] = entry;
+}
+
+const BgpRouting::OriginTable& BgpRouting::TableFor(Asn origin) const {
+  auto it = per_origin_.find(origin);
+  if (it == per_origin_.end()) {
+    it = per_origin_.emplace(origin, OriginTable{}).first;
+    Compute(origin, it->second);
+  }
+  return it->second;
+}
+
+AsRouteEntry BgpRouting::Route(Asn src, Asn origin) const {
+  const OriginTable& table = TableFor(origin);
+  const auto it = table.entries.find(src);
+  return it == table.entries.end() ? AsRouteEntry{} : it->second;
+}
+
+std::vector<Asn> BgpRouting::AsPath(Asn src, Asn origin) const {
+  std::vector<Asn> path;
+  const OriginTable& table = TableFor(origin);
+  Asn cur = src;
+  for (int guard = 0; guard < 64; ++guard) {
+    const auto it = table.entries.find(cur);
+    if (it == table.entries.end()) return {};
+    path.push_back(cur);
+    if (it->second.type == RouteType::kOrigin) return path;
+    cur = it->second.next_hop;
+  }
+  return {};  // should not happen (loop guard)
+}
+
+std::optional<std::vector<RouterId>> BgpRouting::IntraPath(RouterId from,
+                                                           RouterId to) const {
+  if (from == to) return std::vector<RouterId>{from};
+  const Asn asn = topo_->router(from).owner;
+  if (topo_->router(to).owner != asn) return std::nullopt;
+  // BFS over intra-AS links.
+  std::map<RouterId, RouterId> parent;
+  std::deque<RouterId> frontier{from};
+  parent[from] = from;
+  while (!frontier.empty()) {
+    const RouterId cur = frontier.front();
+    frontier.pop_front();
+    for (const LinkId lid : topo_->LinksOf(cur, topo::LinkKind::kIntra)) {
+      const RouterId next = topo_->PeerRouter(topo_->link(lid), cur);
+      if (next == topo::kInvalidId || parent.contains(next)) continue;
+      parent[next] = cur;
+      if (next == to) {
+        std::vector<RouterId> path{to};
+        RouterId walk = to;
+        while (walk != from) {
+          walk = parent[walk];
+          path.push_back(walk);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+int BgpRouting::IntraDistance(RouterId from, RouterId to) const {
+  const auto path = IntraPath(from, to);
+  if (!path) return std::numeric_limits<int>::max() / 4;
+  return static_cast<int>(path->size()) - 1;
+}
+
+}  // namespace manic::sim

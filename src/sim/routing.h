@@ -1,0 +1,70 @@
+// AS-level route computation following the standard Gao-Rexford model the
+// paper's ecosystem obeys: routes learned from customers are exported to
+// everyone; routes learned from peers/providers are exported only to
+// customers. Selection prefers customer > peer > provider routes, then
+// shortest AS path, then lowest next-hop ASN. Intra-AS router paths are
+// shortest-hop (BFS); egress selection among parallel interdomain links is
+// hot-potato (closest to the ingress router) with deterministic per-flow
+// ECMP tie-breaking — the mechanism that makes TSLP pin its ICMP checksum
+// (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace manic::sim {
+
+using topo::Asn;
+using topo::LinkId;
+using topo::RouterId;
+
+enum class RouteType : std::uint8_t { kNone, kOrigin, kCustomer, kPeer, kProvider };
+
+struct AsRouteEntry {
+  RouteType type = RouteType::kNone;
+  int length = 0;       // AS hops to the origin
+  Asn next_hop = 0;     // neighbor AS the route was learned from
+  bool Reachable() const noexcept { return type != RouteType::kNone; }
+};
+
+class BgpRouting {
+ public:
+  explicit BgpRouting(const topo::Topology& topo) : topo_(&topo) {}
+
+  // Best route entry at `src` toward `origin` (computed lazily, cached).
+  AsRouteEntry Route(Asn src, Asn origin) const;
+
+  // Full AS path src..origin; empty when unreachable.
+  std::vector<Asn> AsPath(Asn src, Asn origin) const;
+
+  // Drops all cached routing state (after topology/relationship changes).
+  void Invalidate() noexcept {
+    per_origin_.clear();
+    ++epoch_;
+  }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  // Shortest intra-AS router path (inclusive of both endpoints); both
+  // routers must belong to the same AS. nullopt when disconnected.
+  std::optional<std::vector<RouterId>> IntraPath(RouterId from,
+                                                 RouterId to) const;
+  // Hop count of IntraPath, or a large sentinel when disconnected.
+  int IntraDistance(RouterId from, RouterId to) const;
+
+ private:
+  struct OriginTable {
+    std::map<Asn, AsRouteEntry> entries;
+  };
+  const OriginTable& TableFor(Asn origin) const;
+  void Compute(Asn origin, OriginTable& table) const;
+
+  const topo::Topology* topo_;
+  mutable std::map<Asn, OriginTable> per_origin_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace manic::sim

@@ -1,0 +1,61 @@
+#include "sim/sim_time.h"
+
+#include <array>
+
+namespace manic::sim {
+
+namespace {
+
+// Month lengths from 2016-03 onward. Extended past the study window so that
+// scenarios may simulate a little beyond Dec 2017; repeats a non-leap year
+// pattern afterwards (fidelity beyond the window is irrelevant).
+constexpr std::array<int, 34> kMonthDays = {
+    31, 30, 31, 30, 31, 31, 30, 31, 30, 31,          // 2016 Mar-Dec
+    31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31,  // 2017
+    31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31,  // 2018
+};
+
+constexpr std::array<const char*, 12> kMonthNames = {
+    "01", "02", "03", "04", "05", "06", "07", "08", "09", "10", "11", "12"};
+
+}  // namespace
+
+int DaysInStudyMonth(int month_index) noexcept {
+  if (month_index < 0) return 0;
+  if (month_index >= static_cast<int>(kMonthDays.size())) {
+    month_index = (month_index - 10) % 12 + 10;  // repeat the non-leap pattern
+  }
+  return kMonthDays[static_cast<std::size_t>(month_index)];
+}
+
+std::int64_t StudyMonthStartDay(int month_index) noexcept {
+  std::int64_t day = 0;
+  for (int m = 0; m < month_index; ++m) day += DaysInStudyMonth(m);
+  return day;
+}
+
+int StudyMonthOfDay(std::int64_t day) noexcept {
+  if (day < 0) return -1;
+  int m = 0;
+  std::int64_t start = 0;
+  while (true) {
+    const std::int64_t len = DaysInStudyMonth(m);
+    if (day < start + len) return m;
+    start += len;
+    ++m;
+  }
+}
+
+std::string StudyMonthLabel(int month_index) {
+  // month_index 0 => 2016-03.
+  const int absolute = month_index + 2;  // months since 2016-01
+  const int year = 2016 + absolute / 12;
+  const int month = absolute % 12;  // 0 = January
+  return std::to_string(year) + "-" + kMonthNames[static_cast<std::size_t>(month)];
+}
+
+std::int64_t StudyTotalDays() noexcept {
+  return StudyMonthStartDay(kStudyMonths);
+}
+
+}  // namespace manic::sim

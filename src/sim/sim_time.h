@@ -1,0 +1,82 @@
+// Simulation calendar. Simulated time is seconds since the study epoch,
+// 2016-03-01 00:00:00 UTC (the start of the paper's measurement window).
+// The calendar spans the 22 study months (Mar 2016 - Dec 2017) and beyond;
+// helpers convert between seconds, days, months, local hours and weekdays,
+// which the demand model (diurnal/weekly load) and Figure 9 (time-of-day
+// histograms, FCC peak hours) rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stats/timeseries.h"
+
+namespace manic::sim {
+
+using stats::TimeSec;
+
+inline constexpr TimeSec kSecPerMin = 60;
+inline constexpr TimeSec kSecPerHour = 3600;
+inline constexpr TimeSec kSecPerDay = 86400;
+
+// 2016-03-01 is a Tuesday.
+inline constexpr int kEpochWeekday = 2;  // 0 = Sunday
+
+// Day index (UTC) since epoch; negative times floor correctly.
+constexpr std::int64_t DayOf(TimeSec t) noexcept {
+  const std::int64_t d = t / kSecPerDay;
+  return (t % kSecPerDay < 0) ? d - 1 : d;
+}
+
+constexpr TimeSec StartOfDay(std::int64_t day) noexcept {
+  return day * kSecPerDay;
+}
+
+// Second-of-day in UTC, [0, 86400).
+constexpr TimeSec SecondOfDayUtc(TimeSec t) noexcept {
+  TimeSec s = t % kSecPerDay;
+  return s < 0 ? s + kSecPerDay : s;
+}
+
+// Local fractional hour-of-day given a UTC offset in hours, in [0, 24).
+constexpr double LocalHour(TimeSec t, int utc_offset_hours) noexcept {
+  TimeSec s = (t + static_cast<TimeSec>(utc_offset_hours) * kSecPerHour) %
+              kSecPerDay;
+  if (s < 0) s += kSecPerDay;
+  return static_cast<double>(s) / static_cast<double>(kSecPerHour);
+}
+
+// Weekday of the *local* day containing t (0 = Sunday ... 6 = Saturday).
+constexpr int LocalWeekday(TimeSec t, int utc_offset_hours) noexcept {
+  const std::int64_t day =
+      DayOf(t + static_cast<TimeSec>(utc_offset_hours) * kSecPerHour);
+  std::int64_t w = (day + kEpochWeekday) % 7;
+  if (w < 0) w += 7;
+  return static_cast<int>(w);
+}
+
+constexpr bool IsWeekend(int weekday) noexcept {
+  return weekday == 0 || weekday == 6;
+}
+
+// Study months: index 0 = 2016-03 ... index 21 = 2017-12.
+inline constexpr int kStudyMonths = 22;
+
+// Days in study month m (0-based); Feb 2017 has 28 days.
+int DaysInStudyMonth(int month_index) noexcept;
+
+// First epoch-day of study month m.
+std::int64_t StudyMonthStartDay(int month_index) noexcept;
+
+// Study month containing epoch-day d, or -1 before the epoch /
+// kStudyMonths-1 clamped? No: returns the true index, which may be
+// >= kStudyMonths for days beyond Dec 2017 (callers slice as needed).
+int StudyMonthOfDay(std::int64_t day) noexcept;
+
+// "2016-03" style label.
+std::string StudyMonthLabel(int month_index);
+
+// Total days in the 22-month study window.
+std::int64_t StudyTotalDays() noexcept;
+
+}  // namespace manic::sim

@@ -1,0 +1,100 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace manic::stats {
+
+double Mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(std::span<const double> xs) noexcept {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double mu = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = x - mu;
+    ss += d * d;
+  }
+  return ss / static_cast<double>(n - 1);
+}
+
+double StdDev(std::span<const double> xs) noexcept {
+  return std::sqrt(Variance(xs));
+}
+
+double Min(std::span<const double> xs) noexcept {
+  double m = std::numeric_limits<double>::infinity();
+  for (double x : xs) m = std::min(m, x);
+  return m;
+}
+
+double Max(std::span<const double> xs) noexcept {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double x : xs) m = std::max(m, x);
+  return m;
+}
+
+double Quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Median(std::span<const double> xs) { return Quantile(xs, 0.5); }
+
+double EmpiricalCdf::At(double v) const noexcept {
+  if (values.empty()) return 0.0;
+  const auto it = std::upper_bound(values.begin(), values.end(), v);
+  return static_cast<double>(it - values.begin()) /
+         static_cast<double>(values.size());
+}
+
+double EmpiricalCdf::Quantile(double q) const noexcept {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+EmpiricalCdf MakeCdf(std::span<const double> xs) {
+  EmpiricalCdf cdf;
+  cdf.values.assign(xs.begin(), xs.end());
+  std::sort(cdf.values.begin(), cdf.values.end());
+  return cdf;
+}
+
+double PearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys) noexcept {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return 0.0;
+  const double mx = Mean(xs.subspan(0, n));
+  const double my = Mean(ys.subspan(0, n));
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace manic::stats

@@ -1,0 +1,44 @@
+// Descriptive statistics over spans of doubles: moments, order statistics,
+// empirical CDFs. All functions are pure and allocation-free except where a
+// sorted copy is unavoidable (quantiles on unsorted input).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace manic::stats {
+
+double Mean(std::span<const double> xs) noexcept;
+
+// Unbiased sample variance (n-1 denominator). Returns 0 for n < 2.
+double Variance(std::span<const double> xs) noexcept;
+
+double StdDev(std::span<const double> xs) noexcept;
+
+double Min(std::span<const double> xs) noexcept;
+double Max(std::span<const double> xs) noexcept;
+
+// Linear-interpolation quantile, q in [0,1]. Copies and sorts the input.
+double Quantile(std::span<const double> xs, double q);
+
+double Median(std::span<const double> xs);
+
+// Empirical CDF evaluated over sorted unique sample values.
+struct EmpiricalCdf {
+  std::vector<double> values;  // sorted sample values
+  // Fraction of samples <= v.
+  double At(double v) const noexcept;
+  // Value at the given quantile q in [0,1].
+  double Quantile(double q) const noexcept;
+  std::size_t size() const noexcept { return values.size(); }
+};
+
+EmpiricalCdf MakeCdf(std::span<const double> xs);
+
+// Pearson correlation coefficient of two equal-length series; returns 0 when
+// either side is constant or the series are shorter than 2.
+double PearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys) noexcept;
+
+}  // namespace manic::stats

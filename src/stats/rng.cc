@@ -1,0 +1,24 @@
+#include "stats/rng.h"
+
+namespace manic::stats {
+
+std::uint32_t Rng::Binomial(std::uint32_t n, double p) noexcept {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const double variance = static_cast<double>(n) * p * (1.0 - p);
+  if (variance > 30.0) {
+    const double mean = static_cast<double>(n) * p;
+    double draw = std::round(Normal(mean, std::sqrt(variance)));
+    if (draw < 0.0) draw = 0.0;
+    if (draw > static_cast<double>(n)) draw = static_cast<double>(n);
+    return static_cast<std::uint32_t>(draw);
+  }
+  // Exact: count Bernoulli successes. n is small here (variance <= 30).
+  std::uint32_t successes = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    successes += Bernoulli(p) ? 1u : 0u;
+  }
+  return successes;
+}
+
+}  // namespace manic::stats

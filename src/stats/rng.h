@@ -1,0 +1,91 @@
+// Deterministic random number generation for the simulator and workload
+// generators. Every consumer takes an explicit seed so experiments are
+// exactly reproducible run-to-run; nothing in the library reads wall-clock
+// entropy.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace manic::stats {
+
+// SplitMix64: tiny, fast, well-distributed 64-bit generator. Used both as a
+// stream generator and as a stateless hash (see Rng::HashMix) so that
+// per-entity noise (e.g. per-link jitter at time t) can be derived without
+// storing per-entity generator state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  // Advances the stream and returns 64 uniform bits.
+  std::uint64_t NextU64() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t UniformInt(std::uint64_t n) noexcept {
+    // Multiply-shift rejection-free mapping; bias is negligible for n << 2^64.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(NextU64()) * n) >> 64);
+  }
+
+  // Standard normal via Box-Muller (one value per call; the pair's second
+  // half is discarded to keep the generator stateless across call sites).
+  double Normal(double mean = 0.0, double stddev = 1.0) noexcept {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(6.283185307179586 * u2);
+  }
+
+  // Exponential with the given mean (mean > 0).
+  double Exponential(double mean) noexcept {
+    double u = NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+  // Bernoulli draw.
+  bool Bernoulli(double p) noexcept { return NextDouble() < p; }
+
+  // Binomial(n, p) draw. Exact inversion for small n, normal approximation
+  // for large n (n*p*(1-p) > 30) — adequate for loss-count sampling.
+  std::uint32_t Binomial(std::uint32_t n, double p) noexcept;
+
+  // Stateless mix of up to three keys into 64 uniform bits. Deterministic:
+  // the same keys always produce the same bits regardless of stream state.
+  static std::uint64_t HashMix(std::uint64_t a, std::uint64_t b = 0,
+                               std::uint64_t c = 0) noexcept {
+    std::uint64_t z = a * 0x9e3779b97f4a7c15ULL + b * 0xc2b2ae3d27d4eb4fULL +
+                      c * 0x165667b19e3779f9ULL + 0x27d4eb2f165667c5ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // HashMix mapped to [0,1).
+  static double HashToUnit(std::uint64_t a, std::uint64_t b = 0,
+                           std::uint64_t c = 0) noexcept {
+    return static_cast<double>(HashMix(a, b, c) >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace manic::stats

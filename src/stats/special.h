@@ -1,0 +1,28 @@
+// Special functions needed by the statistical tests: normal CDF, log-gamma,
+// regularized incomplete beta (for the Student's t distribution), and the
+// t-distribution CDF itself. Implemented from standard numerical recipes;
+// accuracy is far beyond what the p<0.05 decisions in the paper require.
+#pragma once
+
+namespace manic::stats {
+
+// Standard normal cumulative distribution function.
+double NormalCdf(double z) noexcept;
+
+// Natural log of the gamma function (Lanczos approximation).
+double LogGamma(double x) noexcept;
+
+// Regularized incomplete beta function I_x(a, b), x in [0,1].
+double IncompleteBeta(double a, double b, double x) noexcept;
+
+// CDF of Student's t distribution with `df` degrees of freedom.
+double StudentTCdf(double t, double df) noexcept;
+
+// Two-sided p-value for a t statistic with `df` degrees of freedom.
+double StudentTTwoSidedP(double t, double df) noexcept;
+
+// Critical value t* such that P(|T| > t*) = alpha (two-sided), found by
+// bisection on the CDF.
+double StudentTCritical(double df, double alpha) noexcept;
+
+}  // namespace manic::stats

@@ -1,0 +1,119 @@
+#include "stats/tests.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/special.h"
+
+namespace manic::stats {
+
+TTestResult WelchTTest(std::span<const double> a, std::span<const double> b) {
+  TTestResult r;
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  if (a.size() < 2 || b.size() < 2) return r;
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  const double va = Variance(a);
+  const double vb = Variance(b);
+  const double se2 = va / na + vb / nb;
+  if (se2 <= 0.0) {
+    // Identical constant samples: no evidence of difference.
+    r.valid = ma != mb;
+    r.p_value = ma != mb ? 0.0 : 1.0;
+    r.statistic = 0.0;
+    r.df = na + nb - 2.0;
+    return r;
+  }
+  r.statistic = (ma - mb) / std::sqrt(se2);
+  const double num = se2 * se2;
+  const double den = (va / na) * (va / na) / (na - 1.0) +
+                     (vb / nb) * (vb / nb) / (nb - 1.0);
+  r.df = den > 0.0 ? num / den : na + nb - 2.0;
+  r.p_value = StudentTTwoSidedP(r.statistic, r.df);
+  r.valid = true;
+  return r;
+}
+
+TTestResult StudentTTest(std::span<const double> a, std::span<const double> b) {
+  TTestResult r;
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  if (a.size() < 2 || b.size() < 2) return r;
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  const double va = Variance(a);
+  const double vb = Variance(b);
+  const double df = na + nb - 2.0;
+  const double pooled = ((na - 1.0) * va + (nb - 1.0) * vb) / df;
+  const double se = std::sqrt(pooled * (1.0 / na + 1.0 / nb));
+  if (se <= 0.0) {
+    r.valid = ma != mb;
+    r.p_value = ma != mb ? 0.0 : 1.0;
+    r.df = df;
+    return r;
+  }
+  r.statistic = (ma - mb) / se;
+  r.df = df;
+  r.p_value = StudentTTwoSidedP(r.statistic, r.df);
+  r.valid = true;
+  return r;
+}
+
+ProportionTestResult BinomialProportionTest(long long successes1,
+                                            long long trials1,
+                                            long long successes2,
+                                            long long trials2) {
+  ProportionTestResult r;
+  if (trials1 <= 0 || trials2 <= 0) return r;
+  const double n1 = static_cast<double>(trials1);
+  const double n2 = static_cast<double>(trials2);
+  r.p1 = static_cast<double>(successes1) / n1;
+  r.p2 = static_cast<double>(successes2) / n2;
+  const double pooled =
+      static_cast<double>(successes1 + successes2) / (n1 + n2);
+  const double se = std::sqrt(pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2));
+  if (se <= 0.0) {
+    // Both proportions 0 or both 1: no detectable difference.
+    r.p_value = 1.0;
+    r.valid = true;
+    return r;
+  }
+  r.statistic = (r.p1 - r.p2) / se;
+  r.p_value = 2.0 * (1.0 - NormalCdf(std::fabs(r.statistic)));
+  r.valid = true;
+  return r;
+}
+
+double HuberWeight(double residual, double sigma, double p) noexcept {
+  if (sigma <= 0.0) return 1.0;
+  const double k = p * sigma;
+  const double a = std::fabs(residual);
+  if (a <= k) return 1.0;
+  return k / a;
+}
+
+double HuberMean(std::span<const double> xs, double sigma, double p) {
+  if (xs.empty()) return 0.0;
+  double loc = Median(xs);
+  for (int iter = 0; iter < 20; ++iter) {
+    double wsum = 0.0;
+    double acc = 0.0;
+    for (double x : xs) {
+      const double w = HuberWeight(x - loc, sigma, p);
+      wsum += w;
+      acc += w * x;
+    }
+    if (wsum <= 0.0) break;
+    const double next = acc / wsum;
+    if (std::fabs(next - loc) < 1e-12) {
+      loc = next;
+      break;
+    }
+    loc = next;
+  }
+  return loc;
+}
+
+}  // namespace manic::stats

@@ -1,0 +1,60 @@
+// Hypothesis tests used by the paper's methodology:
+//  - Student's / Welch's t-test (§4.1 level-shift significance, §5.3 NDT
+//    throughput comparison, Table 2),
+//  - two-sample binomial proportion test (§5.1 loss-rate validation,
+//    Table 1, requiring p < 0.05).
+#pragma once
+
+#include <span>
+
+namespace manic::stats {
+
+struct TTestResult {
+  double statistic = 0.0;   // t statistic (can be negative)
+  double df = 0.0;          // degrees of freedom
+  double p_value = 1.0;     // two-sided
+  bool valid = false;       // false when a sample is too small / degenerate
+  bool Significant(double alpha = 0.05) const noexcept {
+    return valid && p_value < alpha;
+  }
+};
+
+// Welch's unequal-variance two-sample t-test (two-sided). The paper says
+// "Student's t-test"; Welch is the robust default and reduces to Student
+// when variances match. Requires >= 2 samples per side.
+TTestResult WelchTTest(std::span<const double> a, std::span<const double> b);
+
+// Classic pooled-variance Student's t-test (two-sided), kept for fidelity to
+// the paper's wording and for the level-shift detector's threshold
+// derivation.
+TTestResult StudentTTest(std::span<const double> a, std::span<const double> b);
+
+struct ProportionTestResult {
+  double statistic = 0.0;  // z statistic
+  double p_value = 1.0;    // two-sided
+  double p1 = 0.0;         // observed proportion, sample 1
+  double p2 = 0.0;         // observed proportion, sample 2
+  bool valid = false;
+  bool Significant(double alpha = 0.05) const noexcept {
+    return valid && p_value < alpha;
+  }
+};
+
+// Two-sample binomial proportion z-test: successes1/trials1 vs
+// successes2/trials2, two-sided, pooled standard error.
+ProportionTestResult BinomialProportionTest(long long successes1,
+                                            long long trials1,
+                                            long long successes2,
+                                            long long trials2);
+
+// Huber's weight function with tuning parameter p (in units of standard
+// deviations): weight 1 inside [-p*sigma, p*sigma], downweighted
+// proportionally outside. Used by the level-shift detector to tolerate
+// outliers (§4.1, P=1 in deployment).
+double HuberWeight(double residual, double sigma, double p) noexcept;
+
+// Weighted mean with Huber weights relative to an initial location estimate,
+// iterated to convergence (IRLS, few iterations suffice).
+double HuberMean(std::span<const double> xs, double sigma, double p);
+
+}  // namespace manic::stats

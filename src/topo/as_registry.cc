@@ -1,0 +1,118 @@
+#include "topo/as_registry.h"
+
+namespace manic::topo {
+
+void RelationshipTable::Set(Asn a, Asn b, Relationship rel_of_b_from_a) {
+  auto& slot = rel_[a][b];
+  slot = rel_of_b_from_a;
+}
+
+void RelationshipTable::SetProviderCustomer(Asn provider, Asn customer) {
+  if (Get(provider, customer) == std::nullopt) ++edge_count_;
+  Set(provider, customer, Relationship::kCustomer);
+  Set(customer, provider, Relationship::kProvider);
+}
+
+void RelationshipTable::SetPeers(Asn a, Asn b) {
+  if (Get(a, b) == std::nullopt) ++edge_count_;
+  Set(a, b, Relationship::kPeer);
+  Set(b, a, Relationship::kPeer);
+}
+
+std::optional<Relationship> RelationshipTable::Get(Asn asn,
+                                                   Asn neighbor) const noexcept {
+  const auto row = rel_.find(asn);
+  if (row == rel_.end()) return std::nullopt;
+  const auto cell = row->second.find(neighbor);
+  if (cell == row->second.end()) return std::nullopt;
+  return cell->second;
+}
+
+namespace {
+std::vector<Asn> Collect(const std::map<Asn, std::map<Asn, Relationship>>& rel,
+                         Asn asn, std::optional<Relationship> want) {
+  std::vector<Asn> out;
+  const auto row = rel.find(asn);
+  if (row == rel.end()) return out;
+  for (const auto& [neighbor, r] : row->second) {
+    if (!want || r == *want) out.push_back(neighbor);
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<Asn> RelationshipTable::Neighbors(Asn asn) const {
+  return Collect(rel_, asn, std::nullopt);
+}
+std::vector<Asn> RelationshipTable::Customers(Asn asn) const {
+  return Collect(rel_, asn, Relationship::kCustomer);
+}
+std::vector<Asn> RelationshipTable::Providers(Asn asn) const {
+  return Collect(rel_, asn, Relationship::kProvider);
+}
+std::vector<Asn> RelationshipTable::Peers(Asn asn) const {
+  return Collect(rel_, asn, Relationship::kPeer);
+}
+
+void OrgMap::Assign(Asn asn, std::string org) { org_[asn] = std::move(org); }
+
+void OrgMap::Override(Asn asn, std::string org) {
+  overrides_[asn] = std::move(org);
+}
+
+const std::string* OrgMap::Effective(Asn asn) const {
+  if (const auto it = overrides_.find(asn); it != overrides_.end()) {
+    return &it->second;
+  }
+  if (const auto it = org_.find(asn); it != org_.end()) return &it->second;
+  return nullptr;
+}
+
+std::optional<std::string> OrgMap::OrgOf(Asn asn) const {
+  const std::string* org = Effective(asn);
+  if (org == nullptr) return std::nullopt;
+  return *org;
+}
+
+std::vector<Asn> OrgMap::Siblings(Asn asn) const {
+  std::vector<Asn> out;
+  const std::string* org = Effective(asn);
+  if (org == nullptr) return {asn};
+  std::set<Asn> all;
+  for (const auto& [a, o] : org_) {
+    if (*Effective(a) == *org) all.insert(a);
+  }
+  for (const auto& [a, o] : overrides_) {
+    if (o == *org) all.insert(a);
+  }
+  all.insert(asn);
+  out.assign(all.begin(), all.end());
+  return out;
+}
+
+bool OrgMap::AreSiblings(Asn a, Asn b) const {
+  if (a == b) return true;
+  const std::string* oa = Effective(a);
+  const std::string* ob = Effective(b);
+  return oa != nullptr && ob != nullptr && *oa == *ob;
+}
+
+void IxpRegistry::Add(const Prefix& prefix, std::string name) {
+  prefixes_.push_back({prefix, std::move(name)});
+}
+
+bool IxpRegistry::IsIxpAddress(Ipv4Addr addr) const noexcept {
+  for (const auto& [p, name] : prefixes_) {
+    if (p.Contains(addr)) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> IxpRegistry::IxpName(Ipv4Addr addr) const {
+  for (const auto& [p, name] : prefixes_) {
+    if (p.Contains(addr)) return name;
+  }
+  return std::nullopt;
+}
+
+}  // namespace manic::topo

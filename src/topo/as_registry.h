@@ -1,0 +1,79 @@
+// The external datasets bdrmap consumes (§3.2), generated synthetically:
+//  - AS relationships (CAIDA AS-rel analogue): customer/provider/peer,
+//  - AS-to-organization mapping with sibling lists (AS2org analogue),
+//  - IXP prefix list (PCH/peeringDB analogue).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "topo/ipv4.h"
+
+namespace manic::topo {
+
+using Asn = std::uint32_t;
+
+enum class Relationship : std::uint8_t {
+  kCustomer,  // the other AS is our customer
+  kProvider,  // the other AS is our provider
+  kPeer,      // settlement-free peer
+};
+
+// Relationship of `b` as seen from `a`; symmetric storage.
+class RelationshipTable {
+ public:
+  void SetProviderCustomer(Asn provider, Asn customer);
+  void SetPeers(Asn a, Asn b);
+
+  // Relationship of `neighbor` from `asn`'s point of view.
+  std::optional<Relationship> Get(Asn asn, Asn neighbor) const noexcept;
+
+  std::vector<Asn> Neighbors(Asn asn) const;
+  std::vector<Asn> Customers(Asn asn) const;
+  std::vector<Asn> Providers(Asn asn) const;
+  std::vector<Asn> Peers(Asn asn) const;
+
+  std::size_t EdgeCount() const noexcept { return edge_count_; }
+
+ private:
+  void Set(Asn a, Asn b, Relationship rel_of_b_from_a);
+  std::map<Asn, std::map<Asn, Relationship>> rel_;
+  std::size_t edge_count_ = 0;
+};
+
+// Organization / sibling registry. The paper notes the automatic AS2org data
+// is error-prone and describes a manual cleanup pass; we model both the
+// (possibly noisy) automatic map and a curated override list.
+class OrgMap {
+ public:
+  void Assign(Asn asn, std::string org);
+  // Curated correction: force `asn` into `org` (the manual review in §3.2).
+  void Override(Asn asn, std::string org);
+
+  std::optional<std::string> OrgOf(Asn asn) const;
+  // All ASes sharing asn's organization, including asn itself.
+  std::vector<Asn> Siblings(Asn asn) const;
+  bool AreSiblings(Asn a, Asn b) const;
+
+ private:
+  std::map<Asn, std::string> org_;
+  std::map<Asn, std::string> overrides_;
+  const std::string* Effective(Asn asn) const;
+};
+
+class IxpRegistry {
+ public:
+  void Add(const Prefix& prefix, std::string name);
+  bool IsIxpAddress(Ipv4Addr addr) const noexcept;
+  std::optional<std::string> IxpName(Ipv4Addr addr) const;
+  std::size_t size() const noexcept { return prefixes_.size(); }
+
+ private:
+  std::vector<std::pair<Prefix, std::string>> prefixes_;
+};
+
+}  // namespace manic::topo

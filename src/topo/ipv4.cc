@@ -1,0 +1,56 @@
+#include "topo/ipv4.h"
+
+#include <charconv>
+
+namespace manic::topo {
+
+std::string Ipv4Addr::ToString() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (!out.empty()) out += '.';
+    out += std::to_string((value_ >> shift) & 0xffu);
+  }
+  return out;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::Parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned part = 0;
+    const auto [next, ec] = std::from_chars(p, end, part);
+    if (ec != std::errc{} || part > 255) return std::nullopt;
+    value = (value << 8) | part;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Addr(value);
+}
+
+std::string Prefix::ToString() const {
+  return addr_.ToString() + '/' + std::to_string(len_);
+}
+
+std::optional<Prefix> Prefix::Parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::Parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int len = 0;
+  const std::string_view len_text = text.substr(slash + 1);
+  const auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() ||
+      len < 0 || len > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*addr, len);
+}
+
+}  // namespace manic::topo

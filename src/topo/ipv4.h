@@ -1,0 +1,75 @@
+// IPv4 addresses and CIDR prefixes. Addresses are plain uint32 host-order
+// values wrapped for type safety; prefixes are (address, length) with
+// canonicalized (masked) network addresses.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace manic::topo {
+
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+
+  std::string ToString() const;
+  static std::optional<Ipv4Addr> Parse(std::string_view text);
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  // Masks `addr` down to the network address for `len` bits.
+  constexpr Prefix(Ipv4Addr addr, int len) noexcept
+      : addr_(Ipv4Addr(len == 0 ? 0u : (addr.value() & (~std::uint32_t{0} << (32 - len))))),
+        len_(len) {}
+
+  constexpr Ipv4Addr address() const noexcept { return addr_; }
+  constexpr int length() const noexcept { return len_; }
+
+  constexpr bool Contains(Ipv4Addr a) const noexcept {
+    if (len_ == 0) return true;
+    const std::uint32_t mask = ~std::uint32_t{0} << (32 - len_);
+    return (a.value() & mask) == addr_.value();
+  }
+  constexpr bool Contains(const Prefix& other) const noexcept {
+    return other.len_ >= len_ && Contains(other.addr_);
+  }
+
+  // Number of addresses covered (2^(32-len)); 0 means 2^32 for len 0.
+  constexpr std::uint64_t Size() const noexcept {
+    return std::uint64_t{1} << (32 - len_);
+  }
+
+  // First/last address in the prefix.
+  constexpr Ipv4Addr First() const noexcept { return addr_; }
+  constexpr Ipv4Addr Last() const noexcept {
+    return Ipv4Addr(addr_.value() + static_cast<std::uint32_t>(Size() - 1));
+  }
+
+  std::string ToString() const;
+  static std::optional<Prefix> Parse(std::string_view text);
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  Ipv4Addr addr_;
+  int len_ = 0;
+};
+
+}  // namespace manic::topo

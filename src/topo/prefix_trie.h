@@ -1,0 +1,118 @@
+// Binary (unibit) trie keyed by IPv4 prefixes with longest-prefix-match
+// lookup. This is the prefix-to-AS mapping structure bdrmap consumes (§3.2):
+// built from synthetic "BGP" announcements, queried per traceroute hop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topo/ipv4.h"
+
+namespace manic::topo {
+
+template <typename V>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.push_back(Node{}); }
+
+  // Inserts or overwrites the value at `prefix`.
+  void Insert(const Prefix& prefix, V value) {
+    std::uint32_t node = 0;
+    const std::uint32_t bits = prefix.address().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      std::uint32_t& child = nodes_[node].child[bit];
+      if (child == 0) {
+        child = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.push_back(Node{});
+      }
+      node = nodes_[node].child[bit];
+    }
+    if (!nodes_[node].value.has_value()) ++size_;
+    nodes_[node].value = std::move(value);
+  }
+
+  // Longest-prefix match; nullopt when no covering prefix exists.
+  std::optional<V> Lookup(Ipv4Addr addr) const {
+    std::optional<V> best;
+    std::uint32_t node = 0;
+    const std::uint32_t bits = addr.value();
+    for (int depth = 0;; ++depth) {
+      if (nodes_[node].value.has_value()) best = nodes_[node].value;
+      if (depth == 32) break;
+      const int bit = (bits >> (31 - depth)) & 1;
+      const std::uint32_t child = nodes_[node].child[bit];
+      if (child == 0) break;
+      node = child;
+    }
+    return best;
+  }
+
+  // Longest matching prefix itself (with its value), if any.
+  std::optional<std::pair<Prefix, V>> LookupEntry(Ipv4Addr addr) const {
+    std::optional<std::pair<Prefix, V>> best;
+    std::uint32_t node = 0;
+    const std::uint32_t bits = addr.value();
+    for (int depth = 0;; ++depth) {
+      if (nodes_[node].value.has_value()) {
+        best = {Prefix(addr, depth), *nodes_[node].value};
+      }
+      if (depth == 32) break;
+      const int bit = (bits >> (31 - depth)) & 1;
+      const std::uint32_t child = nodes_[node].child[bit];
+      if (child == 0) break;
+      node = child;
+    }
+    return best;
+  }
+
+  // Exact-match lookup of a stored prefix.
+  std::optional<V> Exact(const Prefix& prefix) const {
+    std::uint32_t node = 0;
+    const std::uint32_t bits = prefix.address().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      const std::uint32_t child = nodes_[node].child[bit];
+      if (child == 0) return std::nullopt;
+      node = child;
+    }
+    return nodes_[node].value;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+  // Enumerates all (prefix, value) entries in lexicographic bit order.
+  std::vector<std::pair<Prefix, V>> Entries() const {
+    std::vector<std::pair<Prefix, V>> out;
+    Walk(0, 0u, 0, out);
+    return out;
+  }
+
+ private:
+  struct Node {
+    std::uint32_t child[2] = {0, 0};
+    std::optional<V> value;
+  };
+
+  void Walk(std::uint32_t node, std::uint32_t bits, int depth,
+            std::vector<std::pair<Prefix, V>>& out) const {
+    if (nodes_[node].value.has_value()) {
+      out.push_back({Prefix(Ipv4Addr(bits), depth), *nodes_[node].value});
+    }
+    if (depth == 32) return;
+    for (int bit = 0; bit < 2; ++bit) {
+      const std::uint32_t child = nodes_[node].child[bit];
+      if (child != 0) {
+        const std::uint32_t next_bits =
+            bits | (static_cast<std::uint32_t>(bit) << (31 - depth));
+        Walk(child, next_bits, depth + 1, out);
+      }
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace manic::topo

@@ -1,0 +1,274 @@
+#include "topo/topology.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace manic::topo {
+
+AsInfo& Topology::AddAs(Asn asn, std::string name) {
+  auto [it, inserted] = ases_.try_emplace(asn);
+  if (inserted) {
+    it->second.asn = asn;
+    it->second.name = std::move(name);
+    orgs.Assign(asn, it->second.name);
+  }
+  return it->second;
+}
+
+RouterId Topology::AddRouter(Asn asn, std::string name, std::string city,
+                             int utc_offset_hours) {
+  auto it = ases_.find(asn);
+  if (it == ases_.end()) {
+    throw std::invalid_argument("AddRouter: unknown AS " + std::to_string(asn));
+  }
+  Router r;
+  r.id = static_cast<RouterId>(routers_.size());
+  r.owner = asn;
+  r.name = std::move(name);
+  r.city = std::move(city);
+  r.utc_offset_hours = utc_offset_hours;
+  routers_.push_back(std::move(r));
+  it->second.routers.push_back(routers_.back().id);
+  return routers_.back().id;
+}
+
+void Topology::Announce(Asn asn, const Prefix& prefix) {
+  AddAs(asn, "AS" + std::to_string(asn)).announced.push_back(prefix);
+  prefix2as_dirty_ = true;
+}
+
+void Topology::AddInfrastructure(Asn asn, const Prefix& prefix) {
+  AddAs(asn, "AS" + std::to_string(asn)).infrastructure.push_back(prefix);
+}
+
+IfaceId Topology::NewIface(RouterId router, LinkId link, Ipv4Addr addr,
+                           Asn owner) {
+  Interface ifc;
+  ifc.id = static_cast<IfaceId>(ifaces_.size());
+  ifc.addr = addr;
+  ifc.router = router;
+  ifc.link = link;
+  ifc.addr_owner = owner;
+  ifaces_.push_back(ifc);
+  routers_[router].interfaces.push_back(ifc.id);
+  addr_index_[addr.value()] = ifc.id;
+  return ifc.id;
+}
+
+Ipv4Addr Topology::AllocFromPrefix(const Prefix& p, std::uint64_t* cursor,
+                                   Ipv4Addr* second) {
+  // Point-to-point pairs: skip network/broadcast-ish first addresses.
+  const std::uint64_t offset = 2 + (*cursor) * 2;
+  if (offset + 1 >= p.Size()) {
+    throw std::runtime_error("address pool exhausted: " + p.ToString());
+  }
+  *cursor += 1;
+  const Ipv4Addr first(p.address().value() + static_cast<std::uint32_t>(offset));
+  if (second != nullptr) *second = Ipv4Addr(first.value() + 1);
+  return first;
+}
+
+Ipv4Addr Topology::AllocInfraPair(Asn asn, Ipv4Addr* second) {
+  auto it = ases_.find(asn);
+  if (it == ases_.end() || it->second.infrastructure.empty()) {
+    throw std::runtime_error("no infrastructure pool for AS " +
+                             std::to_string(asn));
+  }
+  std::uint64_t& cursor = infra_cursor_[asn];
+  // Walk pools in order; each pool hosts Size()/2 - 1 pairs.
+  std::uint64_t c = cursor;
+  for (const Prefix& p : it->second.infrastructure) {
+    const std::uint64_t pairs_here = p.Size() / 2 - 1;
+    if (c < pairs_here) {
+      std::uint64_t local = c;
+      ++cursor;
+      return AllocFromPrefix(p, &local, second);
+    }
+    c -= pairs_here;
+  }
+  throw std::runtime_error("infrastructure pools exhausted for AS " +
+                           std::to_string(asn));
+}
+
+Ipv4Addr Topology::AllocSingle(Asn asn) {
+  Ipv4Addr unused;
+  return AllocInfraPair(asn, &unused);
+}
+
+LinkId Topology::ConnectIntra(RouterId a, RouterId b, double propagation_ms,
+                              double capacity_gbps) {
+  if (routers_[a].owner != routers_[b].owner) {
+    throw std::invalid_argument("ConnectIntra: routers in different ASes");
+  }
+  Link l;
+  l.id = static_cast<LinkId>(links_.size());
+  l.kind = LinkKind::kIntra;
+  l.router_a = a;
+  l.router_b = b;
+  l.as_a = routers_[a].owner;
+  l.as_b = routers_[b].owner;
+  l.propagation_ms = propagation_ms;
+  l.capacity_gbps = capacity_gbps;
+  links_.push_back(l);
+  Ipv4Addr addr_b;
+  const Ipv4Addr addr_a = AllocInfraPair(l.as_a, &addr_b);
+  links_.back().iface_a = NewIface(a, l.id, addr_a, l.as_a);
+  links_.back().iface_b = NewIface(b, l.id, addr_b, l.as_a);
+  return l.id;
+}
+
+LinkId Topology::ConnectInter(RouterId a, RouterId b, double propagation_ms,
+                              double capacity_gbps,
+                              std::optional<Asn> addr_from) {
+  if (routers_[a].owner == routers_[b].owner) {
+    throw std::invalid_argument("ConnectInter: routers in the same AS");
+  }
+  Link l;
+  l.id = static_cast<LinkId>(links_.size());
+  l.kind = LinkKind::kInterdomain;
+  l.router_a = a;
+  l.router_b = b;
+  l.as_a = routers_[a].owner;
+  l.as_b = routers_[b].owner;
+  l.propagation_ms = propagation_ms;
+  l.capacity_gbps = capacity_gbps;
+  links_.push_back(l);
+  const Asn pool = addr_from.value_or(l.as_a);
+  Ipv4Addr addr_b;
+  const Ipv4Addr addr_a = AllocInfraPair(pool, &addr_b);
+  links_.back().iface_a = NewIface(a, l.id, addr_a, pool);
+  links_.back().iface_b = NewIface(b, l.id, addr_b, pool);
+  return l.id;
+}
+
+LinkId Topology::ConnectAtIxp(RouterId a, RouterId b, const Prefix& ixp_prefix,
+                              std::string ixp_name, double propagation_ms,
+                              double capacity_gbps) {
+  if (!ixps.IsIxpAddress(ixp_prefix.First())) {
+    ixps.Add(ixp_prefix, ixp_name);
+  }
+  Link l;
+  l.id = static_cast<LinkId>(links_.size());
+  l.kind = LinkKind::kIxp;
+  l.router_a = a;
+  l.router_b = b;
+  l.as_a = routers_[a].owner;
+  l.as_b = routers_[b].owner;
+  l.propagation_ms = propagation_ms;
+  l.capacity_gbps = capacity_gbps;
+  links_.push_back(l);
+  std::uint64_t& cursor = ixp_cursor_[ixp_name];
+  Ipv4Addr addr_b;
+  std::uint64_t local = cursor++;
+  const Ipv4Addr addr_a = AllocFromPrefix(ixp_prefix, &local, &addr_b);
+  links_.back().iface_a = NewIface(a, l.id, addr_a, 0);
+  links_.back().iface_b = NewIface(b, l.id, addr_b, 0);
+  return l.id;
+}
+
+VpId Topology::AddVantagePoint(std::string name, Asn host_as,
+                               RouterId first_hop) {
+  const auto it = ases_.find(host_as);
+  if (it == ases_.end() || it->second.announced.empty()) {
+    throw std::invalid_argument("AddVantagePoint: AS has no announced space");
+  }
+  VantagePoint vp;
+  vp.id = static_cast<VpId>(vps_.size());
+  vp.name = std::move(name);
+  vp.host_as = host_as;
+  vp.first_hop = first_hop;
+  // Host addresses come from the tail half of the first announced prefix so
+  // they never collide with probe destinations (head of each prefix).
+  const Prefix& home = it->second.announced.front();
+  std::uint64_t& cursor = host_cursor_[host_as];
+  const std::uint64_t offset = home.Size() / 2 + cursor++;
+  if (offset >= home.Size()) throw std::runtime_error("VP pool exhausted");
+  vp.addr = Ipv4Addr(home.address().value() + static_cast<std::uint32_t>(offset));
+
+  Link l;
+  l.id = static_cast<LinkId>(links_.size());
+  l.kind = LinkKind::kHostUplink;
+  l.router_a = first_hop;
+  l.router_b = kInvalidId;  // host side has no router
+  l.as_a = host_as;
+  l.as_b = host_as;
+  l.propagation_ms = 1.0;
+  l.capacity_gbps = 1.0;
+  links_.push_back(l);
+  links_.back().iface_a = NewIface(first_hop, l.id, AllocSingle(host_as), host_as);
+  links_.back().iface_b = kInvalidId;
+  vp.uplink = l.id;
+  vps_.push_back(vp);
+  return vp.id;
+}
+
+const AsInfo* Topology::FindAs(Asn asn) const noexcept {
+  const auto it = ases_.find(asn);
+  return it == ases_.end() ? nullptr : &it->second;
+}
+
+std::optional<IfaceId> Topology::IfaceByAddr(Ipv4Addr addr) const noexcept {
+  const auto it = addr_index_.find(addr.value());
+  if (it == addr_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+RouterId Topology::PeerRouter(const Link& link, RouterId from) const noexcept {
+  return link.router_a == from ? link.router_b : link.router_a;
+}
+
+IfaceId Topology::IfaceOn(const Link& link, RouterId r) const noexcept {
+  return link.router_a == r ? link.iface_a : link.iface_b;
+}
+
+std::vector<LinkId> Topology::LinksOf(RouterId r,
+                                      std::optional<LinkKind> kind) const {
+  std::vector<LinkId> out;
+  for (const IfaceId ifc : routers_[r].interfaces) {
+    const Link& l = links_[ifaces_[ifc].link];
+    if (!kind || l.kind == *kind) out.push_back(l.id);
+  }
+  return out;
+}
+
+std::vector<LinkId> Topology::InterdomainLinksBetween(Asn a, Asn b) const {
+  std::vector<LinkId> out;
+  for (const Link& l : links_) {
+    if (l.kind != LinkKind::kInterdomain && l.kind != LinkKind::kIxp) continue;
+    if ((l.as_a == a && l.as_b == b) || (l.as_a == b && l.as_b == a)) {
+      out.push_back(l.id);
+    }
+  }
+  return out;
+}
+
+const PrefixTrie<Asn>& Topology::Prefix2As() const {
+  if (prefix2as_dirty_) {
+    prefix2as_ = PrefixTrie<Asn>();
+    for (const auto& [asn, info] : ases_) {
+      for (const Prefix& p : info.announced) prefix2as_.Insert(p, asn);
+    }
+    prefix2as_dirty_ = false;
+  }
+  return prefix2as_;
+}
+
+std::optional<Ipv4Addr> Topology::DestinationIn(Asn asn,
+                                                std::size_t index) const {
+  const AsInfo* info = FindAs(asn);
+  if (info == nullptr || info->announced.empty()) return std::nullopt;
+  const Prefix& p = info->announced[index % info->announced.size()];
+  const std::uint64_t offset = 10 + index / info->announced.size();
+  if (offset >= p.Size() / 2) return std::nullopt;
+  return Ipv4Addr(p.address().value() + static_cast<std::uint32_t>(offset));
+}
+
+std::vector<std::pair<Prefix, Asn>> Topology::RoutedPrefixes() const {
+  std::vector<std::pair<Prefix, Asn>> out;
+  for (const auto& [asn, info] : ases_) {
+    for (const Prefix& p : info.announced) out.push_back({p, asn});
+  }
+  return out;
+}
+
+}  // namespace manic::topo

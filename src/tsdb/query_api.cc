@@ -1,0 +1,163 @@
+#include "tsdb/query_api.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace manic::tsdb {
+
+namespace {
+
+std::optional<stats::BinAgg> ParseAgg(std::string_view text) {
+  if (text == "min") return stats::BinAgg::kMin;
+  if (text == "max") return stats::BinAgg::kMax;
+  if (text == "mean") return stats::BinAgg::kMean;
+  if (text == "count") return stats::BinAgg::kCount;
+  if (text == "sum") return stats::BinAgg::kSum;
+  return std::nullopt;
+}
+
+std::optional<TimeSec> ParseTime(std::string_view text) {
+  TimeSec value = 0;
+  const auto [p, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || p != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+void AppendJsonEscaped(std::ostringstream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+}
+
+void AppendPoints(std::ostringstream& os, const stats::TimeSeries& series) {
+  os << '[';
+  bool first = true;
+  for (const stats::Point& p : series.points()) {
+    if (!first) os << ',';
+    first = false;
+    os << '[' << p.t << ',' << p.value << ']';
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::optional<ApiQuery> ParseQuery(std::string_view text, std::string* error) {
+  ApiQuery query;
+  const auto qmark = text.find('?');
+  query.measurement = std::string(text.substr(0, qmark));
+  if (query.measurement.empty()) {
+    *error = "empty measurement name";
+    return std::nullopt;
+  }
+  if (qmark == std::string_view::npos) return query;
+
+  std::string_view rest = text.substr(qmark + 1);
+  while (!rest.empty()) {
+    const auto amp = rest.find('&');
+    const std::string_view param = rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    if (param.empty()) continue;
+    const auto eq = param.find('=');
+    if (eq == std::string_view::npos) {
+      *error = "parameter without '=': " + std::string(param);
+      return std::nullopt;
+    }
+    const std::string_view key = param.substr(0, eq);
+    const std::string_view value = param.substr(eq + 1);
+    if (key == "from" || key == "to") {
+      const auto t = ParseTime(value);
+      if (!t) {
+        *error = "bad timestamp: " + std::string(value);
+        return std::nullopt;
+      }
+      (key == "from" ? query.from : query.to) = *t;
+    } else if (key == "agg") {
+      query.agg = ParseAgg(value);
+      if (!query.agg) {
+        *error = "unknown aggregator: " + std::string(value);
+        return std::nullopt;
+      }
+    } else if (key == "bin") {
+      const auto b = ParseTime(value);
+      if (!b || *b <= 0) {
+        *error = "bad bin width: " + std::string(value);
+        return std::nullopt;
+      }
+      query.bin = *b;
+    } else {
+      query.filter.Set(std::string(key), std::string(value));
+    }
+  }
+  return query;
+}
+
+ApiResult RunQuery(const Database& db, std::string_view text) {
+  ApiResult result;
+  std::string error;
+  const auto query = ParseQuery(text, &error);
+  if (!query) {
+    result.error = error;
+    return result;
+  }
+  result.query = *query;
+  if (query->agg) {
+    result.series =
+        db.QueryDownsampled(query->measurement, query->filter, query->from,
+                            query->to, query->bin, *query->agg);
+  } else {
+    result.series =
+        db.QueryMerged(query->measurement, query->filter, query->from,
+                       query->to);
+  }
+  result.ok = true;
+  return result;
+}
+
+std::string ApiResult::ToJson() const {
+  std::ostringstream os;
+  os << "{\"measurement\":\"";
+  AppendJsonEscaped(os, query.measurement);
+  os << "\",\"points\":";
+  AppendPoints(os, series);
+  os << '}';
+  return os.str();
+}
+
+std::string ExportJson(const Database& db, std::string_view measurement,
+                       const TagSet& filter) {
+  std::ostringstream os;
+  os << "{\"measurement\":\"";
+  AppendJsonEscaped(os, measurement);
+  os << "\",\"series\":[";
+  bool first = true;
+  for (const SeriesRef& ref : db.Query(measurement, filter)) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"tags\":{";
+    bool first_tag = true;
+    for (const auto& [k, v] : ref.tags->entries()) {
+      if (!first_tag) os << ',';
+      first_tag = false;
+      os << '"';
+      AppendJsonEscaped(os, k);
+      os << "\":\"";
+      AppendJsonEscaped(os, v);
+      os << '"';
+    }
+    os << "},\"points\":";
+    AppendPoints(os, *ref.series);
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace manic::tsdb

@@ -1,0 +1,52 @@
+// The public data-access layer of the system (paper contribution 4: raw
+// measurements released through an interactive interface and a query API).
+// Queries use a compact URL-style syntax mirroring the deployed HTTP API:
+//
+//   <measurement>?tag1=v1&tag2=v2[&from=<sec>][&to=<sec>]
+//                [&agg=min|max|mean|count|sum][&bin=<sec>]
+//
+// e.g.  tslp_rtt?vp=Comcast-nyc-us&side=far&from=0&to=86400&agg=min&bin=900
+//
+// Results come back as a series plus a JSON rendering for external tooling.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "tsdb/tsdb.h"
+
+namespace manic::tsdb {
+
+struct ApiQuery {
+  std::string measurement;
+  TagSet filter;
+  TimeSec from = std::numeric_limits<TimeSec>::min();
+  TimeSec to = std::numeric_limits<TimeSec>::max();
+  std::optional<stats::BinAgg> agg;
+  TimeSec bin = 900;
+};
+
+struct ApiResult {
+  bool ok = false;
+  std::string error;
+  ApiQuery query;
+  stats::TimeSeries series;
+
+  // {"measurement":"...","points":[[t,v],...]} rendering.
+  std::string ToJson() const;
+};
+
+// Parses the query string; nullopt with a reason on malformed input.
+std::optional<ApiQuery> ParseQuery(std::string_view text, std::string* error);
+
+// Executes a query string against a database.
+ApiResult RunQuery(const Database& db, std::string_view text);
+
+// JSON export of all matching series of a measurement (tags included):
+// {"measurement":"...","series":[{"tags":{...},"points":[[t,v],...]},...]}.
+std::string ExportJson(const Database& db, std::string_view measurement,
+                       const TagSet& filter = {});
+
+}  // namespace manic::tsdb

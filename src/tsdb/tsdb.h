@@ -1,0 +1,109 @@
+// A small tagged time-series database, standing in for the paper's InfluxDB
+// backend (§3, Figure 1). Series are identified by a measurement name plus a
+// set of key=value tags (e.g. measurement "tslp_rtt" tagged with vp, link,
+// side, destination). Supports subset-matching queries over tags, time-range
+// slicing, min/mean downsampling, retention, and CSV export (the Grafana
+// front-end substitute is plain text output from the bench harnesses).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/timeseries.h"
+
+namespace manic::tsdb {
+
+using stats::TimeSec;
+
+// Sorted key=value tag set. Keys are unique.
+class TagSet {
+ public:
+  TagSet() = default;
+  TagSet(std::initializer_list<std::pair<std::string, std::string>> kvs);
+
+  void Set(std::string key, std::string value);
+  const std::string* Get(std::string_view key) const noexcept;
+
+  // True if every tag in `filter` is present with an equal value here.
+  bool Matches(const TagSet& filter) const noexcept;
+
+  // Canonical "k1=v1,k2=v2" encoding (keys sorted); usable as a map key.
+  std::string Canonical() const;
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const noexcept {
+    return entries_;
+  }
+
+  friend bool operator==(const TagSet&, const TagSet&) = default;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;  // sorted by key
+};
+
+struct SeriesRef {
+  const TagSet* tags = nullptr;
+  const stats::TimeSeries* series = nullptr;
+};
+
+class Database {
+ public:
+  // Appends one point to the series (measurement, tags). Creates the series
+  // on first write. Timestamps within one series must be non-decreasing.
+  void Write(std::string_view measurement, const TagSet& tags, TimeSec t,
+             double value);
+
+  // All series of a measurement whose tags match `filter` (subset match).
+  std::vector<SeriesRef> Query(std::string_view measurement,
+                               const TagSet& filter = {}) const;
+
+  // Concatenated points of all matching series restricted to [t0, t1),
+  // re-sorted by time. Useful when several destinations probe one link.
+  stats::TimeSeries QueryMerged(std::string_view measurement,
+                                const TagSet& filter, TimeSec t0,
+                                TimeSec t1) const;
+
+  // Downsampled view of the merged matching data.
+  stats::TimeSeries QueryDownsampled(std::string_view measurement,
+                                     const TagSet& filter, TimeSec t0,
+                                     TimeSec t1, TimeSec bin_width,
+                                     stats::BinAgg agg) const;
+
+  // Drops points older than `horizon` seconds before the newest point,
+  // per series, for one measurement. Returns points dropped.
+  std::size_t EnforceRetention(std::string_view measurement, TimeSec horizon);
+
+  // Number of series stored for a measurement.
+  std::size_t SeriesCount(std::string_view measurement) const noexcept;
+
+  // Total points across all measurements.
+  std::size_t TotalPoints() const noexcept;
+
+  std::vector<std::string> Measurements() const;
+
+  // CSV export: measurement,tags,time,value — one row per point.
+  std::string ExportCsv(std::string_view measurement,
+                        const TagSet& filter = {}) const;
+
+  // Persistence in InfluxDB line protocol
+  // (`measurement,k=v,k=v value=<v> <t>`), the format the deployed system's
+  // backend speaks. Save writes every measurement; Load appends parsed
+  // points (returns the number of points loaded; malformed lines are
+  // skipped and counted in *rejected if provided).
+  void SaveLineProtocol(std::ostream& os) const;
+  std::size_t LoadLineProtocol(std::istream& is,
+                               std::size_t* rejected = nullptr);
+
+ private:
+  struct Series {
+    TagSet tags;
+    stats::TimeSeries data;
+  };
+  // measurement -> canonical tag string -> series
+  std::map<std::string, std::map<std::string, Series>, std::less<>> tables_;
+};
+
+}  // namespace manic::tsdb

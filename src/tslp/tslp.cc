@@ -1,0 +1,143 @@
+#include "tslp/tslp.h"
+
+#include <algorithm>
+
+namespace manic::tslp {
+
+TslpScheduler::TslpScheduler(SimNetwork& net, VpId vp, tsdb::Database& db,
+                             Config config)
+    : net_(&net), vp_(vp), db_(&db), config_(config) {
+  vp_name_ = net.topology().vp(vp).name;
+}
+
+tsdb::TagSet TslpScheduler::Tags(const std::string& vp_name, Ipv4Addr link_far,
+                                 const char* side) {
+  return tsdb::TagSet{
+      {"vp", vp_name}, {"link", link_far.ToString()}, {"side", side}};
+}
+
+void TslpScheduler::UpdateProbingSet(const bdrmap::BdrmapResult& borders) {
+  std::vector<TslpTarget> next;
+  next.reserve(borders.links.size());
+
+  for (const bdrmap::BorderLink& link : borders.links) {
+    TslpTarget target;
+    target.far_addr = link.far_addr;
+    target.near_addr = link.near_addr;
+    target.neighbor = link.neighbor;
+
+    // Stickiness: carry over destinations that still see the link.
+    const auto prev = std::find_if(
+        targets_.begin(), targets_.end(), [&](const TslpTarget& t) {
+          return t.far_addr == link.far_addr;
+        });
+    if (prev != targets_.end()) {
+      for (const TslpDest& d : prev->dests) {
+        if (!d.lost_visibility &&
+            static_cast<int>(target.dests.size()) < config_.max_dests) {
+          TslpDest kept = d;
+          kept.consecutive_misses = 0;
+          target.dests.push_back(kept);
+        }
+      }
+    }
+
+    // Fill remaining slots: prefer destinations originated by the neighbor;
+    // overflow candidates become backups for reactive repair.
+    auto have = [&](Ipv4Addr dst) {
+      const auto match = [&](const TslpDest& d) { return d.dst == dst; };
+      return std::any_of(target.dests.begin(), target.dests.end(), match) ||
+             std::any_of(target.backups.begin(), target.backups.end(), match);
+    };
+    for (const bool neighbor_pass : {true, false}) {
+      for (const bdrmap::BorderDest& d : link.dests) {
+        if (neighbor_pass != (d.origin == link.neighbor) || have(d.dst)) {
+          continue;
+        }
+        const TslpDest dest{d.dst, d.flow, d.far_ttl, d.origin, 0, false};
+        if (static_cast<int>(target.dests.size()) < config_.max_dests) {
+          target.dests.push_back(dest);
+        } else if (static_cast<int>(target.backups.size()) <
+                   config_.max_backups) {
+          target.backups.push_back(dest);
+        }
+      }
+    }
+    if (!target.dests.empty()) next.push_back(std::move(target));
+  }
+
+  // Enforce the 100 pps budget: each destination costs 2 probes per round.
+  const double rounds_s = static_cast<double>(config_.round_interval);
+  probe::RateBudget budget(config_.pps_budget);
+  std::vector<TslpTarget> admitted;
+  dropped_for_budget_ = 0;
+  for (TslpTarget& t : next) {
+    const double cost = 2.0 * static_cast<double>(t.dests.size());
+    if (budget.Commit(cost, rounds_s)) {
+      admitted.push_back(std::move(t));
+    } else {
+      ++dropped_for_budget_;
+    }
+  }
+  targets_ = std::move(admitted);
+}
+
+void TslpScheduler::RunRound(TimeSec t) {
+  for (TslpTarget& target : targets_) {
+    // Reactive repair: promote a backup for any destination that lost
+    // visibility of the link, instead of waiting for the next bdrmap cycle.
+    for (TslpDest& dest : target.dests) {
+      if (dest.lost_visibility && !target.backups.empty()) {
+        dest = target.backups.back();
+        target.backups.pop_back();
+        ++repaired_;
+      }
+    }
+    for (TslpDest& dest : target.dests) {
+      if (dest.lost_visibility) continue;
+      const sim::FlowId flow{dest.flow};
+
+      const sim::ProbeReply near_reply =
+          net_->Probe(vp_, dest.dst, dest.far_ttl - 1, flow, t);
+      ++probes_;
+      ++expected_;
+      if (near_reply.outcome == sim::ProbeOutcome::kTtlExpired) {
+        ++answered_;
+        db_->Write(kMeasurementRtt,
+                   [&] {
+                     tsdb::TagSet tags = Tags(vp_name_, target.far_addr, kSideNear);
+                     tags.Set("dst", dest.dst.ToString());
+                     return tags;
+                   }(),
+                   t, near_reply.rtt_ms);
+      }
+
+      const sim::ProbeReply far_reply =
+          net_->Probe(vp_, dest.dst, dest.far_ttl, flow, t);
+      ++probes_;
+      ++expected_;
+      if (far_reply.outcome != sim::ProbeOutcome::kLost) ++answered_;
+      if (far_reply.outcome == sim::ProbeOutcome::kTtlExpired &&
+          far_reply.responder == target.far_addr) {
+        dest.consecutive_misses = 0;
+        db_->Write(kMeasurementRtt,
+                   [&] {
+                     tsdb::TagSet tags = Tags(vp_name_, target.far_addr, kSideFar);
+                     tags.Set("dst", dest.dst.ToString());
+                     return tags;
+                   }(),
+                   t, far_reply.rtt_ms);
+      } else if (far_reply.outcome != sim::ProbeOutcome::kLost) {
+        // Wrong responder (or the probe reached the destination outright):
+        // the route toward this destination no longer crosses the target
+        // link; after repeated misses stop using it (a backup is promoted at
+        // the next round, or bdrmap replaces it next cycle).
+        if (++dest.consecutive_misses >= config_.visibility_miss_limit) {
+          dest.lost_visibility = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace manic::tslp

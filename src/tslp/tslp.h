@@ -1,0 +1,110 @@
+// The TSLP measurement scheduler (§3.1): for every border link discovered by
+// bdrmap it selects up to three destinations whose forward path crosses both
+// ends of the link (preferring destinations in the neighbor's own address
+// space), probes the near and far interfaces every five minutes with
+// TTL-limited ICMP probes, keeps the flow identifier (ICMP checksum)
+// constant per destination so ECMP load balancing cannot split the
+// near/far pair onto different parallel links, enforces the VP-wide 100 pps
+// probing budget, and keeps destinations sticky across probing-set updates
+// unless they lost visibility of the link.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdrmap/bdrmap.h"
+#include "probe/probe.h"
+#include "tsdb/tsdb.h"
+
+namespace manic::tslp {
+
+using sim::SimNetwork;
+using sim::TimeSec;
+using topo::Asn;
+using topo::Ipv4Addr;
+using topo::VpId;
+
+// tsdb measurement names and tags written by the scheduler.
+inline constexpr const char* kMeasurementRtt = "tslp_rtt";   // tags: vp, link, side, dst
+inline constexpr const char* kSideNear = "near";
+inline constexpr const char* kSideFar = "far";
+
+struct TslpDest {
+  Ipv4Addr dst;
+  std::uint16_t flow = 0;
+  int far_ttl = 0;
+  Asn origin = 0;
+  int consecutive_misses = 0;  // far probe not answered by the expected addr
+  bool lost_visibility = false;
+};
+
+struct TslpTarget {
+  Ipv4Addr far_addr;   // link identifier (far-side interface)
+  Ipv4Addr near_addr;
+  Asn neighbor = 0;
+  std::vector<TslpDest> dests;    // up to Config::max_dests
+  // Spare destinations known to cross the link: when a probed destination
+  // loses visibility (route change), a backup is promoted immediately
+  // instead of waiting for the next 1-3 day bdrmap cycle — the reactive
+  // update the paper lists as future work (§3.2).
+  std::vector<TslpDest> backups;
+};
+
+class TslpScheduler {
+ public:
+  struct Config {
+    int max_dests = 3;
+    int max_backups = 6;
+    TimeSec round_interval = 300;  // five minutes
+    double pps_budget = 100.0;
+    int visibility_miss_limit = 6;  // misses before a destination is replaced
+  };
+
+  TslpScheduler(SimNetwork& net, VpId vp, tsdb::Database& db, Config config);
+  TslpScheduler(SimNetwork& net, VpId vp, tsdb::Database& db)
+      : TslpScheduler(net, vp, db, Config{}) {}
+
+  // Installs / refreshes the probing set from a bdrmap cycle. Destinations
+  // already probing a link are retained unless they lost visibility (§3.2's
+  // stickiness rule); new destinations fill remaining slots, preferring the
+  // neighbor's own address space.
+  void UpdateProbingSet(const bdrmap::BdrmapResult& borders);
+
+  // One probing round at time t: near+far probes via every destination of
+  // every target, written to the database.
+  void RunRound(TimeSec t);
+
+  const std::vector<TslpTarget>& targets() const noexcept { return targets_; }
+  // Destinations replaced by backups since construction.
+  std::size_t destinations_repaired() const noexcept { return repaired_; }
+  std::size_t links_dropped_for_budget() const noexcept {
+    return dropped_for_budget_;
+  }
+  std::uint64_t probes_this_session() const noexcept { return probes_; }
+  // Fraction of expected responses received since construction.
+  double ResponseRate() const noexcept {
+    return expected_ == 0
+               ? 0.0
+               : static_cast<double>(answered_) / static_cast<double>(expected_);
+  }
+
+  // Tag helpers shared with the analysis code.
+  static tsdb::TagSet Tags(const std::string& vp_name, Ipv4Addr link_far,
+                           const char* side);
+
+ private:
+  SimNetwork* net_;
+  VpId vp_;
+  tsdb::Database* db_;
+  Config config_;
+  std::string vp_name_;
+  std::vector<TslpTarget> targets_;
+  std::size_t dropped_for_budget_ = 0;
+  std::size_t repaired_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t expected_ = 0;
+  std::uint64_t answered_ = 0;
+};
+
+}  // namespace manic::tslp

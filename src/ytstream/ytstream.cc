@@ -1,0 +1,132 @@
+#include "ytstream/ytstream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ndt/ndt.h"
+
+namespace manic::ytstream {
+
+YoutubeClient::YoutubeClient(SimNetwork& net, VpId vp, Config config)
+    : net_(&net),
+      vp_(vp),
+      config_(config),
+      rng_(stats::Rng::HashMix(0x5954, vp)) {}
+
+double YoutubeClient::AvailableMbps(Ipv4Addr cache, TimeSec t, double* rtt_ms) {
+  const sim::PathMetrics m =
+      net_->MetricsFor(vp_, cache, sim::FlowId{config_.flow}, t);
+  if (!m.reachable) {
+    *rtt_ms = 0.0;
+    return 0.0;
+  }
+  *rtt_ms = m.rtt_ms;
+  const double single = ndt::NdtClient::MathisThroughputMbps(
+      m.rtt_ms, m.loss_down, config_.mss_bytes,
+      config_.access_plan_mbps / config_.parallel_connections);
+  const double tput =
+      std::min(config_.access_plan_mbps, single * config_.parallel_connections);
+  return tput * std::exp(rng_.Normal(0.0, config_.noise_sigma));
+}
+
+StreamResult YoutubeClient::Stream(Ipv4Addr cache, const VideoSpec& video,
+                                   TimeSec t,
+                                   const std::set<std::uint32_t>& known_far_addrs) {
+  StreamResult result;
+  result.when = t;
+
+  double rtt_ms = 0.0;
+  double avail = AvailableMbps(cache, t, &rtt_ms);
+  result.rtt_ms = rtt_ms;
+  if (avail <= 0.0 || rng_.Bernoulli(config_.random_failure_prob)) {
+    result.failed = true;
+    return result;
+  }
+  // Request-timeout failures under heavy sustained loss.
+  const sim::PathMetrics metrics =
+      net_->MetricsFor(vp_, cache, sim::FlowId{config_.flow}, t);
+  const double p_timeout = std::min(
+      config_.loss_failure_max,
+      (metrics.loss_down - config_.loss_failure_threshold) *
+          config_.loss_failure_slope);
+  if (p_timeout > 0.0 && rng_.Bernoulli(p_timeout)) {
+    result.failed = true;
+    return result;
+  }
+
+  // Startup: manifest fetch (2 RTT) + TCP connection (1 RTT) + download of
+  // the first `startup_target_s` seconds of video at the available rate.
+  const double startup_bits = video.startup_target_s * video.bitrate_mbps;
+  result.startup_delay_s = 3.0 * rtt_ms / 1e3 + startup_bits / avail;
+
+  // Steady-state playback emulation over segment downloads.
+  double clock_s = result.startup_delay_s;
+  double buffered_s = video.startup_target_s;
+  double played_s = 0.0;
+  double on_bits = 0.0;
+  double on_seconds = 0.0;
+  bool draining = false;
+
+  while (played_s < video.duration_s) {
+    const double downloaded_s = played_s + buffered_s;
+    const bool video_complete = downloaded_s >= video.duration_s;
+    if (!video_complete && buffered_s < video.buffer_target_s) {
+      // ON: fetch the next segment.
+      const TimeSec now = t + static_cast<TimeSec>(clock_s);
+      avail = AvailableMbps(cache, now, &rtt_ms);
+      if (avail < config_.failure_deficit * video.bitrate_mbps) {
+        // Player timeout: cannot sustain the selected representation.
+        result.failed = true;
+        return result;
+      }
+      const double seg_bits = video.segment_s * video.bitrate_mbps;
+      const double dl_time = seg_bits / avail;
+      on_bits += seg_bits;
+      on_seconds += dl_time;
+      clock_s += dl_time;
+      const double played_during = std::min(buffered_s, dl_time);
+      buffered_s += video.segment_s - played_during;
+      played_s += played_during;
+      if (buffered_s <= 0.0) {
+        // Buffer depleted before the segment landed: rebuffering.
+        ++result.rebuffer_events;
+        if (result.rebuffer_events > config_.rebuffer_failure_limit) {
+          result.failed = true;
+          return result;
+        }
+        buffered_s = video.segment_s;
+        draining = false;
+      }
+    } else {
+      // OFF: buffer full (or video fully fetched); play down one segment.
+      const double step = std::min(video.segment_s, video.duration_s - played_s);
+      clock_s += step;
+      played_s += step;
+      buffered_s = std::max(0.0, buffered_s - step);
+      if (!video_complete && buffered_s <= 0.0 && !draining) {
+        ++result.rebuffer_events;
+        draining = true;
+        if (result.rebuffer_events > config_.rebuffer_failure_limit) {
+          result.failed = true;
+          return result;
+        }
+      }
+    }
+  }
+
+  result.completed = true;
+  result.on_throughput_mbps = on_seconds > 0.0 ? on_bits / on_seconds : avail;
+
+  probe::Prober prober(*net_, vp_);
+  const probe::TracerouteResult trace =
+      prober.Traceroute(cache, sim::FlowId{config_.flow}, t);
+  for (const probe::TracerouteHop& hop : trace.hops) {
+    if (hop.addr && known_far_addrs.contains(hop.addr->value())) {
+      result.forward_link = *hop.addr;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace manic::ytstream

@@ -1,0 +1,85 @@
+// YouTube streaming performance emulation (§3.5, YouTube-test analogue).
+// Streams a video from a cache across the simulated network and emulates the
+// playback buffer: an initial burst fills the buffer (startup), then
+// steady-state ON/OFF downloading keeps it near a target level. Produces the
+// three §5.2 validation metrics: ON-period throughput, startup delay (time
+// to stream the first two seconds), and streaming failure (the buffer
+// depleting or a segment download failing under heavy loss). A post-test
+// traceroute matches the cache path against known border links.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "probe/probe.h"
+
+namespace manic::ytstream {
+
+using sim::SimNetwork;
+using sim::TimeSec;
+using topo::Ipv4Addr;
+using topo::VpId;
+
+struct VideoSpec {
+  double bitrate_mbps = 4.5;     // selected representation bitrate
+  double duration_s = 90.0;      // >= 1 minute, per the paper's video choice
+  double segment_s = 1.0;        // emulated segment granularity
+  double startup_target_s = 2.0; // startup delay = time to first 2 s of video
+  double buffer_target_s = 12.0; // steady-state buffer level (ON/OFF driver)
+};
+
+struct StreamResult {
+  bool completed = false;          // reached end of video without failure
+  bool failed = false;             // aborted: depleted buffer / segment failure
+  double on_throughput_mbps = 0.0; // mean instantaneous rate during ON periods
+  double startup_delay_s = 0.0;
+  int rebuffer_events = 0;
+  double rtt_ms = 0.0;
+  TimeSec when = 0;
+  std::optional<Ipv4Addr> forward_link;  // border link crossed toward cache
+};
+
+class YoutubeClient {
+ public:
+  struct Config {
+    double access_plan_mbps = 100.0;
+    double mss_bytes = 1460.0;
+    double noise_sigma = 0.06;
+    std::uint16_t flow = 0x5954;
+    // A segment download fails outright when available throughput falls
+    // below this fraction of the bitrate (player timeout).
+    double failure_deficit = 0.55;
+    double rebuffer_failure_limit = 2;  // rebuffers tolerated before abort
+    // YouTube fetches media over several parallel connections / range
+    // requests, so its aggregate rate under loss exceeds a single TCP
+    // stream's Mathis limit (still capped by the access plan).
+    double parallel_connections = 3.5;
+    // Background rate of transient failures unrelated to congestion (player
+    // errors, cache misses): the nonzero uncongested failure bars of Fig 5.
+    double random_failure_prob = 0.01;
+    // Heavy sustained loss can abort a stream outright (manifest/segment
+    // request timeouts) even when aggregate throughput would suffice:
+    // P(fail) = min(max, (loss_down - threshold) * slope).
+    double loss_failure_threshold = 0.02;
+    double loss_failure_slope = 12.0;
+    double loss_failure_max = 0.5;
+  };
+
+  YoutubeClient(SimNetwork& net, VpId vp, Config config);
+  YoutubeClient(SimNetwork& net, VpId vp) : YoutubeClient(net, vp, Config{}) {}
+
+  StreamResult Stream(Ipv4Addr cache, const VideoSpec& video, TimeSec t,
+                      const std::set<std::uint32_t>& known_far_addrs = {});
+
+ private:
+  // Available TCP throughput toward the VP at time t (Mathis + access cap).
+  double AvailableMbps(Ipv4Addr cache, TimeSec t, double* rtt_ms);
+
+  SimNetwork* net_;
+  VpId vp_;
+  Config config_;
+  stats::Rng rng_;
+};
+
+}  // namespace manic::ytstream

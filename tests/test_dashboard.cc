@@ -1,0 +1,120 @@
+// Tests for the Grafana-substitute link dashboard: structure, heat-map
+// semantics (elevated evening cells, quiet daytime cells), window ruler
+// alignment, loss overlay, and graceful handling of missing data.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/dashboard.h"
+#include "bdrmap/bdrmap.h"
+#include "lossprobe/lossprobe.h"
+#include "scenario/small.h"
+#include "tslp/tslp.h"
+
+namespace manic::analysis {
+namespace {
+
+using scenario::MakeSmallScenario;
+using scenario::SmallScenario;
+
+class DashboardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = MakeSmallScenario();
+    bdrmap::Bdrmap bdrmap(*world_.net, world_.vp);
+    tslp::TslpScheduler tslp(*world_.net, world_.vp, db_);
+    tslp.UpdateProbingSet(bdrmap.RunCycle(9 * 3600));
+    for (sim::TimeSec t = 0; t < 7 * 86400; t += 300) tslp.RunRound(t);
+    far_ = world_.topo
+               ->iface(world_.topo->link(world_.peering_nyc).iface_b)
+               .addr;
+  }
+
+  std::vector<std::string> Lines(const std::string& text) {
+    std::vector<std::string> out;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) out.push_back(line);
+    return out;
+  }
+
+  scenario::SmallScenario world_;
+  tsdb::Database db_;
+  topo::Ipv4Addr far_;
+};
+
+TEST_F(DashboardTest, StructureAndHeatSemantics) {
+  DashboardConfig config;
+  config.days = 7;
+  const std::string dash =
+      RenderLinkDashboard(db_, "vp-nyc", far_, 0, config);
+  const auto lines = Lines(dash);
+  // Header, legend, ruler, 7 day rows, window row, summary.
+  ASSERT_GE(lines.size(), 11u);
+  EXPECT_NE(dash.find("=== link " + far_.ToString()), std::string::npos);
+  EXPECT_NE(dash.find("(recurring congestion window)"), std::string::npos);
+
+  // Locate day rows and check evening elevation: NYC evening is 00-04 UTC,
+  // so the first columns must be hot ('#'/'*') and midday columns quiet.
+  int hot_evenings = 0;
+  for (const auto& line : lines) {
+    if (!line.starts_with("day")) continue;
+    const std::string cells = line.substr(6);
+    ASSERT_GE(cells.size(), 24u);
+    if (cells[1] == '#' || cells[1] == '*') ++hot_evenings;
+    // Midday (cols 12-16) stays cool.
+    for (int c = 12; c <= 16; ++c) {
+      EXPECT_TRUE(cells[static_cast<std::size_t>(c)] == ' ' ||
+                  cells[static_cast<std::size_t>(c)] == '-')
+          << line;
+    }
+  }
+  EXPECT_GE(hot_evenings, 6);
+
+  // The window ruler marks the same early-UTC columns.
+  for (const auto& line : lines) {
+    if (!line.starts_with("window")) continue;
+    const std::string cells = line.substr(6);
+    EXPECT_EQ(cells[1], '^') << line;
+    EXPECT_EQ(cells[14], ' ') << line;
+  }
+}
+
+TEST_F(DashboardTest, LossOverlayAppearsWhenPresent) {
+  // Without loss data: no loss row.
+  DashboardConfig config;
+  config.days = 2;
+  EXPECT_EQ(RenderLinkDashboard(db_, "vp-nyc", far_, 0, config).find("loss"),
+            std::string::npos);
+  // Add a loss campaign and re-render.
+  bdrmap::Bdrmap bdrmap(*world_.net, world_.vp);
+  const auto borders = bdrmap.RunCycle(9 * 3600);
+  const bdrmap::BorderLink* link = borders.FindByFarAddr(far_);
+  ASSERT_NE(link, nullptr);
+  lossprobe::LossProber loss(*world_.net, world_.vp, db_);
+  loss.SetTargetsDirect({{far_, link->dests.front().dst,
+                          link->dests.front().flow,
+                          link->dests.front().far_ttl}});
+  loss.RunCampaign(0, 2 * 86400);
+  const std::string dash = RenderLinkDashboard(db_, "vp-nyc", far_, 0, config);
+  EXPECT_NE(dash.find("mean far loss per hour"), std::string::npos);
+}
+
+TEST_F(DashboardTest, MissingLinkHandled) {
+  const std::string dash =
+      RenderLinkDashboard(db_, "vp-nyc", topo::Ipv4Addr(9, 9, 9, 9), 0, {});
+  EXPECT_NE(dash.find("(no far-side measurements)"), std::string::npos);
+}
+
+TEST_F(DashboardTest, UncongestedLinkSaysSo) {
+  const topo::Ipv4Addr lax_far =
+      world_.topo->iface(world_.topo->link(world_.peering_lax).iface_b).addr;
+  DashboardConfig config;
+  config.days = 7;
+  const std::string dash =
+      RenderLinkDashboard(db_, "vp-nyc", lax_far, 0, config);
+  EXPECT_NE(dash.find("no recurring congestion inferred"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manic::analysis

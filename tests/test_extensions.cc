@@ -1,0 +1,321 @@
+// Tests for the paper's §7/§9 extensions implemented in this repo:
+//  - return-path congestion-signature correlation (shared congested return
+//    paths detected by correlating two links' TSLP series),
+//  - MAP-IT-style inference of interdomain borders beyond the host
+//    network's own edge,
+//  - reactive TSLP destination repair after route changes (backup
+//    promotion instead of waiting for the next bdrmap cycle).
+#include <gtest/gtest.h>
+
+#include "analysis/path_signature.h"
+#include "bdrmap/bdrmap.h"
+#include "bdrmap/mapit.h"
+#include "scenario/small.h"
+#include "tslp/tslp.h"
+
+namespace manic {
+namespace {
+
+using scenario::MakeSmallScenario;
+using scenario::SmallScenario;
+
+constexpr sim::TimeSec kQuiet = 9 * 3600;
+
+// ---- return-path congestion signatures (§7) --------------------------------
+
+class SignatureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = MakeSmallScenario();
+    bdrmap::Bdrmap bdrmap(*world_.net, world_.vp);
+    tslp_ = std::make_unique<tslp::TslpScheduler>(*world_.net, world_.vp, db_);
+    tslp_->UpdateProbingSet(bdrmap.RunCycle(kQuiet));
+  }
+  void Probe(int days) {
+    for (sim::TimeSec t = 0; t < days * 86400; t += 300) tslp_->RunRound(t);
+  }
+  topo::Ipv4Addr FarOf(topo::LinkId link) {
+    const topo::Link& l = world_.topo->link(link);
+    return world_.topo
+        ->iface(world_.topo->IfaceOn(
+            l, l.as_a == SmallScenario::kAccess ? l.router_b : l.router_a))
+        .addr;
+  }
+  scenario::SmallScenario world_;
+  tsdb::Database db_;
+  std::unique_ptr<tslp::TslpScheduler> tslp_;
+};
+
+TEST_F(SignatureTest, IndependentLinksUncorrelated) {
+  Probe(4);
+  // NYC peering is congested; the transit link is clean: no shared path.
+  const auto cmp = analysis::CompareCongestionSignatures(
+      db_, "vp-nyc", FarOf(world_.peering_nyc), FarOf(world_.transit_access),
+      0, 4 * 86400);
+  ASSERT_TRUE(cmp.comparable);
+  EXPECT_FALSE(cmp.likely_shared_path);
+  EXPECT_LT(cmp.correlation, 0.3);
+}
+
+TEST_F(SignatureTest, SharedCongestedReturnPathDetected) {
+  // Force the LAX far router's replies to detour over the congested NYC
+  // peering (an asymmetric return, §7): the clean LAX link's TSLP series
+  // then carries the NYC queue's signature, and the correlation flags the
+  // shared congested return path — exactly the detection technique the
+  // paper proposes for this confound.
+  world_.net->SetReturnOverride(world_.content_lax, SmallScenario::kAccess,
+                                world_.peering_nyc);
+  world_.net->InvalidatePaths();
+  Probe(4);
+  const auto cmp = analysis::CompareCongestionSignatures(
+      db_, "vp-nyc", FarOf(world_.peering_nyc), FarOf(world_.peering_lax), 0,
+      4 * 86400);
+  ASSERT_TRUE(cmp.comparable);
+  EXPECT_TRUE(cmp.likely_shared_path) << "corr=" << cmp.correlation;
+  EXPECT_GT(cmp.correlation, 0.7);
+}
+
+TEST_F(SignatureTest, TooLittleDataIsNotComparable) {
+  Probe(1);  // one day: not enough elevated overlap for a 4-day window query
+  const auto cmp = analysis::CompareCongestionSignatures(
+      db_, "vp-nyc", FarOf(world_.peering_nyc),
+      topo::Ipv4Addr(9, 9, 9, 9),  // unknown link: empty series
+      0, 86400);
+  EXPECT_FALSE(cmp.comparable);
+  EXPECT_FALSE(cmp.likely_shared_path);
+}
+
+// ---- MAP-IT (§9) -------------------------------------------------------------
+
+TEST(MapIt, FindsBordersBeyondTheHostEdge) {
+  auto world = MakeSmallScenario();
+  const auto borders =
+      bdrmap::InferRemoteBorders(*world.net, world.vp, kQuiet);
+  ASSERT_FALSE(borders.empty());
+
+  // The host's own border to ContentCo must be present...
+  bool host_content = false;
+  // ...and so must the remote ContentCo->StubLeaf border, which bdrmap
+  // proper cannot see (it only maps the host network's edge).
+  bool content_stub = false;
+  for (const auto& b : borders) {
+    if (b.near_as == SmallScenario::kAccess &&
+        b.far_as == SmallScenario::kContent) {
+      host_content = true;
+    }
+    if (b.near_as == SmallScenario::kContent &&
+        b.far_as == SmallScenario::kStubCustomer) {
+      content_stub = true;
+    }
+  }
+  EXPECT_TRUE(host_content);
+  EXPECT_TRUE(content_stub);
+}
+
+TEST(MapIt, PrecisionMatchesRealTool) {
+  // Real MAP-IT reports ~85-95% precision from single-vantage corpora; the
+  // shared-addressing [A, A, B] pattern is genuinely ambiguous without
+  // reverse traces. Require high (not perfect) precision and correct AS
+  // pairs on every true positive.
+  auto world = MakeSmallScenario();
+  const auto borders =
+      bdrmap::InferRemoteBorders(*world.net, world.vp, kQuiet);
+  int correct = 0, wrong = 0;
+  for (const auto& b : borders) {
+    const auto iface = world.topo->IfaceByAddr(b.far_addr);
+    ASSERT_TRUE(iface.has_value());
+    const topo::Link& link =
+        world.topo->link(world.topo->iface(*iface).link);
+    const bool interdomain = link.kind != topo::LinkKind::kIntra &&
+                             link.kind != topo::LinkKind::kHostUplink;
+    const bool as_pair_ok =
+        (link.as_a == b.near_as && link.as_b == b.far_as) ||
+        (link.as_b == b.near_as && link.as_a == b.far_as);
+    if (interdomain && as_pair_ok) {
+      ++correct;
+    } else {
+      ++wrong;
+    }
+  }
+  ASSERT_GT(correct, 3);
+  EXPECT_GE(static_cast<double>(correct) / (correct + wrong), 0.8)
+      << correct << " correct vs " << wrong << " wrong";
+}
+
+TEST(MapIt, MultiVpFusionImprovesPrecision) {
+  // Additional vantage points approach the same routers from different
+  // directions, contradicting the bogus "exclusively forwards into B"
+  // evidence that single-VP corpora can produce: multi-VP precision must be
+  // at least as good as single-VP, on a corpus at least as large.
+  auto world = MakeSmallScenario();
+  const topo::VpId vp2 = world.topo->AddVantagePoint(
+      "vp-lax", SmallScenario::kAccess, world.access_lax);
+
+  auto precision = [&](const std::vector<bdrmap::RemoteBorder>& borders) {
+    int correct = 0, wrong = 0;
+    for (const auto& b : borders) {
+      const auto iface = world.topo->IfaceByAddr(b.far_addr);
+      if (!iface) {
+        ++wrong;
+        continue;
+      }
+      const topo::Link& link = world.topo->link(world.topo->iface(*iface).link);
+      const bool inter = link.kind != topo::LinkKind::kIntra &&
+                         link.kind != topo::LinkKind::kHostUplink;
+      const bool pair_ok =
+          (link.as_a == b.near_as && link.as_b == b.far_as) ||
+          (link.as_b == b.near_as && link.as_a == b.far_as);
+      (inter && pair_ok ? correct : wrong) += 1;
+    }
+    return std::make_pair(correct, wrong);
+  };
+
+  const auto single =
+      precision(bdrmap::InferRemoteBorders(*world.net, world.vp, kQuiet));
+  const auto multi = precision(bdrmap::InferRemoteBordersMultiVp(
+      *world.net, {world.vp, vp2}, kQuiet));
+  ASSERT_GT(multi.first, 0);
+  const double p_single =
+      static_cast<double>(single.first) / (single.first + single.second);
+  const double p_multi =
+      static_cast<double>(multi.first) / (multi.first + multi.second);
+  EXPECT_GE(p_multi, p_single - 1e-9);
+  EXPECT_GE(multi.first, single.first);  // coverage does not shrink
+}
+
+TEST(MapIt, ObservationCountsAndFiltering) {
+  auto world = MakeSmallScenario();
+  bdrmap::MapItConfig config;
+  config.min_observations = 1000;  // absurd: filters everything
+  EXPECT_TRUE(
+      bdrmap::InferRemoteBorders(*world.net, world.vp, kQuiet, config).empty());
+}
+
+// ---- record-route return-path check (§7) -------------------------------------
+
+TEST(RecordRoute, SymmetricReturnConfirmed) {
+  auto world = MakeSmallScenario();
+  bdrmap::Bdrmap bdrmap(*world.net, world.vp);
+  const auto borders = bdrmap.RunCycle(kQuiet);
+  const topo::Ipv4Addr far =
+      world.topo->iface(world.topo->link(world.peering_nyc).iface_b).addr;
+  const bdrmap::BorderLink* link = borders.FindByFarAddr(far);
+  ASSERT_NE(link, nullptr);
+  const auto& d = link->dests.front();
+  const auto check = analysis::CheckReturnSymmetry(
+      *world.net, world.vp, far, d.dst, d.far_ttl, d.flow, kQuiet);
+  ASSERT_TRUE(check.usable);
+  EXPECT_TRUE(check.symmetric);
+  EXPECT_FALSE(check.reverse_route.empty());
+  EXPECT_LE(check.reverse_route.size(), sim::SimNetwork::kRecordRouteSlots);
+}
+
+TEST(RecordRoute, AsymmetricReturnExposed) {
+  // Detour the far router's replies over the LAX link: the recorded reverse
+  // route no longer contains the NYC far interface, exposing exactly the §7
+  // blind spot that FailureInjection.AsymmetricReturnHidesCongestionFromTslp
+  // demonstrates from the latency side.
+  auto world = MakeSmallScenario();
+  bdrmap::Bdrmap bdrmap(*world.net, world.vp);
+  const auto borders = bdrmap.RunCycle(kQuiet);
+  const topo::Ipv4Addr far =
+      world.topo->iface(world.topo->link(world.peering_nyc).iface_b).addr;
+  const bdrmap::BorderLink* link = borders.FindByFarAddr(far);
+  ASSERT_NE(link, nullptr);
+  world.net->SetReturnOverride(world.content_nyc, SmallScenario::kAccess,
+                               world.peering_lax);
+  world.net->InvalidatePaths();
+  const auto& d = link->dests.front();
+  const auto check = analysis::CheckReturnSymmetry(
+      *world.net, world.vp, far, d.dst, d.far_ttl, d.flow, kQuiet);
+  ASSERT_TRUE(check.usable);
+  EXPECT_FALSE(check.symmetric);
+  // The LAX far interface appears in the recorded route instead.
+  const topo::Ipv4Addr lax_far =
+      world.topo->iface(world.topo->link(world.peering_lax).iface_b).addr;
+  bool via_lax = false;
+  for (const auto addr : check.reverse_route) via_lax |= addr == lax_far;
+  EXPECT_TRUE(via_lax);
+}
+
+TEST(RecordRoute, SilentRoutersSkipRecording) {
+  auto world = MakeSmallScenario();
+  // Silence the access core: its slot is omitted from the recorded route
+  // (real RR entries are only added by cooperating routers).
+  world.topo->router(world.access_core).icmp.responds = false;
+  const auto cdst = *world.topo->DestinationIn(SmallScenario::kContent, 0);
+  // Find a far-router TTL on the path.
+  const auto& path = world.net->PathFromVp(world.vp, cdst, sim::FlowId{9});
+  int far_ttl = -1;
+  for (std::size_t i = 0; i < path.hops.size(); ++i) {
+    if (world.topo->router(path.hops[i].router).owner ==
+        SmallScenario::kContent) {
+      far_ttl = static_cast<int>(i) + 1;
+      break;
+    }
+  }
+  ASSERT_GT(far_ttl, 0);
+  const auto rr = world.net->ProbeRecordRoute(world.vp, cdst, far_ttl,
+                                              sim::FlowId{9}, kQuiet);
+  // Replies still arrive (silence only affects TTL-expired generation for
+  // probes TO the router, and RR recording), but no interface of the silent
+  // router shows up in the route.
+  for (const auto addr : rr.reverse_route) {
+    const auto iface = world.topo->IfaceByAddr(addr);
+    ASSERT_TRUE(iface.has_value());
+    EXPECT_NE(world.topo->iface(*iface).router, world.access_core);
+  }
+}
+
+// ---- reactive TSLP destination repair ----------------------------------------
+
+TEST(ReactiveRepair, BackupPromotedAfterRouteHijack) {
+  auto world = MakeSmallScenario();
+  tsdb::Database db;
+  bdrmap::Bdrmap bdrmap(*world.net, world.vp);
+  tslp::TslpScheduler::Config config;
+  config.max_dests = 1;  // force reliance on backups
+  config.visibility_miss_limit = 3;
+  tslp::TslpScheduler tslp(*world.net, world.vp, db, config);
+  tslp.UpdateProbingSet(bdrmap.RunCycle(kQuiet));
+
+  // The ContentCo target must have spare destinations.
+  const topo::Ipv4Addr far =
+      world.topo->iface(world.topo->link(world.peering_nyc).iface_b).addr;
+  const tslp::TslpTarget* target = nullptr;
+  for (const auto& t : tslp.targets()) {
+    if (t.far_addr == far) target = &t;
+  }
+  ASSERT_NE(target, nullptr);
+  ASSERT_FALSE(target->backups.empty());
+  const topo::Ipv4Addr original_dst = target->dests.front().dst;
+
+  // Hijack the probed destination with a more-specific announcement from
+  // TransitCo: its route flips away from the peering link, other
+  // destinations stay put.
+  const topo::Prefix specific(original_dst, 24);
+  world.topo->Announce(SmallScenario::kTransit, specific);
+  world.net->InvalidatePaths();
+
+  for (int round = 0; round < 12; ++round) tslp.RunRound(round * 300);
+
+  EXPECT_GE(tslp.destinations_repaired(), 1u);
+  // The link is still probed, via a different destination.
+  bool still_probed = false;
+  for (const auto& t : tslp.targets()) {
+    if (t.far_addr != far) continue;
+    for (const auto& d : t.dests) {
+      still_probed = still_probed || (!d.lost_visibility && d.dst != original_dst);
+    }
+  }
+  EXPECT_TRUE(still_probed);
+  // And far-side measurements keep flowing after the repair.
+  const auto series = db.QueryMerged(
+      tslp::kMeasurementRtt,
+      tslp::TslpScheduler::Tags("vp-nyc", far, tslp::kSideFar), 9 * 300,
+      12 * 300);
+  EXPECT_GT(series.size(), 0u);
+}
+
+}  // namespace
+}  // namespace manic

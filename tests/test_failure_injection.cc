@@ -1,0 +1,192 @@
+// Failure-injection tests: the measurement pathologies §5.1/§7 discuss must
+// not corrupt the inference. ICMP slow paths (min-filtering robustness),
+// response rate limiting, silent far routers, probing gaps, congestion
+// *inside* the access network (near-side exclusion), flow-id violations
+// (the §3.1 ECMP rationale), and asymmetric return paths.
+#include <gtest/gtest.h>
+
+#include "analysis/classify.h"
+#include "bdrmap/bdrmap.h"
+#include "scenario/small.h"
+#include "tslp/tslp.h"
+
+namespace manic {
+namespace {
+
+using scenario::MakeSmallScenario;
+using scenario::SmallScenario;
+using scenario::SmallScenarioOptions;
+
+constexpr sim::TimeSec kQuiet = 9 * 3600;
+
+// Runs a 14-day TSLP campaign and the autocorrelation inference on the NYC
+// peering link; the helper the injection tests share.
+struct CampaignResult {
+  bool recurring = false;
+  double response_rate = 0.0;
+  infer::RejectReason reject = infer::RejectReason::kNone;
+};
+
+CampaignResult RunCampaign(scenario::SmallScenario& world, int days = 14) {
+  tsdb::Database db;
+  bdrmap::Bdrmap::Config bcfg;
+  bcfg.cycles = 3;  // the deployed mapper runs continuously
+  bdrmap::Bdrmap bdrmap(*world.net, world.vp, bcfg);
+  tslp::TslpScheduler tslp(*world.net, world.vp, db);
+  tslp.UpdateProbingSet(bdrmap.RunCycle(kQuiet));
+  for (sim::TimeSec t = 0; t < days * 86400; t += 300) tslp.RunRound(t);
+
+  const topo::Ipv4Addr far =
+      world.topo->iface(world.topo->link(world.peering_nyc).iface_b).addr;
+  infer::AutocorrConfig cfg;
+  cfg.window_days = days;
+  cfg.min_elevated_days = days / 2;
+  const analysis::LinkInference inference =
+      analysis::InferLink(db, "vp-nyc", far, 0, days, cfg);
+  CampaignResult r;
+  r.recurring = inference.result.recurring;
+  r.reject = inference.result.reject;
+  r.response_rate = tslp.ResponseRate();
+  return r;
+}
+
+TEST(FailureInjection, BaselineDetects) {
+  auto world = MakeSmallScenario();
+  const CampaignResult r = RunCampaign(world);
+  EXPECT_TRUE(r.recurring);
+  EXPECT_GT(r.response_rate, 0.95);
+}
+
+TEST(FailureInjection, IcmpSlowPathDoesNotFakeCongestion) {
+  // A far router that frequently answers from its control plane adds tens of
+  // ms to random probes; the min-per-bin aggregation must absorb it (§7
+  // "Router Queueing Behavior").
+  SmallScenarioOptions options;
+  options.congested_peak_utilization = 0.5;  // genuinely uncongested link
+  auto world = MakeSmallScenario(options);
+  topo::Router& far_router = world.topo->router(world.content_nyc);
+  far_router.icmp.slow_path_prob = 0.3;
+  far_router.icmp.slow_path_extra_ms = 60.0;
+  const CampaignResult r = RunCampaign(world);
+  EXPECT_FALSE(r.recurring) << "slow-path noise misread as congestion";
+}
+
+TEST(FailureInjection, SlowPathOnCongestedLinkStillDetected) {
+  auto world = MakeSmallScenario();
+  topo::Router& far_router = world.topo->router(world.content_nyc);
+  far_router.icmp.slow_path_prob = 0.3;
+  far_router.icmp.slow_path_extra_ms = 60.0;
+  const CampaignResult r = RunCampaign(world);
+  EXPECT_TRUE(r.recurring);
+}
+
+TEST(FailureInjection, RateLimitedFarRouterDegradesGracefully) {
+  // 60% response loss: far bins thin out but the evening signal survives
+  // (min over the surviving samples is unchanged).
+  auto world = MakeSmallScenario();
+  world.topo->router(world.content_nyc).icmp.response_loss_prob = 0.6;
+  const CampaignResult r = RunCampaign(world);
+  EXPECT_TRUE(r.recurring);
+  EXPECT_LT(r.response_rate, 0.95);
+}
+
+TEST(FailureInjection, SilentFarRouterYieldsInsufficientData) {
+  auto world = MakeSmallScenario();
+  world.topo->router(world.content_nyc).icmp.responds = false;
+  // bdrmap cannot see the far side of the NYC link anymore; TSLP writes no
+  // far series for it, so the inference must report insufficient data
+  // rather than invent congestion.
+  tsdb::Database db;
+  const topo::Ipv4Addr far =
+      world.topo->iface(world.topo->link(world.peering_nyc).iface_b).addr;
+  const analysis::LinkInference inference =
+      analysis::InferLink(db, "vp-nyc", far, 0, 14);
+  EXPECT_FALSE(inference.result.recurring);
+  EXPECT_EQ(inference.result.reject, infer::RejectReason::kInsufficientData);
+}
+
+TEST(FailureInjection, AccessInternalCongestionExcludedByNearSide) {
+  // Congest the access ISP's own core->border intra link in the same diurnal
+  // pattern: both near and far RTTs rise together, and the near-side
+  // exclusion must veto the interdomain-congestion inference (§4.2).
+  SmallScenarioOptions options;
+  options.congested_peak_utilization = 0.5;  // interdomain link is clean
+  auto world = MakeSmallScenario(options);
+  // The intra link acc-core -> acc-br-nyc carries the same evening overload
+  // in the VP->border direction (so probes TOWARD the link queue).
+  const topo::LinkId intra = 0;  // first link created: core-nyc intra
+  ASSERT_EQ(world.topo->link(intra).kind, topo::LinkKind::kIntra);
+  sim::LinkDemand demand;
+  demand.default_peak_utilization = 1.3;
+  world.net->SetDemand(intra, sim::Direction::kAtoB, demand);
+  world.net->SetDemand(intra, sim::Direction::kBtoA, demand);
+
+  const CampaignResult r = RunCampaign(world);
+  EXPECT_FALSE(r.recurring)
+      << "internal access congestion misattributed to the interdomain link";
+}
+
+TEST(FailureInjection, FlowIdViolationCorruptsNearFarPairing) {
+  // The §3.1 rationale: if near and far probes hash differently under ECMP,
+  // the far probe can cross the *clean* parallel link while its TSLP entry
+  // is attributed to the congested one. Demonstrate the mechanism directly:
+  // two flows that map the same destination onto different peering links.
+  auto world = MakeSmallScenario();
+  const auto cdst = *world.topo->DestinationIn(SmallScenario::kContent, 3);
+  topo::LinkId via_a = topo::kInvalidId, via_b = topo::kInvalidId;
+  std::uint16_t flow_a = 0, flow_b = 0;
+  for (std::uint16_t f = 0; f < 64; ++f) {
+    const auto& path = world.net->PathFromVp(world.vp, cdst, sim::FlowId{f});
+    for (const auto& hop : path.hops) {
+      if (hop.via_link == world.peering_nyc && via_a == topo::kInvalidId) {
+        via_a = hop.via_link;
+        flow_a = f;
+      }
+      if (hop.via_link == world.peering_lax && via_b == topo::kInvalidId) {
+        via_b = hop.via_link;
+        flow_b = f;
+      }
+    }
+  }
+  if (via_a == topo::kInvalidId || via_b == topo::kInvalidId) {
+    GTEST_SKIP() << "destination did not ECMP across both links";
+  }
+  // Same destination, different flows -> different parallel links: the
+  // constant-checksum discipline is what rules this out in deployment.
+  EXPECT_NE(flow_a, flow_b);
+  const auto& pa = world.net->PathFromVp(world.vp, cdst, sim::FlowId{flow_a});
+  const auto& pb = world.net->PathFromVp(world.vp, cdst, sim::FlowId{flow_b});
+  bool a_nyc = false, b_nyc = false;
+  for (const auto& h : pa.hops) a_nyc = a_nyc || h.via_link == world.peering_nyc;
+  for (const auto& h : pb.hops) b_nyc = b_nyc || h.via_link == world.peering_nyc;
+  EXPECT_TRUE(a_nyc);
+  EXPECT_FALSE(b_nyc);
+}
+
+TEST(FailureInjection, HeavyBinLossToleratedByInference) {
+  // Drop 40% of all probes (host-side loss): bins thin out; min-filtering
+  // plus missing-bin tolerance keep the inference intact.
+  auto world = MakeSmallScenario();
+  for (const auto& [asn, info] : world.topo->ases()) {
+    for (const topo::RouterId r : info.routers) {
+      world.topo->router(r).icmp.response_loss_prob = 0.4;
+    }
+  }
+  const CampaignResult r = RunCampaign(world);
+  EXPECT_TRUE(r.recurring);
+  EXPECT_LT(r.response_rate, 0.7);
+}
+
+TEST(FailureInjection, AsymmetricReturnHidesCongestionFromTslp) {
+  // §7 "Asymmetric routes": if far-side replies return over a different
+  // link, TSLP cannot see the queue — the known blind spot, reproduced.
+  auto world = MakeSmallScenario();
+  world.net->SetReturnOverride(world.content_nyc, SmallScenario::kAccess,
+                               world.peering_lax);
+  world.net->InvalidatePaths();
+  const CampaignResult r = RunCampaign(world);
+  EXPECT_FALSE(r.recurring);
+}
+
+}  // namespace
+}  // namespace manic

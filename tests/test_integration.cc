@@ -1,0 +1,193 @@
+// End-to-end integration tests of the whole Figure-1 system on the small
+// scenario: two vantage points observing the same link with merged
+// inferences (§4.2 final stage), the reactive loss-probing loop driven by
+// level-shift detections (§3.3/§4.1 as deployed Mar-Dec 2017), and backend
+// housekeeping (retention, CSV export) under a multi-week campaign.
+#include <gtest/gtest.h>
+
+#include "analysis/classify.h"
+#include "bdrmap/bdrmap.h"
+#include "infer/level_shift.h"
+#include "lossprobe/lossprobe.h"
+#include "scenario/small.h"
+#include "tslp/tslp.h"
+
+namespace manic {
+namespace {
+
+using scenario::MakeSmallScenario;
+using scenario::SmallScenario;
+
+constexpr sim::TimeSec kQuiet = 9 * 3600;
+
+TEST(Integration, TwoVantagePointsMergeOnOneLink) {
+  auto world = MakeSmallScenario();
+  // A second VP in the same network, attached at the NYC border router.
+  const topo::VpId vp2 =
+      world.topo->AddVantagePoint("vp-nyc-2", SmallScenario::kAccess,
+                                  world.access_nyc);
+  const topo::Ipv4Addr far =
+      world.topo->iface(world.topo->link(world.peering_nyc).iface_b).addr;
+
+  tsdb::Database db;
+  constexpr int kDays = 12;
+  infer::AutocorrConfig cfg;
+  cfg.window_days = kDays;
+  cfg.min_elevated_days = 6;
+
+  std::vector<infer::AutocorrResult> per_vp;
+  for (const topo::VpId vp : {world.vp, vp2}) {
+    bdrmap::Bdrmap bdrmap(*world.net, vp);
+    tslp::TslpScheduler tslp(*world.net, vp, db);
+    tslp.UpdateProbingSet(bdrmap.RunCycle(kQuiet));
+    for (sim::TimeSec t = 0; t < kDays * 86400; t += 300) tslp.RunRound(t);
+    const std::string name = world.topo->vp(vp).name;
+    per_vp.push_back(
+        analysis::InferLink(db, name, far, 0, kDays, cfg).result);
+  }
+  // Both VPs independently assert recurring congestion on the NYC link...
+  ASSERT_EQ(per_vp.size(), 2u);
+  EXPECT_TRUE(per_vp[0].recurring);
+  EXPECT_TRUE(per_vp[1].recurring);
+  // ...their inferred windows agree (same underlying queue)...
+  EXPECT_NEAR(per_vp[0].window_start, per_vp[1].window_start, 3);
+  // ...and the merged inference averages the day levels.
+  const infer::AutocorrResult merged = infer::MergeVpInferences(per_vp, cfg);
+  ASSERT_TRUE(merged.recurring);
+  for (std::size_t d = 0; d < merged.day_fraction.size(); ++d) {
+    const double lo = std::min(per_vp[0].day_fraction[d],
+                               per_vp[1].day_fraction[d]);
+    const double hi = std::max(per_vp[0].day_fraction[d],
+                               per_vp[1].day_fraction[d]);
+    EXPECT_GE(merged.day_fraction[d], lo - 1e-12);
+    EXPECT_LE(merged.day_fraction[d], hi + 1e-12);
+  }
+}
+
+TEST(Integration, LevelShiftTriggersReactiveLossProbing) {
+  // The deployed loop of §3.3: weekly level-shift analysis selects links
+  // with congestion episodes; those links get high-frequency loss probing
+  // the following week; the loss data then corroborates the inference.
+  auto world = MakeSmallScenario();
+  tsdb::Database db;
+  bdrmap::Bdrmap bdrmap(*world.net, world.vp);
+  tslp::TslpScheduler tslp(*world.net, world.vp, db);
+  tslp.UpdateProbingSet(bdrmap.RunCycle(kQuiet));
+
+  // Week 1: TSLP only.
+  for (sim::TimeSec t = 0; t < 7 * 86400; t += 300) tslp.RunRound(t);
+
+  // Weekly analysis: level-shift per probed link selects the reactive set.
+  std::set<std::uint32_t> recently_congested;
+  for (const tslp::TslpTarget& target : tslp.targets()) {
+    const auto series = db.QueryMerged(
+        tslp::kMeasurementRtt,
+        tslp::TslpScheduler::Tags("vp-nyc", target.far_addr, tslp::kSideFar),
+        0, 7 * 86400);
+    const auto shifts =
+        infer::DetectLevelShifts(series.Bin(300, stats::BinAgg::kMin));
+    if (shifts.HasCongestion()) {
+      recently_congested.insert(target.far_addr.value());
+    }
+  }
+  // Exactly the congested NYC peering is selected.
+  const topo::Ipv4Addr far =
+      world.topo->iface(world.topo->link(world.peering_nyc).iface_b).addr;
+  ASSERT_EQ(recently_congested.size(), 1u);
+  EXPECT_TRUE(recently_congested.contains(far.value()));
+
+  // Week 2: loss probing on the selected link, then the §5.1 checks.
+  lossprobe::LossProber loss(*world.net, world.vp, db);
+  ASSERT_EQ(loss.SelectTargets(tslp.targets(), recently_congested), 1u);
+  for (sim::TimeSec t = 7 * 86400; t < 14 * 86400; t += 300) {
+    tslp.RunRound(t);
+  }
+  loss.RunCampaign(7 * 86400, 14 * 86400);
+
+  const auto far_loss = db.QueryMerged(
+      lossprobe::kMeasurementLoss,
+      tslp::TslpScheduler::Tags("vp-nyc", far, tslp::kSideFar), 7 * 86400,
+      14 * 86400);
+  ASSERT_EQ(far_loss.size(), 7u * 288u);
+  // Peak-hour loss visibly above off-peak loss.
+  double peak_sum = 0.0, off_sum = 0.0;
+  int peak_n = 0, off_n = 0;
+  for (const auto& p : far_loss.points()) {
+    const double h = sim::LocalHour(p.t, -5);
+    if (h >= 19.0 && h < 23.0) {
+      peak_sum += p.value;
+      ++peak_n;
+    } else if (h >= 3.0 && h < 7.0) {
+      off_sum += p.value;
+      ++off_n;
+    }
+  }
+  EXPECT_GT(peak_sum / peak_n, off_sum / off_n + 0.5);
+}
+
+TEST(Integration, BackendRetentionAndExportUnderLoad) {
+  auto world = MakeSmallScenario();
+  tsdb::Database db;
+  bdrmap::Bdrmap bdrmap(*world.net, world.vp);
+  tslp::TslpScheduler tslp(*world.net, world.vp, db);
+  tslp.UpdateProbingSet(bdrmap.RunCycle(kQuiet));
+  for (sim::TimeSec t = 0; t < 5 * 86400; t += 300) tslp.RunRound(t);
+
+  const std::size_t before = db.TotalPoints();
+  ASSERT_GT(before, 10000u);
+  // Two-day retention horizon drops roughly 3/5 of the data.
+  const std::size_t dropped =
+      db.EnforceRetention(tslp::kMeasurementRtt, 2 * 86400);
+  EXPECT_GT(dropped, before / 3);
+  EXPECT_EQ(db.TotalPoints(), before - dropped);
+
+  // CSV export stays consistent with the retained series.
+  const topo::Ipv4Addr far =
+      world.topo->iface(world.topo->link(world.peering_nyc).iface_b).addr;
+  const std::string csv = db.ExportCsv(
+      tslp::kMeasurementRtt,
+      tslp::TslpScheduler::Tags("vp-nyc", far, tslp::kSideFar));
+  std::size_t rows = 0;
+  for (const char c : csv) rows += c == '\n' ? 1 : 0;
+  const auto series = db.QueryMerged(
+      tslp::kMeasurementRtt,
+      tslp::TslpScheduler::Tags("vp-nyc", far, tslp::kSideFar), 0, 1LL << 40);
+  EXPECT_EQ(rows, series.size() + 1);  // + header
+}
+
+TEST(Integration, FullPipelineAgainstGroundTruth) {
+  // 16-day campaign with a mid-campaign regime change: congestion appears on
+  // day 8. The inference must turn on only after enough elevated days
+  // accumulate, and classified congested days must match the simulator's
+  // truth day by day once the window has support.
+  scenario::SmallScenarioOptions options;
+  options.regime_start_day = 8;
+  options.regime_end_day = 1000;
+  auto world = MakeSmallScenario(options);
+  tsdb::Database db;
+  bdrmap::Bdrmap bdrmap(*world.net, world.vp);
+  tslp::TslpScheduler tslp(*world.net, world.vp, db);
+  tslp.UpdateProbingSet(bdrmap.RunCycle(kQuiet));
+  constexpr int kDays = 16;
+  for (sim::TimeSec t = 0; t < kDays * 86400; t += 300) tslp.RunRound(t);
+
+  const topo::Ipv4Addr far =
+      world.topo->iface(world.topo->link(world.peering_nyc).iface_b).addr;
+  infer::AutocorrConfig cfg;
+  cfg.window_days = kDays;
+  cfg.min_elevated_days = 5;
+  const auto inference = analysis::InferLink(db, "vp-nyc", far, 0, kDays, cfg);
+  ASSERT_TRUE(inference.result.recurring);
+  for (int d = 0; d < kDays; ++d) {
+    const bool truth =
+        world.net->TrueCongestedFraction(world.peering_nyc,
+                                         sim::Direction::kBtoA, d, 0.96) >=
+        0.04;
+    const bool inferred =
+        inference.result.day_fraction[static_cast<std::size_t>(d)] >= 0.04;
+    EXPECT_EQ(truth, inferred) << "day " << d;
+  }
+}
+
+}  // namespace
+}  // namespace manic

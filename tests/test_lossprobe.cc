@@ -1,0 +1,145 @@
+// Tests for the high-frequency loss module: reactive target selection
+// (relationship + recent-congestion gates, budget), the far/near loss
+// signature across congested and quiet hours, and statistical equivalence of
+// the per-probe and aggregate (Binomial) execution modes.
+#include <gtest/gtest.h>
+
+#include "bdrmap/bdrmap.h"
+#include "lossprobe/lossprobe.h"
+#include "scenario/small.h"
+#include "stats/descriptive.h"
+
+namespace manic::lossprobe {
+namespace {
+
+using scenario::MakeSmallScenario;
+using scenario::SmallScenario;
+
+constexpr sim::TimeSec kQuiet = 9 * 3600;
+constexpr sim::TimeSec kPeak = 26 * 3600;  // 21:00 NYC
+
+class LossTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s_ = MakeSmallScenario();
+    bdrmap::Bdrmap bdrmap(*s_.net, s_.vp);
+    tslp_ = std::make_unique<tslp::TslpScheduler>(*s_.net, s_.vp, db_);
+    tslp_->UpdateProbingSet(bdrmap.RunCycle(kQuiet));
+    ASSERT_GT(tslp_->targets().size(), 0u);
+  }
+
+  topo::Ipv4Addr FarAddrOf(topo::LinkId link) const {
+    const topo::Link& l = s_.topo->link(link);
+    const topo::RouterId far =
+        l.as_a == SmallScenario::kAccess ? l.router_b : l.router_a;
+    return s_.topo->iface(s_.topo->IfaceOn(l, far)).addr;
+  }
+
+  scenario::SmallScenario s_;
+  tsdb::Database db_;
+  std::unique_ptr<tslp::TslpScheduler> tslp_;
+};
+
+TEST_F(LossTest, SelectsOnlyCongestedPeerProviderLinks) {
+  LossProber loss(*s_.net, s_.vp, db_);
+  // Only the NYC peering is flagged as recently congested.
+  const std::set<std::uint32_t> recent{FarAddrOf(s_.peering_nyc).value()};
+  const std::size_t n = loss.SelectTargets(tslp_->targets(), recent);
+  EXPECT_EQ(n, 1u);
+  ASSERT_EQ(loss.targets().size(), 1u);
+  EXPECT_EQ(loss.targets()[0].far_addr, FarAddrOf(s_.peering_nyc));
+  // Nothing congested -> nothing selected.
+  EXPECT_EQ(loss.SelectTargets(tslp_->targets(), {}), 0u);
+}
+
+TEST_F(LossTest, StaticListAdmitsNonPeerAses) {
+  // StubLeaf is neither peer nor provider; without the static list it is
+  // ineligible even when congested.
+  LossProber loss(*s_.net, s_.vp, db_);
+  std::set<std::uint32_t> recent;
+  for (const tslp::TslpTarget& t : tslp_->targets()) {
+    recent.insert(t.far_addr.value());
+  }
+  const std::size_t without = loss.SelectTargets(tslp_->targets(), recent);
+  const std::size_t with = loss.SelectTargets(
+      tslp_->targets(), recent, {SmallScenario::kStubCustomer, 500, 600});
+  EXPECT_GE(with, without);
+}
+
+TEST_F(LossTest, BudgetCapsTargets) {
+  LossProber::Config config;
+  config.pps_budget = 2.0;  // room for exactly one near+far pair
+  LossProber loss(*s_.net, s_.vp, db_, config);
+  std::set<std::uint32_t> recent;
+  for (const tslp::TslpTarget& t : tslp_->targets()) {
+    recent.insert(t.far_addr.value());
+  }
+  loss.SelectTargets(tslp_->targets(), recent, {500, 600});
+  EXPECT_LE(loss.targets().size(), 1u);
+}
+
+TEST_F(LossTest, FarLossElevatedAtPeakOnly) {
+  LossProber loss(*s_.net, s_.vp, db_);
+  const std::set<std::uint32_t> recent{FarAddrOf(s_.peering_nyc).value()};
+  ASSERT_EQ(loss.SelectTargets(tslp_->targets(), recent), 1u);
+  const LossTarget& target = loss.targets()[0];
+
+  double far_peak = 0.0, far_quiet = 0.0, near_peak = 0.0;
+  constexpr int kWindows = 6;
+  for (int w = 0; w < kWindows; ++w) {
+    const auto peak = loss.MeasureWindow(target, kPeak + w * 300);
+    const auto quiet = loss.MeasureWindow(target, kQuiet + w * 300);
+    far_peak += peak.far_pct;
+    near_peak += peak.near_pct;
+    far_quiet += quiet.far_pct;
+  }
+  far_peak /= kWindows;
+  near_peak /= kWindows;
+  far_quiet /= kWindows;
+  EXPECT_GT(far_peak, 0.8);    // elastic overload at u=1.3: ~1.9% loss
+  EXPECT_LT(far_quiet, 0.5);
+  EXPECT_LT(near_peak, 0.5);   // near side never crosses the queue
+  EXPECT_GT(far_peak, near_peak + 0.8);
+}
+
+TEST_F(LossTest, AggregateMatchesPerProbeMode) {
+  const std::set<std::uint32_t> recent{FarAddrOf(s_.peering_nyc).value()};
+
+  LossProber::Config agg_config;
+  agg_config.mode = LossMode::kAggregate;
+  LossProber agg(*s_.net, s_.vp, db_, agg_config);
+  ASSERT_EQ(agg.SelectTargets(tslp_->targets(), recent), 1u);
+
+  LossProber::Config pp_config;
+  pp_config.mode = LossMode::kPerProbe;
+  LossProber per_probe(*s_.net, s_.vp, db_, pp_config);
+  ASSERT_EQ(per_probe.SelectTargets(tslp_->targets(), recent), 1u);
+
+  // Average far loss over several peak windows must agree between modes
+  // (both estimate the same Binomial mean).
+  double a = 0.0, b = 0.0;
+  constexpr int kWindows = 8;
+  for (int w = 0; w < kWindows; ++w) {
+    a += agg.MeasureWindow(agg.targets()[0], kPeak + w * 300).far_pct;
+    b += per_probe.MeasureWindow(per_probe.targets()[0], kPeak + w * 300).far_pct;
+  }
+  a /= kWindows;
+  b /= kWindows;
+  EXPECT_NEAR(a, b, std::max(2.0, 0.25 * std::max(a, b)));
+}
+
+TEST_F(LossTest, CampaignWritesSeries) {
+  LossProber loss(*s_.net, s_.vp, db_);
+  const std::set<std::uint32_t> recent{FarAddrOf(s_.peering_nyc).value()};
+  ASSERT_EQ(loss.SelectTargets(tslp_->targets(), recent), 1u);
+  loss.RunCampaign(kQuiet, kQuiet + 3600);
+  const auto far = db_.QueryMerged(
+      kMeasurementLoss,
+      tslp::TslpScheduler::Tags("vp-nyc", FarAddrOf(s_.peering_nyc),
+                                tslp::kSideFar),
+      0, 1LL << 40);
+  EXPECT_EQ(far.size(), 12u);  // one point per 5-minute window
+}
+
+}  // namespace
+}  // namespace manic::lossprobe

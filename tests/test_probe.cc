@@ -1,0 +1,101 @@
+// Tests for the probing primitives: Paris traceroute semantics (hop
+// addresses, reached flag, gap limit, retry behaviour) and the VP probing
+// rate budget.
+#include <gtest/gtest.h>
+
+#include "probe/probe.h"
+#include "scenario/small.h"
+
+namespace manic::probe {
+namespace {
+
+using scenario::MakeSmallScenario;
+using scenario::SmallScenario;
+
+class ProbeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { s_ = MakeSmallScenario(); }
+  scenario::SmallScenario s_;
+  sim::TimeSec quiet_ = 9 * 3600;  // 04:00 local: no congestion
+};
+
+TEST_F(ProbeTest, TracerouteReachesDestination) {
+  Prober prober(*s_.net, s_.vp);
+  const auto dst = *s_.topo->DestinationIn(SmallScenario::kContent, 0);
+  const TracerouteResult trace = prober.Traceroute(dst, FlowId{11}, quiet_);
+  ASSERT_TRUE(trace.reached);
+  ASSERT_GE(trace.hops.size(), 3u);
+  // Last hop is the destination echo.
+  EXPECT_EQ(trace.hops.back().addr, dst);
+  // First hop is the VP's first-hop router.
+  const topo::Link& up = s_.topo->link(s_.topo->vp(s_.vp).uplink);
+  EXPECT_EQ(trace.hops.front().addr, s_.topo->iface(up.iface_a).addr);
+  // TTLs are sequential from 1.
+  for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+    EXPECT_EQ(trace.hops[i].ttl, static_cast<int>(i) + 1);
+  }
+}
+
+TEST_F(ProbeTest, TracerouteHopsFollowThePath) {
+  Prober prober(*s_.net, s_.vp);
+  const auto dst = *s_.topo->DestinationIn(SmallScenario::kContent, 0);
+  const FlowId flow{11};
+  const TracerouteResult trace = prober.Traceroute(dst, flow, quiet_);
+  const sim::ForwardPath& path = s_.net->PathFromVp(s_.vp, dst, flow);
+  ASSERT_TRUE(trace.reached);
+  ASSERT_EQ(trace.hops.size(), path.hops.size() + 1);  // + destination echo
+  for (std::size_t i = 0; i < path.hops.size(); ++i) {
+    ASSERT_TRUE(trace.hops[i].addr.has_value());
+    EXPECT_EQ(*trace.hops[i].addr,
+              s_.topo->iface(path.hops[i].ingress_iface).addr);
+  }
+}
+
+TEST_F(ProbeTest, SilentRouterLeavesGapAndGapLimitStops) {
+  // Silence every router of ContentCo and the stub: traceroute toward the
+  // stub must stop after gap_limit consecutive silent hops.
+  for (const auto& [asn, info] : s_.topo->ases()) {
+    if (asn == SmallScenario::kContent || asn == SmallScenario::kStubCustomer) {
+      for (const topo::RouterId r : info.routers) {
+        s_.topo->router(r).icmp.responds = false;
+      }
+    }
+  }
+  Prober prober(*s_.net, s_.vp);
+  const auto dst = *s_.topo->DestinationIn(SmallScenario::kStubCustomer, 0);
+  const TracerouteResult trace =
+      prober.Traceroute(dst, FlowId{3}, quiet_, 32, 2, 2);
+  EXPECT_FALSE(trace.reached);
+  ASSERT_GE(trace.hops.size(), 2u);
+  // The trailing hops (gap_limit of them) are all silent.
+  for (std::size_t i = trace.hops.size() - 2; i < trace.hops.size(); ++i) {
+    EXPECT_FALSE(trace.hops[i].addr.has_value());
+  }
+}
+
+TEST_F(ProbeTest, PingEchoesFromHost) {
+  Prober prober(*s_.net, s_.vp);
+  const auto dst = *s_.topo->DestinationIn(SmallScenario::kTransit, 0);
+  const sim::ProbeReply r = prober.Ping(dst, FlowId{1}, quiet_);
+  ASSERT_EQ(r.outcome, sim::ProbeOutcome::kEchoReply);
+  EXPECT_EQ(r.responder, dst);
+  EXPECT_GT(r.rtt_ms, 0.0);
+  EXPECT_LT(r.rtt_ms, 100.0);
+}
+
+TEST(RateBudget, CommitAndRelease) {
+  RateBudget budget(100.0);
+  EXPECT_TRUE(budget.Fits(300, 3.0));       // 100 pps exactly
+  EXPECT_TRUE(budget.Commit(150, 3.0));     // 50 pps
+  EXPECT_DOUBLE_EQ(budget.CommittedPps(), 50.0);
+  EXPECT_FALSE(budget.Commit(200, 3.0));    // would exceed: 50 + 66.7 > 100? no, fits
+  // 200/3 = 66.67; 50+66.67 > 100 -> rejected.
+  EXPECT_DOUBLE_EQ(budget.CommittedPps(), 50.0);
+  EXPECT_TRUE(budget.Commit(150, 3.0));     // another 50 pps: exactly 100
+  EXPECT_FALSE(budget.Commit(1, 1000.0));   // any more is over budget
+  budget.Release(150, 3.0);
+  EXPECT_TRUE(budget.Commit(30, 1.0));
+}
+
+}  // namespace
+}  // namespace manic::probe

@@ -1,0 +1,109 @@
+// Tests for the public query API (paper contribution 4): URL-style query
+// parsing, execution against the database, JSON rendering and export.
+#include <gtest/gtest.h>
+
+#include "tsdb/query_api.h"
+
+namespace manic::tsdb {
+namespace {
+
+class QueryApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 12; ++i) {
+      db_.Write("tslp_rtt", TagSet{{"vp", "a"}, {"side", "far"}}, i * 300,
+                10.0 + i % 3);
+      db_.Write("tslp_rtt", TagSet{{"vp", "a"}, {"side", "near"}}, i * 300,
+                5.0);
+      db_.Write("tslp_rtt", TagSet{{"vp", "b"}, {"side", "far"}}, i * 300,
+                40.0);
+    }
+  }
+  Database db_;
+};
+
+TEST_F(QueryApiTest, ParseFullQuery) {
+  std::string error;
+  const auto q = ParseQuery(
+      "tslp_rtt?vp=a&side=far&from=300&to=1800&agg=min&bin=900", &error);
+  ASSERT_TRUE(q.has_value()) << error;
+  EXPECT_EQ(q->measurement, "tslp_rtt");
+  EXPECT_EQ(*q->filter.Get("vp"), "a");
+  EXPECT_EQ(*q->filter.Get("side"), "far");
+  EXPECT_EQ(q->from, 300);
+  EXPECT_EQ(q->to, 1800);
+  EXPECT_EQ(q->agg, stats::BinAgg::kMin);
+  EXPECT_EQ(q->bin, 900);
+}
+
+TEST_F(QueryApiTest, ParseErrors) {
+  std::string error;
+  EXPECT_FALSE(ParseQuery("", &error).has_value());
+  EXPECT_FALSE(ParseQuery("m?novalue", &error).has_value());
+  EXPECT_FALSE(ParseQuery("m?from=abc", &error).has_value());
+  EXPECT_FALSE(ParseQuery("m?agg=median", &error).has_value());
+  EXPECT_FALSE(ParseQuery("m?bin=0", &error).has_value());
+  // Bare measurement is fine.
+  EXPECT_TRUE(ParseQuery("m", &error).has_value());
+}
+
+TEST_F(QueryApiTest, RunRawQuery) {
+  const ApiResult r = RunQuery(db_, "tslp_rtt?vp=a&side=far");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.series.size(), 12u);
+}
+
+TEST_F(QueryApiTest, RunAggregatedQuery) {
+  const ApiResult r =
+      RunQuery(db_, "tslp_rtt?vp=a&side=far&from=0&to=3600&agg=min&bin=900");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.series.size(), 4u);  // 3600 / 900
+  EXPECT_DOUBLE_EQ(r.series[0].value, 10.0);
+}
+
+TEST_F(QueryApiTest, TimeRangeRestricts) {
+  const ApiResult r = RunQuery(db_, "tslp_rtt?vp=a&side=far&from=600&to=1500");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.series.size(), 3u);
+}
+
+TEST_F(QueryApiTest, BadQueryReportsError) {
+  const ApiResult r = RunQuery(db_, "tslp_rtt?agg=nope");
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST_F(QueryApiTest, JsonRendering) {
+  const ApiResult r = RunQuery(db_, "tslp_rtt?vp=b&from=0&to=600");
+  ASSERT_TRUE(r.ok);
+  const std::string json = r.ToJson();
+  EXPECT_EQ(json,
+            "{\"measurement\":\"tslp_rtt\",\"points\":[[0,40],[300,40]]}");
+}
+
+TEST_F(QueryApiTest, ExportJsonAllSeries) {
+  const std::string json = ExportJson(db_, "tslp_rtt", TagSet{{"vp", "a"}});
+  // Two series (far + near) with tags rendered.
+  EXPECT_NE(json.find("\"side\":\"far\""), std::string::npos);
+  EXPECT_NE(json.find("\"side\":\"near\""), std::string::npos);
+  EXPECT_EQ(json.find("\"vp\":\"b\""), std::string::npos);
+  // Structural sanity: balanced braces/brackets.
+  int depth = 0;
+  for (const char c : json) {
+    depth += (c == '{' || c == '[') ? 1 : 0;
+    depth -= (c == '}' || c == ']') ? 1 : 0;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(QueryApiTest, JsonEscaping) {
+  Database db;
+  db.Write("weird", TagSet{{"na\"me", "va\\lue"}}, 0, 1.0);
+  const std::string json = ExportJson(db, "weird");
+  EXPECT_NE(json.find("na\\\"me"), std::string::npos);
+  EXPECT_NE(json.find("va\\\\lue"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manic::tsdb

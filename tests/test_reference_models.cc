@@ -1,0 +1,176 @@
+// Differential tests against naive reference implementations on randomized
+// inputs: the prefix trie vs a linear longest-prefix scan, TimeSeries
+// binning vs a hash-map aggregator, the rolling window vs batch (already in
+// test_infer; here across randomized missing-data patterns), and Welch's
+// t-test vs a direct formula evaluation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "infer/rolling.h"
+#include "stats/rng.h"
+#include "stats/descriptive.h"
+#include "stats/tests.h"
+#include "stats/timeseries.h"
+#include "topo/prefix_trie.h"
+
+namespace manic {
+namespace {
+
+// ---- trie vs linear scan ------------------------------------------------------
+
+class TrieVsLinear : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieVsLinear, LongestPrefixMatchAgrees) {
+  stats::Rng rng(GetParam());
+  topo::PrefixTrie<int> trie;
+  std::vector<std::pair<topo::Prefix, int>> reference;
+  for (int i = 0; i < 400; ++i) {
+    const topo::Prefix p(
+        topo::Ipv4Addr(static_cast<std::uint32_t>(rng.NextU64())),
+        static_cast<int>(rng.UniformInt(25)) + 8);
+    trie.Insert(p, i);
+    // Linear reference keeps the LAST insertion per exact prefix, like the
+    // trie's overwrite semantics.
+    bool replaced = false;
+    for (auto& [rp, rv] : reference) {
+      if (rp == p) {
+        rv = i;
+        replaced = true;
+      }
+    }
+    if (!replaced) reference.push_back({p, i});
+  }
+  auto linear_lookup = [&](topo::Ipv4Addr addr) -> std::optional<int> {
+    std::optional<int> best;
+    int best_len = -1;
+    for (const auto& [p, v] : reference) {
+      if (p.Contains(addr) && p.length() > best_len) {
+        best = v;
+        best_len = p.length();
+      }
+    }
+    return best;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const topo::Ipv4Addr addr(static_cast<std::uint32_t>(rng.NextU64()));
+    EXPECT_EQ(trie.Lookup(addr), linear_lookup(addr))
+        << addr.ToString() << " seed " << GetParam();
+  }
+  // Also probe addresses guaranteed to be inside stored prefixes.
+  for (const auto& [p, v] : reference) {
+    const topo::Ipv4Addr inside(
+        p.address().value() +
+        static_cast<std::uint32_t>(rng.NextU64() % p.Size()));
+    EXPECT_EQ(trie.Lookup(inside), linear_lookup(inside));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieVsLinear, ::testing::Values(1u, 7u, 42u));
+
+// ---- binning vs map aggregator --------------------------------------------------
+
+class BinVsMap : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BinVsMap, MinBinningAgrees) {
+  stats::Rng rng(GetParam());
+  stats::TimeSeries ts;
+  stats::TimeSec t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    t += static_cast<stats::TimeSec>(rng.UniformInt(400));
+    ts.Append(t, rng.Uniform(0.0, 100.0));
+  }
+  const stats::TimeSec width = 900;
+  std::map<stats::TimeSec, double> reference;
+  for (const auto& p : ts.points()) {
+    const stats::TimeSec bin = p.t / width * width;
+    const auto it = reference.find(bin);
+    if (it == reference.end() || p.value < it->second) {
+      reference[bin] = p.value;
+    }
+  }
+  const auto binned = ts.Bin(width, stats::BinAgg::kMin);
+  ASSERT_EQ(binned.size(), reference.size());
+  std::size_t i = 0;
+  for (const auto& [bin, value] : reference) {
+    EXPECT_EQ(binned[i].t, bin);
+    EXPECT_DOUBLE_EQ(binned[i].value, value);
+    ++i;
+  }
+  // BinDense agrees with Bin wherever bins exist.
+  const auto dense = ts.BinDense(0, t + 1, width, stats::BinAgg::kMin);
+  for (const auto& [bin, value] : reference) {
+    const std::size_t slot = static_cast<std::size_t>(bin / width);
+    ASSERT_TRUE(dense[slot].has_value());
+    EXPECT_DOUBLE_EQ(*dense[slot], value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinVsMap, ::testing::Values(3u, 11u));
+
+// ---- rolling vs batch across random gap patterns --------------------------------
+
+class RollingGaps : public ::testing::TestWithParam<double> {};
+
+TEST_P(RollingGaps, MatchesBatchWithMissingData) {
+  const double missing = GetParam();
+  stats::Rng rng(static_cast<std::uint64_t>(missing * 1000) + 5);
+  infer::AutocorrConfig cfg;
+  cfg.window_days = 20;
+  cfg.min_elevated_days = 8;
+  infer::RollingAutocorr rolling(cfg);
+  for (int d = 0; d < 60; ++d) {
+    std::vector<float> far(96), near(96);
+    for (int s = 0; s < 96; ++s) {
+      double v = 11.0 + rng.NextDouble();
+      if (d % 7 != 0 && s >= 78 && s < 90) v += 18.0;  // skip some days
+      far[static_cast<std::size_t>(s)] =
+          rng.Bernoulli(missing) ? std::numeric_limits<float>::quiet_NaN()
+                                 : static_cast<float>(v);
+      near[static_cast<std::size_t>(s)] =
+          rng.Bernoulli(missing) ? std::numeric_limits<float>::quiet_NaN()
+                                 : static_cast<float>(4.0 + rng.NextDouble());
+    }
+    rolling.AddDay(far, near);
+    if (!rolling.WindowFull()) continue;
+    const auto cls = rolling.Classify();
+    const auto batch = rolling.AnalyzeBatch();
+    ASSERT_EQ(cls.recurring, batch.recurring) << "day " << d;
+    ASSERT_EQ(cls.reject, batch.reject) << "day " << d;
+    if (batch.recurring) {
+      EXPECT_EQ(cls.window_start, batch.window_start);
+      EXPECT_NEAR(cls.fraction, batch.day_fraction.back(), 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MissingFractions, RollingGaps,
+                         ::testing::Values(0.0, 0.1, 0.4, 0.8));
+
+// ---- Welch t vs direct formula ----------------------------------------------------
+
+TEST(WelchReference, StatisticMatchesDirectFormula) {
+  stats::Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> a, b;
+    const int na = 5 + static_cast<int>(rng.UniformInt(50));
+    const int nb = 5 + static_cast<int>(rng.UniformInt(50));
+    for (int i = 0; i < na; ++i) a.push_back(rng.Normal(10, 2));
+    for (int i = 0; i < nb; ++i) b.push_back(rng.Normal(11, 3));
+    const auto r = stats::WelchTTest(a, b);
+    ASSERT_TRUE(r.valid);
+    const double va = stats::Variance(a), vb = stats::Variance(b);
+    const double direct = (stats::Mean(a) - stats::Mean(b)) /
+                          std::sqrt(va / na + vb / nb);
+    EXPECT_NEAR(r.statistic, direct, 1e-12);
+    // Welch-Satterthwaite df bounds: min(na,nb)-1 <= df <= na+nb-2.
+    EXPECT_GE(r.df, std::min(na, nb) - 1.0);
+    EXPECT_LE(r.df, na + nb - 2.0);
+    EXPECT_GE(r.p_value, 0.0);
+    EXPECT_LE(r.p_value, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace manic

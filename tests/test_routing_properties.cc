@@ -1,0 +1,229 @@
+// Property-based tests of the BGP-style routing over randomized topologies:
+// valley-free AS paths, preference ordering (customer > peer > provider),
+// reachability under a connected provider hierarchy, determinism, and
+// hot-potato/ECMP egress behaviour of the router-level path construction.
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "stats/rng.h"
+#include "topo/topology.h"
+
+namespace manic::sim {
+namespace {
+
+using topo::Asn;
+using topo::Prefix;
+using topo::RouterId;
+
+// A random multi-tier AS topology: `tiers` levels, every AS gets 1-2
+// providers from the tier above, plus random peer edges within a tier.
+// One router per AS, star-linked interdomain links.
+struct RandomWorld {
+  std::unique_ptr<topo::Topology> topo;
+  std::unique_ptr<SimNetwork> net;
+  std::vector<std::vector<Asn>> tiers;
+  std::map<Asn, RouterId> router;
+};
+
+RandomWorld MakeRandomWorld(std::uint64_t seed, int tiers = 4,
+                            int per_tier = 5) {
+  RandomWorld w;
+  w.topo = std::make_unique<topo::Topology>();
+  stats::Rng rng(seed);
+  std::uint32_t announced = topo::Ipv4Addr(10, 0, 0, 0).value();
+  std::uint32_t infra = topo::Ipv4Addr(100, 0, 0, 0).value();
+
+  Asn next_asn = 100;
+  for (int tier = 0; tier < tiers; ++tier) {
+    w.tiers.emplace_back();
+    const int count = tier == 0 ? 2 : per_tier;
+    for (int i = 0; i < count; ++i) {
+      const Asn asn = next_asn++;
+      w.tiers.back().push_back(asn);
+      w.topo->AddAs(asn, "AS" + std::to_string(asn));
+      w.topo->Announce(asn, Prefix(topo::Ipv4Addr(announced), 16));
+      announced += 0x10000;
+      w.topo->AddInfrastructure(asn, Prefix(topo::Ipv4Addr(infra), 16));
+      infra += 0x10000;
+      w.router[asn] =
+          w.topo->AddRouter(asn, "r" + std::to_string(asn), "city", -5);
+    }
+  }
+  // Tier-0 full peer mesh.
+  for (std::size_t i = 0; i < w.tiers[0].size(); ++i) {
+    for (std::size_t j = i + 1; j < w.tiers[0].size(); ++j) {
+      w.topo->relationships.SetPeers(w.tiers[0][i], w.tiers[0][j]);
+      w.topo->ConnectInter(w.router[w.tiers[0][i]], w.router[w.tiers[0][j]]);
+    }
+  }
+  // Providers from the tier above; occasional intra-tier peering.
+  for (int tier = 1; tier < tiers; ++tier) {
+    for (const Asn asn : w.tiers[static_cast<std::size_t>(tier)]) {
+      const auto& above = w.tiers[static_cast<std::size_t>(tier - 1)];
+      const int nproviders = 1 + static_cast<int>(rng.UniformInt(2));
+      std::set<Asn> chosen;
+      for (int p = 0; p < nproviders; ++p) {
+        chosen.insert(above[rng.UniformInt(above.size())]);
+      }
+      for (const Asn provider : chosen) {
+        w.topo->relationships.SetProviderCustomer(provider, asn);
+        w.topo->ConnectInter(w.router[provider], w.router[asn]);
+      }
+      const auto& sibs = w.tiers[static_cast<std::size_t>(tier)];
+      if (sibs.size() > 1 && rng.Bernoulli(0.4)) {
+        const Asn peer = sibs[rng.UniformInt(sibs.size())];
+        if (peer != asn && !w.topo->relationships.Get(asn, peer)) {
+          w.topo->relationships.SetPeers(asn, peer);
+          w.topo->ConnectInter(w.router[asn], w.router[peer]);
+        }
+      }
+    }
+  }
+  w.net = std::make_unique<SimNetwork>(*w.topo, seed);
+  return w;
+}
+
+// Valley-free check: once a path goes "down" (provider->customer) or
+// "across" (peer), it may never go "up" (customer->provider) again, and at
+// most one peer edge appears.
+bool IsValleyFree(const topo::RelationshipTable& rel,
+                  const std::vector<Asn>& path) {
+  int peers = 0;
+  bool descended = false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto r = rel.Get(path[i], path[i + 1]);
+    if (!r) return false;  // path uses a non-adjacent AS pair
+    switch (*r) {
+      case topo::Relationship::kProvider:  // next hop is our provider: "up"
+        if (descended || peers > 0) return false;
+        break;
+      case topo::Relationship::kPeer:
+        if (descended || ++peers > 1) return false;
+        break;
+      case topo::Relationship::kCustomer:  // "down"
+        descended = true;
+        break;
+    }
+  }
+  return true;
+}
+
+class RandomWorldTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWorldTest, AllPathsValleyFreeAndLoopless) {
+  RandomWorld w = MakeRandomWorld(GetParam());
+  for (const auto& [src_asn, r] : w.router) {
+    for (const auto& [dst_asn, r2] : w.router) {
+      const auto path = w.net->routing().AsPath(src_asn, dst_asn);
+      if (path.empty()) continue;
+      EXPECT_TRUE(IsValleyFree(w.topo->relationships, path))
+          << "seed " << GetParam() << " " << src_asn << "->" << dst_asn;
+      std::set<Asn> unique(path.begin(), path.end());
+      EXPECT_EQ(unique.size(), path.size()) << "loop in path";
+      EXPECT_EQ(path.front(), src_asn);
+      EXPECT_EQ(path.back(), dst_asn);
+    }
+  }
+}
+
+TEST_P(RandomWorldTest, EverythingReachableUnderConnectedHierarchy) {
+  RandomWorld w = MakeRandomWorld(GetParam());
+  for (const auto& [src_asn, r] : w.router) {
+    for (const auto& [dst_asn, r2] : w.router) {
+      EXPECT_FALSE(w.net->routing().AsPath(src_asn, dst_asn).empty())
+          << src_asn << " cannot reach " << dst_asn;
+    }
+  }
+}
+
+TEST_P(RandomWorldTest, PreferenceOrderingRespected) {
+  RandomWorld w = MakeRandomWorld(GetParam());
+  const auto& rel = w.topo->relationships;
+  for (const auto& [src, r] : w.router) {
+    for (const auto& [dst, r2] : w.router) {
+      if (src == dst) continue;
+      const auto route = w.net->routing().Route(src, dst);
+      if (!route.Reachable()) continue;
+      // If any customer of src can reach dst via its own customer cone, src
+      // must have selected a customer route.
+      if (route.type == RouteType::kProvider) {
+        for (const Asn customer : rel.Customers(src)) {
+          const auto croute = w.net->routing().Route(customer, dst);
+          EXPECT_FALSE(croute.type == RouteType::kOrigin ||
+                       croute.type == RouteType::kCustomer)
+              << "AS" << src << " took a provider route to AS" << dst
+              << " although customer AS" << customer
+              << " offered a customer route";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RandomWorldTest, DeterministicAcrossRecomputation) {
+  RandomWorld w = MakeRandomWorld(GetParam());
+  std::map<std::pair<Asn, Asn>, std::vector<Asn>> first;
+  for (const auto& [src, r] : w.router) {
+    for (const auto& [dst, r2] : w.router) {
+      first[{src, dst}] = w.net->routing().AsPath(src, dst);
+    }
+  }
+  w.net->routing().Invalidate();
+  for (const auto& [key, path] : first) {
+    EXPECT_EQ(w.net->routing().AsPath(key.first, key.second), path);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorldTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// ---- router-level path properties on the random worlds ---------------------
+
+TEST(RandomWorldPaths, ForwardPathsFollowTheAsPath) {
+  RandomWorld w = MakeRandomWorld(99);
+  // Use a leaf AS as a pseudo-VP host.
+  const Asn leaf = w.tiers.back().front();
+  const topo::VpId vp = w.topo->AddVantagePoint("vp", leaf, w.router[leaf]);
+  for (const auto& [dst_asn, r] : w.router) {
+    const auto dst = w.topo->DestinationIn(dst_asn, 0);
+    ASSERT_TRUE(dst.has_value());
+    const ForwardPath& path = w.net->PathFromVp(vp, *dst, FlowId{5});
+    if (!path.reached) continue;
+    // AS sequence along the hops must equal the BGP AS path.
+    std::vector<Asn> hop_ases;
+    for (const Hop& hop : path.hops) {
+      const Asn owner = w.topo->router(hop.router).owner;
+      if (hop_ases.empty() || hop_ases.back() != owner) {
+        hop_ases.push_back(owner);
+      }
+    }
+    EXPECT_EQ(hop_ases, w.net->routing().AsPath(leaf, dst_asn))
+        << "to AS" << dst_asn;
+  }
+}
+
+TEST(RandomWorldPaths, ProbeRttReflectsHopDepth) {
+  RandomWorld w = MakeRandomWorld(7);
+  const Asn leaf = w.tiers.back().front();
+  const topo::VpId vp = w.topo->AddVantagePoint("vp", leaf, w.router[leaf]);
+  const Asn target = w.tiers.front().front();
+  const auto dst = *w.topo->DestinationIn(target, 0);
+  const ForwardPath& path = w.net->PathFromVp(vp, dst, FlowId{3});
+  ASSERT_TRUE(path.reached);
+  double prev_min = 0.0;
+  for (int ttl = 1; ttl <= static_cast<int>(path.hops.size()); ++ttl) {
+    double best = 1e18;
+    for (int i = 0; i < 8; ++i) {
+      const ProbeReply r = w.net->Probe(vp, dst, ttl, FlowId{3}, 1000 + i);
+      if (r.outcome == ProbeOutcome::kTtlExpired) best = std::min(best, r.rtt_ms);
+    }
+    ASSERT_LT(best, 1e17) << "no reply at ttl " << ttl;
+    // Deeper hops cannot be (meaningfully) closer than shallower ones on
+    // symmetric uncongested paths.
+    EXPECT_GE(best, prev_min - 0.5);
+    prev_min = best;
+  }
+}
+
+}  // namespace
+}  // namespace manic::sim

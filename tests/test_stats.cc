@@ -1,0 +1,314 @@
+// Unit tests for the statistics layer: RNG determinism and distributional
+// sanity, special functions against known values, descriptive statistics,
+// hypothesis tests against textbook cases, Huber robust means, and the
+// TimeSeries container / binning semantics both inference methods rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+#include "stats/special.h"
+#include "stats/tests.h"
+#include "stats/timeseries.h"
+
+namespace manic::stats {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+  }
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRange) {
+  Rng rng(9);
+  std::array<int, 10> histogram{};
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = rng.UniformInt(10);
+    ASSERT_LT(v, 10u);
+    ++histogram[static_cast<std::size_t>(v)];
+  }
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, 10000, 600);  // ~6 sigma
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.15);
+}
+
+TEST(Rng, BinomialMatchesMeanBothRegimes) {
+  Rng rng(17);
+  // Small-variance exact path.
+  double acc = 0.0;
+  for (int i = 0; i < 20000; ++i) acc += rng.Binomial(20, 0.1);
+  EXPECT_NEAR(acc / 20000, 2.0, 0.1);
+  // Normal-approximation path (n p (1-p) > 30).
+  acc = 0.0;
+  for (int i = 0; i < 20000; ++i) acc += rng.Binomial(1000, 0.3);
+  EXPECT_NEAR(acc / 20000, 300.0, 2.0);
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  Rng rng(19);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.Binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.Binomial(100, 1.0), 100u);
+}
+
+TEST(Rng, HashMixIsStatelessAndStable) {
+  const auto a = Rng::HashMix(1, 2, 3);
+  EXPECT_EQ(a, Rng::HashMix(1, 2, 3));
+  EXPECT_NE(a, Rng::HashMix(1, 2, 4));
+  const double u = Rng::HashToUnit(42, 7);
+  EXPECT_GE(u, 0.0);
+  EXPECT_LT(u, 1.0);
+}
+
+TEST(Special, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(NormalCdf(3.0), 0.99865, 1e-5);
+}
+
+TEST(Special, LogGammaKnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-9);
+  EXPECT_NEAR(LogGamma(0.5), std::log(std::sqrt(3.14159265358979)), 1e-9);
+}
+
+TEST(Special, StudentTCdfAgainstTables) {
+  // t=2.228, df=10 is the classic 97.5th percentile.
+  EXPECT_NEAR(StudentTCdf(2.228, 10), 0.975, 5e-4);
+  EXPECT_NEAR(StudentTCdf(0.0, 5), 0.5, 1e-12);
+  // Large df approaches the normal distribution.
+  EXPECT_NEAR(StudentTCdf(1.96, 1e6), NormalCdf(1.96), 1e-4);
+}
+
+TEST(Special, StudentTCriticalInvertsP) {
+  for (const double df : {4.0, 10.0, 22.0, 60.0}) {
+    const double crit = StudentTCritical(df, 0.05);
+    EXPECT_NEAR(StudentTTwoSidedP(crit, df), 0.05, 1e-6);
+  }
+  // df=10, alpha=0.05 => 2.228 (standard table value).
+  EXPECT_NEAR(StudentTCritical(10, 0.05), 2.228, 2e-3);
+}
+
+TEST(Descriptive, MomentsAndOrderStats) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(Variance(xs), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(Min(xs), 2.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 9.0);
+  EXPECT_DOUBLE_EQ(Median(xs), 4.5);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 9.0);
+}
+
+TEST(Descriptive, EmptyAndSingleton) {
+  const std::vector<double> empty;
+  EXPECT_EQ(Mean(empty), 0.0);
+  EXPECT_EQ(Variance(empty), 0.0);
+  EXPECT_TRUE(std::isnan(Quantile(empty, 0.5)));
+  const std::vector<double> one{3.0};
+  EXPECT_EQ(Mean(one), 3.0);
+  EXPECT_EQ(Variance(one), 0.0);
+  EXPECT_EQ(Median(one), 3.0);
+}
+
+TEST(Descriptive, EmpiricalCdf) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const EmpiricalCdf cdf = MakeCdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.At(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.At(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 2.5);
+}
+
+TEST(Descriptive, PearsonCorrelation) {
+  std::vector<double> xs(100), ys(100), zs(100);
+  std::iota(xs.begin(), xs.end(), 0.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ys[i] = 2.0 * xs[i] + 1.0;
+    zs[i] = -xs[i];
+  }
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(xs, zs), -1.0, 1e-12);
+  const std::vector<double> constant(100, 5.0);
+  EXPECT_EQ(PearsonCorrelation(xs, constant), 0.0);
+}
+
+TEST(HypothesisTests, WelchDetectsShiftedMeans) {
+  Rng rng(21);
+  std::vector<double> a, b;
+  for (int i = 0; i < 60; ++i) a.push_back(rng.Normal(10.0, 1.0));
+  for (int i = 0; i < 60; ++i) b.push_back(rng.Normal(12.0, 1.5));
+  const TTestResult r = WelchTTest(a, b);
+  ASSERT_TRUE(r.valid);
+  EXPECT_TRUE(r.Significant());
+  EXPECT_LT(r.statistic, 0.0);  // mean(a) < mean(b)
+}
+
+TEST(HypothesisTests, WelchNoDifference) {
+  Rng rng(23);
+  std::vector<double> a, b;
+  for (int i = 0; i < 60; ++i) a.push_back(rng.Normal(10.0, 1.0));
+  for (int i = 0; i < 60; ++i) b.push_back(rng.Normal(10.0, 1.0));
+  const TTestResult r = WelchTTest(a, b);
+  ASSERT_TRUE(r.valid);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(HypothesisTests, StudentMatchesWelchOnEqualVariances) {
+  Rng rng(25);
+  std::vector<double> a, b;
+  for (int i = 0; i < 80; ++i) a.push_back(rng.Normal(5.0, 2.0));
+  for (int i = 0; i < 80; ++i) b.push_back(rng.Normal(5.6, 2.0));
+  const TTestResult w = WelchTTest(a, b);
+  const TTestResult s = StudentTTest(a, b);
+  ASSERT_TRUE(w.valid && s.valid);
+  EXPECT_NEAR(w.statistic, s.statistic, 0.02);
+  EXPECT_NEAR(w.p_value, s.p_value, 0.01);
+}
+
+TEST(HypothesisTests, TooSmallSamplesInvalid) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_FALSE(WelchTTest(a, b).valid);
+  EXPECT_FALSE(StudentTTest(b, a).valid);
+}
+
+TEST(HypothesisTests, BinomialProportions) {
+  // 30/300 vs 6/300: clearly different loss rates.
+  const ProportionTestResult r = BinomialProportionTest(30, 300, 6, 300);
+  ASSERT_TRUE(r.valid);
+  EXPECT_TRUE(r.Significant());
+  EXPECT_GT(r.statistic, 0.0);
+  // 10/300 vs 9/300: indistinguishable.
+  const ProportionTestResult same = BinomialProportionTest(10, 300, 9, 300);
+  ASSERT_TRUE(same.valid);
+  EXPECT_FALSE(same.Significant());
+}
+
+TEST(HypothesisTests, BinomialDegenerate) {
+  EXPECT_FALSE(BinomialProportionTest(0, 0, 3, 10).valid);
+  const ProportionTestResult zeros = BinomialProportionTest(0, 100, 0, 100);
+  ASSERT_TRUE(zeros.valid);
+  EXPECT_FALSE(zeros.Significant());
+}
+
+TEST(Huber, WeightsInsideAndOutside) {
+  EXPECT_DOUBLE_EQ(HuberWeight(0.5, 1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(HuberWeight(2.0, 1.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(HuberWeight(-4.0, 1.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(HuberWeight(10.0, 0.0, 1.0), 1.0);  // no scale: no downweight
+}
+
+TEST(Huber, MeanResistsOutliers) {
+  std::vector<double> xs(50, 10.0);
+  xs.push_back(1000.0);  // gross outlier
+  const double robust = HuberMean(xs, 1.0, 1.0);
+  EXPECT_NEAR(robust, 10.0, 0.75);
+  const double naive = Mean(xs);
+  EXPECT_GT(naive, 25.0);
+}
+
+TEST(TimeSeries, AppendSliceValues) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) ts.Append(i * 100, i);
+  EXPECT_EQ(ts.size(), 10u);
+  const TimeSeries mid = ts.Slice(200, 500);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid[0].t, 200);
+  EXPECT_EQ(mid[2].t, 400);
+  EXPECT_THROW(ts.Append(0, 1.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, BinAggregators) {
+  TimeSeries ts;
+  ts.Append(0, 5.0);
+  ts.Append(10, 3.0);
+  ts.Append(20, 7.0);
+  ts.Append(100, 1.0);
+  const TimeSeries mins = ts.Bin(60, BinAgg::kMin);
+  ASSERT_EQ(mins.size(), 2u);
+  EXPECT_EQ(mins[0].t, 0);
+  EXPECT_DOUBLE_EQ(mins[0].value, 3.0);
+  EXPECT_EQ(mins[1].t, 60);
+  EXPECT_DOUBLE_EQ(mins[1].value, 1.0);
+  EXPECT_DOUBLE_EQ(ts.Bin(60, BinAgg::kMax)[0].value, 7.0);
+  EXPECT_DOUBLE_EQ(ts.Bin(60, BinAgg::kMean)[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(ts.Bin(60, BinAgg::kCount)[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(ts.Bin(60, BinAgg::kSum)[0].value, 15.0);
+}
+
+TEST(TimeSeries, BinRespectsOrigin) {
+  TimeSeries ts;
+  ts.Append(95, 1.0);
+  ts.Append(105, 2.0);
+  const TimeSeries binned = ts.Bin(60, BinAgg::kCount, 95);
+  ASSERT_EQ(binned.size(), 1u);
+  EXPECT_EQ(binned[0].t, 95);
+  EXPECT_DOUBLE_EQ(binned[0].value, 2.0);
+}
+
+TEST(TimeSeries, BinDenseMarksEmpties) {
+  TimeSeries ts;
+  ts.Append(0, 4.0);
+  ts.Append(130, 6.0);
+  const auto bins = ts.BinDense(0, 300, 60, BinAgg::kMin);
+  ASSERT_EQ(bins.size(), 5u);
+  EXPECT_TRUE(bins[0].has_value());
+  EXPECT_FALSE(bins[1].has_value());
+  EXPECT_DOUBLE_EQ(*bins[2], 6.0);
+  EXPECT_FALSE(bins[3].has_value());
+}
+
+TEST(TimeSeries, LowerBound) {
+  TimeSeries ts;
+  ts.Append(10, 1);
+  ts.Append(20, 2);
+  ts.Append(30, 3);
+  EXPECT_EQ(ts.LowerBound(5), 0u);
+  EXPECT_EQ(ts.LowerBound(20), 1u);
+  EXPECT_EQ(ts.LowerBound(21), 2u);
+  EXPECT_EQ(ts.LowerBound(31), 3u);
+}
+
+}  // namespace
+}  // namespace manic::stats

@@ -1,0 +1,193 @@
+// Parameterized property sweeps:
+//  - fluid queue model vs packet-level event simulation across a utilization
+//    grid (delay agreement below saturation; plateau above),
+//  - demand model invariants across time zones, weekdays and peak targets,
+//  - probe RTT monotonicity in utilization,
+//  - autocorrelation detection across window lengths,
+//  - Huber-mean robustness across outlier fractions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "infer/autocorr.h"
+#include "scenario/small.h"
+#include "sim/demand.h"
+#include "sim/link_model.h"
+#include "sim/packet_queue.h"
+#include "stats/rng.h"
+#include "stats/tests.h"
+
+namespace manic {
+namespace {
+
+// ---- fluid vs packet queue --------------------------------------------------
+
+class QueueAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(QueueAgreement, FluidDelayTracksPacketSimulation) {
+  const double u = GetParam();
+  sim::PacketQueueConfig config;
+  config.capacity_bps = 1e9;
+  config.buffer_bytes = 6.25e6;  // 50 ms drain time
+  sim::PacketQueueSim packet(config, 1234);
+  const auto stats = packet.Run(u, 15.0);
+
+  sim::LinkQueueModel fluid;  // buffer_ms = 50 by default
+  const auto obs = fluid.Observe(u);
+
+  if (u <= 0.9) {
+    // Sub-saturation: both models see (near-)empty queues.
+    EXPECT_LT(stats.mean_queue_delay_ms, 3.0) << "u=" << u;
+    EXPECT_LT(obs.delay_ms, 3.5) << "u=" << u;
+    EXPECT_LT(stats.LossRate(), 1e-3);
+    EXPECT_LT(obs.loss_prob, 1e-3);
+  } else if (u >= 1.05) {
+    // Overload: the standing queue pins at the buffer in both models.
+    EXPECT_NEAR(stats.mean_queue_delay_ms, 50.0, 12.0) << "u=" << u;
+    EXPECT_NEAR(obs.delay_ms, 50.0, 1e-9);
+    // Loss models intentionally differ (inelastic vs TCP-elastic demand,
+    // see link_model.h): the packet simulator drops the full excess.
+    EXPECT_NEAR(stats.LossRate(), 1.0 - 1.0 / u, 0.03);
+    EXPECT_LE(obs.loss_prob, 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UtilizationGrid, QueueAgreement,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.8, 0.9, 1.05, 1.1,
+                                           1.3, 1.6));
+
+// ---- demand model across time zones -----------------------------------------
+
+class DemandTz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DemandTz, PeakAlwaysInLocalEvening) {
+  const int tz = GetParam();
+  sim::LinkDemand demand;
+  demand.default_peak_utilization = 1.0;
+  demand.noise_sigma = 0.0;
+  // Scan a weekday (epoch day 2 is a Thursday UTC) at 5-minute resolution.
+  double best_u = -1.0;
+  double best_hour = 0.0;
+  for (sim::TimeSec t = 2 * 86400; t < 3 * 86400; t += 300) {
+    const double u = demand.MeanUtilization(t, tz);
+    if (u > best_u) {
+      best_u = u;
+      best_hour = sim::LocalHour(t, tz);
+    }
+  }
+  EXPECT_NEAR(best_u, 1.0, 0.02) << "tz=" << tz;
+  // Peak lands within an hour of the configured 20.5 local.
+  EXPECT_NEAR(best_hour, 20.5, 1.0) << "tz=" << tz;
+}
+
+TEST_P(DemandTz, TroughIsNocturnal) {
+  const int tz = GetParam();
+  sim::LinkDemand demand;
+  demand.default_peak_utilization = 1.0;
+  demand.noise_sigma = 0.0;
+  double worst_u = 2.0;
+  double worst_hour = 0.0;
+  for (sim::TimeSec t = 2 * 86400; t < 3 * 86400; t += 300) {
+    const double u = demand.MeanUtilization(t, tz);
+    if (u < worst_u) {
+      worst_u = u;
+      worst_hour = sim::LocalHour(t, tz);
+    }
+  }
+  EXPECT_LT(worst_u, 0.55);
+  // Trough in the early-morning hours, local time.
+  EXPECT_TRUE(worst_hour >= 1.0 && worst_hour <= 7.0)
+      << "tz=" << tz << " trough at " << worst_hour;
+}
+
+INSTANTIATE_TEST_SUITE_P(Zones, DemandTz,
+                         ::testing::Values(-8, -7, -6, -5, 0, 2, 9));
+
+// ---- probe RTT monotone in peak utilization ----------------------------------
+
+class RttVsUtil : public ::testing::TestWithParam<double> {};
+
+TEST_P(RttVsUtil, PeakRttGrowsWithUtilization) {
+  scenario::SmallScenarioOptions options;
+  options.congested_peak_utilization = GetParam();
+  auto world = scenario::MakeSmallScenario(options);
+  const auto cdst = *world.topo->DestinationIn(
+      scenario::SmallScenario::kContent, 0);
+  const sim::FlowId flow{7};
+  const auto& path = world.net->PathFromVp(world.vp, cdst, flow);
+  int far_ttl = -1;
+  for (std::size_t i = 0; i < path.hops.size(); ++i) {
+    if (path.hops[i].via_link == world.peering_nyc) {
+      far_ttl = static_cast<int>(i) + 1;
+    }
+  }
+  if (far_ttl < 0) GTEST_SKIP() << "flow avoided the NYC link";
+  double best = 1e18;
+  const sim::TimeSec peak = 26 * 3600;  // 21:00 NYC
+  for (int i = 0; i < 10; ++i) {
+    const auto r = world.net->Probe(world.vp, cdst, far_ttl, flow, peak + i);
+    if (r.outcome == sim::ProbeOutcome::kTtlExpired) {
+      best = std::min(best, r.rtt_ms);
+    }
+  }
+  ASSERT_LT(best, 1e17);
+  // Expected queueing delay at the peak from the closed form.
+  sim::LinkQueueModel model;
+  model.buffer_ms = 45.0;
+  const double expected = model.Observe(GetParam()).delay_ms;
+  EXPECT_NEAR(best, 5.0 + expected, 4.0 + 0.15 * expected) << "baseline+queue";
+}
+
+INSTANTIATE_TEST_SUITE_P(PeakGrid, RttVsUtil,
+                         ::testing::Values(0.5, 0.9, 0.98, 1.1, 1.5));
+
+// ---- autocorrelation across window lengths ------------------------------------
+
+class WindowLen : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowLen, DetectionStableAcrossWindows) {
+  const int days = GetParam();
+  stats::Rng rng(days);
+  infer::DayGrid far(days, 96), near(days, 96);
+  for (int d = 0; d < days; ++d) {
+    for (int s = 0; s < 96; ++s) {
+      double v = 12.0 + rng.NextDouble();
+      if (s >= 80 && s < 92) v += 20.0;
+      far.Set(d, s, static_cast<float>(v));
+      near.Set(d, s, static_cast<float>(5.0 + rng.NextDouble()));
+    }
+  }
+  infer::AutocorrConfig cfg;
+  cfg.window_days = days;
+  cfg.min_elevated_days = std::max(3, days / 2);
+  const auto r = infer::AnalyzeWindow(far, near, cfg);
+  ASSERT_TRUE(r.recurring) << days << "-day window";
+  EXPECT_NEAR(r.window_start, 80, 1);
+  EXPECT_NEAR(r.window_len, 12, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowLen,
+                         ::testing::Values(7, 14, 30, 50, 90));
+
+// ---- Huber-mean robustness across outlier fractions ----------------------------
+
+class OutlierFrac : public ::testing::TestWithParam<double> {};
+
+TEST_P(OutlierFrac, HuberMeanStaysNearTrueLocation) {
+  const double frac = GetParam();
+  stats::Rng rng(99);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(rng.Bernoulli(frac) ? 200.0 + rng.Normal(0, 5)
+                                     : 10.0 + rng.Normal(0, 0.5));
+  }
+  const double robust = stats::HuberMean(xs, 0.5, 1.0);
+  // Below the 50% breakdown point the estimate stays at the true mode.
+  EXPECT_NEAR(robust, 10.0, 1.5) << "outlier fraction " << frac;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, OutlierFrac,
+                         ::testing::Values(0.0, 0.05, 0.15, 0.30, 0.45));
+
+}  // namespace
+}  // namespace manic

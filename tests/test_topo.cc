@@ -1,0 +1,224 @@
+// Tests for the topology substrate: IPv4/prefix parsing and containment,
+// longest-prefix-match trie, AS registries (relationships, orgs/siblings,
+// IXPs), and topology construction invariants (addressing, link wiring,
+// vantage points).
+#include <gtest/gtest.h>
+
+#include "topo/as_registry.h"
+#include "topo/ipv4.h"
+#include "topo/prefix_trie.h"
+#include "topo/topology.h"
+
+namespace manic::topo {
+namespace {
+
+TEST(Ipv4, FormatAndParse) {
+  const Ipv4Addr a(192, 168, 1, 42);
+  EXPECT_EQ(a.ToString(), "192.168.1.42");
+  EXPECT_EQ(Ipv4Addr::Parse("192.168.1.42"), a);
+  EXPECT_EQ(Ipv4Addr::Parse("0.0.0.0"), Ipv4Addr(0));
+  EXPECT_EQ(Ipv4Addr::Parse("255.255.255.255"),
+            Ipv4Addr(0xffffffffu));
+  EXPECT_FALSE(Ipv4Addr::Parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Addr::Parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Addr::Parse("a.b.c.d").has_value());
+}
+
+TEST(Prefix, CanonicalizationAndContainment) {
+  const Prefix p(Ipv4Addr(10, 1, 2, 3), 16);
+  EXPECT_EQ(p.address(), Ipv4Addr(10, 1, 0, 0));
+  EXPECT_EQ(p.ToString(), "10.1.0.0/16");
+  EXPECT_TRUE(p.Contains(Ipv4Addr(10, 1, 255, 255)));
+  EXPECT_FALSE(p.Contains(Ipv4Addr(10, 2, 0, 0)));
+  EXPECT_TRUE(p.Contains(Prefix(Ipv4Addr(10, 1, 5, 0), 24)));
+  EXPECT_FALSE(p.Contains(Prefix(Ipv4Addr(10, 0, 0, 0), 8)));
+  EXPECT_EQ(p.Size(), 65536u);
+  EXPECT_EQ(p.Last(), Ipv4Addr(10, 1, 255, 255));
+}
+
+TEST(Prefix, ParseRoundTrip) {
+  const auto p = Prefix::Parse("172.16.0.0/12");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 12);
+  EXPECT_EQ(p->ToString(), "172.16.0.0/12");
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0/-1").has_value());
+}
+
+TEST(Prefix, ZeroLengthCoversAll) {
+  const Prefix all(Ipv4Addr(1, 2, 3, 4), 0);
+  EXPECT_TRUE(all.Contains(Ipv4Addr(0)));
+  EXPECT_TRUE(all.Contains(Ipv4Addr(0xffffffffu)));
+}
+
+TEST(PrefixTrie, LongestPrefixMatch) {
+  PrefixTrie<Asn> trie;
+  trie.Insert(*Prefix::Parse("10.0.0.0/8"), 100);
+  trie.Insert(*Prefix::Parse("10.1.0.0/16"), 200);
+  trie.Insert(*Prefix::Parse("10.1.2.0/24"), 300);
+  EXPECT_EQ(trie.Lookup(Ipv4Addr(10, 1, 2, 3)), 300u);
+  EXPECT_EQ(trie.Lookup(Ipv4Addr(10, 1, 9, 1)), 200u);
+  EXPECT_EQ(trie.Lookup(Ipv4Addr(10, 9, 9, 9)), 100u);
+  EXPECT_FALSE(trie.Lookup(Ipv4Addr(11, 0, 0, 1)).has_value());
+  EXPECT_EQ(trie.size(), 3u);
+}
+
+TEST(PrefixTrie, ExactAndOverwrite) {
+  PrefixTrie<Asn> trie;
+  trie.Insert(*Prefix::Parse("192.0.2.0/24"), 1);
+  EXPECT_EQ(trie.Exact(*Prefix::Parse("192.0.2.0/24")), 1u);
+  EXPECT_FALSE(trie.Exact(*Prefix::Parse("192.0.2.0/25")).has_value());
+  trie.Insert(*Prefix::Parse("192.0.2.0/24"), 2);
+  EXPECT_EQ(trie.Exact(*Prefix::Parse("192.0.2.0/24")), 2u);
+  EXPECT_EQ(trie.size(), 1u);  // overwrite, not insert
+}
+
+TEST(PrefixTrie, EntriesEnumeration) {
+  PrefixTrie<int> trie;
+  trie.Insert(*Prefix::Parse("0.0.0.0/0"), 1);
+  trie.Insert(*Prefix::Parse("128.0.0.0/1"), 2);
+  trie.Insert(*Prefix::Parse("10.0.0.0/8"), 3);
+  const auto entries = trie.Entries();
+  EXPECT_EQ(entries.size(), 3u);
+}
+
+TEST(Relationships, SymmetricViews) {
+  RelationshipTable rel;
+  rel.SetProviderCustomer(3356, 7922);
+  rel.SetPeers(7922, 15169);
+  EXPECT_EQ(rel.Get(3356, 7922), Relationship::kCustomer);
+  EXPECT_EQ(rel.Get(7922, 3356), Relationship::kProvider);
+  EXPECT_EQ(rel.Get(7922, 15169), Relationship::kPeer);
+  EXPECT_EQ(rel.Get(15169, 7922), Relationship::kPeer);
+  EXPECT_FALSE(rel.Get(7922, 9999).has_value());
+  EXPECT_EQ(rel.EdgeCount(), 2u);
+  EXPECT_EQ(rel.Customers(3356).size(), 1u);
+  EXPECT_EQ(rel.Providers(7922).size(), 1u);
+  EXPECT_EQ(rel.Peers(7922).size(), 1u);
+  EXPECT_EQ(rel.Neighbors(7922).size(), 2u);
+}
+
+TEST(OrgMap, SiblingsAndOverrides) {
+  OrgMap orgs;
+  orgs.Assign(1, "OrgA");
+  orgs.Assign(2, "OrgA");
+  orgs.Assign(3, "OrgB");
+  EXPECT_TRUE(orgs.AreSiblings(1, 2));
+  EXPECT_FALSE(orgs.AreSiblings(1, 3));
+  EXPECT_TRUE(orgs.AreSiblings(5, 5));  // identity, even when unknown
+  const auto sibs = orgs.Siblings(1);
+  EXPECT_EQ(sibs.size(), 2u);
+  // Manual curation: WHOIS had AS3 wrong; move it into OrgA (§3.2).
+  orgs.Override(3, "OrgA");
+  EXPECT_TRUE(orgs.AreSiblings(1, 3));
+  EXPECT_EQ(orgs.Siblings(1).size(), 3u);
+  EXPECT_EQ(orgs.OrgOf(3), "OrgA");
+}
+
+TEST(IxpRegistry, MembershipLookup) {
+  IxpRegistry ixps;
+  ixps.Add(*Prefix::Parse("198.32.160.0/24"), "Equinix-ish");
+  EXPECT_TRUE(ixps.IsIxpAddress(Ipv4Addr(198, 32, 160, 77)));
+  EXPECT_FALSE(ixps.IsIxpAddress(Ipv4Addr(198, 32, 161, 1)));
+  EXPECT_EQ(ixps.IxpName(Ipv4Addr(198, 32, 160, 1)), "Equinix-ish");
+}
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t_.AddAs(100, "A");
+    t_.AddAs(200, "B");
+    t_.Announce(100, *Prefix::Parse("10.100.0.0/16"));
+    t_.AddInfrastructure(100, *Prefix::Parse("172.16.0.0/16"));
+    t_.Announce(200, *Prefix::Parse("10.200.0.0/16"));
+    t_.AddInfrastructure(200, *Prefix::Parse("172.17.0.0/16"));
+    r1_ = t_.AddRouter(100, "r1", "nyc", -5);
+    r2_ = t_.AddRouter(100, "r2", "lax", -8);
+    r3_ = t_.AddRouter(200, "r3", "nyc", -5);
+  }
+  Topology t_;
+  RouterId r1_ = 0, r2_ = 0, r3_ = 0;
+};
+
+TEST_F(TopologyTest, IntraLinkAllocatesPairedAddresses) {
+  const LinkId l = t_.ConnectIntra(r1_, r2_);
+  const Link& link = t_.link(l);
+  EXPECT_EQ(link.kind, LinkKind::kIntra);
+  const Ipv4Addr a = t_.iface(link.iface_a).addr;
+  const Ipv4Addr b = t_.iface(link.iface_b).addr;
+  EXPECT_EQ(b.value(), a.value() + 1);
+  EXPECT_TRUE(Prefix::Parse("172.16.0.0/16")->Contains(a));
+  EXPECT_EQ(t_.iface(link.iface_a).router, r1_);
+  EXPECT_EQ(t_.iface(link.iface_b).router, r2_);
+}
+
+TEST_F(TopologyTest, InterLinkAddressSideSelectable) {
+  const LinkId from_a = t_.ConnectInter(r1_, r3_);
+  EXPECT_TRUE(Prefix::Parse("172.16.0.0/16")
+                  ->Contains(t_.iface(t_.link(from_a).iface_b).addr));
+  const LinkId from_b = t_.ConnectInter(r2_, r3_, 2.0, 100.0, 200);
+  EXPECT_TRUE(Prefix::Parse("172.17.0.0/16")
+                  ->Contains(t_.iface(t_.link(from_b).iface_a).addr));
+  EXPECT_EQ(t_.link(from_a).kind, LinkKind::kInterdomain);
+  EXPECT_EQ(t_.InterdomainLinksBetween(100, 200).size(), 2u);
+  EXPECT_EQ(t_.InterdomainLinksBetween(200, 100).size(), 2u);
+  EXPECT_TRUE(t_.InterdomainLinksBetween(100, 999).empty());
+}
+
+TEST_F(TopologyTest, ConnectIntraRejectsCrossAs) {
+  EXPECT_THROW(t_.ConnectIntra(r1_, r3_), std::invalid_argument);
+  EXPECT_THROW(t_.ConnectInter(r1_, r2_), std::invalid_argument);
+}
+
+TEST_F(TopologyTest, IxpLinkUsesIxpSpace) {
+  const Prefix ixp = *Prefix::Parse("198.32.0.0/24");
+  const LinkId l = t_.ConnectAtIxp(r1_, r3_, ixp, "TEST-IX");
+  EXPECT_EQ(t_.link(l).kind, LinkKind::kIxp);
+  EXPECT_TRUE(ixp.Contains(t_.iface(t_.link(l).iface_a).addr));
+  EXPECT_TRUE(t_.ixps.IsIxpAddress(t_.iface(t_.link(l).iface_b).addr));
+}
+
+TEST_F(TopologyTest, VantagePointWiring) {
+  const VpId vp = t_.AddVantagePoint("vp1", 100, r1_);
+  const VantagePoint& v = t_.vp(vp);
+  EXPECT_EQ(v.host_as, 100u);
+  EXPECT_EQ(v.first_hop, r1_);
+  EXPECT_TRUE(Prefix::Parse("10.100.0.0/16")->Contains(v.addr));
+  EXPECT_EQ(t_.link(v.uplink).kind, LinkKind::kHostUplink);
+  // Two VPs get distinct addresses.
+  const VpId vp2 = t_.AddVantagePoint("vp2", 100, r2_);
+  EXPECT_NE(t_.vp(vp2).addr, v.addr);
+}
+
+TEST_F(TopologyTest, Prefix2AsAndDestinations) {
+  const auto& p2a = t_.Prefix2As();
+  EXPECT_EQ(p2a.Lookup(Ipv4Addr(10, 100, 3, 4)), 100u);
+  EXPECT_EQ(p2a.Lookup(Ipv4Addr(10, 200, 0, 1)), 200u);
+  EXPECT_FALSE(p2a.Lookup(Ipv4Addr(9, 9, 9, 9)).has_value());
+  const auto dst = t_.DestinationIn(200, 0);
+  ASSERT_TRUE(dst.has_value());
+  EXPECT_TRUE(Prefix::Parse("10.200.0.0/16")->Contains(*dst));
+  EXPECT_EQ(t_.RoutedPrefixes().size(), 2u);
+  // New announcement invalidates the cached trie.
+  t_.Announce(200, *Prefix::Parse("10.201.0.0/16"));
+  EXPECT_EQ(t_.Prefix2As().Lookup(Ipv4Addr(10, 201, 0, 1)), 200u);
+}
+
+TEST_F(TopologyTest, IfaceByAddrAndHelpers) {
+  const LinkId l = t_.ConnectInter(r1_, r3_);
+  const Link& link = t_.link(l);
+  const Ipv4Addr far = t_.iface(link.iface_b).addr;
+  const auto found = t_.IfaceByAddr(far);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, link.iface_b);
+  EXPECT_EQ(t_.PeerRouter(link, r1_), r3_);
+  EXPECT_EQ(t_.PeerRouter(link, r3_), r1_);
+  EXPECT_EQ(t_.IfaceOn(link, r1_), link.iface_a);
+  EXPECT_EQ(t_.LinksOf(r1_, LinkKind::kInterdomain).size(), 1u);
+  EXPECT_TRUE(t_.LinksOf(r1_, LinkKind::kIntra).empty());
+}
+
+}  // namespace
+}  // namespace manic::topo

@@ -1,0 +1,174 @@
+// Integration tests for the TSLP scheduler on the small scenario: probing-set
+// construction from bdrmap output, destination preference and stickiness,
+// budget enforcement, round execution into the time-series DB, the diurnal
+// far-side latency signature, and visibility-loss handling after a routing
+// change.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bdrmap/bdrmap.h"
+#include "scenario/small.h"
+#include "sim/sim_time.h"
+#include "tslp/tslp.h"
+
+namespace manic::tslp {
+namespace {
+
+using scenario::MakeSmallScenario;
+using scenario::SmallScenario;
+
+constexpr sim::TimeSec kQuiet = 9 * 3600;
+
+class TslpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s_ = MakeSmallScenario();
+    bdrmap_ = std::make_unique<bdrmap::Bdrmap>(*s_.net, s_.vp);
+    borders_ = bdrmap_->RunCycle(kQuiet);
+    ASSERT_GT(borders_.links.size(), 2u);
+  }
+
+  topo::Ipv4Addr FarAddrOf(topo::LinkId link) const {
+    const topo::Link& l = s_.topo->link(link);
+    const topo::RouterId far =
+        l.as_a == SmallScenario::kAccess ? l.router_b : l.router_a;
+    return s_.topo->iface(s_.topo->IfaceOn(l, far)).addr;
+  }
+
+  scenario::SmallScenario s_;
+  std::unique_ptr<bdrmap::Bdrmap> bdrmap_;
+  bdrmap::BdrmapResult borders_;
+  tsdb::Database db_;
+};
+
+TEST_F(TslpTest, ProbingSetCoversDiscoveredLinks) {
+  TslpScheduler tslp(*s_.net, s_.vp, db_);
+  tslp.UpdateProbingSet(borders_);
+  EXPECT_EQ(tslp.targets().size(), borders_.links.size());
+  for (const TslpTarget& t : tslp.targets()) {
+    EXPECT_GE(t.dests.size(), 1u);
+    EXPECT_LE(t.dests.size(), 3u);
+  }
+  EXPECT_EQ(tslp.links_dropped_for_budget(), 0u);
+}
+
+TEST_F(TslpTest, PrefersDestinationsInNeighborSpace) {
+  TslpScheduler tslp(*s_.net, s_.vp, db_);
+  tslp.UpdateProbingSet(borders_);
+  for (const TslpTarget& t : tslp.targets()) {
+    // If any neighbor-space destination exists for the link, the first
+    // configured destination must be one.
+    bool has_neighbor_dest = false;
+    const bdrmap::BorderLink* link = borders_.FindByFarAddr(t.far_addr);
+    ASSERT_NE(link, nullptr);
+    for (const bdrmap::BorderDest& d : link->dests) {
+      has_neighbor_dest = has_neighbor_dest || d.origin == t.neighbor;
+    }
+    if (has_neighbor_dest) {
+      EXPECT_EQ(t.dests.front().origin, t.neighbor)
+          << "link " << t.far_addr.ToString();
+    }
+  }
+}
+
+TEST_F(TslpTest, BudgetDropsLinksWhenTiny) {
+  TslpScheduler::Config config;
+  config.pps_budget = 2.0 * 3 / 300.0 + 0.001;  // room for one 3-dest link
+  TslpScheduler tslp(*s_.net, s_.vp, db_, config);
+  tslp.UpdateProbingSet(borders_);
+  EXPECT_LE(tslp.targets().size(), 2u);
+  EXPECT_GT(tslp.links_dropped_for_budget(), 0u);
+}
+
+TEST_F(TslpTest, RoundsWriteNearAndFarSeries) {
+  TslpScheduler tslp(*s_.net, s_.vp, db_);
+  tslp.UpdateProbingSet(borders_);
+  for (int round = 0; round < 6; ++round) {
+    tslp.RunRound(kQuiet + round * 300);
+  }
+  const auto far_nyc = db_.QueryMerged(
+      kMeasurementRtt,
+      TslpScheduler::Tags("vp-nyc", FarAddrOf(s_.peering_nyc), kSideFar), 0,
+      1LL << 40);
+  const auto near_nyc = db_.QueryMerged(
+      kMeasurementRtt,
+      TslpScheduler::Tags("vp-nyc", FarAddrOf(s_.peering_nyc), kSideNear), 0,
+      1LL << 40);
+  EXPECT_GT(far_nyc.size(), 10u);   // 6 rounds x up-to-3 dests
+  EXPECT_GT(near_nyc.size(), 10u);
+  EXPECT_GT(tslp.ResponseRate(), 0.9);
+}
+
+TEST_F(TslpTest, FarSeriesShowsDiurnalElevation) {
+  TslpScheduler tslp(*s_.net, s_.vp, db_);
+  tslp.UpdateProbingSet(borders_);
+  // Probe a quiet hour, then a peak hour (21:00 NYC = 02:00 UTC next day);
+  // series timestamps must stay monotonic.
+  const sim::TimeSec peak = 26 * 3600;
+  for (int round = 0; round < 6; ++round) tslp.RunRound(kQuiet + round * 300);
+  for (int round = 0; round < 6; ++round) tslp.RunRound(peak + round * 300);
+  auto min_of = [&](const char* side, sim::TimeSec t0, sim::TimeSec t1) {
+    const auto series = db_.QueryMerged(
+        kMeasurementRtt,
+        TslpScheduler::Tags("vp-nyc", FarAddrOf(s_.peering_nyc), side), t0, t1);
+    double best = 1e9;
+    for (const auto& p : series.points()) best = std::min(best, p.value);
+    return best;
+  };
+  const double far_quiet = min_of(kSideFar, kQuiet, kQuiet + 3600);
+  const double far_peak = min_of(kSideFar, peak, peak + 3600);
+  const double near_quiet = min_of(kSideNear, kQuiet, kQuiet + 3600);
+  const double near_peak = min_of(kSideNear, peak, peak + 3600);
+  EXPECT_GT(far_peak - far_quiet, 20.0);
+  EXPECT_LT(std::abs(near_peak - near_quiet), 5.0);
+}
+
+TEST_F(TslpTest, StickyDestinationsAcrossUpdates) {
+  TslpScheduler tslp(*s_.net, s_.vp, db_);
+  tslp.UpdateProbingSet(borders_);
+  std::map<std::uint32_t, std::set<std::uint32_t>> before;
+  for (const TslpTarget& t : tslp.targets()) {
+    for (const TslpDest& d : t.dests) before[t.far_addr.value()].insert(d.dst.value());
+  }
+  // A fresh bdrmap cycle (same topology) must not churn destinations.
+  const bdrmap::BdrmapResult again = bdrmap_->RunCycle(kQuiet + 86400);
+  tslp.UpdateProbingSet(again);
+  for (const TslpTarget& t : tslp.targets()) {
+    const auto it = before.find(t.far_addr.value());
+    if (it == before.end()) continue;
+    for (const TslpDest& d : t.dests) {
+      EXPECT_TRUE(it->second.contains(d.dst.value()))
+          << "destination churned on " << t.far_addr.ToString();
+    }
+  }
+}
+
+TEST_F(TslpTest, RouteChangeMarksVisibilityLoss) {
+  TslpScheduler::Config config;
+  config.visibility_miss_limit = 3;
+  TslpScheduler tslp(*s_.net, s_.vp, db_, config);
+  tslp.UpdateProbingSet(borders_);
+
+  // Install a better egress toward ContentCo straight from the core router:
+  // hot-potato now prefers it (0 intra hops), so probes toward ContentCo
+  // destinations stop crossing the NYC/LAX border routers.
+  const topo::RouterId content_new =
+      s_.topo->AddRouter(SmallScenario::kContent, "cdn-new", "nyc", -5);
+  s_.topo->ConnectIntra(content_new, s_.content_nyc, 0.5);
+  s_.topo->ConnectInter(s_.access_core, content_new, 1.0, 100.0);
+  s_.net->InvalidatePaths();
+
+  for (int round = 0; round < 5; ++round) {
+    tslp.RunRound(kQuiet + round * 300);
+  }
+  bool any_lost = false;
+  for (const TslpTarget& t : tslp.targets()) {
+    if (t.neighbor != SmallScenario::kContent) continue;
+    for (const TslpDest& d : t.dests) any_lost = any_lost || d.lost_visibility;
+  }
+  EXPECT_TRUE(any_lost);
+}
+
+}  // namespace
+}  // namespace manic::tslp

@@ -1,0 +1,164 @@
+// Tests for the U.S. broadband ecosystem scenario: structure (ASes, VPs,
+// link inventory, Table 4 exclusions), relationships, reachability, and the
+// scheduled ground-truth congestion regimes.
+#include <gtest/gtest.h>
+
+#include "scenario/us_broadband.h"
+#include "sim/sim_time.h"
+
+namespace manic::scenario {
+namespace {
+
+using U = UsBroadband;
+
+class UsBroadbandTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new UsBroadband(MakeUsBroadband());
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static UsBroadband* world_;
+};
+
+UsBroadband* UsBroadbandTest::world_ = nullptr;
+
+TEST_F(UsBroadbandTest, StructureCounts) {
+  EXPECT_EQ(world_->access_ases.size(), 8u);
+  EXPECT_EQ(world_->named_tcps.size(), 10u);
+  EXPECT_GE(world_->tcp_set.size(), 40u);
+  EXPECT_EQ(world_->vps.size(), 29u);
+  EXPECT_EQ(world_->vps_by_access.at(U::kComcast).size(), 7u);
+  EXPECT_GT(world_->interdomain.size(), 250u);
+  EXPECT_GT(world_->topo->RouterCount(), 100u);
+}
+
+TEST_F(UsBroadbandTest, ExcludedPairsHaveNoLinks) {
+  EXPECT_TRUE(world_->LinksOfPair(U::kTwc, U::kGoogle).empty());
+  EXPECT_TRUE(world_->LinksOfPair(U::kCox, U::kTata).empty());
+  EXPECT_TRUE(world_->LinksOfPair(U::kRcn, U::kXo).empty());
+  EXPECT_FALSE(world_->LinksOfPair(U::kComcast, U::kGoogle).empty());
+  EXPECT_FALSE(world_->LinksOfPair(U::kCenturyLink, U::kGoogle).empty());
+}
+
+TEST_F(UsBroadbandTest, ObservedTcpCountsNearTable3) {
+  // #distinct T&CPs adjacent to each AP should be near the Table 3 targets.
+  const std::map<topo::Asn, int> want = {
+      {U::kCenturyLink, 28}, {U::kAtt, 34},     {U::kCox, 20},
+      {U::kComcast, 34},     {U::kCharter, 18}, {U::kTwc, 25},
+      {U::kVerizon, 26},     {U::kRcn, 19},
+  };
+  for (const auto& [access, target] : want) {
+    std::set<topo::Asn> tcps;
+    for (const InterLinkInfo& info : world_->interdomain) {
+      if (info.access == access) tcps.insert(info.tcp);
+    }
+    EXPECT_NEAR(static_cast<double>(tcps.size()), target, 6.0)
+        << world_->AsName(access);
+  }
+}
+
+TEST_F(UsBroadbandTest, RelationshipsEligibleForLossProbing) {
+  // Every T&CP adjacent to an AP must be a peer or provider (the §3.3 gate).
+  for (const InterLinkInfo& info : world_->interdomain) {
+    const auto rel =
+        world_->topo->relationships.Get(info.access, info.tcp);
+    ASSERT_TRUE(rel.has_value())
+        << world_->AsName(info.access) << "-" << world_->AsName(info.tcp);
+    EXPECT_TRUE(*rel == topo::Relationship::kPeer ||
+                *rel == topo::Relationship::kProvider);
+  }
+}
+
+TEST_F(UsBroadbandTest, EveryVpReachesEveryTcp) {
+  sim::SimNetwork& net = *world_->net;
+  for (const topo::VpId vp : {world_->vps.front(), world_->vps.back()}) {
+    for (const topo::Asn tcp : world_->named_tcps) {
+      const auto dst = world_->topo->DestinationIn(tcp, 0);
+      ASSERT_TRUE(dst.has_value());
+      const auto& path = net.PathFromVp(vp, *dst, sim::FlowId{1});
+      EXPECT_TRUE(path.reached) << "vp " << vp << " -> "
+                                << world_->AsName(tcp);
+    }
+  }
+}
+
+TEST_F(UsBroadbandTest, ScheduleCoversKnownNarratives) {
+  const auto schedule = UsBroadbandSchedule();
+  // Every scheduled pair exists with links.
+  for (const Episode& ep : schedule) {
+    EXPECT_FALSE(world_->LinksOfPair(ep.access, ep.tcp).empty())
+        << world_->AsName(ep.access) << "-" << world_->AsName(ep.tcp);
+    EXPECT_LT(ep.m0, ep.m1);
+    // Mild episodes sit just below saturation (standing queue without loss);
+    // severe ones exceed it.
+    EXPECT_GE(ep.peak0, 0.95);
+  }
+}
+
+TEST_F(UsBroadbandTest, GroundTruthMatchesSchedule) {
+  sim::SimNetwork& net = *world_->net;
+  // CenturyLink-Google: congested on a mid-study weekday.
+  const auto clg = world_->LinksOfPair(U::kCenturyLink, U::kGoogle);
+  ASSERT_FALSE(clg.empty());
+  const std::int64_t mid = sim::StudyMonthStartDay(11) + 2;
+  bool any = false;
+  for (const auto* info : clg) {
+    any = any ||
+          net.TrueCongestedFraction(info->link, sim::Direction::kBtoA, mid) >
+              0.04;
+  }
+  EXPECT_TRUE(any);
+
+  // Comcast-Google: congestion dissipated by August 2017 (month 17).
+  const auto cg = world_->LinksOfPair(U::kComcast, U::kGoogle);
+  const std::int64_t aug17 = sim::StudyMonthStartDay(17) + 5;
+  for (const auto* info : cg) {
+    EXPECT_DOUBLE_EQ(
+        net.TrueCongestedFraction(info->link, sim::Direction::kBtoA, aug17),
+        0.0);
+  }
+
+  // Comcast-Tata: rising in late 2017.
+  const auto ct = world_->LinksOfPair(U::kComcast, U::kTata);
+  const std::int64_t nov17 = sim::StudyMonthStartDay(20) + 5;
+  bool tata_congested = false;
+  for (const auto* info : ct) {
+    tata_congested =
+        tata_congested ||
+        net.TrueCongestedFraction(info->link, sim::Direction::kBtoA, nov17) >
+            0.1;
+  }
+  EXPECT_TRUE(tata_congested);
+
+  // The forward (access->content) directions carry no congestion anywhere.
+  for (const auto* info : cg) {
+    EXPECT_DOUBLE_EQ(
+        net.TrueCongestedFraction(info->link, sim::Direction::kAtoB, mid), 0.0);
+  }
+}
+
+TEST_F(UsBroadbandTest, UnscheduledLinksStayClean) {
+  sim::SimNetwork& net = *world_->net;
+  const std::int64_t mid = sim::StudyMonthStartDay(11) + 2;
+  for (const InterLinkInfo& info : world_->interdomain) {
+    if (info.scheduled_congested) continue;
+    EXPECT_DOUBLE_EQ(
+        net.TrueCongestedFraction(info.link, sim::Direction::kBtoA, mid), 0.0);
+  }
+}
+
+TEST_F(UsBroadbandTest, LinkLookupHelpers) {
+  ASSERT_FALSE(world_->interdomain.empty());
+  const InterLinkInfo& first = world_->interdomain.front();
+  const InterLinkInfo* found = world_->FindLink(first.link);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->access, first.access);
+  EXPECT_EQ(world_->FindLink(topo::kInvalidId), nullptr);
+  EXPECT_EQ(world_->AsName(U::kComcast), "Comcast");
+}
+
+}  // namespace
+}  // namespace manic::scenario
