@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_youtube_cdfs.dir/bench/fig4_youtube_cdfs.cc.o"
+  "CMakeFiles/fig4_youtube_cdfs.dir/bench/fig4_youtube_cdfs.cc.o.d"
+  "bench/fig4_youtube_cdfs"
+  "bench/fig4_youtube_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_youtube_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_failure_rates.dir/bench/fig5_failure_rates.cc.o"
+  "CMakeFiles/fig5_failure_rates.dir/bench/fig5_failure_rates.cc.o.d"
+  "bench/fig5_failure_rates"
+  "bench/fig5_failure_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_failure_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

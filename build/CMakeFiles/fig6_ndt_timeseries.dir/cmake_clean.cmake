@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ndt_timeseries.dir/bench/fig6_ndt_timeseries.cc.o"
+  "CMakeFiles/fig6_ndt_timeseries.dir/bench/fig6_ndt_timeseries.cc.o.d"
+  "bench/fig6_ndt_timeseries"
+  "bench/fig6_ndt_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ndt_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

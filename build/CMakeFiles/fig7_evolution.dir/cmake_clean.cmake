@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_evolution.dir/bench/fig7_evolution.cc.o"
+  "CMakeFiles/fig7_evolution.dir/bench/fig7_evolution.cc.o.d"
+  "bench/fig7_evolution"
+  "bench/fig7_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_mean_congestion.dir/bench/fig8_mean_congestion.cc.o"
+  "CMakeFiles/fig8_mean_congestion.dir/bench/fig8_mean_congestion.cc.o.d"
+  "bench/fig8_mean_congestion"
+  "bench/fig8_mean_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mean_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_timeofday.dir/bench/fig9_timeofday.cc.o"
+  "CMakeFiles/fig9_timeofday.dir/bench/fig9_timeofday.cc.o.d"
+  "bench/fig9_timeofday"
+  "bench/fig9_timeofday.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_timeofday.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/operator_validation.cc" "CMakeFiles/operator_validation.dir/bench/operator_validation.cc.o" "gcc" "CMakeFiles/operator_validation.dir/bench/operator_validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ytstream/CMakeFiles/manic_ytstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndt/CMakeFiles/manic_ndt.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/manic_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/manic_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lossprobe/CMakeFiles/manic_lossprobe.dir/DependInfo.cmake"
+  "/root/repo/build/src/tslp/CMakeFiles/manic_tslp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/manic_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdrmap/CMakeFiles/manic_bdrmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/manic_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/manic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/manic_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/manic_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/manic_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

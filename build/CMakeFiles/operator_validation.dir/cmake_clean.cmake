@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_validation.dir/bench/operator_validation.cc.o"
+  "CMakeFiles/operator_validation.dir/bench/operator_validation.cc.o.d"
+  "bench/operator_validation"
+  "bench/operator_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

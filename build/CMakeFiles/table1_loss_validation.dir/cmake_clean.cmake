@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_loss_validation.dir/bench/table1_loss_validation.cc.o"
+  "CMakeFiles/table1_loss_validation.dir/bench/table1_loss_validation.cc.o.d"
+  "bench/table1_loss_validation"
+  "bench/table1_loss_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_loss_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

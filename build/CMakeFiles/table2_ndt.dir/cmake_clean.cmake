@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ndt.dir/bench/table2_ndt.cc.o"
+  "CMakeFiles/table2_ndt.dir/bench/table2_ndt.cc.o.d"
+  "bench/table2_ndt"
+  "bench/table2_ndt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ndt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_overview.dir/bench/table3_overview.cc.o"
+  "CMakeFiles/table3_overview.dir/bench/table3_overview.cc.o.d"
+  "bench/table3_overview"
+  "bench/table3_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_pairs.dir/bench/table4_pairs.cc.o"
+  "CMakeFiles/table4_pairs.dir/bench/table4_pairs.cc.o.d"
+  "bench/table4_pairs"
+  "bench/table4_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_asymmetry_detective.dir/asymmetry_detective.cpp.o"
+  "CMakeFiles/example_asymmetry_detective.dir/asymmetry_detective.cpp.o.d"
+  "example_asymmetry_detective"
+  "example_asymmetry_detective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_asymmetry_detective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_continental_study.dir/continental_study.cpp.o"
+  "CMakeFiles/example_continental_study.dir/continental_study.cpp.o.d"
+  "example_continental_study"
+  "example_continental_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_continental_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_data_release.dir/data_release.cpp.o"
+  "CMakeFiles/example_data_release.dir/data_release.cpp.o.d"
+  "example_data_release"
+  "example_data_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_data_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

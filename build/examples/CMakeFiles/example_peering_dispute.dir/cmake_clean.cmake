@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_peering_dispute.dir/peering_dispute.cpp.o"
+  "CMakeFiles/example_peering_dispute.dir/peering_dispute.cpp.o.d"
+  "example_peering_dispute"
+  "example_peering_dispute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_peering_dispute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

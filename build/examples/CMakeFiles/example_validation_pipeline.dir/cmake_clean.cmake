@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_validation_pipeline.dir/validation_pipeline.cpp.o"
+  "CMakeFiles/example_validation_pipeline.dir/validation_pipeline.cpp.o.d"
+  "example_validation_pipeline"
+  "example_validation_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_validation_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

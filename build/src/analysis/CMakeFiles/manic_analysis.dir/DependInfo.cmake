@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/classify.cc" "src/analysis/CMakeFiles/manic_analysis.dir/classify.cc.o" "gcc" "src/analysis/CMakeFiles/manic_analysis.dir/classify.cc.o.d"
+  "/root/repo/src/analysis/dashboard.cc" "src/analysis/CMakeFiles/manic_analysis.dir/dashboard.cc.o" "gcc" "src/analysis/CMakeFiles/manic_analysis.dir/dashboard.cc.o.d"
+  "/root/repo/src/analysis/daylink.cc" "src/analysis/CMakeFiles/manic_analysis.dir/daylink.cc.o" "gcc" "src/analysis/CMakeFiles/manic_analysis.dir/daylink.cc.o.d"
+  "/root/repo/src/analysis/loss_validation.cc" "src/analysis/CMakeFiles/manic_analysis.dir/loss_validation.cc.o" "gcc" "src/analysis/CMakeFiles/manic_analysis.dir/loss_validation.cc.o.d"
+  "/root/repo/src/analysis/path_signature.cc" "src/analysis/CMakeFiles/manic_analysis.dir/path_signature.cc.o" "gcc" "src/analysis/CMakeFiles/manic_analysis.dir/path_signature.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/manic_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/manic_analysis.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/infer/CMakeFiles/manic_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/tslp/CMakeFiles/manic_tslp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lossprobe/CMakeFiles/manic_lossprobe.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdrmap/CMakeFiles/manic_bdrmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/manic_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/manic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/manic_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/manic_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/manic_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manic_analysis.dir/classify.cc.o"
+  "CMakeFiles/manic_analysis.dir/classify.cc.o.d"
+  "CMakeFiles/manic_analysis.dir/dashboard.cc.o"
+  "CMakeFiles/manic_analysis.dir/dashboard.cc.o.d"
+  "CMakeFiles/manic_analysis.dir/daylink.cc.o"
+  "CMakeFiles/manic_analysis.dir/daylink.cc.o.d"
+  "CMakeFiles/manic_analysis.dir/loss_validation.cc.o"
+  "CMakeFiles/manic_analysis.dir/loss_validation.cc.o.d"
+  "CMakeFiles/manic_analysis.dir/path_signature.cc.o"
+  "CMakeFiles/manic_analysis.dir/path_signature.cc.o.d"
+  "CMakeFiles/manic_analysis.dir/report.cc.o"
+  "CMakeFiles/manic_analysis.dir/report.cc.o.d"
+  "libmanic_analysis.a"
+  "libmanic_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manic_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

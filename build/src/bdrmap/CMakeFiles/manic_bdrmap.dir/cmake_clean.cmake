@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manic_bdrmap.dir/bdrmap.cc.o"
+  "CMakeFiles/manic_bdrmap.dir/bdrmap.cc.o.d"
+  "CMakeFiles/manic_bdrmap.dir/mapit.cc.o"
+  "CMakeFiles/manic_bdrmap.dir/mapit.cc.o.d"
+  "libmanic_bdrmap.a"
+  "libmanic_bdrmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manic_bdrmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

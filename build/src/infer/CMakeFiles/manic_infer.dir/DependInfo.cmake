@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infer/autocorr.cc" "src/infer/CMakeFiles/manic_infer.dir/autocorr.cc.o" "gcc" "src/infer/CMakeFiles/manic_infer.dir/autocorr.cc.o.d"
+  "/root/repo/src/infer/level_shift.cc" "src/infer/CMakeFiles/manic_infer.dir/level_shift.cc.o" "gcc" "src/infer/CMakeFiles/manic_infer.dir/level_shift.cc.o.d"
+  "/root/repo/src/infer/rolling.cc" "src/infer/CMakeFiles/manic_infer.dir/rolling.cc.o" "gcc" "src/infer/CMakeFiles/manic_infer.dir/rolling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/manic_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

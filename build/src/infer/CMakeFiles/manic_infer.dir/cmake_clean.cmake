@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manic_infer.dir/autocorr.cc.o"
+  "CMakeFiles/manic_infer.dir/autocorr.cc.o.d"
+  "CMakeFiles/manic_infer.dir/level_shift.cc.o"
+  "CMakeFiles/manic_infer.dir/level_shift.cc.o.d"
+  "CMakeFiles/manic_infer.dir/rolling.cc.o"
+  "CMakeFiles/manic_infer.dir/rolling.cc.o.d"
+  "libmanic_infer.a"
+  "libmanic_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manic_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

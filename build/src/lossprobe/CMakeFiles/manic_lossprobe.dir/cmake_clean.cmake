@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manic_lossprobe.dir/lossprobe.cc.o"
+  "CMakeFiles/manic_lossprobe.dir/lossprobe.cc.o.d"
+  "libmanic_lossprobe.a"
+  "libmanic_lossprobe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manic_lossprobe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manic_ndt.dir/ndt.cc.o"
+  "CMakeFiles/manic_ndt.dir/ndt.cc.o.d"
+  "libmanic_ndt.a"
+  "libmanic_ndt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manic_ndt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

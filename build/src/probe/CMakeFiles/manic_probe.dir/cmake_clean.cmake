@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manic_probe.dir/probe.cc.o"
+  "CMakeFiles/manic_probe.dir/probe.cc.o.d"
+  "libmanic_probe.a"
+  "libmanic_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manic_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manic_scenario.dir/driver.cc.o"
+  "CMakeFiles/manic_scenario.dir/driver.cc.o.d"
+  "CMakeFiles/manic_scenario.dir/small.cc.o"
+  "CMakeFiles/manic_scenario.dir/small.cc.o.d"
+  "CMakeFiles/manic_scenario.dir/us_broadband.cc.o"
+  "CMakeFiles/manic_scenario.dir/us_broadband.cc.o.d"
+  "libmanic_scenario.a"
+  "libmanic_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manic_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

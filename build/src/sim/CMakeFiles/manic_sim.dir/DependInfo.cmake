@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/demand.cc" "src/sim/CMakeFiles/manic_sim.dir/demand.cc.o" "gcc" "src/sim/CMakeFiles/manic_sim.dir/demand.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/manic_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/manic_sim.dir/network.cc.o.d"
+  "/root/repo/src/sim/packet_queue.cc" "src/sim/CMakeFiles/manic_sim.dir/packet_queue.cc.o" "gcc" "src/sim/CMakeFiles/manic_sim.dir/packet_queue.cc.o.d"
+  "/root/repo/src/sim/routing.cc" "src/sim/CMakeFiles/manic_sim.dir/routing.cc.o" "gcc" "src/sim/CMakeFiles/manic_sim.dir/routing.cc.o.d"
+  "/root/repo/src/sim/sim_time.cc" "src/sim/CMakeFiles/manic_sim.dir/sim_time.cc.o" "gcc" "src/sim/CMakeFiles/manic_sim.dir/sim_time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/manic_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/manic_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

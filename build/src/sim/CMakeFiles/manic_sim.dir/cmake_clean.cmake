@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manic_sim.dir/demand.cc.o"
+  "CMakeFiles/manic_sim.dir/demand.cc.o.d"
+  "CMakeFiles/manic_sim.dir/network.cc.o"
+  "CMakeFiles/manic_sim.dir/network.cc.o.d"
+  "CMakeFiles/manic_sim.dir/packet_queue.cc.o"
+  "CMakeFiles/manic_sim.dir/packet_queue.cc.o.d"
+  "CMakeFiles/manic_sim.dir/routing.cc.o"
+  "CMakeFiles/manic_sim.dir/routing.cc.o.d"
+  "CMakeFiles/manic_sim.dir/sim_time.cc.o"
+  "CMakeFiles/manic_sim.dir/sim_time.cc.o.d"
+  "libmanic_sim.a"
+  "libmanic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/manic_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/manic_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/rng.cc" "src/stats/CMakeFiles/manic_stats.dir/rng.cc.o" "gcc" "src/stats/CMakeFiles/manic_stats.dir/rng.cc.o.d"
+  "/root/repo/src/stats/special.cc" "src/stats/CMakeFiles/manic_stats.dir/special.cc.o" "gcc" "src/stats/CMakeFiles/manic_stats.dir/special.cc.o.d"
+  "/root/repo/src/stats/tests.cc" "src/stats/CMakeFiles/manic_stats.dir/tests.cc.o" "gcc" "src/stats/CMakeFiles/manic_stats.dir/tests.cc.o.d"
+  "/root/repo/src/stats/timeseries.cc" "src/stats/CMakeFiles/manic_stats.dir/timeseries.cc.o" "gcc" "src/stats/CMakeFiles/manic_stats.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

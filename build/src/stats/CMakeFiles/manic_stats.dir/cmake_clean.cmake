@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manic_stats.dir/descriptive.cc.o"
+  "CMakeFiles/manic_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/manic_stats.dir/rng.cc.o"
+  "CMakeFiles/manic_stats.dir/rng.cc.o.d"
+  "CMakeFiles/manic_stats.dir/special.cc.o"
+  "CMakeFiles/manic_stats.dir/special.cc.o.d"
+  "CMakeFiles/manic_stats.dir/tests.cc.o"
+  "CMakeFiles/manic_stats.dir/tests.cc.o.d"
+  "CMakeFiles/manic_stats.dir/timeseries.cc.o"
+  "CMakeFiles/manic_stats.dir/timeseries.cc.o.d"
+  "libmanic_stats.a"
+  "libmanic_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manic_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmanic_stats.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manic_topo.dir/as_registry.cc.o"
+  "CMakeFiles/manic_topo.dir/as_registry.cc.o.d"
+  "CMakeFiles/manic_topo.dir/ipv4.cc.o"
+  "CMakeFiles/manic_topo.dir/ipv4.cc.o.d"
+  "CMakeFiles/manic_topo.dir/topology.cc.o"
+  "CMakeFiles/manic_topo.dir/topology.cc.o.d"
+  "libmanic_topo.a"
+  "libmanic_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manic_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

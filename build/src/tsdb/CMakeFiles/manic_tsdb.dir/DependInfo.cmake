@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsdb/query_api.cc" "src/tsdb/CMakeFiles/manic_tsdb.dir/query_api.cc.o" "gcc" "src/tsdb/CMakeFiles/manic_tsdb.dir/query_api.cc.o.d"
+  "/root/repo/src/tsdb/tsdb.cc" "src/tsdb/CMakeFiles/manic_tsdb.dir/tsdb.cc.o" "gcc" "src/tsdb/CMakeFiles/manic_tsdb.dir/tsdb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/manic_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

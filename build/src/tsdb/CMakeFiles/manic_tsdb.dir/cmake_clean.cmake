@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manic_tsdb.dir/query_api.cc.o"
+  "CMakeFiles/manic_tsdb.dir/query_api.cc.o.d"
+  "CMakeFiles/manic_tsdb.dir/tsdb.cc.o"
+  "CMakeFiles/manic_tsdb.dir/tsdb.cc.o.d"
+  "libmanic_tsdb.a"
+  "libmanic_tsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manic_tsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tslp/tslp.cc" "src/tslp/CMakeFiles/manic_tslp.dir/tslp.cc.o" "gcc" "src/tslp/CMakeFiles/manic_tslp.dir/tslp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdrmap/CMakeFiles/manic_bdrmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/manic_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/manic_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/manic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/manic_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/manic_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

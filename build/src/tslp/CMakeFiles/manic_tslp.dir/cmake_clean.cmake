@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manic_tslp.dir/tslp.cc.o"
+  "CMakeFiles/manic_tslp.dir/tslp.cc.o.d"
+  "libmanic_tslp.a"
+  "libmanic_tslp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manic_tslp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manic_ytstream.dir/ytstream.cc.o"
+  "CMakeFiles/manic_ytstream.dir/ytstream.cc.o.d"
+  "libmanic_ytstream.a"
+  "libmanic_ytstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manic_ytstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

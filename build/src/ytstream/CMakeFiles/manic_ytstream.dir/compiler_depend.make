@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for manic_ytstream.
+# This may be replaced when dependencies are built.

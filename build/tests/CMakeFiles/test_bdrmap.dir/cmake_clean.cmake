@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdrmap.dir/test_bdrmap.cc.o"
+  "CMakeFiles/test_bdrmap.dir/test_bdrmap.cc.o.d"
+  "test_bdrmap"
+  "test_bdrmap.pdb"
+  "test_bdrmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdrmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lossprobe.dir/test_lossprobe.cc.o"
+  "CMakeFiles/test_lossprobe.dir/test_lossprobe.cc.o.d"
+  "test_lossprobe"
+  "test_lossprobe.pdb"
+  "test_lossprobe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lossprobe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

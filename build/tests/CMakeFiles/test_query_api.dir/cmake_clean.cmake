@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_api.dir/test_query_api.cc.o"
+  "CMakeFiles/test_query_api.dir/test_query_api.cc.o.d"
+  "test_query_api"
+  "test_query_api.pdb"
+  "test_query_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_models.dir/test_reference_models.cc.o"
+  "CMakeFiles/test_reference_models.dir/test_reference_models.cc.o.d"
+  "test_reference_models"
+  "test_reference_models.pdb"
+  "test_reference_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_us_broadband.dir/test_us_broadband.cc.o"
+  "CMakeFiles/test_us_broadband.dir/test_us_broadband.cc.o.d"
+  "test_us_broadband"
+  "test_us_broadband.pdb"
+  "test_us_broadband[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_us_broadband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
