@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
+#include "bench/study_runtime.h"
 #include "scenario/driver.h"
 #include "sim/sim_time.h"
 
@@ -17,7 +18,8 @@ int main() {
   std::puts("=== Figure 7: monthly % of congested day-links per AP-T&CP ===");
   std::puts("Sparkline: one cell per study month, 2016-03 .. 2017-12.\n");
   scenario::UsBroadband world = scenario::MakeUsBroadband();
-  const scenario::StudyResult result = scenario::RunLongitudinalStudy(world);
+  const scenario::StudyResult result =
+      scenario::RunLongitudinalStudy(world, bench::StudyOptionsFromEnv());
 
   const std::vector<topo::Asn> aps = {U::kComcast, U::kTwc, U::kAtt,
                                       U::kCenturyLink, U::kCox, U::kVerizon,
@@ -69,5 +71,6 @@ int main() {
       "  AT&T-XO        prolonged (11 months): Jun'16 %.1f%%, Oct'16 %.1f%%, "
       "Jan'17 %.1f%%\n",
       pct(U::kAtt, U::kXo, 3), pct(U::kAtt, U::kXo, 7), pct(U::kAtt, U::kXo, 10));
+  bench::ReportStudyRuntime("fig7_evolution");
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
+#include "bench/study_runtime.h"
 #include "scenario/driver.h"
 #include "sim/sim_time.h"
 
@@ -17,7 +18,8 @@ using U = scenario::UsBroadband;
 int main() {
   std::puts("=== Figure 8: mean day-link congestion % per month ===");
   scenario::UsBroadband world = scenario::MakeUsBroadband();
-  const scenario::StudyResult result = scenario::RunLongitudinalStudy(world);
+  const scenario::StudyResult result =
+      scenario::RunLongitudinalStudy(world, bench::StudyOptionsFromEnv());
 
   const std::vector<topo::Asn> aps = {U::kComcast, U::kCenturyLink, U::kTwc,
                                       U::kVerizon, U::kAtt, U::kCox};
@@ -54,5 +56,6 @@ int main() {
       "(decline)\n",
       mean_at(U::kAtt, U::kTata, 4), mean_at(U::kAtt, U::kTata, 10),
       mean_at(U::kAtt, U::kTata, 18));
+  bench::ReportStudyRuntime("fig8_mean_congestion");
   return 0;
 }

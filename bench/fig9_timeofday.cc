@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "analysis/daylink.h"
+#include "bench/study_runtime.h"
 #include "scenario/driver.h"
 
 using namespace manic;
@@ -36,7 +37,8 @@ int main() {
             "intervals (Comcast, 2017) ===");
   std::puts("Columns: local hour 00..23, percentage of congested intervals.");
   scenario::UsBroadband world = scenario::MakeUsBroadband();
-  const scenario::StudyResult result = scenario::RunLongitudinalStudy(world);
+  const scenario::StudyResult result =
+      scenario::RunLongitudinalStudy(world, bench::StudyOptionsFromEnv());
 
   // West- and East-coast Comcast VPs (the paper's mry-us / bed-us panels).
   const std::string west = "Comcast-sfo-us";
@@ -66,5 +68,6 @@ int main() {
         100.0 * result.comcast_consolidated.FccPeakShare(true),
         100.0 * result.comcast_consolidated.FccPeakShare(false));
   }
+  bench::ReportStudyRuntime("fig9_timeofday");
   return 0;
 }

@@ -5,9 +5,13 @@
 // detector.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "infer/autocorr.h"
 #include "infer/level_shift.h"
 #include "infer/rolling.h"
+#include "runtime/seed_tree.h"
+#include "runtime/thread_pool.h"
 #include "scenario/small.h"
 #include "sim/packet_queue.h"
 #include "stats/rng.h"
@@ -161,6 +165,64 @@ void BM_TsdbWriteQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TsdbWriteQuery);
+
+// ---- runtime ----------------------------------------------------------------
+
+// Pool dispatch overhead: ParallelFor over trivial tasks. The per-task cost
+// here bounds how fine study shards can be before scheduling dominates.
+void BM_PoolDispatch(benchmark::State& state) {
+  runtime::ThreadPool pool(static_cast<int>(state.range(0)));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    pool.ParallelFor(1024, [&](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PoolDispatch)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SeedTreeDerive(benchmark::State& state) {
+  const runtime::SeedTree tree(99);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    ++key;
+    benchmark::DoNotOptimize(tree.Leaf(key, key * 3));
+  }
+}
+BENCHMARK(BM_SeedTreeDerive);
+
+// Scaling curve of the study's hot loop: N independent prewarmed rolling
+// analyzers each ingest one day, fanned across the pool. On a single
+// hardware thread every arg degenerates to serial — the curve is meaningful
+// on multicore hosts.
+void BM_RollingAnalyzerScaling(benchmark::State& state) {
+  constexpr std::size_t kAnalyzers = 64;
+  runtime::ThreadPool pool(static_cast<int>(state.range(0)));
+  stats::Rng rng(11);
+  std::vector<float> far(96), near(96);
+  for (int s = 0; s < 96; ++s) {
+    far[static_cast<std::size_t>(s)] =
+        static_cast<float>(12.0 + rng.NextDouble() +
+                           ((s >= 80 && s < 92) ? 20.0 : 0.0));
+    near[static_cast<std::size_t>(s)] =
+        static_cast<float>(6.0 + rng.NextDouble());
+  }
+  std::vector<infer::RollingAutocorr> rolling(kAnalyzers);
+  for (int d = 0; d < 50; ++d) {
+    for (auto& r : rolling) r.AddDay(far, near);
+  }
+  for (auto _ : state) {
+    pool.ParallelFor(kAnalyzers, [&](std::size_t i) {
+      rolling[i].AddDay(far, near);
+      benchmark::DoNotOptimize(rolling[i].Classify());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kAnalyzers));
+}
+BENCHMARK(BM_RollingAnalyzerScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

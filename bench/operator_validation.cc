@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "analysis/report.h"
+#include "bench/study_runtime.h"
 #include "scenario/driver.h"
 #include "sim/sim_time.h"
 
@@ -19,7 +20,7 @@ int main() {
   scenario::UsBroadband world = scenario::MakeUsBroadband();
   sim::SimNetwork& net = *world.net;
 
-  scenario::StudyOptions options;
+  scenario::StudyOptions options = bench::StudyOptionsFromEnv();
   const scenario::StudyResult result =
       scenario::RunLongitudinalStudy(world, options);
 
@@ -111,5 +112,6 @@ int main() {
       "(tp=%lld fp=%lld fn=%lld tn=%lld)\n",
       100.0 * result.TruthAccuracy(), result.truth_tp, result.truth_fp,
       result.truth_fn, result.truth_tn);
+  bench::ReportStudyRuntime("operator_validation");
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <map>
 
 #include "analysis/report.h"
+#include "bench/study_runtime.h"
 #include "scenario/driver.h"
 
 using namespace manic;
@@ -17,7 +18,7 @@ int main() {
             "(Mar 2016 - Dec 2017) ===");
   scenario::UsBroadband world = scenario::MakeUsBroadband();
   const scenario::StudyResult result =
-      scenario::RunLongitudinalStudy(world);
+      scenario::RunLongitudinalStudy(world, bench::StudyOptionsFromEnv());
 
   struct PaperRow {
     int obs;
@@ -67,5 +68,6 @@ int main() {
       "%.2f%%  (tp=%lld fp=%lld fn=%lld tn=%lld)\n",
       100.0 * result.TruthAccuracy(), result.truth_tp, result.truth_fp,
       result.truth_fn, result.truth_tn);
+  bench::ReportStudyRuntime("table3_overview");
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "analysis/report.h"
+#include "bench/study_runtime.h"
 #include "scenario/driver.h"
 
 using namespace manic;
@@ -75,7 +76,8 @@ int main() {
   std::puts("=== Table 4: % congested day-links per (T&CP x access ISP) ===");
   std::puts("Each cell: measured / paper.  '-' no observations, 'Z' < 0.01%.");
   scenario::UsBroadband world = scenario::MakeUsBroadband();
-  const scenario::StudyResult result = scenario::RunLongitudinalStudy(world);
+  const scenario::StudyResult result =
+      scenario::RunLongitudinalStudy(world, bench::StudyOptionsFromEnv());
   const auto& pairs = result.day_links.Pairs();
 
   const std::vector<topo::Asn> aps = {U::kComcast, U::kVerizon,
@@ -104,5 +106,6 @@ int main() {
   for (const topo::Asn tcp : result.day_links.TopCongestedTcps(9)) {
     std::printf("  %d. %s\n", rank++, world.AsName(tcp).c_str());
   }
+  bench::ReportStudyRuntime("table4_pairs");
   return 0;
 }

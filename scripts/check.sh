@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Full verification sweep:
+#   1. default build + the whole ctest suite;
+#   2. the parallel-determinism gate: bench/table3_overview at 1 thread and
+#      at N threads must write byte-identical stdout (the runtime metrics
+#      report goes to stderr), with both wall times recorded as JSON lines;
+#   3. a ThreadSanitizer build (-DMANIC_SANITIZE=thread) rerunning the
+#      runtime + driver tests with MANIC_THREADS=4.
+#
+# Usage: scripts/check.sh [jobs]     (jobs defaults to nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+THREADS="${MANIC_CHECK_THREADS:-$(nproc)}"
+OUT_DIR="${MANIC_CHECK_OUT:-build/check}"
+mkdir -p "$OUT_DIR"
+
+echo "== [1/3] default build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== [2/3] determinism gate: table3_overview at 1 vs $THREADS threads =="
+JSON="$OUT_DIR/table3_runtime.json"
+: > "$JSON"
+MANIC_THREADS=1 MANIC_RUNTIME_JSON="$JSON" \
+  ./build/bench/table3_overview > "$OUT_DIR/table3_t1.txt" 2> "$OUT_DIR/table3_t1.err"
+MANIC_THREADS="$THREADS" MANIC_RUNTIME_JSON="$JSON" \
+  ./build/bench/table3_overview > "$OUT_DIR/table3_tN.txt" 2> "$OUT_DIR/table3_tN.err"
+if ! diff -u "$OUT_DIR/table3_t1.txt" "$OUT_DIR/table3_tN.txt"; then
+  echo "FAIL: table3_overview stdout differs between 1 and $THREADS threads" >&2
+  exit 1
+fi
+echo "stdout byte-identical at 1 and $THREADS threads."
+echo "wall/CPU records (also in $JSON):"
+cat "$JSON"
+
+echo "== [3/3] ThreadSanitizer build + runtime/driver tests (MANIC_THREADS=4) =="
+cmake -B build-tsan -S . -DMANIC_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target test_runtime test_driver
+MANIC_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'Runtime|ThreadPool|SeedTree|StudyExecutor|StudyDeterminism|Driver'
+
+echo "All checks passed."

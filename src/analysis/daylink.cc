@@ -128,6 +128,15 @@ void TimeOfDayHistogram::Add(double local_hour, bool weekend) {
   }
 }
 
+void TimeOfDayHistogram::Merge(const TimeOfDayHistogram& other) {
+  for (std::size_t bin = 0; bin < weekday_.size(); ++bin) {
+    weekday_[bin] += other.weekday_[bin];
+    weekend_[bin] += other.weekend_[bin];
+  }
+  weekday_total_ += other.weekday_total_;
+  weekend_total_ += other.weekend_total_;
+}
+
 std::vector<double> TimeOfDayHistogram::Normalized(bool weekend) const {
   const auto& bins = weekend ? weekend_ : weekday_;
   const std::int64_t total = weekend ? weekend_total_ : weekday_total_;

@@ -98,6 +98,9 @@ class TimeOfDayHistogram {
  public:
   // Adds one congested 15-minute interval at local fractional-hour `h`.
   void Add(double local_hour, bool weekend);
+  // Folds another histogram in (counts add); used by the parallel study
+  // engine to combine per-shard histograms.
+  void Merge(const TimeOfDayHistogram& other);
   // Fraction of weekday (or weekend) congested intervals per hourly bin.
   std::vector<double> Normalized(bool weekend) const;
   int ModeHour(bool weekend) const;

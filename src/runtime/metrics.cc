@@ -1,0 +1,127 @@
+#include "runtime/metrics.h"
+
+#include <time.h>
+
+#include <chrono>
+#include <cstdio>
+
+namespace manic::runtime {
+
+double WallSeconds() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double ProcessCpuSeconds() noexcept {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+void Metrics::NoteQueueDepth(std::size_t depth) noexcept {
+  std::uint64_t cur = peak_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > cur && !peak_queue_depth_.compare_exchange_weak(
+                            cur, depth, std::memory_order_relaxed)) {
+  }
+}
+
+Metrics::PhaseTimer::PhaseTimer(Metrics* metrics, std::string name)
+    : metrics_(metrics),
+      name_(std::move(name)),
+      wall_start_(WallSeconds()),
+      cpu_start_(ProcessCpuSeconds()) {}
+
+Metrics::PhaseTimer::PhaseTimer(PhaseTimer&& other) noexcept
+    : metrics_(other.metrics_),
+      name_(std::move(other.name_)),
+      wall_start_(other.wall_start_),
+      cpu_start_(other.cpu_start_) {
+  other.metrics_ = nullptr;
+}
+
+void Metrics::PhaseTimer::Stop() {
+  if (metrics_ == nullptr) return;
+  metrics_->RecordPhase(name_, WallSeconds() - wall_start_,
+                        ProcessCpuSeconds() - cpu_start_);
+  metrics_ = nullptr;
+}
+
+void Metrics::RecordPhase(std::string_view name, double wall_s, double cpu_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (PhaseStats& phase : phases_) {
+    if (phase.name == name) {
+      phase.wall_s += wall_s;
+      phase.cpu_s += cpu_s;
+      phase.count += 1;
+      return;
+    }
+  }
+  phases_.push_back({std::string(name), wall_s, cpu_s, 1});
+}
+
+std::string Metrics::Report() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "runtime metrics: threads=%d shards=%llu tasks=%llu "
+                "steals=%llu peak-queue=%llu\n",
+                threads(), static_cast<unsigned long long>(shards()),
+                static_cast<unsigned long long>(tasks()),
+                static_cast<unsigned long long>(steals()),
+                static_cast<unsigned long long>(peak_queue_depth()));
+  out += line;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (phases_.empty()) return out;
+  std::snprintf(line, sizeof(line), "  %-24s %10s %10s %6s\n", "phase",
+                "wall (s)", "cpu (s)", "cpu/w");
+  out += line;
+  for (const PhaseStats& phase : phases_) {
+    std::snprintf(line, sizeof(line), "  %-24s %10.3f %10.3f %5.1fx\n",
+                  phase.name.c_str(), phase.wall_s, phase.cpu_s,
+                  phase.wall_s > 0 ? phase.cpu_s / phase.wall_s : 0.0);
+    out += line;
+  }
+  return out;
+}
+
+std::string Metrics::Json() const {
+  char buf[256];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf),
+                "\"threads\":%d,\"shards\":%llu,\"tasks\":%llu,"
+                "\"steals\":%llu,\"peak_queue_depth\":%llu,\"phases\":[",
+                threads(), static_cast<unsigned long long>(shards()),
+                static_cast<unsigned long long>(tasks()),
+                static_cast<unsigned long long>(steals()),
+                static_cast<unsigned long long>(peak_queue_depth()));
+  out += buf;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const PhaseStats& phase = phases_[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"wall_s\":%.6f,\"cpu_s\":%.6f,"
+                  "\"count\":%llu}",
+                  i == 0 ? "" : ",", phase.name.c_str(), phase.wall_s,
+                  phase.cpu_s, static_cast<unsigned long long>(phase.count));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+void Metrics::Reset() {
+  tasks_.store(0, std::memory_order_relaxed);
+  steals_.store(0, std::memory_order_relaxed);
+  shards_.store(0, std::memory_order_relaxed);
+  peak_queue_depth_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  phases_.clear();
+}
+
+}  // namespace manic::runtime

@@ -1,0 +1,109 @@
+// Observability for the parallel study-execution engine: cheap atomic
+// counters (tasks, steals, shards, peak queue depth) plus named phase timers
+// that capture wall-clock and whole-process CPU time, so a bench can show
+// per-phase parallel efficiency (cpu/wall ≈ effective thread count) instead
+// of asserting a speedup. All mutators are thread-safe; Report()/Json() are
+// meant to be called once the measured work has quiesced.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace manic::runtime {
+
+// Wall clock (seconds) and cumulative CPU time of the whole process
+// (seconds, summed over all threads).
+double WallSeconds() noexcept;
+double ProcessCpuSeconds() noexcept;
+
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  // ---- counters ------------------------------------------------------------
+  void AddTasks(std::uint64_t n = 1) noexcept {
+    tasks_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddSteals(std::uint64_t n = 1) noexcept {
+    steals_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddShards(std::uint64_t n = 1) noexcept {
+    shards_.fetch_add(n, std::memory_order_relaxed);
+  }
+  // Retains the maximum depth ever observed.
+  void NoteQueueDepth(std::size_t depth) noexcept;
+  void SetThreads(int threads) noexcept {
+    threads_.store(threads, std::memory_order_relaxed);
+  }
+
+  std::uint64_t tasks() const noexcept {
+    return tasks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shards() const noexcept {
+    return shards_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t peak_queue_depth() const noexcept {
+    return peak_queue_depth_.load(std::memory_order_relaxed);
+  }
+  int threads() const noexcept {
+    return threads_.load(std::memory_order_relaxed);
+  }
+
+  // ---- phase timing ----------------------------------------------------------
+  // RAII scope: records wall + process-CPU time under `name` on destruction
+  // (or Stop()). Repeated phases with the same name accumulate.
+  class PhaseTimer {
+   public:
+    PhaseTimer(Metrics* metrics, std::string name);
+    PhaseTimer(PhaseTimer&& other) noexcept;
+    PhaseTimer(const PhaseTimer&) = delete;
+    PhaseTimer& operator=(const PhaseTimer&) = delete;
+    PhaseTimer& operator=(PhaseTimer&&) = delete;
+    ~PhaseTimer() { Stop(); }
+    void Stop();
+
+   private:
+    Metrics* metrics_;
+    std::string name_;
+    double wall_start_ = 0.0;
+    double cpu_start_ = 0.0;
+  };
+  PhaseTimer Phase(std::string name) { return PhaseTimer(this, std::move(name)); }
+  void RecordPhase(std::string_view name, double wall_s, double cpu_s);
+
+  // ---- reporting -------------------------------------------------------------
+  // Human-readable multi-line report (counters + per-phase table).
+  std::string Report() const;
+  // The same data as a JSON object, for bench wall-time records.
+  std::string Json() const;
+
+  void Reset();
+
+ private:
+  struct PhaseStats {
+    std::string name;
+    double wall_s = 0.0;
+    double cpu_s = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> shards_{0};
+  std::atomic<std::uint64_t> peak_queue_depth_{0};
+  std::atomic<int> threads_{0};
+  mutable std::mutex mu_;           // guards phases_
+  std::vector<PhaseStats> phases_;  // insertion order = report order
+};
+
+}  // namespace manic::runtime

@@ -1,0 +1,38 @@
+#include "runtime/study_executor.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace manic::runtime {
+
+RuntimeOptions RuntimeOptions::FromEnv(int default_threads) {
+  RuntimeOptions options;
+  options.threads = default_threads;
+  if (const char* env = std::getenv("MANIC_THREADS")) {
+    options.threads = std::atoi(env);
+  }
+  if (const char* env = std::getenv("MANIC_MONTHS_PER_SHARD")) {
+    options.months_per_shard = std::atoi(env);
+  }
+  return options;
+}
+
+void StudyExecutor::Execute(
+    std::vector<Shard> shards,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  std::stable_sort(shards.begin(), shards.end(),
+                   [](const Shard& a, const Shard& b) { return a.key < b.key; });
+  // Fan out. ParallelFor (rather than bare Submit) lets the calling thread
+  // execute shards too, so an exclusive pool is not assumed.
+  pool_->ParallelFor(shards.size(), [&](std::size_t i) {
+    if (shards[i].work) shards[i].work();
+    if (metrics_ != nullptr) metrics_->AddShards();
+  });
+  // Fold in canonical key order, never completion order.
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i].merge) shards[i].merge();
+    if (progress) progress(i + 1, shards.size());
+  }
+}
+
+}  // namespace manic::runtime

@@ -1,0 +1,67 @@
+// The deterministic fork/join skeleton of the parallel study engine. A study
+// is cut into shards keyed by stable identifiers ((VP, link, month-chunk) in
+// the longitudinal driver); every shard's `work` runs concurrently on the
+// pool and writes only to buffers it owns, then every shard's `merge` runs
+// on the calling thread in ascending key order. Because the merge order is a
+// pure function of the keys — never of scheduling — the folded result is
+// bit-identical run-to-run and thread-count-to-thread-count, floating-point
+// accumulation order included.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/metrics.h"
+#include "runtime/thread_pool.h"
+
+namespace manic::runtime {
+
+// Knobs for parallel study execution, carried inside scenario::StudyOptions.
+struct RuntimeOptions {
+  // 1 = the serial reference path (no pool); 0 = hardware_concurrency;
+  // N > 1 = sharded execution on N workers.
+  int threads = 1;
+  // Shard granularity: 0 = one shard per (VP, link) pair spanning the whole
+  // study window; N > 0 = additionally split each pair into N-month chunks
+  // (finer load balancing, ~window/30 days of warmup replay per extra chunk).
+  int months_per_shard = 0;
+  // Optional observability sink (counters + per-phase timing); must outlive
+  // the study run. Null = metrics are discarded.
+  Metrics* metrics = nullptr;
+
+  int ResolvedThreads() const noexcept {
+    return threads > 0 ? threads : ThreadPool::HardwareThreads();
+  }
+
+  // Reads MANIC_THREADS (default `default_threads`) and
+  // MANIC_MONTHS_PER_SHARD (default 0) — the bench/example entry points'
+  // configuration surface.
+  static RuntimeOptions FromEnv(int default_threads = 0);
+};
+
+class StudyExecutor {
+ public:
+  struct Shard {
+    std::uint64_t key = 0;  // stable identity; also the canonical merge rank
+    std::function<void()> work;   // parallel phase; owns its output buffer
+    std::function<void()> merge;  // serial phase; folds the buffer in
+  };
+
+  // The executor borrows the pool; `metrics` (optional) counts shards.
+  explicit StudyExecutor(ThreadPool& pool, Metrics* metrics = nullptr)
+      : pool_(&pool), metrics_(metrics) {}
+
+  // Runs all shard works concurrently (the calling thread participates),
+  // then merges serially in ascending (key, insertion-index) order.
+  // `progress(done, total)` fires from the calling thread after each merge.
+  void Execute(std::vector<Shard> shards,
+               const std::function<void(std::size_t, std::size_t)>& progress =
+                   {});
+
+ private:
+  ThreadPool* pool_;
+  Metrics* metrics_;
+};
+
+}  // namespace manic::runtime

@@ -1,0 +1,162 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+
+namespace manic::runtime {
+
+namespace {
+// The pool a worker thread belongs to, for reentrancy detection.
+thread_local const ThreadPool* g_current_pool = nullptr;
+}  // namespace
+
+int ThreadPool::HardwareThreads() noexcept {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(int threads, Metrics* metrics) : metrics_(metrics) {
+  const int n = threads > 0 ? threads : HardwareThreads();
+  queues_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Worker>());
+  if (metrics_ != nullptr) metrics_->SetThreads(n);
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wake_cv_.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  const std::size_t depth = queued_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (metrics_ != nullptr) metrics_->NoteQueueDepth(depth);
+  const std::size_t victim =
+      rr_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[victim]->mu);
+    queues_[victim]->tasks.push_back(std::move(task));
+  }
+  std::lock_guard<std::mutex> lock(wake_mu_);
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::RunOne(std::size_t self) {
+  const std::size_t n = queues_.size();
+  std::function<void()> task;
+  std::size_t source = n;
+  if (self < n) {
+    std::lock_guard<std::mutex> lock(queues_[self]->mu);
+    if (!queues_[self]->tasks.empty()) {
+      task = std::move(queues_[self]->tasks.front());
+      queues_[self]->tasks.pop_front();
+      source = self;
+    }
+  }
+  if (!task) {
+    for (std::size_t off = 1; off <= n && !task; ++off) {
+      const std::size_t victim = (self + off) % n;
+      if (victim == self) continue;
+      std::lock_guard<std::mutex> lock(queues_[victim]->mu);
+      if (!queues_[victim]->tasks.empty()) {
+        task = std::move(queues_[victim]->tasks.back());
+        queues_[victim]->tasks.pop_back();
+        source = victim;
+      }
+    }
+  }
+  if (!task) return false;
+  queued_.fetch_sub(1, std::memory_order_acq_rel);
+  if (metrics_ != nullptr) {
+    metrics_->AddTasks();
+    if (self < n && source != self) metrics_->AddSteals();
+  }
+  task();
+  FinishTask();
+  return true;
+}
+
+void ThreadPool::FinishTask() {
+  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(std::size_t self) {
+  g_current_pool = this;
+  for (;;) {
+    if (RunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::WaitIdle() {
+  const std::size_t external = queues_.size();
+  while (RunOne(external)) {
+  }
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  idle_cv_.wait(lock, [&] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body,
+                             std::size_t grain) {
+  if (n == 0) return;
+  if (g_current_pool == this) {
+    // Reentrant use from a pool task: run inline rather than deadlock the
+    // worker on its own pool.
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  grain = std::max<std::size_t>(1, grain);
+
+  struct Latch {
+    std::atomic<std::size_t> remaining;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  const std::size_t chunks = (n + grain - 1) / grain;
+  auto latch = std::make_shared<Latch>();
+  latch->remaining.store(chunks, std::memory_order_relaxed);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = std::min(n, begin + grain);
+    Submit([latch, begin, end, &body] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+      if (latch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(latch->mu);
+        latch->cv.notify_all();
+      }
+    });
+  }
+  // Help until our chunks are gone from the queues, then sleep out the tail.
+  const std::size_t external = queues_.size();
+  while (latch->remaining.load(std::memory_order_acquire) > 0) {
+    if (!RunOne(external)) {
+      std::unique_lock<std::mutex> lock(latch->mu);
+      latch->cv.wait(lock, [&] {
+        return latch->remaining.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+}
+
+}  // namespace manic::runtime

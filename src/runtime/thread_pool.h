@@ -1,0 +1,81 @@
+// Work-stealing thread pool. Each worker owns a deque: it pops its own work
+// from the front and steals from the back of a victim's deque when empty;
+// submissions are distributed round-robin. The caller of ParallelFor also
+// executes tasks while it waits, so a 1-worker pool still uses two cores
+// under ParallelFor and small pools are never idle-blocked on a busy main
+// thread.
+//
+// Determinism contract: the pool makes NO ordering promises — any task may
+// run on any worker at any time. Deterministic parallel programs built on it
+// must (a) give every task an isolated output buffer and (b) fold buffers in
+// an order chosen by stable task keys (see runtime::StudyExecutor), never in
+// completion order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/metrics.h"
+
+namespace manic::runtime {
+
+class ThreadPool {
+ public:
+  // threads <= 0 selects hardware_concurrency. `metrics` (optional) receives
+  // task/steal/queue-depth counters; it must outlive the pool.
+  explicit ThreadPool(int threads = 0, Metrics* metrics = nullptr);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const noexcept { return static_cast<int>(queues_.size()); }
+
+  // Enqueues one task. Tasks must not throw (the pool does not transport
+  // exceptions; an escaping exception terminates the process).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished. The calling thread helps
+  // execute queued tasks while it waits.
+  void WaitIdle();
+
+  // Runs body(i) for every i in [0, n), chunked by `grain`, and blocks until
+  // all complete; the calling thread participates. Reentrant calls from
+  // inside a pool task run the loop inline (serially) to avoid deadlock.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                   std::size_t grain = 1);
+
+  static int HardwareThreads() noexcept;
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(std::size_t self);
+  // Runs one task popped from `self`'s deque (front) or stolen from another
+  // worker (back). `self` == queues_.size() means an external helper thread
+  // (WaitIdle / ParallelFor caller): it only steals.
+  bool RunOne(std::size_t self);
+  void FinishTask();
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::size_t> queued_{0};    // tasks sitting in deques
+  std::atomic<std::size_t> inflight_{0};  // queued + currently running
+  std::atomic<std::size_t> rr_{0};
+  std::atomic<bool> stop_{false};
+  Metrics* metrics_;
+};
+
+}  // namespace manic::runtime

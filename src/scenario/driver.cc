@@ -1,8 +1,12 @@
 #include "scenario/driver.h"
 
+#include <atomic>
 #include <cmath>
+#include <limits>
+#include <memory>
 
 #include "bdrmap/bdrmap.h"
+#include "runtime/seed_tree.h"
 #include "sim/sim_time.h"
 
 namespace manic::scenario {
@@ -100,31 +104,35 @@ std::vector<DiscoveredLink> DiscoverVpLinks(UsBroadband& world, topo::VpId vp,
   return out;
 }
 
-StudyResult RunLongitudinalStudy(UsBroadband& world,
-                                 const StudyOptions& options) {
-  StudyResult result;
-  sim::SimNetwork& net = *world.net;
+namespace {
 
-  const int days =
-      options.days > 0 ? options.days : static_cast<int>(sim::StudyTotalDays());
-  const int warmup = options.warmup_days;
-  const int intervals = static_cast<int>(kSecPerDay / options.autocorr.bin_width);
+// A VP-link pair as the daily loop consumes it. `synth` only reads the
+// network through const, stateless accessors, so many shards may evaluate
+// their pairs concurrently once discovery (which does mutate the network)
+// has finished.
+struct VpLink {
+  topo::VpId vp;
+  std::string vp_name;
+  int vp_utc_offset;
+  const InterLinkInfo* info;
+  TslpSynthesizer synth;
+  bool is_comcast;
+  // Visibility window (epoch days) for this VP-link pair.
+  std::int64_t visible_from;
+  std::int64_t visible_until;
+};
 
-  // ---- discovery: bdrmap per VP --------------------------------------------
-  struct VpLink {
-    topo::VpId vp;
-    std::string vp_name;
-    int vp_utc_offset;
-    const InterLinkInfo* info;
-    infer::RollingAutocorr rolling;
-    TslpSynthesizer synth;
-    bool is_comcast;
-    // Visibility window (epoch days) for this VP-link pair.
-    std::int64_t visible_from;
-    std::int64_t visible_until;
-  };
+// Discovery: bdrmap per VP, visibility churn, TSLP synthesizer setup. Runs
+// serially (probing mutates the network's RNG and path cache); the noise
+// seeds are derived from the root SeedTree by stable (vp, link) keys so the
+// sharded phases never need the network's RNG.
+std::vector<VpLink> DiscoverPairs(UsBroadband& world,
+                                  const StudyOptions& options, int days,
+                                  int warmup,
+                                  std::set<topo::LinkId>& observed_links) {
   std::vector<VpLink> pairs;
-  std::set<topo::LinkId> observed_links;
+  sim::SimNetwork& net = *world.net;
+  const runtime::SeedTree seeds(options.seed);
 
   std::vector<topo::VpId> vps = world.vps;
   if (options.max_vps > 0 && vps.size() > options.max_vps) {
@@ -144,8 +152,7 @@ StudyResult RunLongitudinalStudy(UsBroadband& world,
       std::int64_t from = -warmup;
       std::int64_t until = days;
       if (!dl.info->scheduled_congested) {
-        const double h =
-            stats::Rng::HashToUnit(options.seed, dl.info->link, 0xC1);
+        const double h = seeds.LeafUnit(dl.info->link, 0xC1);
         if (h < options.churn_fraction / 3) {
           from = static_cast<std::int64_t>(
               days *
@@ -160,18 +167,70 @@ StudyResult RunLongitudinalStudy(UsBroadband& world,
       }
       pairs.push_back(
           {vp, dl.vp_name, dl.vp_utc_offset, dl.info,
-           infer::RollingAutocorr(options.autocorr),
            TslpSynthesizer(net, dl.info->link, dl.base_far_ms, dl.base_near_ms,
-                           stats::Rng::HashMix(options.seed, vp, dl.info->link)),
+                           seeds.Leaf(vp, dl.info->link)),
            world.topo->vp(vp).host_as == UsBroadband::kComcast, from, until});
       observed_links.insert(dl.info->link);
     }
   }
-  result.vp_link_pairs = pairs.size();
-  result.links_observed = observed_links.size();
-  result.probes_for_discovery = net.ProbesSent();
+  return pairs;
+}
 
-  // ---- the daily loop --------------------------------------------------------
+// Fig 9 (Comcast, calendar year 2017): congested 15-minute intervals by
+// VP-local hour, plus the consolidated panel in Pacific time. Eligibility is
+// checked separately so callers only materialize a per-VP histogram map
+// entry when the day actually contributes.
+bool Fig9Eligible(const VpLink& pair, const infer::DayClassification& cls,
+                  std::int64_t day) {
+  if (!pair.is_comcast || !cls.recurring || !cls.congested) return false;
+  const int month = sim::StudyMonthOfDay(day);
+  return month >= 10 && month <= 21;
+}
+
+void AddFig9Intervals(const VpLink& pair, const infer::DayClassification& cls,
+                      std::int64_t day, TimeSec bin_width,
+                      analysis::TimeOfDayHistogram& vp_hist,
+                      analysis::TimeOfDayHistogram& pacific_hist) {
+  for (const int s : cls.congested_intervals) {
+    const TimeSec t = day * kSecPerDay + static_cast<TimeSec>(s) * bin_width;
+    vp_hist.Add(sim::LocalHour(t, pair.vp_utc_offset),
+                sim::IsWeekend(sim::LocalWeekday(t, pair.vp_utc_offset)));
+    pacific_hist.Add(sim::LocalHour(t, -8),
+                     sim::IsWeekend(sim::LocalWeekday(t, -8)));
+  }
+}
+
+// Ground truth for one (link, day), sampled at the inference bin width.
+bool TrulyCongestedDay(const sim::SimNetwork& net, topo::LinkId link,
+                       std::int64_t day, int intervals, TimeSec bin_width) {
+  int congested_bins = 0;
+  for (int s = 0; s < intervals; ++s) {
+    const TimeSec t = day * kSecPerDay + static_cast<TimeSec>(s) * bin_width;
+    if (net.MeanUtilization(link, Direction::kBtoA, t) >= 0.96) {
+      ++congested_bins;
+    }
+  }
+  return static_cast<double>(congested_bins) / intervals >=
+         analysis::kDayLinkThreshold;
+}
+
+void Notify(const StudyOptions& options, const char* phase, std::size_t done,
+            std::size_t total) {
+  if (options.progress) options.progress({phase, done, total});
+}
+
+// ---- the serial reference path ---------------------------------------------
+// Day-outer, pair-inner — kept verbatim as the arithmetic specification the
+// sharded path must reproduce bit-for-bit (tested in test_runtime.cc).
+void RunDailyLoopSerial(UsBroadband& world, const StudyOptions& options,
+                        std::vector<VpLink>& pairs, int days, int warmup,
+                        StudyResult& result) {
+  sim::SimNetwork& net = *world.net;
+  const int intervals =
+      static_cast<int>(kSecPerDay / options.autocorr.bin_width);
+
+  std::vector<infer::RollingAutocorr> rolling(
+      pairs.size(), infer::RollingAutocorr(options.autocorr));
   std::vector<float> far_row, near_row;
   // Per link, per day: merged congestion fractions from asserting VPs.
   std::map<topo::LinkId, std::pair<double, int>> today;  // sum, contributors
@@ -185,43 +244,31 @@ StudyResult RunLongitudinalStudy(UsBroadband& world,
   for (std::int64_t day = -warmup; day < days; ++day) {
     today.clear();
     today_observed.clear();
-    for (VpLink& pair : pairs) {
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      VpLink& pair = pairs[p];
       if (day < pair.visible_from || day >= pair.visible_until) continue;
       pair.synth.Day(day, far_row, near_row);
-      pair.rolling.AddDay(far_row, near_row);
-      if (day < 0 || !pair.rolling.WindowFull()) continue;
+      rolling[p].AddDay(far_row, near_row);
+      if (day < 0 || !rolling[p].WindowFull()) continue;
       today_observed[pair.info->link] = true;
       seen_ever.emplace(pair.info->link, pair.info);
       if (day >= final_month_start) {
         seen_final.emplace(pair.info->link, pair.info);
       }
-      const infer::DayClassification cls = pair.rolling.Classify();
+      const infer::DayClassification cls = rolling[p].Classify();
       if (cls.recurring) {
         auto& slot = today[pair.info->link];
         slot.first += cls.fraction;
         slot.second += 1;
       }
-      // Fig 9 (Comcast, calendar year 2017): congested 15-minute intervals
-      // by VP-local hour.
-      if (pair.is_comcast && cls.recurring && cls.congested) {
-        const int month = sim::StudyMonthOfDay(day);
-        if (month >= 10 && month <= 21) {
-          for (const int s : cls.congested_intervals) {
-            const TimeSec t = day * kSecPerDay +
-                              static_cast<TimeSec>(s) *
-                                  options.autocorr.bin_width;
-            const double local_hour = sim::LocalHour(t, pair.vp_utc_offset);
-            const bool weekend =
-                sim::IsWeekend(sim::LocalWeekday(t, pair.vp_utc_offset));
-            result.comcast_vp_hists[pair.vp_name].Add(local_hour, weekend);
-            // Consolidated panel in Pacific time.
-            const double pt_hour = sim::LocalHour(t, -8);
-            result.comcast_consolidated.Add(
-                pt_hour, sim::IsWeekend(sim::LocalWeekday(t, -8)));
-          }
-        }
+      if (Fig9Eligible(pair, cls, day)) {
+        AddFig9Intervals(pair, cls, day, options.autocorr.bin_width,
+                         result.comcast_vp_hists[pair.vp_name],
+                         result.comcast_consolidated);
       }
     }
+    Notify(options, "classify", static_cast<std::size_t>(day + warmup) + 1,
+           static_cast<std::size_t>(days + warmup));
     if (day < 0) continue;
 
     for (const auto& [link, seen] : today_observed) {
@@ -233,22 +280,12 @@ StudyResult RunLongitudinalStudy(UsBroadband& world,
               : it->second.first / static_cast<double>(it->second.second);
       result.day_links.Add({day, link, info->access, info->tcp, fraction, true});
 
-      // Ground-truth comparison at the day-link level (sampled at the
-      // inference bin width; links without demand models are never truly
-      // congested).
-      bool truly_congested = false;
-      if (info->scheduled_congested) {
-        int congested_bins = 0;
-        for (int s = 0; s < intervals; ++s) {
-          const TimeSec t = day * kSecPerDay +
-                            static_cast<TimeSec>(s) * options.autocorr.bin_width;
-          if (net.MeanUtilization(link, Direction::kBtoA, t) >= 0.96) {
-            ++congested_bins;
-          }
-        }
-        truly_congested = static_cast<double>(congested_bins) / intervals >=
-                          analysis::kDayLinkThreshold;
-      }
+      // Ground-truth comparison at the day-link level (links without demand
+      // models are never truly congested).
+      const bool truly_congested =
+          info->scheduled_congested &&
+          TrulyCongestedDay(net, link, day, intervals,
+                            options.autocorr.bin_width);
       const bool inferred = fraction >= analysis::kDayLinkThreshold;
       if (truly_congested && inferred) ++result.truth_tp;
       if (truly_congested && !inferred) ++result.truth_fn;
@@ -261,6 +298,236 @@ StudyResult RunLongitudinalStudy(UsBroadband& world,
   }
   for (const auto& [link, info] : seen_final) {
     ++result.links_final_month_by_access[info->access];
+  }
+}
+
+// ---- the sharded path -------------------------------------------------------
+// Shard = one (VP, link) pair, optionally split into month-sized day chunks.
+// Each shard synthesizes and classifies its own day range into a private
+// buffer (replaying up to window_days - 1 preceding days to warm the rolling
+// window, whose state is a pure function of its last window_days inputs);
+// buffers are folded in (pair, chunk) key order, which reproduces the serial
+// loop's floating-point accumulation order exactly.
+void RunDailyLoopSharded(UsBroadband& world, const StudyOptions& options,
+                         const std::vector<VpLink>& pairs, int days,
+                         runtime::Metrics& metrics, StudyResult& result) {
+  sim::SimNetwork& net = *world.net;
+  const int intervals =
+      static_cast<int>(kSecPerDay / options.autocorr.bin_width);
+  const std::int64_t final_month_start =
+      days - sim::DaysInStudyMonth(sim::StudyMonthOfDay(days - 1));
+
+  runtime::ThreadPool pool(options.runtime.ResolvedThreads(), &metrics);
+  runtime::StudyExecutor executor(pool, &metrics);
+
+  struct DayOutcome {
+    bool recurring = false;
+    double fraction = 0.0;
+  };
+  struct PairOut {
+    std::int64_t emit_start = 0;
+    std::vector<DayOutcome> days;
+    analysis::TimeOfDayHistogram vp_hist;
+    analysis::TimeOfDayHistogram pacific_hist;
+  };
+
+  // ---- phase: synthesize + classify, one shard per (pair, month chunk) ----
+  std::vector<PairOut> merged(pairs.size());
+  {
+    auto timer = metrics.Phase("classify");
+    const std::int64_t chunk_days =
+        options.runtime.months_per_shard > 0
+            ? static_cast<std::int64_t>(options.runtime.months_per_shard) * 30
+            : std::numeric_limits<std::int64_t>::max();
+
+    std::vector<runtime::StudyExecutor::Shard> shards;
+    std::vector<std::unique_ptr<PairOut>> outputs;
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      const VpLink& pair = pairs[p];
+      const std::int64_t begin = pair.visible_from;
+      const std::int64_t end =
+          std::min<std::int64_t>(pair.visible_until, days);
+      std::int64_t c0 = begin;
+      for (std::uint64_t chunk = 0; c0 < end; ++chunk) {
+        const std::int64_t c1 =
+            c0 > end - chunk_days ? end : c0 + chunk_days;  // overflow-safe
+        auto out = std::make_unique<PairOut>();
+        PairOut* buffer = out.get();
+        outputs.push_back(std::move(out));
+        shards.push_back(runtime::StudyExecutor::Shard{
+            (static_cast<std::uint64_t>(p) << 16) | chunk,
+            [&options, &pair, buffer, c0, c1] {
+              infer::RollingAutocorr rolling(options.autocorr);
+              std::vector<float> far_row, near_row;
+              const std::int64_t replay_from = std::max(
+                  pair.visible_from,
+                  c0 - static_cast<std::int64_t>(
+                           options.autocorr.window_days - 1));
+              for (std::int64_t day = replay_from; day < c1; ++day) {
+                pair.synth.Day(day, far_row, near_row);
+                rolling.AddDay(far_row, near_row);
+                if (day < c0 || day < 0 || !rolling.WindowFull()) continue;
+                if (buffer->days.empty()) buffer->emit_start = day;
+                const infer::DayClassification cls = rolling.Classify();
+                buffer->days.push_back(
+                    {cls.recurring, cls.recurring ? cls.fraction : 0.0});
+                if (Fig9Eligible(pair, cls, day)) {
+                  AddFig9Intervals(pair, cls, day, options.autocorr.bin_width,
+                                   buffer->vp_hist, buffer->pacific_hist);
+                }
+              }
+            },
+            [&merged, p, buffer] {
+              PairOut& dst = merged[p];
+              if (dst.days.empty()) dst.emit_start = buffer->emit_start;
+              dst.days.insert(dst.days.end(), buffer->days.begin(),
+                              buffer->days.end());
+              dst.vp_hist.Merge(buffer->vp_hist);
+              dst.pacific_hist.Merge(buffer->pacific_hist);
+            }});
+        c0 = c1;
+      }
+    }
+    executor.Execute(shards, [&](std::size_t done, std::size_t total) {
+      Notify(options, "classify", done, total);
+    });
+  }
+
+  // ---- phase: aggregate (serial, canonical order) --------------------------
+  // Day-outer, pair-inner, link-sorted emission: the exact order of the
+  // serial reference loop, so every floating-point sum associates the same
+  // way and DayLinkTable ingests records identically.
+  struct TruthTask {
+    std::int64_t day;
+    topo::LinkId link;
+    double fraction;
+  };
+  std::vector<TruthTask> truth_tasks;
+  {
+    auto timer = metrics.Phase("aggregate");
+    std::map<topo::LinkId, std::pair<double, int>> today;
+    std::map<topo::LinkId, bool> today_observed;
+    std::map<topo::LinkId, const InterLinkInfo*> seen_ever, seen_final;
+    for (std::int64_t day = 0; day < days; ++day) {
+      today.clear();
+      today_observed.clear();
+      for (std::size_t p = 0; p < pairs.size(); ++p) {
+        const PairOut& series = merged[p];
+        const std::int64_t idx = day - series.emit_start;
+        if (series.days.empty() || idx < 0 ||
+            idx >= static_cast<std::int64_t>(series.days.size())) {
+          continue;
+        }
+        const VpLink& pair = pairs[p];
+        today_observed[pair.info->link] = true;
+        seen_ever.emplace(pair.info->link, pair.info);
+        if (day >= final_month_start) {
+          seen_final.emplace(pair.info->link, pair.info);
+        }
+        const DayOutcome& outcome =
+            series.days[static_cast<std::size_t>(idx)];
+        if (outcome.recurring) {
+          auto& slot = today[pair.info->link];
+          slot.first += outcome.fraction;
+          slot.second += 1;
+        }
+      }
+      for (const auto& [link, seen] : today_observed) {
+        const InterLinkInfo* info = world.FindLink(link);
+        const auto it = today.find(link);
+        const double fraction =
+            it == today.end() || it->second.second == 0
+                ? 0.0
+                : it->second.first / static_cast<double>(it->second.second);
+        result.day_links.Add(
+            {day, link, info->access, info->tcp, fraction, true});
+        if (info->scheduled_congested) {
+          truth_tasks.push_back({day, link, fraction});
+        } else {
+          // Links without a demand model are never truly congested.
+          if (fraction >= analysis::kDayLinkThreshold) {
+            ++result.truth_fp;
+          } else {
+            ++result.truth_tn;
+          }
+        }
+      }
+      Notify(options, "aggregate", static_cast<std::size_t>(day) + 1,
+             static_cast<std::size_t>(days));
+    }
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      const PairOut& series = merged[p];
+      if (series.vp_hist.Total(false) + series.vp_hist.Total(true) > 0) {
+        result.comcast_vp_hists[pairs[p].vp_name].Merge(series.vp_hist);
+      }
+      result.comcast_consolidated.Merge(series.pacific_hist);
+    }
+    for (const auto& [link, info] : seen_ever) {
+      ++result.links_ever_by_access[info->access];
+    }
+    for (const auto& [link, info] : seen_final) {
+      ++result.links_final_month_by_access[info->access];
+    }
+  }
+
+  // ---- phase: ground truth (parallel; integer tallies are order-free) ------
+  {
+    auto timer = metrics.Phase("truth");
+    std::atomic<long long> tp{0}, fp{0}, fn{0}, tn{0};
+    pool.ParallelFor(
+        truth_tasks.size(),
+        [&](std::size_t i) {
+          const TruthTask& task = truth_tasks[i];
+          const bool truly =
+              TrulyCongestedDay(net, task.link, task.day, intervals,
+                                options.autocorr.bin_width);
+          const bool inferred = task.fraction >= analysis::kDayLinkThreshold;
+          if (truly && inferred) tp.fetch_add(1, std::memory_order_relaxed);
+          if (truly && !inferred) fn.fetch_add(1, std::memory_order_relaxed);
+          if (!truly && inferred) fp.fetch_add(1, std::memory_order_relaxed);
+          if (!truly && !inferred) tn.fetch_add(1, std::memory_order_relaxed);
+        },
+        /*grain=*/16);
+    result.truth_tp += tp.load();
+    result.truth_fp += fp.load();
+    result.truth_fn += fn.load();
+    result.truth_tn += tn.load();
+    Notify(options, "truth", truth_tasks.size(), truth_tasks.size());
+  }
+}
+
+}  // namespace
+
+StudyResult RunLongitudinalStudy(UsBroadband& world,
+                                 const StudyOptions& options) {
+  StudyResult result;
+  runtime::Metrics scratch_metrics;
+  runtime::Metrics& metrics = options.runtime.metrics != nullptr
+                                  ? *options.runtime.metrics
+                                  : scratch_metrics;
+  const int threads = options.runtime.ResolvedThreads();
+  metrics.SetThreads(threads);
+
+  const int days =
+      options.days > 0 ? options.days : static_cast<int>(sim::StudyTotalDays());
+  const int warmup = options.warmup_days;
+
+  std::set<topo::LinkId> observed_links;
+  std::vector<VpLink> pairs;
+  {
+    auto timer = metrics.Phase("discover");
+    pairs = DiscoverPairs(world, options, days, warmup, observed_links);
+    Notify(options, "discover", pairs.size(), pairs.size());
+  }
+  result.vp_link_pairs = pairs.size();
+  result.links_observed = observed_links.size();
+  result.probes_for_discovery = world.net->ProbesSent();
+
+  if (threads <= 1) {
+    auto timer = metrics.Phase("classify");
+    RunDailyLoopSerial(world, options, pairs, days, warmup, result);
+  } else {
+    RunDailyLoopSharded(world, options, pairs, days, metrics, result);
   }
   return result;
 }

@@ -11,11 +11,13 @@
 // TSLP scheduler instead.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 
 #include "analysis/daylink.h"
 #include "infer/rolling.h"
+#include "runtime/study_executor.h"
 #include "scenario/us_broadband.h"
 
 namespace manic::scenario {
@@ -75,6 +77,17 @@ struct DiscoveredLink {
 std::vector<DiscoveredLink> DiscoverVpLinks(UsBroadband& world, topo::VpId vp,
                                             stats::TimeSec t);
 
+// Phase-and-progress notification from the driver. The driver itself never
+// writes to stdout/stderr: callers that want live progress install a
+// callback (always invoked from the calling thread, so a bench's own output
+// and the runtime metrics report never interleave with worker output).
+struct StudyProgress {
+  const char* phase = "";   // "discover", "classify", "aggregate", "truth"
+  std::size_t done = 0;     // units completed within the phase
+  std::size_t total = 0;    // units in the phase
+};
+using StudyProgressFn = std::function<void(const StudyProgress&)>;
+
 struct StudyOptions {
   int days = -1;          // default: the full 22-month window
   int warmup_days = 50;   // classification needs a full window first
@@ -87,6 +100,12 @@ struct StudyOptions {
   // pairs either appears late or disappears early in the study window,
   // deterministically per (seed, vp, link).
   double churn_fraction = 0.3;
+  // Parallel execution (threads, shard granularity, metrics sink). The
+  // default — threads = 1 — is the serial reference path; any thread count
+  // produces bit-identical results (see README "Parallel execution").
+  runtime::RuntimeOptions runtime;
+  // Optional progress callback; null = silent.
+  StudyProgressFn progress;
 };
 
 struct StudyResult {
