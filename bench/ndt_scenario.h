@@ -127,11 +127,11 @@ inline std::vector<NdtLinkSetup> SetupNdtLinks(UsBroadband& world,
 
   struct Want {
     std::string label;
-    topo::Asn access;
-    topo::Asn tcp;
-    std::size_t vp_index;
-    bool symmetric;
-    double paper_u, paper_c, paper_p;
+    topo::Asn access = 0;
+    topo::Asn tcp = 0;
+    std::size_t vp_index = 0;
+    bool symmetric = false;
+    double paper_u = 0.0, paper_c = 0.0, paper_p = 0.0;
   };
   const std::vector<Want> wants = {
       {"Link 1 [Comcast-Tata]", U::kComcast, U::kTata, 2, true, 26.79, 7.85,

@@ -26,10 +26,10 @@ int main() {
 
   // Month-level inference per link for 2017: % congested day-links.
   struct LinkScore {
-    topo::LinkId link;
-    const scenario::InterLinkInfo* info;
-    double inferred_pct;  // congested day-links in 2017
-    double truth_pct;     // days with utilization >= 96% for >= 4% of day
+    topo::LinkId link = 0;
+    const scenario::InterLinkInfo* info = nullptr;
+    double inferred_pct = 0.0;  // congested day-links in 2017
+    double truth_pct = 0.0;     // days with utilization >= 96% for >= 4% of day
   };
   std::map<topo::LinkId, std::pair<std::int64_t, std::int64_t>> by_link;
   // Rebuild per-link day counts from the pair aggregates is lossy; instead

@@ -21,9 +21,9 @@ int main() {
       scenario::RunLongitudinalStudy(world, bench::StudyOptionsFromEnv());
 
   struct PaperRow {
-    int obs;
-    int congested;
-    double pct;
+    int obs = 0;
+    int congested = 0;
+    double pct = 0.0;
   };
   using U = scenario::UsBroadband;
   const std::map<topo::Asn, PaperRow> paper = {

@@ -31,9 +31,11 @@ int main(int argc, char** argv) {
     if (p.done == p.total) std::fputc('\n', stderr);
   };
 
-  std::printf("=== Continental study: %d days, %zu VPs, %d threads ===\n",
-              options.days, options.max_vps == 0 ? 29 : options.max_vps,
-              options.runtime.ResolvedThreads());
+  // Thread count goes to stderr: stdout must be byte-identical at any -j.
+  std::fprintf(stderr, "running with %d threads\n",
+               options.runtime.ResolvedThreads());
+  std::printf("=== Continental study: %d days, %zu VPs ===\n",
+              options.days, options.max_vps == 0 ? 29 : options.max_vps);
   scenario::UsBroadband world = scenario::MakeUsBroadband();
   const scenario::StudyResult result =
       scenario::RunLongitudinalStudy(world, options);

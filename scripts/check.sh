@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Full verification sweep:
+# Full verification sweep, four stages:
 #   1. default build + the whole ctest suite;
 #   2. the parallel-determinism gate: bench/table3_overview at 1 thread and
 #      at N threads must write byte-identical stdout (the runtime metrics
 #      report goes to stderr), with both wall times recorded as JSON lines;
-#   3. a ThreadSanitizer build (-DMANIC_SANITIZE=thread) rerunning the
-#      runtime + driver tests with MANIC_THREADS=4.
+#   3. sanitizer builds: ThreadSanitizer (-DMANIC_SANITIZE=thread) rerunning
+#      the runtime + driver tests with MANIC_THREADS=4, then UBSan
+#      (-DMANIC_SANITIZE=undefined, non-recoverable) running the full suite
+#      (set MANIC_CHECK_SKIP_UBSAN=1 to skip the UBSan half);
+#   4. static analysis: manic_lint --json over src/ bench/ tests/ examples/
+#      (report lands in build/check/lint.json; any error-severity finding
+#      fails the sweep) and the curated .clang-tidy baseline, which skips
+#      with a warning when clang-tidy is not installed.
 #
 # Usage: scripts/check.sh [jobs]     (jobs defaults to nproc)
 set -euo pipefail
@@ -16,12 +22,12 @@ THREADS="${MANIC_CHECK_THREADS:-$(nproc)}"
 OUT_DIR="${MANIC_CHECK_OUT:-build/check}"
 mkdir -p "$OUT_DIR"
 
-echo "== [1/3] default build + full test suite =="
+echo "== [1/4] default build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/3] determinism gate: table3_overview at 1 vs $THREADS threads =="
+echo "== [2/4] determinism gate: table3_overview at 1 vs $THREADS threads =="
 JSON="$OUT_DIR/table3_runtime.json"
 : > "$JSON"
 MANIC_THREADS=1 MANIC_RUNTIME_JSON="$JSON" \
@@ -36,10 +42,23 @@ echo "stdout byte-identical at 1 and $THREADS threads."
 echo "wall/CPU records (also in $JSON):"
 cat "$JSON"
 
-echo "== [3/3] ThreadSanitizer build + runtime/driver tests (MANIC_THREADS=4) =="
+echo "== [3/4] sanitizer builds: TSan runtime/driver tests, UBSan full suite =="
 cmake -B build-tsan -S . -DMANIC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_runtime test_driver
 MANIC_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'Runtime|ThreadPool|SeedTree|StudyExecutor|StudyDeterminism|Driver'
+if [ "${MANIC_CHECK_SKIP_UBSAN:-0}" != "1" ]; then
+  cmake -B build-ubsan -S . -DMANIC_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j "$JOBS"
+  ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
+else
+  echo "(UBSan half skipped: MANIC_CHECK_SKIP_UBSAN=1)"
+fi
+
+echo "== [4/4] static analysis: manic-lint + clang-tidy baseline =="
+cmake --build build -j "$JOBS" --target manic_lint
+./build/tools/manic_lint --json src bench tests examples > "$OUT_DIR/lint.json"
+echo "manic-lint clean (report: $OUT_DIR/lint.json)"
+scripts/run_clang_tidy.sh build "$JOBS"
 
 echo "All checks passed."

@@ -96,14 +96,14 @@ BdrmapResult Bdrmap::RunCycle(TimeSec t) {
   // ---- pass 1: traceroute toward every routed prefix ----------------------
   struct AHop {
     HopInfo info;
-    int ttl;
+    int ttl = 0;
   };
   struct Trace {
     Prefix prefix;
     Ipv4Addr dst;
-    std::uint16_t flow;
-    Asn origin;
-    bool reached;
+    std::uint16_t flow = 0;
+    Asn origin = 0;
+    bool reached = false;
     std::vector<AHop> hops;  // responding hops only (destination echo removed)
   };
   std::vector<Trace> traces;

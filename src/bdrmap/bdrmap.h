@@ -108,10 +108,10 @@ class Bdrmap {
 
   HopInfo Annotate(Ipv4Addr addr) const;
 
-  SimNetwork* net_;
-  VpId vp_;
+  SimNetwork* net_ = nullptr;
+  VpId vp_ = 0;
   Config config_;
-  Asn host_as_;
+  Asn host_as_ = 0;
   std::set<Asn> host_siblings_;
 };
 

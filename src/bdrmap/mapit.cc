@@ -8,8 +8,8 @@ namespace manic::bdrmap {
 namespace {
 
 struct Key {
-  std::uint32_t near;
-  std::uint32_t far;
+  std::uint32_t near = 0;
+  std::uint32_t far = 0;
   friend bool operator<(const Key& a, const Key& b) {
     return std::tie(a.near, a.far) < std::tie(b.near, b.far);
   }
@@ -17,13 +17,13 @@ struct Key {
 
 struct AHop {
   topo::Ipv4Addr addr;
-  topo::Asn as;
+  topo::Asn as = 0;
 };
 
 struct TraceRec {
-  topo::Asn host_as;  // AS of the vantage point that collected the trace
-  topo::Asn origin;
-  bool reached;
+  topo::Asn host_as = 0;  // AS of the vantage point that collected the trace
+  topo::Asn origin = 0;
+  bool reached = false;
   std::vector<AHop> hops;
 };
 

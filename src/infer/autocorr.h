@@ -65,8 +65,8 @@ class DayGrid {
                             int days, TimeSec bin_width);
 
  private:
-  int days_;
-  int intervals_;
+  int days_ = 0;
+  int intervals_ = 0;
   std::vector<float> values_;
 };
 

@@ -95,9 +95,9 @@ LevelShiftResult DetectLevelShifts(const stats::TimeSeries& series,
 
   // Segment levels between shifts.
   struct Segment {
-    int begin;
-    int end;
-    double level;
+    int begin = 0;
+    int end = 0;
+    double level = 0.0;
   };
   std::vector<Segment> segments;
   int begin = 0;

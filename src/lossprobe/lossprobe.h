@@ -79,9 +79,9 @@ class LossProber {
  private:
   double WindowLossPct(const LossTarget& target, int ttl, TimeSec t);
 
-  SimNetwork* net_;
-  VpId vp_;
-  tsdb::Database* db_;
+  SimNetwork* net_ = nullptr;
+  VpId vp_ = 0;
+  tsdb::Database* db_ = nullptr;
   Config config_;
   std::string vp_name_;
   std::vector<LossTarget> targets_;

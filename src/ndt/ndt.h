@@ -83,8 +83,8 @@ class NdtClient {
                                      double mss_bytes, double cap_mbps);
 
  private:
-  SimNetwork* net_;
-  VpId vp_;
+  SimNetwork* net_ = nullptr;
+  VpId vp_ = 0;
   Config config_;
   stats::Rng rng_;
 };

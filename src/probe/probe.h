@@ -63,7 +63,7 @@ class RateBudget {
   double CommittedPps() const noexcept { return committed_pps_; }
 
  private:
-  double pps_;
+  double pps_ = 0.0;
   double committed_pps_ = 0.0;
 };
 
@@ -89,8 +89,8 @@ class Prober {
                               int gap_limit = 5);
 
  private:
-  SimNetwork* net_;
-  VpId vp_;
+  SimNetwork* net_ = nullptr;
+  VpId vp_ = 0;
 };
 
 }  // namespace manic::probe

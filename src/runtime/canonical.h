@@ -1,0 +1,51 @@
+// Canonical-order folds over hash containers. Iterating an unordered
+// container directly makes downstream accumulation order a function of the
+// hash seed and load factor — the exact nondeterminism StudyExecutor's keyed
+// merge exists to prevent. These helpers materialize a key-sorted snapshot
+// first, so a fold is canonical by construction; they are also the sanctioned
+// escape hatch for manic-lint's `unordered-iter` rule (a for-range that goes
+// through SortedItems / SortedKeys / CanonicalFold does not fire).
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace manic::runtime {
+
+// Key-sorted copy of an associative container's (key, value) pairs.
+template <typename Map>
+std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+SortedItems(const Map& map) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      items;
+  items.reserve(map.size());
+  for (const auto& [key, value] : map) items.emplace_back(key, value);
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+// Sorted copy of the keys of a map or the elements of a set.
+template <typename Container>
+std::vector<typename Container::key_type> SortedKeys(const Container& c) {
+  std::vector<typename Container::key_type> keys;
+  keys.reserve(c.size());
+  for (const auto& entry : c) {
+    if constexpr (requires { entry.first; }) {
+      keys.push_back(entry.first);
+    } else {
+      keys.push_back(entry);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// Applies fn(key, value) in ascending key order.
+template <typename Map, typename Fn>
+void CanonicalFold(const Map& map, Fn&& fn) {
+  for (const auto& [key, value] : SortedItems(map)) fn(key, value);
+}
+
+}  // namespace manic::runtime

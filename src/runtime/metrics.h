@@ -73,7 +73,7 @@ class Metrics {
     void Stop();
 
    private:
-    Metrics* metrics_;
+    Metrics* metrics_ = nullptr;
     std::string name_;
     double wall_start_ = 0.0;
     double cpu_start_ = 0.0;

@@ -56,7 +56,7 @@ class SeedTree {
  private:
   static constexpr std::uint64_t kChildSalt = 0x9e6b5e1fc4d21a87ULL;
 
-  std::uint64_t seed_;
+  std::uint64_t seed_ = 0;
 };
 
 }  // namespace manic::runtime

@@ -60,8 +60,8 @@ class StudyExecutor {
                    {});
 
  private:
-  ThreadPool* pool_;
-  Metrics* metrics_;
+  ThreadPool* pool_ = nullptr;
+  Metrics* metrics_ = nullptr;
 };
 
 }  // namespace manic::runtime

@@ -75,7 +75,7 @@ class ThreadPool {
   std::atomic<std::size_t> inflight_{0};  // queued + currently running
   std::atomic<std::size_t> rr_{0};
   std::atomic<bool> stop_{false};
-  Metrics* metrics_;
+  Metrics* metrics_ = nullptr;
 };
 
 }  // namespace manic::runtime

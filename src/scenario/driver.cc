@@ -111,15 +111,15 @@ namespace {
 // their pairs concurrently once discovery (which does mutate the network)
 // has finished.
 struct VpLink {
-  topo::VpId vp;
+  topo::VpId vp = 0;
   std::string vp_name;
-  int vp_utc_offset;
-  const InterLinkInfo* info;
+  int vp_utc_offset = 0;
+  const InterLinkInfo* info = nullptr;
   TslpSynthesizer synth;
-  bool is_comcast;
+  bool is_comcast = false;
   // Visibility window (epoch days) for this VP-link pair.
-  std::int64_t visible_from;
-  std::int64_t visible_until;
+  std::int64_t visible_from = 0;
+  std::int64_t visible_until = 0;
 };
 
 // Discovery: bdrmap per VP, visibility churn, TSLP synthesizer setup. Runs
@@ -398,9 +398,9 @@ void RunDailyLoopSharded(UsBroadband& world, const StudyOptions& options,
   // serial reference loop, so every floating-point sum associates the same
   // way and DayLinkTable ingests records identically.
   struct TruthTask {
-    std::int64_t day;
-    topo::LinkId link;
-    double fraction;
+    std::int64_t day = 0;
+    topo::LinkId link = 0;
+    double fraction = 0.0;
   };
   std::vector<TruthTask> truth_tasks;
   {

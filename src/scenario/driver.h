@@ -47,11 +47,11 @@ class TslpSynthesizer {
            std::vector<float>& near) const;
 
  private:
-  sim::SimNetwork* net_;
-  topo::LinkId link_;
-  double base_far_;
-  double base_near_;
-  std::uint64_t noise_key_;
+  sim::SimNetwork* net_ = nullptr;
+  topo::LinkId link_ = 0;
+  double base_far_ = 0.0;
+  double base_near_ = 0.0;
+  std::uint64_t noise_key_ = 0;
   Config config_;
 };
 

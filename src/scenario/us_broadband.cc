@@ -17,8 +17,8 @@ using topo::Prefix;
 using topo::RouterId;
 
 struct City {
-  const char* name;
-  int utc_offset;
+  const char* name = nullptr;
+  int utc_offset = 0;
 };
 
 constexpr City kCities[] = {
@@ -34,8 +34,8 @@ int CityIndex(const std::string& name) {
 }
 
 struct AccessSpec {
-  Asn asn;
-  const char* name;
+  Asn asn = 0;
+  const char* name = nullptr;
   std::vector<const char*> cities;
 };
 
@@ -62,10 +62,10 @@ const std::vector<AccessSpec>& AccessSpecs() {
 }
 
 struct TcpSpec {
-  Asn asn;
-  const char* name;
-  bool content;  // content providers peer; transit providers sell transit
-  int city_count;
+  Asn asn = 0;
+  const char* name = nullptr;
+  bool content = false;  // content providers peer; transit providers sell transit
+  int city_count = 0;
 };
 
 const std::vector<TcpSpec>& TcpSpecs() {

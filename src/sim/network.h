@@ -196,7 +196,7 @@ class SimNetwork {
                           FlowId flow, bool first_transition,
                           RouterId path_start) const;
 
-  topo::Topology* topo_;
+  topo::Topology* topo_ = nullptr;
   BgpRouting routing_;
   mutable stats::Rng rng_;
   std::vector<LinkDynamics> dynamics_;
@@ -204,7 +204,7 @@ class SimNetwork {
   std::map<std::tuple<RouterId, std::uint32_t, std::uint16_t>, ForwardPath>
       path_cache_;
   std::uint64_t probes_sent_ = 0;
-  std::uint64_t seed_;
+  std::uint64_t seed_ = 0;
 };
 
 }  // namespace manic::sim

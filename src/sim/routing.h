@@ -62,7 +62,7 @@ class BgpRouting {
   const OriginTable& TableFor(Asn origin) const;
   void Compute(Asn origin, OriginTable& table) const;
 
-  const topo::Topology* topo_;
+  const topo::Topology* topo_ = nullptr;
   mutable std::map<Asn, OriginTable> per_origin_;
   std::uint64_t epoch_ = 0;
 };

@@ -85,7 +85,7 @@ class Rng {
   }
 
  private:
-  std::uint64_t state_;
+  std::uint64_t state_ = 0;
 };
 
 }  // namespace manic::stats

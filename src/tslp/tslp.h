@@ -94,9 +94,9 @@ class TslpScheduler {
                            const char* side);
 
  private:
-  SimNetwork* net_;
-  VpId vp_;
-  tsdb::Database* db_;
+  SimNetwork* net_ = nullptr;
+  VpId vp_ = 0;
+  tsdb::Database* db_ = nullptr;
   Config config_;
   std::string vp_name_;
   std::vector<TslpTarget> targets_;

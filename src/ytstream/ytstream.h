@@ -76,8 +76,8 @@ class YoutubeClient {
   // Available TCP throughput toward the VP at time t (Mathis + access cap).
   double AvailableMbps(Ipv4Addr cache, TimeSec t, double* rtt_ms);
 
-  SimNetwork* net_;
-  VpId vp_;
+  SimNetwork* net_ = nullptr;
+  VpId vp_ = 0;
   Config config_;
   stats::Rng rng_;
 };

@@ -1,0 +1,9 @@
+// JSON-report fixture: exactly one raw-entropy error, so the test can pin
+// the machine-readable report — "quoted \"text\" and a backslash \\ here"
+// lives in this comment to make sure nothing from comments leaks into the
+// serialized findings.
+#include <cstdlib>
+
+int Roll() {
+  return std::rand();  // line 8
+}

@@ -1,0 +1,24 @@
+// Positive fixture for `unordered-iter`: three hash-order iterations that
+// must all fire — a range-for over a declared unordered_map, an explicit
+// iterator loop naming the variable, and a range-for over an unordered_set.
+// (Fixtures are lexed, never compiled; tests/test_lint.cc pins the expected
+// finding lines.)
+#include <unordered_map>
+#include <unordered_set>
+
+int Fold() {
+  std::unordered_map<int, int> counts;
+  counts[3] = 1;
+  int total = 0;
+  for (const auto& [key, value] : counts) {  // line 13: hash-order fold
+    total += value;
+  }
+  for (auto it = counts.begin(); it != counts.end(); ++it) {  // line 16
+    total += it->second;
+  }
+  std::unordered_set<int> seen;
+  for (int key : seen) {  // line 20
+    total += key;
+  }
+  return total;
+}

@@ -1,0 +1,13 @@
+// Positive fixture for `raw-entropy`: every way of smuggling wall-clock or
+// hardware entropy into a study that the rule knows about.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned Seed() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // line 8: srand + time
+  std::random_device dev;                            // line 9
+  unsigned mix = dev() + static_cast<unsigned>(std::rand());  // line 10
+  mix += static_cast<unsigned>(time(0));             // line 11
+  return mix;
+}

@@ -1,0 +1,15 @@
+// Negative fixture for `raw-entropy`: all randomness flows from an explicit
+// seed through stats::Rng, and `time` with a real argument (a sim timestamp,
+// not the wall clock) is fine.
+#include "stats/rng.h"
+
+double Draw(std::uint64_t seed, std::int64_t sim_now) {
+  manic::stats::Rng rng(seed);
+  double x = rng.NextDouble();
+  x += manic::stats::Rng::HashToUnit(seed, 7);
+  // An identifier merely *containing* rand must not fire, nor must a
+  // projection function that happens to be called time(...) with an argument.
+  const double strand = x;
+  (void)sim_now;
+  return strand;
+}

@@ -1,0 +1,13 @@
+// Positive fixture for `stdout-write`. The rule is path-scoped: the test
+// lints this file under the logical path src/runtime/bad_report.cc, where
+// every stdout write below must fire.
+#include <cstdio>
+#include <iostream>
+
+void Report(const char* name) {
+  std::cout << "progress: " << name << "\n";  // line 8
+  printf("%s done\n", name);                  // line 9
+  puts("all shards merged");                  // line 10
+  fprintf(stdout, "tasks=%d\n", 3);           // line 11
+  fputs("bye\n", stdout);                     // line 12
+}

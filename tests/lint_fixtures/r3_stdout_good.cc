@@ -1,0 +1,17 @@
+// Negative fixture for `stdout-write`: engine code may format into strings,
+// write to stderr, or append to an explicitly opened file — stdout alone is
+// reserved for the callers' byte-comparable reports.
+#include <cstdio>
+#include <string>
+
+std::string Report(const char* name, const char* path) {
+  char line[64];
+  std::snprintf(line, sizeof(line), "%s done\n", name);
+  std::fputs(line, stderr);
+  std::fprintf(stderr, "progress: %s\n", name);
+  if (FILE* f = std::fopen(path, "a")) {
+    std::fprintf(f, "%s\n", line);
+    std::fclose(f);
+  }
+  return std::string(line);
+}

@@ -1,0 +1,13 @@
+// Positive fixture for `header-hygiene`: no #pragma once anywhere (classic
+// include guards do not satisfy the repo convention), and a `using
+// namespace` that would leak into every includer.
+#ifndef MANIC_TESTS_LINT_FIXTURES_R4_HEADER_BAD_H_
+#define MANIC_TESTS_LINT_FIXTURES_R4_HEADER_BAD_H_
+
+#include <vector>
+
+using namespace std;  // line 9
+
+inline vector<int> Empty() { return {}; }
+
+#endif  // MANIC_TESTS_LINT_FIXTURES_R4_HEADER_BAD_H_

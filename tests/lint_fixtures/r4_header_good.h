@@ -1,0 +1,15 @@
+// Negative fixture for `header-hygiene`: #pragma once present, fully
+// qualified names, and a scoped namespace alias (which is fine — only
+// `using namespace` is banned). The phrase "using namespace" inside this
+// comment and the string below must not fire either.
+#pragma once
+
+#include <string>
+
+namespace manic::fixture {
+
+namespace alias = ::manic;
+
+inline std::string Hint() { return "prefer explicit using namespace-free code"; }
+
+}  // namespace manic::fixture

@@ -1,0 +1,22 @@
+// Positive fixture for `uninit-member`: a shard payload whose POD fields
+// have no default initializers. Because the file mentions the StudyExecutor
+// machinery, the findings must carry error severity wherever the file
+// lives; tests/test_lint.cc checks the warning downgrade with an
+// executor-free snippet.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/study_executor.h"
+
+struct ShardPayload {
+  std::uint64_t key;        // line 13
+  int vp_index;             // line 14
+  double sum_rtt_ms;        // line 15
+  bool congested;           // line 16
+  const char* label;        // line 17
+  std::string name;         // non-POD: must not fire
+  std::vector<int> bins;    // non-POD: must not fire
+};
+
+void Fill(manic::runtime::StudyExecutor& executor, ShardPayload& payload);

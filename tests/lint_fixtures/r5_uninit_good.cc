@@ -1,0 +1,28 @@
+// Negative fixture for `uninit-member`: every POD member carries a default
+// initializer (= or braces), members of class type default-construct
+// themselves, constants and functions are exempt shapes.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+struct ShardPayload {
+  std::uint64_t key = 0;
+  int vp_index{0};
+  double sum_rtt_ms = 0.0;
+  bool congested = false;
+  const char* label = nullptr;
+  std::string name;
+  std::vector<int> bins;
+  static constexpr int kWidth = 7;
+  int Size() const;
+  double Mean() const { return vp_index == 0 ? 0.0 : sum_rtt_ms; }
+};
+
+class Accumulator {
+ public:
+  explicit Accumulator(int n) : n_(n) {}
+
+ private:
+  int n_ = 0;
+  std::vector<double> values_;
+};

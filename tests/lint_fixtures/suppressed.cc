@@ -1,0 +1,24 @@
+// Suppression fixture: each violation below is annotated with
+// `// manic-lint: allow(<rule>)` — trailing on the same line, on the line
+// above, and as allow(all) — so the whole file must lint clean. The final
+// block carries a *mismatched* rule name, which must NOT suppress
+// (tests/test_lint.cc expects exactly one surviving finding, line 22).
+#include <cstdlib>
+#include <unordered_map>
+
+int Demo() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  // Benign: keys are summed, and integer addition commutes exactly.
+  // manic-lint: allow(unordered-iter)
+  for (const auto& [key, value] : counts) total += value;
+
+  total += std::rand();  // manic-lint: allow(raw-entropy) -- demo only
+
+  // manic-lint: allow(all)
+  std::srand(7);
+
+  // manic-lint: allow(stdout-write) -- wrong rule: must not suppress
+  total += std::rand();  // line 22: survives
+  return total;
+}

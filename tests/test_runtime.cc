@@ -9,9 +9,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "runtime/canonical.h"
 #include "runtime/seed_tree.h"
 #include "runtime/study_executor.h"
 #include "runtime/thread_pool.h"
@@ -261,6 +266,45 @@ TEST(StudyDeterminism, MonthShardingIsBitIdenticalToo) {
   const std::string serial = Dump(RunMiniStudy(1, 0));
   const std::string sharded = Dump(RunMiniStudy(8, 1));
   EXPECT_EQ(serial, sharded);
+}
+
+// The canonical-order helpers are the sanctioned way to fold over hash
+// containers (manic-lint rule `unordered-iter`): a key-sorted snapshot makes
+// the accumulation order a pure function of the keys, never of hashing.
+TEST(CanonicalOrder, SortedItemsAndKeysAreKeySorted) {
+  std::unordered_map<int, double> weights;
+  for (int k : {9, 2, 7, 4, 1}) weights[k] = k * 0.5;
+  const auto items = runtime::SortedItems(weights);
+  ASSERT_EQ(items.size(), 5u);
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    EXPECT_LT(items[i - 1].first, items[i].first);
+  }
+  EXPECT_EQ(items.front().first, 1);
+  EXPECT_EQ(items.back().first, 9);
+
+  std::unordered_set<int> keys_only{3, 1, 2};
+  EXPECT_EQ(runtime::SortedKeys(keys_only), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(runtime::SortedKeys(weights), (std::vector<int>{1, 2, 4, 7, 9}));
+}
+
+TEST(CanonicalOrder, FoldVisitsAscendingAndIsInsertionInvariant) {
+  // Same entries, adversarial insertion orders: the fold sequence (and thus
+  // any non-commutative accumulation) must be identical.
+  auto run = [](const std::vector<int>& order) {
+    std::unordered_map<int, double> m;
+    for (int k : order) m[k] = 1.0 / (1 + k);
+    std::string trace;
+    double acc = 0.0;
+    runtime::CanonicalFold(m, [&](int key, double value) {
+      trace += std::to_string(key) + ";";
+      acc = acc * 0.5 + value;  // order-sensitive on purpose
+    });
+    return std::pair(trace, acc);
+  };
+  const auto a = run({1, 2, 3, 4, 5, 6, 7, 8});
+  const auto b = run({8, 7, 6, 5, 4, 3, 2, 1});
+  EXPECT_EQ(a.first, "1;2;3;4;5;6;7;8;");
+  EXPECT_EQ(a, b);
 }
 
 TEST(StudyDeterminism, ProgressReportsPhasesInOrder) {

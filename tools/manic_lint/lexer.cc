@@ -1,0 +1,171 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace manic::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// A cursor over the source with line tracking.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+  int line() const { return line_; }
+  std::size_t pos() const { return pos_; }
+  std::string_view Slice(std::size_t from) const {
+    return src_.substr(from, pos_ - from);
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// Consumes a "-delimited (or '-delimited) literal body after the opening
+// delimiter, honoring backslash escapes.
+void SkipQuoted(Cursor& cur, char delim) {
+  while (!cur.AtEnd()) {
+    char c = cur.Advance();
+    if (c == '\\' && !cur.AtEnd()) {
+      cur.Advance();
+    } else if (c == delim || c == '\n') {
+      // A newline inside a non-raw literal is ill-formed anyway; stop so a
+      // stray quote cannot swallow the rest of the file.
+      return;
+    }
+  }
+}
+
+// Consumes R"delim( ... )delim" after the opening quote has been consumed.
+void SkipRawString(Cursor& cur) {
+  std::string delim;
+  while (!cur.AtEnd() && cur.Peek() != '(') delim.push_back(cur.Advance());
+  if (!cur.AtEnd()) cur.Advance();  // '('
+  const std::string close = ")" + delim + "\"";
+  std::string window;
+  while (!cur.AtEnd()) {
+    window.push_back(cur.Advance());
+    if (window.size() > close.size())
+      window.erase(window.begin());
+    if (window == close) return;
+  }
+}
+
+}  // namespace
+
+LexResult Lex(std::string_view src) {
+  LexResult out;
+  Cursor cur(src);
+  while (!cur.AtEnd()) {
+    const char c = cur.Peek();
+    const int line = cur.line();
+
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      cur.Advance();
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && cur.Peek(1) == '/') {
+      const std::size_t start = cur.pos();
+      while (!cur.AtEnd() && cur.Peek() != '\n') cur.Advance();
+      out.comments.push_back({line, line, std::string(cur.Slice(start))});
+      continue;
+    }
+    if (c == '/' && cur.Peek(1) == '*') {
+      const std::size_t start = cur.pos();
+      cur.Advance();
+      cur.Advance();
+      while (!cur.AtEnd() && !(cur.Peek() == '*' && cur.Peek(1) == '/'))
+        cur.Advance();
+      if (!cur.AtEnd()) {
+        cur.Advance();
+        cur.Advance();
+      }
+      out.comments.push_back({line, cur.line(), std::string(cur.Slice(start))});
+      continue;
+    }
+
+    // Identifiers — including string-literal prefixes (R"..", u8"..").
+    if (IsIdentStart(c)) {
+      const std::size_t start = cur.pos();
+      while (!cur.AtEnd() && IsIdentChar(cur.Peek())) cur.Advance();
+      std::string text(cur.Slice(start));
+      const bool raw = !text.empty() && text.back() == 'R';
+      const bool prefix = text == "R" || text == "L" || text == "u" ||
+                          text == "U" || text == "u8" || text == "LR" ||
+                          text == "uR" || text == "UR" || text == "u8R";
+      if (prefix && cur.Peek() == '"') {
+        cur.Advance();  // opening quote
+        if (raw)
+          SkipRawString(cur);
+        else
+          SkipQuoted(cur, '"');
+        out.tokens.push_back({TokKind::kString, "\"\"", line});
+      } else {
+        out.tokens.push_back({TokKind::kIdent, std::move(text), line});
+      }
+      continue;
+    }
+
+    // Numbers (loose: pp-number, covers hex/exponent/digit separators).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.Peek(1))))) {
+      const std::size_t start = cur.pos();
+      char prev = '\0';
+      while (!cur.AtEnd()) {
+        const char n = cur.Peek();
+        const bool exp_sign = (n == '+' || n == '-') &&
+                              (prev == 'e' || prev == 'E' || prev == 'p' ||
+                               prev == 'P');
+        if (IsIdentChar(n) || n == '.' || n == '\'' || exp_sign) {
+          prev = cur.Advance();
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokKind::kNumber, std::string(cur.Slice(start)),
+                            line});
+      continue;
+    }
+
+    // Plain string / char literals.
+    if (c == '"') {
+      cur.Advance();
+      SkipQuoted(cur, '"');
+      out.tokens.push_back({TokKind::kString, "\"\"", line});
+      continue;
+    }
+    if (c == '\'') {
+      cur.Advance();
+      SkipQuoted(cur, '\'');
+      out.tokens.push_back({TokKind::kChar, "''", line});
+      continue;
+    }
+
+    // Everything else: single-character punctuation.
+    cur.Advance();
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+  }
+  return out;
+}
+
+}  // namespace manic::lint

@@ -1,0 +1,40 @@
+// A minimal C++ lexer for manic-lint: splits a translation unit into
+// identifier / number / string / char / punctuation tokens with line numbers,
+// and collects comments separately (rule suppressions live in comments).
+// It is deliberately not a preprocessor — directives tokenize like ordinary
+// punctuation + identifiers (`#`, `pragma`, `once`), which is exactly enough
+// for the token-pattern rules in rules.cc. No libclang, no dependencies.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace manic::lint {
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 1;  // 1-based line of the token's first character
+};
+
+// One // or /* */ comment; `line` is the line the comment starts on and
+// `end_line` the line it ends on (equal for line comments).
+struct Comment {
+  int line = 1;
+  int end_line = 1;
+  std::string text;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+// Lexes `src`. Never fails: bytes that fit no token class become single-char
+// punctuation, and an unterminated literal runs to end of file.
+LexResult Lex(std::string_view src);
+
+}  // namespace manic::lint

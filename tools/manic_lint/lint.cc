@@ -1,0 +1,270 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "lexer.h"
+#include "rules.h"
+
+namespace manic::lint {
+namespace {
+
+std::string NormalizePath(std::string_view path) {
+  std::string out(path);
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+bool PathContains(std::string_view normalized, std::string_view needle) {
+  return normalized.find(needle) != std::string_view::npos;
+}
+
+bool HasExtension(std::string_view path,
+                  std::initializer_list<std::string_view> exts) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string_view::npos) return false;
+  const std::string_view ext = path.substr(dot);
+  return std::find(exts.begin(), exts.end(), ext) != exts.end();
+}
+
+bool IsHeaderPath(std::string_view path) {
+  return HasExtension(path, {".h", ".hh", ".hpp"});
+}
+
+bool IsSourcePath(std::string_view path) {
+  return IsHeaderPath(path) || HasExtension(path, {".cc", ".cpp", ".cxx"});
+}
+
+// Lines whose findings are suppressed, per rule name ("all" = every rule).
+// `// manic-lint: allow(rule1, rule2)` covers the comment's own line and the
+// line right below it, so both trailing and preceding placements work:
+//
+//   for (auto& kv : counts) {}  // manic-lint: allow(unordered-iter)
+//   // manic-lint: allow(raw-entropy)  -- seeding the demo only
+//   srand(42);
+using AllowMap = std::map<int, std::set<std::string, std::less<>>>;
+
+AllowMap ParseSuppressions(const std::vector<Comment>& comments) {
+  AllowMap allow;
+  for (const Comment& comment : comments) {
+    std::size_t at = comment.text.find("manic-lint:");
+    if (at == std::string::npos) continue;
+    std::size_t open = comment.text.find("allow(", at);
+    if (open == std::string::npos) continue;
+    const std::size_t close = comment.text.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string inner = comment.text.substr(open + 6, close - open - 6);
+    std::string rule;
+    std::set<std::string, std::less<>>& rules = allow[comment.end_line];
+    auto flush = [&] {
+      if (!rule.empty()) rules.insert(rule);
+      rule.clear();
+    };
+    for (char c : inner) {
+      if (c == ',' || c == ' ' || c == '\t')
+        flush();
+      else
+        rule.push_back(c);
+    }
+    flush();
+  }
+  return allow;
+}
+
+bool IsSuppressed(const AllowMap& allow, const Finding& finding) {
+  for (int line : {finding.line, finding.line - 1}) {
+    auto it = allow.find(line);
+    if (it == allow.end()) continue;
+    if (it->second.count(finding.rule) || it->second.count("all")) return true;
+  }
+  return false;
+}
+
+void AppendEscaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+bool SkippedDirectory(const std::string& name) {
+  // lint_fixtures violates the rules on purpose (it is the linter's own test
+  // corpus); build trees hold generated/vendored sources.
+  return name == ".git" || name == "third_party" || name == "lint_fixtures" ||
+         name.rfind("build", 0) == 0;
+}
+
+}  // namespace
+
+std::string_view SeverityName(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+std::vector<Finding> LintSource(std::string_view source,
+                                std::string_view logical_path) {
+  const std::string path = NormalizePath(logical_path);
+  LexResult lexed = Lex(source);
+
+  RuleContext ctx{path, lexed.tokens};
+  ctx.is_header = IsHeaderPath(path);
+  ctx.in_runtime_or_scenario =
+      PathContains(path, "src/runtime/") || PathContains(path, "src/scenario/");
+  ctx.in_rng = PathContains(path, "stats/rng");
+  ctx.shard_adjacent = PathContains(path, "src/runtime/");
+  for (const Token& t : lexed.tokens) {
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "StudyExecutor" || t.text == "RuntimeOptions")) {
+      ctx.shard_adjacent = true;
+      break;
+    }
+  }
+
+  std::vector<Finding> findings;
+  RuleUnorderedIter(ctx, findings);
+  RuleRawEntropy(ctx, findings);
+  RuleStdoutWrite(ctx, findings);
+  RuleHeaderHygiene(ctx, findings);
+  RuleUninitMember(ctx, findings);
+
+  const AllowMap allow = ParseSuppressions(lexed.comments);
+  std::erase_if(findings,
+                [&](const Finding& f) { return IsSuppressed(allow, f); });
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+bool LintFile(const std::filesystem::path& path, std::vector<Finding>& out,
+              std::string_view logical_path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string source = buf.str();
+  const std::string logical =
+      logical_path.empty() ? path.generic_string() : std::string(logical_path);
+  std::vector<Finding> findings = LintSource(source, logical);
+  out.insert(out.end(), std::make_move_iterator(findings.begin()),
+             std::make_move_iterator(findings.end()));
+  return true;
+}
+
+int LintPaths(const std::vector<std::string>& paths,
+              std::vector<Finding>& out) {
+  namespace fs = std::filesystem;
+  int files = 0;
+  bool failed = false;
+  // Deterministic order: collect, sort, then lint.
+  std::vector<fs::path> sources;
+  for (const std::string& arg : paths) {
+    std::error_code ec;
+    const fs::path root(arg);
+    if (fs::is_directory(root, ec)) {
+      fs::recursive_directory_iterator it(root, ec), end;
+      if (ec) {
+        failed = true;
+        continue;
+      }
+      for (; it != end; it.increment(ec)) {
+        if (ec) {
+          failed = true;
+          break;
+        }
+        if (it->is_directory() &&
+            SkippedDirectory(it->path().filename().string())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() &&
+            IsSourcePath(it->path().generic_string())) {
+          sources.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      sources.push_back(root);
+    } else {
+      failed = true;
+    }
+  }
+  std::sort(sources.begin(), sources.end());
+  for (const fs::path& path : sources) {
+    if (LintFile(path, out))
+      ++files;
+    else
+      failed = true;
+  }
+  return failed ? -1 : files;
+}
+
+std::string RenderText(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.file;
+    out += ':';
+    out += std::to_string(f.line);
+    out += ": ";
+    out += SeverityName(f.severity);
+    out += '[';
+    out += f.rule;
+    out += "]: ";
+    out += f.message;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<Finding>& findings,
+                       int files_scanned) {
+  std::string out = "{\"files_scanned\":" + std::to_string(files_scanned) +
+                    ",\"errors\":" + std::to_string(CountErrors(findings)) +
+                    ",\"warnings\":" + std::to_string(CountWarnings(findings)) +
+                    ",\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out += ',';
+    out += "{\"file\":\"";
+    AppendEscaped(out, f.file);
+    out += "\",\"line\":" + std::to_string(f.line) + ",\"rule\":\"";
+    AppendEscaped(out, f.rule);
+    out += "\",\"severity\":\"";
+    out += SeverityName(f.severity);
+    out += "\",\"message\":\"";
+    AppendEscaped(out, f.message);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+int CountErrors(const std::vector<Finding>& findings) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(), [](const Finding& f) {
+        return f.severity == Severity::kError;
+      }));
+}
+
+int CountWarnings(const std::vector<Finding>& findings) {
+  return static_cast<int>(findings.size()) - CountErrors(findings);
+}
+
+}  // namespace manic::lint

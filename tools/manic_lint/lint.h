@@ -1,0 +1,77 @@
+// manic-lint: MANIC-specific determinism & safety rules, enforced at the
+// token level so the linter builds anywhere the library builds (no libclang).
+//
+// Rules (see DESIGN.md "Static analysis" for the full contract):
+//   unordered-iter   (R1, error)    for-loop ranges over unordered containers
+//                                   must fold through the canonical-order
+//                                   helpers in src/runtime/canonical.h.
+//   raw-entropy      (R2, error)    rand()/srand()/std::random_device/
+//                                   time(nullptr) anywhere outside
+//                                   src/stats/rng — all randomness flows from
+//                                   explicit seeds.
+//   stdout-write     (R3, error)    no stdout writes inside src/runtime or
+//                                   src/scenario: the study engine must keep
+//                                   bench stdout byte-comparable across
+//                                   thread counts.
+//   header-hygiene   (R4, error)    headers carry #pragma once and never
+//                                   `using namespace` at any scope.
+//   uninit-member    (R5, error in StudyExecutor-adjacent code, warning
+//                                   elsewhere) POD struct members need
+//                                   default initializers; an uninitialized
+//                                   member crossing the shard boundary is a
+//                                   nondeterminism (and UBSan) hazard.
+//
+// Suppression: `// manic-lint: allow(rule[, rule...])` on the finding's line
+// or the line above it; `allow(all)` silences every rule for that line.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace manic::lint {
+
+enum class Severity { kWarning, kError };
+
+std::string_view SeverityName(Severity severity);
+
+struct Finding {
+  std::string file;   // logical path (decides rule scoping, see below)
+  int line = 0;
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+// Lints one translation unit. `logical_path` decides path-scoped behavior
+// (e.g. stdout-write only fires under src/runtime / src/scenario, raw-entropy
+// is exempt in src/stats/rng) and is what findings carry; tests use it to
+// lint fixture files as if they lived elsewhere in the tree.
+std::vector<Finding> LintSource(std::string_view source,
+                                std::string_view logical_path);
+
+// Reads and lints a file on disk, using `logical_path` (defaults to the real
+// path) for scoping. Returns false if the file cannot be read.
+bool LintFile(const std::filesystem::path& path, std::vector<Finding>& out,
+              std::string_view logical_path = {});
+
+// Walks files and directories (recursively; *.h *.hh *.hpp *.cc *.cpp *.cxx),
+// linting each. Directories named build*, .git, third_party, and
+// lint_fixtures are skipped — the fixture corpus violates the rules on
+// purpose. Returns the number of files linted, or -1 if some path could not
+// be read.
+int LintPaths(const std::vector<std::string>& paths, std::vector<Finding>& out);
+
+// One "path:line: severity[rule]: message" line per finding.
+std::string RenderText(const std::vector<Finding>& findings);
+
+// Machine-readable report:
+//   {"files_scanned":N,"errors":E,"warnings":W,"findings":[...]}
+std::string RenderJson(const std::vector<Finding>& findings,
+                       int files_scanned);
+
+int CountErrors(const std::vector<Finding>& findings);
+int CountWarnings(const std::vector<Finding>& findings);
+
+}  // namespace manic::lint

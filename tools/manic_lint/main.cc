@@ -1,0 +1,71 @@
+// manic-lint CLI. Exit status: 0 = clean (warnings allowed), 1 = at least
+// one error-severity finding (or any finding under --werror), 2 = bad usage
+// or unreadable input.
+//
+//   manic_lint [--json] [--werror] [--quiet] [path...]
+//
+// Paths default to `src bench tests examples` resolved against the current
+// directory; directories are walked recursively (build*/, .git/,
+// third_party/, and lint_fixtures/ are skipped). --json replaces the human
+// report on stdout with one JSON object (scripts/check.sh stage 4 redirects
+// it to build/check/lint.json); the human report then goes to stderr unless
+// --quiet.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  bool json = false, werror = false, quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs(
+          "usage: manic_lint [--json] [--werror] [--quiet] [path...]\n"
+          "Token-level determinism & safety linter for the MANIC tree.\n"
+          "Rules: unordered-iter raw-entropy stdout-write header-hygiene\n"
+          "       uninit-member   (suppress: // manic-lint: allow(<rule>))\n",
+          stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "manic_lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "bench", "tests", "examples"};
+
+  std::vector<manic::lint::Finding> findings;
+  const int files = manic::lint::LintPaths(paths, findings);
+  if (files < 0) {
+    std::fputs("manic_lint: some inputs could not be read\n", stderr);
+    return 2;
+  }
+
+  const std::string text = manic::lint::RenderText(findings);
+  if (json) {
+    std::fputs(manic::lint::RenderJson(findings, files).c_str(), stdout);
+    std::fputc('\n', stdout);
+    if (!quiet) std::fputs(text.c_str(), stderr);
+  } else if (!quiet) {
+    std::fputs(text.c_str(), stdout);
+  }
+
+  const int errors = manic::lint::CountErrors(findings);
+  const int warnings = manic::lint::CountWarnings(findings);
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "manic_lint: %d file(s), %d error(s), %d warning(s)\n",
+                 files, errors, warnings);
+  }
+  return (errors > 0 || (werror && warnings > 0)) ? 1 : 0;
+}

@@ -1,0 +1,419 @@
+#include "rules.h"
+
+#include <set>
+#include <string>
+
+namespace manic::lint {
+namespace {
+
+bool IsIdent(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+void Emit(const RuleContext& ctx, std::vector<Finding>& out, int line,
+          std::string_view rule, Severity severity, std::string message) {
+  out.push_back({std::string(ctx.logical_path), line, std::string(rule),
+                 severity, std::move(message)});
+}
+
+// Index just past a balanced <...> starting at the '<' at `i` (token index),
+// or `i` unchanged if tokens[i] is not '<'. Gives up (returns the scan limit)
+// on unbalanced input.
+std::size_t SkipAngles(const std::vector<Token>& toks, std::size_t i) {
+  if (i >= toks.size() || !IsPunct(toks[i], "<")) return i;
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (IsPunct(toks[i], "<")) ++depth;
+    if (IsPunct(toks[i], ">") && --depth == 0) return i + 1;
+    // A type argument list never crosses these; bail so an accidental
+    // less-than comparison cannot swallow the file.
+    if (IsPunct(toks[i], ";") || IsPunct(toks[i], "{")) return i;
+  }
+  return i;
+}
+
+const std::set<std::string, std::less<>>& UnorderedTypes() {
+  static const std::set<std::string, std::less<>> kTypes = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset", "flat_hash_map", "flat_hash_set"};
+  return kTypes;
+}
+
+const std::set<std::string, std::less<>>& CanonicalHelpers() {
+  static const std::set<std::string, std::less<>> kHelpers = {
+      "SortedItems", "SortedKeys", "CanonicalFold"};
+  return kHelpers;
+}
+
+}  // namespace
+
+// R1: a for-loop whose header mentions a variable of unordered-container
+// type (or an unordered temporary) iterates in hash order — scheduling- and
+// libc-dependent — unless the range goes through a canonical-order helper.
+void RuleUnorderedIter(const RuleContext& ctx, std::vector<Finding>& out) {
+  const std::vector<Token>& toks = ctx.tokens;
+
+  // Pass 1: names declared with an unordered container type anywhere in the
+  // file (locals, members, parameters — token-level, so no scope tracking).
+  std::set<std::string, std::less<>> unordered_vars;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        !UnorderedTypes().count(toks[i].text)) {
+      continue;
+    }
+    std::size_t j = SkipAngles(toks, i + 1);
+    // `unordered_map<K, V> name` — also reached via alias-free members and
+    // parameters. `&`/`*` between type and name keep it a declaration.
+    while (j < toks.size() &&
+           (IsPunct(toks[j], "&") || IsPunct(toks[j], "*") ||
+            IsIdent(toks[j], "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokKind::kIdent)
+      unordered_vars.insert(toks[j].text);
+  }
+
+  // Pass 2: every `for (...)` header that mentions one of those names (or an
+  // unordered type directly) without a canonical-order helper.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "for") || !IsPunct(toks[i + 1], "(")) continue;
+    int depth = 0;
+    std::string offender;
+    bool helped = false;
+    std::size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      if (IsPunct(toks[j], "(")) ++depth;
+      if (IsPunct(toks[j], ")") && --depth == 0) break;
+      if (toks[j].kind != TokKind::kIdent) continue;
+      if (CanonicalHelpers().count(toks[j].text)) helped = true;
+      if (unordered_vars.count(toks[j].text) ||
+          UnorderedTypes().count(toks[j].text)) {
+        offender = toks[j].text;
+      }
+    }
+    if (!offender.empty() && !helped) {
+      Emit(ctx, out, toks[i].line, "unordered-iter", Severity::kError,
+           "loop over unordered container '" + offender +
+               "' iterates in hash order; fold through "
+               "runtime::SortedItems/SortedKeys/CanonicalFold "
+               "(src/runtime/canonical.h) or justify with a suppression");
+    }
+    i = j;
+  }
+}
+
+// R2: all randomness must flow from explicitly seeded stats::Rng streams;
+// wall-clock or hardware entropy anywhere else breaks run-to-run
+// reproducibility of the study.
+void RuleRawEntropy(const RuleContext& ctx, std::vector<Finding>& out) {
+  if (ctx.in_rng) return;
+  const std::vector<Token>& toks = ctx.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    const bool call = i + 1 < toks.size() && IsPunct(toks[i + 1], "(");
+    if ((t.text == "rand" || t.text == "srand") && call) {
+      Emit(ctx, out, t.line, "raw-entropy", Severity::kError,
+           t.text + "() draws from hidden global state; use stats::Rng with "
+                    "an explicit seed (src/stats/rng.h)");
+    } else if (t.text == "random_device") {
+      Emit(ctx, out, t.line, "raw-entropy", Severity::kError,
+           "std::random_device is hardware entropy; derive seeds from the "
+           "study seed via stats::Rng::HashMix instead");
+    } else if (t.text == "time" && call && i + 3 < toks.size() &&
+               (IsIdent(toks[i + 2], "nullptr") ||
+                IsIdent(toks[i + 2], "NULL") ||
+                (toks[i + 2].kind == TokKind::kNumber &&
+                 toks[i + 2].text == "0")) &&
+               IsPunct(toks[i + 3], ")")) {
+      Emit(ctx, out, t.line, "raw-entropy", Severity::kError,
+           "time(" + toks[i + 2].text +
+               ") makes output depend on the wall clock; thread sim_time or "
+               "an explicit seed through instead");
+    }
+  }
+}
+
+// R3: the study engine and scenario drivers must never write to stdout —
+// bench/example stdout is the byte-comparable determinism artifact, and any
+// engine-side write would interleave with (and so corrupt) it.
+void RuleStdoutWrite(const RuleContext& ctx, std::vector<Finding>& out) {
+  if (!ctx.in_runtime_or_scenario) return;
+  const std::vector<Token>& toks = ctx.tokens;
+  static const std::set<std::string, std::less<>> kDirect = {
+      "printf", "vprintf", "puts", "putchar"};
+  static const std::set<std::string, std::less<>> kStreamArg = {
+      "fprintf", "vfprintf", "fputs", "fputc", "fwrite"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "cout") {
+      Emit(ctx, out, t.line, "stdout-write", Severity::kError,
+           "std::cout inside the study engine; return strings to the caller "
+           "or write to stderr (stdout is the determinism artifact)");
+      continue;
+    }
+    const bool call = i + 1 < toks.size() && IsPunct(toks[i + 1], "(");
+    if (!call) continue;
+    if (kDirect.count(t.text)) {
+      Emit(ctx, out, t.line, "stdout-write", Severity::kError,
+           t.text + "() writes to stdout inside the study engine; return "
+                    "strings to the caller or use stderr");
+    } else if (kStreamArg.count(t.text)) {
+      int depth = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (IsPunct(toks[j], "(")) ++depth;
+        if (IsPunct(toks[j], ")") && --depth == 0) break;
+        if (IsIdent(toks[j], "stdout")) {
+          Emit(ctx, out, t.line, "stdout-write", Severity::kError,
+               t.text + "(..., stdout) inside the study engine; use stderr "
+                        "or return the text");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// R4: every header is include-once and never injects a namespace into its
+// includers.
+void RuleHeaderHygiene(const RuleContext& ctx, std::vector<Finding>& out) {
+  if (!ctx.is_header) return;
+  const std::vector<Token>& toks = ctx.tokens;
+  bool pragma_once = false;
+  for (std::size_t i = 0; i + 2 < toks.size() && !pragma_once; ++i) {
+    pragma_once = IsPunct(toks[i], "#") && IsIdent(toks[i + 1], "pragma") &&
+                  IsIdent(toks[i + 2], "once");
+  }
+  if (!pragma_once) {
+    Emit(ctx, out, 1, "header-hygiene", Severity::kError,
+         "header is missing #pragma once");
+  }
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (IsIdent(toks[i], "using") && IsIdent(toks[i + 1], "namespace")) {
+      Emit(ctx, out, toks[i].line, "header-hygiene", Severity::kError,
+           "'using namespace' in a header leaks into every includer; "
+           "use explicit qualification or a scoped alias");
+    }
+  }
+}
+
+// ---- R5: uninitialized POD members ----------------------------------------
+
+namespace {
+
+const std::set<std::string, std::less<>>& PodTypes() {
+  // Primitive types plus the project's fixed-width aliases. A POD member
+  // without a default initializer is indeterminate until every constructor
+  // path proves otherwise — and a struct handed across the StudyExecutor
+  // shard boundary with an indeterminate field is exactly the kind of
+  // nondeterminism this pass exists to stop (it is also a UBSan trap).
+  static const std::set<std::string, std::less<>> kPod = {
+      "bool",     "char",     "wchar_t",  "char8_t",  "char16_t",
+      "char32_t", "short",    "int",      "long",     "unsigned",
+      "signed",   "float",    "double",   "size_t",   "ssize_t",
+      "ptrdiff_t", "intptr_t", "uintptr_t", "intmax_t", "uintmax_t",
+      "int8_t",   "int16_t",  "int32_t",  "int64_t",  "uint8_t",
+      "uint16_t", "uint32_t", "uint64_t",
+      // MANIC aliases (stats::TimeSec, topo::* ids).
+      "TimeSec",  "Asn",      "RouterId", "IfaceId",  "LinkId",
+      "VpId"};
+  return kPod;
+}
+
+struct MemberDecl {
+  std::vector<Token> toks;
+  bool brace_init = false;
+};
+
+// Decides whether an accumulated member declaration is an uninitialized POD
+// (or pointer) field, and if so reports it.
+void AnalyzeMember(const RuleContext& ctx, const MemberDecl& decl,
+                   std::string_view struct_name, std::vector<Finding>& out) {
+  const std::vector<Token>& t = decl.toks;
+  if (t.empty() || decl.brace_init) return;
+  static const std::set<std::string, std::less<>> kSkip = {
+      "static", "constexpr", "constinit", "using",    "typedef",
+      "friend", "template",  "operator",  "public",   "private",
+      "protected", "enum",   "union",     "struct",   "class",
+      "virtual", "explicit", "requires",  "concept"};
+  bool has_eq = false, has_paren = false, has_star = false;
+  for (const Token& tok : t) {
+    if (tok.kind == TokKind::kIdent && kSkip.count(tok.text)) return;
+    if (tok.kind == TokKind::kPunct) {
+      if (tok.text == "=") has_eq = true;
+      if (tok.text == "(") has_paren = true;
+      if (tok.text == "*") has_star = true;
+    }
+  }
+  if (has_eq || has_paren) return;  // initialized, or a function declaration
+
+  // Type prefix: cv/mutable qualifiers (a `const` *member* without an
+  // initializer would not even compile, so `const` here means
+  // pointer-to-const), then any `ns::ns::` qualifier chain (std::uint64_t,
+  // topo::Asn, stats::TimeSec, ...), then the type token.
+  std::size_t i = 0;
+  while (i + 1 < t.size() &&
+         (IsIdent(t[i], "mutable") || IsIdent(t[i], "const") ||
+          IsIdent(t[i], "volatile"))) {
+    ++i;
+  }
+  while (i + 3 < t.size() && t[i].kind == TokKind::kIdent &&
+         IsPunct(t[i + 1], ":") && IsPunct(t[i + 2], ":")) {
+    i += 3;
+  }
+  if (t[i].kind != TokKind::kIdent) return;
+  const bool pod_type = PodTypes().count(t[i].text) > 0;
+  if (!pod_type) {
+    // `T* p;` for arbitrary T: only the pointer declarator shape qualifies —
+    // the declarator name preceded directly by `*` (a `*` buried in template
+    // arguments, as in std::vector<const char*>, does not make a pointer).
+    if (!has_star || t.size() < 2 || t.back().kind != TokKind::kIdent ||
+        !IsPunct(t[t.size() - 2], "*")) {
+      return;
+    }
+  }
+
+  // Declarator name: the last identifier (covers `int x`, `double a[4]`,
+  // `int b : 3`, `Foo* p`).
+  std::string name;
+  for (auto it = t.rbegin(); it != t.rend(); ++it) {
+    if (it->kind == TokKind::kIdent) {
+      name = it->text;
+      break;
+    }
+  }
+  if (name.empty() || PodTypes().count(name)) return;  // `unsigned;` etc.
+
+  const Severity sev =
+      ctx.shard_adjacent ? Severity::kError : Severity::kWarning;
+  Emit(ctx, out, t.front().line, "uninit-member", sev,
+       "POD member '" + name + "' of '" + std::string(struct_name) +
+           "' has no default initializer; an indeterminate field crossing "
+           "the shard boundary is a nondeterminism hazard — give it `= ...`");
+}
+
+// Parses a struct/class body starting at the token index of its '{'.
+// Returns the index just past the closing '}'. Recurses into nested types.
+std::size_t ParseStructBody(const RuleContext& ctx,
+                            const std::vector<Token>& toks, std::size_t i,
+                            std::string_view struct_name,
+                            std::vector<Finding>& out);
+
+// Handles one `struct|class [name] [: bases] {` head at index `i` (pointing
+// at the struct/class keyword). Returns the index to resume scanning from.
+std::size_t MaybeParseStruct(const RuleContext& ctx,
+                             const std::vector<Token>& toks, std::size_t i,
+                             std::vector<Finding>& out) {
+  // `enum struct/class` is not an aggregate; skip its body wholesale.
+  if (i > 0 && IsIdent(toks[i - 1], "enum")) return i + 1;
+  std::string name = "<anonymous>";
+  std::size_t j = i + 1;
+  while (j < toks.size()) {
+    const Token& t = toks[j];
+    if (IsPunct(t, "{")) return ParseStructBody(ctx, toks, j, name, out);
+    if (IsPunct(t, ";") || IsPunct(t, ")") || IsPunct(t, ">") ||
+        IsPunct(t, ",") || IsPunct(t, "=") || IsPunct(t, "*") ||
+        IsPunct(t, "&")) {
+      return j;  // forward declaration, `struct X x;`, template parameter...
+    }
+    if (IsPunct(t, ":")) {
+      // Base clause: skip to the '{' (or give up at ';').
+      while (j < toks.size() && !IsPunct(toks[j], "{") &&
+             !IsPunct(toks[j], ";")) {
+        ++j;
+      }
+      continue;
+    }
+    if (t.kind == TokKind::kIdent && t.text != "final" &&
+        t.text != "alignas") {
+      name = t.text;
+    }
+    ++j;
+  }
+  return j;
+}
+
+std::size_t ParseStructBody(const RuleContext& ctx,
+                            const std::vector<Token>& toks, std::size_t i,
+                            std::string_view struct_name,
+                            std::vector<Finding>& out) {
+  MemberDecl decl;
+  ++i;  // past '{'
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (IsPunct(t, "}")) return i + 1;
+    if (IsPunct(t, ";")) {
+      AnalyzeMember(ctx, decl, struct_name, out);
+      decl = {};
+      ++i;
+      continue;
+    }
+    if ((IsIdent(t, "struct") || IsIdent(t, "class")) && decl.toks.empty()) {
+      i = MaybeParseStruct(ctx, toks, i, out);
+      // Skip any declarator + ';' after a nested type definition.
+      while (i < toks.size() && !IsPunct(toks[i], ";") &&
+             !IsPunct(toks[i], "}")) {
+        ++i;
+      }
+      if (i < toks.size() && IsPunct(toks[i], ";")) ++i;
+      continue;
+    }
+    if (IsPunct(t, "{")) {
+      // Function body, or a member's brace initializer.
+      bool is_function = false;
+      for (const Token& dt : decl.toks) {
+        if (dt.kind == TokKind::kPunct && dt.text == "(") is_function = true;
+      }
+      int depth = 0;
+      while (i < toks.size()) {
+        if (IsPunct(toks[i], "{")) ++depth;
+        if (IsPunct(toks[i], "}") && --depth == 0) break;
+        ++i;
+      }
+      ++i;  // past the matching '}'
+      if (is_function) {
+        decl = {};
+        // Consume an optional trailing ';' after the body.
+        if (i < toks.size() && IsPunct(toks[i], ";")) ++i;
+      } else {
+        decl.brace_init = true;  // `int x{0};` — wait for the ';'
+      }
+      continue;
+    }
+    // Access labels reset the declaration accumulator.
+    if (IsPunct(t, ":") && decl.toks.size() == 1 &&
+        (IsIdent(decl.toks[0], "public") ||
+         IsIdent(decl.toks[0], "private") ||
+         IsIdent(decl.toks[0], "protected"))) {
+      decl = {};
+      ++i;
+      continue;
+    }
+    decl.toks.push_back(t);
+    ++i;
+  }
+  return i;
+}
+
+}  // namespace
+
+// R5: see PodTypes() for the rationale. Severity is error when the file
+// plausibly hands structs across the StudyExecutor shard boundary (it
+// mentions the executor machinery or lives in src/runtime), warning
+// elsewhere — the fix is one `= 0` either way.
+void RuleUninitMember(const RuleContext& ctx, std::vector<Finding>& out) {
+  const std::vector<Token>& toks = ctx.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (IsIdent(toks[i], "struct") || IsIdent(toks[i], "class")) {
+      std::size_t next = MaybeParseStruct(ctx, toks, i, out);
+      i = next > i ? next - 1 : i;
+    }
+  }
+}
+
+}  // namespace manic::lint

@@ -1,0 +1,29 @@
+// Internal interface between the lint driver and the rule implementations.
+// Each rule is a pure function over the lexed token stream plus path-derived
+// scope flags; suppression comments are applied afterwards by the driver.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lexer.h"
+#include "lint.h"
+
+namespace manic::lint {
+
+struct RuleContext {
+  std::string_view logical_path;       // forward-slash normalized
+  const std::vector<Token>& tokens;
+  bool is_header = false;              // *.h / *.hh / *.hpp
+  bool in_runtime_or_scenario = false; // under src/runtime/ or src/scenario/
+  bool in_rng = false;                 // under src/stats/rng*
+  bool shard_adjacent = false;         // file touches StudyExecutor machinery
+};
+
+void RuleUnorderedIter(const RuleContext& ctx, std::vector<Finding>& out);
+void RuleRawEntropy(const RuleContext& ctx, std::vector<Finding>& out);
+void RuleStdoutWrite(const RuleContext& ctx, std::vector<Finding>& out);
+void RuleHeaderHygiene(const RuleContext& ctx, std::vector<Finding>& out);
+void RuleUninitMember(const RuleContext& ctx, std::vector<Finding>& out);
+
+}  // namespace manic::lint
