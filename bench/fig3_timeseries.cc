@@ -9,7 +9,7 @@
 #include "analysis/classify.h"
 #include "lossprobe/lossprobe.h"
 #include "scenario/driver.h"
-#include "sim/sim_time.h"
+#include "stats/calendar.h"
 #include "tslp/tslp.h"
 
 using namespace manic;
@@ -22,16 +22,16 @@ int main() {
   sim::SimNetwork& net = *world.net;
 
   // Dec 7 2017 is study day 646 (month 21 starts at day 640).
-  const std::int64_t dec7 = sim::StudyMonthStartDay(21) + 6;
-  const sim::TimeSec t0 = dec7 * sim::kSecPerDay;
-  const sim::TimeSec t1 = t0 + 3 * sim::kSecPerDay;
+  const std::int64_t dec7 = stats::StudyMonthStartDay(21) + 6;
+  const sim::TimeSec t0 = dec7 * stats::kSecPerDay;
+  const sim::TimeSec t1 = t0 + 3 * stats::kSecPerDay;
 
   // A Verizon VP and a Verizon-Google link congested in December 2017.
   const topo::VpId vp = world.vps_by_access.at(U::kVerizon).front();
   scenario::DiscoveredLink link;
   bool found = false;
   for (const auto& dl :
-       scenario::DiscoverVpLinks(world, vp, t0 - 60 * sim::kSecPerDay)) {
+       scenario::DiscoverVpLinks(world, vp, t0 - 60 * stats::kSecPerDay)) {
     if (dl.info->tcp == U::kGoogle &&
         net.TrueCongestedFraction(dl.info->link, sim::Direction::kBtoA, dec7,
                                   0.96) > 0.04) {
@@ -54,7 +54,7 @@ int main() {
   tslp::TslpScheduler tslp(net, vp, db);
   {
     bdrmap::Bdrmap bdrmap(net, vp);
-    tslp.UpdateProbingSet(bdrmap.RunCycle(t0 - 60 * sim::kSecPerDay));
+    tslp.UpdateProbingSet(bdrmap.RunCycle(t0 - 60 * stats::kSecPerDay));
   }
   for (sim::TimeSec t = t0; t < t1; t += 300) tslp.RunRound(t);
 
@@ -111,22 +111,22 @@ int main() {
 
   double cong_far_loss = 0.0, uncong_far_loss = 0.0, cong_near_loss = 0.0;
   int cong_hours = 0, uncong_hours = 0;
-  for (sim::TimeSec t = t0; t < t1; t += sim::kSecPerHour) {
-    const int day = static_cast<int>((t - t0) / sim::kSecPerDay);
-    const int interval = static_cast<int>(sim::SecondOfDayUtc(t) / 900);
+  for (sim::TimeSec t = t0; t < t1; t += stats::kSecPerHour) {
+    const int day = static_cast<int>((t - t0) / stats::kSecPerDay);
+    const int interval = static_cast<int>(stats::SecondOfDayUtc(t) / 900);
     const bool congested =
         inference.recurring && inference.InWindow(interval, 96) &&
         !infer::DayGrid::Missing(
             far.At(cfg.window_days - 3 + day, interval)) &&
         far.At(cfg.window_days - 3 + day, interval) >
             static_cast<float>(inference.threshold_ms);
-    const double fl = mean_loss(tslp::kSideFar, t, t + sim::kSecPerHour);
-    const double nl = mean_loss(tslp::kSideNear, t, t + sim::kSecPerHour);
+    const double fl = mean_loss(tslp::kSideFar, t, t + stats::kSecPerHour);
+    const double nl = mean_loss(tslp::kSideNear, t, t + stats::kSecPerHour);
     std::printf("Dec %d %02d:00   %6.1f %6.1f   %6.2f   %6.2f   %s\n",
                 7 + day,
-                static_cast<int>(sim::SecondOfDayUtc(t) / sim::kSecPerHour),
-                min_rtt(tslp::kSideFar, t, t + sim::kSecPerHour),
-                min_rtt(tslp::kSideNear, t, t + sim::kSecPerHour), fl, nl,
+                static_cast<int>(stats::SecondOfDayUtc(t) / stats::kSecPerHour),
+                min_rtt(tslp::kSideFar, t, t + stats::kSecPerHour),
+                min_rtt(tslp::kSideNear, t, t + stats::kSecPerHour), fl, nl,
                 congested ? "#### " : "");
     if (congested) {
       cong_far_loss += fl;

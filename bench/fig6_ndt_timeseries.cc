@@ -17,7 +17,7 @@ int main() {
   scenario::UsBroadband world = scenario::MakeUsBroadband();
   sim::SimNetwork& net = *world.net;
 
-  const std::int64_t dec7 = sim::StudyMonthStartDay(21) + 6;
+  const std::int64_t dec7 = stats::StudyMonthStartDay(21) + 6;
   const auto setups = SetupNdtLinks(world, dec7);
   if (setups.empty()) {
     std::puts("ERROR: Link 1 not found");
@@ -39,10 +39,10 @@ int main() {
   {
     bdrmap::Bdrmap bdrmap(net, link1.vp);
     tslp.UpdateProbingSet(
-        bdrmap.RunCycle((dec7 - 60) * sim::kSecPerDay + 9 * 3600));
+        bdrmap.RunCycle((dec7 - 60) * stats::kSecPerDay + 9 * 3600));
   }
-  const sim::TimeSec t0 = dec7 * sim::kSecPerDay;
-  const sim::TimeSec t1 = t0 + 5 * sim::kSecPerDay;
+  const sim::TimeSec t0 = dec7 * stats::kSecPerDay;
+  const sim::TimeSec t1 = t0 + 5 * stats::kSecPerDay;
   for (sim::TimeSec t = t0; t < t1; t += 300) tslp.RunRound(t);
 
   ndt::NdtClient::Config config;
@@ -53,29 +53,29 @@ int main() {
                         .utc_offset_hours;
 
   std::puts("UTC time       farRTT(min)  NDT down Mbps  congested");
-  for (sim::TimeSec t = t0; t < t1; t += 2 * sim::kSecPerHour) {
+  for (sim::TimeSec t = t0; t < t1; t += 2 * stats::kSecPerHour) {
     const auto series = db.QueryMerged(
         tslp::kMeasurementRtt,
         tslp::TslpScheduler::Tags(link1.link.vp_name, link1.link.far_addr,
                                   tslp::kSideFar),
-        t, t + 2 * sim::kSecPerHour);
+        t, t + 2 * stats::kSecPerHour);
     double rtt = -1.0;
     for (const auto& p : series.points()) {
       rtt = rtt < 0.0 ? p.value : std::min(rtt, p.value);
     }
     // One NDT test inside the two-hour slot (at the next due instant).
     double down = -1.0;
-    for (sim::TimeSec tt = t; tt < t + 2 * sim::kSecPerHour;
-         tt += 15 * sim::kSecPerMin) {
+    for (sim::TimeSec tt = t; tt < t + 2 * stats::kSecPerHour;
+         tt += 15 * stats::kSecPerMin) {
       if (!ndt::NdtClient::TestDueAt(tt, vp_tz)) continue;
       const ndt::NdtResult r = client.RunTest(link1.server, tt);
       if (r.ok) down = r.download_mbps;
       break;
     }
-    const int day = 7 + static_cast<int>((t - t0) / sim::kSecPerDay);
+    const int day = 7 + static_cast<int>((t - t0) / stats::kSecPerDay);
     std::printf("Dec %2d %02d:00     %7.1f      %7.2f      %s\n", day,
-                static_cast<int>(sim::SecondOfDayUtc(t) / 3600), rtt, down,
-                classifier.Congested(t + sim::kSecPerHour) ? "####" : "");
+                static_cast<int>(stats::SecondOfDayUtc(t) / 3600), rtt, down,
+                classifier.Congested(t + stats::kSecPerHour) ? "####" : "");
   }
   return 0;
 }

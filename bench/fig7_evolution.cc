@@ -9,7 +9,6 @@
 #include "analysis/report.h"
 #include "bench/study_runtime.h"
 #include "scenario/driver.h"
-#include "sim/sim_time.h"
 
 using namespace manic;
 using U = scenario::UsBroadband;

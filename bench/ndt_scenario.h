@@ -15,7 +15,7 @@
 #include "infer/autocorr.h"
 #include "ndt/ndt.h"
 #include "scenario/driver.h"
-#include "sim/sim_time.h"
+#include "stats/calendar.h"
 
 namespace manic::benchndt {
 
@@ -62,10 +62,10 @@ struct WindowClassifier {
 
   bool Congested(sim::TimeSec t) const {
     if (!result.recurring) return false;
-    const std::int64_t day = sim::DayOf(t) - first_day;
+    const std::int64_t day = stats::DayOf(t) - first_day;
     if (day < 0 || day >= far.days()) return false;
     const int interval =
-        static_cast<int>(sim::SecondOfDayUtc(t) / cfg.bin_width);
+        static_cast<int>(stats::SecondOfDayUtc(t) / cfg.bin_width);
     if (!result.InWindow(interval, cfg.intervals_per_day)) return false;
     const float v = far.At(static_cast<int>(day), interval);
     return !infer::DayGrid::Missing(v) &&
@@ -123,7 +123,7 @@ inline std::vector<NdtLinkSetup> SetupNdtLinks(UsBroadband& world,
   std::vector<NdtLinkSetup> out;
   sim::SimNetwork& net = *world.net;
   const sim::TimeSec discover_t =
-      (probe_day - 60) * sim::kSecPerDay + 9 * sim::kSecPerHour;
+      (probe_day - 60) * stats::kSecPerDay + 9 * stats::kSecPerHour;
 
   struct Want {
     std::string label;

@@ -10,7 +10,7 @@
 #include "analysis/report.h"
 #include "bench/study_runtime.h"
 #include "scenario/driver.h"
-#include "sim/sim_time.h"
+#include "stats/calendar.h"
 
 using namespace manic;
 
@@ -40,8 +40,8 @@ int main() {
 
   // Sample: 10 scheduled-congested links + 10 clean links observed in 2017.
   std::vector<LinkScore> sample;
-  const std::int64_t y2017_start = sim::StudyMonthStartDay(10);
-  const std::int64_t y2017_end = sim::StudyTotalDays();
+  const std::int64_t y2017_start = stats::StudyMonthStartDay(10);
+  const std::int64_t y2017_end = stats::StudyTotalDays();
   int want_congested = 10, want_clean = 10;
   for (const scenario::InterLinkInfo& info : world.interdomain) {
     const bool scheduled = info.scheduled_congested;

@@ -17,7 +17,7 @@
 #include "analysis/loss_validation.h"
 #include "analysis/report.h"
 #include "scenario/driver.h"
-#include "sim/sim_time.h"
+#include "stats/calendar.h"
 #include "tslp/tslp.h"
 
 using namespace manic;
@@ -36,7 +36,7 @@ int main() {
 
   for (const topo::VpId vp : world.vps) {
     const sim::TimeSec discovery =
-        sim::StudyMonthStartDay(11) * sim::kSecPerDay;
+        stats::StudyMonthStartDay(11) * stats::kSecPerDay;
     const auto links = scenario::DiscoverVpLinks(world, vp, discovery);
     tsdb::Database db;
 
@@ -64,8 +64,8 @@ int main() {
           stats::Rng::HashMix(99, vp, dl.info->link));
 
       for (int month = 12; month < 22; ++month) {
-        const std::int64_t month_start_day = sim::StudyMonthStartDay(month);
-        const std::int64_t month_days = sim::DaysInStudyMonth(month);
+        const std::int64_t month_start_day = stats::StudyMonthStartDay(month);
+        const std::int64_t month_days = stats::DaysInStudyMonth(month);
         const std::int64_t win_end_day = month_start_day + month_days;
         const std::int64_t win_start_day = win_end_day - cfg.window_days;
 
@@ -80,7 +80,7 @@ int main() {
           }
         }
         analysis::LinkInference inference;
-        inference.t0 = win_start_day * sim::kSecPerDay;
+        inference.t0 = win_start_day * stats::kSecPerDay;
         inference.days = cfg.window_days;
         inference.config = cfg;
         inference.result = infer::AnalyzeWindow(far, near, cfg);
@@ -106,8 +106,8 @@ int main() {
 
         // Month-long loss campaign (aggregate Binomial windows), with the
         // injected pathologies.
-        const sim::TimeSec m0 = month_start_day * sim::kSecPerDay;
-        const sim::TimeSec m1 = win_end_day * sim::kSecPerDay;
+        const sim::TimeSec m0 = month_start_day * stats::kSecPerDay;
+        const sim::TimeSec m1 = win_end_day * stats::kSecPerDay;
         const double rl_loss =
             rate_limited
                 ? 0.60 + 0.3 * stats::Rng::HashToUnit(0xA59, dl.info->link)
@@ -133,8 +133,8 @@ int main() {
           double p_far = exp_far.reachable ? exp_far.loss_prob : 1.0;
           double p_near = exp_near.reachable ? exp_near.loss_prob : 1.0;
           p_far = std::min(1.0, p_far + rl_loss);
-          const double hour = sim::LocalHour(t, dl.vp_utc_offset);
-          if (episode_days.contains(sim::DayOf(t)) && hour >= 6.0 &&
+          const double hour = stats::LocalHour(t, dl.vp_utc_offset);
+          if (episode_days.contains(stats::DayOf(t)) && hour >= 6.0 &&
               hour < 13.0) {
             p_far = std::min(1.0, p_far + 0.45);
           }

@@ -21,8 +21,8 @@ int main() {
   scenario::UsBroadband world = scenario::MakeUsBroadband();
   sim::SimNetwork& net = *world.net;
 
-  const std::int64_t nov15 = sim::StudyMonthStartDay(20) + 14;
-  const std::int64_t end = sim::StudyTotalDays();  // Dec 31 2017
+  const std::int64_t nov15 = stats::StudyMonthStartDay(20) + 14;
+  const std::int64_t end = stats::StudyTotalDays();  // Dec 31 2017
   const auto setups = SetupNdtLinks(world, nov15 + 10);
   if (setups.size() < 3) {
     std::printf("ERROR: only %zu of 3 experiment links found\n", setups.size());
@@ -46,8 +46,8 @@ int main() {
                           .utc_offset_hours;
 
     std::vector<double> congested, uncongested;
-    for (sim::TimeSec t = nov15 * sim::kSecPerDay; t < end * sim::kSecPerDay;
-         t += 15 * sim::kSecPerMin) {
+    for (sim::TimeSec t = nov15 * stats::kSecPerDay; t < end * stats::kSecPerDay;
+         t += 15 * stats::kSecPerMin) {
       if (!ndt::NdtClient::TestDueAt(t, vp_tz)) continue;
       const ndt::NdtResult r = client.RunTest(setup.server, t);
       if (!r.ok) continue;

@@ -36,13 +36,13 @@ struct YtTest {
 // Per-ISP campaign windows chosen inside the scheduled congestion episodes.
 inline std::int64_t CampaignStartFor(topo::Asn access) {
   switch (access) {
-    case U::kComcast: return sim::StudyMonthStartDay(9);       // Dec 2016
-    case U::kCenturyLink: return sim::StudyMonthStartDay(19);  // Oct 2017
-    case U::kVerizon: return sim::StudyMonthStartDay(4);
-    case U::kAtt: return sim::StudyMonthStartDay(5);
-    case U::kCharter: return sim::StudyMonthStartDay(6);
-    case U::kCox: return sim::StudyMonthStartDay(8);
-    default: return sim::StudyMonthStartDay(9);
+    case U::kComcast: return stats::StudyMonthStartDay(9);       // Dec 2016
+    case U::kCenturyLink: return stats::StudyMonthStartDay(19);  // Oct 2017
+    case U::kVerizon: return stats::StudyMonthStartDay(4);
+    case U::kAtt: return stats::StudyMonthStartDay(5);
+    case U::kCharter: return stats::StudyMonthStartDay(6);
+    case U::kCox: return stats::StudyMonthStartDay(8);
+    default: return stats::StudyMonthStartDay(9);
   }
 }
 
@@ -54,7 +54,7 @@ inline std::vector<YtLinkSetup> SetupYtLinks(scenario::UsBroadband& world,
     const topo::Asn access = world.topo->vp(vp).host_as;
     const std::int64_t start = CampaignStartFor(access);
     const sim::TimeSec discovery =
-        (start - 60) * sim::kSecPerDay + 9 * sim::kSecPerHour;
+        (start - 60) * stats::kSecPerDay + 9 * stats::kSecPerHour;
     for (const DiscoveredLink& dl :
          scenario::DiscoverVpLinks(world, vp, discovery)) {
       if (dl.info->tcp != U::kGoogle) continue;
@@ -87,10 +87,10 @@ inline std::vector<YtTest> RunCampaign(scenario::UsBroadband& world,
   ytstream::YoutubeClient::Config config;
   config.access_plan_mbps = access_plan_mbps;
   ytstream::YoutubeClient client(*world.net, setup.vp, config);
-  const sim::TimeSec t0 = setup.campaign_start * sim::kSecPerDay;
+  const sim::TimeSec t0 = setup.campaign_start * stats::kSecPerDay;
   const sim::TimeSec t1 =
-      t0 + static_cast<sim::TimeSec>(setup.campaign_days) * sim::kSecPerDay;
-  for (sim::TimeSec t = t0; t < t1; t += 3 * sim::kSecPerHour) {
+      t0 + static_cast<sim::TimeSec>(setup.campaign_days) * stats::kSecPerDay;
+  for (sim::TimeSec t = t0; t < t1; t += 3 * stats::kSecPerHour) {
     YtTest test;
     test.congested = setup.classifier.Congested(t);
     test.result = client.Stream(setup.cache, video, t);

@@ -65,8 +65,17 @@ int main() {
   const bdrmap::BorderLink* lax_link = borders.FindByFarAddr(lax_far);
   if (lax_link != nullptr && !lax_link->dests.empty()) {
     const auto& d = lax_link->dests.front();
+    // analysis never talks to the simulator directly (layering contract);
+    // hand it an RR prober bound to this destination instead.
     const auto check = analysis::CheckReturnSymmetry(
-        *world.net, world.vp, lax_far, d.dst, d.far_ttl, d.flow, 9 * 3600);
+        [&](sim::TimeSec when) {
+          auto rr = world.net->ProbeRecordRoute(
+              world.vp, d.dst, d.far_ttl, sim::FlowId{d.flow}, when);
+          return analysis::RecordRouteObservation{
+              rr.reply.outcome == sim::ProbeOutcome::kTtlExpired,
+              rr.reply.responder, std::move(rr.reverse_route)};
+        },
+        lax_far, 9 * 3600);
     std::printf("2. Record-route on the LAX far probe: return path %s",
                 check.symmetric ? "crosses the LAX link (symmetric)"
                                 : "does NOT cross the LAX link");

@@ -13,7 +13,6 @@
 #include "analysis/report.h"
 #include "runtime/metrics.h"
 #include "scenario/driver.h"
-#include "sim/sim_time.h"
 
 using namespace manic;
 

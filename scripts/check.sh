@@ -9,9 +9,11 @@
 #      (-DMANIC_SANITIZE=undefined, non-recoverable) running the full suite
 #      (set MANIC_CHECK_SKIP_UBSAN=1 to skip the UBSan half);
 #   4. static analysis: manic_lint --json over src/ bench/ tests/ examples/
-#      (report lands in build/check/lint.json; any error-severity finding
-#      fails the sweep) and the curated .clang-tidy baseline, which skips
-#      with a warning when clang-tidy is not installed.
+#      with the graph passes active against tools/manic_lint/layers.txt
+#      (report lands in build/check/lint.json; any error-severity finding —
+#      per-file rule, include cycle, or layering violation — fails the
+#      sweep, warning-only runs pass) and the curated .clang-tidy baseline,
+#      which skips with a warning when clang-tidy is not installed.
 #
 # Usage: scripts/check.sh [jobs]     (jobs defaults to nproc)
 set -euo pipefail
@@ -55,10 +57,19 @@ else
   echo "(UBSan half skipped: MANIC_CHECK_SKIP_UBSAN=1)"
 fi
 
-echo "== [4/4] static analysis: manic-lint + clang-tidy baseline =="
+echo "== [4/4] static analysis: manic-lint (rules + graph passes) + clang-tidy baseline =="
 cmake --build build -j "$JOBS" --target manic_lint
-./build/tools/manic_lint --json src bench tests examples > "$OUT_DIR/lint.json"
-echo "manic-lint clean (report: $OUT_DIR/lint.json)"
+# Exit 1 = error-severity findings (fail), 2 = warnings only (pass, but the
+# findings are on stderr and in the JSON), 3 = usage/IO trouble (fail).
+LINT_STATUS=0
+./build/tools/manic_lint --json --layers tools/manic_lint/layers.txt \
+  src bench tests examples > "$OUT_DIR/lint.json" || LINT_STATUS=$?
+case "$LINT_STATUS" in
+  0) echo "manic-lint clean (report: $OUT_DIR/lint.json)" ;;
+  2) echo "manic-lint: warnings only (report: $OUT_DIR/lint.json)" ;;
+  *) echo "FAIL: manic-lint exited $LINT_STATUS (report: $OUT_DIR/lint.json)" >&2
+     exit 1 ;;
+esac
 scripts/run_clang_tidy.sh build "$JOBS"
 
 echo "All checks passed."

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "stats/calendar.h"
+
 namespace manic::analysis {
 
 void DayLinkTable::Add(const DayLinkRecord& record) {
@@ -14,7 +16,7 @@ void DayLinkTable::Add(const DayLinkRecord& record) {
   const bool congested = record.fraction >= kDayLinkThreshold;
   if (congested) ++pair.congested_day_links;
 
-  const int month = sim::StudyMonthOfDay(record.day);
+  const int month = stats::StudyMonthOfDay(record.day);
   if (month >= 0) {
     auto& months = monthly_[key];
     if (months.size() <= static_cast<std::size_t>(month)) {
@@ -76,7 +78,7 @@ std::vector<Asn> DayLinkTable::TopCongestedTcps(std::size_t n) const {
 
 std::vector<double> DayLinkTable::MonthlyCongestedPct(Asn access,
                                                       Asn tcp) const {
-  std::vector<double> out(sim::kStudyMonths, -1.0);
+  std::vector<double> out(stats::kStudyMonths, -1.0);
   const auto it = monthly_.find({access, tcp});
   if (it == monthly_.end()) return out;
   for (std::size_t m = 0; m < it->second.size() && m < out.size(); ++m) {
@@ -90,7 +92,7 @@ std::vector<double> DayLinkTable::MonthlyCongestedPct(Asn access,
 
 std::vector<double> DayLinkTable::MonthlyMeanCongestion(Asn access,
                                                         Asn tcp) const {
-  std::vector<double> out(sim::kStudyMonths, -1.0);
+  std::vector<double> out(stats::kStudyMonths, -1.0);
   const auto it = monthly_.find({access, tcp});
   if (it == monthly_.end()) return out;
   for (std::size_t m = 0; m < it->second.size() && m < out.size(); ++m) {

@@ -12,7 +12,6 @@
 #include <string>
 #include <vector>
 
-#include "sim/sim_time.h"
 #include "topo/as_registry.h"
 
 namespace manic::analysis {

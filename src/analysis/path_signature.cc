@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "stats/descriptive.h"
@@ -65,22 +66,16 @@ SignatureComparison CompareCongestionSignatures(
   return cmp;
 }
 
-ReturnSymmetryCheck CheckReturnSymmetry(sim::SimNetwork& net, topo::VpId vp,
+ReturnSymmetryCheck CheckReturnSymmetry(const RecordRouteProber& probe,
                                         topo::Ipv4Addr far_addr,
-                                        topo::Ipv4Addr dst, int far_ttl,
-                                        std::uint16_t flow, stats::TimeSec t,
-                                        int attempts) {
+                                        stats::TimeSec t, int attempts) {
   ReturnSymmetryCheck check;
   for (int i = 0; i < attempts; ++i) {
-    const auto rr =
-        net.ProbeRecordRoute(vp, dst, far_ttl, sim::FlowId{flow}, t + i);
-    if (rr.reply.outcome != sim::ProbeOutcome::kTtlExpired ||
-        rr.reply.responder != far_addr) {
-      continue;
-    }
+    RecordRouteObservation rr = probe(t + i);
+    if (!rr.ttl_expired || rr.responder != far_addr) continue;
     check.usable = true;
-    check.reverse_route = rr.reverse_route;
-    for (const topo::Ipv4Addr addr : rr.reverse_route) {
+    check.reverse_route = std::move(rr.reverse_route);
+    for (const topo::Ipv4Addr addr : check.reverse_route) {
       if (addr == far_addr) {
         check.symmetric = true;
         break;

@@ -6,9 +6,11 @@
 // series are built per link and compared with Pearson correlation.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <vector>
 
-#include "sim/network.h"
+#include "stats/timeseries.h"
 #include "topo/ipv4.h"
 #include "tsdb/tsdb.h"
 
@@ -43,15 +45,29 @@ SignatureComparison CompareCongestionSignatures(
 // includes the far interface itself (a reply crossing the targeted link
 // egresses through it). `attempts` probes are sent; the verdict uses the
 // first one that elicits a usable RR reply.
+// One RR probe observation, reduced to what the detector needs. Produced by
+// whatever measurement substrate is in use — the simulator's
+// ProbeRecordRoute here, a raw-socket prober against the real Internet —
+// analysis itself never talks to the network (see tools/manic_lint/
+// layers.txt: analysis must stay simulator-free).
+struct RecordRouteObservation {
+  bool ttl_expired = false;    // reply was ICMP time-exceeded, not an echo
+  topo::Ipv4Addr responder{};  // interface that sent the reply
+  std::vector<topo::Ipv4Addr> reverse_route;  // RR slots, VP-ward order
+};
+
+// Issues one RR probe toward the link under test at time `when`; the
+// destination, TTL and flow id of the probe are fixed by the caller.
+using RecordRouteProber =
+    std::function<RecordRouteObservation(stats::TimeSec when)>;
+
 struct ReturnSymmetryCheck {
   bool usable = false;     // at least one RR reply obtained
   bool symmetric = false;  // the reply crossed the targeted link
   std::vector<topo::Ipv4Addr> reverse_route;
 };
-ReturnSymmetryCheck CheckReturnSymmetry(sim::SimNetwork& net, topo::VpId vp,
+ReturnSymmetryCheck CheckReturnSymmetry(const RecordRouteProber& probe,
                                         topo::Ipv4Addr far_addr,
-                                        topo::Ipv4Addr dst, int far_ttl,
-                                        std::uint16_t flow, stats::TimeSec t,
-                                        int attempts = 4);
+                                        stats::TimeSec t, int attempts = 4);
 
 }  // namespace manic::analysis

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "probe/probe.h"
+#include "stats/rng.h"
 #include "tsdb/tsdb.h"
 #include "tslp/tslp.h"
 

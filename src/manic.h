@@ -39,7 +39,7 @@
 #include "sim/network.h"
 #include "sim/packet_queue.h"
 #include "sim/routing.h"
-#include "sim/sim_time.h"
+#include "stats/calendar.h"
 #include "stats/descriptive.h"
 #include "stats/rng.h"
 #include "stats/special.h"

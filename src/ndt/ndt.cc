@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "sim/sim_time.h"
+#include "stats/calendar.h"
 
 namespace manic::ndt {
 
@@ -23,11 +23,11 @@ double NdtClient::MathisThroughputMbps(double rtt_ms, double loss_prob,
 }
 
 bool NdtClient::TestDueAt(TimeSec t, int vp_utc_offset_hours) {
-  const double hour = sim::LocalHour(t, vp_utc_offset_hours);
-  const TimeSec sod = sim::SecondOfDayUtc(
-      t + static_cast<TimeSec>(vp_utc_offset_hours) * sim::kSecPerHour);
+  const double hour = stats::LocalHour(t, vp_utc_offset_hours);
+  const TimeSec sod = stats::SecondOfDayUtc(
+      t + static_cast<TimeSec>(vp_utc_offset_hours) * stats::kSecPerHour);
   const bool peak = hour >= 17.0 && hour < 23.0;
-  const TimeSec cadence = peak ? 15 * sim::kSecPerMin : sim::kSecPerHour;
+  const TimeSec cadence = peak ? 15 * stats::kSecPerMin : stats::kSecPerHour;
   return sod % cadence == 0;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "probe/probe.h"
+#include "stats/rng.h"
 #include "tsdb/tsdb.h"
 
 namespace manic::ndt {

@@ -6,13 +6,14 @@
 #include <memory>
 
 #include "bdrmap/bdrmap.h"
+#include "infer/rolling.h"
 #include "runtime/seed_tree.h"
-#include "sim/sim_time.h"
+#include "stats/calendar.h"
 
 namespace manic::scenario {
 
 using sim::Direction;
-using sim::kSecPerDay;
+using stats::kSecPerDay;
 using sim::TimeSec;
 
 TslpSynthesizer::TslpSynthesizer(sim::SimNetwork& net, topo::LinkId link,
@@ -140,7 +141,7 @@ std::vector<VpLink> DiscoverPairs(UsBroadband& world,
   }
 
   const TimeSec discovery_t =
-      -static_cast<TimeSec>(warmup) * kSecPerDay + 9 * sim::kSecPerHour;
+      -static_cast<TimeSec>(warmup) * kSecPerDay + 9 * stats::kSecPerHour;
   for (const topo::VpId vp : vps) {
     for (const DiscoveredLink& dl : DiscoverVpLinks(world, vp, discovery_t)) {
       // Deterministic visibility churn, keyed per link so every VP loses or
@@ -183,7 +184,7 @@ std::vector<VpLink> DiscoverPairs(UsBroadband& world,
 bool Fig9Eligible(const VpLink& pair, const infer::DayClassification& cls,
                   std::int64_t day) {
   if (!pair.is_comcast || !cls.recurring || !cls.congested) return false;
-  const int month = sim::StudyMonthOfDay(day);
+  const int month = stats::StudyMonthOfDay(day);
   return month >= 10 && month <= 21;
 }
 
@@ -193,10 +194,10 @@ void AddFig9Intervals(const VpLink& pair, const infer::DayClassification& cls,
                       analysis::TimeOfDayHistogram& pacific_hist) {
   for (const int s : cls.congested_intervals) {
     const TimeSec t = day * kSecPerDay + static_cast<TimeSec>(s) * bin_width;
-    vp_hist.Add(sim::LocalHour(t, pair.vp_utc_offset),
-                sim::IsWeekend(sim::LocalWeekday(t, pair.vp_utc_offset)));
-    pacific_hist.Add(sim::LocalHour(t, -8),
-                     sim::IsWeekend(sim::LocalWeekday(t, -8)));
+    vp_hist.Add(stats::LocalHour(t, pair.vp_utc_offset),
+                stats::IsWeekend(stats::LocalWeekday(t, pair.vp_utc_offset)));
+    pacific_hist.Add(stats::LocalHour(t, -8),
+                     stats::IsWeekend(stats::LocalWeekday(t, -8)));
   }
 }
 
@@ -238,7 +239,7 @@ void RunDailyLoopSerial(UsBroadband& world, const StudyOptions& options,
 
   // Link-population bookkeeping (per access ISP).
   const std::int64_t final_month_start =
-      days - sim::DaysInStudyMonth(sim::StudyMonthOfDay(days - 1));
+      days - stats::DaysInStudyMonth(stats::StudyMonthOfDay(days - 1));
   std::map<topo::LinkId, const InterLinkInfo*> seen_ever, seen_final;
 
   for (std::int64_t day = -warmup; day < days; ++day) {
@@ -315,7 +316,7 @@ void RunDailyLoopSharded(UsBroadband& world, const StudyOptions& options,
   const int intervals =
       static_cast<int>(kSecPerDay / options.autocorr.bin_width);
   const std::int64_t final_month_start =
-      days - sim::DaysInStudyMonth(sim::StudyMonthOfDay(days - 1));
+      days - stats::DaysInStudyMonth(stats::StudyMonthOfDay(days - 1));
 
   runtime::ThreadPool pool(options.runtime.ResolvedThreads(), &metrics);
   runtime::StudyExecutor executor(pool, &metrics);
@@ -509,7 +510,7 @@ StudyResult RunLongitudinalStudy(UsBroadband& world,
   metrics.SetThreads(threads);
 
   const int days =
-      options.days > 0 ? options.days : static_cast<int>(sim::StudyTotalDays());
+      options.days > 0 ? options.days : static_cast<int>(stats::StudyTotalDays());
   const int warmup = options.warmup_days;
 
   std::set<topo::LinkId> observed_links;

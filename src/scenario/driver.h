@@ -16,7 +16,7 @@
 #include <string>
 
 #include "analysis/daylink.h"
-#include "infer/rolling.h"
+#include "infer/autocorr.h"
 #include "runtime/study_executor.h"
 #include "scenario/us_broadband.h"
 

@@ -3,14 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
-#include "sim/sim_time.h"
+#include "stats/calendar.h"
 #include "stats/rng.h"
 
 namespace manic::scenario {
 
 namespace {
 
-using sim::StudyMonthStartDay;
+using stats::StudyMonthStartDay;
 using stats::Rng;
 using topo::Ipv4Addr;
 using topo::Prefix;

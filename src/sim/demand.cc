@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/rng.h"
+
 namespace manic::sim {
+
+using stats::DayOf;
+using stats::IsWeekend;
+using stats::kSecPerMin;
+using stats::LocalHour;
+using stats::LocalWeekday;
 
 namespace {
 

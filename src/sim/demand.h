@@ -10,10 +10,13 @@
 #include <cstdint>
 #include <vector>
 
-#include "sim/sim_time.h"
-#include "stats/rng.h"
+#include "stats/calendar.h"
 
 namespace manic::sim {
+
+// Simulated time flows through every sim interface; re-exported here so the
+// measurement stack can keep writing sim::TimeSec.
+using stats::TimeSec;
 
 // Smooth diurnal shape in (0, 1]: ~base overnight, 1.0 at the evening peak.
 struct DiurnalShape {

@@ -6,6 +6,9 @@
 
 namespace manic::sim {
 
+using stats::kSecPerMin;
+using stats::StartOfDay;
+
 namespace {
 
 // Host stack + NIC latency at the probing host and at destination hosts.

@@ -16,6 +16,7 @@
 #include "sim/demand.h"
 #include "sim/link_model.h"
 #include "sim/routing.h"
+#include "stats/rng.h"
 #include "topo/topology.h"
 
 namespace manic::sim {

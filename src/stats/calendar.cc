@@ -1,8 +1,8 @@
-#include "sim/sim_time.h"
+#include "stats/calendar.h"
 
 #include <array>
 
-namespace manic::sim {
+namespace manic::stats {
 
 namespace {
 
@@ -51,11 +51,12 @@ std::string StudyMonthLabel(int month_index) {
   const int absolute = month_index + 2;  // months since 2016-01
   const int year = 2016 + absolute / 12;
   const int month = absolute % 12;  // 0 = January
-  return std::to_string(year) + "-" + kMonthNames[static_cast<std::size_t>(month)];
+  return std::to_string(year) + "-" +
+         kMonthNames[static_cast<std::size_t>(month)];
 }
 
 std::int64_t StudyTotalDays() noexcept {
   return StudyMonthStartDay(kStudyMonths);
 }
 
-}  // namespace manic::sim
+}  // namespace manic::stats

@@ -1,9 +1,14 @@
-// Simulation calendar. Simulated time is seconds since the study epoch,
+// Study calendar. Simulated time is seconds since the study epoch,
 // 2016-03-01 00:00:00 UTC (the start of the paper's measurement window).
 // The calendar spans the 22 study months (Mar 2016 - Dec 2017) and beyond;
-// helpers convert between seconds, days, months, local hours and weekdays,
-// which the demand model (diurnal/weekly load) and Figure 9 (time-of-day
-// histograms, FCC peak hours) rely on.
+// helpers convert between seconds, days, months, local hours and weekdays.
+//
+// It lives in stats — not sim — because it is shared leaf infrastructure:
+// the demand model (diurnal/weekly load) uses it on the simulator side, and
+// day-link aggregation / Figure 9 (time-of-day histograms, FCC peak hours)
+// use it on the analysis side. Analysis depending on the simulator for a
+// calendar would break the layering contract that keeps the simulator
+// substitutable (see tools/manic_lint/layers.txt).
 #pragma once
 
 #include <cstdint>
@@ -11,9 +16,7 @@
 
 #include "stats/timeseries.h"
 
-namespace manic::sim {
-
-using stats::TimeSec;
+namespace manic::stats {
 
 inline constexpr TimeSec kSecPerMin = 60;
 inline constexpr TimeSec kSecPerHour = 3600;
@@ -79,4 +82,4 @@ std::string StudyMonthLabel(int month_index);
 // Total days in the 22-month study window.
 std::int64_t StudyTotalDays() noexcept;
 
-}  // namespace manic::sim
+}  // namespace manic::stats

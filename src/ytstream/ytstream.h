@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "probe/probe.h"
+#include "stats/rng.h"
 
 namespace manic::ytstream {
 

@@ -1,0 +1,8 @@
+// Fixture: first leg of the module cycle aaa -> bbb -> ccc -> aaa.
+#pragma once
+
+#include "bbb/bbb.h"
+
+struct AaaThing {
+  BbbThing b;
+};

@@ -1,0 +1,8 @@
+// Fixture: second leg of the module cycle aaa -> bbb -> ccc -> aaa.
+#pragma once
+
+#include "ccc/ccc.h"
+
+struct BbbThing {
+  CccThing c;
+};

@@ -1,0 +1,8 @@
+// Fixture: closing leg of the module cycle aaa -> bbb -> ccc -> aaa.
+#pragma once
+
+#include "aaa/aaa.h"
+
+struct CccThing {
+  int v = 0;
+};

@@ -1,0 +1,6 @@
+// Fixture: a header exporting one identifier, for the unused-include pass.
+#pragma once
+
+struct DepThing {
+  int v = 0;
+};

@@ -1,0 +1,10 @@
+// Fixture: a lower layer reaching up into the layer above it — the
+// manifest in the test allows top -> low only, so this include is the
+// layering violation under test.
+#pragma once
+
+#include "top/top.h"
+
+struct LowThing {
+  TopThing t;
+};

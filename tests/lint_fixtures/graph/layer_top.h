@@ -1,0 +1,6 @@
+// Fixture: the upper layer — nothing wrong with this file by itself.
+#pragma once
+
+struct TopThing {
+  int v = 0;
+};

@@ -1,0 +1,4 @@
+// Fixture: the same unused include, silenced with an allow comment.
+#include "dep/dep.h"  // manic-lint: allow(unused-include)
+
+int LocalOnly() { return 4; }

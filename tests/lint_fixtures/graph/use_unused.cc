@@ -1,0 +1,4 @@
+// Fixture: includes dep.h but never names anything it declares.
+#include "dep/dep.h"
+
+int LocalOnly() { return 4; }

@@ -1,0 +1,4 @@
+// Fixture: includes dep.h and actually uses its export — must stay quiet.
+#include "dep/dep.h"
+
+DepThing MakeDep() { return {}; }

@@ -9,8 +9,8 @@
 #include "analysis/daylink.h"
 #include "analysis/loss_validation.h"
 #include "analysis/report.h"
-#include "sim/sim_time.h"
 #include "stats/rng.h"
+#include "stats/timeseries.h"
 #include "tslp/tslp.h"
 
 namespace manic::analysis {

@@ -8,7 +8,6 @@
 #include "bdrmap/bdrmap.h"
 #include "scenario/driver.h"
 #include "scenario/small.h"
-#include "sim/sim_time.h"
 #include "tslp/tslp.h"
 
 namespace manic::scenario {

@@ -21,6 +21,19 @@ using scenario::SmallScenario;
 
 constexpr sim::TimeSec kQuiet = 9 * 3600;
 
+// Bridges the simulator's RR probe to the network-agnostic detector — the
+// seam where a real deployment would plug in a raw-socket prober.
+analysis::RecordRouteProber RrProber(sim::SimNetwork& net, topo::VpId vp,
+                                     topo::Ipv4Addr dst, int far_ttl,
+                                     std::uint16_t flow) {
+  return [&net, vp, dst, far_ttl, flow](sim::TimeSec when) {
+    auto rr = net.ProbeRecordRoute(vp, dst, far_ttl, sim::FlowId{flow}, when);
+    return analysis::RecordRouteObservation{
+        rr.reply.outcome == sim::ProbeOutcome::kTtlExpired,
+        rr.reply.responder, std::move(rr.reverse_route)};
+  };
+}
+
 // ---- return-path congestion signatures (§7) --------------------------------
 
 class SignatureTest : public ::testing::Test {
@@ -203,7 +216,7 @@ TEST(RecordRoute, SymmetricReturnConfirmed) {
   ASSERT_NE(link, nullptr);
   const auto& d = link->dests.front();
   const auto check = analysis::CheckReturnSymmetry(
-      *world.net, world.vp, far, d.dst, d.far_ttl, d.flow, kQuiet);
+      RrProber(*world.net, world.vp, d.dst, d.far_ttl, d.flow), far, kQuiet);
   ASSERT_TRUE(check.usable);
   EXPECT_TRUE(check.symmetric);
   EXPECT_FALSE(check.reverse_route.empty());
@@ -227,7 +240,7 @@ TEST(RecordRoute, AsymmetricReturnExposed) {
   world.net->InvalidatePaths();
   const auto& d = link->dests.front();
   const auto check = analysis::CheckReturnSymmetry(
-      *world.net, world.vp, far, d.dst, d.far_ttl, d.flow, kQuiet);
+      RrProber(*world.net, world.vp, d.dst, d.far_ttl, d.flow), far, kQuiet);
   ASSERT_TRUE(check.usable);
   EXPECT_FALSE(check.symmetric);
   // The LAX far interface appears in the recorded route instead.

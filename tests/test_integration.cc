@@ -113,7 +113,7 @@ TEST(Integration, LevelShiftTriggersReactiveLossProbing) {
   double peak_sum = 0.0, off_sum = 0.0;
   int peak_n = 0, off_n = 0;
   for (const auto& p : far_loss.points()) {
-    const double h = sim::LocalHour(p.t, -5);
+    const double h = stats::LocalHour(p.t, -5);
     if (h >= 19.0 && h < 23.0) {
       peak_sum += p.value;
       ++peak_n;

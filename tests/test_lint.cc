@@ -166,6 +166,7 @@ TEST(LintJson, ReportIsPinnedAndEscaped) {
   const std::string json = RenderJson(findings, 1);
   EXPECT_EQ(json,
             "{\"files_scanned\":1,\"errors\":1,\"warnings\":0,"
+            "\"suppressions\":{},"
             "\"findings\":[{\"file\":\"src/sim/roll.cc\",\"line\":8,"
             "\"rule\":\"raw-entropy\",\"severity\":\"error\","
             "\"message\":\"rand() draws from hidden global state; use "
@@ -176,6 +177,13 @@ TEST(LintJson, ReportIsPinnedAndEscaped) {
   const std::string escaped = RenderJson({hostile}, 1);
   EXPECT_NE(escaped.find("a\\\"b\\\\c.cc"), std::string::npos) << escaped;
   EXPECT_NE(escaped.find("tab\\there"), std::string::npos) << escaped;
+  // The suppression audit serializes as a rule -> count object.
+  const std::string audited =
+      RenderJson({}, 0, {{"stdout-write", 2}, {"unused-include", 1}});
+  EXPECT_NE(audited.find(
+                "\"suppressions\":{\"stdout-write\":2,\"unused-include\":1}"),
+            std::string::npos)
+      << audited;
 }
 
 TEST(LintTree, RealSourceTreeHasZeroErrors) {

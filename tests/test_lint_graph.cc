@@ -1,0 +1,229 @@
+// Tests for manic-lint's whole-program graph passes (phase 2): include-cycle
+// detection, the layering contract, unused-include (IWYU-lite) with its
+// suppression, the exit-code contract scripts rely on, DOT export, and —
+// the gate this PR adds — the real tree analyzed against the committed
+// tools/manic_lint/layers.txt manifest with zero findings.
+//
+// Fixtures live under tests/lint_fixtures/graph/ (the walker skips that
+// directory); each is re-rooted at a synthetic logical path because module
+// membership is path-driven.
+//
+// MANIC_SOURCE_DIR is injected by tests/CMakeLists.txt.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph.h"
+#include "lint.h"
+
+namespace manic::lint {
+namespace {
+
+std::string ReadGraphFixture(const std::string& name) {
+  const std::string path =
+      std::string(MANIC_SOURCE_DIR) + "/tests/lint_fixtures/graph/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Extracts facts from a fixture as if it lived at `logical_path`.
+void AddFixture(FactsTable& table, const std::string& name,
+                const std::string& logical_path) {
+  table.Add(ExtractFacts(ReadGraphFixture(name), logical_path));
+}
+
+std::vector<Finding> Of(const std::vector<Finding>& findings,
+                        const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : findings)
+    if (f.rule == rule) out.push_back(f);
+  return out;
+}
+
+FactsTable CycleTable() {
+  FactsTable table;
+  AddFixture(table, "cycle_aaa.h", "src/aaa/aaa.h");
+  AddFixture(table, "cycle_bbb.h", "src/bbb/bbb.h");
+  AddFixture(table, "cycle_ccc.h", "src/ccc/ccc.h");
+  return table;
+}
+
+TEST(LintGraphCycle, ThreeModuleCycleIsOneErrorNamingTheChain) {
+  const FactsTable table = CycleTable();
+  std::vector<Finding> findings;
+  RunGraphPasses(table, nullptr, findings);
+  const auto cycles = Of(findings, "include-cycle");
+  ASSERT_EQ(cycles.size(), 1u) << RenderText(findings);
+  EXPECT_EQ(cycles[0].severity, Severity::kError);
+  // The chain is walked from the lexicographically smallest member so the
+  // message is deterministic.
+  EXPECT_NE(cycles[0].message.find("aaa -> bbb -> ccc -> aaa"),
+            std::string::npos)
+      << cycles[0].message;
+}
+
+TEST(LintGraphCycle, AcyclicChainIsQuiet) {
+  FactsTable table;
+  AddFixture(table, "cycle_aaa.h", "src/aaa/aaa.h");  // aaa -> bbb
+  AddFixture(table, "cycle_bbb.h", "src/bbb/bbb.h");  // bbb -> ccc (dangles)
+  std::vector<Finding> findings;
+  RunGraphPasses(table, nullptr, findings);
+  // Without ccc in the table the chain never closes back to aaa.
+  EXPECT_TRUE(Of(findings, "include-cycle").empty()) << RenderText(findings);
+}
+
+TEST(LintGraphLayering, ViolationReportsTheOffendingIncludeChain) {
+  FactsTable table;
+  AddFixture(table, "layer_top.h", "src/top/top.h");
+  AddFixture(table, "layer_low.h", "src/low/low.h");
+  std::string error;
+  const LayerManifest manifest = ParseLayerManifest("low:\ntop: low\n", &error);
+  ASSERT_TRUE(manifest.loaded) << error;
+  std::vector<Finding> findings;
+  RunGraphPasses(table, &manifest, findings);
+  const auto violations = Of(findings, "layering");
+  ASSERT_EQ(violations.size(), 1u) << RenderText(findings);
+  EXPECT_EQ(violations[0].severity, Severity::kError);
+  EXPECT_EQ(violations[0].file, "src/low/low.h");
+  // The offending include chain: file:line -> included header.
+  EXPECT_NE(violations[0].message.find("src/low/low.h:6 -> top/top.h"),
+            std::string::npos)
+      << violations[0].message;
+  EXPECT_NE(violations[0].message.find("allowed for 'low'"),
+            std::string::npos)
+      << violations[0].message;
+}
+
+TEST(LintGraphLayering, UndeclaredModuleIsItsOwnError) {
+  FactsTable table;
+  AddFixture(table, "layer_top.h", "src/top/top.h");
+  AddFixture(table, "layer_low.h", "src/low/low.h");
+  std::string error;
+  const LayerManifest manifest = ParseLayerManifest("top: low\n", &error);
+  ASSERT_TRUE(manifest.loaded) << error;
+  std::vector<Finding> findings;
+  RunGraphPasses(table, &manifest, findings);
+  bool undeclared = false;
+  for (const auto& f : Of(findings, "layering"))
+    undeclared |= f.message.find("not declared") != std::string::npos;
+  EXPECT_TRUE(undeclared) << RenderText(findings);
+}
+
+TEST(LintGraphLayering, MalformedManifestDoesNotLoad) {
+  std::string error;
+  const LayerManifest manifest =
+      ParseLayerManifest("this line has no colon\n", &error);
+  EXPECT_FALSE(manifest.loaded);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(LintGraphUnusedInclude, WarnsWhenNothingFromTheTargetIsReferenced) {
+  FactsTable table;
+  AddFixture(table, "dep.h", "src/dep/dep.h");
+  AddFixture(table, "use_unused.cc", "src/use/use.cc");
+  std::vector<Finding> findings;
+  RunGraphPasses(table, nullptr, findings);
+  const auto unused = Of(findings, "unused-include");
+  ASSERT_EQ(unused.size(), 1u) << RenderText(findings);
+  EXPECT_EQ(unused[0].severity, Severity::kWarning);
+  EXPECT_EQ(unused[0].file, "src/use/use.cc");
+  EXPECT_EQ(unused[0].line, 2);
+}
+
+TEST(LintGraphUnusedInclude, AllowCommentOnTheIncludeLineSilencesIt) {
+  FactsTable table;
+  AddFixture(table, "dep.h", "src/dep/dep.h");
+  AddFixture(table, "use_suppressed.cc", "src/use/use.cc");
+  std::vector<Finding> findings;
+  RunGraphPasses(table, nullptr, findings);
+  EXPECT_TRUE(Of(findings, "unused-include").empty()) << RenderText(findings);
+}
+
+TEST(LintGraphUnusedInclude, QuietWhenTheExportIsUsed) {
+  FactsTable table;
+  AddFixture(table, "dep.h", "src/dep/dep.h");
+  AddFixture(table, "use_used.cc", "src/use/use.cc");
+  std::vector<Finding> findings;
+  RunGraphPasses(table, nullptr, findings);
+  EXPECT_TRUE(Of(findings, "unused-include").empty()) << RenderText(findings);
+}
+
+TEST(LintGraphDot, ExportsModuleEdgesAndFlagsForbiddenOnes) {
+  FactsTable table;
+  AddFixture(table, "layer_top.h", "src/top/top.h");
+  AddFixture(table, "layer_low.h", "src/low/low.h");
+  std::string error;
+  const LayerManifest manifest = ParseLayerManifest("low:\ntop: low\n", &error);
+  ASSERT_TRUE(manifest.loaded) << error;
+  const std::string dot = RenderDot(table, &manifest);
+  EXPECT_NE(dot.find("digraph manic_modules"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("\"low\" -> \"top\""), std::string::npos) << dot;
+  EXPECT_NE(dot.find("color=red"), std::string::npos) << dot;
+}
+
+TEST(LintGraphExit, CodesDistinguishErrorWarningAndClean) {
+  EXPECT_EQ(ExitCodeFor(0, 0, false), 0);
+  EXPECT_EQ(ExitCodeFor(2, 1, false), 1);
+  EXPECT_EQ(ExitCodeFor(0, 3, false), 2);
+  EXPECT_EQ(ExitCodeFor(0, 3, true), 1);  // --werror promotes warnings
+}
+
+// An injected layering violation must fail check.sh stage 4: the fixture
+// tree produces an error-severity finding, and the exit-code contract maps
+// that to status 1, which the (set -e) stage propagates.
+TEST(LintGraphExit, InjectedLayeringViolationFailsTheCheckStage) {
+  FactsTable table;
+  AddFixture(table, "layer_top.h", "src/top/top.h");
+  AddFixture(table, "layer_low.h", "src/low/low.h");
+  std::string error;
+  const LayerManifest manifest = ParseLayerManifest("low:\ntop: low\n", &error);
+  ASSERT_TRUE(manifest.loaded) << error;
+  std::vector<Finding> findings;
+  RunGraphPasses(table, &manifest, findings);
+  EXPECT_EQ(ExitCodeFor(CountErrors(findings), CountWarnings(findings),
+                        /*werror=*/false),
+            1);
+}
+
+TEST(LintGraphTree, RealTreeHasZeroFindingsUnderTheCommittedManifest) {
+  const std::string root(MANIC_SOURCE_DIR);
+  std::string error;
+  const LayerManifest manifest =
+      LoadLayerManifest(root + "/tools/manic_lint/layers.txt", &error);
+  ASSERT_TRUE(manifest.loaded) << error;
+  const TreeAnalysis analysis =
+      AnalyzeTree({root + "/src", root + "/bench", root + "/tests",
+                   root + "/examples"},
+                  &manifest);
+  ASSERT_FALSE(analysis.read_failure);
+  ASSERT_GT(analysis.files_scanned, 50);
+  EXPECT_EQ(CountErrors(analysis.findings), 0)
+      << RenderText(analysis.findings);
+  EXPECT_EQ(CountWarnings(analysis.findings), 0)
+      << RenderText(analysis.findings);
+}
+
+TEST(LintGraphTree, FindingsAreSortedDeterministically) {
+  FactsTable table = CycleTable();
+  AddFixture(table, "dep.h", "src/dep/dep.h");
+  AddFixture(table, "use_unused.cc", "src/use/use.cc");
+  std::vector<Finding> a, b;
+  RunGraphPasses(table, nullptr, a);
+  RunGraphPasses(table, nullptr, b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].file, b[i].file);
+    EXPECT_EQ(a[i].line, b[i].line);
+    EXPECT_EQ(a[i].rule, b[i].rule);
+    EXPECT_EQ(a[i].message, b[i].message);
+  }
+}
+
+}  // namespace
+}  // namespace manic::lint

@@ -13,7 +13,7 @@
 #include "sim/link_model.h"
 #include "sim/network.h"
 #include "sim/packet_queue.h"
-#include "sim/sim_time.h"
+#include "stats/calendar.h"
 #include "stats/descriptive.h"
 
 namespace manic::sim {
@@ -22,6 +22,19 @@ namespace {
 using scenario::MakeSmallScenario;
 using scenario::SmallScenario;
 using scenario::SmallScenarioOptions;
+using stats::DayOf;
+using stats::DaysInStudyMonth;
+using stats::IsWeekend;
+using stats::kSecPerDay;
+using stats::kSecPerHour;
+using stats::kSecPerMin;
+using stats::LocalHour;
+using stats::LocalWeekday;
+using stats::SecondOfDayUtc;
+using stats::StudyMonthLabel;
+using stats::StudyMonthOfDay;
+using stats::StudyMonthStartDay;
+using stats::StudyTotalDays;
 
 // ---------------------------------------------------------------- calendar
 

@@ -72,7 +72,7 @@ TEST_P(DemandTz, PeakAlwaysInLocalEvening) {
     const double u = demand.MeanUtilization(t, tz);
     if (u > best_u) {
       best_u = u;
-      best_hour = sim::LocalHour(t, tz);
+      best_hour = stats::LocalHour(t, tz);
     }
   }
   EXPECT_NEAR(best_u, 1.0, 0.02) << "tz=" << tz;
@@ -91,7 +91,7 @@ TEST_P(DemandTz, TroughIsNocturnal) {
     const double u = demand.MeanUtilization(t, tz);
     if (u < worst_u) {
       worst_u = u;
-      worst_hour = sim::LocalHour(t, tz);
+      worst_hour = stats::LocalHour(t, tz);
     }
   }
   EXPECT_LT(worst_u, 0.55);

@@ -9,7 +9,6 @@
 
 #include "bdrmap/bdrmap.h"
 #include "scenario/small.h"
-#include "sim/sim_time.h"
 #include "tslp/tslp.h"
 
 namespace manic::tslp {

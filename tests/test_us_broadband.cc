@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "scenario/us_broadband.h"
-#include "sim/sim_time.h"
+#include "stats/calendar.h"
 
 namespace manic::scenario {
 namespace {
@@ -103,7 +103,7 @@ TEST_F(UsBroadbandTest, GroundTruthMatchesSchedule) {
   // CenturyLink-Google: congested on a mid-study weekday.
   const auto clg = world_->LinksOfPair(U::kCenturyLink, U::kGoogle);
   ASSERT_FALSE(clg.empty());
-  const std::int64_t mid = sim::StudyMonthStartDay(11) + 2;
+  const std::int64_t mid = stats::StudyMonthStartDay(11) + 2;
   bool any = false;
   for (const auto* info : clg) {
     any = any ||
@@ -114,7 +114,7 @@ TEST_F(UsBroadbandTest, GroundTruthMatchesSchedule) {
 
   // Comcast-Google: congestion dissipated by August 2017 (month 17).
   const auto cg = world_->LinksOfPair(U::kComcast, U::kGoogle);
-  const std::int64_t aug17 = sim::StudyMonthStartDay(17) + 5;
+  const std::int64_t aug17 = stats::StudyMonthStartDay(17) + 5;
   for (const auto* info : cg) {
     EXPECT_DOUBLE_EQ(
         net.TrueCongestedFraction(info->link, sim::Direction::kBtoA, aug17),
@@ -123,7 +123,7 @@ TEST_F(UsBroadbandTest, GroundTruthMatchesSchedule) {
 
   // Comcast-Tata: rising in late 2017.
   const auto ct = world_->LinksOfPair(U::kComcast, U::kTata);
-  const std::int64_t nov17 = sim::StudyMonthStartDay(20) + 5;
+  const std::int64_t nov17 = stats::StudyMonthStartDay(20) + 5;
   bool tata_congested = false;
   for (const auto* info : ct) {
     tata_congested =
@@ -142,7 +142,7 @@ TEST_F(UsBroadbandTest, GroundTruthMatchesSchedule) {
 
 TEST_F(UsBroadbandTest, UnscheduledLinksStayClean) {
   sim::SimNetwork& net = *world_->net;
-  const std::int64_t mid = sim::StudyMonthStartDay(11) + 2;
+  const std::int64_t mid = stats::StudyMonthStartDay(11) + 2;
   for (const InterLinkInfo& info : world_->interdomain) {
     if (info.scheduled_congested) continue;
     EXPECT_DOUBLE_EQ(

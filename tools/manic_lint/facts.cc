@@ -1,0 +1,298 @@
+#include "facts.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "lexer.h"
+
+namespace manic::lint {
+namespace {
+
+std::string Normalize(std::string_view path) {
+  std::string out(path);
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+// C++ keywords plus preprocessor directive words — never "used identifiers".
+const std::set<std::string, std::less<>>& Keywords() {
+  static const std::set<std::string, std::less<>> kWords = {
+      "alignas", "alignof", "and", "and_eq", "asm", "auto", "bitand",
+      "bitor", "bool", "break", "case", "catch", "char", "char8_t",
+      "char16_t", "char32_t", "class", "co_await", "co_return", "co_yield",
+      "compl", "concept", "const", "consteval", "constexpr", "constinit",
+      "const_cast", "continue", "decltype", "default", "delete", "do",
+      "double", "dynamic_cast", "else", "enum", "explicit", "export",
+      "extern", "false", "final", "float", "for", "friend", "goto", "if",
+      "inline", "int", "long", "mutable", "namespace", "new", "noexcept",
+      "not", "not_eq", "nullptr", "operator", "or", "or_eq", "override",
+      "private", "protected", "public", "register", "reinterpret_cast",
+      "requires", "return", "short", "signed", "sizeof", "static",
+      "static_assert", "static_cast", "struct", "switch", "template",
+      "this", "thread_local", "throw", "true", "try", "typedef", "typeid",
+      "typename", "union", "unsigned", "using", "virtual", "void",
+      "volatile", "wchar_t", "while", "xor", "xor_eq",
+      // preprocessor
+      "include", "pragma", "once", "define", "undef", "ifdef", "ifndef",
+      "endif", "elif", "defined", "error", "warning", "line"};
+  return kWords;
+}
+
+// Tokens that may legitimately sit right before a declared name (`TimeSec
+// kSecPerMin`, `unsigned n`, `auto& ref`). `:` is deliberately absent so a
+// qualified use (`std::max(...)`) or an out-of-line definition does not
+// register as an export.
+bool QualifiesAsDeclPrefix(const Token& t) {
+  if (t.kind == TokKind::kIdent) {
+    static const std::set<std::string, std::less<>> kTypeWords = {
+        "auto",      "bool",     "char",     "char8_t", "char16_t",
+        "char32_t",  "const",    "constexpr", "double", "extern",
+        "float",     "inline",   "int",      "long",    "mutable",
+        "short",     "signed",   "static",   "typename", "unsigned",
+        "void",      "volatile", "wchar_t"};
+    return !Keywords().count(t.text) || kTypeWords.count(t.text);
+  }
+  return t.kind == TokKind::kPunct &&
+         (t.text == ">" || t.text == "&" || t.text == "*");
+}
+
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+// Declared-name extraction. Heuristic by design: over-exporting (e.g. a
+// local variable in an inline function body) only makes the unused-include
+// pass more conservative, so ambiguity is resolved toward exporting.
+void CollectExports(const std::vector<Token>& toks,
+                    std::set<std::string>& exported) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+
+    // struct/class/union/concept/enum introduce a type name.
+    if (t.text == "struct" || t.text == "class" || t.text == "union" ||
+        t.text == "concept" || t.text == "enum") {
+      std::size_t j = i + 1;
+      while (j < toks.size() &&
+             (IsIdent(toks[j], "class") || IsIdent(toks[j], "struct") ||
+              IsIdent(toks[j], "alignas"))) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent &&
+          !Keywords().count(toks[j].text)) {
+        exported.insert(toks[j].text);
+      }
+      if (t.text == "enum") {
+        // Enumerators: idents directly before ',' '=' or '}' in the body.
+        while (j < toks.size() && !IsPunct(toks[j], "{") &&
+               !IsPunct(toks[j], ";")) {
+          ++j;
+        }
+        if (j < toks.size() && IsPunct(toks[j], "{")) {
+          int depth = 0;
+          for (; j < toks.size(); ++j) {
+            if (IsPunct(toks[j], "{")) ++depth;
+            if (IsPunct(toks[j], "}") && --depth == 0) break;
+            if (toks[j].kind == TokKind::kIdent && j + 1 < toks.size() &&
+                (IsPunct(toks[j + 1], ",") || IsPunct(toks[j + 1], "=") ||
+                 IsPunct(toks[j + 1], "}"))) {
+              exported.insert(toks[j].text);
+            }
+          }
+          i = j;
+        }
+      }
+      continue;
+    }
+
+    // using X = ...;  using ns::X;  typedef ... X;
+    if (t.text == "using" || t.text == "typedef") {
+      if (i + 1 < toks.size() && IsIdent(toks[i + 1], "namespace")) continue;
+      std::string alias, last;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (IsPunct(toks[j], ";")) break;
+        if (IsPunct(toks[j], "=")) {
+          alias = last;
+          break;
+        }
+        if (toks[j].kind == TokKind::kIdent) last = toks[j].text;
+      }
+      const std::string& name = alias.empty() ? last : alias;
+      if (!name.empty() && !Keywords().count(name)) exported.insert(name);
+      continue;
+    }
+
+    if (Keywords().count(t.text)) continue;
+    // Declaration shape: `<type-ish> name (` or `<type-ish> name = / ; / {`.
+    if (i == 0 || !QualifiesAsDeclPrefix(toks[i - 1])) continue;
+    if (i + 1 >= toks.size()) continue;
+    const Token& next = toks[i + 1];
+    if (IsPunct(next, "(") || IsPunct(next, "=") || IsPunct(next, ";") ||
+        IsPunct(next, "{") || IsPunct(next, "[")) {
+      exported.insert(t.text);
+    }
+  }
+}
+
+// Raw-source directive scan: the lexer collapses string literals, so include
+// targets (and #define names) are recovered from the untokenized lines.
+void ScanDirectives(std::string_view src, TuFacts& facts) {
+  int line = 1;
+  std::size_t pos = 0;
+  const auto skip_ws = [&](std::size_t p) {
+    while (p < src.size() && (src[p] == ' ' || src[p] == '\t')) ++p;
+    return p;
+  };
+  while (pos < src.size()) {
+    std::size_t eol = src.find('\n', pos);
+    if (eol == std::string_view::npos) eol = src.size();
+    std::size_t p = skip_ws(pos);
+    if (p < eol && src[p] == '#') {
+      p = skip_ws(p + 1);
+      const std::string_view rest = src.substr(p, eol - p);
+      if (rest.rfind("include", 0) == 0) {
+        std::size_t q = skip_ws(p + 7);
+        if (q < eol && src[q] == '"') {
+          const std::size_t close = src.find('"', q + 1);
+          if (close != std::string_view::npos && close < eol) {
+            facts.includes.push_back(
+                {line, Normalize(src.substr(q + 1, close - q - 1))});
+          }
+        }
+      } else if (rest.rfind("define", 0) == 0) {
+        std::size_t q = skip_ws(p + 6);
+        std::size_t r = q;
+        while (r < eol && (std::isalnum(static_cast<unsigned char>(src[r])) ||
+                           src[r] == '_')) {
+          ++r;
+        }
+        if (r > q) facts.exported.insert(std::string(src.substr(q, r - q)));
+      }
+    }
+    pos = eol + 1;
+    ++line;
+  }
+}
+
+}  // namespace
+
+std::string ModuleOf(std::string_view normalized_path) {
+  static constexpr std::array<std::string_view, 5> kRoots = {
+      "src", "bench", "tests", "examples", "tools"};
+  // Split into components; use the last occurrence of a known root so that
+  // e.g. /home/tests/repo/src/sim/x.h still lands in module "sim".
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  const std::string_view p = normalized_path;
+  while (start <= p.size()) {
+    std::size_t slash = p.find('/', start);
+    if (slash == std::string_view::npos) slash = p.size();
+    if (slash > start) parts.push_back(p.substr(start, slash - start));
+    start = slash + 1;
+  }
+  for (std::size_t i = parts.size(); i-- > 0;) {
+    const std::string_view part = parts[i];
+    if (std::find(kRoots.begin(), kRoots.end(), part) == kRoots.end())
+      continue;
+    if (part == "src") {
+      // src/<module>/file -> <module>; src/manic.h (a file directly under
+      // src/) is the public umbrella module.
+      if (i + 2 < parts.size()) return std::string(parts[i + 1]);
+      return "manic";
+    }
+    return std::string(part);  // bench / tests / examples / tools
+  }
+  return {};
+}
+
+TuFacts ExtractFacts(std::string_view source, std::string_view logical_path) {
+  TuFacts facts;
+  facts.path = Normalize(logical_path);
+  facts.module = ModuleOf(facts.path);
+  ScanDirectives(source, facts);
+
+  const LexResult lexed = Lex(source);
+  for (const Token& t : lexed.tokens) {
+    if (t.kind == TokKind::kIdent && !Keywords().count(t.text))
+      facts.used.insert(t.text);
+  }
+  CollectExports(lexed.tokens, facts.exported);
+  facts.umbrella = facts.used.empty() && facts.exported.empty();
+
+  facts.allow = ParseSuppressions(lexed.comments);
+  return facts;
+}
+
+AllowMap ParseSuppressions(const std::vector<Comment>& comments) {
+  AllowMap allow;
+  for (const Comment& comment : comments) {
+    std::size_t at = comment.text.find("manic-lint:");
+    if (at == std::string::npos) continue;
+    std::size_t open = comment.text.find("allow(", at);
+    if (open == std::string::npos) continue;
+    const std::size_t close = comment.text.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string inner = comment.text.substr(open + 6, close - open - 6);
+    std::string rule;
+    std::set<std::string, std::less<>>& rules = allow[comment.end_line];
+    auto flush = [&] {
+      if (!rule.empty()) rules.insert(rule);
+      rule.clear();
+    };
+    for (char c : inner) {
+      if (c == ',' || c == ' ' || c == '\t')
+        flush();
+      else
+        rule.push_back(c);
+    }
+    flush();
+  }
+  return allow;
+}
+
+void FactsTable::Add(TuFacts facts) {
+  auto it = std::lower_bound(
+      files_.begin(), files_.end(), facts,
+      [](const TuFacts& a, const TuFacts& b) { return a.path < b.path; });
+  files_.insert(it, std::move(facts));
+}
+
+const TuFacts* FactsTable::Resolve(const TuFacts& from,
+                                   const std::string& target) const {
+  if (target.empty()) return nullptr;
+  // Same-directory match first (bench/ headers are included by bare name).
+  const std::size_t slash = from.path.rfind('/');
+  if (slash != std::string::npos) {
+    const std::string sibling = from.path.substr(0, slash + 1) + target;
+    for (const TuFacts& f : files_) {
+      if (f.path == sibling) return &f;
+    }
+  }
+  const std::string suffix = "/" + target;
+  for (const TuFacts& f : files_) {
+    if (f.path == target) return &f;
+    if (f.path.size() > suffix.size() &&
+        f.path.compare(f.path.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+bool FactsTable::IsAllowed(const TuFacts& file, int line,
+                           std::string_view rule) {
+  for (int l : {line, line - 1}) {
+    auto it = file.allow.find(l);
+    if (it == file.allow.end()) continue;
+    if (it->second.count(rule) || it->second.count("all")) return true;
+  }
+  return false;
+}
+
+}  // namespace manic::lint

@@ -1,0 +1,83 @@
+// Phase 1 of the whole-program analyzer: per-translation-unit fact
+// extraction. Each file is reduced to the facts the cross-file graph passes
+// (graph.h) need — module-qualified #include edges, the identifiers the file
+// uses, the identifiers its declarations export, and its suppression
+// comments — so phase 2 never re-reads source.
+//
+// Modules are directory-derived: src/<m>/... belongs to module <m>,
+// src/manic.h is the public umbrella module "manic", and the bench/, tests/,
+// examples/, tools/ trees are one module each. Includes are recorded as
+// written; FactsTable::Resolve maps them back onto scanned files by path
+// suffix, so system headers (and anything outside the scanned trees) simply
+// do not resolve.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.h"
+
+namespace manic::lint {
+
+// Lines whose findings are suppressed, per rule name ("all" = every rule).
+// Shared by the per-file rule engine (lint.cc) and the graph passes.
+using AllowMap = std::map<int, std::set<std::string, std::less<>>>;
+
+// Parses `// manic-lint: allow(rule[, rule...])` comments into an AllowMap
+// keyed by the comment's end line.
+AllowMap ParseSuppressions(const std::vector<Comment>& comments);
+
+struct IncludeFact {
+  int line = 0;         // line of the #include directive
+  std::string target;   // path as written inside the quotes
+};
+
+struct TuFacts {
+  std::string path;    // normalized logical path (decides the module)
+  std::string module;  // "" when the path fits no known tree
+  // Umbrella = nothing but preprocessor directives and comments (src/manic.h
+  // style); such a file exists to re-export includes, so the unused-include
+  // pass must not judge it.
+  bool umbrella = false;
+  std::vector<IncludeFact> includes;  // quoted includes, in file order
+  std::set<std::string> used;        // identifiers outside directive lines
+  std::set<std::string> exported;    // declared names (heuristic, see .cc)
+  // Suppressions: line -> rules allowed on that line or the line below
+  // (same contract as the per-file rules in lint.cc).
+  AllowMap allow;
+};
+
+// Module of a normalized (forward-slash) path, or "" if the path contains
+// none of the known tree roots.
+std::string ModuleOf(std::string_view normalized_path);
+
+// Extracts the facts for one TU. Never fails.
+TuFacts ExtractFacts(std::string_view source, std::string_view logical_path);
+
+// The whole-program facts table: owns every scanned TU's facts and resolves
+// include targets back onto scanned files.
+class FactsTable {
+ public:
+  void Add(TuFacts facts);
+
+  // Files in deterministic (path) order.
+  const std::vector<TuFacts>& Files() const { return files_; }
+
+  // Resolves `target` (as written in an #include inside `from`) to the facts
+  // of a scanned file, preferring a same-directory match, then the
+  // lexicographically first file whose path ends in "/<target>". Returns
+  // nullptr when the include points outside the scanned trees.
+  const TuFacts* Resolve(const TuFacts& from, const std::string& target) const;
+
+  // Finds a suppression for `rule` at `line` in `file` (the line itself or
+  // the line above it), mirroring the per-file rule engine.
+  static bool IsAllowed(const TuFacts& file, int line, std::string_view rule);
+
+ private:
+  std::vector<TuFacts> files_;  // kept sorted by path
+};
+
+}  // namespace manic::lint

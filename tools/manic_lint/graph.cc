@@ -1,0 +1,340 @@
+#include "graph.h"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+namespace manic::lint {
+namespace {
+
+bool IsSrcModule(const std::string& module) {
+  return !module.empty() && module != "bench" && module != "tests" &&
+         module != "examples" && module != "tools";
+}
+
+// One concrete include instance that realizes a module edge.
+struct EdgeSite {
+  const TuFacts* file = nullptr;
+  int line = 0;
+  std::string target;  // include path as written
+};
+
+// The module include graph: adjacency + every realizing site, both in
+// deterministic order (FactsTable keeps files path-sorted, includes are in
+// file order).
+struct ModuleGraph {
+  std::map<std::string, std::set<std::string>> adj;  // cross-module edges
+  std::map<std::pair<std::string, std::string>, std::vector<EdgeSite>> sites;
+  std::set<std::string> modules;
+};
+
+ModuleGraph BuildModuleGraph(const FactsTable& table) {
+  ModuleGraph g;
+  for (const TuFacts& file : table.Files()) {
+    if (file.module.empty()) continue;
+    g.modules.insert(file.module);
+    for (const IncludeFact& inc : file.includes) {
+      const TuFacts* target = table.Resolve(file, inc.target);
+      if (target == nullptr || target->module.empty()) continue;
+      g.modules.insert(target->module);
+      if (target->module == file.module) continue;
+      g.adj[file.module].insert(target->module);
+      g.sites[{file.module, target->module}].push_back(
+          {&file, inc.line, inc.target});
+    }
+  }
+  return g;
+}
+
+void Emit(std::vector<Finding>& out, const TuFacts& file, int line,
+          std::string_view rule, Severity severity, std::string message) {
+  if (FactsTable::IsAllowed(file, line, rule)) return;
+  out.push_back(
+      {file.path, line, std::string(rule), severity, std::move(message)});
+}
+
+// ---- include-cycle: Tarjan SCC over the src-module graph -------------------
+
+void CycleBetween(const ModuleGraph& g, std::vector<Finding>& out) {
+  // Only src modules can cycle (nothing includes bench/tests/examples), but
+  // restricting the node set keeps the reports focused either way.
+  std::vector<std::string> nodes;
+  for (const std::string& m : g.modules) {
+    if (IsSrcModule(m)) nodes.push_back(m);
+  }
+
+  std::map<std::string, int> index, low;
+  std::map<std::string, bool> on_stack;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> sccs;
+  int counter = 0;
+
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = low[v] = counter++;
+        stack.push_back(v);
+        on_stack[v] = true;
+        auto it = g.adj.find(v);
+        if (it != g.adj.end()) {
+          for (const std::string& w : it->second) {
+            if (!IsSrcModule(w)) continue;
+            if (!index.count(w)) {
+              strongconnect(w);
+              low[v] = std::min(low[v], low[w]);
+            } else if (on_stack[w]) {
+              low[v] = std::min(low[v], index[w]);
+            }
+          }
+        }
+        if (low[v] == index[v]) {
+          std::vector<std::string> scc;
+          while (true) {
+            const std::string w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(w);
+            if (w == v) break;
+          }
+          if (scc.size() > 1) sccs.push_back(std::move(scc));
+        }
+      };
+  for (const std::string& v : nodes) {
+    if (!index.count(v)) strongconnect(v);
+  }
+
+  for (std::vector<std::string>& scc : sccs) {
+    std::sort(scc.begin(), scc.end());
+    const std::set<std::string> members(scc.begin(), scc.end());
+    // Walk a concrete cycle starting from the smallest member: repeatedly
+    // take the smallest in-SCC successor until the start reappears.
+    std::vector<std::string> chain = {scc.front()};
+    std::set<std::string> seen = {scc.front()};
+    while (true) {
+      const std::string& cur = chain.back();
+      std::string next;
+      auto it = g.adj.find(cur);
+      if (it != g.adj.end()) {
+        for (const std::string& w : it->second) {
+          if (members.count(w) && (w == scc.front() || !seen.count(w))) {
+            next = w;
+            break;
+          }
+        }
+      }
+      if (next.empty() || next == scc.front()) {
+        chain.push_back(scc.front());
+        break;
+      }
+      chain.push_back(next);
+      seen.insert(next);
+    }
+
+    std::string path_str, sites_str;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (i > 0) path_str += " -> ";
+      path_str += chain[i];
+      if (i + 1 < chain.size()) {
+        auto site = g.sites.find({chain[i], chain[i + 1]});
+        if (site != g.sites.end() && !site->second.empty()) {
+          const EdgeSite& s = site->second.front();
+          if (!sites_str.empty()) sites_str += "; ";
+          sites_str += s.file->path + ":" + std::to_string(s.line) +
+                       " includes " + s.target;
+        }
+      }
+    }
+    const auto first_site = g.sites.find({chain[0], chain[1]});
+    const EdgeSite& rep = first_site->second.front();
+    Emit(out, *rep.file, rep.line, "include-cycle", Severity::kError,
+         "include cycle among modules: " + path_str + " (" + sites_str +
+             "); break the cycle — a layered build cannot contain one");
+  }
+}
+
+// ---- layering: the committed module DAG ------------------------------------
+
+void CheckLayering(const ModuleGraph& g, const FactsTable& table,
+                   const LayerManifest& manifest, std::vector<Finding>& out) {
+  std::set<std::string> reported_undeclared;
+  for (const auto& [edge, sites] : g.sites) {
+    const auto& [from, to] = edge;
+    auto it = manifest.allowed.find(from);
+    if (it == manifest.allowed.end()) {
+      if (reported_undeclared.insert(from).second) {
+        const EdgeSite& s = sites.front();
+        Emit(out, *s.file, s.line, "layering", Severity::kError,
+             "module '" + from +
+                 "' is not declared in the layering manifest "
+                 "(tools/manic_lint/layers.txt); add it with its allowed "
+                 "dependencies");
+      }
+      continue;
+    }
+    if (it->second.count("*") || it->second.count(to)) continue;
+    std::string allowed_list;
+    for (const std::string& a : it->second) {
+      if (!allowed_list.empty()) allowed_list += ' ';
+      allowed_list += a;
+    }
+    if (allowed_list.empty()) allowed_list = "(nothing)";
+    for (const EdgeSite& s : sites) {
+      Emit(out, *s.file, s.line, "layering", Severity::kError,
+           "layering violation: module '" + from + "' may not include '" +
+               to + "' (" + s.file->path + ":" + std::to_string(s.line) +
+               " -> " + s.target + "); allowed for '" + from +
+               "': " + allowed_list);
+    }
+  }
+  // A src module with no outgoing cross-module edges never hits the loop
+  // above; require its declaration anyway so the manifest lists the full
+  // module set and DESIGN.md's DAG stays complete.
+  if (manifest.loaded) {
+    for (const std::string& m : g.modules) {
+      if (!IsSrcModule(m) || manifest.allowed.count(m) ||
+          reported_undeclared.count(m)) {
+        continue;
+      }
+      for (const TuFacts& file : table.Files()) {
+        if (file.module == m) {
+          Emit(out, file, 1, "layering", Severity::kError,
+               "module '" + m +
+                   "' is not declared in the layering manifest "
+                   "(tools/manic_lint/layers.txt)");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---- unused-include: IWYU-lite ---------------------------------------------
+
+void CheckUnusedIncludes(const FactsTable& table, std::vector<Finding>& out) {
+  for (const TuFacts& file : table.Files()) {
+    if (file.umbrella || file.module.empty()) continue;
+    for (const IncludeFact& inc : file.includes) {
+      const TuFacts* target = table.Resolve(file, inc.target);
+      if (target == nullptr || target->module.empty()) continue;
+      if (target->module == file.module) continue;  // module-internal
+      if (target->exported.empty()) continue;       // nothing to judge by
+      bool used = false;
+      for (const std::string& name : target->exported) {
+        if (file.used.count(name)) {
+          used = true;
+          break;
+        }
+      }
+      if (used) continue;
+      Emit(out, file, inc.line, "unused-include", Severity::kWarning,
+           "unused include: nothing declared in '" + inc.target +
+               "' (module '" + target->module +
+               "') is referenced here; drop it, or include the header that "
+               "declares what this file actually uses");
+    }
+  }
+}
+
+}  // namespace
+
+LayerManifest ParseLayerManifest(std::string_view text, std::string* error) {
+  LayerManifest manifest;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string line(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Trim.
+    const auto is_ws = [](char c) { return c == ' ' || c == '\t' || c == '\r'; };
+    while (!line.empty() && is_ws(line.back())) line.pop_back();
+    std::size_t first = 0;
+    while (first < line.size() && is_ws(line[first])) ++first;
+    line.erase(0, first);
+    if (line.empty()) {
+      if (pos > text.size()) break;
+      continue;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      if (error) {
+        *error = "layers.txt:" + std::to_string(line_no) +
+                 ": expected '<module>: [dep ...]'";
+      }
+      return {};
+    }
+    std::string module = line.substr(0, colon);
+    while (!module.empty() && is_ws(module.back())) module.pop_back();
+    if (module.empty() || manifest.allowed.count(module)) {
+      if (error) {
+        *error = "layers.txt:" + std::to_string(line_no) +
+                 (module.empty() ? ": empty module name"
+                                 : ": duplicate module '" + module + "'");
+      }
+      return {};
+    }
+    std::set<std::string>& deps = manifest.allowed[module];
+    std::istringstream rest(line.substr(colon + 1));
+    std::string dep;
+    while (rest >> dep) deps.insert(dep);
+    if (pos > text.size()) break;
+  }
+  manifest.loaded = true;
+  return manifest;
+}
+
+LayerManifest LoadLayerManifest(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot read layering manifest '" + path + "'";
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseLayerManifest(buf.str(), error);
+}
+
+void RunGraphPasses(const FactsTable& table, const LayerManifest* manifest,
+                    std::vector<Finding>& out) {
+  const ModuleGraph g = BuildModuleGraph(table);
+  CycleBetween(g, out);
+  if (manifest != nullptr && manifest->loaded) {
+    CheckLayering(g, table, *manifest, out);
+  }
+  CheckUnusedIncludes(table, out);
+}
+
+std::string RenderDot(const FactsTable& table, const LayerManifest* manifest) {
+  const ModuleGraph g = BuildModuleGraph(table);
+  std::string out =
+      "// Module include graph of src/, generated by `manic_lint --graph`.\n"
+      "// Edges the layering manifest forbids are red.\n"
+      "digraph manic_modules {\n  rankdir=BT;\n  node [shape=box];\n";
+  for (const std::string& m : g.modules) {
+    // The umbrella header includes every module by design; drawing it would
+    // bury the real structure.
+    if (IsSrcModule(m) && m != "manic") out += "  \"" + m + "\";\n";
+  }
+  for (const auto& [from, tos] : g.adj) {
+    if (!IsSrcModule(from) || from == "manic") continue;
+    for (const std::string& to : tos) {
+      if (!IsSrcModule(to) || to == "manic") continue;
+      bool forbidden = false;
+      if (manifest != nullptr && manifest->loaded) {
+        auto it = manifest->allowed.find(from);
+        forbidden = it == manifest->allowed.end() ||
+                    (!it->second.count("*") && !it->second.count(to));
+      }
+      out += "  \"" + from + "\" -> \"" + to + "\"" +
+             (forbidden ? " [color=red]" : "") + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace manic::lint

@@ -1,0 +1,61 @@
+// Phase 2 of the whole-program analyzer: cross-file graph passes over the
+// facts table (facts.h). Three passes, one DOT exporter:
+//
+//   include-cycle  (error)    strongly connected components of the module
+//                             include graph — any cycle, of any length,
+//                             makes the layering unenforceable and is an
+//                             error naming the full module chain.
+//   layering       (error)    a committed manifest (tools/manic_lint/
+//                             layers.txt) declares which modules each module
+//                             may include; an edge outside the manifest is
+//                             reported with the offending include chain
+//                             (includer:line -> included header).
+//   unused-include (warning)  IWYU-lite: an in-tree include none of whose
+//                             exported identifiers appear in the includer.
+//                             Suppressed per line with
+//                             `// manic-lint: allow(unused-include)`.
+//
+// Manifest grammar (one module per line, '#' comments):
+//   <module>: [dep ...]      deps this module's files may include ('*' = any)
+// Every module that appears in the scanned tree must be declared; an
+// undeclared module is itself an error, so the manifest cannot silently rot.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "facts.h"
+#include "lint.h"
+
+namespace manic::lint {
+
+struct LayerManifest {
+  // module -> allowed include targets; a lone "*" entry means "anything".
+  std::map<std::string, std::set<std::string>, std::less<>> allowed;
+  bool loaded = false;
+};
+
+// Parses manifest text. On a malformed line, returns an unloaded manifest
+// and sets `error` to a human-readable description.
+LayerManifest ParseLayerManifest(std::string_view text, std::string* error);
+
+// Reads and parses a manifest file; unreadable file => unloaded manifest
+// with `error` set.
+LayerManifest LoadLayerManifest(const std::string& path, std::string* error);
+
+// Runs all graph passes over the table, appending findings. A null manifest
+// (or one with loaded == false) skips the layering pass only; cycles and
+// unused includes are always checked. Findings honor the per-file
+// suppression comments recorded in the facts.
+void RunGraphPasses(const FactsTable& table, const LayerManifest* manifest,
+                    std::vector<Finding>& out);
+
+// The real module graph of src/ as Graphviz DOT (deterministic node and
+// edge order). When a loaded manifest is given, edges it forbids are drawn
+// red — the generated diagram in DESIGN.md stays honest.
+std::string RenderDot(const FactsTable& table, const LayerManifest* manifest);
+
+}  // namespace manic::lint

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "graph.h"
 #include "lexer.h"
 #include "rules.h"
 
@@ -41,42 +42,16 @@ bool IsSourcePath(std::string_view path) {
   return IsHeaderPath(path) || HasExtension(path, {".cc", ".cpp", ".cxx"});
 }
 
-// Lines whose findings are suppressed, per rule name ("all" = every rule).
-// `// manic-lint: allow(rule1, rule2)` covers the comment's own line and the
-// line right below it, so both trailing and preceding placements work:
+// Suppression comments (`// manic-lint: allow(rule1, rule2)`) cover the
+// comment's own line and the line right below it, so both trailing and
+// preceding placements work:
 //
 //   for (auto& kv : counts) {}  // manic-lint: allow(unordered-iter)
 //   // manic-lint: allow(raw-entropy)  -- seeding the demo only
 //   srand(42);
-using AllowMap = std::map<int, std::set<std::string, std::less<>>>;
-
-AllowMap ParseSuppressions(const std::vector<Comment>& comments) {
-  AllowMap allow;
-  for (const Comment& comment : comments) {
-    std::size_t at = comment.text.find("manic-lint:");
-    if (at == std::string::npos) continue;
-    std::size_t open = comment.text.find("allow(", at);
-    if (open == std::string::npos) continue;
-    const std::size_t close = comment.text.find(')', open);
-    if (close == std::string::npos) continue;
-    std::string inner = comment.text.substr(open + 6, close - open - 6);
-    std::string rule;
-    std::set<std::string, std::less<>>& rules = allow[comment.end_line];
-    auto flush = [&] {
-      if (!rule.empty()) rules.insert(rule);
-      rule.clear();
-    };
-    for (char c : inner) {
-      if (c == ',' || c == ' ' || c == '\t')
-        flush();
-      else
-        rule.push_back(c);
-    }
-    flush();
-  }
-  return allow;
-}
-
+//
+// Parsing lives in facts.cc (ParseSuppressions) so the graph passes honor
+// the same contract.
 bool IsSuppressed(const AllowMap& allow, const Finding& finding) {
   for (int line : {finding.line, finding.line - 1}) {
     auto it = allow.find(line);
@@ -169,25 +144,26 @@ bool LintFile(const std::filesystem::path& path, std::vector<Finding>& out,
   return true;
 }
 
-int LintPaths(const std::vector<std::string>& paths,
-              std::vector<Finding>& out) {
+namespace {
+
+// Deterministic order: collect, sort, then process. Returns false when a
+// path could not be read.
+bool CollectSources(const std::vector<std::string>& paths,
+                    std::vector<std::filesystem::path>& sources) {
   namespace fs = std::filesystem;
-  int files = 0;
-  bool failed = false;
-  // Deterministic order: collect, sort, then lint.
-  std::vector<fs::path> sources;
+  bool ok = true;
   for (const std::string& arg : paths) {
     std::error_code ec;
     const fs::path root(arg);
     if (fs::is_directory(root, ec)) {
       fs::recursive_directory_iterator it(root, ec), end;
       if (ec) {
-        failed = true;
+        ok = false;
         continue;
       }
       for (; it != end; it.increment(ec)) {
         if (ec) {
-          failed = true;
+          ok = false;
           break;
         }
         if (it->is_directory() &&
@@ -203,17 +179,70 @@ int LintPaths(const std::vector<std::string>& paths,
     } else if (fs::is_regular_file(root, ec)) {
       sources.push_back(root);
     } else {
-      failed = true;
+      ok = false;
     }
   }
   std::sort(sources.begin(), sources.end());
-  for (const fs::path& path : sources) {
+  return ok;
+}
+
+// Reports are diffable only if the order is total: (file, line, rule), with
+// the message as a final tiebreaker.
+void SortFindings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+}
+
+}  // namespace
+
+int LintPaths(const std::vector<std::string>& paths,
+              std::vector<Finding>& out) {
+  std::vector<std::filesystem::path> sources;
+  bool ok = CollectSources(paths, sources);
+  int files = 0;
+  for (const std::filesystem::path& path : sources) {
     if (LintFile(path, out))
       ++files;
     else
-      failed = true;
+      ok = false;
   }
-  return failed ? -1 : files;
+  SortFindings(out);
+  return ok ? files : -1;
+}
+
+TreeAnalysis AnalyzeTree(const std::vector<std::string>& paths,
+                         const LayerManifest* manifest) {
+  TreeAnalysis result;
+  std::vector<std::filesystem::path> sources;
+  result.read_failure = !CollectSources(paths, sources);
+  for (const std::filesystem::path& path : sources) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      result.read_failure = true;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string source = buf.str();
+    const std::string logical = NormalizePath(path.generic_string());
+
+    std::vector<Finding> file_findings = LintSource(source, logical);
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(file_findings.begin()),
+                           std::make_move_iterator(file_findings.end()));
+    TuFacts facts = ExtractFacts(source, logical);
+    for (const auto& [line, rules] : facts.allow) {
+      for (const std::string& rule : rules) ++result.suppressions[rule];
+    }
+    result.facts.Add(std::move(facts));
+    ++result.files_scanned;
+  }
+  RunGraphPasses(result.facts, manifest, result.findings);
+  SortFindings(result.findings);
+  return result;
 }
 
 std::string RenderText(const std::vector<Finding>& findings) {
@@ -234,11 +263,21 @@ std::string RenderText(const std::vector<Finding>& findings) {
 }
 
 std::string RenderJson(const std::vector<Finding>& findings,
-                       int files_scanned) {
+                       int files_scanned,
+                       const std::map<std::string, int>& suppressions) {
   std::string out = "{\"files_scanned\":" + std::to_string(files_scanned) +
                     ",\"errors\":" + std::to_string(CountErrors(findings)) +
                     ",\"warnings\":" + std::to_string(CountWarnings(findings)) +
-                    ",\"findings\":[";
+                    ",\"suppressions\":{";
+  bool first = true;
+  for (const auto& [rule, count] : suppressions) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"";
+    AppendEscaped(out, rule);
+    out += "\":" + std::to_string(count);
+  }
+  out += "},\"findings\":[";
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];
     if (i > 0) out += ',';
@@ -265,6 +304,12 @@ int CountErrors(const std::vector<Finding>& findings) {
 
 int CountWarnings(const std::vector<Finding>& findings) {
   return static_cast<int>(findings.size()) - CountErrors(findings);
+}
+
+int ExitCodeFor(int errors, int warnings, bool werror) {
+  if (errors > 0) return 1;
+  if (warnings > 0) return werror ? 1 : 2;
+  return 0;
 }
 
 }  // namespace manic::lint

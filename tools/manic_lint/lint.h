@@ -26,11 +26,16 @@
 #pragma once
 
 #include <filesystem>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "facts.h"
+
 namespace manic::lint {
+
+struct LayerManifest;  // graph.h
 
 enum class Severity { kWarning, kError };
 
@@ -63,15 +68,41 @@ bool LintFile(const std::filesystem::path& path, std::vector<Finding>& out,
 // be read.
 int LintPaths(const std::vector<std::string>& paths, std::vector<Finding>& out);
 
+// Whole-tree analysis: the per-file rules above plus the cross-file graph
+// passes (include cycles, layering contract, unused includes — graph.h),
+// with the per-TU facts table and a suppression audit on the side.
+struct TreeAnalysis {
+  std::vector<Finding> findings;  // sorted by (file, line, rule)
+  FactsTable facts;
+  int files_scanned = 0;
+  bool read_failure = false;  // some input path could not be read
+  // Suppression audit: rule -> number of `// manic-lint: allow(rule)`
+  // mentions across the scanned files ("all" counts under "all"), so
+  // suppression creep is visible in every report.
+  std::map<std::string, int> suppressions;
+};
+
+// Walks `paths` like LintPaths, then runs the graph passes. A null (or
+// unloaded) manifest skips the layering pass only.
+TreeAnalysis AnalyzeTree(const std::vector<std::string>& paths,
+                         const LayerManifest* manifest);
+
 // One "path:line: severity[rule]: message" line per finding.
 std::string RenderText(const std::vector<Finding>& findings);
 
 // Machine-readable report:
-//   {"files_scanned":N,"errors":E,"warnings":W,"findings":[...]}
+//   {"files_scanned":N,"errors":E,"warnings":W,
+//    "suppressions":{"rule":N,...},"findings":[...]}
 std::string RenderJson(const std::vector<Finding>& findings,
-                       int files_scanned);
+                       int files_scanned,
+                       const std::map<std::string, int>& suppressions = {});
 
 int CountErrors(const std::vector<Finding>& findings);
 int CountWarnings(const std::vector<Finding>& findings);
+
+// The CLI exit-code contract (scripts/check.sh and CI key off it):
+//   0 = clean, 1 = error findings (or any finding under --werror),
+//   2 = warning findings only, 3 = bad usage / unreadable input.
+int ExitCodeFor(int errors, int warnings, bool werror);
 
 }  // namespace manic::lint

@@ -1,23 +1,35 @@
-// manic-lint CLI. Exit status: 0 = clean (warnings allowed), 1 = at least
-// one error-severity finding (or any finding under --werror), 2 = bad usage
-// or unreadable input.
+// manic-lint CLI. Exit status: 0 = clean, 1 = at least one error-severity
+// finding (or any finding under --werror), 2 = warning-severity findings
+// only, 3 = bad usage or unreadable input — so scripts can distinguish
+// "fix now" from "worth a look" without parsing the report.
 //
-//   manic_lint [--json] [--werror] [--quiet] [path...]
+//   manic_lint [--json] [--werror] [--quiet] [--graph FILE]
+//              [--layers FILE] [path...]
 //
 // Paths default to `src bench tests examples` resolved against the current
 // directory; directories are walked recursively (build*/, .git/,
-// third_party/, and lint_fixtures/ are skipped). --json replaces the human
-// report on stdout with one JSON object (scripts/check.sh stage 4 redirects
-// it to build/check/lint.json); the human report then goes to stderr unless
-// --quiet.
+// third_party/, and lint_fixtures/ are skipped). On top of the per-file
+// rules, the whole-program graph passes run over the scanned tree:
+// include-cycle detection, the layering contract from --layers (default
+// tools/manic_lint/layers.txt; silently skipped when the default is absent,
+// an error when an explicit --layers cannot be read), and unused-include
+// (IWYU-lite) warnings. --graph writes the real src/ module graph as
+// Graphviz DOT. --json replaces the human report on stdout with one JSON
+// object (scripts/check.sh stage 4 redirects it to build/check/lint.json);
+// the human report then goes to stderr unless --quiet.
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "graph.h"
 #include "lint.h"
 
 int main(int argc, char** argv) {
   bool json = false, werror = false, quiet = false;
+  std::string graph_path;
+  std::string layers_path;
+  bool layers_explicit = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -27,45 +39,103 @@ int main(int argc, char** argv) {
       werror = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--graph" || arg == "--layers") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "manic_lint: %s needs a file argument\n",
+                     arg.c_str());
+        return 3;
+      }
+      if (arg == "--graph") {
+        graph_path = argv[++i];
+      } else {
+        layers_path = argv[++i];
+        layers_explicit = true;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::fputs(
-          "usage: manic_lint [--json] [--werror] [--quiet] [path...]\n"
-          "Token-level determinism & safety linter for the MANIC tree.\n"
-          "Rules: unordered-iter raw-entropy stdout-write header-hygiene\n"
-          "       uninit-member   (suppress: // manic-lint: allow(<rule>))\n",
+          "usage: manic_lint [--json] [--werror] [--quiet] [--graph FILE]\n"
+          "                  [--layers FILE] [path...]\n"
+          "Token-level determinism & safety linter plus whole-program\n"
+          "architecture analyzer for the MANIC tree.\n"
+          "Per-file rules: unordered-iter raw-entropy stdout-write\n"
+          "                header-hygiene uninit-member\n"
+          "Graph passes:   include-cycle layering unused-include\n"
+          "                (suppress: // manic-lint: allow(<rule>))\n"
+          "--layers FILE   layering manifest (default\n"
+          "                tools/manic_lint/layers.txt)\n"
+          "--graph FILE    write the src/ module graph as Graphviz DOT\n"
+          "exit codes: 0 clean, 1 errors, 2 warnings only, 3 usage/IO\n",
           stdout);
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "manic_lint: unknown option '%s'\n", arg.c_str());
-      return 2;
+      return 3;
     } else {
       paths.push_back(arg);
     }
   }
   if (paths.empty()) paths = {"src", "bench", "tests", "examples"};
+  if (layers_path.empty()) layers_path = "tools/manic_lint/layers.txt";
 
-  std::vector<manic::lint::Finding> findings;
-  const int files = manic::lint::LintPaths(paths, findings);
-  if (files < 0) {
-    std::fputs("manic_lint: some inputs could not be read\n", stderr);
-    return 2;
+  std::string manifest_error;
+  const manic::lint::LayerManifest manifest =
+      manic::lint::LoadLayerManifest(layers_path, &manifest_error);
+  if (!manifest.loaded) {
+    if (layers_explicit) {
+      std::fprintf(stderr, "manic_lint: %s\n", manifest_error.c_str());
+      return 3;
+    }
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "manic_lint: note: %s; layering pass skipped\n",
+                   manifest_error.c_str());
+    }
   }
 
-  const std::string text = manic::lint::RenderText(findings);
+  const manic::lint::TreeAnalysis analysis =
+      manic::lint::AnalyzeTree(paths, manifest.loaded ? &manifest : nullptr);
+  if (analysis.read_failure) {
+    std::fputs("manic_lint: some inputs could not be read\n", stderr);
+    return 3;
+  }
+
+  if (!graph_path.empty()) {
+    std::ofstream out(graph_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "manic_lint: cannot write graph to '%s'\n",
+                   graph_path.c_str());
+      return 3;
+    }
+    out << manic::lint::RenderDot(analysis.facts,
+                                  manifest.loaded ? &manifest : nullptr);
+  }
+
+  const std::string text = manic::lint::RenderText(analysis.findings);
   if (json) {
-    std::fputs(manic::lint::RenderJson(findings, files).c_str(), stdout);
+    std::fputs(manic::lint::RenderJson(analysis.findings,
+                                       analysis.files_scanned,
+                                       analysis.suppressions)
+                   .c_str(),
+               stdout);
     std::fputc('\n', stdout);
     if (!quiet) std::fputs(text.c_str(), stderr);
   } else if (!quiet) {
     std::fputs(text.c_str(), stdout);
   }
 
-  const int errors = manic::lint::CountErrors(findings);
-  const int warnings = manic::lint::CountWarnings(findings);
+  const int errors = manic::lint::CountErrors(analysis.findings);
+  const int warnings = manic::lint::CountWarnings(analysis.findings);
   if (!quiet) {
     std::fprintf(stderr,
                  "manic_lint: %d file(s), %d error(s), %d warning(s)\n",
-                 files, errors, warnings);
+                 analysis.files_scanned, errors, warnings);
+    if (!analysis.suppressions.empty()) {
+      std::string audit = "manic_lint: suppressions in tree:";
+      for (const auto& [rule, count] : analysis.suppressions) {
+        audit += " " + rule + "=" + std::to_string(count);
+      }
+      std::fprintf(stderr, "%s\n", audit.c_str());
+    }
   }
-  return (errors > 0 || (werror && warnings > 0)) ? 1 : 0;
+  return manic::lint::ExitCodeFor(errors, warnings, werror);
 }
