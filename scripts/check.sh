@@ -9,11 +9,16 @@
 #      (-DMANIC_SANITIZE=undefined, non-recoverable) running the full suite
 #      (set MANIC_CHECK_SKIP_UBSAN=1 to skip the UBSan half);
 #   4. static analysis: manic_lint --json over src/ bench/ tests/ examples/
-#      with the graph passes active against tools/manic_lint/layers.txt
-#      (report lands in build/check/lint.json; any error-severity finding —
-#      per-file rule, include cycle, or layering violation — fails the
-#      sweep, warning-only runs pass) and the curated .clang-tidy baseline,
-#      which skips with a warning when clang-tidy is not installed.
+#      with the graph passes active against tools/manic_lint/layers.txt and
+#      the semantic passes (units dataflow against tools/manic_lint/units.txt
+#      plus the determinism taint pass) (report lands in build/check/
+#      lint.json; any error-severity finding fails the sweep, warning-only
+#      runs pass); the curated .clang-tidy baseline, which skips with a
+#      warning when clang-tidy is not installed; and — when clang++ is on
+#      PATH — a Clang build of the annotated runtime with -Wthread-safety
+#      promoted to an error, checking the GUARDED_BY/REQUIRES contracts in
+#      src/runtime/thread_annotations.h (skipped with a note otherwise; CI's
+#      clang job is the authoritative gate).
 #
 # Usage: scripts/check.sh [jobs]     (jobs defaults to nproc)
 set -euo pipefail
@@ -57,12 +62,13 @@ else
   echo "(UBSan half skipped: MANIC_CHECK_SKIP_UBSAN=1)"
 fi
 
-echo "== [4/4] static analysis: manic-lint (rules + graph passes) + clang-tidy baseline =="
+echo "== [4/4] static analysis: manic-lint (rules + graph + semantic passes), clang-tidy, thread-safety =="
 cmake --build build -j "$JOBS" --target manic_lint
 # Exit 1 = error-severity findings (fail), 2 = warnings only (pass, but the
 # findings are on stderr and in the JSON), 3 = usage/IO trouble (fail).
 LINT_STATUS=0
 ./build/tools/manic_lint --json --layers tools/manic_lint/layers.txt \
+  --units tools/manic_lint/units.txt \
   src bench tests examples > "$OUT_DIR/lint.json" || LINT_STATUS=$?
 case "$LINT_STATUS" in
   0) echo "manic-lint clean (report: $OUT_DIR/lint.json)" ;;
@@ -71,5 +77,15 @@ case "$LINT_STATUS" in
      exit 1 ;;
 esac
 scripts/run_clang_tidy.sh build "$JOBS"
+if command -v clang++ >/dev/null 2>&1; then
+  echo "-- clang thread-safety build (src/runtime annotations, -Wthread-safety as error)"
+  cmake -B build-clang-tsa -S . -DCMAKE_C_COMPILER=clang \
+    -DCMAKE_CXX_COMPILER=clang++ -DMANIC_BUILD_TESTS=OFF \
+    -DMANIC_BUILD_BENCH=OFF -DMANIC_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-clang-tsa -j "$JOBS"
+  echo "clang thread-safety analysis clean."
+else
+  echo "(clang thread-safety build skipped: clang++ not installed; CI's clang job covers it)"
+fi
 
 echo "All checks passed."

@@ -53,7 +53,7 @@ void Metrics::PhaseTimer::Stop() {
 }
 
 void Metrics::RecordPhase(std::string_view name, double wall_s, double cpu_s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (PhaseStats& phase : phases_) {
     if (phase.name == name) {
       phase.wall_s += wall_s;
@@ -76,7 +76,7 @@ std::string Metrics::Report() const {
                 static_cast<unsigned long long>(steals()),
                 static_cast<unsigned long long>(peak_queue_depth()));
   out += line;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (phases_.empty()) return out;
   std::snprintf(line, sizeof(line), "  %-24s %10s %10s %6s\n", "phase",
                 "wall (s)", "cpu (s)", "cpu/w");
@@ -101,7 +101,7 @@ std::string Metrics::Json() const {
                 static_cast<unsigned long long>(steals()),
                 static_cast<unsigned long long>(peak_queue_depth()));
   out += buf;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (std::size_t i = 0; i < phases_.size(); ++i) {
     const PhaseStats& phase = phases_[i];
     std::snprintf(buf, sizeof(buf),
@@ -120,7 +120,7 @@ void Metrics::Reset() {
   steals_.store(0, std::memory_order_relaxed);
   shards_.store(0, std::memory_order_relaxed);
   peak_queue_depth_.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   phases_.clear();
 }
 

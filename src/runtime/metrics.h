@@ -8,11 +8,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "runtime/thread_annotations.h"
 
 namespace manic::runtime {
 
@@ -102,8 +103,9 @@ class Metrics {
   std::atomic<std::uint64_t> shards_{0};
   std::atomic<std::uint64_t> peak_queue_depth_{0};
   std::atomic<int> threads_{0};
-  mutable std::mutex mu_;           // guards phases_
-  std::vector<PhaseStats> phases_;  // insertion order = report order
+  mutable Mutex mu_;
+  std::vector<PhaseStats> phases_ GUARDED_BY(mu_);  // insertion order =
+                                                    // report order
 };
 
 }  // namespace manic::runtime

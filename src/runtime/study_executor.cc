@@ -22,17 +22,28 @@ void StudyExecutor::Execute(
     const std::function<void(std::size_t, std::size_t)>& progress) {
   std::stable_sort(shards.begin(), shards.end(),
                    [](const Shard& a, const Shard& b) { return a.key < b.key; });
+  {
+    MutexLock lock(mu_);
+    completed_works_ = 0;
+  }
   // Fan out. ParallelFor (rather than bare Submit) lets the calling thread
   // execute shards too, so an exclusive pool is not assumed.
   pool_->ParallelFor(shards.size(), [&](std::size_t i) {
     if (shards[i].work) shards[i].work();
     if (metrics_ != nullptr) metrics_->AddShards();
+    MutexLock lock(mu_);
+    ++completed_works_;
   });
   // Fold in canonical key order, never completion order.
   for (std::size_t i = 0; i < shards.size(); ++i) {
     if (shards[i].merge) shards[i].merge();
     if (progress) progress(i + 1, shards.size());
   }
+}
+
+std::size_t StudyExecutor::CompletedWorks() const {
+  MutexLock lock(mu_);
+  return completed_works_;
 }
 
 }  // namespace manic::runtime

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "runtime/metrics.h"
+#include "runtime/thread_annotations.h"
 #include "runtime/thread_pool.h"
 
 namespace manic::runtime {
@@ -59,9 +60,17 @@ class StudyExecutor {
                const std::function<void(std::size_t, std::size_t)>& progress =
                    {});
 
+  // Shard works finished so far in the current (or most recent) Execute()
+  // call's parallel phase. Workers bump it concurrently, so it is the one
+  // piece of cross-thread mutable state the executor owns; a monitor thread
+  // may poll it for liveness.
+  std::size_t CompletedWorks() const EXCLUDES(mu_);
+
  private:
   ThreadPool* pool_ = nullptr;
   Metrics* metrics_ = nullptr;
+  mutable Mutex mu_;
+  std::size_t completed_works_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace manic::runtime

@@ -1,0 +1,84 @@
+// Clang thread-safety annotations plus the annotated lock types the rest of
+// the runtime uses. Under Clang, `-Wthread-safety` statically checks that
+// every access to a `GUARDED_BY(mu)` member happens with `mu` held (the CI
+// clang job builds with -Werror=thread-safety, so a violation fails the
+// build); under any other compiler the macros expand to nothing and the
+// types degrade to plain std::mutex semantics.
+//
+// libstdc++'s std::mutex carries no capability annotation, so GUARDED_BY
+// cannot name it directly — hence runtime::Mutex (a CAPABILITY-annotated
+// wrapper) and runtime::MutexLock (the SCOPED_CAPABILITY RAII guard).
+// Condition waits use std::condition_variable_any, which takes the Mutex
+// itself as its BasicLockable; the wait-internal unlock/relock happens
+// inside a system header, which the analysis deliberately ignores.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define MANIC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MANIC_THREAD_ANNOTATION
+#define MANIC_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+#define CAPABILITY(x) MANIC_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY MANIC_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) MANIC_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) MANIC_THREAD_ANNOTATION(pt_guarded_by(x))
+#define REQUIRES(...) \
+  MANIC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  MANIC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  MANIC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  MANIC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) MANIC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) MANIC_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) MANIC_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MANIC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace manic::runtime {
+
+// An annotated mutual-exclusion capability. The lowercase lock()/unlock()
+// aliases make it BasicLockable, so std::condition_variable_any can wait on
+// it directly.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII guard over a Mutex, visible to the analysis as a scoped capability.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// The condition type paired with Mutex: condition_variable_any waits on any
+// BasicLockable, so `cv.wait(mu, pred)` works with the capability held.
+using CondVar = std::condition_variable_any;
+
+}  // namespace manic::runtime

@@ -28,7 +28,7 @@ ThreadPool::ThreadPool(int threads, Metrics* metrics) : metrics_(metrics) {
 ThreadPool::~ThreadPool() {
   stop_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     wake_cv_.notify_all();
   }
   for (std::thread& t : threads_) t.join();
@@ -41,10 +41,11 @@ void ThreadPool::Submit(std::function<void()> task) {
   const std::size_t victim =
       rr_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
-    std::lock_guard<std::mutex> lock(queues_[victim]->mu);
-    queues_[victim]->tasks.push_back(std::move(task));
+    Worker& w = *queues_[victim];
+    MutexLock lock(w.mu);
+    w.tasks.push_back(std::move(task));
   }
-  std::lock_guard<std::mutex> lock(wake_mu_);
+  MutexLock lock(wake_mu_);
   wake_cv_.notify_one();
 }
 
@@ -53,10 +54,11 @@ bool ThreadPool::RunOne(std::size_t self) {
   std::function<void()> task;
   std::size_t source = n;
   if (self < n) {
-    std::lock_guard<std::mutex> lock(queues_[self]->mu);
-    if (!queues_[self]->tasks.empty()) {
-      task = std::move(queues_[self]->tasks.front());
-      queues_[self]->tasks.pop_front();
+    Worker& w = *queues_[self];
+    MutexLock lock(w.mu);
+    if (!w.tasks.empty()) {
+      task = std::move(w.tasks.front());
+      w.tasks.pop_front();
       source = self;
     }
   }
@@ -64,10 +66,11 @@ bool ThreadPool::RunOne(std::size_t self) {
     for (std::size_t off = 1; off <= n && !task; ++off) {
       const std::size_t victim = (self + off) % n;
       if (victim == self) continue;
-      std::lock_guard<std::mutex> lock(queues_[victim]->mu);
-      if (!queues_[victim]->tasks.empty()) {
-        task = std::move(queues_[victim]->tasks.back());
-        queues_[victim]->tasks.pop_back();
+      Worker& w = *queues_[victim];
+      MutexLock lock(w.mu);
+      if (!w.tasks.empty()) {
+        task = std::move(w.tasks.back());
+        w.tasks.pop_back();
         source = victim;
       }
     }
@@ -85,7 +88,7 @@ bool ThreadPool::RunOne(std::size_t self) {
 
 void ThreadPool::FinishTask() {
   if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     idle_cv_.notify_all();
   }
 }
@@ -94,8 +97,8 @@ void ThreadPool::WorkerLoop(std::size_t self) {
   g_current_pool = this;
   for (;;) {
     if (RunOne(self)) continue;
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [&] {
+    MutexLock lock(wake_mu_);
+    wake_cv_.wait(wake_mu_, [&] {
       return stop_.load(std::memory_order_acquire) ||
              queued_.load(std::memory_order_acquire) > 0;
     });
@@ -110,8 +113,8 @@ void ThreadPool::WaitIdle() {
   const std::size_t external = queues_.size();
   while (RunOne(external)) {
   }
-  std::unique_lock<std::mutex> lock(idle_mu_);
-  idle_cv_.wait(lock, [&] {
+  MutexLock lock(idle_mu_);
+  idle_cv_.wait(idle_mu_, [&] {
     return inflight_.load(std::memory_order_acquire) == 0;
   });
 }
@@ -130,8 +133,8 @@ void ThreadPool::ParallelFor(std::size_t n,
 
   struct Latch {
     std::atomic<std::size_t> remaining;
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
   };
   const std::size_t chunks = (n + grain - 1) / grain;
   auto latch = std::make_shared<Latch>();
@@ -142,7 +145,7 @@ void ThreadPool::ParallelFor(std::size_t n,
     Submit([latch, begin, end, &body] {
       for (std::size_t i = begin; i < end; ++i) body(i);
       if (latch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(latch->mu);
+        MutexLock lock(latch->mu);
         latch->cv.notify_all();
       }
     });
@@ -151,8 +154,8 @@ void ThreadPool::ParallelFor(std::size_t n,
   const std::size_t external = queues_.size();
   while (latch->remaining.load(std::memory_order_acquire) > 0) {
     if (!RunOne(external)) {
-      std::unique_lock<std::mutex> lock(latch->mu);
-      latch->cv.wait(lock, [&] {
+      MutexLock lock(latch->mu);
+      latch->cv.wait(latch->mu, [&] {
         return latch->remaining.load(std::memory_order_acquire) == 0;
       });
     }

@@ -12,16 +12,15 @@
 // completion order.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "runtime/metrics.h"
+#include "runtime/thread_annotations.h"
 
 namespace manic::runtime {
 
@@ -54,8 +53,8 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks GUARDED_BY(mu);
   };
 
   void WorkerLoop(std::size_t self);
@@ -67,10 +66,10 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Worker>> queues_;
   std::vector<std::thread> threads_;
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  Mutex wake_mu_;
+  CondVar wake_cv_;
+  Mutex idle_mu_;
+  CondVar idle_cv_;
   std::atomic<std::size_t> queued_{0};    // tasks sitting in deques
   std::atomic<std::size_t> inflight_{0};  // queued + currently running
   std::atomic<std::size_t> rr_{0};

@@ -271,7 +271,7 @@ SimNetwork::SegmentCost SimNetwork::CrossLink(LinkId link, Direction dir,
                                               std::uint64_t noise_key) {
   SegmentCost cost;
   const topo::Link& l = topo_->link(link);
-  cost.delay_ms = l.propagation_ms;
+  cost.delay_ms = l.propagation_ms();
   if (dynamics_.size() > link) {
     const LinkDynamics& dyn = dynamics_[link];
     const auto& demand = dyn.demand[static_cast<int>(dir)];
@@ -461,7 +461,7 @@ SimNetwork::ProbeExpectation SimNetwork::ExpectProbe(VpId vp, Ipv4Addr dst,
   double ok = 1.0;
   auto cross_mean = [&](LinkId link, Direction dir) {
     const topo::Link& l = topo_->link(link);
-    delay += l.propagation_ms;
+    delay += l.propagation_ms();
     if (include_queues && dynamics_.size() > link) {
       const LinkDynamics& dyn = dynamics_[link];
       const auto& demand = dyn.demand[static_cast<int>(dir)];
@@ -519,7 +519,7 @@ PathMetrics SimNetwork::MetricsFor(VpId vp, Ipv4Addr dst, FlowId flow,
     for (const Hop& hop : p.hops) {
       if (hop.via_link == topo::kInvalidId) continue;
       const topo::Link& l = topo_->link(hop.via_link);
-      m.rtt_ms += l.propagation_ms;
+      m.rtt_ms += l.propagation_ms();
       if (dynamics_.size() > hop.via_link) {
         const LinkDynamics& dyn = dynamics_[hop.via_link];
         const auto& demand = dyn.demand[static_cast<int>(hop.via_dir)];
@@ -539,7 +539,7 @@ PathMetrics SimNetwork::MetricsFor(VpId vp, Ipv4Addr dst, FlowId flow,
       }
       if (l.kind == topo::LinkKind::kInterdomain ||
           l.kind == topo::LinkKind::kIxp) {
-        m.min_capacity_gbps = std::min(m.min_capacity_gbps, l.capacity_gbps);
+        m.min_capacity_gbps = std::min(m.min_capacity_gbps, l.capacity_gbps());
       }
     }
     return 1.0 - ok;

@@ -95,8 +95,7 @@ Ipv4Addr Topology::AllocSingle(Asn asn) {
   return AllocInfraPair(asn, &unused);
 }
 
-LinkId Topology::ConnectIntra(RouterId a, RouterId b, double propagation_ms,
-                              double capacity_gbps) {
+LinkId Topology::ConnectIntra(RouterId a, RouterId b, LinkParams params) {
   if (routers_[a].owner != routers_[b].owner) {
     throw std::invalid_argument("ConnectIntra: routers in different ASes");
   }
@@ -107,8 +106,7 @@ LinkId Topology::ConnectIntra(RouterId a, RouterId b, double propagation_ms,
   l.router_b = b;
   l.as_a = routers_[a].owner;
   l.as_b = routers_[b].owner;
-  l.propagation_ms = propagation_ms;
-  l.capacity_gbps = capacity_gbps;
+  l.params = params;
   links_.push_back(l);
   Ipv4Addr addr_b;
   const Ipv4Addr addr_a = AllocInfraPair(l.as_a, &addr_b);
@@ -117,8 +115,7 @@ LinkId Topology::ConnectIntra(RouterId a, RouterId b, double propagation_ms,
   return l.id;
 }
 
-LinkId Topology::ConnectInter(RouterId a, RouterId b, double propagation_ms,
-                              double capacity_gbps,
+LinkId Topology::ConnectInter(RouterId a, RouterId b, LinkParams params,
                               std::optional<Asn> addr_from) {
   if (routers_[a].owner == routers_[b].owner) {
     throw std::invalid_argument("ConnectInter: routers in the same AS");
@@ -130,8 +127,7 @@ LinkId Topology::ConnectInter(RouterId a, RouterId b, double propagation_ms,
   l.router_b = b;
   l.as_a = routers_[a].owner;
   l.as_b = routers_[b].owner;
-  l.propagation_ms = propagation_ms;
-  l.capacity_gbps = capacity_gbps;
+  l.params = params;
   links_.push_back(l);
   const Asn pool = addr_from.value_or(l.as_a);
   Ipv4Addr addr_b;
@@ -142,8 +138,7 @@ LinkId Topology::ConnectInter(RouterId a, RouterId b, double propagation_ms,
 }
 
 LinkId Topology::ConnectAtIxp(RouterId a, RouterId b, const Prefix& ixp_prefix,
-                              std::string ixp_name, double propagation_ms,
-                              double capacity_gbps) {
+                              std::string ixp_name, LinkParams params) {
   if (!ixps.IsIxpAddress(ixp_prefix.First())) {
     ixps.Add(ixp_prefix, ixp_name);
   }
@@ -154,8 +149,7 @@ LinkId Topology::ConnectAtIxp(RouterId a, RouterId b, const Prefix& ixp_prefix,
   l.router_b = b;
   l.as_a = routers_[a].owner;
   l.as_b = routers_[b].owner;
-  l.propagation_ms = propagation_ms;
-  l.capacity_gbps = capacity_gbps;
+  l.params = params;
   links_.push_back(l);
   std::uint64_t& cursor = ixp_cursor_[ixp_name];
   Ipv4Addr addr_b;
@@ -192,8 +186,7 @@ VpId Topology::AddVantagePoint(std::string name, Asn host_as,
   l.router_b = kInvalidId;  // host side has no router
   l.as_a = host_as;
   l.as_b = host_as;
-  l.propagation_ms = 1.0;
-  l.capacity_gbps = 1.0;
+  l.params = kHostUplinkParams;
   links_.push_back(l);
   links_.back().iface_a = NewIface(first_hop, l.id, AllocSingle(host_as), host_as);
   links_.back().iface_b = kInvalidId;

@@ -12,6 +12,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "topo/as_registry.h"
@@ -64,6 +65,14 @@ struct Router {
   mutable std::uint32_t ip_id_counter = 0;
 };
 
+// The physical parameters of a link, grouped so every construction path
+// (the three Connect* builders, AddVantagePoint's host uplink) names the
+// units exactly once instead of threading two loose doubles around.
+struct LinkParams {
+  double propagation_ms = 1.0;   // one-way propagation delay
+  double capacity_gbps = 100.0;  // nominal capacity (sim reads this)
+};
+
 struct Link {
   LinkId id = kInvalidId;
   LinkKind kind = LinkKind::kIntra;
@@ -73,8 +82,12 @@ struct Link {
   RouterId router_b = kInvalidId;
   Asn as_a = 0;
   Asn as_b = 0;
-  double propagation_ms = 1.0;   // one-way propagation delay
-  double capacity_gbps = 100.0;  // nominal capacity (sim reads this)
+  LinkParams params;
+
+  // Field-style accessors so readers keep the unit in sight at the use site
+  // (`l.propagation_ms()`), whatever construction path filled `params`.
+  double propagation_ms() const noexcept { return params.propagation_ms; }
+  double capacity_gbps() const noexcept { return params.capacity_gbps; }
 };
 
 struct AsInfo {
@@ -110,7 +123,10 @@ class Topology {
 
   // Connects two routers of one AS.
   LinkId ConnectIntra(RouterId a, RouterId b, double propagation_ms = 0.5,
-                      double capacity_gbps = 400.0);
+                      double capacity_gbps = 400.0) {
+    return ConnectIntra(a, b, LinkParams{propagation_ms, capacity_gbps});
+  }
+  LinkId ConnectIntra(RouterId a, RouterId b, LinkParams params);
 
   // Connects border routers of two different ASes. Interface addresses are
   // drawn as a point-to-point pair from `addr_from`'s infrastructure space
@@ -118,13 +134,26 @@ class Topology {
   // near-side address space, the classic border-mapping pitfall).
   LinkId ConnectInter(RouterId a, RouterId b, double propagation_ms = 2.0,
                       double capacity_gbps = 100.0,
+                      std::optional<Asn> addr_from = std::nullopt) {
+    return ConnectInter(a, b, LinkParams{propagation_ms, capacity_gbps},
+                        addr_from);
+  }
+  LinkId ConnectInter(RouterId a, RouterId b, LinkParams params,
                       std::optional<Asn> addr_from = std::nullopt);
 
   // Connects border routers of two ASes across an IXP fabric: both interface
   // addresses come from the IXP prefix (registered in the IxpRegistry).
   LinkId ConnectAtIxp(RouterId a, RouterId b, const Prefix& ixp_prefix,
                       std::string ixp_name, double propagation_ms = 2.0,
-                      double capacity_gbps = 100.0);
+                      double capacity_gbps = 100.0) {
+    return ConnectAtIxp(a, b, ixp_prefix, std::move(ixp_name),
+                        LinkParams{propagation_ms, capacity_gbps});
+  }
+  LinkId ConnectAtIxp(RouterId a, RouterId b, const Prefix& ixp_prefix,
+                      std::string ixp_name, LinkParams params);
+
+  // The parameters AddVantagePoint assigns to the host uplink it creates.
+  static constexpr LinkParams kHostUplinkParams{1.0, 1.0};
 
   VpId AddVantagePoint(std::string name, Asn host_as, RouterId first_hop);
 

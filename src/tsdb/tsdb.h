@@ -49,6 +49,10 @@ struct SeriesRef {
   const stats::TimeSeries* series = nullptr;
 };
 
+// Not internally synchronized: queries hand out SeriesRef pointers that a
+// concurrent Write could invalidate. Parallel producers append through
+// BufferedWriter (writer.h), which drains here in canonical order on one
+// thread.
 class Database {
  public:
   // Appends one point to the series (measurement, tags). Creates the series

@@ -1,0 +1,42 @@
+#include "tsdb/writer.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+namespace manic::tsdb {
+
+void BufferedWriter::Append(std::string measurement, TagSet tags, TimeSec t,
+                            double value) {
+  Point p;
+  p.measurement = std::move(measurement);
+  p.canonical_tags = tags.Canonical();  // computed outside the lock
+  p.tags = std::move(tags);
+  p.t = t;
+  p.value = value;
+  runtime::MutexLock lock(mu_);
+  buffer_.push_back(std::move(p));
+}
+
+std::size_t BufferedWriter::FlushTo(Database& db) {
+  std::vector<Point> drained;
+  {
+    runtime::MutexLock lock(mu_);
+    drained.swap(buffer_);
+  }
+  std::sort(drained.begin(), drained.end(), [](const Point& a, const Point& b) {
+    return std::tie(a.measurement, a.canonical_tags, a.t, a.value) <
+           std::tie(b.measurement, b.canonical_tags, b.t, b.value);
+  });
+  for (const Point& p : drained) {
+    db.Write(p.measurement, p.tags, p.t, p.value);
+  }
+  return drained.size();
+}
+
+std::size_t BufferedWriter::PendingPoints() const {
+  runtime::MutexLock lock(mu_);
+  return buffer_.size();
+}
+
+}  // namespace manic::tsdb

@@ -1,0 +1,50 @@
+// The thread-safe write front of the Database. Database itself is not
+// internally synchronized (a SeriesRef handed to one reader must not be
+// invalidated by a concurrent writer), so parallel study shards never write
+// it directly: each worker appends into a BufferedWriter under a mutex, and
+// the serial merge phase drains the buffer into the Database in canonical
+// (measurement, tags, time, value) order. Because the drain order is a pure
+// function of the buffered points — never of the append interleaving — the
+// folded database is bit-identical at any thread count, which is the same
+// contract runtime::StudyExecutor enforces for every other fold.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_annotations.h"
+#include "tsdb/tsdb.h"
+
+namespace manic::tsdb {
+
+class BufferedWriter {
+ public:
+  // Buffers one point. Safe to call from any thread.
+  void Append(std::string measurement, TagSet tags, TimeSec t, double value)
+      EXCLUDES(mu_);
+
+  // Drains every buffered point into `db` in canonical order on the calling
+  // thread; returns the number of points written. Callers keep the Database
+  // contract that timestamps within one series are non-decreasing — the sort
+  // restores it even when shards appended a series' points out of order.
+  // Two buffered points may share (measurement, tags, time) only if they
+  // also share the value; otherwise the series content itself would be
+  // interleaving-dependent and no drain order could make it deterministic.
+  std::size_t FlushTo(Database& db) EXCLUDES(mu_);
+
+  std::size_t PendingPoints() const EXCLUDES(mu_);
+
+ private:
+  struct Point {
+    std::string measurement;
+    TagSet tags;
+    std::string canonical_tags;  // cached TagSet::Canonical() sort key
+    TimeSec t = 0;
+    double value = 0.0;
+  };
+  mutable runtime::Mutex mu_;
+  std::vector<Point> buffer_ GUARDED_BY(mu_);
+};
+
+}  // namespace manic::tsdb

@@ -56,14 +56,14 @@ StreamResult YoutubeClient::Stream(Ipv4Addr cache, const VideoSpec& video,
 
   // Startup: manifest fetch (2 RTT) + TCP connection (1 RTT) + download of
   // the first `startup_target_s` seconds of video at the available rate.
-  const double startup_bits = video.startup_target_s * video.bitrate_mbps;
-  result.startup_delay_s = 3.0 * rtt_ms / 1e3 + startup_bits / avail;
+  const double startup_mbits = video.startup_target_s * video.bitrate_mbps;
+  result.startup_delay_s = 3.0 * rtt_ms / 1e3 + startup_mbits / avail;
 
   // Steady-state playback emulation over segment downloads.
   double clock_s = result.startup_delay_s;
   double buffered_s = video.startup_target_s;
   double played_s = 0.0;
-  double on_bits = 0.0;
+  double on_mbits = 0.0;
   double on_seconds = 0.0;
   bool draining = false;
 
@@ -79,9 +79,9 @@ StreamResult YoutubeClient::Stream(Ipv4Addr cache, const VideoSpec& video,
         result.failed = true;
         return result;
       }
-      const double seg_bits = video.segment_s * video.bitrate_mbps;
-      const double dl_time = seg_bits / avail;
-      on_bits += seg_bits;
+      const double seg_mbits = video.segment_s * video.bitrate_mbps;
+      const double dl_time = seg_mbits / avail;
+      on_mbits += seg_mbits;
       on_seconds += dl_time;
       clock_s += dl_time;
       const double played_during = std::min(buffered_s, dl_time);
@@ -115,7 +115,7 @@ StreamResult YoutubeClient::Stream(Ipv4Addr cache, const VideoSpec& video,
   }
 
   result.completed = true;
-  result.on_throughput_mbps = on_seconds > 0.0 ? on_bits / on_seconds : avail;
+  result.on_throughput_mbps = on_seconds > 0.0 ? on_mbits / on_seconds : avail;
 
   probe::Prober prober(*net_, vp_);
   const probe::TracerouteResult trace =

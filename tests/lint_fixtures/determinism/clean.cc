@@ -1,0 +1,31 @@
+// determinism fixture: deterministic code the taint pass must not touch —
+// ordered containers, value keys, no clocks, member functions that merely
+// shadow taboo names.
+#include <map>
+#include <numeric>
+#include <vector>
+
+struct Timer {
+  double clock() const { return 0.0; }
+  double time() const { return 0.0; }
+};
+
+void Clean() {
+  std::map<int, double> weights;
+  const double sum =
+      std::accumulate(weights.begin(), weights.end(), 0.0,
+                      [](double acc, const auto& kv) {
+                        return acc + kv.second;
+                      });
+  (void)sum;
+
+  Timer timer;
+  const double a = timer.clock();  // member call, not libc clock()
+  const double b = timer.time();   // member call, not libc time()
+  (void)a;
+  (void)b;
+
+  std::vector<double> ordered{1.0, 2.0};
+  const double total = std::accumulate(ordered.begin(), ordered.end(), 0.0);
+  (void)total;
+}

@@ -1,0 +1,25 @@
+// determinism fixture: the sanctioned shapes. Folds go through the
+// canonical-order helpers, containers are keyed by value ids, and the only
+// clock-adjacent call is time(nullptr) — which belongs to R2 (raw-entropy),
+// not to the taint pass; the test asserts the taint pass stays silent here
+// so no site ever double-reports.
+#include <ctime>
+#include <numeric>
+#include <unordered_map>
+
+double CanonicalFold(const std::unordered_map<int, double>& m);
+
+void Sanctioned() {
+  std::unordered_map<int, double> weights;  // value keys: fine
+  const double sum = CanonicalFold(weights);
+  (void)sum;
+
+  // std::accumulate is fine when the canonical helper feeds it.
+  const double sum2 = std::accumulate(
+      SortedItems(weights).begin(), SortedItems(weights).end(), 0.0,
+      [](double acc, const auto& kv) { return acc + kv.second; });
+  (void)sum2;
+
+  std::time_t seed_source = std::time(nullptr);  // R2's finding, not ours
+  (void)seed_source;
+}

@@ -1,0 +1,11 @@
+// determinism fixture: a real clock read under an explicit suppression.
+// The pass must stay silent and the suppression must surface in the audit.
+#include <chrono>
+
+void Suppressed() {
+  // manic-lint: allow(determinism) -- fixture: annotated escape hatch
+  auto t0 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::steady_clock::now();  // manic-lint: allow(determinism)
+  (void)t0;
+  (void)t1;
+}

@@ -1,0 +1,42 @@
+// determinism fixture: one of each nondeterminism source the taint pass
+// owns (R2 keeps rand/srand/random_device/time(nullptr); none of those
+// appear here, so every finding below is the taint pass's own).
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+#include <functional>
+#include <numeric>
+#include <unordered_map>
+
+struct Obj {
+  int id = 0;
+};
+
+void Tainted() {
+  auto t0 = std::chrono::steady_clock::now();   // clock read
+  (void)t0;
+
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);             // clock read (C API)
+
+  std::time_t now{};
+  std::time(&now);                              // time() with &arg (not R2's)
+
+  Obj obj;
+  const std::size_t h = std::hash<Obj*>{}(&obj);  // pointer hash
+  (void)h;
+
+  std::unordered_map<Obj*, int> by_addr;        // pointer-keyed container
+  (void)by_addr;
+
+  const auto key = reinterpret_cast<std::uintptr_t>(&obj);  // address cast
+  (void)key;
+
+  std::unordered_map<int, double> weights;
+  const double sum =
+      std::accumulate(weights.begin(), weights.end(), 0.0,
+                      [](double acc, const auto& kv) {
+                        return acc + kv.second;
+                      });                        // hash-order FP fold
+  (void)sum;
+}

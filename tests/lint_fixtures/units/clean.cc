@@ -1,0 +1,19 @@
+// units fixture: unit-consistent code with no conversions at all. The pass
+// must produce nothing.
+double HalveDelay(double delay_ms);
+
+void Clean() {
+  double rtt_ms = 12.0;
+  double base_ms = 5.0;
+  double floor_sec = 1.0;
+  double duration_s = 2.0;
+
+  rtt_ms = base_ms + 3.0;
+  base_ms += rtt_ms;
+  duration_s = floor_sec;             // s and sec are the same unit
+  if (rtt_ms < base_ms) {
+    rtt_ms = base_ms;
+  }
+  rtt_ms = HalveDelay(base_ms);
+  (void)duration_s;
+}

@@ -1,0 +1,22 @@
+// units fixture: one of each flow shape the pass must flag. Every construct
+// below is a deliberate violation; the test pins the line numbers, so edit
+// with care.
+double Propagate(double delay_ms, double budget_s);
+
+void Mismatches() {
+  double rtt_ms = 12.0;
+  double timeout_s = 30.0;
+  double cap_mbps = 100.0;
+  double cap_gbps = 0.1;
+
+  timeout_s = rtt_ms;            // assignment: ms flows into s
+
+  double window_ms = 0.0;
+  window_ms += timeout_s;        // compound assignment: s flows into ms
+
+  if (cap_mbps < cap_gbps) {     // comparison: Mbps against Gbps
+    cap_mbps = 0.0;
+  }
+
+  Propagate(timeout_s, rtt_ms);  // call: both arguments unit-swapped
+}

@@ -1,0 +1,26 @@
+// units fixture: every conversion here is intentional and marked the way
+// the pass recognizes — a sanctioned constant from the lattice, or a
+// dimensionally-closed product/quotient. The pass must stay silent.
+double Propagate(double delay_ms, double budget_s);
+
+void Sanctioned() {
+  double rtt_ms = 12.0;
+  double timeout_s = 30.0;
+  double cap_mbps = 100.0;
+  double cap_gbps = 0.1;
+
+  timeout_s = rtt_ms / 1e3;           // ms -> s via the sanctioned 1e3
+  rtt_ms = timeout_s * 1e3;           // and back
+  cap_mbps = cap_gbps * 1e3;          // Gbps -> Mbps
+
+  double transfer_mbits = cap_mbps * timeout_s;  // rate * time -> data
+  double rate_mbps = transfer_mbits / timeout_s; // data / time -> rate
+  double wait_s = transfer_mbits / cap_mbps;     // data / rate -> time
+
+  double util_frac = rate_mbps / cap_mbps;       // same-unit ratio
+  if (rtt_ms < timeout_s * 1e3) {     // comparison with the constant visible
+    util_frac = 0.0;
+  }
+  Propagate(wait_s * 1e3, wait_s);    // converted argument
+  (void)util_frac;
+}

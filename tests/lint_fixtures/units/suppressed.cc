@@ -1,0 +1,10 @@
+// units fixture: a real mismatch under an explicit suppression. The pass
+// must stay silent and the suppression must surface in the audit.
+void Suppressed() {
+  double rtt_ms = 12.0;
+  double timeout_s = 0.0;
+  // manic-lint: allow(units) -- fixture: suppression carries to next line
+  timeout_s = rtt_ms;
+  timeout_s = rtt_ms;  // manic-lint: allow(units)
+  (void)timeout_s;
+}

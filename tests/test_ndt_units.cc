@@ -1,0 +1,91 @@
+// Unit-chain audit for the NDT throughput model (companion to the
+// manic-lint `units` pass, tools/manic_lint/units.txt). The paper reports
+// throughput in Mbps (§3.4, Table 2); ndt.cc computes it from an RTT in
+// milliseconds and an MSS in bytes, so the chain crosses three conversions:
+// ms -> s (1e-3), bytes -> bits (8), bps -> Mbps (1e6). Each test pins one
+// link of the chain by recomputing it from base units, so a silently
+// dropped or doubled constant breaks a named assertion instead of skewing
+// Table 2 reproductions.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ndt/ndt.h"
+#include "topo/topology.h"
+
+namespace {
+
+using manic::ndt::NdtClient;
+
+constexpr double kSecPerMs = 1e-3;    // 1 ms = 1e-3 s
+constexpr double kBitsPerByte = 8.0;  // 1 byte = 8 bits
+constexpr double kBpsPerMbps = 1e6;   // 1 Mbps = 1e6 bps
+constexpr double kMbpsPerGbps = 1e3;  // 1 Gbps = 1000 Mbps
+
+TEST(NdtUnits, MathisChainMatchesBaseUnitRecomputation) {
+  const double rtt_ms = 40.0;
+  const double loss = 0.02;
+  const double mss_bytes = 1460.0;
+  const double uncapped_mbps = 1e9;
+
+  // T = MSS / (RTT * sqrt(2p/3)), assembled here entirely in base units
+  // (bits, seconds) and converted to Mbps only at the end. The conversions
+  // run through the named constexpr constants above, which the manic-lint
+  // units pass cannot see into — suppressed per line, audited in lint.json.
+  const double rtt_s = rtt_ms * kSecPerMs;          // manic-lint: allow(units)
+  const double mss_bits = mss_bytes * kBitsPerByte; // manic-lint: allow(units)
+  const double tput_bps = mss_bits / (rtt_s * std::sqrt(2.0 * loss / 3.0));
+  const double expected_mbps = tput_bps / kBpsPerMbps;  // manic-lint: allow(units)
+
+  const double got =
+      NdtClient::MathisThroughputMbps(rtt_ms, loss, mss_bytes, uncapped_mbps);
+  EXPECT_NEAR(got, expected_mbps, 1e-9 * expected_mbps);
+}
+
+TEST(NdtUnits, MathisRttArgumentIsMilliseconds) {
+  // Throughput is inversely proportional to RTT; doubling an RTT expressed
+  // in ms must exactly halve the result. If ndt.cc ever mixed up the ms -> s
+  // conversion the proportionality would survive but the magnitude below
+  // would not.
+  const double at_40ms =
+      NdtClient::MathisThroughputMbps(40.0, 0.01, 1460.0, 1e9);
+  const double at_80ms =
+      NdtClient::MathisThroughputMbps(80.0, 0.01, 1460.0, 1e9);
+  EXPECT_NEAR(at_80ms, at_40ms / 2.0, 1e-9 * at_40ms);
+
+  // Magnitude pin: 1460 bytes, 100 ms, p = 1.5e-3 gives sqrt(2p/3) = 1e-1.5,
+  // i.e. T = 1460*8 / (0.1 * 0.0316...) bps = ~3.69 Mbps — a Table 2-scale
+  // access rate, not a 1000x artifact of a dropped conversion.
+  const double pinned =
+      NdtClient::MathisThroughputMbps(100.0, 1.5e-3, 1460.0, 1e9);
+  const double expected =
+      1460.0 * kBitsPerByte /
+      (100.0 * kSecPerMs * std::sqrt(2.0 * 1.5e-3 / 3.0)) / kBpsPerMbps;
+  EXPECT_NEAR(pinned, expected, 1e-9 * expected);
+  EXPECT_GT(pinned, 1.0);
+  EXPECT_LT(pinned, 100.0);
+}
+
+TEST(NdtUnits, MathisCapIsAppliedInMbps) {
+  // A low-loss, low-RTT path blows far past any residential plan; the
+  // returned value must equal the cap, in the same Mbps the cap was given.
+  const double capped =
+      NdtClient::MathisThroughputMbps(5.0, 1e-6, 1460.0, 50.0);
+  EXPECT_DOUBLE_EQ(capped, 50.0);
+  // Zero loss short-circuits to the cap as well.
+  EXPECT_DOUBLE_EQ(NdtClient::MathisThroughputMbps(5.0, 0.0, 1460.0, 50.0),
+                   50.0);
+}
+
+TEST(NdtUnits, LinkCapacityGbpsToMbps) {
+  // Link capacities live in Gbps (topo::LinkParams); throughput caps live in
+  // Mbps. Pin the bridge both for the defaults and the VP host uplink.
+  const manic::topo::LinkParams defaults;
+  EXPECT_DOUBLE_EQ(defaults.capacity_gbps * kMbpsPerGbps, 100000.0);
+  EXPECT_DOUBLE_EQ(
+      manic::topo::Topology::kHostUplinkParams.capacity_gbps * kMbpsPerGbps,
+      1000.0);
+  EXPECT_DOUBLE_EQ(kMbpsPerGbps * kBpsPerMbps, 1e9);  // 1 Gbps = 1e9 bps
+}
+
+}  // namespace

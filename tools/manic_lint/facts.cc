@@ -216,7 +216,7 @@ TuFacts ExtractFacts(std::string_view source, std::string_view logical_path) {
   facts.module = ModuleOf(facts.path);
   ScanDirectives(source, facts);
 
-  const LexResult lexed = Lex(source);
+  LexResult lexed = Lex(source);
   for (const Token& t : lexed.tokens) {
     if (t.kind == TokKind::kIdent && !Keywords().count(t.text))
       facts.used.insert(t.text);
@@ -225,6 +225,7 @@ TuFacts ExtractFacts(std::string_view source, std::string_view logical_path) {
   facts.umbrella = facts.used.empty() && facts.exported.empty();
 
   facts.allow = ParseSuppressions(lexed.comments);
+  facts.tokens = std::move(lexed.tokens);
   return facts;
 }
 

@@ -48,6 +48,9 @@ struct TuFacts {
   // Suppressions: line -> rules allowed on that line or the line below
   // (same contract as the per-file rules in lint.cc).
   AllowMap allow;
+  // The file's full token stream, retained so the phase-3 semantic passes
+  // (units.h, taint.h) walk expressions without re-reading source.
+  std::vector<Token> tokens;
 };
 
 // Module of a normalized (forward-slash) path, or "" if the path contains

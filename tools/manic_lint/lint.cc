@@ -12,6 +12,8 @@
 #include "graph.h"
 #include "lexer.h"
 #include "rules.h"
+#include "taint.h"
+#include "units.h"
 
 namespace manic::lint {
 namespace {
@@ -214,7 +216,8 @@ int LintPaths(const std::vector<std::string>& paths,
 }
 
 TreeAnalysis AnalyzeTree(const std::vector<std::string>& paths,
-                         const LayerManifest* manifest) {
+                         const LayerManifest* manifest,
+                         const UnitsSpec* units) {
   TreeAnalysis result;
   std::vector<std::filesystem::path> sources;
   result.read_failure = !CollectSources(paths, sources);
@@ -241,6 +244,10 @@ TreeAnalysis AnalyzeTree(const std::vector<std::string>& paths,
     ++result.files_scanned;
   }
   RunGraphPasses(result.facts, manifest, result.findings);
+  RunDeterminismPass(result.facts, result.findings);
+  if (units != nullptr && units->loaded) {
+    RunUnitsPass(result.facts, *units, result.findings);
+  }
   SortFindings(result.findings);
   return result;
 }
@@ -265,7 +272,8 @@ std::string RenderText(const std::vector<Finding>& findings) {
 std::string RenderJson(const std::vector<Finding>& findings,
                        int files_scanned,
                        const std::map<std::string, int>& suppressions) {
-  std::string out = "{\"files_scanned\":" + std::to_string(files_scanned) +
+  std::string out = "{\"schema_version\":2"
+                    ",\"files_scanned\":" + std::to_string(files_scanned) +
                     ",\"errors\":" + std::to_string(CountErrors(findings)) +
                     ",\"warnings\":" + std::to_string(CountWarnings(findings)) +
                     ",\"suppressions\":{";

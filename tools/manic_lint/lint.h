@@ -36,6 +36,7 @@
 namespace manic::lint {
 
 struct LayerManifest;  // graph.h
+struct UnitsSpec;      // units.h
 
 enum class Severity { kWarning, kError };
 
@@ -69,8 +70,9 @@ bool LintFile(const std::filesystem::path& path, std::vector<Finding>& out,
 int LintPaths(const std::vector<std::string>& paths, std::vector<Finding>& out);
 
 // Whole-tree analysis: the per-file rules above plus the cross-file graph
-// passes (include cycles, layering contract, unused includes — graph.h),
-// with the per-TU facts table and a suppression audit on the side.
+// passes (include cycles, layering contract, unused includes — graph.h) and
+// the semantic passes (units dataflow — units.h, determinism taint —
+// taint.h), with the per-TU facts table and a suppression audit on the side.
 struct TreeAnalysis {
   std::vector<Finding> findings;  // sorted by (file, line, rule)
   FactsTable facts;
@@ -82,16 +84,19 @@ struct TreeAnalysis {
   std::map<std::string, int> suppressions;
 };
 
-// Walks `paths` like LintPaths, then runs the graph passes. A null (or
-// unloaded) manifest skips the layering pass only.
+// Walks `paths` like LintPaths, then runs the graph and semantic passes.
+// A null (or unloaded) manifest skips the layering pass only; a null (or
+// unloaded) units spec skips the units pass only. The determinism taint
+// pass always runs.
 TreeAnalysis AnalyzeTree(const std::vector<std::string>& paths,
-                         const LayerManifest* manifest);
+                         const LayerManifest* manifest,
+                         const UnitsSpec* units = nullptr);
 
 // One "path:line: severity[rule]: message" line per finding.
 std::string RenderText(const std::vector<Finding>& findings);
 
-// Machine-readable report:
-//   {"files_scanned":N,"errors":E,"warnings":W,
+// Machine-readable report (schema documented in tools/manic_lint/README.md):
+//   {"schema_version":2,"files_scanned":N,"errors":E,"warnings":W,
 //    "suppressions":{"rule":N,...},"findings":[...]}
 std::string RenderJson(const std::vector<Finding>& findings,
                        int files_scanned,

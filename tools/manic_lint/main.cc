@@ -4,19 +4,22 @@
 // "fix now" from "worth a look" without parsing the report.
 //
 //   manic_lint [--json] [--werror] [--quiet] [--graph FILE]
-//              [--layers FILE] [path...]
+//              [--layers FILE] [--units FILE] [path...]
 //
 // Paths default to `src bench tests examples` resolved against the current
 // directory; directories are walked recursively (build*/, .git/,
 // third_party/, and lint_fixtures/ are skipped). On top of the per-file
-// rules, the whole-program graph passes run over the scanned tree:
-// include-cycle detection, the layering contract from --layers (default
+// rules, the whole-program passes run over the scanned tree: include-cycle
+// detection, the layering contract from --layers (default
 // tools/manic_lint/layers.txt; silently skipped when the default is absent,
-// an error when an explicit --layers cannot be read), and unused-include
-// (IWYU-lite) warnings. --graph writes the real src/ module graph as
-// Graphviz DOT. --json replaces the human report on stdout with one JSON
-// object (scripts/check.sh stage 4 redirects it to build/check/lint.json);
-// the human report then goes to stderr unless --quiet.
+// an error when an explicit --layers cannot be read), unused-include
+// (IWYU-lite) warnings, the determinism taint pass (always on), and the
+// units dataflow pass from --units (default tools/manic_lint/units.txt,
+// same absent/unreadable behavior as --layers). --graph writes the real
+// src/ module graph as Graphviz DOT. --json replaces the human report on
+// stdout with one JSON object (scripts/check.sh stage 4 redirects it to
+// build/check/lint.json); the human report then goes to stderr unless
+// --quiet.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -24,12 +27,15 @@
 
 #include "graph.h"
 #include "lint.h"
+#include "units.h"
 
 int main(int argc, char** argv) {
   bool json = false, werror = false, quiet = false;
   std::string graph_path;
   std::string layers_path;
+  std::string units_path;
   bool layers_explicit = false;
+  bool units_explicit = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -39,7 +45,7 @@ int main(int argc, char** argv) {
       werror = true;
     } else if (arg == "--quiet") {
       quiet = true;
-    } else if (arg == "--graph" || arg == "--layers") {
+    } else if (arg == "--graph" || arg == "--layers" || arg == "--units") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "manic_lint: %s needs a file argument\n",
                      arg.c_str());
@@ -47,22 +53,28 @@ int main(int argc, char** argv) {
       }
       if (arg == "--graph") {
         graph_path = argv[++i];
-      } else {
+      } else if (arg == "--layers") {
         layers_path = argv[++i];
         layers_explicit = true;
+      } else {
+        units_path = argv[++i];
+        units_explicit = true;
       }
     } else if (arg == "--help" || arg == "-h") {
       std::fputs(
           "usage: manic_lint [--json] [--werror] [--quiet] [--graph FILE]\n"
-          "                  [--layers FILE] [path...]\n"
+          "                  [--layers FILE] [--units FILE] [path...]\n"
           "Token-level determinism & safety linter plus whole-program\n"
           "architecture analyzer for the MANIC tree.\n"
           "Per-file rules: unordered-iter raw-entropy stdout-write\n"
           "                header-hygiene uninit-member\n"
           "Graph passes:   include-cycle layering unused-include\n"
+          "Semantic passes: determinism (always on) units (needs --units)\n"
           "                (suppress: // manic-lint: allow(<rule>))\n"
           "--layers FILE   layering manifest (default\n"
           "                tools/manic_lint/layers.txt)\n"
+          "--units FILE    unit-suffix lattice (default\n"
+          "                tools/manic_lint/units.txt)\n"
           "--graph FILE    write the src/ module graph as Graphviz DOT\n"
           "exit codes: 0 clean, 1 errors, 2 warnings only, 3 usage/IO\n",
           stdout);
@@ -76,6 +88,7 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) paths = {"src", "bench", "tests", "examples"};
   if (layers_path.empty()) layers_path = "tools/manic_lint/layers.txt";
+  if (units_path.empty()) units_path = "tools/manic_lint/units.txt";
 
   std::string manifest_error;
   const manic::lint::LayerManifest manifest =
@@ -92,8 +105,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  const manic::lint::TreeAnalysis analysis =
-      manic::lint::AnalyzeTree(paths, manifest.loaded ? &manifest : nullptr);
+  std::string units_error;
+  const manic::lint::UnitsSpec units =
+      manic::lint::LoadUnitsSpec(units_path, &units_error);
+  if (!units.loaded) {
+    if (units_explicit) {
+      std::fprintf(stderr, "manic_lint: %s\n", units_error.c_str());
+      return 3;
+    }
+    if (!quiet) {
+      std::fprintf(stderr, "manic_lint: note: %s; units pass skipped\n",
+                   units_error.c_str());
+    }
+  }
+
+  const manic::lint::TreeAnalysis analysis = manic::lint::AnalyzeTree(
+      paths, manifest.loaded ? &manifest : nullptr,
+      units.loaded ? &units : nullptr);
   if (analysis.read_failure) {
     std::fputs("manic_lint: some inputs could not be read\n", stderr);
     return 3;

@@ -20,9 +20,8 @@ void Emit(const RuleContext& ctx, std::vector<Finding>& out, int line,
                  severity, std::move(message)});
 }
 
-// Index just past a balanced <...> starting at the '<' at `i` (token index),
-// or `i` unchanged if tokens[i] is not '<'. Gives up (returns the scan limit)
-// on unbalanced input.
+}  // namespace
+
 std::size_t SkipAngles(const std::vector<Token>& toks, std::size_t i) {
   if (i >= toks.size() || !IsPunct(toks[i], "<")) return i;
   int depth = 0;
@@ -49,16 +48,8 @@ const std::set<std::string, std::less<>>& CanonicalHelpers() {
   return kHelpers;
 }
 
-}  // namespace
-
-// R1: a for-loop whose header mentions a variable of unordered-container
-// type (or an unordered temporary) iterates in hash order — scheduling- and
-// libc-dependent — unless the range goes through a canonical-order helper.
-void RuleUnorderedIter(const RuleContext& ctx, std::vector<Finding>& out) {
-  const std::vector<Token>& toks = ctx.tokens;
-
-  // Pass 1: names declared with an unordered container type anywhere in the
-  // file (locals, members, parameters — token-level, so no scope tracking).
+std::set<std::string, std::less<>> CollectUnorderedVars(
+    const std::vector<Token>& toks) {
   std::set<std::string, std::less<>> unordered_vars;
   for (std::size_t i = 0; i < toks.size(); ++i) {
     if (toks[i].kind != TokKind::kIdent ||
@@ -76,6 +67,19 @@ void RuleUnorderedIter(const RuleContext& ctx, std::vector<Finding>& out) {
     if (j < toks.size() && toks[j].kind == TokKind::kIdent)
       unordered_vars.insert(toks[j].text);
   }
+  return unordered_vars;
+}
+
+// R1: a for-loop whose header mentions a variable of unordered-container
+// type (or an unordered temporary) iterates in hash order — scheduling- and
+// libc-dependent — unless the range goes through a canonical-order helper.
+void RuleUnorderedIter(const RuleContext& ctx, std::vector<Finding>& out) {
+  const std::vector<Token>& toks = ctx.tokens;
+
+  // Pass 1: names declared with an unordered container type anywhere in the
+  // file (shared with the determinism taint pass in taint.cc).
+  const std::set<std::string, std::less<>> unordered_vars =
+      CollectUnorderedVars(toks);
 
   // Pass 2: every `for (...)` header that mentions one of those names (or an
   // unordered type directly) without a canonical-order helper.

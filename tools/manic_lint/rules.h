@@ -3,6 +3,8 @@
 // scope flags; suppression comments are applied afterwards by the driver.
 #pragma once
 
+#include <set>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -10,6 +12,24 @@
 #include "lint.h"
 
 namespace manic::lint {
+
+// ---- token utilities shared with the semantic passes (units.cc, taint.cc) --
+
+// Index just past a balanced <...> starting at the '<' at `i` (token index),
+// or `i` unchanged if tokens[i] is not '<'. Gives up (returns the scan limit)
+// on unbalanced input.
+std::size_t SkipAngles(const std::vector<Token>& toks, std::size_t i);
+
+// Hash-ordered container type names (std:: plus the common abseil spellings).
+const std::set<std::string, std::less<>>& UnorderedTypes();
+
+// The sanctioned canonical-order fold helpers in src/runtime/canonical.h.
+const std::set<std::string, std::less<>>& CanonicalHelpers();
+
+// Names declared with an unordered-container type anywhere in the token
+// stream (locals, members, parameters — token-level, so no scope tracking).
+std::set<std::string, std::less<>> CollectUnorderedVars(
+    const std::vector<Token>& toks);
 
 struct RuleContext {
   std::string_view logical_path;       // forward-slash normalized

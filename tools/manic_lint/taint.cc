@@ -1,0 +1,250 @@
+#include "taint.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <tuple>
+
+#include "lexer.h"
+#include "rules.h"
+
+namespace manic::lint {
+namespace {
+
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+bool InRuntime(std::string_view path) {
+  return path.find("src/runtime/") != std::string_view::npos;
+}
+
+// The chrono clock types whose now() reads the wall (or monotonic) clock.
+bool ClockTypeName(std::string_view s) {
+  return s == "steady_clock" || s == "system_clock" ||
+         s == "high_resolution_clock";
+}
+
+// C clock-reading functions that are nondeterminism sources wherever called.
+bool ClockCallName(std::string_view s) {
+  return s == "clock_gettime" || s == "gettimeofday" || s == "timespec_get";
+}
+
+// Member access — `obj.time(...)`, `ptr->clock(...)` — is not the libc call,
+// and a preceding type word (`double clock() const`, `time_t time(...)`)
+// marks a declaration of a same-named function, not a call. `return x()`
+// and qualified `std::x()` both stay calls.
+bool NotACall(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0) return false;
+  const Token& prev = toks[i - 1];
+  if (IsPunct(prev, ".") || IsPunct(prev, ">")) return true;
+  if (prev.kind != TokKind::kIdent) return false;
+  return prev.text != "return" && prev.text != "co_return" &&
+         prev.text != "co_await" && prev.text != "co_yield" &&
+         prev.text != "case" && prev.text != "else" && prev.text != "do" &&
+         prev.text != "and" && prev.text != "or" && prev.text != "not";
+}
+
+// R2 (raw-entropy) owns `time(nullptr)`, `time(NULL)` and `time(0)`; this
+// pass takes every other call shape so no site ever reports twice.
+bool IsR2TimeShape(const std::vector<Token>& toks, std::size_t open) {
+  if (open + 2 >= toks.size() || !IsPunct(toks[open], "(")) return false;
+  const Token& arg = toks[open + 1];
+  const bool r2_arg = IsIdent(arg, "nullptr") || IsIdent(arg, "NULL") ||
+                      (arg.kind == TokKind::kNumber && arg.text == "0");
+  return r2_arg && IsPunct(toks[open + 2], ")");
+}
+
+// Whether the balanced <...> starting at `open` contains a '*' at angle
+// depth 1 (for sets: anywhere; for maps: only before the first depth-1
+// comma, i.e. inside the key type).
+bool PointerInAngles(const std::vector<Token>& toks, std::size_t open,
+                     bool key_only) {
+  if (open >= toks.size() || !IsPunct(toks[open], "<")) return false;
+  int depth = 0;
+  int paren = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(") ++paren;
+    if (t.text == ")") --paren;
+    if (paren > 0) continue;
+    if (t.text == "<") ++depth;
+    if (t.text == ">" && --depth == 0) return false;
+    if (t.text == ";" || t.text == "{") return false;  // not a template list
+    if (depth == 1 && t.text == "," && key_only) return false;
+    if (depth == 1 && t.text == "*") return true;
+  }
+  return false;
+}
+
+// Whether [begin, end) mentions one of the canonical-order fold helpers.
+bool MentionsCanonicalHelper(const std::vector<Token>& toks, std::size_t begin,
+                             std::size_t end) {
+  const auto& helpers = CanonicalHelpers();
+  for (std::size_t j = begin; j < end && j < toks.size(); ++j) {
+    if (toks[j].kind == TokKind::kIdent && helpers.count(toks[j].text)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Emit(const TuFacts& file, int line, std::string message,
+          std::vector<Finding>& out) {
+  if (FactsTable::IsAllowed(file, line, "determinism")) return;
+  out.push_back(
+      {file.path, line, "determinism", Severity::kError, std::move(message)});
+}
+
+void CheckFile(const TuFacts& file, std::vector<Finding>& out) {
+  const std::vector<Token>& toks = file.tokens;
+  const std::set<std::string, std::less<>> unordered_vars =
+      CollectUnorderedVars(toks);
+  const auto& unordered_types = UnorderedTypes();
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    const std::string_view name = t.text;
+
+    if (ClockTypeName(name)) {
+      Emit(file, t.line,
+           "std::chrono::" + t.text +
+               " read outside src/runtime/ makes output depend on the wall "
+               "clock; take timings through runtime::Metrics or derive them "
+               "from simulated time",
+           out);
+      continue;
+    }
+
+    const bool has_paren = i + 1 < toks.size() && IsPunct(toks[i + 1], "(");
+
+    if (ClockCallName(name) && has_paren) {
+      Emit(file, t.line,
+           t.text +
+               "() reads the wall clock; route timing through "
+               "runtime::Metrics (src/runtime/metrics.h) so study output "
+               "stays byte-reproducible",
+           out);
+      continue;
+    }
+
+    if (name == "clock" && has_paren && !NotACall(toks, i)) {
+      Emit(file, t.line,
+           "clock() reads process CPU time; route timing through "
+           "runtime::Metrics so study output stays byte-reproducible",
+           out);
+      continue;
+    }
+
+    if (name == "time" && has_paren && !NotACall(toks, i) &&
+        !IsR2TimeShape(toks, i + 1)) {
+      Emit(file, t.line,
+           "time() reads the wall clock; thread simulated time (TimeSec) or "
+           "a SeedTree-derived value through instead",
+           out);
+      continue;
+    }
+
+    if (name == "hash" && i + 1 < toks.size() && IsPunct(toks[i + 1], "<") &&
+        PointerInAngles(toks, i + 1, /*key_only=*/false)) {
+      Emit(file, t.line,
+           "std::hash over a pointer type hashes an address; ASLR reorders "
+           "those per run — hash a stable id instead",
+           out);
+      continue;
+    }
+
+    if (unordered_types.count(name) && i + 1 < toks.size() &&
+        IsPunct(toks[i + 1], "<")) {
+      const bool key_only = name.find("map") != std::string_view::npos;
+      if (PointerInAngles(toks, i + 1, key_only)) {
+        Emit(file, t.line,
+             t.text +
+                 " keyed on a pointer orders by address; key on a stable id "
+                 "(RouterId, LinkId, ...) so iteration taint cannot leak "
+                 "address entropy",
+             out);
+      }
+      continue;
+    }
+
+    if (name == "reinterpret_cast" && i + 1 < toks.size() &&
+        IsPunct(toks[i + 1], "<")) {
+      const std::size_t close = SkipAngles(toks, i + 1);
+      for (std::size_t j = i + 1; j < close && j < toks.size(); ++j) {
+        if (IsIdent(toks[j], "uintptr_t") || IsIdent(toks[j], "intptr_t")) {
+          Emit(file, t.line,
+               "reinterpret_cast to " + toks[j].text +
+                   " bakes an ASLR-randomized address into a value; derive "
+                   "ids from construction order, not addresses",
+               out);
+          break;
+        }
+      }
+      continue;
+    }
+
+    if ((name == "accumulate" || name == "reduce" ||
+         name == "transform_reduce") &&
+        has_paren) {
+      // Balanced argument-list scan.
+      int depth = 0;
+      std::size_t end = i + 1;
+      for (; end < toks.size(); ++end) {
+        if (IsPunct(toks[end], "(")) ++depth;
+        if (IsPunct(toks[end], ")") && --depth == 0) break;
+      }
+      bool unordered = false;
+      std::string which;
+      for (std::size_t j = i + 2; j < end; ++j) {
+        if (toks[j].kind != TokKind::kIdent) continue;
+        if (unordered_vars.count(toks[j].text) ||
+            unordered_types.count(toks[j].text)) {
+          unordered = true;
+          which = toks[j].text;
+          break;
+        }
+      }
+      if (unordered && !MentionsCanonicalHelper(toks, i + 2, end)) {
+        Emit(file, t.line,
+             "std::" + t.text + " over unordered container '" + which +
+                 "' folds floating point in hash order; fold through the "
+                 "canonical-order helpers (src/runtime/canonical.h) instead",
+             out);
+      }
+      i = end;
+      continue;
+    }
+  }
+}
+
+}  // namespace
+
+void RunDeterminismPass(const FactsTable& table, std::vector<Finding>& out) {
+  std::vector<Finding> found;
+  for (const TuFacts& file : table.Files()) {
+    if (InRuntime(file.path)) continue;
+    CheckFile(file, found);
+  }
+  std::sort(found.begin(), found.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.message) <
+           std::tie(b.file, b.line, b.message);
+  });
+  found.erase(std::unique(found.begin(), found.end(),
+                          [](const Finding& a, const Finding& b) {
+                            return a.file == b.file && a.line == b.line &&
+                                   a.message == b.message;
+                          }),
+              found.end());
+  out.insert(out.end(), std::make_move_iterator(found.begin()),
+             std::make_move_iterator(found.end()));
+}
+
+}  // namespace manic::lint

@@ -1,0 +1,40 @@
+// Phase 3b of the whole-program analyzer: the `determinism` taint pass. The
+// study engine's contract (DESIGN.md "Determinism") is that every run of the
+// longitudinal study is byte-reproducible: all entropy flows from SeedTree,
+// all wall-clock reads live behind runtime::Metrics, and every fold over a
+// hash-ordered container goes through the canonical-order helpers. This pass
+// flags the *sources* of nondeterminism that the per-file rules R1/R2 do not
+// already own, anywhere outside src/runtime/:
+//
+//   clock reads       std::chrono::{steady,system,high_resolution}_clock,
+//                     clock_gettime / gettimeofday / timespec_get / clock(),
+//                     and time() with a non-R2 argument shape (R2 keeps
+//                     ownership of rand / srand / std::random_device /
+//                     time(nullptr|NULL|0) so no site reports twice);
+//   address taint     std::hash over a pointer type, unordered containers
+//                     keyed on pointers, and reinterpret_cast to
+//                     uintptr_t/intptr_t — ASLR makes every one of these a
+//                     fresh ordering per run;
+//   FP accumulation   std::accumulate / std::reduce / std::transform_reduce
+//                     whose argument list touches an unordered container
+//                     without a canonical-order helper in the call: floating
+//                     point addition is not associative, so hash-order folds
+//                     drift across platforms and library versions.
+//
+// Everything is an error. Sanctioned homes: src/runtime/ itself (Metrics
+// owns the wall clock; SeedTree owns entropy; canonical.h owns the folds).
+// Suppression: `// manic-lint: allow(determinism)`.
+#pragma once
+
+#include <vector>
+
+#include "facts.h"
+#include "lint.h"
+
+namespace manic::lint {
+
+// Runs the pass over every file in the table (skipping src/runtime/),
+// appending `determinism` findings. Honors allow(determinism) suppressions.
+void RunDeterminismPass(const FactsTable& table, std::vector<Finding>& out);
+
+}  // namespace manic::lint

@@ -1,0 +1,641 @@
+#include "units.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "lexer.h"
+
+namespace manic::lint {
+namespace {
+
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+// Keywords that precede '(' without being function calls or declarations.
+bool ControlWord(std::string_view s) {
+  static const std::set<std::string, std::less<>> kWords = {
+      "alignas",  "alignof",       "case",     "catch",    "co_await",
+      "co_return", "co_yield",     "decltype", "defined",  "delete",
+      "for",      "if",            "new",      "noexcept", "requires",
+      "return",   "sizeof",        "static_assert",        "switch",
+      "throw",    "typeid",        "using",    "while"};
+  return kWords.count(s) > 0;
+}
+
+// Number-token value. Digit separators are stripped; a trailing literal
+// suffix ([fFlLuU]) is tolerated.
+bool ParseNumber(std::string_view text, double* out) {
+  std::string clean;
+  clean.reserve(text.size());
+  for (char c : text) {
+    if (c != '\'') clean.push_back(c);
+  }
+  const char* begin = clean.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) return false;
+  for (const char* p = end; *p != '\0'; ++p) {
+    if (*p != 'f' && *p != 'F' && *p != 'l' && *p != 'L' && *p != 'u' &&
+        *p != 'U') {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+bool Equivalent(const UnitSuffix& a, const UnitSuffix& b) {
+  return a.dimension == b.dimension &&
+         std::fabs(a.scale - b.scale) <=
+             1e-9 * std::max(std::fabs(a.scale), std::fabs(b.scale));
+}
+
+// What an expression (sub)range carries: the unit-suffixed identifiers in
+// flow order, whether a sanctioned conversion constant appears, and whether
+// a division does (a same-unit ratio is dimensionless).
+struct ExprScan {
+  std::vector<std::pair<std::string, const UnitSuffix*>> unit_idents;
+  bool sanctioned = false;
+  bool divide = false;
+};
+
+void ScanToken(const Token& t, const UnitsSpec& spec, ExprScan* scan) {
+  if (t.kind == TokKind::kIdent) {
+    if (const UnitSuffix* u = spec.SuffixOf(t.text)) {
+      scan->unit_idents.emplace_back(t.text, u);
+    }
+  } else if (t.kind == TokKind::kNumber) {
+    double v = 0.0;
+    if (ParseNumber(t.text, &v) && spec.SanctionedConstant(v)) {
+      scan->sanctioned = true;
+    }
+  } else if (IsPunct(t, "/")) {
+    scan->divide = true;
+  }
+}
+
+ExprScan ScanRange(const std::vector<Token>& toks, std::size_t begin,
+                   std::size_t end, const UnitsSpec& spec) {
+  ExprScan scan;
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    ScanToken(toks[i], spec, &scan);
+  }
+  return scan;
+}
+
+bool AllUnitsEquivalent(const ExprScan& scan, const UnitSuffix& target) {
+  return std::all_of(scan.unit_idents.begin(), scan.unit_idents.end(),
+                     [&](const auto& p) { return Equivalent(*p.second, target); });
+}
+
+bool AllUnitsMutuallyEquivalent(const ExprScan& scan) {
+  if (scan.unit_idents.empty()) return true;
+  const UnitSuffix& ref = *scan.unit_idents.front().second;
+  return AllUnitsEquivalent(scan, ref);
+}
+
+bool ApproxEqual(double a, double b) {
+  return std::fabs(a - b) <= 1e-9 * std::max(std::fabs(a), std::fabs(b));
+}
+
+// Whether an expression may legally flow into a target of unit `target`.
+bool Compatible(const UnitSuffix& target, const ExprScan& scan) {
+  if (scan.unit_idents.empty()) return true;
+  if (AllUnitsEquivalent(scan, target)) return true;
+  if (scan.sanctioned) return true;
+  // `util_frac = used_bps / cap_bps` — a ratio of one unit is dimensionless.
+  if (target.dimension == "ratio" && scan.divide &&
+      AllUnitsMutuallyEquivalent(scan)) {
+    return true;
+  }
+  // Dimensional closure under rate = data / time. When the expression mixes
+  // exactly two dimensions with one scale each, a product or quotient whose
+  // scales multiply out to the target's scale is correctly dimensioned:
+  // `dl_mbits = rate_mbps * wait_s`, `tput_mbps = dl_mbits / wait_s`,
+  // `wait_s = dl_mbits / rate_mbps`.
+  std::map<std::string, double, std::less<>> dims;
+  for (const auto& [name, unit] : scan.unit_idents) {
+    const auto [it, inserted] = dims.emplace(unit->dimension, unit->scale);
+    if (!inserted && !ApproxEqual(it->second, unit->scale)) return false;
+  }
+  if (dims.size() == 2) {
+    const auto data = dims.find("data");
+    const auto time = dims.find("time");
+    const auto rate = dims.find("rate");
+    if (target.dimension == "rate" && data != dims.end() &&
+        time != dims.end() && scan.divide &&
+        ApproxEqual(data->second / time->second, target.scale)) {
+      return true;
+    }
+    if (target.dimension == "data" && rate != dims.end() &&
+        time != dims.end() &&
+        ApproxEqual(rate->second * time->second, target.scale)) {
+      return true;
+    }
+    if (target.dimension == "time" && data != dims.end() &&
+        rate != dims.end() && scan.divide &&
+        ApproxEqual(data->second / rate->second, target.scale)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// The identifiers that moved the wrong unit in, as "a -> b -> target".
+std::string FlowChain(const ExprScan& scan, const UnitSuffix& target,
+                      std::string_view target_name) {
+  std::string chain;
+  std::set<std::string> seen;
+  for (const auto& [name, unit] : scan.unit_idents) {
+    if (Equivalent(*unit, target)) continue;
+    if (!seen.insert(name).second) continue;
+    if (!chain.empty()) chain += " -> ";
+    chain += name + " (_" + unit->name + ")";
+  }
+  chain += " -> ";
+  chain += target_name;
+  return chain;
+}
+
+void EmitUnits(const TuFacts& file, int line, std::string message,
+               std::vector<Finding>& out) {
+  if (FactsTable::IsAllowed(file, line, "units")) return;
+  out.push_back(
+      {file.path, line, "units", Severity::kError, std::move(message)});
+}
+
+// ---- call-expression chunking ---------------------------------------------
+
+struct Chunk {
+  std::size_t begin = 0;
+  std::size_t end = 0;  // token range [begin, end)
+};
+
+// Splits the parenthesized list whose '(' sits at `open` into top-level
+// comma chunks. Returns the index of the matching ')' (or a bail-out point
+// on malformed input).
+std::size_t SplitArgs(const std::vector<Token>& toks, std::size_t open,
+                      std::vector<Chunk>* chunks) {
+  int depth = 0;
+  std::size_t chunk_begin = open + 1;
+  std::size_t j = open;
+  for (; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(" || t.text == "[" || t.text == "{") {
+      ++depth;
+    } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+      if (--depth == 0) break;
+    } else if (t.text == "," && depth == 1) {
+      chunks->push_back({chunk_begin, j});
+      chunk_begin = j + 1;
+    } else if (t.text == ";" && depth <= 1) {
+      return j;  // statement boundary inside the list: malformed, bail
+    }
+  }
+  if (j > chunk_begin) chunks->push_back({chunk_begin, j});
+  return j;
+}
+
+bool TypeishFirst(const Token& t) {
+  if (t.kind != TokKind::kIdent || t.text.empty()) return false;
+  static const std::set<std::string, std::less<>> kTypeWords = {
+      "auto",     "bool",     "char",      "char8_t",  "char16_t",
+      "char32_t", "class",    "const",     "constexpr", "double",
+      "float",    "int",      "long",      "short",    "signed",
+      "std",      "struct",   "typename",  "unsigned", "void",
+      "volatile", "wchar_t"};
+  return kTypeWords.count(t.text) > 0 ||
+         std::isupper(static_cast<unsigned char>(t.text[0])) != 0;
+}
+
+// Finds a top-level '=' (a default argument) inside the chunk, or end.
+std::size_t TopLevelEq(const std::vector<Token>& toks, const Chunk& c) {
+  int depth = 0;
+  for (std::size_t j = c.begin; j < c.end; ++j) {
+    const Token& t = toks[j];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+    else if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+    else if (t.text == "=" && depth == 0) return j;
+  }
+  return c.end;
+}
+
+// Whether one comma chunk reads as a parameter declaration rather than a
+// call argument: `double rtt_ms`, `const TagSet& tags = {}`,
+// `std::optional<Asn> addr_from = std::nullopt`. Call arguments start with
+// a lowercase value identifier, contain '.', or end in ')' — all rejected.
+bool DeclLikeChunk(const std::vector<Token>& toks, const Chunk& c) {
+  if (c.end < c.begin + 2) return false;
+  for (std::size_t j = c.begin; j < c.end; ++j) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kString || t.kind == TokKind::kChar) return false;
+    if (IsPunct(t, ".")) return false;
+  }
+  if (!TypeishFirst(toks[c.begin])) return false;
+  const std::size_t eq = TopLevelEq(toks, c);
+  if (eq < c.end) {
+    return eq > c.begin && toks[eq - 1].kind == TokKind::kIdent;
+  }
+  return toks[c.end - 1].kind == TokKind::kIdent;
+}
+
+// Declarator name of a decl-like chunk (the identifier before the default
+// '=', or the chunk's last identifier).
+std::string ChunkParamName(const std::vector<Token>& toks, const Chunk& c) {
+  const std::size_t eq = TopLevelEq(toks, c);
+  if (eq < c.end && eq > c.begin && toks[eq - 1].kind == TokKind::kIdent) {
+    return toks[eq - 1].text;
+  }
+  for (std::size_t j = c.end; j-- > c.begin;) {
+    if (toks[j].kind == TokKind::kIdent) return toks[j].text;
+  }
+  return {};
+}
+
+bool IsCallHead(const std::vector<Token>& toks, std::size_t i) {
+  return toks[i].kind == TokKind::kIdent && i + 1 < toks.size() &&
+         IsPunct(toks[i + 1], "(") && !ControlWord(toks[i].text);
+}
+
+// ---- the three flow checks -------------------------------------------------
+
+void CheckAssignments(const TuFacts& file, const UnitsSpec& spec,
+                      std::vector<Finding>& out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t k = 1; k < toks.size(); ++k) {
+    if (!IsPunct(toks[k], "=")) continue;
+    if (k + 1 < toks.size() && IsPunct(toks[k + 1], "=")) {
+      ++k;  // '=='
+      continue;
+    }
+    const Token& prev = toks[k - 1];
+    std::size_t lhs = toks.size();
+    if (prev.kind == TokKind::kIdent) {
+      lhs = k - 1;
+    } else if ((IsPunct(prev, "+") || IsPunct(prev, "-")) && k >= 2 &&
+               toks[k - 2].kind == TokKind::kIdent) {
+      lhs = k - 2;  // '+=' / '-=' (the lexer splits compound operators)
+    } else if (IsPunct(prev, "]")) {
+      // `arr_ms[i] = ...`: hop back over the balanced subscript.
+      int depth = 0;
+      std::size_t j = k - 1;
+      while (j > 0) {
+        if (IsPunct(toks[j], "]")) ++depth;
+        if (IsPunct(toks[j], "[") && --depth == 0) break;
+        --j;
+      }
+      if (j > 0 && toks[j - 1].kind == TokKind::kIdent) lhs = j - 1;
+    }
+    if (lhs >= toks.size()) continue;
+    const UnitSuffix* target = spec.SuffixOf(toks[lhs].text);
+    if (target == nullptr) continue;
+
+    // RHS runs to the first top-level ';' or ',', or a closing bracket that
+    // leaves the expression.
+    std::size_t e = k + 1;
+    int depth = 0;
+    for (; e < toks.size(); ++e) {
+      const Token& t = toks[e];
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{") {
+        ++depth;
+      } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+        if (--depth < 0) break;
+      } else if (depth == 0 && (t.text == ";" || t.text == ",")) {
+        break;
+      }
+    }
+    const ExprScan scan = ScanRange(toks, k + 1, e, spec);
+    if (!Compatible(*target, scan)) {
+      EmitUnits(
+          file, toks[k].line,
+          "'" + toks[lhs].text + "' carries _" + target->name +
+              " but is assigned an expression of a different unit; multiply "
+              "by a sanctioned conversion constant (tools/manic_lint/"
+              "units.txt) or fix the declaration [flow: " +
+              FlowChain(scan, *target, toks[lhs].text) + "]",
+          out);
+    }
+    k = e;
+  }
+}
+
+// Operand scans for comparisons: the maximal run of identifier / number /
+// member-access / arithmetic tokens touching the operator.
+bool OperandToken(const Token& t) {
+  if (t.kind == TokKind::kIdent || t.kind == TokKind::kNumber) return true;
+  if (t.kind != TokKind::kPunct) return false;
+  return t.text == "." || t.text == ":" || t.text == "[" || t.text == "]" ||
+         t.text == "*" || t.text == "/" || t.text == "+" || t.text == "-";
+}
+
+ExprScan ScanOperandLeft(const std::vector<Token>& toks, std::size_t from,
+                         const UnitsSpec& spec) {
+  ExprScan scan;
+  for (std::size_t n = 0; n < 40; ++n) {
+    if (from >= toks.size() || !OperandToken(toks[from])) break;
+    ScanToken(toks[from], spec, &scan);
+    if (from == 0) break;
+    --from;
+  }
+  return scan;
+}
+
+ExprScan ScanOperandRight(const std::vector<Token>& toks, std::size_t from,
+                          const UnitsSpec& spec) {
+  ExprScan scan;
+  for (std::size_t n = 0; n < 40 && from < toks.size(); ++n, ++from) {
+    if (!OperandToken(toks[from])) break;
+    ScanToken(toks[from], spec, &scan);
+  }
+  return scan;
+}
+
+void CheckComparisons(const TuFacts& file, const UnitsSpec& spec,
+                      std::vector<Finding>& out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t k = 1; k + 1 < toks.size(); ++k) {
+    const Token& t = toks[k];
+    if (t.kind != TokKind::kPunct) continue;
+    std::size_t right = 0;
+    if ((t.text == "=" || t.text == "!") && IsPunct(toks[k + 1], "=")) {
+      // '==' / '!='; '<=' '>=' are caught below ('=' preceded by '<'/'>').
+      if (t.text == "=" &&
+          (IsPunct(toks[k - 1], "<") || IsPunct(toks[k - 1], ">") ||
+           IsPunct(toks[k - 1], "=") || IsPunct(toks[k - 1], "!"))) {
+        continue;
+      }
+      right = k + 2;
+    } else if (t.text == "<" || t.text == ">") {
+      if (IsPunct(toks[k + 1], t.text)) {
+        ++k;  // '<<' / '>>' stream or shift
+        continue;
+      }
+      if (t.text == ">" && IsPunct(toks[k - 1], "-")) continue;  // '->'
+      right = IsPunct(toks[k + 1], "=") ? k + 2 : k + 1;
+    } else {
+      continue;
+    }
+    const ExprScan left = ScanOperandLeft(toks, k - 1, spec);
+    const ExprScan rhs = ScanOperandRight(toks, right, spec);
+    if (left.unit_idents.empty() || rhs.unit_idents.empty()) continue;
+    ExprScan both = left;
+    both.unit_idents.insert(both.unit_idents.end(), rhs.unit_idents.begin(),
+                            rhs.unit_idents.end());
+    if (AllUnitsMutuallyEquivalent(both)) continue;
+    if (left.sanctioned || rhs.sanctioned) continue;
+    EmitUnits(file, t.line,
+              "comparison mixes units [flow: " +
+                  FlowChain(both, *both.unit_idents.front().second,
+                            both.unit_idents.front().first) +
+                  "]; convert one side with a sanctioned constant "
+                  "(tools/manic_lint/units.txt) first",
+              out);
+    k = right;
+  }
+}
+
+void CheckCalls(const TuFacts& file, const UnitsSpec& spec,
+                const UnitsRegistry& registry, std::vector<Finding>& out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!IsCallHead(toks, i)) continue;
+    const auto it = registry.functions.find(toks[i].text);
+    if (it == registry.functions.end()) continue;
+    std::vector<Chunk> chunks;
+    const std::size_t close = SplitArgs(toks, i + 1, &chunks);
+    if (chunks.empty()) continue;
+    const bool decl_site =
+        std::all_of(chunks.begin(), chunks.end(), [&](const Chunk& c) {
+          return DeclLikeChunk(toks, c);
+        });
+    if (decl_site) {
+      i = close;
+      continue;
+    }
+    const std::size_t n = chunks.size();
+    std::vector<const FnSig*> candidates;
+    for (const FnSig& sig : it->second) {
+      if (n >= static_cast<std::size_t>(sig.min_args) &&
+          n <= sig.params.size()) {
+        candidates.push_back(&sig);
+      }
+    }
+    if (candidates.empty()) {
+      i = close;
+      continue;
+    }
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      // All candidate signatures must agree on the parameter's unit.
+      const std::string& unit_name = candidates.front()->params[pos].unit;
+      if (unit_name.empty()) continue;
+      const bool agree = std::all_of(
+          candidates.begin(), candidates.end(),
+          [&](const FnSig* s) { return s->params[pos].unit == unit_name; });
+      if (!agree) continue;
+      const UnitSuffix& expected = spec.suffixes.at(unit_name);
+      // A braced chunk (`f(a, b, LinkParams{x_ms, y_gbps})`) constructs an
+      // aggregate whose fields carry their own units; nothing there flows
+      // into this parameter directly.
+      bool braced = false;
+      for (std::size_t j = chunks[pos].begin; j < chunks[pos].end; ++j) {
+        if (IsPunct(toks[j], "{")) {
+          braced = true;
+          break;
+        }
+      }
+      if (braced) continue;
+      const ExprScan scan =
+          ScanRange(toks, chunks[pos].begin, chunks[pos].end, spec);
+      if (Compatible(expected, scan)) continue;
+      const FnSig& decl = *candidates.front();
+      EmitUnits(
+          file, toks[i].line,
+          "argument " + std::to_string(pos + 1) + " of '" + toks[i].text +
+              "' binds parameter '" + decl.params[pos].name + "' (_" +
+              unit_name + ", declared at " + decl.file + ":" +
+              std::to_string(decl.line) +
+              ") but carries a different unit [flow: " +
+              FlowChain(scan, expected, decl.params[pos].name) +
+              "]; convert with a sanctioned constant or fix the caller",
+          out);
+    }
+    i = close;
+  }
+}
+
+}  // namespace
+
+const UnitSuffix* UnitsSpec::SuffixOf(std::string_view ident) const {
+  if (!ident.empty() && ident.back() == '_') ident.remove_suffix(1);
+  const std::size_t us = ident.rfind('_');
+  if (us == std::string_view::npos || us + 1 >= ident.size()) return nullptr;
+  const auto it = suffixes.find(ident.substr(us + 1));
+  return it == suffixes.end() ? nullptr : &it->second;
+}
+
+bool UnitsSpec::SanctionedConstant(double value) const {
+  for (double c : constants) {
+    if (std::fabs(value - c) <=
+        1e-9 * std::max(std::fabs(value), std::fabs(c))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+UnitsSpec ParseUnitsSpec(std::string_view text, std::string* error) {
+  UnitsSpec spec;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = "units spec line " + std::to_string(lineno) + ": " + what;
+    }
+    return UnitsSpec{};
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string word;
+    if (!(fields >> word)) continue;
+    if (word == "suffix") {
+      UnitSuffix s;
+      std::string scale;
+      if (!(fields >> s.name >> s.dimension >> scale)) {
+        return fail("expected `suffix <token> <dimension> <scale>`");
+      }
+      if (!ParseNumber(scale, &s.scale) || s.scale <= 0.0) {
+        return fail("bad scale '" + scale + "'");
+      }
+      spec.suffixes[s.name] = s;
+    } else if (word == "const") {
+      std::string value;
+      double v = 0.0;
+      if (!(fields >> value) || !ParseNumber(value, &v) || v == 0.0) {
+        return fail("expected `const <nonzero value>`");
+      }
+      spec.constants.push_back(v);
+      spec.constants.push_back(1.0 / v);
+    } else {
+      return fail("unrecognized directive '" + word + "'");
+    }
+  }
+  // Sanctioned constants: every pairwise scale ratio within a dimension
+  // (both directions fall out of iterating ordered pairs). A ratio of 1
+  // (s vs sec) is excluded — a bare literal 1 must never sanction anything.
+  for (const auto& [na, a] : spec.suffixes) {
+    for (const auto& [nb, b] : spec.suffixes) {
+      if (na == nb || a.dimension != b.dimension) continue;
+      const double ratio = a.scale / b.scale;
+      if (std::fabs(ratio - 1.0) <= 1e-9) continue;
+      spec.constants.push_back(ratio);
+    }
+  }
+  spec.loaded = !spec.suffixes.empty();
+  if (!spec.loaded && error != nullptr && error->empty()) {
+    *error = "units spec declares no suffixes";
+  }
+  return spec;
+}
+
+UnitsSpec LoadUnitsSpec(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot read units spec '" + path + "'";
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseUnitsSpec(buf.str(), error);
+}
+
+UnitsRegistry BuildUnitsRegistry(const FactsTable& table,
+                                 const UnitsSpec& spec) {
+  UnitsRegistry registry;
+  for (const TuFacts& file : table.Files()) {
+    const std::vector<Token>& toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!IsCallHead(toks, i)) continue;
+      std::vector<Chunk> chunks;
+      const std::size_t close = SplitArgs(toks, i + 1, &chunks);
+      if (chunks.empty()) continue;
+      const bool decl = std::all_of(
+          chunks.begin(), chunks.end(),
+          [&](const Chunk& c) { return DeclLikeChunk(toks, c); });
+      if (!decl) continue;
+      FnSig sig;
+      sig.file = file.path;
+      sig.line = toks[i].line;
+      bool any_unit = false;
+      bool defaulted = false;
+      for (const Chunk& c : chunks) {
+        UnitParam param;
+        param.name = ChunkParamName(toks, c);
+        if (const UnitSuffix* u = spec.SuffixOf(param.name)) {
+          param.unit = u->name;
+          any_unit = true;
+          ++registry.unit_decls;
+        }
+        if (TopLevelEq(toks, c) < c.end) defaulted = true;
+        if (!defaulted) ++sig.min_args;
+        sig.params.push_back(std::move(param));
+      }
+      if (any_unit) {
+        registry.functions[toks[i].text].push_back(std::move(sig));
+      }
+      i = close;
+    }
+    // Audit count of unit-suffixed field/local declarations: a unit-carrying
+    // identifier directly preceded by a declaration-prefix token.
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent) continue;
+      if (spec.SuffixOf(toks[i].text) == nullptr) continue;
+      const Token& prev = toks[i - 1];
+      const bool decl_prefix =
+          (prev.kind == TokKind::kIdent && TypeishFirst(prev)) ||
+          IsPunct(prev, "&") || IsPunct(prev, "*") || IsPunct(prev, ">");
+      if (decl_prefix) ++registry.unit_decls;
+    }
+  }
+  return registry;
+}
+
+void RunUnitsPass(const FactsTable& table, const UnitsSpec& spec,
+                  std::vector<Finding>& out) {
+  if (!spec.loaded) return;
+  const UnitsRegistry registry = BuildUnitsRegistry(table, spec);
+  std::vector<Finding> found;
+  for (const TuFacts& file : table.Files()) {
+    CheckAssignments(file, spec, found);
+    CheckComparisons(file, spec, found);
+    CheckCalls(file, spec, registry, found);
+  }
+  // The walkers can see one expression twice (e.g. a comparison inside an
+  // assignment's RHS); report each (file, line, message) once.
+  std::sort(found.begin(), found.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.message) <
+           std::tie(b.file, b.line, b.message);
+  });
+  found.erase(std::unique(found.begin(), found.end(),
+                          [](const Finding& a, const Finding& b) {
+                            return a.file == b.file && a.line == b.line &&
+                                   a.message == b.message;
+                          }),
+              found.end());
+  out.insert(out.end(), std::make_move_iterator(found.begin()),
+             std::make_move_iterator(found.end()));
+}
+
+}  // namespace manic::lint

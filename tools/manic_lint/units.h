@@ -1,0 +1,93 @@
+// Phase 3a of the whole-program analyzer: the `units` dataflow pass. The
+// suffix lattice in tools/manic_lint/units.txt assigns a (dimension, scale)
+// to every identifier ending in a unit suffix (`rtt_ms`, `cap_mbps`,
+// `util_frac`, ...). A declaration registry harvested from the facts table
+// records every function whose parameters carry units; a lightweight
+// expression walker then checks three flow shapes per file:
+//
+//   assignment    `x_ms = expr` (also += and -=) where expr carries a
+//                 different unit and no sanctioned conversion constant;
+//   comparison    `a_mbps < b_gbps` and friends mixing units across (or
+//                 inside) the operands with no constant in sight;
+//   call binding  an argument expression whose unit disagrees with the
+//                 declared unit of the parameter it binds to.
+//
+// A mismatch is an error carrying the flow chain (which identifiers moved
+// the wrong unit in). An expression that contains a sanctioned conversion
+// constant — any pairwise scale ratio of the lattice, e.g. 1e3 for ms->s or
+// 8 for bytes->bits — is an intentional conversion and passes; so does a
+// same-unit ratio flowing into a dimensionless `_frac`/`_pct` target.
+// Suppression: `// manic-lint: allow(units)`.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "facts.h"
+#include "lint.h"
+
+namespace manic::lint {
+
+struct UnitSuffix {
+  std::string name;       // suffix as written, without the underscore
+  std::string dimension;  // time / rate / data / ratio / ...
+  double scale = 1.0;     // size of one unit in the dimension's base unit
+};
+
+struct UnitsSpec {
+  // suffix token -> its unit. `s` and `sec` are distinct entries with equal
+  // (dimension, scale), which is what makes them interchangeable.
+  std::map<std::string, UnitSuffix, std::less<>> suffixes;
+  std::vector<double> constants;  // sanctioned conversion constants
+  bool loaded = false;
+
+  // The unit an identifier carries, or nullptr. The last '_'-separated
+  // segment decides (one trailing underscore is stripped first, so private
+  // members like `duration_s_` resolve too).
+  const UnitSuffix* SuffixOf(std::string_view ident) const;
+
+  // True when `value` equals a sanctioned conversion constant (or its
+  // reciprocal) to within 1e-9 relative tolerance.
+  bool SanctionedConstant(double value) const;
+};
+
+// Parses spec text (grammar documented in units.txt). On a malformed line,
+// returns an unloaded spec and sets `error`.
+UnitsSpec ParseUnitsSpec(std::string_view text, std::string* error);
+
+// Reads and parses a spec file; unreadable file => unloaded spec + `error`.
+UnitsSpec LoadUnitsSpec(const std::string& path, std::string* error);
+
+// One parameter of a harvested function signature.
+struct UnitParam {
+  std::string name;
+  std::string unit;  // suffix token, "" when the parameter carries no unit
+};
+
+struct FnSig {
+  std::string file;  // declaration site, for the flow chain in reports
+  int line = 0;
+  std::vector<UnitParam> params;
+  int min_args = 0;  // parameters without default arguments
+};
+
+// The whole-program declaration registry: every function whose signature
+// binds at least one unit-carrying parameter, plus a count of all
+// unit-suffixed declarations seen (fields, params, locals) for audit.
+struct UnitsRegistry {
+  std::map<std::string, std::vector<FnSig>, std::less<>> functions;
+  int unit_decls = 0;
+};
+
+UnitsRegistry BuildUnitsRegistry(const FactsTable& table,
+                                 const UnitsSpec& spec);
+
+// Runs the pass over every file in the table, appending `units` findings
+// (error severity). Honors `// manic-lint: allow(units)` suppressions.
+void RunUnitsPass(const FactsTable& table, const UnitsSpec& spec,
+                  std::vector<Finding>& out);
+
+}  // namespace manic::lint
