@@ -3,25 +3,56 @@
 // rollup the paper's Grafana dashboards served. Usage:
 //
 //   ./example_continental_study [days] [max_vps] [threads]
+//       [--faults <plan.txt>] [--checkpoint <log>]
 //
 // Defaults to 150 days from 6 VPs so it finishes in a few seconds.
 // threads = 0 (or MANIC_THREADS when the argument is absent) uses every
 // hardware thread; the day-link tables are bit-identical at any count.
+//
+// --faults loads a deterministic fault plan (see examples/fault_plans/) and
+// runs the study under it; stdout stays bit-identical at any thread count,
+// faults included. --checkpoint appends per-shard results to a log a killed
+// run resumes from byte-identically.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "analysis/report.h"
 #include "runtime/metrics.h"
 #include "scenario/driver.h"
+#include "sim/faults/fault_plan.h"
 
 using namespace manic;
 
 int main(int argc, char** argv) {
+  std::string faults_path, checkpoint_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--faults" && i + 1 < argc) {
+      faults_path = argv[++i];
+    } else if (arg == "--checkpoint" && i + 1 < argc) {
+      checkpoint_path = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: %s [days] [max_vps] [threads] "
+                   "[--faults <plan.txt>] [--checkpoint <log>]\n",
+                   arg.c_str(), argv[0]);
+      return 2;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
   scenario::StudyOptions options;
-  options.days = argc > 1 ? std::atoi(argv[1]) : 150;
-  options.max_vps = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 6;
+  options.days = positional.size() > 0 ? std::atoi(positional[0]) : 150;
+  options.max_vps = positional.size() > 1
+                        ? static_cast<std::size_t>(std::atoi(positional[1]))
+                        : 6;
   options.runtime = runtime::RuntimeOptions::FromEnv(/*default_threads=*/0);
-  if (argc > 3) options.runtime.threads = std::atoi(argv[3]);
+  if (positional.size() > 2) options.runtime.threads = std::atoi(positional[2]);
+  options.checkpoint_path = checkpoint_path;
   runtime::Metrics metrics;
   options.runtime.metrics = &metrics;
   // Live progress on stderr (the driver itself never prints).
@@ -30,11 +61,30 @@ int main(int argc, char** argv) {
     if (p.done == p.total) std::fputc('\n', stderr);
   };
 
+  sim::faults::FaultPlan plan;
+  if (!faults_path.empty()) {
+    std::string error;
+    const auto parsed = sim::faults::FaultPlan::ParseFile(faults_path, &error);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "failed to load fault plan %s: %s\n",
+                   faults_path.c_str(), error.c_str());
+      return 2;
+    }
+    plan = *parsed;
+    for (const std::string& warning : plan.Validate()) {
+      std::fprintf(stderr, "fault plan warning: %s\n", warning.c_str());
+    }
+    options.fault_plan = &plan;
+  }
+
   // Thread count goes to stderr: stdout must be byte-identical at any -j.
   std::fprintf(stderr, "running with %d threads\n",
                options.runtime.ResolvedThreads());
   std::printf("=== Continental study: %d days, %zu VPs ===\n",
               options.days, options.max_vps == 0 ? 29 : options.max_vps);
+  if (!faults_path.empty()) {
+    std::printf("fault plan: %zu events\n", plan.events().size());
+  }
   scenario::UsBroadband world = scenario::MakeUsBroadband();
   const scenario::StudyResult result =
       scenario::RunLongitudinalStudy(world, options);
@@ -59,6 +109,38 @@ int main(int argc, char** argv) {
   }
   std::puts("Pairs with >= 0.5% congested day-links:");
   std::fputs(table.Render().c_str(), stdout);
+
+  // Data-quality rollup: every measured link gets a verdict; the table
+  // itemizes only the degraded ones (low coverage, long gaps, VP churn) so
+  // a clean run prints a one-line summary. LinkId-keyed map iteration keeps
+  // the listing deterministic.
+  const infer::DataQualityConfig quality_config;
+  std::size_t acceptable = 0;
+  analysis::TextTable quality_table({"Link", "Access", "T&CP", "far cov%",
+                                     "near cov%", "max gap", "days",
+                                     "churn"});
+  for (const auto& [link, q] : result.link_quality) {
+    if (q.Acceptable(quality_config)) {
+      ++acceptable;
+      continue;
+    }
+    const scenario::InterLinkInfo* info = world.FindLink(link);
+    quality_table.AddRow(
+        {std::to_string(link),
+         info != nullptr ? world.AsName(info->access) : "?",
+         info != nullptr ? world.AsName(info->tcp) : "?",
+         analysis::TextTable::Fmt(100.0 * q.far_coverage_frac),
+         analysis::TextTable::Fmt(100.0 * q.near_coverage_frac),
+         std::to_string(q.longest_gap_intervals),
+         std::to_string(q.days_observed) + "/" + std::to_string(q.total_days),
+         std::to_string(q.vp_churn_events)});
+  }
+  std::printf("\nData quality: %zu/%zu links acceptable\n", acceptable,
+              result.link_quality.size());
+  if (acceptable != result.link_quality.size()) {
+    std::puts("Degraded links (inference rejected as kLowCoverage):");
+    std::fputs(quality_table.Render().c_str(), stdout);
+  }
   std::fputs(metrics.Report().c_str(), stderr);
   return 0;
 }

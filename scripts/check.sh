@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Full verification sweep, four stages:
+# Full verification sweep, five stages:
 #   1. default build + the whole ctest suite;
 #   2. the parallel-determinism gate: bench/table3_overview at 1 thread and
 #      at N threads must write byte-identical stdout (the runtime metrics
 #      report goes to stderr), with both wall times recorded as JSON lines;
-#   3. sanitizer builds: ThreadSanitizer (-DMANIC_SANITIZE=thread) rerunning
+#   3. the chaos gate: examples/continental_study under the canned fault
+#      plan (examples/fault_plans/small_chaos.plan) at 1 thread and at N
+#      threads — fault injection must not cost the bit-identical-replay
+#      property, so the two stdouts are diffed byte for byte;
+#   4. sanitizer builds: ThreadSanitizer (-DMANIC_SANITIZE=thread) rerunning
 #      the runtime + driver tests with MANIC_THREADS=4, then UBSan
 #      (-DMANIC_SANITIZE=undefined, non-recoverable) running the full suite
 #      (set MANIC_CHECK_SKIP_UBSAN=1 to skip the UBSan half);
-#   4. static analysis: manic_lint --json over src/ bench/ tests/ examples/
+#   5. static analysis: manic_lint --json over src/ bench/ tests/ examples/
 #      with the graph passes active against tools/manic_lint/layers.txt and
 #      the semantic passes (units dataflow against tools/manic_lint/units.txt
 #      plus the determinism taint pass) (report lands in build/check/
@@ -29,12 +33,12 @@ THREADS="${MANIC_CHECK_THREADS:-$(nproc)}"
 OUT_DIR="${MANIC_CHECK_OUT:-build/check}"
 mkdir -p "$OUT_DIR"
 
-echo "== [1/4] default build + full test suite =="
+echo "== [1/5] default build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/4] determinism gate: table3_overview at 1 vs $THREADS threads =="
+echo "== [2/5] determinism gate: table3_overview at 1 vs $THREADS threads =="
 JSON="$OUT_DIR/table3_runtime.json"
 : > "$JSON"
 MANIC_THREADS=1 MANIC_RUNTIME_JSON="$JSON" \
@@ -49,7 +53,19 @@ echo "stdout byte-identical at 1 and $THREADS threads."
 echo "wall/CPU records (also in $JSON):"
 cat "$JSON"
 
-echo "== [3/4] sanitizer builds: TSan runtime/driver tests, UBSan full suite =="
+echo "== [3/5] chaos gate: continental study under small_chaos.plan, 1 vs $THREADS threads =="
+CHAOS_PLAN=examples/fault_plans/small_chaos.plan
+./build/examples/example_continental_study 45 4 1 --faults "$CHAOS_PLAN" \
+  > "$OUT_DIR/chaos_t1.txt"
+./build/examples/example_continental_study 45 4 "$THREADS" --faults "$CHAOS_PLAN" \
+  > "$OUT_DIR/chaos_tN.txt"
+if ! diff -u "$OUT_DIR/chaos_t1.txt" "$OUT_DIR/chaos_tN.txt"; then
+  echo "FAIL: faulted study stdout differs between 1 and $THREADS threads" >&2
+  exit 1
+fi
+echo "faulted study stdout byte-identical at 1 and $THREADS threads."
+
+echo "== [4/5] sanitizer builds: TSan runtime/driver tests, UBSan full suite =="
 cmake -B build-tsan -S . -DMANIC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_runtime test_driver
 MANIC_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
@@ -62,7 +78,7 @@ else
   echo "(UBSan half skipped: MANIC_CHECK_SKIP_UBSAN=1)"
 fi
 
-echo "== [4/4] static analysis: manic-lint (rules + graph + semantic passes), clang-tidy, thread-safety =="
+echo "== [5/5] static analysis: manic-lint (rules + graph + semantic passes), clang-tidy, thread-safety =="
 cmake --build build -j "$JOBS" --target manic_lint
 # Exit 1 = error-severity findings (fail), 2 = warnings only (pass, but the
 # findings are on stderr and in the JSON), 3 = usage/IO trouble (fail).

@@ -72,6 +72,16 @@ LinkInference InferLink(const tsdb::Database& db, const std::string& vp_name,
   inference.config = config;
   const LinkGrids grids = LoadGrids(db, vp_name, far_addr, t0, days, config);
   inference.result = infer::AnalyzeWindow(grids.far, grids.near, config);
+  inference.quality = infer::AssessGrids(grids.far, grids.near);
+  // Quality gate: a window the VP barely observed cannot support a verdict
+  // either way. kInsufficientData (AnalyzeWindow's own floor) is kept when
+  // it already fired; otherwise low coverage overrides whatever the
+  // detector concluded.
+  if (!inference.quality.Acceptable(config.quality) &&
+      inference.result.reject != infer::RejectReason::kInsufficientData) {
+    inference.result.recurring = false;
+    inference.result.reject = infer::RejectReason::kLowCoverage;
+  }
   return inference;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "infer/autocorr.h"
+#include "infer/data_quality.h"
 #include "topo/ipv4.h"
 #include "tsdb/tsdb.h"
 
@@ -21,6 +22,11 @@ using topo::Ipv4Addr;
 // built from the stored near/far TSLP series.
 struct LinkInference {
   AutocorrResult result;
+  // How much of the window the far/near series actually covered. When the
+  // verdict fails config.quality, `result` is forced non-recurring with
+  // RejectReason::kLowCoverage — a link with too little evidence is
+  // reported unknown, never congested or clean.
+  infer::DataQuality quality;
   TimeSec t0 = 0;
   int days = 0;
   AutocorrConfig config;

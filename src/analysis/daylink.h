@@ -106,6 +106,22 @@ class TimeOfDayHistogram {
   std::int64_t Total(bool weekend) const noexcept {
     return weekend ? weekend_total_ : weekday_total_;
   }
+  // Raw bin access for checkpoint serialization (hour in [0, 24)). AddCount
+  // folds `n` intervals into one bin and the matching total, so a histogram
+  // rebuilt bin-by-bin from Count() is identical to the original.
+  std::int64_t Count(int hour, bool weekend) const noexcept {
+    return weekend ? weekend_[static_cast<std::size_t>(hour)]
+                   : weekday_[static_cast<std::size_t>(hour)];
+  }
+  void AddCount(int hour, bool weekend, std::int64_t n) noexcept {
+    if (weekend) {
+      weekend_[static_cast<std::size_t>(hour)] += n;
+      weekend_total_ += n;
+    } else {
+      weekday_[static_cast<std::size_t>(hour)] += n;
+      weekday_total_ += n;
+    }
+  }
   // Fraction of (weekday) congested intervals inside the FCC peak window,
   // 19:00-23:00 local.
   double FccPeakShare(bool weekend) const;

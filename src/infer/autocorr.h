@@ -23,6 +23,16 @@ namespace manic::infer {
 
 using stats::TimeSec;
 
+// Acceptance thresholds for the per-link DataQuality verdict (data_quality.h):
+// how much of the window must actually have been observed before an
+// inference is trusted — the automated stand-in for the paper's operator
+// validation of sparse links.
+struct DataQualityConfig {
+  double min_coverage_frac = 0.5;  // far-side bins present / total bins
+  int max_gap_intervals = 2 * 96;  // longest run of missing far bins (2 days)
+  int min_days_observed = 7;       // days with at least one far bin
+};
+
 struct AutocorrConfig {
   int window_days = 50;
   int intervals_per_day = 96;   // 15-minute bins
@@ -34,6 +44,7 @@ struct AutocorrConfig {
   double rival_day_overlap = 0.3;  // Jaccard below this => different days
                                    // drive different peaks => reject
   TimeSec bin_width = 900;
+  DataQualityConfig quality;
 };
 
 // A days x intervals grid of per-bin minimum RTTs; NaN marks missing bins.
@@ -76,6 +87,7 @@ enum class RejectReason : std::uint8_t {
   kNoPeak,             // peak support below min_elevated_days
   kAmbiguousWindows,   // several candidate windows across the day
   kInconsistentDays,   // different days drive different peaks
+  kLowCoverage,        // DataQuality verdict below the acceptance thresholds
 };
 
 struct AutocorrResult {

@@ -1,0 +1,41 @@
+#include "infer/data_quality.h"
+
+namespace manic::infer {
+
+DataQuality AssessGrids(const DayGrid& far, const DayGrid& near) {
+  DataQuality q;
+  q.total_days = far.days();
+  const std::int64_t total =
+      static_cast<std::int64_t>(far.days()) * far.intervals();
+  if (total == 0) return q;
+
+  std::int64_t far_present = 0;
+  std::int64_t near_present = 0;
+  int gap = 0;
+  bool prev_day_observed = false;
+  for (int d = 0; d < far.days(); ++d) {
+    bool day_observed = false;
+    for (int i = 0; i < far.intervals(); ++i) {
+      if (DayGrid::Missing(far.At(d, i))) {
+        ++gap;
+        q.longest_gap_intervals = std::max(q.longest_gap_intervals, gap);
+      } else {
+        gap = 0;
+        ++far_present;
+        day_observed = true;
+      }
+      if (d < near.days() && i < near.intervals() &&
+          !DayGrid::Missing(near.At(d, i))) {
+        ++near_present;
+      }
+    }
+    if (day_observed) ++q.days_observed;
+    if (d > 0 && day_observed != prev_day_observed) ++q.vp_churn_events;
+    prev_day_observed = day_observed;
+  }
+  q.far_coverage_frac = static_cast<double>(far_present) / total;
+  q.near_coverage_frac = static_cast<double>(near_present) / total;
+  return q;
+}
+
+}  // namespace manic::infer

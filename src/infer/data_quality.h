@@ -1,0 +1,37 @@
+// Per-link data-quality verdict reported beside every inference (§5, §7:
+// monitors churn, ICMP gets filtered, probing has gaps). Instead of letting
+// a sparse series silently produce a false negative — or a lucky alignment
+// of surviving bins a false positive — the pipeline quantifies how much of
+// the analysis window was actually observed and rejects links whose
+// evidence is too thin, the automated analogue of the paper's operator
+// validation.
+#pragma once
+
+#include "infer/autocorr.h"
+
+namespace manic::infer {
+
+struct DataQuality {
+  double far_coverage_frac = 0.0;   // far-side bins present / total bins
+  double near_coverage_frac = 0.0;  // near-side bins present / total bins
+  int longest_gap_intervals = 0;    // longest run of missing far bins
+                                    // (time-ordered across day boundaries)
+  int days_observed = 0;            // days with at least one far bin
+  int total_days = 0;
+  // Day-level far-side appearances/disappearances: transitions between
+  // observed and unobserved days. 0 for an always-on VP; a mid-study outage
+  // contributes 2 (vanish + return).
+  int vp_churn_events = 0;
+
+  bool Acceptable(const DataQualityConfig& config) const noexcept {
+    return far_coverage_frac >= config.min_coverage_frac &&
+           longest_gap_intervals <= config.max_gap_intervals &&
+           days_observed >= config.min_days_observed;
+  }
+};
+
+// Assesses the grids an inference consumed (identical dimensions required —
+// the same precondition as AnalyzeWindow).
+DataQuality AssessGrids(const DayGrid& far, const DayGrid& near);
+
+}  // namespace manic::infer

@@ -2,6 +2,40 @@
 
 namespace manic::probe {
 
+Prober::RetriedReply Prober::TtlProbeRetrying(Ipv4Addr dst, int ttl,
+                                              FlowId flow, TimeSec t,
+                                              const RetryPolicy& policy) {
+  RetriedReply out;
+  TimeSec send_at = t;
+  TimeSec backoff = policy.backoff_s;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Retries draw on the destination's lifetime budget.
+      int& spent = retries_spent_[dst.value()];
+      if (spent >= policy.per_target_budget) {
+        out.budget_exhausted = true;
+        return out;
+      }
+      ++spent;
+    }
+    ++out.attempts;
+    ProbeReply reply = net_->Probe(vp_, dst, ttl, flow, send_at);
+    if (reply.outcome != ProbeOutcome::kLost &&
+        (policy.timeout_ms <= 0.0 || reply.rtt_ms <= policy.timeout_ms)) {
+      out.reply = reply;
+      return out;
+    }
+    send_at += backoff;
+    backoff *= 2;
+  }
+  return out;
+}
+
+int Prober::RetriesSpent(Ipv4Addr dst) const noexcept {
+  const auto it = retries_spent_.find(dst.value());
+  return it != retries_spent_.end() ? it->second : 0;
+}
+
 TracerouteResult Prober::Traceroute(Ipv4Addr dst, FlowId flow, TimeSec t,
                                     int max_ttl, int attempts, int gap_limit) {
   TracerouteResult result;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -67,6 +68,18 @@ class RateBudget {
   double committed_pps_ = 0.0;
 };
 
+// Retry discipline for probes into a lossy / faulted substrate. Attempt k
+// (0-based) is sent at t + backoff_s * (2^k - 1) — exponential backoff — and
+// a reply slower than timeout_ms is discarded as if lost. Retries (attempts
+// beyond the first) draw on a per-destination lifetime budget so one dead
+// target cannot consume the prober's round; first attempts are always free.
+struct RetryPolicy {
+  int max_attempts = 3;
+  double timeout_ms = 0.0;      // 0: no timeout
+  TimeSec backoff_s = 1;
+  int per_target_budget = 16;   // lifetime retries per destination
+};
+
 class Prober {
  public:
   Prober(SimNetwork& net, VpId vp) noexcept : net_(&net), vp_(vp) {}
@@ -81,6 +94,20 @@ class Prober {
     return net_->Probe(vp_, dst, ttl, flow, t);
   }
 
+  // TTL probe under a retry policy. `attempts` reports the probes actually
+  // sent; `budget_exhausted` that a retry was wanted but the destination's
+  // budget was already spent.
+  struct RetriedReply {
+    ProbeReply reply;
+    int attempts = 0;
+    bool budget_exhausted = false;
+  };
+  RetriedReply TtlProbeRetrying(Ipv4Addr dst, int ttl, FlowId flow, TimeSec t,
+                                const RetryPolicy& policy);
+
+  // Retries already charged against a destination's budget.
+  int RetriesSpent(Ipv4Addr dst) const noexcept;
+
   // Paris traceroute: per-TTL probes with a constant flow id, `attempts`
   // tries per hop, halting after `gap_limit` consecutive silent hops or on
   // reaching the destination.
@@ -91,6 +118,8 @@ class Prober {
  private:
   SimNetwork* net_ = nullptr;
   VpId vp_ = 0;
+  // Per-destination retry ledger (ordered map: deterministic iteration).
+  std::map<std::uint32_t, int> retries_spent_;
 };
 
 }  // namespace manic::probe

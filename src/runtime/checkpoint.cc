@@ -1,0 +1,80 @@
+#include "runtime/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace manic::runtime {
+
+namespace {
+
+constexpr char kMagic[] = "MANICCKPT1\n";
+constexpr std::size_t kMagicLen = sizeof(kMagic) - 1;
+
+std::uint64_t ReadU64(const std::string& data, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[pos + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+}  // namespace
+
+CheckpointLog::CheckpointLog(std::string path) : path_(std::move(path)) {
+  std::ifstream is(path_, std::ios::binary);
+  if (!is) {
+    // New log: stamp the header so a later open can validate it.
+    std::ofstream os(path_, std::ios::binary);
+    os.write(kMagic, static_cast<std::streamsize>(kMagicLen));
+    return;
+  }
+  std::string data((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  if (data.size() < kMagicLen ||
+      data.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
+    return;  // foreign or empty file: treat as no completed shards
+  }
+  std::size_t pos = kMagicLen;
+  while (pos + 16 <= data.size()) {
+    const std::uint64_t key = ReadU64(data, pos);
+    const std::uint64_t len = ReadU64(data, pos + 8);
+    if (pos + 16 + len > data.size()) break;  // truncated tail: kill mid-write
+    records_[key] = data.substr(pos + 16, len);
+    pos += 16 + len;
+  }
+  if (pos < data.size()) {
+    // Chop the torn record off the file, not just the parse: Record()
+    // appends, and bytes of a half-written record in the middle would
+    // corrupt every later reload.
+    is.close();
+    std::error_code ec;
+    std::filesystem::resize_file(path_, pos, ec);
+  }
+}
+
+void CheckpointLog::Record(std::uint64_t key, std::string_view blob) {
+  std::string rec;
+  rec.reserve(16 + blob.size());
+  AppendU64(rec, key);
+  AppendU64(rec, blob.size());
+  rec.append(blob);
+  std::ofstream os(path_, std::ios::binary | std::ios::app);
+  os.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+  os.flush();
+  records_[key] = std::string(blob);
+}
+
+std::optional<std::string> CheckpointLog::Lookup(std::uint64_t key) const {
+  const auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace manic::runtime

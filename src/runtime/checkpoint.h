@@ -1,0 +1,109 @@
+// Append-only shard checkpoint log. Every completed shard's result is
+// serialized as one [key, length, bytes] record; a study killed mid-write
+// leaves at most one truncated trailing record, which Load discards — the
+// file never needs repair. On resume, shards whose key is already present
+// restore their saved blob and skip the work; because merges replay in the
+// same canonical key order either way, a resumed study's output is
+// byte-identical to an uninterrupted run.
+//
+// BlobWriter/BlobReader serialize shard state exactly: integers little-
+// endian, doubles by bit pattern (std::bit_cast), so a restored double is
+// the same 64 bits that were saved, not a round-tripped decimal.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace manic::runtime {
+
+class BlobWriter {
+ public:
+  void PutU64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+  void PutI64(std::int64_t v) { PutU64(static_cast<std::uint64_t>(v)); }
+  void PutDouble(double v) { PutU64(std::bit_cast<std::uint64_t>(v)); }
+  void PutBytes(std::string_view bytes) {
+    PutU64(bytes.size());
+    buf_.append(bytes);
+  }
+
+  const std::string& str() const noexcept { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class BlobReader {
+ public:
+  explicit BlobReader(std::string_view data) noexcept : data_(data) {}
+
+  bool GetU64(std::uint64_t* out) noexcept {
+    if (pos_ + 8 > data_.size()) return false;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return true;
+  }
+  bool GetI64(std::int64_t* out) noexcept {
+    std::uint64_t v = 0;
+    if (!GetU64(&v)) return false;
+    *out = static_cast<std::int64_t>(v);
+    return true;
+  }
+  bool GetDouble(double* out) noexcept {
+    std::uint64_t v = 0;
+    if (!GetU64(&v)) return false;
+    *out = std::bit_cast<double>(v);
+    return true;
+  }
+  bool GetBytes(std::string* out) {
+    std::uint64_t len = 0;
+    if (!GetU64(&len) || pos_ + len > data_.size()) return false;
+    out->assign(data_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  bool AtEnd() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+class CheckpointLog {
+ public:
+  // Opens (or creates) the log at `path` and loads every complete record;
+  // a truncated trailing record — the signature of a kill mid-write — is
+  // dropped silently. A later record for a key shadows an earlier one.
+  explicit CheckpointLog(std::string path);
+
+  // Appends one record and flushes it to the file immediately.
+  void Record(std::uint64_t key, std::string_view blob);
+
+  // Saved blob for a shard key, if one survived loading.
+  std::optional<std::string> Lookup(std::uint64_t key) const;
+
+  bool Has(std::uint64_t key) const { return records_.count(key) != 0; }
+  std::size_t size() const noexcept { return records_.size(); }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::map<std::uint64_t, std::string> records_;
+};
+
+}  // namespace manic::runtime

@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "runtime/checkpoint.h"
 #include "runtime/metrics.h"
 #include "runtime/thread_annotations.h"
 #include "runtime/thread_pool.h"
@@ -41,12 +42,31 @@ struct RuntimeOptions {
   static RuntimeOptions FromEnv(int default_threads = 0);
 };
 
+// Stall watchdog for the parallel phase. When stall_timeout_s elapses and
+// unfinished shards remain, shards still *queued* are reclaimed from the
+// pool and executed on the calling thread (a wedged pool cannot strand
+// them); shards already *running* cannot be preempted and are only
+// reported. `on_stall(requeued, stuck)` fires once, at reclaim time.
+// Because shard works own isolated buffers and merges replay in key order,
+// where a shard ran never shows in the output.
+struct WatchdogOptions {
+  double stall_timeout_s = 0.0;  // 0: watchdog disabled
+  double poll_interval_s = 0.5;
+  std::function<void(std::size_t requeued, std::size_t stuck)> on_stall;
+};
+
 class StudyExecutor {
  public:
   struct Shard {
     std::uint64_t key = 0;  // stable identity; also the canonical merge rank
     std::function<void()> work;   // parallel phase; owns its output buffer
     std::function<void()> merge;  // serial phase; folds the buffer in
+    // Checkpoint seam (both or neither): `save` serializes the work buffer
+    // after the work phase; `restore` repopulates it from a saved blob so
+    // the work can be skipped, returning false to reject the blob (format
+    // drift) and recompute.
+    std::function<std::string()> save;
+    std::function<bool(const std::string&)> restore;
   };
 
   // The executor borrows the pool; `metrics` (optional) counts shards.
@@ -56,9 +76,18 @@ class StudyExecutor {
   // Runs all shard works concurrently (the calling thread participates),
   // then merges serially in ascending (key, insertion-index) order.
   // `progress(done, total)` fires from the calling thread after each merge.
+  //
+  // With a CheckpointLog, shards whose key has a saved blob restore it and
+  // skip the work phase; every other shard is recorded (in canonical merge
+  // order) once its work completes — so a killed study resumes where it
+  // stopped and its final fold is byte-identical to an uninterrupted run.
+  // With WatchdogOptions::stall_timeout_s > 0, the parallel phase runs under
+  // the stall watchdog.
   void Execute(std::vector<Shard> shards,
                const std::function<void(std::size_t, std::size_t)>& progress =
-                   {});
+                   {},
+               CheckpointLog* checkpoint = nullptr,
+               const WatchdogOptions& watchdog = {});
 
   // Shard works finished so far in the current (or most recent) Execute()
   // call's parallel phase. Workers bump it concurrently, so it is the one

@@ -4,10 +4,13 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <optional>
 
 #include "bdrmap/bdrmap.h"
 #include "infer/rolling.h"
 #include "runtime/seed_tree.h"
+#include "sim/fault_hook.h"
+#include "sim/faults/fault_injector.h"
 #include "stats/calendar.h"
 
 namespace manic::scenario {
@@ -35,6 +38,10 @@ void TslpSynthesizer::Day(std::int64_t day, std::vector<float>& far,
   near.assign(static_cast<std::size_t>(intervals),
               std::numeric_limits<float>::quiet_NaN());
   const TimeSec day_start = day * kSecPerDay;
+  // VP-scoped faults only apply when the synthesizer knows which VP it
+  // stands in for; a null hook leaves every branch below untaken, so a
+  // fault-free run is bit-identical to the pre-fault synthesizer.
+  const sim::FaultHook* hook = vp_known_ ? net_->fault_hook() : nullptr;
   for (int s = 0; s < intervals; ++s) {
     const TimeSec t = day_start + s * config_.bin_width + config_.bin_width / 2;
     // Minimum of `samples_per_bin` jittered samples: approximated by a small
@@ -50,23 +57,35 @@ void TslpSynthesizer::Day(std::int64_t day, std::vector<float>& far,
     // constituent rounds is what the real measurement records. Mirror that:
     // evaluate the queue at each 5-minute round inside the bin and keep the
     // smallest. The far-side reply rides the congested content->access queue.
+    // Rounds where the VP is down send nothing: they contribute neither to
+    // the bin minimum nor to the all-lost probability.
     double queue = std::numeric_limits<double>::infinity();
     double p_all_lost = 1.0;
     const int rounds = std::max(1, static_cast<int>(config_.bin_width / 300));
+    int rounds_up = 0;
     for (int k = 0; k < rounds; ++k) {
       const TimeSec tk = day_start + s * config_.bin_width + k * 300;
+      if (hook != nullptr && !hook->VpUpAt(vp_, tk)) continue;
+      ++rounds_up;
       queue = std::min(queue,
                        net_->ObservedQueueDelayMs(link_, Direction::kBtoA, tk));
       const double loss = net_->ObservedLossProb(link_, Direction::kBtoA, tk);
       p_all_lost *= std::pow(loss, config_.samples_per_bin / rounds);
     }
+    if (rounds_up == 0) continue;  // VP down for the whole bin: both missing
     if (stats::Rng::HashToUnit(noise_key_, t, 0xA) >
-        config_.base_missing_prob + p_all_lost) {
+            config_.base_missing_prob + p_all_lost &&
+        !(hook != nullptr &&
+          hook->DropTsdbWriteAt(vp_, t,
+                                stats::Rng::HashMix(noise_key_, 0xFA52)))) {
       far[static_cast<std::size_t>(s)] =
           static_cast<float>(base_far_ + queue + jitter_far);
     }
     if (stats::Rng::HashToUnit(noise_key_, t, 0xB) >
-        config_.base_missing_prob) {
+            config_.base_missing_prob &&
+        !(hook != nullptr &&
+          hook->DropTsdbWriteAt(vp_, t,
+                                stats::Rng::HashMix(noise_key_, 0x4EA2)))) {
       near[static_cast<std::size_t>(s)] =
           static_cast<float>(base_near_ + jitter_near);
     }
@@ -123,6 +142,129 @@ struct VpLink {
   std::int64_t visible_until = 0;
 };
 
+// Streaming data-quality bookkeeping for one VP-link pair: coverage counts,
+// the longest run of missing far bins (time-ordered across day boundaries),
+// and day-level observed/unobserved churn. Built to segment-merge exactly:
+// Append()ing two tallies computed over adjacent day ranges equals one tally
+// over the union, so the sharded path's per-chunk tallies fold to the same
+// integers the serial path streams — every field is an exact count.
+struct QualityTally {
+  std::int64_t far_present = 0, far_total = 0;
+  std::int64_t near_present = 0, near_total = 0;
+  // Gap segment over far bins (in intervals). Invariant when no far bin has
+  // been seen yet: prefix_gap == suffix_gap == max_gap == far_total, which
+  // lets Append() treat an all-missing neighbor as one long run.
+  std::int64_t prefix_gap = 0, suffix_gap = 0, max_gap = 0;
+  bool any_bin = false;
+  std::int64_t days_observed = 0;
+  std::int64_t churn = 0;  // day-level observed <-> unobserved transitions
+  bool has_days = false;
+  bool first_day_observed = false, last_day_observed = false;
+
+  void AddDay(const std::vector<float>& far, const std::vector<float>& near) {
+    bool day_observed = false;
+    for (const float v : far) {
+      ++far_total;
+      if (std::isnan(v)) {
+        ++suffix_gap;
+      } else {
+        ++far_present;
+        day_observed = true;
+        if (!any_bin) {
+          prefix_gap = suffix_gap;
+          any_bin = true;
+        }
+        max_gap = std::max(max_gap, suffix_gap);
+        suffix_gap = 0;
+      }
+    }
+    if (any_bin) {
+      max_gap = std::max(max_gap, suffix_gap);
+    } else {
+      prefix_gap = max_gap = far_total;  // suffix_gap already == far_total
+    }
+    for (const float v : near) {
+      ++near_total;
+      if (!std::isnan(v)) ++near_present;
+    }
+    if (day_observed) ++days_observed;
+    if (has_days && last_day_observed != day_observed) ++churn;
+    if (!has_days) {
+      first_day_observed = day_observed;
+      has_days = true;
+    }
+    last_day_observed = day_observed;
+  }
+
+  // Folds `b` (the tally over the immediately following day range) in.
+  void Append(const QualityTally& b) {
+    max_gap = std::max({max_gap, b.max_gap, suffix_gap + b.prefix_gap});
+    if (!any_bin) prefix_gap = far_total + b.prefix_gap;
+    suffix_gap = b.any_bin ? b.suffix_gap : suffix_gap + b.far_total;
+    any_bin = any_bin || b.any_bin;
+    if (!any_bin) {
+      prefix_gap = suffix_gap = max_gap = far_total + b.far_total;
+    }
+    far_present += b.far_present;
+    far_total += b.far_total;
+    near_present += b.near_present;
+    near_total += b.near_total;
+    days_observed += b.days_observed;
+    churn += b.churn + ((has_days && b.has_days &&
+                         last_day_observed != b.first_day_observed)
+                            ? 1
+                            : 0);
+    if (!has_days) first_day_observed = b.first_day_observed;
+    if (b.has_days) last_day_observed = b.last_day_observed;
+    has_days = has_days || b.has_days;
+  }
+};
+
+// Per-link DataQuality from the per-pair tallies: coverage counts sum across
+// contributing VPs, the gap and days-observed verdicts take the best-
+// informed single VP's worst gap / best day count, and churn events sum
+// (each VP's appearances and disappearances all degrade confidence). Pairs
+// that never produced a post-warmup row are skipped, so `link_quality` only
+// covers measured links.
+void FoldLinkQuality(const std::vector<VpLink>& pairs,
+                     const std::vector<QualityTally>& tallies, int days,
+                     StudyResult& result) {
+  struct Agg {
+    std::int64_t far_present = 0, far_total = 0;
+    std::int64_t near_present = 0, near_total = 0;
+    std::int64_t gap = 0, days_observed = 0, churn = 0;
+  };
+  std::map<topo::LinkId, Agg> by_link;
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const QualityTally& t = tallies[p];
+    if (t.far_total == 0) continue;
+    Agg& a = by_link[pairs[p].info->link];
+    a.far_present += t.far_present;
+    a.far_total += t.far_total;
+    a.near_present += t.near_present;
+    a.near_total += t.near_total;
+    a.gap = std::max(a.gap, t.max_gap);
+    a.days_observed = std::max(a.days_observed, t.days_observed);
+    a.churn += t.churn;
+  }
+  for (const auto& [link, a] : by_link) {
+    infer::DataQuality q;
+    q.far_coverage_frac = a.far_total == 0
+                              ? 0.0
+                              : static_cast<double>(a.far_present) /
+                                    static_cast<double>(a.far_total);
+    q.near_coverage_frac = a.near_total == 0
+                               ? 0.0
+                               : static_cast<double>(a.near_present) /
+                                     static_cast<double>(a.near_total);
+    q.longest_gap_intervals = static_cast<int>(a.gap);
+    q.days_observed = static_cast<int>(a.days_observed);
+    q.total_days = days;
+    q.vp_churn_events = static_cast<int>(a.churn);
+    result.link_quality[link] = q;
+  }
+}
+
 // Discovery: bdrmap per VP, visibility churn, TSLP synthesizer setup. Runs
 // serially (probing mutates the network's RNG and path cache); the noise
 // seeds are derived from the root SeedTree by stable (vp, link) keys so the
@@ -168,8 +310,8 @@ std::vector<VpLink> DiscoverPairs(UsBroadband& world,
       }
       pairs.push_back(
           {vp, dl.vp_name, dl.vp_utc_offset, dl.info,
-           TslpSynthesizer(net, dl.info->link, dl.base_far_ms, dl.base_near_ms,
-                           seeds.Leaf(vp, dl.info->link)),
+           TslpSynthesizer(net, vp, dl.info->link, dl.base_far_ms,
+                           dl.base_near_ms, seeds.Leaf(vp, dl.info->link)),
            world.topo->vp(vp).host_as == UsBroadband::kComcast, from, until});
       observed_links.insert(dl.info->link);
     }
@@ -232,6 +374,7 @@ void RunDailyLoopSerial(UsBroadband& world, const StudyOptions& options,
 
   std::vector<infer::RollingAutocorr> rolling(
       pairs.size(), infer::RollingAutocorr(options.autocorr));
+  std::vector<QualityTally> quality(pairs.size());
   std::vector<float> far_row, near_row;
   // Per link, per day: merged congestion fractions from asserting VPs.
   std::map<topo::LinkId, std::pair<double, int>> today;  // sum, contributors
@@ -250,6 +393,7 @@ void RunDailyLoopSerial(UsBroadband& world, const StudyOptions& options,
       if (day < pair.visible_from || day >= pair.visible_until) continue;
       pair.synth.Day(day, far_row, near_row);
       rolling[p].AddDay(far_row, near_row);
+      if (day >= 0) quality[p].AddDay(far_row, near_row);
       if (day < 0 || !rolling[p].WindowFull()) continue;
       today_observed[pair.info->link] = true;
       seen_ever.emplace(pair.info->link, pair.info);
@@ -300,6 +444,7 @@ void RunDailyLoopSerial(UsBroadband& world, const StudyOptions& options,
   for (const auto& [link, info] : seen_final) {
     ++result.links_final_month_by_access[info->access];
   }
+  FoldLinkQuality(pairs, quality, days, result);
 }
 
 // ---- the sharded path -------------------------------------------------------
@@ -309,6 +454,104 @@ void RunDailyLoopSerial(UsBroadband& world, const StudyOptions& options,
 // window, whose state is a pure function of its last window_days inputs);
 // buffers are folded in (pair, chunk) key order, which reproduces the serial
 // loop's floating-point accumulation order exactly.
+
+struct DayOutcome {
+  bool recurring = false;
+  double fraction = 0.0;
+};
+struct PairOut {
+  std::int64_t emit_start = 0;
+  std::vector<DayOutcome> days;
+  analysis::TimeOfDayHistogram vp_hist;
+  analysis::TimeOfDayHistogram pacific_hist;
+  QualityTally quality;
+};
+
+// Shard checkpoint blobs. Everything is integers or bit-cast doubles, so a
+// restored PairOut is the same bytes the worker produced — resume equals
+// rerun exactly. The version guard makes stale logs recompute, not crash.
+constexpr std::uint64_t kShardBlobVersion = 1;
+
+void SaveHist(runtime::BlobWriter& w,
+              const analysis::TimeOfDayHistogram& hist) {
+  for (const bool weekend : {false, true}) {
+    for (int h = 0; h < 24; ++h) w.PutI64(hist.Count(h, weekend));
+  }
+}
+
+bool RestoreHist(runtime::BlobReader& r, analysis::TimeOfDayHistogram& hist) {
+  for (const bool weekend : {false, true}) {
+    for (int h = 0; h < 24; ++h) {
+      std::int64_t n = 0;
+      if (!r.GetI64(&n)) return false;
+      if (n != 0) hist.AddCount(h, weekend, n);
+    }
+  }
+  return true;
+}
+
+std::string SavePairOut(const PairOut& out) {
+  runtime::BlobWriter w;
+  w.PutU64(kShardBlobVersion);
+  w.PutI64(out.emit_start);
+  w.PutU64(out.days.size());
+  for (const DayOutcome& d : out.days) {
+    w.PutU64(d.recurring ? 1 : 0);
+    w.PutDouble(d.fraction);
+  }
+  SaveHist(w, out.vp_hist);
+  SaveHist(w, out.pacific_hist);
+  const QualityTally& q = out.quality;
+  w.PutI64(q.far_present);
+  w.PutI64(q.far_total);
+  w.PutI64(q.near_present);
+  w.PutI64(q.near_total);
+  w.PutI64(q.prefix_gap);
+  w.PutI64(q.suffix_gap);
+  w.PutI64(q.max_gap);
+  w.PutI64(q.days_observed);
+  w.PutI64(q.churn);
+  w.PutU64((q.any_bin ? 1u : 0u) | (q.has_days ? 2u : 0u) |
+           (q.first_day_observed ? 4u : 0u) |
+           (q.last_day_observed ? 8u : 0u));
+  return w.Take();
+}
+
+bool RestorePairOut(const std::string& blob, PairOut& out) {
+  runtime::BlobReader r(blob);
+  std::uint64_t version = 0;
+  if (!r.GetU64(&version) || version != kShardBlobVersion) return false;
+  PairOut restored;
+  if (!r.GetI64(&restored.emit_start)) return false;
+  std::uint64_t n_days = 0;
+  if (!r.GetU64(&n_days) || n_days > (1u << 24)) return false;
+  restored.days.reserve(static_cast<std::size_t>(n_days));
+  for (std::uint64_t i = 0; i < n_days; ++i) {
+    std::uint64_t recurring = 0;
+    DayOutcome d;
+    if (!r.GetU64(&recurring) || !r.GetDouble(&d.fraction)) return false;
+    d.recurring = recurring != 0;
+    restored.days.push_back(d);
+  }
+  if (!RestoreHist(r, restored.vp_hist)) return false;
+  if (!RestoreHist(r, restored.pacific_hist)) return false;
+  QualityTally& q = restored.quality;
+  std::uint64_t flags = 0;
+  if (!r.GetI64(&q.far_present) || !r.GetI64(&q.far_total) ||
+      !r.GetI64(&q.near_present) || !r.GetI64(&q.near_total) ||
+      !r.GetI64(&q.prefix_gap) || !r.GetI64(&q.suffix_gap) ||
+      !r.GetI64(&q.max_gap) || !r.GetI64(&q.days_observed) ||
+      !r.GetI64(&q.churn) || !r.GetU64(&flags) || !r.AtEnd()) {
+    return false;
+  }
+  q.any_bin = (flags & 1u) != 0;
+  q.has_days = (flags & 2u) != 0;
+  q.first_day_observed = (flags & 4u) != 0;
+  q.last_day_observed = (flags & 8u) != 0;
+  out = std::move(restored);
+  return true;
+}
+
 void RunDailyLoopSharded(UsBroadband& world, const StudyOptions& options,
                          const std::vector<VpLink>& pairs, int days,
                          runtime::Metrics& metrics, StudyResult& result) {
@@ -320,17 +563,6 @@ void RunDailyLoopSharded(UsBroadband& world, const StudyOptions& options,
 
   runtime::ThreadPool pool(options.runtime.ResolvedThreads(), &metrics);
   runtime::StudyExecutor executor(pool, &metrics);
-
-  struct DayOutcome {
-    bool recurring = false;
-    double fraction = 0.0;
-  };
-  struct PairOut {
-    std::int64_t emit_start = 0;
-    std::vector<DayOutcome> days;
-    analysis::TimeOfDayHistogram vp_hist;
-    analysis::TimeOfDayHistogram pacific_hist;
-  };
 
   // ---- phase: synthesize + classify, one shard per (pair, month chunk) ----
   std::vector<PairOut> merged(pairs.size());
@@ -367,6 +599,9 @@ void RunDailyLoopSharded(UsBroadband& world, const StudyOptions& options,
               for (std::int64_t day = replay_from; day < c1; ++day) {
                 pair.synth.Day(day, far_row, near_row);
                 rolling.AddDay(far_row, near_row);
+                if (day >= c0 && day >= 0) {
+                  buffer->quality.AddDay(far_row, near_row);
+                }
                 if (day < c0 || day < 0 || !rolling.WindowFull()) continue;
                 if (buffer->days.empty()) buffer->emit_start = day;
                 const infer::DayClassification cls = rolling.Classify();
@@ -385,13 +620,25 @@ void RunDailyLoopSharded(UsBroadband& world, const StudyOptions& options,
                               buffer->days.end());
               dst.vp_hist.Merge(buffer->vp_hist);
               dst.pacific_hist.Merge(buffer->pacific_hist);
+              dst.quality.Append(buffer->quality);
+            },
+            [buffer] { return SavePairOut(*buffer); },
+            [buffer](const std::string& blob) {
+              return RestorePairOut(blob, *buffer);
             }});
         c0 = c1;
       }
     }
-    executor.Execute(shards, [&](std::size_t done, std::size_t total) {
-      Notify(options, "classify", done, total);
-    });
+    std::optional<runtime::CheckpointLog> checkpoint;
+    if (!options.checkpoint_path.empty()) {
+      checkpoint.emplace(options.checkpoint_path);
+    }
+    executor.Execute(
+        shards,
+        [&](std::size_t done, std::size_t total) {
+          Notify(options, "classify", done, total);
+        },
+        checkpoint.has_value() ? &*checkpoint : nullptr, options.watchdog);
   }
 
   // ---- phase: aggregate (serial, canonical order) --------------------------
@@ -469,6 +716,11 @@ void RunDailyLoopSharded(UsBroadband& world, const StudyOptions& options,
     for (const auto& [link, info] : seen_final) {
       ++result.links_final_month_by_access[info->access];
     }
+    std::vector<QualityTally> tallies(pairs.size());
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      tallies[p] = merged[p].quality;
+    }
+    FoldLinkQuality(pairs, tallies, days, result);
   }
 
   // ---- phase: ground truth (parallel; integer tallies are order-free) ------
@@ -513,6 +765,17 @@ StudyResult RunLongitudinalStudy(UsBroadband& world,
       options.days > 0 ? options.days : static_cast<int>(stats::StudyTotalDays());
   const int warmup = options.warmup_days;
 
+  // Install the fault hook for the whole run (discovery included: a plan
+  // scheduling events before day 0 degrades bdrmap too). The injector's
+  // queries are pure functions of (plan, seed, arguments), so the faulted
+  // study stays bit-identical at any thread count.
+  std::optional<sim::faults::FaultInjector> injector;
+  if (options.fault_plan != nullptr) {
+    injector.emplace(*options.fault_plan,
+                     runtime::SeedTree(options.seed).Child("faults"));
+    world.net->SetFaultHook(&*injector);
+  }
+
   std::set<topo::LinkId> observed_links;
   std::vector<VpLink> pairs;
   {
@@ -524,12 +787,19 @@ StudyResult RunLongitudinalStudy(UsBroadband& world,
   result.links_observed = observed_links.size();
   result.probes_for_discovery = world.net->ProbesSent();
 
-  if (threads <= 1) {
+  // Serial reference path only when nothing needs the shard machinery:
+  // checkpointing and the watchdog both live in the executor, so either one
+  // routes through the sharded path even at one thread (still bit-identical
+  // — that equivalence is what test_runtime.cc pins).
+  const bool serial = threads <= 1 && options.checkpoint_path.empty() &&
+                      options.watchdog.stall_timeout_s <= 0.0;
+  if (serial) {
     auto timer = metrics.Phase("classify");
     RunDailyLoopSerial(world, options, pairs, days, warmup, result);
   } else {
     RunDailyLoopSharded(world, options, pairs, days, metrics, result);
   }
+  if (injector.has_value()) world.net->SetFaultHook(nullptr);
   return result;
 }
 

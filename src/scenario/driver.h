@@ -17,8 +17,10 @@
 
 #include "analysis/daylink.h"
 #include "infer/autocorr.h"
+#include "infer/data_quality.h"
 #include "runtime/study_executor.h"
 #include "scenario/us_broadband.h"
+#include "sim/faults/fault_plan.h"
 
 namespace manic::scenario {
 
@@ -41,6 +43,28 @@ class TslpSynthesizer {
                   std::uint64_t noise_key)
       : TslpSynthesizer(net, link, base_far_rtt_ms, base_near_rtt_ms,
                         noise_key, Config{}) {}
+  // VP-aware variant: when the network carries a FaultHook, rounds where
+  // this VP is down contribute nothing to a bin (a bin with no surviving
+  // round is missing on both sides), and bins whose tsdb write the hook
+  // drops vanish silently. The VP-less constructors keep the synthesizer
+  // blind to VP-scoped faults (link faults still apply — they flow through
+  // ObservedQueueDelayMs / ObservedLossProb). Clock skew is not modeled
+  // here: the synthesizer works at bin granularity and plan validation
+  // bounds |skew| well below the bin width; the per-probe TSLP scheduler
+  // models it instead.
+  TslpSynthesizer(sim::SimNetwork& net, topo::VpId vp, topo::LinkId link,
+                  double base_far_rtt_ms, double base_near_rtt_ms,
+                  std::uint64_t noise_key, Config config)
+      : TslpSynthesizer(net, link, base_far_rtt_ms, base_near_rtt_ms,
+                        noise_key, config) {
+    vp_ = vp;
+    vp_known_ = true;
+  }
+  TslpSynthesizer(sim::SimNetwork& net, topo::VpId vp, topo::LinkId link,
+                  double base_far_rtt_ms, double base_near_rtt_ms,
+                  std::uint64_t noise_key)
+      : TslpSynthesizer(net, vp, link, base_far_rtt_ms, base_near_rtt_ms,
+                        noise_key, Config{}) {}
 
   // Fills `far` / `near` (each intervals-per-day long) for epoch day `day`.
   void Day(std::int64_t day, std::vector<float>& far,
@@ -53,6 +77,8 @@ class TslpSynthesizer {
   double base_near_ = 0.0;
   std::uint64_t noise_key_ = 0;
   Config config_;
+  topo::VpId vp_ = 0;
+  bool vp_known_ = false;
 };
 
 // A border link as one VP sees it, with the destination TSLP would probe and
@@ -106,6 +132,19 @@ struct StudyOptions {
   runtime::RuntimeOptions runtime;
   // Optional progress callback; null = silent.
   StudyProgressFn progress;
+  // Deterministic fault schedule (null = fault-free run). The driver
+  // installs a FaultInjector seeded from SeedTree(seed).Child("faults") for
+  // the duration of the study, so a faulted run is a pure function of
+  // (world, options) regardless of thread count. The plan must outlive the
+  // RunLongitudinalStudy call.
+  const sim::faults::FaultPlan* fault_plan = nullptr;
+  // Shard checkpoint log (empty = none). A non-empty path forces the
+  // sharded execution path (even at threads = 1) so every shard can be
+  // saved/restored; a killed study resumes from the log byte-identically.
+  std::string checkpoint_path;
+  // Stall watchdog for the parallel phase (stall_timeout_s = 0 disables).
+  // A non-zero timeout also forces the sharded path.
+  runtime::WatchdogOptions watchdog;
 };
 
 struct StudyResult {
@@ -122,6 +161,12 @@ struct StudyResult {
   // (the paper's "973 links since March 2016 / 345 in December 2017").
   std::map<topo::Asn, int> links_ever_by_access;
   std::map<topo::Asn, int> links_final_month_by_access;
+  // Per-link data-quality verdict over the whole study window, folded from
+  // the same synthesized rows the classifier consumed: coverage fractions
+  // and longest gap across contributing VPs (gap = worst single VP's run of
+  // missing far bins), day-level VP churn summed across VPs. Links that
+  // never produced a post-warmup row are absent.
+  std::map<topo::LinkId, infer::DataQuality> link_quality;
   // Day-link confusion matrix vs ground truth (>= 4% congested), the
   // operator-validation analogue.
   long long truth_tp = 0, truth_fp = 0, truth_fn = 0, truth_tn = 0;

@@ -1,0 +1,77 @@
+// The narrow fault-injection seam between the simulator/measurement stack
+// and a fault schedule. SimNetwork consults an installed FaultHook on every
+// link crossing (outages, capacity brownouts), on every probe (vantage-point
+// outages), at every responder (ICMP blackhole and rate-limit regime
+// changes), and during path selection (route churn epochs); the probing loop
+// additionally consults the per-VP clock skew and telemetry-drop queries
+// when it timestamps and stores measurements. Every query is a pure function
+// of (schedule, arguments) — no internal state, no wall clock — so a faulted
+// run is replayable bit-identically at any thread count. The default
+// implementation of every query is "no fault", and a null hook means the
+// same, so the unfaulted pipeline is untouched.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/timeseries.h"
+#include "topo/topology.h"
+
+namespace manic::sim {
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  // State of one link at time t: down links lose every packet; a capacity
+  // scale below 1 divides the effective capacity (a brownout), inflating
+  // utilization for the same offered demand.
+  struct LinkState {
+    bool up = true;
+    double capacity_scale_frac = 1.0;  // effective = nominal * scale
+  };
+  virtual LinkState LinkAt(topo::LinkId /*link*/,
+                           stats::TimeSec /*t*/) const {
+    return {};
+  }
+
+  // ICMP regime of one router at time t: blackholed routers answer nothing;
+  // extra_loss_frac models a rate-limit regime dropping that fraction of
+  // responses on top of the router's static profile.
+  struct IcmpState {
+    bool blackholed = false;
+    double extra_loss_frac = 0.0;
+  };
+  virtual IcmpState IcmpAt(topo::RouterId /*router*/,
+                           stats::TimeSec /*t*/) const {
+    return {};
+  }
+
+  // False while the vantage point is out (host crash, connectivity loss):
+  // probes neither leave nor return, and the probing loop records a gap.
+  virtual bool VpUpAt(topo::VpId /*vp*/, stats::TimeSec /*t*/) const {
+    return true;
+  }
+
+  // Clock error of the VP's measurement host at time t, added to recorded
+  // timestamps. Keep |skew| below the probing round interval so stored
+  // series stay time-ordered (FaultPlan::Validate warns otherwise).
+  virtual stats::TimeSec ClockSkewAt(topo::VpId /*vp*/,
+                                     stats::TimeSec /*t*/) const {
+    return 0;
+  }
+
+  // True when the telemetry write of `vp` at time t is silently lost before
+  // reaching the time-series backend. `noise` lets one round's writes fail
+  // independently per series.
+  virtual bool DropTsdbWriteAt(topo::VpId /*vp*/, stats::TimeSec /*t*/,
+                               std::uint64_t /*noise*/) const {
+    return false;
+  }
+
+  // Routing epoch at time t: each route-churn event bumps the epoch, which
+  // re-seeds ECMP egress selection so paths can move off (or onto) a
+  // monitored link mid-study, exactly like a BGP path change.
+  virtual std::uint32_t RouteEpochAt(stats::TimeSec /*t*/) const { return 0; }
+};
+
+}  // namespace manic::sim

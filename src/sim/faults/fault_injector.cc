@@ -1,0 +1,132 @@
+#include "sim/faults/fault_injector.h"
+
+#include <algorithm>
+
+#include "stats/rng.h"
+
+namespace manic::sim::faults {
+
+FaultInjector::FaultInjector(FaultPlan plan, runtime::SeedTree seed)
+    : plan_(std::move(plan)), drop_seed_(seed.Child("tsdb_drop").seed()) {
+  for (const FaultEvent& e : plan_.events()) {
+    const Interval iv{e.start_s, e.end_s, e.magnitude};
+    switch (e.kind) {
+      case FaultKind::kLinkDown:
+        link_down_[e.target].push_back(iv);
+        break;
+      case FaultKind::kLinkBrownout:
+        brownout_[e.target].push_back(iv);
+        break;
+      case FaultKind::kVpOutage:
+        vp_outage_[e.target].push_back(iv);
+        break;
+      case FaultKind::kIcmpBlackhole:
+        icmp_blackhole_[e.target].push_back(iv);
+        break;
+      case FaultKind::kIcmpRateLimit:
+        icmp_ratelimit_[e.target].push_back(iv);
+        break;
+      case FaultKind::kClockSkew:
+        clock_skew_[e.target].push_back(iv);
+        break;
+      case FaultKind::kTsdbDrop:
+        tsdb_drop_[e.target].push_back(iv);
+        break;
+      case FaultKind::kRouteChurn:
+        churn_times_.push_back(e.start_s);
+        break;
+    }
+  }
+  std::sort(churn_times_.begin(), churn_times_.end());
+}
+
+const std::vector<FaultInjector::Interval>* FaultInjector::Find(
+    const TargetIndex& index, std::uint32_t target) {
+  const auto it = index.find(target);
+  return it != index.end() ? &it->second : nullptr;
+}
+
+FaultHook::LinkState FaultInjector::LinkAt(topo::LinkId link,
+                                           stats::TimeSec t) const {
+  LinkState state;
+  if (const auto* downs = Find(link_down_, link)) {
+    for (const Interval& iv : *downs) {
+      if (iv.Active(t)) {
+        state.up = false;
+        break;
+      }
+    }
+  }
+  if (const auto* browns = Find(brownout_, link)) {
+    // Overlapping brownouts compound: each scales what the previous left.
+    for (const Interval& iv : *browns) {
+      if (iv.Active(t)) state.capacity_scale_frac *= iv.magnitude;
+    }
+  }
+  return state;
+}
+
+FaultHook::IcmpState FaultInjector::IcmpAt(topo::RouterId router,
+                                           stats::TimeSec t) const {
+  IcmpState state;
+  if (const auto* holes = Find(icmp_blackhole_, router)) {
+    for (const Interval& iv : *holes) {
+      if (iv.Active(t)) {
+        state.blackholed = true;
+        return state;
+      }
+    }
+  }
+  if (const auto* limits = Find(icmp_ratelimit_, router)) {
+    // Independent rate-limit regimes compose as survival probabilities.
+    double survive = 1.0;
+    for (const Interval& iv : *limits) {
+      if (iv.Active(t)) survive *= 1.0 - iv.magnitude;
+    }
+    state.extra_loss_frac = 1.0 - survive;
+  }
+  return state;
+}
+
+bool FaultInjector::VpUpAt(topo::VpId vp, stats::TimeSec t) const {
+  if (const auto* outs = Find(vp_outage_, vp)) {
+    for (const Interval& iv : *outs) {
+      if (iv.Active(t)) return false;
+    }
+  }
+  return true;
+}
+
+stats::TimeSec FaultInjector::ClockSkewAt(topo::VpId vp,
+                                          stats::TimeSec t) const {
+  stats::TimeSec skew = 0;
+  if (const auto* skews = Find(clock_skew_, vp)) {
+    for (const Interval& iv : *skews) {
+      if (iv.Active(t)) skew += static_cast<stats::TimeSec>(iv.magnitude);
+    }
+  }
+  return skew;
+}
+
+bool FaultInjector::DropTsdbWriteAt(topo::VpId vp, stats::TimeSec t,
+                                    std::uint64_t noise) const {
+  const auto* drops = Find(tsdb_drop_, vp);
+  if (drops == nullptr) return false;
+  double survive = 1.0;
+  for (const Interval& iv : *drops) {
+    if (iv.Active(t)) survive *= 1.0 - iv.magnitude;
+  }
+  if (survive >= 1.0) return false;
+  const double u = stats::Rng::HashToUnit(
+      drop_seed_, stats::Rng::HashMix(vp, static_cast<std::uint64_t>(t)),
+      noise);
+  return u < 1.0 - survive;
+}
+
+std::uint32_t FaultInjector::RouteEpochAt(stats::TimeSec t) const {
+  const auto it =
+      std::upper_bound(churn_times_.begin(), churn_times_.end(), t);
+  return static_cast<std::uint32_t>(it - churn_times_.begin());
+}
+
+}  // namespace manic::sim::faults

@@ -1,0 +1,66 @@
+// FaultInjector turns a FaultPlan into the sim::FaultHook that SimNetwork
+// and the probing loop consult. Every query is a pure function of
+// (plan, seed, arguments): the only randomness — per-write telemetry drops —
+// is derived from a SeedTree child hashed with the (vp, t, noise) triple, so
+// a faulted run replays bit-identically at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "runtime/seed_tree.h"
+#include "sim/fault_hook.h"
+#include "sim/faults/fault_plan.h"
+
+namespace manic::sim::faults {
+
+class FaultInjector final : public FaultHook {
+ public:
+  // `seed` should be a dedicated subtree, e.g.
+  // runtime::SeedTree(options.seed).Child("faults"); it only feeds the
+  // probabilistic tsdb-drop query, so two injectors with the same plan and
+  // seed are interchangeable.
+  FaultInjector(FaultPlan plan, runtime::SeedTree seed);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  // FaultHook:
+  LinkState LinkAt(topo::LinkId link, stats::TimeSec t) const override;
+  IcmpState IcmpAt(topo::RouterId router, stats::TimeSec t) const override;
+  bool VpUpAt(topo::VpId vp, stats::TimeSec t) const override;
+  stats::TimeSec ClockSkewAt(topo::VpId vp, stats::TimeSec t) const override;
+  bool DropTsdbWriteAt(topo::VpId vp, stats::TimeSec t,
+                       std::uint64_t noise) const override;
+  std::uint32_t RouteEpochAt(stats::TimeSec t) const override;
+
+ private:
+  struct Interval {
+    stats::TimeSec start_s = 0;
+    stats::TimeSec end_s = 0;
+    double magnitude = 0.0;
+
+    bool Active(stats::TimeSec t) const noexcept {
+      return t >= start_s && t < end_s;
+    }
+  };
+  // Per-target interval lists, one map per fault kind, built once at
+  // construction so the hot-path queries never touch the flat event list.
+  using TargetIndex = std::map<std::uint32_t, std::vector<Interval>>;
+
+  static const std::vector<Interval>* Find(const TargetIndex& index,
+                                           std::uint32_t target);
+
+  FaultPlan plan_;
+  std::uint64_t drop_seed_ = 0;
+  TargetIndex link_down_;
+  TargetIndex brownout_;
+  TargetIndex vp_outage_;
+  TargetIndex icmp_blackhole_;
+  TargetIndex icmp_ratelimit_;
+  TargetIndex clock_skew_;
+  TargetIndex tsdb_drop_;
+  std::vector<stats::TimeSec> churn_times_;  // sorted
+};
+
+}  // namespace manic::sim::faults

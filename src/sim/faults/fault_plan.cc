@@ -1,0 +1,279 @@
+#include "sim/faults/fault_plan.h"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace manic::sim::faults {
+
+namespace {
+
+// The keyword each kind serializes under, and which numeric field names it
+// expects. `magnitude_key` is null for kinds without a magnitude.
+struct KindSpec {
+  FaultKind kind = FaultKind::kLinkDown;
+  const char* name = nullptr;
+  const char* target_key = nullptr;     // null: no target (route_churn)
+  const char* magnitude_key = nullptr;  // null: no magnitude
+};
+
+constexpr KindSpec kKinds[] = {
+    {FaultKind::kLinkDown, "link_down", "link", nullptr},
+    {FaultKind::kLinkBrownout, "brownout", "link", "scale_frac"},
+    {FaultKind::kVpOutage, "vp_outage", "vp", nullptr},
+    {FaultKind::kIcmpBlackhole, "icmp_blackhole", "router", nullptr},
+    {FaultKind::kIcmpRateLimit, "icmp_ratelimit", "router", "loss_frac"},
+    {FaultKind::kRouteChurn, "route_churn", nullptr, nullptr},
+    {FaultKind::kClockSkew, "clock_skew", "vp", "skew_s"},
+    {FaultKind::kTsdbDrop, "tsdb_drop", "vp", "drop_frac"},
+};
+
+const KindSpec* SpecOf(FaultKind kind) {
+  for (const KindSpec& s : kKinds) {
+    if (s.kind == kind) return &s;
+  }
+  return nullptr;
+}
+
+const KindSpec* SpecOf(std::string_view name) {
+  for (const KindSpec& s : kKinds) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  // std::from_chars<double> is missing from some libstdc++ configurations;
+  // strtod via a bounded copy keeps the parser portable.
+  std::string buf(text);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) noexcept {
+  const KindSpec* spec = SpecOf(kind);
+  return spec != nullptr ? spec->name : "?";
+}
+
+FaultPlan& FaultPlan::LinkDown(topo::LinkId link, TimeSec start_s,
+                               TimeSec end_s) {
+  events_.push_back({FaultKind::kLinkDown, start_s, end_s, link, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::LinkFlaps(topo::LinkId link, TimeSec start_s, int flaps,
+                                TimeSec down_s, TimeSec period_s) {
+  for (int k = 0; k < flaps; ++k) {
+    const TimeSec t0 = start_s + static_cast<TimeSec>(k) * period_s;
+    LinkDown(link, t0, t0 + down_s);
+  }
+  return *this;
+}
+
+FaultPlan& FaultPlan::LinkBrownout(topo::LinkId link, TimeSec start_s,
+                                   TimeSec end_s, double capacity_scale_frac) {
+  events_.push_back(
+      {FaultKind::kLinkBrownout, start_s, end_s, link, capacity_scale_frac});
+  return *this;
+}
+
+FaultPlan& FaultPlan::VpOutage(topo::VpId vp, TimeSec start_s, TimeSec end_s) {
+  events_.push_back({FaultKind::kVpOutage, start_s, end_s, vp, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::IcmpBlackhole(topo::RouterId router, TimeSec start_s,
+                                    TimeSec end_s) {
+  events_.push_back({FaultKind::kIcmpBlackhole, start_s, end_s, router, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::IcmpRateLimit(topo::RouterId router, TimeSec start_s,
+                                    TimeSec end_s, double extra_loss_frac) {
+  events_.push_back(
+      {FaultKind::kIcmpRateLimit, start_s, end_s, router, extra_loss_frac});
+  return *this;
+}
+
+FaultPlan& FaultPlan::RouteChurn(TimeSec at_s) {
+  events_.push_back({FaultKind::kRouteChurn, at_s, at_s, 0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::ClockSkew(topo::VpId vp, TimeSec start_s, TimeSec end_s,
+                                TimeSec skew_s) {
+  events_.push_back({FaultKind::kClockSkew, start_s, end_s, vp,
+                     static_cast<double>(skew_s)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::TsdbDrop(topo::VpId vp, TimeSec start_s, TimeSec end_s,
+                               double drop_frac) {
+  events_.push_back({FaultKind::kTsdbDrop, start_s, end_s, vp, drop_frac});
+  return *this;
+}
+
+std::string FaultPlan::Serialize() const {
+  std::ostringstream out;
+  out << "# manic fault plan v1\n";
+  for (const FaultEvent& e : events_) {
+    const KindSpec* spec = SpecOf(e.kind);
+    out << spec->name;
+    if (spec->target_key != nullptr) {
+      out << ' ' << spec->target_key << '=' << e.target;
+    }
+    if (e.kind == FaultKind::kRouteChurn) {
+      out << " at_s=" << e.start_s;
+    } else {
+      out << " start_s=" << e.start_s << " end_s=" << e.end_s;
+    }
+    if (spec->magnitude_key != nullptr) {
+      if (e.kind == FaultKind::kClockSkew) {
+        out << ' ' << spec->magnitude_key << '='
+            << static_cast<TimeSec>(e.magnitude);
+      } else {
+        std::ostringstream mag;
+        mag.precision(17);
+        mag << e.magnitude;
+        out << ' ' << spec->magnitude_key << '=' << mag.str();
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::optional<FaultPlan> FaultPlan::Parse(std::istream& is,
+                                          std::string* error) {
+  FaultPlan plan;
+  std::string line;
+  int lineno = 0;
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = "fault plan line " + std::to_string(lineno) + ": " + what;
+    }
+    return std::nullopt;
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string word;
+    if (!(fields >> word)) continue;
+    const KindSpec* spec = SpecOf(std::string_view{word});
+    if (spec == nullptr) return fail("unknown fault kind '" + word + "'");
+
+    FaultEvent e;
+    e.kind = spec->kind;
+    bool have_target = false, have_start = false, have_end = false,
+         have_magnitude = false;
+    std::string kv;
+    while (fields >> kv) {
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= kv.size()) {
+        return fail("expected key=value, got '" + kv + "'");
+      }
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      double num = 0.0;
+      if (!ParseDouble(value, &num)) {
+        return fail("bad number '" + value + "' for '" + key + "'");
+      }
+      if (spec->target_key != nullptr && key == spec->target_key) {
+        if (num < 0 || num != std::floor(num)) {
+          return fail("'" + key + "' must be a non-negative integer");
+        }
+        e.target = static_cast<std::uint32_t>(num);
+        have_target = true;
+      } else if (e.kind == FaultKind::kRouteChurn && key == "at_s") {
+        e.start_s = e.end_s = static_cast<TimeSec>(num);
+        have_start = have_end = true;
+      } else if (key == "start_s") {
+        e.start_s = static_cast<TimeSec>(num);
+        have_start = true;
+      } else if (key == "end_s") {
+        e.end_s = static_cast<TimeSec>(num);
+        have_end = true;
+      } else if (spec->magnitude_key != nullptr &&
+                 key == spec->magnitude_key) {
+        e.magnitude = num;
+        have_magnitude = true;
+      } else {
+        return fail("unknown key '" + key + "' for " + spec->name);
+      }
+    }
+    if (spec->target_key != nullptr && !have_target) {
+      return fail(std::string("missing '") + spec->target_key + "'");
+    }
+    if (!have_start || !have_end) {
+      return fail(e.kind == FaultKind::kRouteChurn ? "missing 'at_s'"
+                                                   : "missing start_s/end_s");
+    }
+    if (spec->magnitude_key != nullptr && !have_magnitude) {
+      return fail(std::string("missing '") + spec->magnitude_key + "'");
+    }
+    plan.events_.push_back(e);
+  }
+  return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::Parse(const std::string& text,
+                                          std::string* error) {
+  std::istringstream is(text);
+  return Parse(is, error);
+}
+
+std::optional<FaultPlan> FaultPlan::ParseFile(const std::string& path,
+                                              std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error != nullptr) *error = "cannot open fault plan '" + path + "'";
+    return std::nullopt;
+  }
+  return Parse(is, error);
+}
+
+std::vector<std::string> FaultPlan::Validate() const {
+  std::vector<std::string> warnings;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    const std::string where =
+        "event " + std::to_string(i) + " (" + FaultKindName(e.kind) + ")";
+    if (e.kind != FaultKind::kRouteChurn && e.end_s <= e.start_s) {
+      warnings.push_back(where + ": empty interval [start_s, end_s)");
+    }
+    switch (e.kind) {
+      case FaultKind::kLinkBrownout:
+        if (e.magnitude <= 0.0 || e.magnitude > 1.0) {
+          warnings.push_back(where + ": scale_frac outside (0, 1]");
+        }
+        break;
+      case FaultKind::kIcmpRateLimit:
+      case FaultKind::kTsdbDrop:
+        if (e.magnitude < 0.0 || e.magnitude > 1.0) {
+          warnings.push_back(where + ": fraction outside [0, 1]");
+        }
+        break;
+      case FaultKind::kClockSkew:
+        // 300 s is the TSLP round interval: a larger skew makes recorded
+        // timestamps non-monotonic when the skew regime ends.
+        if (std::fabs(e.magnitude) >= 300.0) {
+          warnings.push_back(where +
+                             ": |skew_s| >= 300 breaks series time order");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return warnings;
+}
+
+}  // namespace manic::sim::faults

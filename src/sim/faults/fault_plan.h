@@ -1,0 +1,106 @@
+// A deterministic, schedule-driven fault plan: the scriptable input that
+// replaces hand-crafted test pathologies. A plan is an ordered list of
+// events — link flaps and capacity brownouts, vantage-point outages, ICMP
+// blackhole and rate-limit regime changes, route churn, per-VP clock skew,
+// and telemetry write drops — each active over a half-open [start_s, end_s)
+// interval of simulated time. Plans round-trip through a line-oriented text
+// format so scenarios can be committed, diffed, and replayed byte-for-byte:
+//
+//   # one event per line; '#' starts a comment
+//   link_down      link=3 start_s=68400 end_s=72000
+//   brownout       link=3 start_s=0 end_s=86400 scale_frac=0.5
+//   vp_outage      vp=0 start_s=345600 end_s=864000
+//   icmp_blackhole router=5 start_s=0 end_s=86400
+//   icmp_ratelimit router=5 start_s=0 end_s=86400 loss_frac=0.5
+//   route_churn    at_s=86400
+//   clock_skew     vp=0 start_s=0 end_s=86400 skew_s=120
+//   tsdb_drop      vp=0 start_s=0 end_s=86400 drop_frac=0.3
+//
+// FaultInjector (fault_injector.h) turns a plan into the sim::FaultHook the
+// network and probing loop consult.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/fault_hook.h"
+
+namespace manic::sim::faults {
+
+using stats::TimeSec;
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,       // link loses every packet over [start, end)
+  kLinkBrownout,   // link capacity scaled by magnitude over [start, end)
+  kVpOutage,       // vantage point off the air over [start, end)
+  kIcmpBlackhole,  // router answers nothing over [start, end)
+  kIcmpRateLimit,  // router drops `magnitude` extra replies over [start, end)
+  kRouteChurn,     // instantaneous: routing epoch bumps at start
+  kClockSkew,      // VP timestamps shifted by `magnitude` s over [start, end)
+  kTsdbDrop,       // VP telemetry writes lost w.p. `magnitude` over [start, end)
+};
+
+const char* FaultKindName(FaultKind kind) noexcept;
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkDown;
+  TimeSec start_s = 0;  // inclusive
+  TimeSec end_s = 0;    // exclusive (== start_s for kRouteChurn)
+  // Link, VP, or router id, per kind (unused for kRouteChurn).
+  std::uint32_t target = 0;
+  // capacity scale / extra loss fraction / skew seconds / drop probability.
+  double magnitude = 0.0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+class FaultPlan {
+ public:
+  // ---- builders ------------------------------------------------------------
+  FaultPlan& LinkDown(topo::LinkId link, TimeSec start_s, TimeSec end_s);
+  // A flap train: `flaps` outages of `down_s` seconds each, the k-th starting
+  // at start_s + k * period_s.
+  FaultPlan& LinkFlaps(topo::LinkId link, TimeSec start_s, int flaps,
+                       TimeSec down_s, TimeSec period_s);
+  FaultPlan& LinkBrownout(topo::LinkId link, TimeSec start_s, TimeSec end_s,
+                          double capacity_scale_frac);
+  FaultPlan& VpOutage(topo::VpId vp, TimeSec start_s, TimeSec end_s);
+  FaultPlan& IcmpBlackhole(topo::RouterId router, TimeSec start_s,
+                           TimeSec end_s);
+  FaultPlan& IcmpRateLimit(topo::RouterId router, TimeSec start_s,
+                           TimeSec end_s, double extra_loss_frac);
+  FaultPlan& RouteChurn(TimeSec at_s);
+  FaultPlan& ClockSkew(topo::VpId vp, TimeSec start_s, TimeSec end_s,
+                       TimeSec skew_s);
+  FaultPlan& TsdbDrop(topo::VpId vp, TimeSec start_s, TimeSec end_s,
+                      double drop_frac);
+
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t size() const noexcept { return events_.size(); }
+
+  // ---- text round-trip -----------------------------------------------------
+  // One event per line in the header's format; Parse(Serialize()) == *this.
+  std::string Serialize() const;
+  static std::optional<FaultPlan> Parse(std::istream& is, std::string* error);
+  static std::optional<FaultPlan> Parse(const std::string& text,
+                                        std::string* error);
+  static std::optional<FaultPlan> ParseFile(const std::string& path,
+                                            std::string* error);
+
+  // Structural sanity warnings (empty intervals, out-of-range fractions,
+  // clock skews at or above the 300 s TSLP round that would break series
+  // time order). Parsing already rejects malformed lines; these are the
+  // "plan is well-formed but probably not what you meant" class.
+  std::vector<std::string> Validate() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace manic::sim::faults

@@ -53,12 +53,38 @@ void SimNetwork::InvalidatePaths() {
   routing_.Invalidate();
 }
 
+double SimNetwork::FaultedUtilization(const LinkDemand& demand,
+                                      const LinkDynamics& dyn, LinkId link,
+                                      TimeSec t, bool* up) const {
+  double u = demand.Utilization(t, dyn.utc_offset_hours);
+  if (up != nullptr) *up = true;
+  if (fault_hook_ != nullptr) {
+    const FaultHook::LinkState fs = fault_hook_->LinkAt(link, t);
+    if (!fs.up) {
+      if (up != nullptr) *up = false;
+      return 0.0;  // nothing crosses a dead link
+    }
+    if (fs.capacity_scale_frac > 0.0 && fs.capacity_scale_frac < 1.0) {
+      u /= fs.capacity_scale_frac;  // same demand over less capacity
+    }
+  }
+  return u;
+}
+
 double SimNetwork::MeanUtilization(LinkId link, Direction dir,
                                    TimeSec t) const {
   if (dynamics_.size() <= link) return 0.0;
   const auto& demand = dynamics_[link].demand[static_cast<int>(dir)];
   if (!demand) return 0.0;
-  return demand->MeanUtilization(t, dynamics_[link].utc_offset_hours);
+  double u = demand->MeanUtilization(t, dynamics_[link].utc_offset_hours);
+  if (fault_hook_ != nullptr) {
+    const FaultHook::LinkState fs = fault_hook_->LinkAt(link, t);
+    if (!fs.up) return 0.0;
+    if (fs.capacity_scale_frac > 0.0 && fs.capacity_scale_frac < 1.0) {
+      u /= fs.capacity_scale_frac;
+    }
+  }
+  return u;
 }
 
 double SimNetwork::TrueCongestedFraction(LinkId link, Direction dir,
@@ -70,8 +96,8 @@ double SimNetwork::TrueCongestedFraction(LinkId link, Direction dir,
   const TimeSec start = StartOfDay(day);
   int congested_minutes = 0;
   for (int m = 0; m < 1440; ++m) {
-    const double u = demand->MeanUtilization(start + m * kSecPerMin,
-                                             dynamics_[link].utc_offset_hours);
+    // MeanUtilization folds in fault state (brownouts, outages).
+    const double u = MeanUtilization(link, dir, start + m * kSecPerMin);
     if (u >= threshold) ++congested_minutes;
   }
   return congested_minutes / 1440.0;
@@ -84,8 +110,8 @@ int SimNetwork::LinkUtcOffset(LinkId link) const {
 
 LinkId SimNetwork::ChooseEgressLink(RouterId cur, Asn cur_as, Asn next_as,
                                     Ipv4Addr dst, FlowId flow,
-                                    bool first_transition,
-                                    RouterId path_start) const {
+                                    bool first_transition, RouterId path_start,
+                                    std::uint32_t route_epoch) const {
   if (first_transition) {
     const auto ov = return_overrides_.find(
         {path_start, topo_->Prefix2As().Lookup(dst).value_or(0)});
@@ -116,8 +142,11 @@ LinkId SimNetwork::ChooseEgressLink(RouterId cur, Asn cur_as, Asn next_as,
   if (tied.empty()) return topo::kInvalidId;
   std::sort(tied.begin(), tied.end());
   // Per-flow ECMP among equal-cost egresses: hash of (flow, dst, AS pair).
-  const std::uint64_t h = stats::Rng::HashMix(
+  // A nonzero route-churn epoch re-salts the hash (paths may move); epoch 0
+  // reproduces the historical selection bit-for-bit.
+  std::uint64_t h = stats::Rng::HashMix(
       flow.value, dst.value(), (std::uint64_t{cur_as} << 32) | next_as);
+  if (route_epoch != 0) h = stats::Rng::HashMix(h, route_epoch, 0xEC);
   return tied[h % tied.size()];
 }
 
@@ -133,8 +162,8 @@ topo::LinkId FindIntraLink(const topo::Topology& topo, RouterId a, RouterId b) {
 
 }  // namespace
 
-ForwardPath SimNetwork::ComputePath(RouterId start, Ipv4Addr dst,
-                                    FlowId flow) const {
+ForwardPath SimNetwork::ComputePath(RouterId start, Ipv4Addr dst, FlowId flow,
+                                    std::uint32_t route_epoch) const {
   ForwardPath path;
   path.dst = dst;
   const auto origin = topo_->Prefix2As().Lookup(dst);
@@ -163,8 +192,8 @@ ForwardPath SimNetwork::ComputePath(RouterId start, Ipv4Addr dst,
   for (std::size_t i = 0; i + 1 < as_path.size(); ++i) {
     const Asn cur_as = as_path[i];
     const Asn next_as = as_path[i + 1];
-    const LinkId lid =
-        ChooseEgressLink(cur, cur_as, next_as, dst, flow, i == 0, start);
+    const LinkId lid = ChooseEgressLink(cur, cur_as, next_as, dst, flow,
+                                        i == 0, start, route_epoch);
     if (lid == topo::kInvalidId) return path;
     const topo::Link& l = topo_->link(lid);
     const RouterId near = l.as_a == cur_as ? l.router_a : l.router_b;
@@ -233,25 +262,31 @@ ForwardPath SimNetwork::ComputePath(RouterId start, Ipv4Addr dst,
 }
 
 const ForwardPath& SimNetwork::PathFromRouter(RouterId start, Ipv4Addr dst,
-                                              FlowId flow) {
-  const auto key = std::make_tuple(start, dst.value(), flow.value);
+                                              FlowId flow,
+                                              std::uint32_t route_epoch) {
+  const auto key = std::make_tuple(
+      start, dst.value(),
+      (route_epoch << 16) | std::uint32_t{flow.value});
   auto it = path_cache_.find(key);
   if (it == path_cache_.end()) {
-    it = path_cache_.emplace(key, ComputePath(start, dst, flow)).first;
+    it = path_cache_.emplace(key, ComputePath(start, dst, flow, route_epoch))
+             .first;
   }
   return it->second;
 }
 
-const ForwardPath& SimNetwork::PathFromVp(VpId vp, Ipv4Addr dst, FlowId flow) {
+const ForwardPath& SimNetwork::PathFromVp(VpId vp, Ipv4Addr dst, FlowId flow,
+                                          std::uint32_t route_epoch) {
   const topo::VantagePoint& v = topo_->vp(vp);
   // VP paths are cached under the first-hop router with a bit marking the
   // uplink prepend; encode by offsetting the flow — instead, keep a separate
   // cache keyed by (router | 0x80000000).
-  const auto key = std::make_tuple(v.first_hop | 0x80000000u, dst.value(),
-                                   flow.value);
+  const auto key = std::make_tuple(
+      v.first_hop | 0x80000000u, dst.value(),
+      (route_epoch << 16) | std::uint32_t{flow.value});
   auto it = path_cache_.find(key);
   if (it == path_cache_.end()) {
-    ForwardPath path = ComputePath(v.first_hop, dst, flow);
+    ForwardPath path = ComputePath(v.first_hop, dst, flow, route_epoch);
     // Prepend the first-hop router as hop 0 (TTL=1 expires there), reached
     // via the host uplink.
     const topo::Link& up = topo_->link(v.uplink);
@@ -272,11 +307,15 @@ SimNetwork::SegmentCost SimNetwork::CrossLink(LinkId link, Direction dir,
   SegmentCost cost;
   const topo::Link& l = topo_->link(link);
   cost.delay_ms = l.propagation_ms();
+  if (fault_hook_ != nullptr && !fault_hook_->LinkAt(link, t).up) {
+    cost.lost = true;  // a down link loses every packet
+    return cost;
+  }
   if (dynamics_.size() > link) {
     const LinkDynamics& dyn = dynamics_[link];
     const auto& demand = dyn.demand[static_cast<int>(dir)];
     if (demand) {
-      const double u = demand->Utilization(t, dyn.utc_offset_hours);
+      const double u = FaultedUtilization(*demand, dyn, link, t, nullptr);
       const QueueObservation obs = dyn.queue.Observe(u);
       cost.delay_ms += obs.delay_ms;
       if (obs.loss_prob > 0.0 &&
@@ -307,9 +346,12 @@ SimNetwork::SegmentCost SimNetwork::AccumulatePath(const ForwardPath& path,
 
 ProbeReply SimNetwork::Probe(VpId vp, Ipv4Addr dst, int ttl, FlowId flow,
                              TimeSec t) {
-  ++probes_sent_;
   ProbeReply reply;
-  const ForwardPath& path = PathFromVp(vp, dst, flow);
+  // A VP that is out never puts a packet on the wire.
+  if (fault_hook_ != nullptr && !fault_hook_->VpUpAt(vp, t)) return reply;
+  ++probes_sent_;
+  const std::uint32_t epoch = RouteEpochAt(t);
+  const ForwardPath& path = PathFromVp(vp, dst, flow, epoch);
   if (path.hops.empty()) return reply;
 
   const std::uint64_t pkey = stats::Rng::HashMix(seed_, probes_sent_, t);
@@ -321,6 +363,14 @@ ProbeReply SimNetwork::Probe(VpId vp, Ipv4Addr dst, int ttl, FlowId flow,
     if (fwd.lost) return reply;
     const topo::Router& responder = topo_->router(path.hops[idx].router);
     if (!responder.icmp.responds) return reply;
+    if (fault_hook_ != nullptr) {
+      const FaultHook::IcmpState ic =
+          fault_hook_->IcmpAt(path.hops[idx].router, t);
+      if (ic.blackholed) return reply;
+      if (ic.extra_loss_frac > 0.0 && rng_.Bernoulli(ic.extra_loss_frac)) {
+        return reply;
+      }
+    }
     if (rng_.Bernoulli(responder.icmp.response_loss_prob)) return reply;
     double icmp_ms = 0.0;
     if (rng_.Bernoulli(responder.icmp.slow_path_prob)) {
@@ -329,7 +379,7 @@ ProbeReply SimNetwork::Probe(VpId vp, Ipv4Addr dst, int ttl, FlowId flow,
     // Reverse path of the ICMP time-exceeded message.
     const topo::VantagePoint& v = topo_->vp(vp);
     const ForwardPath& rev =
-        PathFromRouter(path.hops[idx].router, v.addr, flow);
+        PathFromRouter(path.hops[idx].router, v.addr, flow, epoch);
     if (!rev.reached) return reply;
     const SegmentCost back =
         AccumulatePath(rev, rev.hops.size(), t, stats::Rng::HashMix(pkey, 1));
@@ -364,8 +414,13 @@ ProbeReply SimNetwork::Probe(VpId vp, Ipv4Addr dst, int ttl, FlowId flow,
   const RouterId dest_router = path.hops.empty()
                                    ? topo_->vp(vp).first_hop
                                    : path.hops.back().router;
+  // A blackholed router answers nothing, echo requests included.
+  if (fault_hook_ != nullptr && topo_->IfaceByAddr(dst).has_value() &&
+      fault_hook_->IcmpAt(dest_router, t).blackholed) {
+    return reply;
+  }
   const topo::VantagePoint& v = topo_->vp(vp);
-  const ForwardPath& rev = PathFromRouter(dest_router, v.addr, flow);
+  const ForwardPath& rev = PathFromRouter(dest_router, v.addr, flow, epoch);
   if (!rev.reached) return reply;
   const SegmentCost back =
       AccumulatePath(rev, rev.hops.size(), t, stats::Rng::HashMix(pkey, 4));
@@ -406,11 +461,13 @@ SimNetwork::RecordRouteReply SimNetwork::ProbeRecordRoute(VpId vp,
   if (rr.reply.outcome != ProbeOutcome::kTtlExpired) return rr;
   // Reconstruct the reply's path (the same one Probe() charged delay/loss
   // against) and record the egress interface of each traversed router.
-  const ForwardPath& fwd = PathFromVp(vp, dst, flow);
+  const std::uint32_t epoch = RouteEpochAt(t);
+  const ForwardPath& fwd = PathFromVp(vp, dst, flow, epoch);
   const std::size_t idx = static_cast<std::size_t>(ttl) - 1;
   if (idx >= fwd.hops.size()) return rr;
   const topo::VantagePoint& v = topo_->vp(vp);
-  const ForwardPath& rev = PathFromRouter(fwd.hops[idx].router, v.addr, flow);
+  const ForwardPath& rev =
+      PathFromRouter(fwd.hops[idx].router, v.addr, flow, epoch);
   RouterId cur = fwd.hops[idx].router;
   for (const Hop& hop : rev.hops) {
     if (rr.reverse_route.size() >= kRecordRouteSlots) break;
@@ -432,8 +489,10 @@ double SimNetwork::ObservedQueueDelayMs(LinkId link, Direction dir,
   const LinkDynamics& dyn = dynamics_[link];
   const auto& demand = dyn.demand[static_cast<int>(dir)];
   if (!demand) return 0.0;
-  return dyn.queue.Observe(demand->Utilization(t, dyn.utc_offset_hours))
-      .delay_ms;
+  bool up = true;
+  const double u = FaultedUtilization(*demand, dyn, link, t, &up);
+  if (!up) return 0.0;  // nothing queues on a dead link (and nothing returns)
+  return dyn.queue.Observe(u).delay_ms;
 }
 
 double SimNetwork::ObservedLossProb(LinkId link, Direction dir,
@@ -442,8 +501,10 @@ double SimNetwork::ObservedLossProb(LinkId link, Direction dir,
   const LinkDynamics& dyn = dynamics_[link];
   const auto& demand = dyn.demand[static_cast<int>(dir)];
   if (!demand) return 0.0;
-  return dyn.queue.Observe(demand->Utilization(t, dyn.utc_offset_hours))
-      .loss_prob;
+  bool up = true;
+  const double u = FaultedUtilization(*demand, dyn, link, t, &up);
+  if (!up) return 1.0;  // a down link loses every packet
+  return dyn.queue.Observe(u).loss_prob;
 }
 
 SimNetwork::ProbeExpectation SimNetwork::ExpectProbe(VpId vp, Ipv4Addr dst,
@@ -451,7 +512,11 @@ SimNetwork::ProbeExpectation SimNetwork::ExpectProbe(VpId vp, Ipv4Addr dst,
                                                      TimeSec t,
                                                      bool include_queues) {
   ProbeExpectation exp;
-  const ForwardPath& path = PathFromVp(vp, dst, flow);
+  if (fault_hook_ != nullptr && !fault_hook_->VpUpAt(vp, t)) {
+    return exp;  // VP out: no probe leaves the host
+  }
+  const std::uint32_t epoch = RouteEpochAt(t);
+  const ForwardPath& path = PathFromVp(vp, dst, flow, epoch);
   if (path.hops.empty() || ttl > static_cast<int>(path.hops.size())) {
     return exp;  // expectation API covers TTL-limited probes only
   }
@@ -462,11 +527,15 @@ SimNetwork::ProbeExpectation SimNetwork::ExpectProbe(VpId vp, Ipv4Addr dst,
   auto cross_mean = [&](LinkId link, Direction dir) {
     const topo::Link& l = topo_->link(link);
     delay += l.propagation_ms();
+    if (fault_hook_ != nullptr && !fault_hook_->LinkAt(link, t).up) {
+      ok = 0.0;
+      return;
+    }
     if (include_queues && dynamics_.size() > link) {
       const LinkDynamics& dyn = dynamics_[link];
       const auto& demand = dyn.demand[static_cast<int>(dir)];
       if (demand) {
-        const double u = demand->Utilization(t, dyn.utc_offset_hours);
+        const double u = FaultedUtilization(*demand, dyn, link, t, nullptr);
         const QueueObservation obs = dyn.queue.Observe(u);
         delay += obs.delay_ms;
         ok *= 1.0 - obs.loss_prob;
@@ -480,11 +549,18 @@ SimNetwork::ProbeExpectation SimNetwork::ExpectProbe(VpId vp, Ipv4Addr dst,
   }
   const topo::Router& responder = topo_->router(path.hops[idx].router);
   if (!responder.icmp.responds) return exp;
+  if (fault_hook_ != nullptr) {
+    const FaultHook::IcmpState ic =
+        fault_hook_->IcmpAt(path.hops[idx].router, t);
+    if (ic.blackholed) return exp;
+    ok *= 1.0 - ic.extra_loss_frac;
+  }
   ok *= 1.0 - responder.icmp.response_loss_prob;
   delay += responder.icmp.slow_path_prob * responder.icmp.slow_path_extra_ms;
 
   const topo::VantagePoint& v = topo_->vp(vp);
-  const ForwardPath& rev = PathFromRouter(path.hops[idx].router, v.addr, flow);
+  const ForwardPath& rev =
+      PathFromRouter(path.hops[idx].router, v.addr, flow, epoch);
   if (!rev.reached) return exp;
   for (const Hop& hop : rev.hops) {
     if (hop.via_link != topo::kInvalidId) cross_mean(hop.via_link, hop.via_dir);
@@ -504,12 +580,14 @@ SimNetwork::ProbeExpectation SimNetwork::ExpectProbe(VpId vp, Ipv4Addr dst,
 PathMetrics SimNetwork::MetricsFor(VpId vp, Ipv4Addr dst, FlowId flow,
                                    TimeSec t) {
   PathMetrics m;
-  const ForwardPath& fwd = PathFromVp(vp, dst, flow);
+  if (fault_hook_ != nullptr && !fault_hook_->VpUpAt(vp, t)) return m;
+  const std::uint32_t epoch = RouteEpochAt(t);
+  const ForwardPath& fwd = PathFromVp(vp, dst, flow, epoch);
   if (!fwd.reached) return m;
   const topo::VantagePoint& v = topo_->vp(vp);
   const RouterId dest_router =
       fwd.hops.empty() ? v.first_hop : fwd.hops.back().router;
-  const ForwardPath& rev = PathFromRouter(dest_router, v.addr, flow);
+  const ForwardPath& rev = PathFromRouter(dest_router, v.addr, flow, epoch);
   if (!rev.reached) return m;
   m.reachable = true;
   m.min_capacity_gbps = std::numeric_limits<double>::infinity();
@@ -520,11 +598,16 @@ PathMetrics SimNetwork::MetricsFor(VpId vp, Ipv4Addr dst, FlowId flow,
       if (hop.via_link == topo::kInvalidId) continue;
       const topo::Link& l = topo_->link(hop.via_link);
       m.rtt_ms += l.propagation_ms();
+      if (fault_hook_ != nullptr && !fault_hook_->LinkAt(hop.via_link, t).up) {
+        ok = 0.0;
+        continue;
+      }
       if (dynamics_.size() > hop.via_link) {
         const LinkDynamics& dyn = dynamics_[hop.via_link];
         const auto& demand = dyn.demand[static_cast<int>(hop.via_dir)];
         if (demand) {
-          const double u = demand->Utilization(t, dyn.utc_offset_hours);
+          const double u =
+              FaultedUtilization(*demand, dyn, hop.via_link, t, nullptr);
           const QueueObservation obs = dyn.queue.Observe(u);
           m.rtt_ms += obs.delay_ms;
           ok *= 1.0 - obs.loss_prob;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/demand.h"
+#include "sim/fault_hook.h"
 #include "sim/link_model.h"
 #include "sim/routing.h"
 #include "stats/rng.h"
@@ -102,11 +103,22 @@ class SimNetwork {
   // Invalidate cached paths after topology or routing changes.
   void InvalidatePaths();
 
+  // ---- fault injection -----------------------------------------------------
+  // Installs the fault schedule every subsequent operation consults (not
+  // owned; pass nullptr to clear). A null hook leaves every code path — and
+  // every random draw — exactly as in an unfaulted run.
+  void SetFaultHook(const FaultHook* hook) { fault_hook_ = hook; }
+  const FaultHook* fault_hook() const noexcept { return fault_hook_; }
+
   // ---- path computation ----------------------------------------------------
   // Path from a router toward an address (cached; ECMP depends on flow).
-  const ForwardPath& PathFromRouter(RouterId start, Ipv4Addr dst, FlowId flow);
+  // `route_epoch` re-seeds ECMP tie-breaking (fault-driven route churn);
+  // epoch 0 reproduces the historical selection exactly.
+  const ForwardPath& PathFromRouter(RouterId start, Ipv4Addr dst, FlowId flow,
+                                    std::uint32_t route_epoch = 0);
   // Path from a VP's host (starts at its first-hop router).
-  const ForwardPath& PathFromVp(VpId vp, Ipv4Addr dst, FlowId flow);
+  const ForwardPath& PathFromVp(VpId vp, Ipv4Addr dst, FlowId flow,
+                                std::uint32_t route_epoch = 0);
 
   // ---- probing -------------------------------------------------------------
   // Sends one TTL-limited ICMP probe from `vp` toward `dst` at sim time `t`.
@@ -192,20 +204,33 @@ class SimNetwork {
   SegmentCost AccumulatePath(const ForwardPath& path, std::size_t hop_count,
                              TimeSec t, std::uint64_t noise_key);
 
-  ForwardPath ComputePath(RouterId start, Ipv4Addr dst, FlowId flow) const;
+  ForwardPath ComputePath(RouterId start, Ipv4Addr dst, FlowId flow,
+                          std::uint32_t route_epoch) const;
   LinkId ChooseEgressLink(RouterId cur, Asn cur_as, Asn next_as, Ipv4Addr dst,
                           FlowId flow, bool first_transition,
-                          RouterId path_start) const;
+                          RouterId path_start, std::uint32_t route_epoch) const;
+
+  // Routing epoch the installed fault schedule prescribes at time t.
+  std::uint32_t RouteEpochAt(TimeSec t) const {
+    return fault_hook_ != nullptr ? fault_hook_->RouteEpochAt(t) : 0;
+  }
+  // Demand-model utilization adjusted for fault state (brownouts inflate it;
+  // a down link carries nothing).
+  double FaultedUtilization(const LinkDemand& demand, const LinkDynamics& dyn,
+                            LinkId link, TimeSec t, bool* up) const;
 
   topo::Topology* topo_ = nullptr;
   BgpRouting routing_;
   mutable stats::Rng rng_;
   std::vector<LinkDynamics> dynamics_;
   std::map<std::pair<RouterId, Asn>, LinkId> return_overrides_;
-  std::map<std::tuple<RouterId, std::uint32_t, std::uint16_t>, ForwardPath>
+  // Keyed (router, dst, route_epoch << 16 | flow): churn epochs get their own
+  // cached paths, and epoch 0 keys collapse to the historical layout.
+  std::map<std::tuple<RouterId, std::uint32_t, std::uint32_t>, ForwardPath>
       path_cache_;
   std::uint64_t probes_sent_ = 0;
   std::uint64_t seed_ = 0;
+  const FaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace manic::sim

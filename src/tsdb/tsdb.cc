@@ -56,9 +56,56 @@ void Database::Write(std::string_view measurement, const TagSet& tags,
   const std::string key = tags.Canonical();
   auto it = table.find(key);
   if (it == table.end()) {
-    it = table.emplace(key, Series{tags, {}}).first;
+    it = table.emplace(key, Series{tags, {}, {}}).first;
   }
   it->second.data.Append(t, value);
+}
+
+void Database::WriteMissing(std::string_view measurement, const TagSet& tags,
+                            TimeSec t) {
+  auto& table = tables_[std::string(measurement)];
+  const std::string key = tags.Canonical();
+  auto it = table.find(key);
+  if (it == table.end()) {
+    it = table.emplace(key, Series{tags, {}, {}}).first;
+  }
+  it->second.missing.Append(t, 0.0);
+}
+
+Database::CoverageStats Database::Coverage(std::string_view measurement,
+                                           const TagSet& filter, TimeSec t0,
+                                           TimeSec t1) const {
+  CoverageStats stats;
+  std::vector<TimeSec> present_times;
+  const auto table = tables_.find(measurement);
+  if (table == tables_.end()) {
+    stats.longest_gap_s = t1 - t0;
+    return stats;
+  }
+  for (const auto& [key, series] : table->second) {
+    if (!series.tags.Matches(filter)) continue;
+    for (std::size_t i = series.data.LowerBound(t0);
+         i < series.data.size() && series.data[i].t < t1; ++i) {
+      ++stats.present;
+      present_times.push_back(series.data[i].t);
+    }
+    for (std::size_t i = series.missing.LowerBound(t0);
+         i < series.missing.size() && series.missing[i].t < t1; ++i) {
+      ++stats.missing;
+    }
+  }
+  if (present_times.empty()) {
+    stats.longest_gap_s = t1 - t0;
+    return stats;
+  }
+  std::sort(present_times.begin(), present_times.end());
+  TimeSec longest = present_times.front() - t0;  // leading gap
+  for (std::size_t i = 1; i < present_times.size(); ++i) {
+    longest = std::max(longest, present_times[i] - present_times[i - 1]);
+  }
+  longest = std::max(longest, (t1 - 1) - present_times.back());  // trailing
+  stats.longest_gap_s = std::max<TimeSec>(longest, 0);
+  return stats;
 }
 
 std::vector<SeriesRef> Database::Query(std::string_view measurement,

@@ -60,6 +60,33 @@ class Database {
   void Write(std::string_view measurement, const TagSet& tags, TimeSec t,
              double value);
 
+  // Marks time t of the series as probed-but-unanswered: the collector was
+  // alive and scheduled the measurement, but nothing came back. Gap markers
+  // make "no data because we asked and got nothing" distinguishable from
+  // "no data because telemetry was silently lost" (an unmarked hole), which
+  // is what Coverage() quantifies. Markers live beside the data and are not
+  // exported via CSV or line protocol (the real backend has no such row).
+  void WriteMissing(std::string_view measurement, const TagSet& tags,
+                    TimeSec t);
+
+  // Coverage accounting over [t0, t1) for every series matching `filter`,
+  // combined: how many points are present, how many probed slots came back
+  // empty, and the longest interval with no present point (clamped to the
+  // window edges; t1 - t0 when nothing is present).
+  struct CoverageStats {
+    std::int64_t present = 0;
+    std::int64_t missing = 0;
+    TimeSec longest_gap_s = 0;
+
+    double CoverageFrac() const noexcept {
+      const std::int64_t total = present + missing;
+      return total > 0 ? static_cast<double>(present) / static_cast<double>(total)
+                       : 0.0;
+    }
+  };
+  CoverageStats Coverage(std::string_view measurement, const TagSet& filter,
+                         TimeSec t0, TimeSec t1) const;
+
   // All series of a measurement whose tags match `filter` (subset match).
   std::vector<SeriesRef> Query(std::string_view measurement,
                                const TagSet& filter = {}) const;
@@ -105,6 +132,9 @@ class Database {
   struct Series {
     TagSet tags;
     stats::TimeSeries data;
+    // Probed-but-unanswered slots (value unused, kept 0); same monotonic
+    // timestamp contract as `data`.
+    stats::TimeSeries missing;
   };
   // measurement -> canonical tag string -> series
   std::map<std::string, std::map<std::string, Series>, std::less<>> tables_;

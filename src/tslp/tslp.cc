@@ -4,9 +4,17 @@
 
 namespace manic::tslp {
 
+namespace {
+
+// Noise salts decoupling near- and far-side telemetry-drop draws.
+constexpr std::uint64_t kNearNoise = 0x4EA2;
+constexpr std::uint64_t kFarNoise = 0xFA52;
+
+}  // namespace
+
 TslpScheduler::TslpScheduler(SimNetwork& net, VpId vp, tsdb::Database& db,
                              Config config)
-    : net_(&net), vp_(vp), db_(&db), config_(config) {
+    : net_(&net), vp_(vp), db_(&db), config_(config), prober_(net, vp) {
   vp_name_ = net.topology().vp(vp).name;
 }
 
@@ -83,6 +91,33 @@ void TslpScheduler::UpdateProbingSet(const bdrmap::BdrmapResult& borders) {
 }
 
 void TslpScheduler::RunRound(TimeSec t) {
+  const sim::FaultHook* hook = net_->fault_hook();
+  const bool vp_up = hook == nullptr || hook->VpUpAt(vp_, t);
+  // The host clock's error shifts every recorded timestamp.
+  const TimeSec t_rec = t + (hook != nullptr ? hook->ClockSkewAt(vp_, t) : 0);
+  const std::uint64_t e0 = expected_;
+  const std::uint64_t a0 = answered_;
+
+  // A write lost on the way to the backend disappears silently: no data, no
+  // gap marker — the hole Coverage() surfaces via longest_gap.
+  const auto write = [&](const char* side, std::uint64_t side_key,
+                         Ipv4Addr far_addr, const TslpDest& dest,
+                         const sim::ProbeReply* reply) {
+    if (hook != nullptr &&
+        hook->DropTsdbWriteAt(
+            vp_, t, stats::Rng::HashMix(dest.dst.value(), side_key))) {
+      return;
+    }
+    tsdb::TagSet tags = Tags(vp_name_, far_addr, side);
+    tags.Set("dst", dest.dst.ToString());
+    if (reply != nullptr) {
+      db_->Write(kMeasurementRtt, tags, t_rec, reply->rtt_ms);
+    } else {
+      // Probed but nothing usable came back: an explicit gap.
+      db_->WriteMissing(kMeasurementRtt, tags, t_rec);
+    }
+  };
+
   for (TslpTarget& target : targets_) {
     // Reactive repair: promote a backup for any destination that lost
     // visibility of the link, instead of waiting for the next bdrmap cycle.
@@ -95,48 +130,59 @@ void TslpScheduler::RunRound(TimeSec t) {
     }
     for (TslpDest& dest : target.dests) {
       if (dest.lost_visibility) continue;
+      if (!vp_up) {
+        // The round was scheduled but the VP is off the air: both probes are
+        // owed and unanswered, and the series record explicit gaps (the
+        // scheduler journals its own downtime on recovery).
+        expected_ += 2;
+        write(kSideNear, kNearNoise, target.far_addr, dest, nullptr);
+        write(kSideFar, kFarNoise, target.far_addr, dest, nullptr);
+        continue;
+      }
       const sim::FlowId flow{dest.flow};
 
-      const sim::ProbeReply near_reply =
-          net_->Probe(vp_, dest.dst, dest.far_ttl - 1, flow, t);
-      ++probes_;
+      const probe::Prober::RetriedReply near_try = prober_.TtlProbeRetrying(
+          dest.dst, dest.far_ttl - 1, flow, t, config_.retry);
+      probes_ += near_try.attempts;
       ++expected_;
-      if (near_reply.outcome == sim::ProbeOutcome::kTtlExpired) {
+      if (near_try.reply.outcome == sim::ProbeOutcome::kTtlExpired) {
         ++answered_;
-        db_->Write(kMeasurementRtt,
-                   [&] {
-                     tsdb::TagSet tags = Tags(vp_name_, target.far_addr, kSideNear);
-                     tags.Set("dst", dest.dst.ToString());
-                     return tags;
-                   }(),
-                   t, near_reply.rtt_ms);
+        write(kSideNear, kNearNoise, target.far_addr, dest, &near_try.reply);
+      } else {
+        write(kSideNear, kNearNoise, target.far_addr, dest, nullptr);
       }
 
-      const sim::ProbeReply far_reply =
-          net_->Probe(vp_, dest.dst, dest.far_ttl, flow, t);
-      ++probes_;
+      const probe::Prober::RetriedReply far_try = prober_.TtlProbeRetrying(
+          dest.dst, dest.far_ttl, flow, t, config_.retry);
+      const sim::ProbeReply& far_reply = far_try.reply;
+      probes_ += far_try.attempts;
       ++expected_;
       if (far_reply.outcome != sim::ProbeOutcome::kLost) ++answered_;
       if (far_reply.outcome == sim::ProbeOutcome::kTtlExpired &&
           far_reply.responder == target.far_addr) {
         dest.consecutive_misses = 0;
-        db_->Write(kMeasurementRtt,
-                   [&] {
-                     tsdb::TagSet tags = Tags(vp_name_, target.far_addr, kSideFar);
-                     tags.Set("dst", dest.dst.ToString());
-                     return tags;
-                   }(),
-                   t, far_reply.rtt_ms);
-      } else if (far_reply.outcome != sim::ProbeOutcome::kLost) {
-        // Wrong responder (or the probe reached the destination outright):
-        // the route toward this destination no longer crosses the target
-        // link; after repeated misses stop using it (a backup is promoted at
-        // the next round, or bdrmap replaces it next cycle).
-        if (++dest.consecutive_misses >= config_.visibility_miss_limit) {
-          dest.lost_visibility = true;
+        write(kSideFar, kFarNoise, target.far_addr, dest, &far_reply);
+      } else {
+        write(kSideFar, kFarNoise, target.far_addr, dest, nullptr);
+        if (far_reply.outcome != sim::ProbeOutcome::kLost) {
+          // Wrong responder (or the probe reached the destination outright):
+          // the route toward this destination no longer crosses the target
+          // link; after repeated misses stop using it (a backup is promoted
+          // at the next round, or bdrmap replaces it next cycle).
+          if (++dest.consecutive_misses >= config_.visibility_miss_limit) {
+            dest.lost_visibility = true;
+          }
         }
       }
     }
+  }
+
+  if (!vp_up) ++rounds_vp_down_;
+  round_window_.emplace_back(static_cast<std::uint32_t>(expected_ - e0),
+                             static_cast<std::uint32_t>(answered_ - a0));
+  while (round_window_.size() >
+         static_cast<std::size_t>(std::max(config_.response_window_rounds, 1))) {
+    round_window_.pop_front();
   }
 }
 

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bdrmap/bdrmap.h"
@@ -59,6 +61,13 @@ class TslpScheduler {
     TimeSec round_interval = 300;  // five minutes
     double pps_budget = 100.0;
     int visibility_miss_limit = 6;  // misses before a destination is replaced
+    // ResponseRate() window: one day of five-minute rounds by default, so a
+    // long-healed early outage cannot mask a current one.
+    int response_window_rounds = 288;
+    // Per-probe retry discipline. The default (single attempt) reproduces
+    // the historical scheduler exactly; hardened deployments raise
+    // max_attempts to ride out transient loss.
+    probe::RetryPolicy retry{.max_attempts = 1};
   };
 
   TslpScheduler(SimNetwork& net, VpId vp, tsdb::Database& db, Config config);
@@ -82,12 +91,29 @@ class TslpScheduler {
     return dropped_for_budget_;
   }
   std::uint64_t probes_this_session() const noexcept { return probes_; }
-  // Fraction of expected responses received since construction.
+  // Fraction of expected responses received over the last
+  // Config::response_window_rounds rounds — a *current* health signal; an
+  // outage that healed long ago ages out of the window.
   double ResponseRate() const noexcept {
+    std::uint64_t expected = 0;
+    std::uint64_t answered = 0;
+    for (const auto& [e, a] : round_window_) {
+      expected += e;
+      answered += a;
+    }
+    return expected == 0
+               ? 0.0
+               : static_cast<double>(answered) / static_cast<double>(expected);
+  }
+  // Fraction of expected responses received since construction (the
+  // pre-windowing ResponseRate semantics, kept for session summaries).
+  double LifetimeResponseRate() const noexcept {
     return expected_ == 0
                ? 0.0
                : static_cast<double>(answered_) / static_cast<double>(expected_);
   }
+  // Rounds skipped because the vantage point was out.
+  std::uint64_t rounds_vp_down() const noexcept { return rounds_vp_down_; }
 
   // Tag helpers shared with the analysis code.
   static tsdb::TagSet Tags(const std::string& vp_name, Ipv4Addr link_far,
@@ -99,12 +125,17 @@ class TslpScheduler {
   tsdb::Database* db_ = nullptr;
   Config config_;
   std::string vp_name_;
+  probe::Prober prober_;
   std::vector<TslpTarget> targets_;
   std::size_t dropped_for_budget_ = 0;
   std::size_t repaired_ = 0;
   std::uint64_t probes_ = 0;
   std::uint64_t expected_ = 0;
   std::uint64_t answered_ = 0;
+  std::uint64_t rounds_vp_down_ = 0;
+  // Per-round (expected, answered), newest last, trimmed to
+  // Config::response_window_rounds.
+  std::deque<std::pair<std::uint32_t, std::uint32_t>> round_window_;
 };
 
 }  // namespace manic::tslp

@@ -3,11 +3,22 @@
 // response rate limiting, silent far routers, probing gaps, congestion
 // *inside* the access network (near-side exclusion), flow-id violations
 // (the §3.1 ECMP rationale), and asymmetric return paths.
+//
+// Schedule-driven pathologies (rate limits, blackholes, VP outages, link
+// flaps, telemetry drops) are expressed as FaultPlans and injected through
+// the sim::FaultHook seam — the same mechanism the longitudinal driver
+// uses — so each scenario is a committable, replayable artifact rather than
+// a hand-poked topology. Pathologies without a plan vocabulary (slow paths,
+// internal congestion, ECMP flow splits, asymmetric return routes) still
+// configure the world directly.
 #include <gtest/gtest.h>
 
 #include "analysis/classify.h"
 #include "bdrmap/bdrmap.h"
+#include "runtime/seed_tree.h"
 #include "scenario/small.h"
+#include "sim/faults/fault_injector.h"
+#include "sim/faults/fault_plan.h"
 #include "tslp/tslp.h"
 
 namespace manic {
@@ -16,25 +27,35 @@ namespace {
 using scenario::MakeSmallScenario;
 using scenario::SmallScenario;
 using scenario::SmallScenarioOptions;
+using sim::faults::FaultInjector;
+using sim::faults::FaultPlan;
 
 constexpr sim::TimeSec kQuiet = 9 * 3600;
+constexpr sim::TimeSec kDay = 86400;
 
 // Runs a 14-day TSLP campaign and the autocorrelation inference on the NYC
-// peering link; the helper the injection tests share.
+// peering link; the helper the injection tests share. A non-empty plan is
+// installed for the whole campaign, discovery included.
 struct CampaignResult {
   bool recurring = false;
   double response_rate = 0.0;
   infer::RejectReason reject = infer::RejectReason::kNone;
+  infer::DataQuality quality;
+  std::uint64_t rounds_vp_down = 0;
 };
 
-CampaignResult RunCampaign(scenario::SmallScenario& world, int days = 14) {
+CampaignResult RunCampaign(scenario::SmallScenario& world,
+                           const FaultPlan& plan = {}, int days = 14) {
+  FaultInjector injector(plan, runtime::SeedTree(17).Child("faults"));
+  if (!plan.empty()) world.net->SetFaultHook(&injector);
+
   tsdb::Database db;
   bdrmap::Bdrmap::Config bcfg;
   bcfg.cycles = 3;  // the deployed mapper runs continuously
   bdrmap::Bdrmap bdrmap(*world.net, world.vp, bcfg);
   tslp::TslpScheduler tslp(*world.net, world.vp, db);
   tslp.UpdateProbingSet(bdrmap.RunCycle(kQuiet));
-  for (sim::TimeSec t = 0; t < days * 86400; t += 300) tslp.RunRound(t);
+  for (sim::TimeSec t = 0; t < days * kDay; t += 300) tslp.RunRound(t);
 
   const topo::Ipv4Addr far =
       world.topo->iface(world.topo->link(world.peering_nyc).iface_b).addr;
@@ -47,6 +68,9 @@ CampaignResult RunCampaign(scenario::SmallScenario& world, int days = 14) {
   r.recurring = inference.result.recurring;
   r.reject = inference.result.reject;
   r.response_rate = tslp.ResponseRate();
+  r.quality = inference.quality;
+  r.rounds_vp_down = tslp.rounds_vp_down();
+  world.net->SetFaultHook(nullptr);
   return r;
 }
 
@@ -55,6 +79,9 @@ TEST(FailureInjection, BaselineDetects) {
   const CampaignResult r = RunCampaign(world);
   EXPECT_TRUE(r.recurring);
   EXPECT_GT(r.response_rate, 0.95);
+  EXPECT_TRUE(r.quality.Acceptable(infer::DataQualityConfig{}));
+  EXPECT_GT(r.quality.far_coverage_frac, 0.9);
+  EXPECT_EQ(r.rounds_vp_down, 0u);
 }
 
 TEST(FailureInjection, IcmpSlowPathDoesNotFakeCongestion) {
@@ -81,28 +108,28 @@ TEST(FailureInjection, SlowPathOnCongestedLinkStillDetected) {
 }
 
 TEST(FailureInjection, RateLimitedFarRouterDegradesGracefully) {
-  // 60% response loss: far bins thin out but the evening signal survives
-  // (min over the surviving samples is unchanged).
+  // 60% response loss, scheduled as a fault-plan ICMP rate limit on the far
+  // router: far bins thin out but the evening signal survives (min over the
+  // surviving samples is unchanged).
   auto world = MakeSmallScenario();
-  world.topo->router(world.content_nyc).icmp.response_loss_prob = 0.6;
-  const CampaignResult r = RunCampaign(world);
+  FaultPlan plan;
+  plan.IcmpRateLimit(world.content_nyc, 0, 14 * kDay, 0.6);
+  const CampaignResult r = RunCampaign(world, plan);
   EXPECT_TRUE(r.recurring);
   EXPECT_LT(r.response_rate, 0.95);
 }
 
 TEST(FailureInjection, SilentFarRouterYieldsInsufficientData) {
+  // A blackholed far router, scheduled over the whole campaign: bdrmap
+  // cannot see the far side of the NYC link, TSLP writes no far series for
+  // it, and the inference must report insufficient data rather than invent
+  // congestion.
   auto world = MakeSmallScenario();
-  world.topo->router(world.content_nyc).icmp.responds = false;
-  // bdrmap cannot see the far side of the NYC link anymore; TSLP writes no
-  // far series for it, so the inference must report insufficient data
-  // rather than invent congestion.
-  tsdb::Database db;
-  const topo::Ipv4Addr far =
-      world.topo->iface(world.topo->link(world.peering_nyc).iface_b).addr;
-  const analysis::LinkInference inference =
-      analysis::InferLink(db, "vp-nyc", far, 0, 14);
-  EXPECT_FALSE(inference.result.recurring);
-  EXPECT_EQ(inference.result.reject, infer::RejectReason::kInsufficientData);
+  FaultPlan plan;
+  plan.IcmpBlackhole(world.content_nyc, 0, 14 * kDay);
+  const CampaignResult r = RunCampaign(world, plan);
+  EXPECT_FALSE(r.recurring);
+  EXPECT_EQ(r.reject, infer::RejectReason::kInsufficientData);
 }
 
 TEST(FailureInjection, AccessInternalCongestionExcludedByNearSide) {
@@ -164,15 +191,17 @@ TEST(FailureInjection, FlowIdViolationCorruptsNearFarPairing) {
 }
 
 TEST(FailureInjection, HeavyBinLossToleratedByInference) {
-  // Drop 40% of all probes (host-side loss): bins thin out; min-filtering
-  // plus missing-bin tolerance keep the inference intact.
+  // Rate-limit every router at 40% extra reply loss for the whole campaign
+  // (host-side loss analogue): bins thin out; min-filtering plus
+  // missing-bin tolerance keep the inference intact.
   auto world = MakeSmallScenario();
+  FaultPlan plan;
   for (const auto& [asn, info] : world.topo->ases()) {
     for (const topo::RouterId r : info.routers) {
-      world.topo->router(r).icmp.response_loss_prob = 0.4;
+      plan.IcmpRateLimit(r, 0, 14 * kDay, 0.4);
     }
   }
-  const CampaignResult r = RunCampaign(world);
+  const CampaignResult r = RunCampaign(world, plan);
   EXPECT_TRUE(r.recurring);
   EXPECT_LT(r.response_rate, 0.7);
 }
@@ -186,6 +215,59 @@ TEST(FailureInjection, AsymmetricReturnHidesCongestionFromTslp) {
   world.net->InvalidatePaths();
   const CampaignResult r = RunCampaign(world);
   EXPECT_FALSE(r.recurring);
+}
+
+// ---- plan-driven degradation scenarios -------------------------------------
+
+TEST(FailureInjection, MidStudyVpOutageRejectedAsLowCoverage) {
+  // The VP goes dark for days 4-10 of a 14-day window. The scheduler
+  // journals its own downtime (missing markers, rounds_vp_down), the series
+  // grows a six-day hole, and the quality gate must reject the link for the
+  // gap — not report a false negative (or positive) with a straight face.
+  auto world = MakeSmallScenario();
+  FaultPlan plan;
+  plan.VpOutage(world.vp, 4 * kDay, 10 * kDay);
+  const CampaignResult r = RunCampaign(world, plan);
+  EXPECT_FALSE(r.recurring);
+  EXPECT_EQ(r.reject, infer::RejectReason::kLowCoverage);
+  // Six missing days out of fourteen: coverage is too *continuous* a loss
+  // for the fraction gate alone, but the gap and churn tell the story.
+  EXPECT_GE(r.quality.longest_gap_intervals, 5 * 96);
+  EXPECT_LE(r.quality.days_observed, 8);
+  EXPECT_EQ(r.quality.vp_churn_events, 2);
+  EXPECT_EQ(r.rounds_vp_down, 6u * 288u);
+}
+
+TEST(FailureInjection, LinkFlapDuringPeakHourStillDetected) {
+  // Three ten-minute flaps through the evening peak of day 2: probes die
+  // during each flap (marked missing, not fabricated), and the surviving
+  // bins still carry the recurring diurnal signal.
+  auto world = MakeSmallScenario();
+  FaultPlan plan;
+  plan.LinkFlaps(world.peering_nyc, 2 * kDay + 20 * 3600, /*flaps=*/3,
+                 /*down_s=*/600, /*period_s=*/1800);
+  const CampaignResult r = RunCampaign(world, plan);
+  EXPECT_TRUE(r.recurring);
+  EXPECT_EQ(r.reject, infer::RejectReason::kNone);
+  EXPECT_TRUE(r.quality.Acceptable(infer::DataQualityConfig{}));
+}
+
+TEST(FailureInjection, TsdbWriteDropThinsCoverageWithoutFlippingVerdict) {
+  // 70% of the VP's telemetry writes silently vanish for the whole
+  // campaign — no missing markers, just holes. Each 900s bin pools the
+  // writes of several rounds and destinations, so a bin only dies when all
+  // of them drop (~0.7^6): coverage falls measurably but the
+  // uniformly-random holes never form a disqualifying gap, and the
+  // inference still sees the evening signal.
+  auto world = MakeSmallScenario();
+  FaultPlan plan;
+  plan.TsdbDrop(world.vp, 0, 14 * kDay, 0.7);
+  const CampaignResult r = RunCampaign(world, plan);
+  EXPECT_TRUE(r.recurring);
+  EXPECT_EQ(r.reject, infer::RejectReason::kNone);
+  EXPECT_LT(r.quality.far_coverage_frac, 0.9);
+  EXPECT_GT(r.quality.far_coverage_frac, 0.5);
+  EXPECT_EQ(r.quality.vp_churn_events, 0);
 }
 
 }  // namespace

@@ -1,0 +1,205 @@
+// The fault subsystem in isolation: plan construction and text round-trip,
+// injector query semantics (half-open intervals, composition rules), and
+// the determinism contract — every query a pure function of
+// (plan, seed, arguments).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/seed_tree.h"
+#include "sim/faults/fault_injector.h"
+#include "sim/faults/fault_plan.h"
+
+namespace manic {
+namespace {
+
+using sim::faults::FaultInjector;
+using sim::faults::FaultKind;
+using sim::faults::FaultPlan;
+
+FaultPlan SamplePlan() {
+  FaultPlan plan;
+  plan.LinkDown(3, 68400, 72000)
+      .LinkBrownout(3, 0, 86400, 0.5)
+      .VpOutage(0, 345600, 864000)
+      .IcmpBlackhole(5, 0, 86400)
+      .IcmpRateLimit(5, 86400, 172800, 0.5)
+      .RouteChurn(86400)
+      .ClockSkew(0, 0, 86400, 120)
+      .TsdbDrop(0, 0, 86400, 0.3);
+  return plan;
+}
+
+TEST(FaultPlan, BuildersRecordEvents) {
+  const FaultPlan plan = SamplePlan();
+  ASSERT_EQ(plan.size(), 8u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(plan.events()[0].target, 3u);
+  EXPECT_EQ(plan.events()[5].kind, FaultKind::kRouteChurn);
+  EXPECT_EQ(plan.events()[5].start_s, plan.events()[5].end_s);
+}
+
+TEST(FaultPlan, SerializeParseRoundTrip) {
+  const FaultPlan plan = SamplePlan();
+  std::string error;
+  const auto parsed = FaultPlan::Parse(plan.Serialize(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, plan);
+}
+
+TEST(FaultPlan, RoundTripPreservesMagnitudeBits) {
+  FaultPlan plan;
+  plan.TsdbDrop(7, 0, 100, 0.1234567890123456789);
+  std::string error;
+  const auto parsed = FaultPlan::Parse(plan.Serialize(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->events()[0].magnitude, plan.events()[0].magnitude);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedLinesWithLineNumbers) {
+  std::string error;
+  EXPECT_FALSE(FaultPlan::Parse("link_down link=3 start_s=0\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_FALSE(FaultPlan::Parse("no_such_kind x=1\n", &error).has_value());
+  EXPECT_FALSE(
+      FaultPlan::Parse("link_down link=abc start_s=0 end_s=1\n", &error)
+          .has_value());
+}
+
+TEST(FaultPlan, ParseSkipsCommentsAndBlankLines) {
+  std::string error;
+  const auto parsed = FaultPlan::Parse(
+      "# header\n\nlink_down link=1 start_s=0 end_s=10  # trailing\n",
+      &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST(FaultPlan, ValidateFlagsSuspectEvents) {
+  FaultPlan plan;
+  plan.LinkDown(1, 100, 100);          // empty interval
+  plan.LinkBrownout(1, 0, 10, 1.5);    // scale > 1
+  plan.TsdbDrop(0, 0, 10, 2.0);        // probability > 1
+  plan.ClockSkew(0, 0, 10, 600);       // >= one TSLP round
+  const auto warnings = plan.Validate();
+  EXPECT_EQ(warnings.size(), 4u);
+  EXPECT_TRUE(SamplePlan().Validate().empty());
+}
+
+TEST(FaultInjector, IntervalsAreHalfOpen) {
+  FaultPlan plan;
+  plan.LinkDown(3, 100, 200).VpOutage(1, 50, 60);
+  const FaultInjector inj(plan, runtime::SeedTree(1));
+  EXPECT_TRUE(inj.LinkAt(3, 99).up);
+  EXPECT_FALSE(inj.LinkAt(3, 100).up);
+  EXPECT_FALSE(inj.LinkAt(3, 199).up);
+  EXPECT_TRUE(inj.LinkAt(3, 200).up);
+  EXPECT_TRUE(inj.LinkAt(4, 150).up);  // other links untouched
+  EXPECT_TRUE(inj.VpUpAt(1, 49));
+  EXPECT_FALSE(inj.VpUpAt(1, 50));
+  EXPECT_TRUE(inj.VpUpAt(1, 60));
+  EXPECT_TRUE(inj.VpUpAt(0, 55));
+}
+
+TEST(FaultInjector, OverlappingBrownoutsMultiply) {
+  FaultPlan plan;
+  plan.LinkBrownout(2, 0, 100, 0.5).LinkBrownout(2, 50, 100, 0.5);
+  const FaultInjector inj(plan, runtime::SeedTree(1));
+  EXPECT_DOUBLE_EQ(inj.LinkAt(2, 10).capacity_scale_frac, 0.5);
+  EXPECT_DOUBLE_EQ(inj.LinkAt(2, 60).capacity_scale_frac, 0.25);
+  EXPECT_DOUBLE_EQ(inj.LinkAt(2, 100).capacity_scale_frac, 1.0);
+}
+
+TEST(FaultInjector, RateLimitsComposeAsSurvival) {
+  FaultPlan plan;
+  plan.IcmpRateLimit(4, 0, 100, 0.5).IcmpRateLimit(4, 0, 100, 0.5);
+  const FaultInjector inj(plan, runtime::SeedTree(1));
+  EXPECT_DOUBLE_EQ(inj.IcmpAt(4, 10).extra_loss_frac, 0.75);
+  EXPECT_FALSE(inj.IcmpAt(4, 10).blackholed);
+}
+
+TEST(FaultInjector, BlackholeShortCircuitsRateLimit) {
+  FaultPlan plan;
+  plan.IcmpBlackhole(4, 0, 100).IcmpRateLimit(4, 0, 100, 0.5);
+  const FaultInjector inj(plan, runtime::SeedTree(1));
+  EXPECT_TRUE(inj.IcmpAt(4, 10).blackholed);
+  EXPECT_FALSE(inj.IcmpAt(4, 100).blackholed);
+}
+
+TEST(FaultInjector, ClockSkewsSum) {
+  FaultPlan plan;
+  plan.ClockSkew(2, 0, 100, 120).ClockSkew(2, 50, 100, -20);
+  const FaultInjector inj(plan, runtime::SeedTree(1));
+  EXPECT_EQ(inj.ClockSkewAt(2, 10), 120);
+  EXPECT_EQ(inj.ClockSkewAt(2, 60), 100);
+  EXPECT_EQ(inj.ClockSkewAt(2, 100), 0);
+  EXPECT_EQ(inj.ClockSkewAt(3, 10), 0);
+}
+
+TEST(FaultInjector, RouteEpochCountsChurnEvents) {
+  FaultPlan plan;
+  plan.RouteChurn(100).RouteChurn(200);
+  const FaultInjector inj(plan, runtime::SeedTree(1));
+  EXPECT_EQ(inj.RouteEpochAt(99), 0u);
+  EXPECT_EQ(inj.RouteEpochAt(100), 1u);
+  EXPECT_EQ(inj.RouteEpochAt(199), 1u);
+  EXPECT_EQ(inj.RouteEpochAt(200), 2u);
+}
+
+TEST(FaultInjector, TsdbDropIsDeterministicAndSeedScoped) {
+  FaultPlan plan;
+  plan.TsdbDrop(0, 0, 86400, 0.5);
+  const FaultInjector a(plan, runtime::SeedTree(7));
+  const FaultInjector b(plan, runtime::SeedTree(7));
+  const FaultInjector c(plan, runtime::SeedTree(8));
+  int drops = 0, differs = 0;
+  for (stats::TimeSec t = 0; t < 86400; t += 300) {
+    const bool da = a.DropTsdbWriteAt(0, t, 11);
+    EXPECT_EQ(da, b.DropTsdbWriteAt(0, t, 11));  // pure function
+    if (da) ++drops;
+    if (da != c.DropTsdbWriteAt(0, t, 11)) ++differs;
+    EXPECT_FALSE(a.DropTsdbWriteAt(1, t, 11));  // other VPs unaffected
+  }
+  // ~50% drop rate, and a different seed reshuffles which writes die.
+  EXPECT_GT(drops, 90);
+  EXPECT_LT(drops, 198);
+  EXPECT_GT(differs, 0);
+}
+
+TEST(FaultInjector, DropProbabilityEdges) {
+  FaultPlan plan;
+  plan.TsdbDrop(0, 0, 1000, 0.0).TsdbDrop(1, 0, 1000, 1.0);
+  const FaultInjector inj(plan, runtime::SeedTree(7));
+  for (stats::TimeSec t = 0; t < 1000; t += 100) {
+    EXPECT_FALSE(inj.DropTsdbWriteAt(0, t, 3));
+    EXPECT_TRUE(inj.DropTsdbWriteAt(1, t, 3));
+  }
+  EXPECT_FALSE(inj.DropTsdbWriteAt(1, 1000, 3));  // interval over
+}
+
+TEST(FaultInjector, EmptyPlanIsNoFault) {
+  const FaultInjector inj(FaultPlan{}, runtime::SeedTree(1));
+  EXPECT_TRUE(inj.LinkAt(0, 0).up);
+  EXPECT_DOUBLE_EQ(inj.LinkAt(0, 0).capacity_scale_frac, 1.0);
+  EXPECT_TRUE(inj.VpUpAt(0, 0));
+  EXPECT_FALSE(inj.IcmpAt(0, 0).blackholed);
+  EXPECT_EQ(inj.ClockSkewAt(0, 0), 0);
+  EXPECT_FALSE(inj.DropTsdbWriteAt(0, 0, 0));
+  EXPECT_EQ(inj.RouteEpochAt(1 << 30), 0u);
+}
+
+TEST(FaultPlan, LinkFlapsExpandToTrain) {
+  FaultPlan plan;
+  plan.LinkFlaps(9, 1000, /*flaps=*/3, /*down_s=*/60, /*period_s=*/600);
+  ASSERT_EQ(plan.size(), 3u);
+  const FaultInjector inj(plan, runtime::SeedTree(1));
+  EXPECT_FALSE(inj.LinkAt(9, 1000).up);
+  EXPECT_TRUE(inj.LinkAt(9, 1060).up);
+  EXPECT_FALSE(inj.LinkAt(9, 1600).up);
+  EXPECT_FALSE(inj.LinkAt(9, 2230).up);
+  EXPECT_TRUE(inj.LinkAt(9, 2290).up);
+}
+
+}  // namespace
+}  // namespace manic

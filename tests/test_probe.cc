@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include "probe/probe.h"
+#include "runtime/seed_tree.h"
 #include "scenario/small.h"
+#include "sim/faults/fault_injector.h"
+#include "sim/faults/fault_plan.h"
 
 namespace manic::probe {
 namespace {
@@ -95,6 +98,98 @@ TEST(RateBudget, CommitAndRelease) {
   EXPECT_FALSE(budget.Commit(1, 1000.0));   // any more is over budget
   budget.Release(150, 3.0);
   EXPECT_TRUE(budget.Commit(30, 1.0));
+}
+
+// ---- retry discipline -------------------------------------------------------
+
+TEST_F(ProbeTest, RetryRecoversFromTransientLoss) {
+  // Rate-limit the VP's first-hop router at 50% extra reply loss: a single
+  // probe fails half the time, four attempts almost never do.
+  const topo::RouterId first_hop =
+      s_.topo->link(s_.topo->vp(s_.vp).uplink).router_a;
+  sim::faults::FaultPlan plan;
+  plan.IcmpRateLimit(first_hop, 0, 1 << 20, 0.5);
+  const sim::faults::FaultInjector injector(plan,
+                                            runtime::SeedTree(3).Child("f"));
+  s_.net->SetFaultHook(&injector);
+  Prober single(*s_.net, s_.vp);
+  Prober retrying(*s_.net, s_.vp);
+  const auto dst = *s_.topo->DestinationIn(SmallScenario::kContent, 0);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.per_target_budget = 1 << 20;
+  int single_ok = 0, retried_ok = 0, multi_attempt = 0;
+  for (int i = 0; i < 100; ++i) {
+    const sim::TimeSec t = quiet_ + i * 30;
+    if (single.TtlProbe(dst, 1, FlowId{5}, t).outcome ==
+        sim::ProbeOutcome::kTtlExpired) {
+      ++single_ok;
+    }
+    const Prober::RetriedReply r =
+        retrying.TtlProbeRetrying(dst, 1, FlowId{5}, t, policy);
+    if (r.reply.outcome == sim::ProbeOutcome::kTtlExpired) ++retried_ok;
+    if (r.attempts > 1) ++multi_attempt;
+    EXPECT_FALSE(r.budget_exhausted);
+  }
+  s_.net->SetFaultHook(nullptr);
+  EXPECT_LT(single_ok, 80);
+  EXPECT_GT(retried_ok, 90);
+  EXPECT_GT(retried_ok, single_ok);
+  EXPECT_GT(multi_attempt, 0);
+}
+
+TEST_F(ProbeTest, RetryBudgetIsPerDestinationLifetime) {
+  // A blackholed first hop never answers; retries against it must drain the
+  // per-destination budget and then stop, so one dead target cannot consume
+  // the prober's round forever.
+  const topo::RouterId first_hop =
+      s_.topo->link(s_.topo->vp(s_.vp).uplink).router_a;
+  sim::faults::FaultPlan plan;
+  plan.IcmpBlackhole(first_hop, 0, 1 << 20);
+  const sim::faults::FaultInjector injector(plan,
+                                            runtime::SeedTree(3).Child("f"));
+  s_.net->SetFaultHook(&injector);
+  Prober prober(*s_.net, s_.vp);
+  const auto dst = *s_.topo->DestinationIn(SmallScenario::kContent, 0);
+  const auto other = *s_.topo->DestinationIn(SmallScenario::kContent, 1);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.per_target_budget = 3;
+
+  // First call: the full attempt train, two retries charged.
+  auto r = prober.TtlProbeRetrying(dst, 1, FlowId{5}, quiet_, policy);
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_FALSE(r.budget_exhausted);
+  EXPECT_EQ(prober.RetriesSpent(dst), 2);
+  // Second call: one retry left; the train is cut short.
+  r = prober.TtlProbeRetrying(dst, 1, FlowId{5}, quiet_ + 60, policy);
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_TRUE(r.budget_exhausted);
+  EXPECT_EQ(prober.RetriesSpent(dst), 3);
+  // Third call: budget gone — first attempts stay free, retries do not.
+  r = prober.TtlProbeRetrying(dst, 1, FlowId{5}, quiet_ + 120, policy);
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_TRUE(r.budget_exhausted);
+  EXPECT_EQ(prober.RetriesSpent(dst), 3);
+  // The ledger is per destination, not global.
+  EXPECT_EQ(prober.RetriesSpent(other), 0);
+  s_.net->SetFaultHook(nullptr);
+}
+
+TEST_F(ProbeTest, RetryTimeoutDiscardsSlowReplies) {
+  // A reply slower than timeout_ms counts as lost even when the substrate
+  // delivered it: the hardened schedulers treat "too late to matter" and
+  // "never came" identically.
+  Prober prober(*s_.net, s_.vp);
+  const auto dst = *s_.topo->DestinationIn(SmallScenario::kContent, 0);
+  ASSERT_EQ(prober.TtlProbe(dst, 1, FlowId{5}, quiet_).outcome,
+            sim::ProbeOutcome::kTtlExpired);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.timeout_ms = 0.001;  // nothing real is this fast
+  const auto r = prober.TtlProbeRetrying(dst, 1, FlowId{5}, quiet_, policy);
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_EQ(r.reply.outcome, sim::ProbeOutcome::kLost);
 }
 
 }  // namespace

@@ -7,8 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -155,12 +159,13 @@ TEST(StudyExecutor, MergesInAscendingKeyOrderRegardlessOfSchedule) {
     // Insert keys in descending order and make low keys the slowest, so a
     // completion-order merge would come out descending-ish.
     const std::uint64_t key = kShards - 1 - i;
-    shards.push_back({key,
-                      [key] {
-                        std::this_thread::sleep_for(
-                            std::chrono::microseconds((40 - key) * 50));
-                      },
-                      [&merge_order, key] { merge_order.push_back(key); }});
+    runtime::StudyExecutor::Shard shard;
+    shard.key = key;
+    shard.work = [key] {
+      std::this_thread::sleep_for(std::chrono::microseconds((40 - key) * 50));
+    };
+    shard.merge = [&merge_order, key] { merge_order.push_back(key); };
+    shards.push_back(std::move(shard));
   }
   std::size_t progress_calls = 0;
   executor.Execute(shards, [&](std::size_t done, std::size_t total) {
@@ -338,6 +343,188 @@ TEST(StudyDeterminism, ProgressReportsPhasesInOrder) {
   EXPECT_EQ(phases[3], "truth");
   // The no-interleave contract: every callback fires on the calling thread.
   EXPECT_TRUE(single_thread);
+}
+
+// ---- checkpoint log ---------------------------------------------------------
+
+TEST(CheckpointLog, RoundTripAndShadowing) {
+  const std::string path = testing::TempDir() + "manic_ckpt_roundtrip.log";
+  std::remove(path.c_str());
+  {
+    runtime::CheckpointLog log(path);
+    EXPECT_EQ(log.size(), 0u);
+    log.Record(7, "alpha");
+    log.Record(9, "beta");
+    log.Record(7, "gamma");  // a later record shadows the earlier one
+  }
+  runtime::CheckpointLog log(path);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.Lookup(7), "gamma");
+  EXPECT_EQ(log.Lookup(9), "beta");
+  EXPECT_FALSE(log.Lookup(1).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointLog, TruncatedTailIsDiscardedAndLogStaysAppendable) {
+  const std::string path = testing::TempDir() + "manic_ckpt_torn.log";
+  std::remove(path.c_str());
+  {
+    runtime::CheckpointLog log(path);
+    log.Record(1, "one");
+    log.Record(2, "twotwo");
+  }
+  // A kill mid-write leaves a half-written trailing record.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 3);
+  {
+    runtime::CheckpointLog log(path);
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_TRUE(log.Has(1));
+    EXPECT_FALSE(log.Has(2));
+    // Re-recording the lost shard must not leave torn bytes in the middle
+    // of the file...
+    log.Record(2, "twotwo");
+  }
+  // ...so a *second* resume still parses every record.
+  runtime::CheckpointLog log(path);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.Lookup(2), "twotwo");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointLog, ForeignFileYieldsNoRecords) {
+  const std::string path = testing::TempDir() + "manic_ckpt_foreign.log";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "this is not a checkpoint log\n";
+  }
+  const runtime::CheckpointLog log(path);
+  EXPECT_EQ(log.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Blob, ExactBitsRoundTrip) {
+  runtime::BlobWriter w;
+  w.PutU64(0xDEADBEEFCAFEF00DULL);
+  w.PutI64(-42);
+  w.PutDouble(0.1);  // not representable exactly: bits must survive anyway
+  const double nan_payload = std::bit_cast<double>(0x7FF8000000001234ULL);
+  w.PutDouble(nan_payload);
+  w.PutBytes("hello");
+
+  runtime::BlobReader r(w.str());
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  double d = 0.0, n = 0.0;
+  std::string bytes;
+  ASSERT_TRUE(r.GetU64(&u));
+  ASSERT_TRUE(r.GetI64(&i));
+  ASSERT_TRUE(r.GetDouble(&d));
+  ASSERT_TRUE(r.GetDouble(&n));
+  ASSERT_TRUE(r.GetBytes(&bytes));
+  EXPECT_EQ(u, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(i, -42);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(d), std::bit_cast<std::uint64_t>(0.1));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(n), 0x7FF8000000001234ULL);
+  EXPECT_EQ(bytes, "hello");
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_FALSE(r.GetU64(&u));  // reads past the end fail, not wrap
+}
+
+// ---- executor: checkpoint seam and watchdog --------------------------------
+
+TEST(StudyExecutor, CheckpointResumeSkipsWorkAndMatchesUninterrupted) {
+  const std::string path = testing::TempDir() + "manic_ckpt_exec.log";
+  std::remove(path.c_str());
+
+  const auto run = [&](std::vector<double>* merged, int* works_run) {
+    runtime::ThreadPool pool(2);
+    runtime::StudyExecutor executor(pool);
+    runtime::CheckpointLog checkpoint(path);
+    std::vector<runtime::StudyExecutor::Shard> shards;
+    auto buffers = std::make_shared<std::vector<double>>(4, 0.0);
+    std::atomic<int> works{0};
+    for (std::uint64_t k = 0; k < 4; ++k) {
+      runtime::StudyExecutor::Shard shard;
+      shard.key = k;
+      shard.work = [k, buffers, &works] {
+        (*buffers)[k] = static_cast<double>(k) * 1.25 + 0.1;
+        works.fetch_add(1);
+      };
+      shard.merge = [k, buffers, merged] { merged->push_back((*buffers)[k]); };
+      shard.save = [k, buffers] {
+        runtime::BlobWriter w;
+        w.PutDouble((*buffers)[k]);
+        return w.Take();
+      };
+      shard.restore = [k, buffers](const std::string& blob) {
+        runtime::BlobReader r(blob);
+        double v = 0.0;
+        if (!r.GetDouble(&v) || !r.AtEnd()) return false;
+        (*buffers)[k] = v;
+        return true;
+      };
+      shards.push_back(std::move(shard));
+    }
+    executor.Execute(std::move(shards), {}, &checkpoint);
+    *works_run = works.load();
+  };
+
+  std::vector<double> first, resumed;
+  int works_first = -1, works_resumed = -1;
+  run(&first, &works_first);
+  run(&resumed, &works_resumed);
+  EXPECT_EQ(works_first, 4);
+  EXPECT_EQ(works_resumed, 0);  // every shard restored from the log
+  ASSERT_EQ(first.size(), 4u);
+  EXPECT_EQ(first, resumed);  // bit-identical fold either way
+  std::remove(path.c_str());
+}
+
+TEST(StudyExecutor, WatchdogReclaimsQueuedShardsFromAWedgedPool) {
+  // One worker, four shards that all block on a gate only the calling
+  // thread can open: the worker wedges on the shard it grabs, the rest sit
+  // queued — a wedged-pool stall the watchdog must break by reclaiming the
+  // queued shards onto the calling thread. Exact requeued/stuck counts race
+  // with the worker recovering once the gate opens, so the test pins the
+  // invariants: the stall fires once, something was reclaimed, the grabbed
+  // shard was seen stuck, and nothing is stranded or folded out of order.
+  runtime::ThreadPool pool(1);
+  runtime::StudyExecutor executor(pool);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> release{false};
+  std::vector<std::uint64_t> merged;
+  std::vector<runtime::StudyExecutor::Shard> shards;
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    runtime::StudyExecutor::Shard shard;
+    shard.key = k;
+    shard.work = [&release, caller] {
+      // A reclaimed shard runs on the calling thread and opens the gate.
+      if (std::this_thread::get_id() == caller) release.store(true);
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    };
+    shard.merge = [k, &merged] { merged.push_back(k); };
+    shards.push_back(std::move(shard));
+  }
+  std::size_t observed_requeued = 0, observed_stuck = 0;
+  int stall_calls = 0;
+  runtime::WatchdogOptions watchdog;
+  watchdog.stall_timeout_s = 0.1;
+  watchdog.poll_interval_s = 0.02;
+  watchdog.on_stall = [&](std::size_t requeued, std::size_t stuck) {
+    observed_requeued = requeued;
+    observed_stuck = stuck;
+    ++stall_calls;
+  };
+  executor.Execute(std::move(shards), {}, nullptr, watchdog);
+  EXPECT_EQ(stall_calls, 1);
+  EXPECT_GE(observed_requeued, 1u);
+  EXPECT_GE(observed_stuck, 1u);
+  EXPECT_LE(observed_requeued + observed_stuck, 4u);
+  EXPECT_EQ(executor.CompletedWorks(), 4u);
+  // Where a shard ran never shows in the fold: canonical key order.
+  EXPECT_EQ(merged, (std::vector<std::uint64_t>{0, 1, 2, 3}));
 }
 
 }  // namespace

@@ -157,5 +157,71 @@ TEST(Database, NonMonotonicWriteThrows) {
   db.Write("m", TagSet{{"k", "v"}}, 50, 1.0);
 }
 
+// ---- gap markers and coverage ----------------------------------------------
+
+TEST(Database, CoverageCountsPresentAndMarkedMissing) {
+  Database db;
+  const TagSet tags{{"vp", "a"}};
+  db.Write("m", tags, 0, 1.0);
+  db.Write("m", tags, 100, 1.0);
+  db.Write("m", tags, 200, 1.0);
+  // Probed-but-unanswered slots: explicit gap markers, not silent holes.
+  db.WriteMissing("m", tags, 300);
+  db.WriteMissing("m", tags, 400);
+  db.WriteMissing("m", tags, 500);
+  db.WriteMissing("m", tags, 600);
+  db.Write("m", tags, 700, 1.0);
+  const auto cov = db.Coverage("m", TagSet{}, 0, 1000);
+  EXPECT_EQ(cov.present, 4);
+  EXPECT_EQ(cov.missing, 4);
+  EXPECT_DOUBLE_EQ(cov.CoverageFrac(), 0.5);
+  // The longest run with no *present* point: markers do not fill gaps
+  // (200 -> 700), and the trailing stretch to the window edge is shorter.
+  EXPECT_EQ(cov.longest_gap_s, 500);
+}
+
+TEST(Database, CoverageGapClampsToWindowEdges) {
+  Database db;
+  const TagSet tags{{"vp", "a"}};
+  db.Write("m", tags, 900, 1.0);
+  // Only one point, late in the window: the leading gap dominates.
+  const auto cov = db.Coverage("m", TagSet{}, 0, 1000);
+  EXPECT_EQ(cov.present, 1);
+  EXPECT_EQ(cov.longest_gap_s, 900);
+}
+
+TEST(Database, CoverageWithNoDataSpansTheWindow) {
+  Database db;
+  const auto cov = db.Coverage("absent", TagSet{}, 100, 500);
+  EXPECT_EQ(cov.present, 0);
+  EXPECT_EQ(cov.missing, 0);
+  EXPECT_EQ(cov.longest_gap_s, 400);
+  EXPECT_DOUBLE_EQ(cov.CoverageFrac(), 0.0);
+}
+
+TEST(Database, CoverageMergesMatchingSeries) {
+  // Two destinations probing one link: a slot is covered when either saw it.
+  Database db;
+  db.Write("m", TagSet{{"dst", "a"}, {"side", "far"}}, 0, 1.0);
+  db.Write("m", TagSet{{"dst", "b"}, {"side", "far"}}, 500, 1.0);
+  db.WriteMissing("m", TagSet{{"dst", "a"}, {"side", "far"}}, 500);
+  const auto cov = db.Coverage("m", TagSet{{"side", "far"}}, 0, 1000);
+  EXPECT_EQ(cov.present, 2);
+  EXPECT_EQ(cov.missing, 1);
+  EXPECT_EQ(cov.longest_gap_s, 500);
+}
+
+TEST(Database, MissingMarkersAreNotExported) {
+  // The real backend has no "probed but empty" rows; markers must stay out
+  // of the CSV export while the data points flow through.
+  Database db;
+  const TagSet tags{{"vp", "a"}};
+  db.Write("m", tags, 0, 1.0);
+  db.WriteMissing("m", tags, 300);
+  const std::string csv = db.ExportCsv("m");
+  EXPECT_NE(csv.find("1"), std::string::npos);
+  EXPECT_EQ(csv.find("300"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace manic::tsdb

@@ -8,7 +8,10 @@
 #include <set>
 
 #include "bdrmap/bdrmap.h"
+#include "runtime/seed_tree.h"
 #include "scenario/small.h"
+#include "sim/faults/fault_injector.h"
+#include "sim/faults/fault_plan.h"
 #include "tslp/tslp.h"
 
 namespace manic::tslp {
@@ -167,6 +170,44 @@ TEST_F(TslpTest, RouteChangeMarksVisibilityLoss) {
     for (const TslpDest& d : t.dests) any_lost = any_lost || d.lost_visibility;
   }
   EXPECT_TRUE(any_lost);
+}
+
+TEST_F(TslpTest, WindowedResponseRateAgesOutHealedOutage) {
+  // Day 0 the VP is dark; days 1-2 it is healthy. ResponseRate() windows
+  // over the last day of rounds, so the healed outage must age out of it —
+  // while LifetimeResponseRate() still carries the scar. This pins the
+  // windowed semantics: a long-dead incident cannot mask current health
+  // (and, inverted, early health cannot mask a current outage).
+  sim::faults::FaultPlan plan;
+  plan.VpOutage(s_.vp, 0, 86400);
+  const sim::faults::FaultInjector injector(plan,
+                                            runtime::SeedTree(5).Child("f"));
+  s_.net->SetFaultHook(&injector);
+  TslpScheduler tslp(*s_.net, s_.vp, db_);
+  tslp.UpdateProbingSet(borders_);
+  for (sim::TimeSec t = 0; t < 3 * 86400; t += 300) tslp.RunRound(t);
+  s_.net->SetFaultHook(nullptr);
+  EXPECT_EQ(tslp.rounds_vp_down(), 288u);  // one day of five-minute rounds
+  EXPECT_GT(tslp.ResponseRate(), 0.9);     // the window only sees days 2-3
+  EXPECT_LT(tslp.LifetimeResponseRate(), 0.75);  // ~one third of rounds dark
+  EXPECT_GT(tslp.LifetimeResponseRate(), 0.5);
+}
+
+TEST_F(TslpTest, WindowedResponseRateSeesCurrentOutage) {
+  // The inverse pin: two healthy days then a dark final day. The lifetime
+  // rate still looks tolerable; the windowed rate must collapse.
+  sim::faults::FaultPlan plan;
+  plan.VpOutage(s_.vp, 2 * 86400, 3 * 86400);
+  const sim::faults::FaultInjector injector(plan,
+                                            runtime::SeedTree(5).Child("f"));
+  s_.net->SetFaultHook(&injector);
+  TslpScheduler tslp(*s_.net, s_.vp, db_);
+  tslp.UpdateProbingSet(borders_);
+  for (sim::TimeSec t = 0; t < 3 * 86400; t += 300) tslp.RunRound(t);
+  s_.net->SetFaultHook(nullptr);
+  EXPECT_EQ(tslp.rounds_vp_down(), 288u);
+  EXPECT_LT(tslp.ResponseRate(), 0.1);
+  EXPECT_GT(tslp.LifetimeResponseRate(), 0.5);
 }
 
 }  // namespace

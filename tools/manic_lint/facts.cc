@@ -200,8 +200,13 @@ std::string ModuleOf(std::string_view normalized_path) {
     if (std::find(kRoots.begin(), kRoots.end(), part) == kRoots.end())
       continue;
     if (part == "src") {
-      // src/<module>/file -> <module>; src/manic.h (a file directly under
-      // src/) is the public umbrella module.
+      // src/<module>/file -> <module>; a nested directory is its own
+      // submodule (src/sim/faults/file -> "sim/faults") so the layering
+      // manifest can give it deps its parent must not have. src/manic.h
+      // (a file directly under src/) is the public umbrella module.
+      if (i + 3 < parts.size()) {
+        return std::string(parts[i + 1]) + "/" + std::string(parts[i + 2]);
+      }
       if (i + 2 < parts.size()) return std::string(parts[i + 1]);
       return "manic";
     }
