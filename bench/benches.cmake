@@ -25,3 +25,4 @@ manic_bench(operator_validation)
 manic_bench(micro_algorithms)
 target_link_libraries(micro_algorithms PRIVATE benchmark::benchmark)
 manic_bench(ablation_design)
+manic_bench(perf_gate)

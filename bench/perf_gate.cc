@@ -1,0 +1,243 @@
+// Serving-plane performance gate. Measures the four numbers that bound
+// MANIC-as-a-service capacity and emits them as BENCH_<rev>.json so CI can
+// track regressions commit over commit:
+//
+//   ingest_samples_per_sec   end-to-end submit -> shard-ring -> engine rate
+//   query_p50_us / p99_us    point-query latency over the TCP wire
+//   inference_us_per_day_link incremental CloseDay cost per (day, link)
+//   peak_rss_kb              getrusage high-water mark after the run
+//
+// Usage: perf_gate [--rev <sha>] [--out <path>] [--quick]
+//                  [--shards N] [--links N] [--days N]
+//
+// --quick shrinks the workload for CI smoke (seconds, not minutes). All
+// workload generation is deterministic; only the measured timings vary.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/metrics.h"
+#include "serve/daemon.h"
+#include "serve/engine.h"
+#include "serve/service.h"
+#include "stats/calendar.h"
+#include "stats/rng.h"
+
+using namespace manic;
+
+namespace {
+
+struct Workload {
+  int shards = 4;
+  int links = 64;
+  int vps = 2;
+  int days = 60;
+  int queries = 20000;
+  infer::AutocorrConfig autocorr;
+};
+
+// One day of per-bin samples for a (link, vp): 96 bins, both sides, ~2%
+// missing, evens congested in the evening — the same shape the examples use.
+void AppendDay(topo::LinkId link, topo::VpId vp, std::int64_t day,
+               const infer::AutocorrConfig& cfg,
+               std::vector<serve::Sample>* out) {
+  const bool congested = link % 2 == 0;
+  for (int s = 0; s < cfg.intervals_per_day; ++s) {
+    const stats::TimeSec t =
+        day * stats::kSecPerDay + s * cfg.bin_width + cfg.bin_width / 2;
+    if (stats::Rng::HashToUnit(link * 131 + vp, day * 1000 + s) < 0.02) {
+      out->push_back({t, link, vp, serve::SampleKind::kFarMissing, 0.0f});
+      out->push_back({t, link, vp, serve::SampleKind::kNearMissing, 0.0f});
+      continue;
+    }
+    const double base =
+        15.0 + stats::Rng::HashToUnit(link, day * 1000 + s, 3);
+    const double hour_frac =
+        static_cast<double>(s) / cfg.intervals_per_day * 24.0;
+    const bool peak = congested && hour_frac >= 18.0 && hour_frac < 22.0;
+    out->push_back({t, link, vp, serve::SampleKind::kFarRtt,
+                    static_cast<float>(base + (peak ? 22.0 : 0.0))});
+    out->push_back({t, link, vp, serve::SampleKind::kNearRtt,
+                    static_cast<float>(base * 0.5)});
+  }
+}
+
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted_us.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted_us.size())));
+  return sorted_us[idx];
+}
+
+long PeakRssKb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string rev = "dev", out_path;
+  bool quick = false;
+  Workload w;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rev" && i + 1 < argc) {
+      rev = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--shards" && i + 1 < argc) {
+      w.shards = std::atoi(argv[++i]);
+    } else if (arg == "--links" && i + 1 < argc) {
+      w.links = std::atoi(argv[++i]);
+    } else if (arg == "--days" && i + 1 < argc) {
+      w.days = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--rev <sha>] [--out <path>] [--quick] "
+                   "[--shards N] [--links N] [--days N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (quick) {
+    w.links = 8;
+    w.days = 15;
+    w.queries = 2000;
+    w.autocorr.window_days = 7;
+  }
+  if (out_path.empty()) out_path = "BENCH_" + rev + ".json";
+
+  // ---- ingest + inference rate: stream everything through the service ------
+  serve::ServiceConfig config;
+  config.shards = w.shards;
+  config.engine.autocorr = w.autocorr;
+  config.store_raw = false;
+  serve::CongestionService service(config);
+  service.Start();
+
+  std::vector<serve::Sample> day_batch;
+  std::uint64_t total_samples = 0;
+  const double ingest_t0 = runtime::WallSeconds();
+  for (std::int64_t day = 0; day < w.days; ++day) {
+    for (int link = 1; link <= w.links; ++link) {
+      day_batch.clear();
+      for (int vp = 1; vp <= w.vps; ++vp) {
+        AppendDay(static_cast<topo::LinkId>(link),
+                  static_cast<topo::VpId>(vp), day, w.autocorr, &day_batch);
+      }
+      service.SubmitBatch(day_batch);
+      total_samples += day_batch.size();
+    }
+  }
+  service.FinishStream();
+  const double ingest_secs = runtime::WallSeconds() - ingest_t0;
+  const serve::ServiceStats stats = service.Stats();
+
+  // ---- query latency over the wire ------------------------------------------
+  serve::TcpDaemon daemon(&service);
+  if (!daemon.Listen(0)) {
+    std::fprintf(stderr, "perf_gate: cannot bind a loopback port\n");
+    return 1;
+  }
+  std::thread loop([&] { daemon.Run(); });
+  std::vector<double> query_us;
+  {
+    serve::BlockingClient client;
+    if (!client.Connect(daemon.port())) {
+      std::fprintf(stderr, "perf_gate: connect failed\n");
+      daemon.Shutdown();
+      loop.join();
+      return 1;
+    }
+    query_us.reserve(static_cast<std::size_t>(w.queries));
+    for (int i = 0; i < w.queries; ++i) {
+      const auto link = static_cast<topo::LinkId>(
+          1 + stats::Rng::HashMix(static_cast<std::uint64_t>(i)) %
+                  static_cast<std::uint64_t>(w.links));
+      const auto day = static_cast<std::int64_t>(
+          stats::Rng::HashMix(static_cast<std::uint64_t>(i), 1) %
+          static_cast<std::uint64_t>(w.days));
+      const double t0 = runtime::WallSeconds();
+      (void)client.QueryPoint(link, day * stats::kSecPerDay);
+      query_us.push_back((runtime::WallSeconds() - t0) * 1e6);
+    }
+  }
+  daemon.Shutdown();
+  loop.join();
+  std::sort(query_us.begin(), query_us.end());
+
+  // ---- incremental inference cost: CloseDay alone, one engine ---------------
+  serve::EngineConfig engine_config;
+  engine_config.autocorr = w.autocorr;
+  serve::ShardEngine engine(engine_config);
+  std::uint64_t day_links = 0;
+  double close_secs = 0.0;
+  for (std::int64_t day = 0; day < w.days; ++day) {
+    for (int link = 1; link <= w.links; ++link) {
+      day_batch.clear();
+      for (int vp = 1; vp <= w.vps; ++vp) {
+        AppendDay(static_cast<topo::LinkId>(link),
+                  static_cast<topo::VpId>(vp), day, w.autocorr, &day_batch);
+      }
+      for (const serve::Sample& s : day_batch) engine.Ingest(s);
+    }
+    const double t0 = runtime::WallSeconds();
+    day_links += engine.CloseDay(day).size();
+    close_secs += runtime::WallSeconds() - t0;
+  }
+  service.Stop();
+
+  const double samples_per_sec =
+      ingest_secs > 0.0 ? static_cast<double>(total_samples) / ingest_secs
+                        : 0.0;
+  const double us_per_day_link =
+      day_links > 0 ? close_secs * 1e6 / static_cast<double>(day_links) : 0.0;
+  const double p50 = Percentile(query_us, 0.50);
+  const double p99 = Percentile(query_us, 0.99);
+
+  char json[2048];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"rev\": \"%s\",\n"
+      "  \"bench\": \"serve_perf_gate\",\n"
+      "  \"quick\": %s,\n"
+      "  \"config\": {\"shards\": %d, \"links\": %d, \"vps\": %d, "
+      "\"days\": %d, \"intervals_per_day\": %d},\n"
+      "  \"ingest\": {\"samples\": %llu, \"seconds\": %.6f, "
+      "\"samples_per_sec\": %.0f},\n"
+      "  \"query\": {\"count\": %zu, \"p50_us\": %.2f, \"p99_us\": %.2f},\n"
+      "  \"inference\": {\"day_links\": %llu, \"us_per_day_link\": %.3f},\n"
+      "  \"verdict_rows\": %llu,\n"
+      "  \"peak_rss_kb\": %ld\n"
+      "}\n",
+      rev.c_str(), quick ? "true" : "false", w.shards, w.links, w.vps, w.days,
+      w.autocorr.intervals_per_day,
+      static_cast<unsigned long long>(total_samples), ingest_secs,
+      samples_per_sec, query_us.size(), p50, p99,
+      static_cast<unsigned long long>(day_links), us_per_day_link,
+      static_cast<unsigned long long>(stats.verdicts), PeakRssKb());
+
+  std::fputs(json, stdout);
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_gate: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json, 1, std::strlen(json), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -13,20 +13,188 @@
 // runs the study under it; stdout stays bit-identical at any thread count,
 // faults included. --checkpoint appends per-shard results to a log a killed
 // run resumes from byte-identically.
+//
+// --serve replays the study's measurement stream through the live serving
+// plane (src/serve) and cross-checks every daemon verdict and quality grade
+// against the batch result, exiting 1 on any mismatch — the batch/live
+// parity gate. --serve-shards sets the daemon's ingest shard count (the
+// verdict log must be byte-identical at any value), --verdict-log writes
+// the canonical log, --record captures the wire-format stream to a file.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/report.h"
 #include "runtime/metrics.h"
 #include "scenario/driver.h"
+#include "serve/replay.h"
+#include "serve/service.h"
 #include "sim/faults/fault_plan.h"
+#include "stats/calendar.h"
 
 using namespace manic;
 
+namespace {
+
+// Replays the batch study's exact measurement rows through a fresh
+// CongestionService and cross-checks live verdicts and quality grades
+// against the batch output. Returns false on any divergence.
+bool RunServeParity(const scenario::StudyOptions& options,
+                    const scenario::StudyResult& batch,
+                    const std::map<std::pair<std::int64_t, std::uint64_t>,
+                                   analysis::DayLinkRecord>& batch_records,
+                    int shards, const std::string& verdict_log_path,
+                    const std::string& record_path) {
+  serve::ServiceConfig config;
+  config.shards = shards;
+  config.engine.autocorr = options.autocorr;
+  config.store_raw = false;  // parity needs verdicts, not the raw store
+  serve::CongestionService service(config);
+  service.Start();
+
+  serve::StreamWriter recorder;
+  if (!record_path.empty() && !recorder.Open(record_path)) {
+    std::fprintf(stderr, "cannot open --record %s\n", record_path.c_str());
+    return false;
+  }
+
+  // The export needs a fresh world: discovery mutates the network's RNG and
+  // path cache, so the batch world cannot be reused.
+  scenario::UsBroadband world = scenario::MakeUsBroadband();
+  const stats::TimeSec bin = options.autocorr.bin_width;
+  std::vector<serve::Sample> batch_samples;
+  scenario::ExportStudyStream(
+      world, options,
+      [&](topo::VpId vp, topo::LinkId link, std::int64_t day,
+          std::span<const float> far, std::span<const float> near) {
+        batch_samples.clear();
+        for (std::size_t s = 0; s < far.size(); ++s) {
+          const stats::TimeSec t = day * stats::kSecPerDay +
+                                   static_cast<stats::TimeSec>(s) * bin +
+                                   bin / 2;
+          batch_samples.push_back(
+              {t, link, vp,
+               std::isnan(far[s]) ? serve::SampleKind::kFarMissing
+                                  : serve::SampleKind::kFarRtt,
+               std::isnan(far[s]) ? 0.0f : far[s]});
+          batch_samples.push_back(
+              {t, link, vp,
+               std::isnan(near[s]) ? serve::SampleKind::kNearMissing
+                                   : serve::SampleKind::kNearRtt,
+               std::isnan(near[s]) ? 0.0f : near[s]});
+        }
+        service.SubmitBatch(batch_samples);
+        if (!record_path.empty()) recorder.WriteBatch(batch_samples);
+      });
+  service.FinishStream();
+  if (!record_path.empty() && !recorder.Close()) {
+    std::fprintf(stderr, "failed writing --record %s\n", record_path.c_str());
+    return false;
+  }
+
+  // Verdict parity: every batch day-link record must have a matching live
+  // verdict (exact counts and flags, fraction to 1e-9) and vice versa.
+  std::size_t matched = 0;
+  bool ok = true;
+  std::map<std::uint64_t, std::size_t> live_per_link;
+  for (const auto& [key, record] : batch_records) {
+    const auto live = service.QueryPoint(
+        static_cast<topo::LinkId>(record.link_key),
+        key.first * stats::kSecPerDay);
+    if (!live.has_value() || live->day != record.day) {
+      std::fprintf(stderr, "parity: no live verdict for day %lld link %llu\n",
+                   static_cast<long long>(record.day),
+                   static_cast<unsigned long long>(record.link_key));
+      ok = false;
+      continue;
+    }
+    if (std::fabs(live->fraction - record.fraction) > 1e-9 ||
+        live->congested !=
+            (record.fraction >= analysis::kDayLinkThreshold)) {
+      std::fprintf(stderr,
+                   "parity: day %lld link %llu live frac %.12f vs batch "
+                   "%.12f\n",
+                   static_cast<long long>(record.day),
+                   static_cast<unsigned long long>(record.link_key),
+                   live->fraction, record.fraction);
+      ok = false;
+      continue;
+    }
+    ++matched;
+    ++live_per_link[record.link_key];
+  }
+  for (const auto& [link, expected_rows] : live_per_link) {
+    const auto rows = service.QueryRange(
+        static_cast<topo::LinkId>(link),
+        std::numeric_limits<stats::TimeSec>::min() / 2,
+        std::numeric_limits<stats::TimeSec>::max() / 2);
+    if (rows.size() != expected_rows) {
+      std::fprintf(stderr,
+                   "parity: link %llu has %zu live verdicts, %zu in batch\n",
+                   static_cast<unsigned long long>(link), rows.size(),
+                   expected_rows);
+      ok = false;
+    }
+  }
+
+  // Quality parity: integer fields exact, coverage fractions to 1e-9.
+  std::size_t quality_matched = 0;
+  for (const auto& [link, bq] : batch.link_quality) {
+    const auto lq = service.QueryQuality(link);
+    if (!lq.has_value()) {
+      std::fprintf(stderr, "parity: no live quality for link %llu\n",
+                   static_cast<unsigned long long>(link));
+      ok = false;
+      continue;
+    }
+    if (lq->longest_gap_intervals != bq.longest_gap_intervals ||
+        lq->days_observed != bq.days_observed ||
+        lq->total_days != bq.total_days ||
+        lq->vp_churn_events != bq.vp_churn_events ||
+        std::fabs(lq->far_coverage_frac - bq.far_coverage_frac) > 1e-9 ||
+        std::fabs(lq->near_coverage_frac - bq.near_coverage_frac) > 1e-9) {
+      std::fprintf(stderr, "parity: quality mismatch for link %llu\n",
+                   static_cast<unsigned long long>(link));
+      ok = false;
+    } else {
+      ++quality_matched;
+    }
+  }
+
+  if (!verdict_log_path.empty()) {
+    std::FILE* f = std::fopen(verdict_log_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open --verdict-log %s\n",
+                   verdict_log_path.c_str());
+      ok = false;
+    } else {
+      const std::string log = service.VerdictLogText();
+      std::fwrite(log.data(), 1, log.size(), f);
+      std::fclose(f);
+    }
+  }
+
+  std::printf("\n=== Serving-plane parity ===\n");
+  std::printf("live verdicts matched: %zu/%zu day-link records\n", matched,
+              batch_records.size());
+  std::printf("quality grades matched: %zu/%zu links\n", quality_matched,
+              batch.link_quality.size());
+  std::printf("parity: %s\n", ok ? "OK" : "FAILED");
+  service.Stop();
+  return ok;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string faults_path, checkpoint_path;
+  std::string verdict_log_path, record_path;
+  bool serve_mode = false;
+  int serve_shards = 1;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -34,15 +202,30 @@ int main(int argc, char** argv) {
       faults_path = argv[++i];
     } else if (arg == "--checkpoint" && i + 1 < argc) {
       checkpoint_path = argv[++i];
+    } else if (arg == "--serve") {
+      serve_mode = true;
+    } else if (arg == "--serve-shards" && i + 1 < argc) {
+      serve_shards = std::atoi(argv[++i]);
+      serve_mode = true;
+    } else if (arg == "--verdict-log" && i + 1 < argc) {
+      verdict_log_path = argv[++i];
+    } else if (arg == "--record" && i + 1 < argc) {
+      record_path = argv[++i];
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [days] [max_vps] [threads] "
-                   "[--faults <plan.txt>] [--checkpoint <log>]\n",
+                   "[--faults <plan.txt>] [--checkpoint <log>] [--serve] "
+                   "[--serve-shards N] [--verdict-log <path>] "
+                   "[--record <path>]\n",
                    arg.c_str(), argv[0]);
       return 2;
     } else {
       positional.push_back(argv[i]);
     }
+  }
+  if (serve_shards < 1) {
+    std::fprintf(stderr, "--serve-shards must be >= 1\n");
+    return 2;
   }
 
   scenario::StudyOptions options;
@@ -85,6 +268,16 @@ int main(int argc, char** argv) {
   if (!faults_path.empty()) {
     std::printf("fault plan: %zu events\n", plan.events().size());
   }
+  // In serve mode, capture the batch pipeline's exact per-record verdict
+  // stream for the live cross-check (DayLinkTable only keeps aggregates).
+  std::map<std::pair<std::int64_t, std::uint64_t>, analysis::DayLinkRecord>
+      batch_records;
+  if (serve_mode) {
+    options.on_day_link = [&](const analysis::DayLinkRecord& r) {
+      batch_records[{r.day, r.link_key}] = r;
+    };
+  }
+
   scenario::UsBroadband world = scenario::MakeUsBroadband();
   const scenario::StudyResult result =
       scenario::RunLongitudinalStudy(world, options);
@@ -142,5 +335,12 @@ int main(int argc, char** argv) {
     std::fputs(quality_table.Render().c_str(), stdout);
   }
   std::fputs(metrics.Report().c_str(), stderr);
+
+  if (serve_mode) {
+    if (!RunServeParity(options, result, batch_records, serve_shards,
+                        verdict_log_path, record_path)) {
+      return 1;
+    }
+  }
   return 0;
 }

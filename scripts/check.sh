@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full verification sweep, five stages:
+# Full verification sweep, six stages:
 #   1. default build + the whole ctest suite;
 #   2. the parallel-determinism gate: bench/table3_overview at 1 thread and
 #      at N threads must write byte-identical stdout (the runtime metrics
@@ -8,11 +8,17 @@
 #      plan (examples/fault_plans/small_chaos.plan) at 1 thread and at N
 #      threads — fault injection must not cost the bit-identical-replay
 #      property, so the two stdouts are diffed byte for byte;
-#   4. sanitizer builds: ThreadSanitizer (-DMANIC_SANITIZE=thread) rerunning
+#   4. the serving-plane gate: the daemon smoke (example_serve_quickstart
+#      end to end over a loopback socket), the replay-determinism gate
+#      (continental study in --serve mode at 1 vs 4 ingest shards under the
+#      chaos plan — batch/live parity must hold and the two verdict logs
+#      and stdouts must be byte-identical), and bench/perf_gate --quick
+#      (the BENCH json must be produced and well-formed);
+#   5. sanitizer builds: ThreadSanitizer (-DMANIC_SANITIZE=thread) rerunning
 #      the runtime + driver tests with MANIC_THREADS=4, then UBSan
 #      (-DMANIC_SANITIZE=undefined, non-recoverable) running the full suite
 #      (set MANIC_CHECK_SKIP_UBSAN=1 to skip the UBSan half);
-#   5. static analysis: manic_lint --json over src/ bench/ tests/ examples/
+#   6. static analysis: manic_lint --json over src/ bench/ tests/ examples/
 #      with the graph passes active against tools/manic_lint/layers.txt and
 #      the semantic passes (units dataflow against tools/manic_lint/units.txt
 #      plus the determinism taint pass) (report lands in build/check/
@@ -33,12 +39,12 @@ THREADS="${MANIC_CHECK_THREADS:-$(nproc)}"
 OUT_DIR="${MANIC_CHECK_OUT:-build/check}"
 mkdir -p "$OUT_DIR"
 
-echo "== [1/5] default build + full test suite =="
+echo "== [1/6] default build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/5] determinism gate: table3_overview at 1 vs $THREADS threads =="
+echo "== [2/6] determinism gate: table3_overview at 1 vs $THREADS threads =="
 JSON="$OUT_DIR/table3_runtime.json"
 : > "$JSON"
 MANIC_THREADS=1 MANIC_RUNTIME_JSON="$JSON" \
@@ -53,7 +59,7 @@ echo "stdout byte-identical at 1 and $THREADS threads."
 echo "wall/CPU records (also in $JSON):"
 cat "$JSON"
 
-echo "== [3/5] chaos gate: continental study under small_chaos.plan, 1 vs $THREADS threads =="
+echo "== [3/6] chaos gate: continental study under small_chaos.plan, 1 vs $THREADS threads =="
 CHAOS_PLAN=examples/fault_plans/small_chaos.plan
 ./build/examples/example_continental_study 45 4 1 --faults "$CHAOS_PLAN" \
   > "$OUT_DIR/chaos_t1.txt"
@@ -65,7 +71,38 @@ if ! diff -u "$OUT_DIR/chaos_t1.txt" "$OUT_DIR/chaos_tN.txt"; then
 fi
 echo "faulted study stdout byte-identical at 1 and $THREADS threads."
 
-echo "== [4/5] sanitizer builds: TSan runtime/driver tests, UBSan full suite =="
+echo "== [4/6] serving plane: daemon smoke, replay determinism, perf gate =="
+./build/examples/example_serve_quickstart > "$OUT_DIR/serve_quickstart.txt" \
+  2> "$OUT_DIR/serve_quickstart.err"
+grep -q "recurring=1 congested=1" "$OUT_DIR/serve_quickstart.txt" || {
+  echo "FAIL: serve quickstart produced no congested verdict" >&2; exit 1; }
+echo "daemon smoke OK (example_serve_quickstart over a loopback socket)."
+./build/examples/example_continental_study 45 4 "$THREADS" \
+  --faults "$CHAOS_PLAN" --serve --serve-shards 1 \
+  --verdict-log "$OUT_DIR/serve_verdicts_s1.log" \
+  > "$OUT_DIR/serve_s1.txt" 2> /dev/null
+./build/examples/example_continental_study 45 4 "$THREADS" \
+  --faults "$CHAOS_PLAN" --serve --serve-shards 4 \
+  --verdict-log "$OUT_DIR/serve_verdicts_s4.log" \
+  > "$OUT_DIR/serve_s4.txt" 2> /dev/null
+if ! cmp -s "$OUT_DIR/serve_verdicts_s1.log" "$OUT_DIR/serve_verdicts_s4.log"; then
+  echo "FAIL: daemon verdict log differs between 1 and 4 ingest shards" >&2
+  exit 1
+fi
+if ! diff -u "$OUT_DIR/serve_s1.txt" "$OUT_DIR/serve_s4.txt"; then
+  echo "FAIL: --serve stdout differs between 1 and 4 ingest shards" >&2
+  exit 1
+fi
+grep -q "parity: OK" "$OUT_DIR/serve_s1.txt" || {
+  echo "FAIL: batch/live parity check did not pass" >&2; exit 1; }
+echo "replay determinism OK: verdict log byte-identical at 1 and 4 shards, batch/live parity holds."
+./build/bench/perf_gate --quick --rev check \
+  --out "$OUT_DIR/BENCH_check.json" > /dev/null
+grep -q '"samples_per_sec"' "$OUT_DIR/BENCH_check.json" || {
+  echo "FAIL: perf_gate json missing ingest rate" >&2; exit 1; }
+echo "perf gate OK (report: $OUT_DIR/BENCH_check.json)."
+
+echo "== [5/6] sanitizer builds: TSan runtime/driver tests, UBSan full suite =="
 cmake -B build-tsan -S . -DMANIC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_runtime test_driver
 MANIC_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
@@ -78,7 +115,7 @@ else
   echo "(UBSan half skipped: MANIC_CHECK_SKIP_UBSAN=1)"
 fi
 
-echo "== [5/5] static analysis: manic-lint (rules + graph + semantic passes), clang-tidy, thread-safety =="
+echo "== [6/6] static analysis: manic-lint (rules + graph + semantic passes), clang-tidy, thread-safety =="
 cmake --build build -j "$JOBS" --target manic_lint
 # Exit 1 = error-severity findings (fail), 2 = warnings only (pass, but the
 # findings are on stderr and in the JSON), 3 = usage/IO trouble (fail).

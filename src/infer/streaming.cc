@@ -1,0 +1,58 @@
+#include "infer/streaming.h"
+
+#include <limits>
+
+namespace manic::infer {
+
+DataQuality LinkQualityAccumulator::Finish(int total_days) const {
+  DataQuality q;
+  q.far_coverage_frac = far_total == 0
+                            ? 0.0
+                            : static_cast<double>(far_present) /
+                                  static_cast<double>(far_total);
+  q.near_coverage_frac = near_total == 0
+                             ? 0.0
+                             : static_cast<double>(near_present) /
+                                   static_cast<double>(near_total);
+  q.longest_gap_intervals = static_cast<int>(gap);
+  q.days_observed = static_cast<int>(days_observed);
+  q.total_days = total_days;
+  q.vp_churn_events = static_cast<int>(churn);
+  return q;
+}
+
+StreamingClassifier::StreamingClassifier(AutocorrConfig config)
+    : config_(config), rolling_(config) {}
+
+void StreamingClassifier::AddSample(std::int64_t day, int interval,
+                                    bool far_side, float value_ms) {
+  if (interval < 0 || interval >= config_.intervals_per_day) return;
+  OpenDay& od = open_[day];
+  if (od.far.empty()) {
+    od.far.assign(static_cast<std::size_t>(config_.intervals_per_day),
+                  std::numeric_limits<float>::quiet_NaN());
+    od.near.assign(static_cast<std::size_t>(config_.intervals_per_day),
+                   std::numeric_limits<float>::quiet_NaN());
+  }
+  if (std::isnan(value_ms)) return;  // marker: the day is now open, bin stays NaN
+  float& slot = far_side ? od.far[static_cast<std::size_t>(interval)]
+                         : od.near[static_cast<std::size_t>(interval)];
+  slot = std::isnan(slot) ? value_ms : std::min(slot, value_ms);
+}
+
+StreamingClassifier::DayOutcome StreamingClassifier::CloseDay(
+    std::int64_t day) {
+  DayOutcome outcome;
+  const auto it = open_.find(day);
+  if (it == open_.end()) return outcome;  // invisible day: nothing recorded
+  outcome.observed = true;
+  rolling_.AddDay(it->second.far, it->second.near);
+  if (day >= 0) quality_.AddDay(it->second.far, it->second.near);
+  open_.erase(it);
+  if (day >= 0 && rolling_.WindowFull()) {
+    outcome.classification = rolling_.Classify();
+  }
+  return outcome;
+}
+
+}  // namespace manic::infer

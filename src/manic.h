@@ -16,6 +16,7 @@
 //   infer/    — level-shift + autocorrelation congestion inference
 //   analysis/ — validation harnesses, day-link aggregation, reports
 //   scenario/ — ready-made worlds (small test world, U.S. broadband study)
+//   serve/    — streaming ingest daemon + live query plane (MANIC-as-a-service)
 #pragma once
 
 #include "analysis/classify.h"
@@ -26,14 +27,26 @@
 #include "bdrmap/bdrmap.h"
 #include "bdrmap/mapit.h"
 #include "infer/autocorr.h"
+#include "infer/data_quality.h"
 #include "infer/level_shift.h"
 #include "infer/rolling.h"
+#include "infer/streaming.h"
 #include "lossprobe/lossprobe.h"
 #include "ndt/ndt.h"
 #include "probe/probe.h"
 #include "scenario/driver.h"
 #include "scenario/small.h"
 #include "scenario/us_broadband.h"
+#include "serve/codec.h"
+#include "serve/daemon.h"
+#include "serve/engine.h"
+#include "serve/ingest.h"
+#include "serve/replay.h"
+#include "serve/ring.h"
+#include "serve/sample.h"
+#include "serve/service.h"
+#include "serve/session.h"
+#include "serve/verdict.h"
 #include "sim/demand.h"
 #include "sim/link_model.h"
 #include "sim/network.h"

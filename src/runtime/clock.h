@@ -1,0 +1,52 @@
+// The event-clock seam for long-running processes. Batch studies are pure
+// functions of their inputs and never read a clock; an always-on daemon
+// (src/serve) must know when a day has ended, and *how it knows* decides
+// whether a recorded stream replays deterministically. Every daemon time
+// read therefore goes through a Clock: WallClock for live operation (backed
+// by runtime's sanctioned WallSeconds — the determinism-taint lint keeps
+// raw clock reads out of every module but this one), ManualClock for tests
+// and replay, where time is part of the recorded input, not the
+// environment.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/metrics.h"
+#include "stats/timeseries.h"
+
+namespace manic::runtime {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Seconds since the Unix epoch (the study's day-0 origin).
+  virtual stats::TimeSec NowSec() const = 0;
+};
+
+// Live time. NowSec() is monotone non-decreasing within a process.
+class WallClock final : public Clock {
+ public:
+  stats::TimeSec NowSec() const override {
+    return static_cast<stats::TimeSec>(WallSeconds());
+  }
+};
+
+// Test / replay time: advances only when told to. Thread-safe.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(stats::TimeSec start_s = 0) : now_s_(start_s) {}
+
+  stats::TimeSec NowSec() const override {
+    return now_s_.load(std::memory_order_acquire);
+  }
+  void Set(stats::TimeSec t) { now_s_.store(t, std::memory_order_release); }
+  void Advance(stats::TimeSec delta_s) {
+    now_s_.fetch_add(delta_s, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<stats::TimeSec> now_s_;
+};
+
+}  // namespace manic::runtime

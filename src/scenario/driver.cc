@@ -8,6 +8,7 @@
 
 #include "bdrmap/bdrmap.h"
 #include "infer/rolling.h"
+#include "infer/streaming.h"
 #include "runtime/seed_tree.h"
 #include "sim/fault_hook.h"
 #include "sim/faults/fault_injector.h"
@@ -142,126 +143,23 @@ struct VpLink {
   std::int64_t visible_until = 0;
 };
 
-// Streaming data-quality bookkeeping for one VP-link pair: coverage counts,
-// the longest run of missing far bins (time-ordered across day boundaries),
-// and day-level observed/unobserved churn. Built to segment-merge exactly:
-// Append()ing two tallies computed over adjacent day ranges equals one tally
-// over the union, so the sharded path's per-chunk tallies fold to the same
-// integers the serial path streams — every field is an exact count.
-struct QualityTally {
-  std::int64_t far_present = 0, far_total = 0;
-  std::int64_t near_present = 0, near_total = 0;
-  // Gap segment over far bins (in intervals). Invariant when no far bin has
-  // been seen yet: prefix_gap == suffix_gap == max_gap == far_total, which
-  // lets Append() treat an all-missing neighbor as one long run.
-  std::int64_t prefix_gap = 0, suffix_gap = 0, max_gap = 0;
-  bool any_bin = false;
-  std::int64_t days_observed = 0;
-  std::int64_t churn = 0;  // day-level observed <-> unobserved transitions
-  bool has_days = false;
-  bool first_day_observed = false, last_day_observed = false;
+// The per-pair data-quality bookkeeping now lives in infer/streaming.h so
+// the serving plane's incremental engine can share it; the driver keeps only
+// the fold over pairs. Pairs that never produced a post-warmup row are
+// skipped, so `link_quality` only covers measured links.
+using QualityTally = infer::QualityTally;
 
-  void AddDay(const std::vector<float>& far, const std::vector<float>& near) {
-    bool day_observed = false;
-    for (const float v : far) {
-      ++far_total;
-      if (std::isnan(v)) {
-        ++suffix_gap;
-      } else {
-        ++far_present;
-        day_observed = true;
-        if (!any_bin) {
-          prefix_gap = suffix_gap;
-          any_bin = true;
-        }
-        max_gap = std::max(max_gap, suffix_gap);
-        suffix_gap = 0;
-      }
-    }
-    if (any_bin) {
-      max_gap = std::max(max_gap, suffix_gap);
-    } else {
-      prefix_gap = max_gap = far_total;  // suffix_gap already == far_total
-    }
-    for (const float v : near) {
-      ++near_total;
-      if (!std::isnan(v)) ++near_present;
-    }
-    if (day_observed) ++days_observed;
-    if (has_days && last_day_observed != day_observed) ++churn;
-    if (!has_days) {
-      first_day_observed = day_observed;
-      has_days = true;
-    }
-    last_day_observed = day_observed;
-  }
-
-  // Folds `b` (the tally over the immediately following day range) in.
-  void Append(const QualityTally& b) {
-    max_gap = std::max({max_gap, b.max_gap, suffix_gap + b.prefix_gap});
-    if (!any_bin) prefix_gap = far_total + b.prefix_gap;
-    suffix_gap = b.any_bin ? b.suffix_gap : suffix_gap + b.far_total;
-    any_bin = any_bin || b.any_bin;
-    if (!any_bin) {
-      prefix_gap = suffix_gap = max_gap = far_total + b.far_total;
-    }
-    far_present += b.far_present;
-    far_total += b.far_total;
-    near_present += b.near_present;
-    near_total += b.near_total;
-    days_observed += b.days_observed;
-    churn += b.churn + ((has_days && b.has_days &&
-                         last_day_observed != b.first_day_observed)
-                            ? 1
-                            : 0);
-    if (!has_days) first_day_observed = b.first_day_observed;
-    if (b.has_days) last_day_observed = b.last_day_observed;
-    has_days = has_days || b.has_days;
-  }
-};
-
-// Per-link DataQuality from the per-pair tallies: coverage counts sum across
-// contributing VPs, the gap and days-observed verdicts take the best-
-// informed single VP's worst gap / best day count, and churn events sum
-// (each VP's appearances and disappearances all degrade confidence). Pairs
-// that never produced a post-warmup row are skipped, so `link_quality` only
-// covers measured links.
 void FoldLinkQuality(const std::vector<VpLink>& pairs,
                      const std::vector<QualityTally>& tallies, int days,
                      StudyResult& result) {
-  struct Agg {
-    std::int64_t far_present = 0, far_total = 0;
-    std::int64_t near_present = 0, near_total = 0;
-    std::int64_t gap = 0, days_observed = 0, churn = 0;
-  };
-  std::map<topo::LinkId, Agg> by_link;
+  std::map<topo::LinkId, infer::LinkQualityAccumulator> by_link;
   for (std::size_t p = 0; p < pairs.size(); ++p) {
     const QualityTally& t = tallies[p];
     if (t.far_total == 0) continue;
-    Agg& a = by_link[pairs[p].info->link];
-    a.far_present += t.far_present;
-    a.far_total += t.far_total;
-    a.near_present += t.near_present;
-    a.near_total += t.near_total;
-    a.gap = std::max(a.gap, t.max_gap);
-    a.days_observed = std::max(a.days_observed, t.days_observed);
-    a.churn += t.churn;
+    by_link[pairs[p].info->link].Add(t);
   }
-  for (const auto& [link, a] : by_link) {
-    infer::DataQuality q;
-    q.far_coverage_frac = a.far_total == 0
-                              ? 0.0
-                              : static_cast<double>(a.far_present) /
-                                    static_cast<double>(a.far_total);
-    q.near_coverage_frac = a.near_total == 0
-                               ? 0.0
-                               : static_cast<double>(a.near_present) /
-                                     static_cast<double>(a.near_total);
-    q.longest_gap_intervals = static_cast<int>(a.gap);
-    q.days_observed = static_cast<int>(a.days_observed);
-    q.total_days = days;
-    q.vp_churn_events = static_cast<int>(a.churn);
-    result.link_quality[link] = q;
+  for (const auto& [link, acc] : by_link) {
+    result.link_quality[link] = acc.Finish(days);
   }
 }
 
@@ -423,7 +321,10 @@ void RunDailyLoopSerial(UsBroadband& world, const StudyOptions& options,
           it == today.end() || it->second.second == 0
               ? 0.0
               : it->second.first / static_cast<double>(it->second.second);
-      result.day_links.Add({day, link, info->access, info->tcp, fraction, true});
+      const analysis::DayLinkRecord record{day,       link,     info->access,
+                                           info->tcp, fraction, true};
+      result.day_links.Add(record);
+      if (options.on_day_link) options.on_day_link(record);
 
       // Ground-truth comparison at the day-link level (links without demand
       // models are never truly congested).
@@ -687,8 +588,10 @@ void RunDailyLoopSharded(UsBroadband& world, const StudyOptions& options,
             it == today.end() || it->second.second == 0
                 ? 0.0
                 : it->second.first / static_cast<double>(it->second.second);
-        result.day_links.Add(
-            {day, link, info->access, info->tcp, fraction, true});
+        const analysis::DayLinkRecord record{day,       link,     info->access,
+                                             info->tcp, fraction, true};
+        result.day_links.Add(record);
+        if (options.on_day_link) options.on_day_link(record);
         if (info->scheduled_congested) {
           truth_tasks.push_back({day, link, fraction});
         } else {
@@ -801,6 +704,38 @@ StudyResult RunLongitudinalStudy(UsBroadband& world,
   }
   if (injector.has_value()) world.net->SetFaultHook(nullptr);
   return result;
+}
+
+void ExportStudyStream(UsBroadband& world, const StudyOptions& options,
+                       const StudyStreamFn& fn) {
+  const int days =
+      options.days > 0 ? options.days : static_cast<int>(stats::StudyTotalDays());
+  const int warmup = options.warmup_days;
+
+  // Same fault installation as RunLongitudinalStudy, so the exported rows
+  // carry identical fault effects (discovery degradation included).
+  std::optional<sim::faults::FaultInjector> injector;
+  if (options.fault_plan != nullptr) {
+    injector.emplace(*options.fault_plan,
+                     runtime::SeedTree(options.seed).Child("faults"));
+    world.net->SetFaultHook(&*injector);
+  }
+
+  std::set<topo::LinkId> observed_links;
+  std::vector<VpLink> pairs =
+      DiscoverPairs(world, options, days, warmup, observed_links);
+
+  // Day-major, pair-minor: the daily loop's exact consumption order, so a
+  // stream consumer sees day boundaries the way the batch loop does.
+  std::vector<float> far_row, near_row;
+  for (std::int64_t day = -warmup; day < days; ++day) {
+    for (const VpLink& pair : pairs) {
+      if (day < pair.visible_from || day >= pair.visible_until) continue;
+      pair.synth.Day(day, far_row, near_row);
+      fn(pair.vp, pair.info->link, day, far_row, near_row);
+    }
+  }
+  if (injector.has_value()) world.net->SetFaultHook(nullptr);
 }
 
 }  // namespace manic::scenario

@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <map>
+#include <span>
 #include <string>
 
 #include "analysis/daylink.h"
@@ -145,6 +146,11 @@ struct StudyOptions {
   // Stall watchdog for the parallel phase (stall_timeout_s = 0 disables).
   // A non-zero timeout also forces the sharded path.
   runtime::WatchdogOptions watchdog;
+  // Optional per-record sink, invoked (from the calling thread, in emission
+  // order) for every day-link record as it enters the result table. The
+  // serving plane's parity harness uses this to capture the batch pipeline's
+  // exact verdict stream — DayLinkTable itself only keeps aggregates.
+  std::function<void(const analysis::DayLinkRecord&)> on_day_link;
 };
 
 struct StudyResult {
@@ -180,5 +186,19 @@ struct StudyResult {
 
 StudyResult RunLongitudinalStudy(UsBroadband& world,
                                  const StudyOptions& options = {});
+
+// Streams the exact per-day measurement rows the daily loop consumes —
+// day-major, pair-minor, visibility churn and fault effects included, NaN
+// marking probed-but-missing bins — without running any inference. This is
+// the feed for the serving plane's replay/parity harness: re-submitting
+// these rows as samples through the streaming daemon reproduces the batch
+// study's verdicts exactly. Must run on a freshly built world (discovery
+// mutates the network's RNG and path cache), with the same options as the
+// batch run being mirrored.
+using StudyStreamFn =
+    std::function<void(topo::VpId vp, topo::LinkId link, std::int64_t day,
+                       std::span<const float> far, std::span<const float> near)>;
+void ExportStudyStream(UsBroadband& world, const StudyOptions& options,
+                       const StudyStreamFn& fn);
 
 }  // namespace manic::scenario

@@ -1,0 +1,429 @@
+#include "serve/codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace manic::serve {
+namespace {
+
+// All integers travel little-endian regardless of host order; the supported
+// targets are little-endian, so the byte loops below compile to plain loads
+// and stores.
+template <typename U>
+void PutLE(std::string* buf, U v) {
+  char bytes[sizeof(U)];
+  for (std::size_t i = 0; i < sizeof(U); ++i) {
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  buf->append(bytes, sizeof(U));
+}
+
+template <typename U>
+U GetLE(const void* p) {
+  const unsigned char* b = static_cast<const unsigned char*>(p);
+  U v = 0;
+  for (std::size_t i = 0; i < sizeof(U); ++i) {
+    v |= static_cast<U>(b[i]) << (8 * i);
+  }
+  return v;
+}
+
+bool ValidMsgType(std::uint8_t raw) {
+  switch (static_cast<MsgType>(raw)) {
+    case MsgType::kHello:
+    case MsgType::kHelloAck:
+    case MsgType::kSubmitBatch:
+    case MsgType::kSubmitAck:
+    case MsgType::kQueryPoint:
+    case MsgType::kQueryRange:
+    case MsgType::kQueryQuality:
+    case MsgType::kQueryStats:
+    case MsgType::kVerdicts:
+    case MsgType::kQuality:
+    case MsgType::kStats:
+    case MsgType::kError:
+    case MsgType::kFlush:
+    case MsgType::kFlushAck:
+      return true;
+  }
+  return false;
+}
+
+void PutSample(Encoder* e, const Sample& s) {
+  e->PutI64(s.t);
+  e->PutU32(s.link);
+  e->PutU32(s.vp);
+  e->PutU8(static_cast<std::uint8_t>(s.kind));
+  e->PutF32(s.value);
+}
+
+bool GetSample(Decoder* d, Sample* s) {
+  std::uint8_t kind = 0;
+  if (!d->GetI64(&s->t) || !d->GetU32(&s->link) || !d->GetU32(&s->vp) ||
+      !d->GetU8(&kind) || !d->GetF32(&s->value)) {
+    return false;
+  }
+  if (kind > kMaxSampleKind) return false;
+  s->kind = static_cast<SampleKind>(kind);
+  return true;
+}
+
+void PutVerdict(Encoder* e, const VerdictRecord& v) {
+  e->PutI64(v.day);
+  e->PutU32(v.link);
+  const std::uint8_t flags = static_cast<std::uint8_t>(
+      (v.recurring ? 1u : 0u) | (v.congested ? 2u : 0u) |
+      (v.quality_ok ? 4u : 0u));
+  e->PutU8(flags);
+  e->PutF64(v.fraction);
+  e->PutU32(v.contributors);
+  e->PutU32(v.asserting);
+  e->PutF64(v.far_coverage_frac);
+}
+
+bool GetVerdict(Decoder* d, VerdictRecord* v) {
+  std::uint8_t flags = 0;
+  if (!d->GetI64(&v->day) || !d->GetU32(&v->link) || !d->GetU8(&flags) ||
+      !d->GetF64(&v->fraction) || !d->GetU32(&v->contributors) ||
+      !d->GetU32(&v->asserting) || !d->GetF64(&v->far_coverage_frac)) {
+    return false;
+  }
+  if (flags > 7) return false;
+  v->recurring = (flags & 1u) != 0;
+  v->congested = (flags & 2u) != 0;
+  v->quality_ok = (flags & 4u) != 0;
+  return true;
+}
+
+}  // namespace
+
+// ---- Encoder ----------------------------------------------------------------
+
+void Encoder::PutU8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+void Encoder::PutU16(std::uint16_t v) { PutLE(&buf_, v); }
+void Encoder::PutU32(std::uint32_t v) { PutLE(&buf_, v); }
+void Encoder::PutU64(std::uint64_t v) { PutLE(&buf_, v); }
+void Encoder::PutI64(std::int64_t v) {
+  PutLE(&buf_, static_cast<std::uint64_t>(v));
+}
+void Encoder::PutF32(float v) { PutLE(&buf_, std::bit_cast<std::uint32_t>(v)); }
+void Encoder::PutF64(double v) {
+  PutLE(&buf_, std::bit_cast<std::uint64_t>(v));
+}
+void Encoder::PutBytes(std::string_view bytes) { buf_.append(bytes); }
+
+// ---- Decoder ----------------------------------------------------------------
+
+const void* Decoder::Take(std::size_t n) {
+  if (!ok_ || buf_.size() - pos_ < n) {
+    ok_ = false;
+    return nullptr;
+  }
+  const void* p = buf_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+bool Decoder::GetU8(std::uint8_t* v) {
+  const void* p = Take(1);
+  if (p == nullptr) return false;
+  *v = static_cast<std::uint8_t>(*static_cast<const char*>(p));
+  return true;
+}
+bool Decoder::GetU16(std::uint16_t* v) {
+  const void* p = Take(2);
+  if (p == nullptr) return false;
+  *v = GetLE<std::uint16_t>(p);
+  return true;
+}
+bool Decoder::GetU32(std::uint32_t* v) {
+  const void* p = Take(4);
+  if (p == nullptr) return false;
+  *v = GetLE<std::uint32_t>(p);
+  return true;
+}
+bool Decoder::GetU64(std::uint64_t* v) {
+  const void* p = Take(8);
+  if (p == nullptr) return false;
+  *v = GetLE<std::uint64_t>(p);
+  return true;
+}
+bool Decoder::GetI64(std::int64_t* v) {
+  std::uint64_t u = 0;
+  if (!GetU64(&u)) return false;
+  *v = static_cast<std::int64_t>(u);
+  return true;
+}
+bool Decoder::GetF32(float* v) {
+  std::uint32_t u = 0;
+  if (!GetU32(&u)) return false;
+  *v = std::bit_cast<float>(u);
+  return true;
+}
+bool Decoder::GetF64(double* v) {
+  std::uint64_t u = 0;
+  if (!GetU64(&u)) return false;
+  *v = std::bit_cast<double>(u);
+  return true;
+}
+bool Decoder::GetBytes(std::size_t n, std::string_view* out) {
+  const void* p = Take(n);
+  if (p == nullptr) return false;
+  *out = std::string_view(static_cast<const char*>(p), n);
+  return true;
+}
+
+// ---- framing ----------------------------------------------------------------
+
+std::string EncodeFrame(MsgType type, std::string_view payload) {
+  std::string frame;
+  frame.reserve(5 + payload.size());
+  PutLE(&frame, static_cast<std::uint32_t>(1 + payload.size()));
+  frame.push_back(static_cast<char>(type));
+  frame.append(payload);
+  return frame;
+}
+
+void FrameAssembler::Feed(std::string_view bytes) {
+  if (corrupt_) return;
+  // Compact lazily: drop consumed prefix once it dominates the buffer.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes);
+}
+
+bool FrameAssembler::Next(MsgType* type, std::string* payload) {
+  if (corrupt_) return false;
+  if (buf_.size() - pos_ < 4) return false;
+  const std::uint32_t len = GetLE<std::uint32_t>(buf_.data() + pos_);
+  if (len == 0 || len > kMaxFramePayload + 1) {
+    corrupt_ = true;
+    return false;
+  }
+  if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(len)) return false;
+  const std::uint8_t raw_type =
+      static_cast<std::uint8_t>(buf_[pos_ + 4]);
+  if (!ValidMsgType(raw_type)) {
+    corrupt_ = true;
+    return false;
+  }
+  *type = static_cast<MsgType>(raw_type);
+  payload->assign(buf_, pos_ + 5, len - 1);
+  pos_ += 4 + static_cast<std::size_t>(len);
+  return true;
+}
+
+// ---- messages ---------------------------------------------------------------
+
+std::string EncodeHello() {
+  Encoder e;
+  e.PutU32(kProtocolVersion);
+  return EncodeFrame(MsgType::kHello, e.data());
+}
+
+bool DecodeHello(std::string_view payload, std::uint32_t* version) {
+  Decoder d(payload);
+  return d.GetU32(version) && d.AtEnd();
+}
+
+std::string EncodeHelloAck(std::uint32_t shards) {
+  Encoder e;
+  e.PutU32(kProtocolVersion);
+  e.PutU32(shards);
+  return EncodeFrame(MsgType::kHelloAck, e.data());
+}
+
+bool DecodeHelloAck(std::string_view payload, std::uint32_t* version,
+                    std::uint32_t* shards) {
+  Decoder d(payload);
+  return d.GetU32(version) && d.GetU32(shards) && d.AtEnd();
+}
+
+std::string EncodeSubmitBatch(std::span<const Sample> samples) {
+  Encoder e;
+  e.PutU32(static_cast<std::uint32_t>(samples.size()));
+  for (const Sample& s : samples) PutSample(&e, s);
+  return EncodeFrame(MsgType::kSubmitBatch, e.data());
+}
+
+bool DecodeSubmitBatch(std::string_view payload, std::vector<Sample>* out) {
+  Decoder d(payload);
+  std::uint32_t count = 0;
+  if (!d.GetU32(&count)) return false;
+  // 21 bytes per encoded sample; reject counts the payload cannot hold.
+  if (payload.size() < 4 + static_cast<std::size_t>(count) * 21) return false;
+  out->clear();
+  out->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Sample s;
+    if (!GetSample(&d, &s)) return false;
+    out->push_back(s);
+  }
+  return d.AtEnd();
+}
+
+std::string EncodeSubmitAck(std::uint64_t accepted) {
+  Encoder e;
+  e.PutU64(accepted);
+  return EncodeFrame(MsgType::kSubmitAck, e.data());
+}
+
+bool DecodeSubmitAck(std::string_view payload, std::uint64_t* accepted) {
+  Decoder d(payload);
+  return d.GetU64(accepted) && d.AtEnd();
+}
+
+std::string EncodeQueryPoint(topo::LinkId link, TimeSec t) {
+  Encoder e;
+  e.PutU32(link);
+  e.PutI64(t);
+  return EncodeFrame(MsgType::kQueryPoint, e.data());
+}
+
+bool DecodeQueryPoint(std::string_view payload, topo::LinkId* link,
+                      TimeSec* t) {
+  Decoder d(payload);
+  return d.GetU32(link) && d.GetI64(t) && d.AtEnd();
+}
+
+std::string EncodeQueryRange(topo::LinkId link, TimeSec t0, TimeSec t1) {
+  Encoder e;
+  e.PutU32(link);
+  e.PutI64(t0);
+  e.PutI64(t1);
+  return EncodeFrame(MsgType::kQueryRange, e.data());
+}
+
+bool DecodeQueryRange(std::string_view payload, topo::LinkId* link,
+                      TimeSec* t0, TimeSec* t1) {
+  Decoder d(payload);
+  return d.GetU32(link) && d.GetI64(t0) && d.GetI64(t1) && d.AtEnd();
+}
+
+std::string EncodeQueryQuality(topo::LinkId link) {
+  Encoder e;
+  e.PutU32(link);
+  return EncodeFrame(MsgType::kQueryQuality, e.data());
+}
+
+bool DecodeQueryQuality(std::string_view payload, topo::LinkId* link) {
+  Decoder d(payload);
+  return d.GetU32(link) && d.AtEnd();
+}
+
+std::string EncodeQueryStats() {
+  return EncodeFrame(MsgType::kQueryStats, {});
+}
+
+std::string EncodeFlush() { return EncodeFrame(MsgType::kFlush, {}); }
+
+std::string EncodeFlushAck(std::int64_t last_closed_day) {
+  Encoder e;
+  e.PutI64(last_closed_day);
+  return EncodeFrame(MsgType::kFlushAck, e.data());
+}
+
+bool DecodeFlushAck(std::string_view payload, std::int64_t* last_closed_day) {
+  Decoder d(payload);
+  return d.GetI64(last_closed_day) && d.AtEnd();
+}
+
+std::string EncodeVerdicts(std::span<const VerdictRecord> verdicts) {
+  Encoder e;
+  e.PutU32(static_cast<std::uint32_t>(verdicts.size()));
+  for (const VerdictRecord& v : verdicts) PutVerdict(&e, v);
+  return EncodeFrame(MsgType::kVerdicts, e.data());
+}
+
+bool DecodeVerdicts(std::string_view payload,
+                    std::vector<VerdictRecord>* out) {
+  Decoder d(payload);
+  std::uint32_t count = 0;
+  if (!d.GetU32(&count)) return false;
+  // 37 bytes per encoded verdict.
+  if (payload.size() < 4 + static_cast<std::size_t>(count) * 37) return false;
+  out->clear();
+  out->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    VerdictRecord v;
+    if (!GetVerdict(&d, &v)) return false;
+    out->push_back(v);
+  }
+  return d.AtEnd();
+}
+
+std::string EncodeQuality(bool found, const infer::DataQuality& quality) {
+  Encoder e;
+  e.PutU8(found ? 1 : 0);
+  e.PutF64(quality.far_coverage_frac);
+  e.PutF64(quality.near_coverage_frac);
+  e.PutU32(static_cast<std::uint32_t>(quality.longest_gap_intervals));
+  e.PutU32(static_cast<std::uint32_t>(quality.days_observed));
+  e.PutU32(static_cast<std::uint32_t>(quality.total_days));
+  e.PutU32(static_cast<std::uint32_t>(quality.vp_churn_events));
+  return EncodeFrame(MsgType::kQuality, e.data());
+}
+
+bool DecodeQuality(std::string_view payload, bool* found,
+                   infer::DataQuality* quality) {
+  Decoder d(payload);
+  std::uint8_t f = 0;
+  std::uint32_t gap = 0, observed = 0, total = 0, churn = 0;
+  if (!d.GetU8(&f) || !d.GetF64(&quality->far_coverage_frac) ||
+      !d.GetF64(&quality->near_coverage_frac) || !d.GetU32(&gap) ||
+      !d.GetU32(&observed) || !d.GetU32(&total) || !d.GetU32(&churn) ||
+      !d.AtEnd() || f > 1) {
+    return false;
+  }
+  *found = f == 1;
+  quality->longest_gap_intervals = static_cast<int>(gap);
+  quality->days_observed = static_cast<int>(observed);
+  quality->total_days = static_cast<int>(total);
+  quality->vp_churn_events = static_cast<int>(churn);
+  return true;
+}
+
+std::string EncodeStats(const ServiceStats& stats) {
+  Encoder e;
+  e.PutU64(stats.samples);
+  e.PutU64(stats.verdicts);
+  e.PutU64(stats.links);
+  e.PutI64(stats.last_closed_day);
+  e.PutI64(stats.days_closed);
+  e.PutU32(stats.shards);
+  e.PutU64(stats.raw_points);
+  return EncodeFrame(MsgType::kStats, e.data());
+}
+
+bool DecodeStats(std::string_view payload, ServiceStats* stats) {
+  Decoder d(payload);
+  return d.GetU64(&stats->samples) && d.GetU64(&stats->verdicts) &&
+         d.GetU64(&stats->links) && d.GetI64(&stats->last_closed_day) &&
+         d.GetI64(&stats->days_closed) && d.GetU32(&stats->shards) &&
+         d.GetU64(&stats->raw_points) && d.AtEnd();
+}
+
+std::string EncodeError(std::uint16_t code, std::string_view message) {
+  Encoder e;
+  e.PutU16(code);
+  e.PutU16(static_cast<std::uint16_t>(message.size()));
+  e.PutBytes(message.substr(0, 0xFFFF));
+  return EncodeFrame(MsgType::kError, e.data());
+}
+
+bool DecodeError(std::string_view payload, std::uint16_t* code,
+                 std::string* message) {
+  Decoder d(payload);
+  std::uint16_t len = 0;
+  std::string_view bytes;
+  if (!d.GetU16(code) || !d.GetU16(&len) || !d.GetBytes(len, &bytes) ||
+      !d.AtEnd()) {
+    return false;
+  }
+  message->assign(bytes);
+  return true;
+}
+
+}  // namespace manic::serve

@@ -1,0 +1,177 @@
+// Wire format v1 of the serving plane: a compact length-prefixed binary
+// protocol (the jittertrap jt_messages shape, binary instead of JSON). Every
+// frame is
+//
+//   [u32 length][u8 msg-type][payload ...]        (all integers little-endian)
+//
+// where `length` counts the type byte plus the payload. Frames longer than
+// kMaxFramePayload, unknown message types, and short payloads are protocol
+// errors: the FrameAssembler poisons the stream and the session layer drops
+// the connection — a daemon must survive truncated and garbage input.
+//
+// Doubles and floats travel as IEEE-754 bit patterns (bit_cast), so a value
+// round-trips bit-exactly — the replay contract extends to recorded streams.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "infer/data_quality.h"
+#include "serve/sample.h"
+#include "serve/verdict.h"
+
+namespace manic::serve {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+// Generous bound for a submit batch (~160k samples); anything larger is
+// treated as a corrupt or hostile stream.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 22;
+
+enum class MsgType : std::uint8_t {
+  // client -> server
+  kHello = 1,         // u32 protocol version
+  kSubmitBatch = 3,   // u32 count, count * Sample
+  kQueryPoint = 5,    // u32 link, i64 t
+  kQueryRange = 6,    // u32 link, i64 t0, i64 t1
+  kQueryQuality = 7,  // u32 link
+  kQueryStats = 8,    // (empty)
+  kFlush = 13,        // (empty) close every day through the watermark
+  // server -> client
+  kHelloAck = 2,    // u32 version, u32 ingest shards
+  kSubmitAck = 4,   // u64 samples accepted
+  kVerdicts = 9,    // u32 count, count * VerdictRecord
+  kQuality = 10,    // u8 found, DataQuality fields
+  kStats = 11,      // ServiceStats fields
+  kFlushAck = 14,   // i64 last closed day
+  kError = 12,      // u16 code, u16 len, message bytes
+};
+
+// Aggregate counters the query plane reports (kStats).
+struct ServiceStats {
+  std::uint64_t samples = 0;        // accepted into ingest rings
+  std::uint64_t verdicts = 0;       // rows in the verdict log
+  std::uint64_t links = 0;          // links with at least one verdict
+  std::int64_t last_closed_day = 0;
+  std::int64_t days_closed = 0;
+  std::uint32_t shards = 0;
+  std::uint64_t raw_points = 0;     // points retained in the shard tsdbs
+
+  friend bool operator==(const ServiceStats&, const ServiceStats&) = default;
+};
+
+// ---- primitive byte streams -------------------------------------------------
+
+class Encoder {
+ public:
+  void PutU8(std::uint8_t v);
+  void PutU16(std::uint16_t v);
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  void PutI64(std::int64_t v);
+  void PutF32(float v);
+  void PutF64(double v);
+  void PutBytes(std::string_view bytes);  // raw, caller frames the length
+
+  const std::string& data() const noexcept { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+// Bounds-checked reader with a sticky failure flag: once a read runs past
+// the end every later Get fails, so decode functions can check ok() once.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view buf) : buf_(buf) {}
+
+  bool GetU8(std::uint8_t* v);
+  bool GetU16(std::uint16_t* v);
+  bool GetU32(std::uint32_t* v);
+  bool GetU64(std::uint64_t* v);
+  bool GetI64(std::int64_t* v);
+  bool GetF32(float* v);
+  bool GetF64(double* v);
+  bool GetBytes(std::size_t n, std::string_view* out);
+
+  bool ok() const noexcept { return ok_; }
+  bool AtEnd() const noexcept { return ok_ && pos_ == buf_.size(); }
+
+ private:
+  const void* Take(std::size_t n);
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---- framing ----------------------------------------------------------------
+
+std::string EncodeFrame(MsgType type, std::string_view payload);
+
+// Reassembles frames from an arbitrarily fragmented byte stream. Feed bytes
+// as they arrive; Next() yields complete frames until more input is needed.
+// A frame whose length field is zero or exceeds the protocol bound poisons
+// the stream permanently (corrupt()).
+class FrameAssembler {
+ public:
+  void Feed(std::string_view bytes);
+  // True: *type / *payload hold the next complete frame. False: need more
+  // bytes, or the stream is corrupt (check corrupt()).
+  bool Next(MsgType* type, std::string* payload);
+  bool corrupt() const noexcept { return corrupt_; }
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool corrupt_ = false;
+};
+
+// ---- message encode/decode --------------------------------------------------
+// Every Encode* returns a complete frame (header included); every Decode*
+// consumes a frame payload and returns false on any malformation (short,
+// trailing bytes, out-of-range enum).
+
+std::string EncodeHello();
+bool DecodeHello(std::string_view payload, std::uint32_t* version);
+std::string EncodeHelloAck(std::uint32_t shards);
+bool DecodeHelloAck(std::string_view payload, std::uint32_t* version,
+                    std::uint32_t* shards);
+
+std::string EncodeSubmitBatch(std::span<const Sample> samples);
+bool DecodeSubmitBatch(std::string_view payload, std::vector<Sample>* out);
+std::string EncodeSubmitAck(std::uint64_t accepted);
+bool DecodeSubmitAck(std::string_view payload, std::uint64_t* accepted);
+
+std::string EncodeQueryPoint(topo::LinkId link, TimeSec t);
+bool DecodeQueryPoint(std::string_view payload, topo::LinkId* link,
+                      TimeSec* t);
+std::string EncodeQueryRange(topo::LinkId link, TimeSec t0, TimeSec t1);
+bool DecodeQueryRange(std::string_view payload, topo::LinkId* link,
+                      TimeSec* t0, TimeSec* t1);
+std::string EncodeQueryQuality(topo::LinkId link);
+bool DecodeQueryQuality(std::string_view payload, topo::LinkId* link);
+std::string EncodeQueryStats();
+std::string EncodeFlush();
+std::string EncodeFlushAck(std::int64_t last_closed_day);
+bool DecodeFlushAck(std::string_view payload, std::int64_t* last_closed_day);
+
+std::string EncodeVerdicts(std::span<const VerdictRecord> verdicts);
+bool DecodeVerdicts(std::string_view payload, std::vector<VerdictRecord>* out);
+
+std::string EncodeQuality(bool found, const infer::DataQuality& quality);
+bool DecodeQuality(std::string_view payload, bool* found,
+                   infer::DataQuality* quality);
+
+std::string EncodeStats(const ServiceStats& stats);
+bool DecodeStats(std::string_view payload, ServiceStats* stats);
+
+std::string EncodeError(std::uint16_t code, std::string_view message);
+bool DecodeError(std::string_view payload, std::uint16_t* code,
+                 std::string* message);
+
+}  // namespace manic::serve

@@ -1,0 +1,341 @@
+#include "serve/daemon.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace manic::serve {
+namespace {
+
+// Loop tick: bounds how stale PollClock-driven day closes can be. Purely a
+// latency/CPU trade; correctness never depends on it.
+constexpr int kPollTimeoutMs = 100;
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+TcpDaemon::~TcpDaemon() {
+  CloseAll();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+bool TcpDaemon::Listen(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0 || !SetNonBlocking(listen_fd_)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  SetNonBlocking(wake_read_fd_);
+  return true;
+}
+
+void TcpDaemon::Shutdown() {
+  stop_.store(true, std::memory_order_release);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+bool TcpDaemon::FlushOutbox(Conn* conn) {
+  while (!conn->outbox.empty()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->outbox.data(), conn->outbox.size(),
+               MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->outbox.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;  // peer gone
+  }
+  return true;
+}
+
+void TcpDaemon::HandleReadable(Conn* conn) {
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      std::string replies;
+      const bool keep = conn->session.Consume(
+          std::string_view(buf, static_cast<std::size_t>(n)), &replies);
+      conn->outbox.append(replies);
+      if (!keep) {
+        conn->closing = true;
+        return;
+      }
+      if (n < static_cast<ssize_t>(sizeof(buf))) return;
+      continue;
+    }
+    if (n == 0) {  // orderly peer close
+      conn->closing = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    conn->closing = true;
+    return;
+  }
+}
+
+void TcpDaemon::Run() {
+  std::vector<pollfd> fds;
+  while (!stop_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    for (const Conn* conn : conns_) {
+      short events = POLLIN;
+      if (!conn->outbox.empty()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), kPollTimeoutMs);
+    if (ready < 0 && errno != EINTR) break;
+
+    // Live-mode day closes; a no-op without a configured clock.
+    service_->PollClock();
+
+    if (ready <= 0) continue;
+
+    if (fds[0].revents & POLLIN) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        if (!SetNonBlocking(fd)) {
+          ::close(fd);
+          continue;
+        }
+        Conn* conn = new Conn(service_);
+        conn->fd = fd;
+        conns_.push_back(conn);
+      }
+    }
+    if (fds[1].revents & POLLIN) {
+      char drain[16];
+      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+    }
+
+    // conns_ indices line up with fds[2..]; accept() above only appends.
+    const std::size_t polled = fds.size() - 2;
+    for (std::size_t i = 0; i < polled; ++i) {
+      Conn* conn = conns_[i];
+      const short revents = fds[i + 2].revents;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) conn->closing = true;
+      if (!conn->closing && (revents & POLLIN)) HandleReadable(conn);
+      if (revents & (POLLIN | POLLOUT)) {
+        if (!FlushOutbox(conn)) conn->closing = true;
+      }
+    }
+
+    // Reap: a closing connection gets one final best-effort flush (the
+    // kError frame) before the socket drops.
+    std::vector<Conn*> alive;
+    alive.reserve(conns_.size());
+    for (Conn* conn : conns_) {
+      if (conn->closing) {
+        FlushOutbox(conn);
+        ::close(conn->fd);
+        delete conn;
+      } else {
+        alive.push_back(conn);
+      }
+    }
+    conns_.swap(alive);
+  }
+  CloseAll();
+}
+
+void TcpDaemon::CloseAll() {
+  for (Conn* conn : conns_) {
+    ::close(conn->fd);
+    delete conn;
+  }
+  conns_.clear();
+}
+
+// ---- BlockingClient ---------------------------------------------------------
+
+bool BlockingClient::Connect(std::uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Close();
+    return false;
+  }
+  if (!SendAll(EncodeHello())) {
+    Close();
+    return false;
+  }
+  MsgType type;
+  std::string payload;
+  std::uint32_t version = 0;
+  if (!ReadFrame(&type, &payload) || type != MsgType::kHelloAck ||
+      !DecodeHelloAck(payload, &version, &server_shards_) ||
+      version != kProtocolVersion) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  assembler_ = FrameAssembler();
+  server_shards_ = 0;
+}
+
+bool BlockingClient::SendAll(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool BlockingClient::ReadFrame(MsgType* type, std::string* payload) {
+  for (;;) {
+    if (assembler_.Next(type, payload)) return true;
+    if (assembler_.corrupt()) return false;
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    assembler_.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+bool BlockingClient::Submit(std::span<const Sample> samples) {
+  if (fd_ < 0 || !SendAll(EncodeSubmitBatch(samples))) return false;
+  MsgType type;
+  std::string payload;
+  std::uint64_t accepted = 0;
+  return ReadFrame(&type, &payload) && type == MsgType::kSubmitAck &&
+         DecodeSubmitAck(payload, &accepted) && accepted == samples.size();
+}
+
+std::optional<std::vector<VerdictRecord>> BlockingClient::QueryRange(
+    topo::LinkId link, TimeSec t0, TimeSec t1) {
+  if (fd_ < 0 || !SendAll(EncodeQueryRange(link, t0, t1))) return std::nullopt;
+  MsgType type;
+  std::string payload;
+  std::vector<VerdictRecord> rows;
+  if (!ReadFrame(&type, &payload) || type != MsgType::kVerdicts ||
+      !DecodeVerdicts(payload, &rows)) {
+    return std::nullopt;
+  }
+  return rows;
+}
+
+std::optional<VerdictRecord> BlockingClient::QueryPoint(topo::LinkId link,
+                                                        TimeSec t) {
+  if (fd_ < 0 || !SendAll(EncodeQueryPoint(link, t))) return std::nullopt;
+  MsgType type;
+  std::string payload;
+  std::vector<VerdictRecord> rows;
+  if (!ReadFrame(&type, &payload) || type != MsgType::kVerdicts ||
+      !DecodeVerdicts(payload, &rows) || rows.empty()) {
+    return std::nullopt;
+  }
+  return rows.front();
+}
+
+std::optional<infer::DataQuality> BlockingClient::QueryQuality(
+    topo::LinkId link) {
+  if (fd_ < 0 || !SendAll(EncodeQueryQuality(link))) return std::nullopt;
+  MsgType type;
+  std::string payload;
+  bool found = false;
+  infer::DataQuality quality;
+  if (!ReadFrame(&type, &payload) || type != MsgType::kQuality ||
+      !DecodeQuality(payload, &found, &quality) || !found) {
+    return std::nullopt;
+  }
+  return quality;
+}
+
+std::optional<ServiceStats> BlockingClient::QueryStats() {
+  if (fd_ < 0 || !SendAll(EncodeQueryStats())) return std::nullopt;
+  MsgType type;
+  std::string payload;
+  ServiceStats stats;
+  if (!ReadFrame(&type, &payload) || type != MsgType::kStats ||
+      !DecodeStats(payload, &stats)) {
+    return std::nullopt;
+  }
+  return stats;
+}
+
+std::optional<std::int64_t> BlockingClient::Flush() {
+  if (fd_ < 0 || !SendAll(EncodeFlush())) return std::nullopt;
+  MsgType type;
+  std::string payload;
+  std::int64_t day = 0;
+  if (!ReadFrame(&type, &payload) || type != MsgType::kFlushAck ||
+      !DecodeFlushAck(payload, &day)) {
+    return std::nullopt;
+  }
+  return day;
+}
+
+}  // namespace manic::serve

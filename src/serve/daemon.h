@@ -1,0 +1,102 @@
+// The network front of the serving plane: a single-threaded poll() event
+// loop on 127.0.0.1 that accepts many concurrent clients, feeds their bytes
+// through per-connection Sessions, and flushes response frames as sockets
+// drain. One event thread IS the service's single producer — submit frames
+// from every client serialize naturally, no ingest lock needed. Shutdown
+// rides a self-pipe so another thread can wake the loop without touching
+// sockets. Each loop tick also calls CongestionService::PollClock(), so a
+// live daemon (WallClock) closes days as wall time crosses midnight while a
+// replay daemon (ManualClock or no clock) stays fully input-driven.
+//
+// BlockingClient is the matching minimal client: synchronous
+// request/response over the same codec, used by the examples, the tests,
+// and the perf gate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/codec.h"
+#include "serve/service.h"
+#include "serve/session.h"
+
+namespace manic::serve {
+
+class TcpDaemon {
+ public:
+  // The daemon drives but does not own the service.
+  explicit TcpDaemon(CongestionService* service) : service_(service) {}
+  ~TcpDaemon();
+
+  TcpDaemon(const TcpDaemon&) = delete;
+  TcpDaemon& operator=(const TcpDaemon&) = delete;
+
+  // Binds 127.0.0.1:port (port 0 = ephemeral). False on any socket error.
+  bool Listen(std::uint16_t port = 0);
+  std::uint16_t port() const noexcept { return port_; }
+
+  // Runs the event loop until Shutdown(). Call from a dedicated thread.
+  void Run();
+  // Thread-safe; wakes the loop through the self-pipe.
+  void Shutdown();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    Session session;
+    std::string outbox;
+    bool closing = false;  // flush what we can, then drop
+    explicit Conn(CongestionService* service) : session(service) {}
+  };
+
+  void HandleReadable(Conn* conn);
+  static bool FlushOutbox(Conn* conn);
+  void CloseAll();
+
+  CongestionService* service_ = nullptr;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::vector<Conn*> conns_;
+};
+
+// Synchronous client for tests, examples, and the perf gate. Not
+// thread-safe; one outstanding request at a time.
+class BlockingClient {
+ public:
+  ~BlockingClient() { Close(); }
+
+  // Connects to 127.0.0.1:port and completes the hello handshake.
+  bool Connect(std::uint16_t port);
+  void Close();
+  bool connected() const noexcept { return fd_ >= 0; }
+  std::uint32_t server_shards() const noexcept { return server_shards_; }
+
+  // Each call sends one request frame and blocks for the matching reply;
+  // nullopt/false mean a transport or protocol failure.
+  bool Submit(std::span<const Sample> samples);
+  std::optional<std::vector<VerdictRecord>> QueryRange(topo::LinkId link,
+                                                       TimeSec t0, TimeSec t1);
+  std::optional<VerdictRecord> QueryPoint(topo::LinkId link, TimeSec t);
+  std::optional<infer::DataQuality> QueryQuality(topo::LinkId link);
+  std::optional<ServiceStats> QueryStats();
+  // Asks the daemon to close every day through the stream watermark;
+  // returns the last closed day.
+  std::optional<std::int64_t> Flush();
+
+ private:
+  bool SendAll(std::string_view bytes);
+  bool ReadFrame(MsgType* type, std::string* payload);
+
+  int fd_ = -1;
+  FrameAssembler assembler_;
+  std::uint32_t server_shards_ = 0;
+};
+
+}  // namespace manic::serve

@@ -1,0 +1,103 @@
+#include "serve/engine.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/calendar.h"
+
+namespace manic::serve {
+
+ShardEngine::ShardEngine(EngineConfig config) : config_(config) {}
+
+void ShardEngine::Ingest(const Sample& s) {
+  ++samples_;
+  if (s.kind == SampleKind::kLossRate) return;
+
+  const std::int64_t day = stats::DayOf(s.t);
+  const std::int64_t within = s.t - day * stats::kSecPerDay;
+  int interval = static_cast<int>(within / config_.autocorr.bin_width);
+  if (interval < 0) interval = 0;
+  if (interval >= config_.autocorr.intervals_per_day) {
+    interval = config_.autocorr.intervals_per_day - 1;
+  }
+
+  const bool far_side =
+      s.kind == SampleKind::kFarRtt || s.kind == SampleKind::kFarMissing;
+  const bool missing =
+      s.kind == SampleKind::kFarMissing || s.kind == SampleKind::kNearMissing;
+  const float value_ms =
+      missing ? std::numeric_limits<float>::quiet_NaN() : s.value;
+
+  auto& per_vp = links_[s.link];
+  auto it = per_vp.find(s.vp);
+  if (it == per_vp.end()) {
+    it = per_vp
+             .emplace(s.vp, infer::StreamingClassifier(config_.autocorr))
+             .first;
+  }
+  it->second.AddSample(day, interval, far_side, value_ms);
+}
+
+std::vector<VerdictRecord> ShardEngine::CloseDay(std::int64_t day) {
+  std::vector<VerdictRecord> verdicts;
+  for (auto& [link, per_vp] : links_) {
+    double fraction_sum = 0.0;
+    std::uint32_t contributors = 0;
+    std::uint32_t asserting = 0;
+    infer::LinkQualityAccumulator acc;
+    bool measured = false;
+    for (auto& [vp, state] : per_vp) {
+      const infer::StreamingClassifier::DayOutcome outcome =
+          state.CloseDay(day);
+      if (outcome.classification) {
+        ++contributors;
+        if (outcome.classification->recurring) {
+          ++asserting;
+          fraction_sum += outcome.classification->fraction;
+        }
+      }
+      if (state.quality().far_total > 0) {
+        acc.Add(state.quality());
+        measured = true;
+      }
+    }
+    // Same gate as the batch loop: a link gets a verdict on every day at
+    // least one of its VPs had a full window (today_observed), with the
+    // fraction averaged over recurring-asserting VPs (0 when none assert).
+    if (contributors == 0) continue;
+    VerdictRecord v;
+    v.day = day;
+    v.link = link;
+    v.contributors = contributors;
+    v.asserting = asserting;
+    v.recurring = asserting > 0;
+    v.fraction =
+        asserting > 0 ? fraction_sum / static_cast<double>(asserting) : 0.0;
+    v.congested = v.fraction >= config_.congested_threshold_frac;
+    if (measured && day >= 0) {
+      const infer::DataQuality q = acc.Finish(static_cast<int>(day) + 1);
+      v.quality_ok = q.Acceptable(config_.autocorr.quality);
+      v.far_coverage_frac = q.far_coverage_frac;
+    }
+    verdicts.push_back(v);
+  }
+  return verdicts;
+}
+
+std::map<topo::LinkId, infer::DataQuality> ShardEngine::QualitySnapshot(
+    int total_days) const {
+  std::map<topo::LinkId, infer::DataQuality> out;
+  for (const auto& [link, per_vp] : links_) {
+    infer::LinkQualityAccumulator acc;
+    bool measured = false;
+    for (const auto& [vp, state] : per_vp) {
+      if (state.quality().far_total == 0) continue;
+      acc.Add(state.quality());
+      measured = true;
+    }
+    if (measured) out.emplace(link, acc.Finish(total_days));
+  }
+  return out;
+}
+
+}  // namespace manic::serve

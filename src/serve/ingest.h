@@ -1,0 +1,114 @@
+// One ingest shard: an SPSC ring feeding a worker thread that owns a
+// ShardEngine (hot inference state) and a tsdb::Database (raw sample
+// retention). The service routes every sample of a link to exactly one
+// shard (link % shards), so a shard always holds complete per-link state
+// and day-close verdicts never need a cross-shard merge.
+//
+// Day closes ride in-band: the producer pushes a kCloseDay control marker
+// after the last sample of the day, the worker finalizes the day, deposits
+// the verdicts and a fresh quality snapshot, and release-publishes
+// closed_through_. The collector thread waits on that atomic and only then
+// reads the deposits — the deposit slots are plain members, made safe by
+// the acquire/release pair plus the service discipline of collecting day d
+// before issuing the close for day d+1.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "infer/data_quality.h"
+#include "serve/engine.h"
+#include "serve/ring.h"
+#include "serve/sample.h"
+#include "serve/verdict.h"
+#include "tsdb/tsdb.h"
+
+namespace manic::serve {
+
+struct IngestShardConfig {
+  EngineConfig engine;
+  std::size_t ring_capacity = 1 << 14;  // rounded up to a power of two
+  bool store_raw = true;                // keep samples in the shard tsdb
+  // When > 0, raw points older than this horizon (relative to the newest
+  // point, per series) are dropped at every day close.
+  TimeSec retention_horizon_s = 0;
+};
+
+class IngestShard {
+ public:
+  explicit IngestShard(IngestShardConfig config = {});
+  ~IngestShard();
+
+  IngestShard(const IngestShard&) = delete;
+  IngestShard& operator=(const IngestShard&) = delete;
+
+  void Start();
+  // Drains the ring and joins the worker. Idempotent.
+  void Stop();
+
+  // ---- producer side (one thread) -------------------------------------------
+  // Blocks while the ring is full.
+  void PushSample(const Sample& s);
+  // Schedules the finalization of `day`. The producer must push close
+  // markers in ascending day order, after every sample of that day.
+  void PushCloseDay(std::int64_t day);
+
+  // ---- collector side --------------------------------------------------------
+  // Blocks until the worker has finalized `day`.
+  void WaitClosed(std::int64_t day);
+  // Deposits for the most recently closed day. Valid only between
+  // WaitClosed(d) returning and the next PushCloseDay — the service
+  // collects each day before scheduling the next close.
+  std::vector<VerdictRecord> TakeDayVerdicts();
+  const std::map<topo::LinkId, infer::DataQuality>& LatestQuality() const {
+    return quality_;
+  }
+
+  // ---- counters (any thread) -------------------------------------------------
+  std::uint64_t SamplesProcessed() const noexcept {
+    return samples_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t RawPoints() const noexcept {
+    return raw_points_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum class MsgKind : std::uint8_t { kSample, kCloseDay, kStop };
+  struct Msg {
+    MsgKind kind = MsgKind::kSample;
+    Sample sample;
+    std::int64_t day = 0;
+  };
+
+  void WorkerLoop();
+  void Store(const Sample& s);
+  tsdb::Database::SeriesHandle RttHandle(topo::LinkId link, topo::VpId vp,
+                                         bool far_side);
+  tsdb::Database::SeriesHandle LossHandle(topo::LinkId link, topo::VpId vp);
+
+  IngestShardConfig config_;
+  SpscRing<Msg> ring_;
+  std::thread worker_;
+  bool running_ = false;
+
+  // Worker-owned state; the collector reads the deposit slots only after
+  // the closed_through_ acquire/release handshake.
+  ShardEngine engine_;
+  tsdb::Database db_;
+  std::map<std::uint64_t, tsdb::Database::SeriesHandle> far_handles_;
+  std::map<std::uint64_t, tsdb::Database::SeriesHandle> near_handles_;
+  std::map<std::uint64_t, tsdb::Database::SeriesHandle> loss_handles_;
+  std::vector<VerdictRecord> day_verdicts_;
+  std::map<topo::LinkId, infer::DataQuality> quality_;
+
+  std::atomic<std::int64_t> closed_through_{
+      std::numeric_limits<std::int64_t>::min()};
+  std::atomic<std::uint64_t> samples_{0};
+  std::atomic<std::uint64_t> raw_points_{0};
+};
+
+}  // namespace manic::serve

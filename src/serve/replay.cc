@@ -1,0 +1,82 @@
+#include "serve/replay.h"
+
+#include <vector>
+
+namespace manic::serve {
+
+bool StreamWriter::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "wb");
+  failed_ = file_ == nullptr;
+  samples_ = 0;
+  return !failed_;
+}
+
+bool StreamWriter::WriteBatch(std::span<const Sample> samples) {
+  if (file_ == nullptr || failed_) return false;
+  const std::string frame = EncodeSubmitBatch(samples);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    failed_ = true;
+    return false;
+  }
+  samples_ += samples.size();
+  return true;
+}
+
+bool StreamWriter::Close() {
+  if (file_ == nullptr) return !failed_;
+  if (std::fclose(file_) != 0) failed_ = true;
+  file_ = nullptr;
+  return !failed_;
+}
+
+ReplayStats ReplayFile(CongestionService* service, const std::string& path) {
+  ReplayStats stats;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    stats.error = "cannot open stream file";
+    return stats;
+  }
+
+  FrameAssembler assembler;
+  std::vector<Sample> batch;
+  char buf[65536];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), file);
+    if (n == 0) break;
+    assembler.Feed(std::string_view(buf, n));
+    MsgType type;
+    std::string payload;
+    while (assembler.Next(&type, &payload)) {
+      if (type != MsgType::kSubmitBatch ||
+          !DecodeSubmitBatch(payload, &batch)) {
+        stats.error = "stream contains a non-submit or malformed frame";
+        std::fclose(file);
+        return stats;
+      }
+      ++stats.frames;
+      stats.samples += batch.size();
+      service->SubmitBatch(batch);
+    }
+    if (assembler.corrupt()) {
+      stats.error = "corrupt framing in stream file";
+      std::fclose(file);
+      return stats;
+    }
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    stats.error = "read error";
+    return stats;
+  }
+  if (assembler.buffered() != 0) {
+    stats.error = "truncated trailing frame";
+    return stats;
+  }
+  service->FinishStream();
+  stats.ok = true;
+  return stats;
+}
+
+}  // namespace manic::serve

@@ -1,0 +1,101 @@
+// Lock-free single-producer / single-consumer ring, the ingest lane between
+// the daemon's feed thread and each shard worker (the jittertrap
+// fixed-rate-sampling ring generalized to typed records). Indices are
+// monotonically increasing uint64s masked into a power-of-two slot array;
+// the producer owns tail_, the consumer owns head_, and each side reads the
+// other's index with acquire ordering, so a popped record is fully
+// constructed. Blocking variants park on C++20 atomic wait/notify — no
+// mutexes, no clocks, no spinning under contention.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace manic::serve {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  // Approximate occupancy (exact when called from either endpoint's thread).
+  std::size_t SizeApprox() const noexcept {
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(t - h);
+  }
+
+  // ---- producer side --------------------------------------------------------
+  bool TryPush(const T& value) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    if (t - h == slots_.size()) return false;  // full
+    slots_[t & mask_] = value;
+    tail_.store(t + 1, std::memory_order_release);
+    tail_.notify_one();
+    return true;
+  }
+
+  // Blocks until the consumer makes room.
+  void Push(const T& value) {
+    for (;;) {
+      const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+      const std::uint64_t h = head_.load(std::memory_order_acquire);
+      if (t - h < slots_.size()) {
+        slots_[t & mask_] = value;
+        tail_.store(t + 1, std::memory_order_release);
+        tail_.notify_one();
+        return;
+      }
+      head_.wait(h, std::memory_order_acquire);
+    }
+  }
+
+  // ---- consumer side --------------------------------------------------------
+  bool TryPop(T* out) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    if (h == t) return false;  // empty
+    *out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    head_.notify_one();
+    return true;
+  }
+
+  // Blocks until the producer publishes a record.
+  T PopBlocking() {
+    for (;;) {
+      const std::uint64_t h = head_.load(std::memory_order_relaxed);
+      const std::uint64_t t = tail_.load(std::memory_order_acquire);
+      if (h != t) {
+        T out = std::move(slots_[h & mask_]);
+        head_.store(h + 1, std::memory_order_release);
+        head_.notify_one();
+        return out;
+      }
+      tail_.wait(t, std::memory_order_acquire);
+    }
+  }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace manic::serve

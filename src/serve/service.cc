@@ -1,0 +1,173 @@
+#include "serve/service.h"
+
+#include <algorithm>
+
+#include "stats/calendar.h"
+
+namespace manic::serve {
+
+CongestionService::CongestionService(ServiceConfig config)
+    : config_(config) {
+  if (config_.shards < 1) config_.shards = 1;
+  IngestShardConfig shard_config;
+  shard_config.engine = config_.engine;
+  shard_config.ring_capacity = config_.ring_capacity;
+  shard_config.store_raw = config_.store_raw;
+  shard_config.retention_horizon_s = config_.retention_horizon_s;
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<IngestShard>(shard_config));
+  }
+}
+
+CongestionService::~CongestionService() { Stop(); }
+
+void CongestionService::Start() {
+  if (running_) return;
+  running_ = true;
+  for (auto& shard : shards_) shard->Start();
+}
+
+void CongestionService::Stop() {
+  if (!running_) return;
+  for (auto& shard : shards_) shard->Stop();
+  running_ = false;
+}
+
+void CongestionService::Submit(const Sample& s) {
+  if (!saw_sample_) {
+    saw_sample_ = true;
+    watermark_t_ = s.t;
+    producer_last_closed_ = stats::DayOf(s.t) - 1;
+  }
+  shards_[s.link % shards_.size()]->PushSample(s);
+  samples_accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (s.t > watermark_t_) {
+    watermark_t_ = s.t;
+    // The watermark entered a new day: every earlier day is complete.
+    CloseThrough(stats::DayOf(watermark_t_) - 1);
+  }
+}
+
+void CongestionService::SubmitBatch(std::span<const Sample> samples) {
+  for (const Sample& s : samples) Submit(s);
+}
+
+void CongestionService::PollClock() {
+  if (config_.clock == nullptr) return;
+  const std::int64_t today = stats::DayOf(config_.clock->NowSec());
+  if (!saw_sample_) {
+    saw_sample_ = true;
+    producer_last_closed_ = today - 1;
+    return;
+  }
+  CloseThrough(today - 1);
+}
+
+std::int64_t CongestionService::FinishStream() {
+  if (saw_sample_) CloseThrough(stats::DayOf(watermark_t_));
+  return producer_last_closed_;
+}
+
+void CongestionService::CloseThrough(std::int64_t target_day) {
+  while (producer_last_closed_ < target_day) {
+    const std::int64_t day = producer_last_closed_ + 1;
+    // Broadcast the in-band close marker, then wait for every shard to
+    // deposit; collecting before the next close is what keeps the deposit
+    // slots race-free (see ingest.h).
+    for (auto& shard : shards_) shard->PushCloseDay(day);
+    std::vector<VerdictRecord> merged;
+    std::map<topo::LinkId, infer::DataQuality> quality;
+    for (auto& shard : shards_) {
+      shard->WaitClosed(day);
+      std::vector<VerdictRecord> part = shard->TakeDayVerdicts();
+      merged.insert(merged.end(), part.begin(), part.end());
+      for (const auto& [link, q] : shard->LatestQuality()) {
+        quality[link] = q;
+      }
+    }
+    // Each link lives on exactly one shard, so link order is a total order
+    // over the merged rows — the log is independent of the shard count.
+    std::sort(merged.begin(), merged.end(),
+              [](const VerdictRecord& a, const VerdictRecord& b) {
+                return a.link < b.link;
+              });
+    {
+      runtime::MutexLock lock(mu_);
+      for (const VerdictRecord& v : merged) {
+        log_ += FormatVerdictLine(v);
+        index_[v.link].push_back(v);
+        ++verdict_rows_;
+      }
+      for (const auto& [link, q] : quality) quality_[link] = q;
+      last_closed_day_ = day;
+      ++days_closed_;
+    }
+    producer_last_closed_ = day;
+  }
+}
+
+std::vector<VerdictRecord> CongestionService::QueryRange(topo::LinkId link,
+                                                         TimeSec t0,
+                                                         TimeSec t1) const {
+  std::vector<VerdictRecord> out;
+  const std::int64_t first_day = stats::DayOf(t0);
+  runtime::MutexLock lock(mu_);
+  const auto it = index_.find(link);
+  if (it == index_.end()) return out;
+  for (const VerdictRecord& v : it->second) {
+    if (v.day >= first_day && v.day * stats::kSecPerDay < t1) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::optional<VerdictRecord> CongestionService::QueryPoint(topo::LinkId link,
+                                                           TimeSec t) const {
+  const std::int64_t day = stats::DayOf(t);
+  runtime::MutexLock lock(mu_);
+  const auto it = index_.find(link);
+  if (it == index_.end()) return std::nullopt;
+  // Verdicts per link are appended in ascending day order; take the last
+  // one at or before t's day.
+  const auto& rows = it->second;
+  const auto pos = std::upper_bound(
+      rows.begin(), rows.end(), day,
+      [](std::int64_t d, const VerdictRecord& v) { return d < v.day; });
+  if (pos == rows.begin()) return std::nullopt;
+  return *(pos - 1);
+}
+
+std::optional<infer::DataQuality> CongestionService::QueryQuality(
+    topo::LinkId link) const {
+  runtime::MutexLock lock(mu_);
+  const auto it = quality_.find(link);
+  if (it == quality_.end()) return std::nullopt;
+  return it->second;
+}
+
+ServiceStats CongestionService::Stats() const {
+  ServiceStats stats;
+  stats.samples = samples_accepted_.load(std::memory_order_relaxed);
+  stats.shards = static_cast<std::uint32_t>(shards_.size());
+  for (const auto& shard : shards_) stats.raw_points += shard->RawPoints();
+  runtime::MutexLock lock(mu_);
+  stats.verdicts = verdict_rows_;
+  stats.links = index_.size();
+  stats.last_closed_day = last_closed_day_;
+  stats.days_closed = days_closed_;
+  return stats;
+}
+
+std::string CongestionService::VerdictLogText() const {
+  runtime::MutexLock lock(mu_);
+  return log_;
+}
+
+std::int64_t CongestionService::LastClosedDay() const {
+  runtime::MutexLock lock(mu_);
+  return last_closed_day_;
+}
+
+}  // namespace manic::serve

@@ -1,0 +1,114 @@
+// The always-on congestion service: N ingest shards behind a single-producer
+// submit path, a deterministic day-close protocol, and a thread-safe query
+// plane over the closed-day verdict index.
+//
+// Sharding: a link's samples always route to shard (link % shards), so each
+// shard holds complete per-link state and per-day verdicts merge by simple
+// concatenation + sort-by-link. Because every shard closes a day on its own
+// complete link set, the canonical verdict log is byte-identical at ANY
+// shard count — the headline replay guarantee, gated in CI.
+//
+// Day-close triggers:
+//   stream mode  a submitted sample whose timestamp enters day d+1 closes
+//                day d (the watermark advanced past it);
+//   live mode    PollClock() closes every day that ended before clock-now;
+//   end of stream FinishStream() closes through the watermark day itself.
+// All three funnel into the same CloseThrough: push an in-band kCloseDay
+// marker to every shard, wait for each shard's acknowledgment, collect and
+// merge the deposited verdicts, append to the log. Submit and the close
+// path are single-producer (one thread — the daemon event loop); queries
+// may come from any thread.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <span>
+#include <vector>
+
+#include "infer/data_quality.h"
+#include "runtime/clock.h"
+#include "runtime/thread_annotations.h"
+#include "serve/codec.h"
+#include "serve/engine.h"
+#include "serve/ingest.h"
+#include "serve/sample.h"
+#include "serve/verdict.h"
+
+namespace manic::serve {
+
+inline constexpr std::int64_t kNoDayClosed =
+    std::numeric_limits<std::int64_t>::min();
+
+struct ServiceConfig {
+  int shards = 1;
+  std::size_t ring_capacity = 1 << 14;
+  EngineConfig engine;
+  bool store_raw = true;
+  TimeSec retention_horizon_s = 0;  // 0 = keep every raw point
+  // Live-mode event clock for PollClock(); leave null for pure stream mode
+  // (replay), where day boundaries come from sample timestamps only.
+  runtime::Clock* clock = nullptr;
+};
+
+class CongestionService {
+ public:
+  explicit CongestionService(ServiceConfig config = {});
+  ~CongestionService();
+
+  CongestionService(const CongestionService&) = delete;
+  CongestionService& operator=(const CongestionService&) = delete;
+
+  void Start();
+  void Stop();
+
+  // ---- ingest (single producer thread) --------------------------------------
+  void Submit(const Sample& s);
+  void SubmitBatch(std::span<const Sample> samples);
+  // Live mode: closes every day that ended before the configured clock's
+  // now. No-op without a clock.
+  void PollClock();
+  // Stream mode: closes through the watermark day (the newest day any
+  // submitted sample touched). Returns the last closed day.
+  std::int64_t FinishStream();
+
+  // ---- queries (any thread) --------------------------------------------------
+  std::vector<VerdictRecord> QueryRange(topo::LinkId link, TimeSec t0,
+                                        TimeSec t1) const;
+  // Latest verdict at or before time t for the link.
+  std::optional<VerdictRecord> QueryPoint(topo::LinkId link, TimeSec t) const;
+  std::optional<infer::DataQuality> QueryQuality(topo::LinkId link) const;
+  ServiceStats Stats() const;
+  // The canonical, append-only verdict log (FormatVerdictLine rows, days in
+  // close order, links ascending within a day) — what the replay gate diffs.
+  std::string VerdictLogText() const;
+  std::int64_t LastClosedDay() const;  // kNoDayClosed before the first close
+
+  int shards() const noexcept { return static_cast<int>(shards_.size()); }
+
+ private:
+  void CloseThrough(std::int64_t target_day);
+
+  ServiceConfig config_;
+  std::vector<std::unique_ptr<IngestShard>> shards_;
+  bool running_ = false;
+
+  // Producer-thread state (no lock: Submit/FinishStream are single-producer).
+  bool saw_sample_ = false;
+  TimeSec watermark_t_ = 0;
+  std::int64_t producer_last_closed_ = kNoDayClosed;
+  std::atomic<std::uint64_t> samples_accepted_{0};
+
+  mutable runtime::Mutex mu_;
+  std::string log_ GUARDED_BY(mu_);
+  std::map<topo::LinkId, std::vector<VerdictRecord>> index_ GUARDED_BY(mu_);
+  std::map<topo::LinkId, infer::DataQuality> quality_ GUARDED_BY(mu_);
+  std::uint64_t verdict_rows_ GUARDED_BY(mu_) = 0;
+  std::int64_t last_closed_day_ GUARDED_BY(mu_) = kNoDayClosed;
+  std::int64_t days_closed_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace manic::serve

@@ -1,0 +1,121 @@
+#include "serve/session.h"
+
+namespace manic::serve {
+
+bool Session::Consume(std::string_view bytes, std::string* out) {
+  if (dead_) return false;
+  assembler_.Feed(bytes);
+  MsgType type;
+  std::string payload;
+  while (assembler_.Next(&type, &payload)) {
+    ++frames_;
+    if (!Dispatch(type, payload, out)) {
+      dead_ = true;
+      return false;
+    }
+  }
+  if (assembler_.corrupt()) {
+    out->append(EncodeError(kErrCorruptStream, "unparseable frame"));
+    dead_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool Session::Dispatch(MsgType type, std::string_view payload,
+                       std::string* out) {
+  if (!hello_done_ && type != MsgType::kHello) {
+    out->append(EncodeError(kErrUnexpected, "expected hello"));
+    return false;
+  }
+  switch (type) {
+    case MsgType::kHello: {
+      std::uint32_t version = 0;
+      if (!DecodeHello(payload, &version)) {
+        out->append(EncodeError(kErrMalformed, "bad hello"));
+        return false;
+      }
+      if (version != kProtocolVersion) {
+        out->append(EncodeError(kErrBadVersion, "unsupported version"));
+        return false;
+      }
+      hello_done_ = true;
+      out->append(
+          EncodeHelloAck(static_cast<std::uint32_t>(service_->shards())));
+      return true;
+    }
+    case MsgType::kSubmitBatch: {
+      std::vector<Sample> samples;
+      if (!DecodeSubmitBatch(payload, &samples)) {
+        out->append(EncodeError(kErrMalformed, "bad submit batch"));
+        return false;
+      }
+      service_->SubmitBatch(samples);
+      out->append(EncodeSubmitAck(samples.size()));
+      return true;
+    }
+    case MsgType::kQueryPoint: {
+      topo::LinkId link = 0;
+      TimeSec t = 0;
+      if (!DecodeQueryPoint(payload, &link, &t)) {
+        out->append(EncodeError(kErrMalformed, "bad point query"));
+        return false;
+      }
+      std::vector<VerdictRecord> rows;
+      if (const auto v = service_->QueryPoint(link, t)) rows.push_back(*v);
+      out->append(EncodeVerdicts(rows));
+      return true;
+    }
+    case MsgType::kQueryRange: {
+      topo::LinkId link = 0;
+      TimeSec t0 = 0, t1 = 0;
+      if (!DecodeQueryRange(payload, &link, &t0, &t1)) {
+        out->append(EncodeError(kErrMalformed, "bad range query"));
+        return false;
+      }
+      out->append(EncodeVerdicts(service_->QueryRange(link, t0, t1)));
+      return true;
+    }
+    case MsgType::kQueryQuality: {
+      topo::LinkId link = 0;
+      if (!DecodeQueryQuality(payload, &link)) {
+        out->append(EncodeError(kErrMalformed, "bad quality query"));
+        return false;
+      }
+      const auto q = service_->QueryQuality(link);
+      out->append(EncodeQuality(q.has_value(),
+                                q.value_or(infer::DataQuality{})));
+      return true;
+    }
+    case MsgType::kQueryStats: {
+      if (!payload.empty()) {
+        out->append(EncodeError(kErrMalformed, "bad stats query"));
+        return false;
+      }
+      out->append(EncodeStats(service_->Stats()));
+      return true;
+    }
+    case MsgType::kFlush: {
+      if (!payload.empty()) {
+        out->append(EncodeError(kErrMalformed, "bad flush"));
+        return false;
+      }
+      out->append(EncodeFlushAck(service_->FinishStream()));
+      return true;
+    }
+    // Server-to-client types arriving at the server are protocol violations.
+    case MsgType::kHelloAck:
+    case MsgType::kSubmitAck:
+    case MsgType::kVerdicts:
+    case MsgType::kQuality:
+    case MsgType::kStats:
+    case MsgType::kFlushAck:
+    case MsgType::kError:
+      out->append(EncodeError(kErrUnexpected, "client sent a server frame"));
+      return false;
+  }
+  out->append(EncodeError(kErrUnexpected, "unknown frame"));
+  return false;
+}
+
+}  // namespace manic::serve

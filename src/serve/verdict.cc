@@ -1,0 +1,21 @@
+#include "serve/verdict.h"
+
+#include <cstdio>
+
+namespace manic::serve {
+
+std::string FormatVerdictLine(const VerdictRecord& v) {
+  char buf[192];
+  const int n = std::snprintf(
+      buf, sizeof(buf),
+      "day=%lld link=%lu recurring=%d congested=%d frac=%.9f vps=%lu/%lu "
+      "quality=%d farcov=%.6f\n",
+      static_cast<long long>(v.day), static_cast<unsigned long>(v.link),
+      v.recurring ? 1 : 0, v.congested ? 1 : 0, v.fraction,
+      static_cast<unsigned long>(v.asserting),
+      static_cast<unsigned long>(v.contributors), v.quality_ok ? 1 : 0,
+      v.far_coverage_frac);
+  return std::string(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
+}
+
+}  // namespace manic::serve

@@ -50,26 +50,38 @@ std::string TagSet::Canonical() const {
   return out;
 }
 
-void Database::Write(std::string_view measurement, const TagSet& tags,
-                     TimeSec t, double value) {
+Database::Series& Database::ResolveSeries(std::string_view measurement,
+                                          const TagSet& tags) {
   auto& table = tables_[std::string(measurement)];
   const std::string key = tags.Canonical();
   auto it = table.find(key);
   if (it == table.end()) {
     it = table.emplace(key, Series{tags, {}, {}}).first;
   }
-  it->second.data.Append(t, value);
+  return it->second;
+}
+
+void Database::Write(std::string_view measurement, const TagSet& tags,
+                     TimeSec t, double value) {
+  ResolveSeries(measurement, tags).data.Append(t, value);
 }
 
 void Database::WriteMissing(std::string_view measurement, const TagSet& tags,
                             TimeSec t) {
-  auto& table = tables_[std::string(measurement)];
-  const std::string key = tags.Canonical();
-  auto it = table.find(key);
-  if (it == table.end()) {
-    it = table.emplace(key, Series{tags, {}, {}}).first;
-  }
-  it->second.missing.Append(t, 0.0);
+  ResolveSeries(measurement, tags).missing.Append(t, 0.0);
+}
+
+Database::SeriesHandle Database::OpenSeries(std::string_view measurement,
+                                            const TagSet& tags) {
+  return SeriesHandle(&ResolveSeries(measurement, tags));
+}
+
+void Database::Append(SeriesHandle handle, TimeSec t, double value) {
+  if (handle.series_ != nullptr) handle.series_->data.Append(t, value);
+}
+
+void Database::AppendMissing(SeriesHandle handle, TimeSec t) {
+  if (handle.series_ != nullptr) handle.series_->missing.Append(t, 0.0);
 }
 
 Database::CoverageStats Database::Coverage(std::string_view measurement,

@@ -54,11 +54,36 @@ struct SeriesRef {
 // BufferedWriter (writer.h), which drains here in canonical order on one
 // thread.
 class Database {
+ private:
+  struct Series;
+
  public:
   // Appends one point to the series (measurement, tags). Creates the series
   // on first write. Timestamps within one series must be non-decreasing.
   void Write(std::string_view measurement, const TagSet& tags, TimeSec t,
              double value);
+
+  // ---- streaming append path ----------------------------------------------
+  // The per-sample ingest path (src/serve) appends millions of points into a
+  // handful of series; re-canonicalizing the tag set and re-walking two maps
+  // per point would dominate. OpenSeries resolves (measurement, tags) once —
+  // creating the series if needed — and hands back a handle whose appends
+  // are O(1) amortized. Handles stay valid for the Database's lifetime
+  // (series nodes are never erased; EnforceRetention only trims points).
+  class SeriesHandle {
+   public:
+    SeriesHandle() = default;
+    explicit operator bool() const noexcept { return series_ != nullptr; }
+
+   private:
+    friend class Database;
+    explicit SeriesHandle(Series* series) : series_(series) {}
+    Series* series_ = nullptr;
+  };
+  SeriesHandle OpenSeries(std::string_view measurement, const TagSet& tags);
+  // Same timestamp contract as Write/WriteMissing: non-decreasing per series.
+  void Append(SeriesHandle handle, TimeSec t, double value);
+  void AppendMissing(SeriesHandle handle, TimeSec t);
 
   // Marks time t of the series as probed-but-unanswered: the collector was
   // alive and scheduled the measurement, but nothing came back. Gap markers
@@ -136,6 +161,7 @@ class Database {
     // timestamp contract as `data`.
     stats::TimeSeries missing;
   };
+  Series& ResolveSeries(std::string_view measurement, const TagSet& tags);
   // measurement -> canonical tag string -> series
   std::map<std::string, std::map<std::string, Series>, std::less<>> tables_;
 };

@@ -9,6 +9,7 @@
 #include "infer/autocorr.h"
 #include "infer/level_shift.h"
 #include "infer/rolling.h"
+#include "infer/streaming.h"
 #include "stats/rng.h"
 
 namespace manic::infer {
@@ -374,6 +375,168 @@ TEST(Rolling, DetectsOnsetOfCongestion) {
   // Needs min_elevated_days (7) days of evidence after onset at day 50.
   ASSERT_GE(first_congested_day, 50 + cfg.min_elevated_days - 1);
   EXPECT_LE(first_congested_day, 50 + cfg.min_elevated_days + 2);
+}
+
+// ---------------------------------------------------------- streaming state
+
+constexpr float kNaNf = std::numeric_limits<float>::quiet_NaN();
+
+// Random day rows for the streaming tests: ~`missing` of bins NaN, a few
+// all-missing days sprinkled in for churn.
+std::vector<float> RandomRow(stats::Rng& rng, int intervals, double missing) {
+  std::vector<float> row(static_cast<std::size_t>(intervals));
+  for (auto& v : row) {
+    v = rng.NextDouble() < missing
+            ? kNaNf
+            : static_cast<float>(10.0 + rng.NextDouble());
+  }
+  return row;
+}
+
+// Segment-merge exactness: Append()ing tallies over adjacent day ranges must
+// equal one tally streamed over the union — the invariant the sharded study
+// path and the serving plane's per-shard quality snapshots both rely on.
+TEST(QualityTally, AppendEqualsStreamingOverTheUnion) {
+  stats::Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int days = 1 + static_cast<int>(rng.UniformInt(12));
+    const int split = static_cast<int>(
+        rng.UniformInt(static_cast<std::uint64_t>(days) + 1));
+    const double missing = trial % 5 == 0 ? 1.0 : 0.3;  // some all-missing
+    QualityTally whole, left, right;
+    for (int d = 0; d < days; ++d) {
+      const auto far = RandomRow(rng, 24, missing);
+      const auto near = RandomRow(rng, 24, missing);
+      whole.AddDay(far, near);
+      (d < split ? left : right).AddDay(far, near);
+    }
+    left.Append(right);
+    EXPECT_EQ(left.far_present, whole.far_present);
+    EXPECT_EQ(left.far_total, whole.far_total);
+    EXPECT_EQ(left.near_present, whole.near_present);
+    EXPECT_EQ(left.max_gap, whole.max_gap);
+    EXPECT_EQ(left.prefix_gap, whole.prefix_gap);
+    EXPECT_EQ(left.suffix_gap, whole.suffix_gap);
+    EXPECT_EQ(left.days_observed, whole.days_observed);
+    EXPECT_EQ(left.churn, whole.churn);
+    EXPECT_EQ(left.any_bin, whole.any_bin);
+  }
+}
+
+TEST(QualityTally, GapSpansDayBoundaries) {
+  QualityTally t;
+  // Day 1: present until the last 3 bins; day 2: first 5 bins missing.
+  std::vector<float> d1(24, 10.0f), d2(24, 10.0f), near(24, 5.0f);
+  for (int i = 21; i < 24; ++i) d1[static_cast<std::size_t>(i)] = kNaNf;
+  for (int i = 0; i < 5; ++i) d2[static_cast<std::size_t>(i)] = kNaNf;
+  t.AddDay(d1, near);
+  t.AddDay(d2, near);
+  EXPECT_EQ(t.max_gap, 8);  // 3 trailing + 5 leading, one run
+  EXPECT_EQ(t.days_observed, 2);
+  EXPECT_EQ(t.churn, 0);
+}
+
+TEST(LinkQualityAccumulator, FoldsVpsLikeTheDriverRollup) {
+  QualityTally a, b;
+  std::vector<float> full(24, 10.0f), near(24, 5.0f);
+  std::vector<float> holey(24, 10.0f);
+  for (int i = 4; i < 14; ++i) holey[static_cast<std::size_t>(i)] = kNaNf;
+  a.AddDay(full, near);
+  a.AddDay(full, near);
+  b.AddDay(holey, near);
+  LinkQualityAccumulator acc;
+  acc.Add(a);
+  acc.Add(b);
+  const DataQuality q = acc.Finish(2);
+  // Coverage sums across VPs; gap is the worst single-VP gap; days_observed
+  // is the best-informed VP's count; total_days comes from the caller.
+  EXPECT_DOUBLE_EQ(q.far_coverage_frac, (48.0 + 14.0) / 72.0);
+  EXPECT_EQ(q.longest_gap_intervals, 10);
+  EXPECT_EQ(q.days_observed, 2);
+  EXPECT_EQ(q.total_days, 2);
+  EXPECT_EQ(q.vp_churn_events, 0);
+}
+
+// The serving plane's core equivalence: a StreamingClassifier fed one sample
+// at a time (out-of-order intervals, duplicate slots, NaN markers) must
+// classify every day exactly as a RollingAutocorr fed whole rows.
+TEST(StreamingClassifier, MatchesRollingAutocorrSampleBySample) {
+  AutocorrConfig cfg;
+  cfg.window_days = 8;
+  cfg.intervals_per_day = 24;
+  cfg.bin_width = 3600;
+  cfg.min_elevated_days = 3;
+  StreamingClassifier streaming(cfg);
+  RollingAutocorr rolling(cfg);
+  QualityTally reference_quality;
+
+  stats::Rng rng(77);
+  for (std::int64_t day = 0; day < 30; ++day) {
+    std::vector<float> far = RandomRow(rng, 24, 0.1);
+    std::vector<float> near = RandomRow(rng, 24, 0.1);
+    // Evening elevation on most days.
+    if (day % 5 != 0) {
+      for (int s = 18; s < 21; ++s) {
+        if (!std::isnan(far[static_cast<std::size_t>(s)])) {
+          far[static_cast<std::size_t>(s)] += 20.0f;
+        }
+      }
+    }
+    // Feed in a scrambled interval order, near before far, with a duplicate
+    // higher value that the min-aggregation must ignore.
+    std::vector<int> order(24);
+    for (int s = 0; s < 24; ++s) order[static_cast<std::size_t>(s)] = s;
+    for (int s = 23; s > 0; --s) {
+      std::swap(order[static_cast<std::size_t>(s)],
+                order[rng.UniformInt(static_cast<std::uint64_t>(s) + 1)]);
+    }
+    for (const int s : order) {
+      const float f = far[static_cast<std::size_t>(s)];
+      const float n = near[static_cast<std::size_t>(s)];
+      streaming.AddSample(day, s, /*far_side=*/false, n);
+      streaming.AddSample(day, s, /*far_side=*/true, f);
+      if (!std::isnan(f)) {
+        streaming.AddSample(day, s, /*far_side=*/true, f + 5.0f);  // dup, worse
+      }
+    }
+    rolling.AddDay(far, near);
+    reference_quality.AddDay(far, near);
+
+    const auto outcome = streaming.CloseDay(day);
+    ASSERT_TRUE(outcome.observed);
+    ASSERT_EQ(outcome.classification.has_value(), rolling.WindowFull());
+    if (!outcome.classification) continue;
+    const DayClassification want = rolling.Classify();
+    const DayClassification& got = *outcome.classification;
+    EXPECT_EQ(got.recurring, want.recurring);
+    EXPECT_EQ(got.congested, want.congested);
+    EXPECT_DOUBLE_EQ(got.fraction, want.fraction);
+    EXPECT_EQ(got.window_start, want.window_start);
+    EXPECT_EQ(got.window_len, want.window_len);
+  }
+  EXPECT_EQ(streaming.quality().far_present, reference_quality.far_present);
+  EXPECT_EQ(streaming.quality().max_gap, reference_quality.max_gap);
+  EXPECT_EQ(streaming.quality().churn, reference_quality.churn);
+}
+
+TEST(StreamingClassifier, UnobservedDaysCloseAsNoOps) {
+  AutocorrConfig cfg;
+  cfg.window_days = 4;
+  cfg.intervals_per_day = 24;
+  cfg.bin_width = 3600;
+  StreamingClassifier streaming(cfg);
+  // Day 0 observed, day 1 invisible, day 2 observed.
+  streaming.AddSample(0, 3, true, 10.0f);
+  streaming.AddSample(0, 3, false, 5.0f);
+  EXPECT_TRUE(streaming.CloseDay(0).observed);
+  EXPECT_FALSE(streaming.CloseDay(1).observed);
+  streaming.AddSample(2, 7, true, 11.0f);
+  EXPECT_TRUE(streaming.CloseDay(2).observed);
+  // Invisible days contribute nothing: two days held, no quality rows for
+  // day 1, and a churn count of zero (invisible != observed-empty).
+  EXPECT_EQ(streaming.DaysHeld(), 2);
+  EXPECT_EQ(streaming.quality().days_observed, 2);
+  EXPECT_EQ(streaming.OpenDays(), 0u);
 }
 
 }  // namespace
