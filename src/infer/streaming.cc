@@ -43,6 +43,9 @@ void StreamingClassifier::AddSample(std::int64_t day, int interval,
 StreamingClassifier::DayOutcome StreamingClassifier::CloseDay(
     std::int64_t day) {
   DayOutcome outcome;
+  // Days close in ascending order, so any earlier day still open here can
+  // never be finalized — evict its bins rather than hold them forever.
+  open_.erase(open_.begin(), open_.lower_bound(day));
   const auto it = open_.find(day);
   if (it == open_.end()) return outcome;  // invisible day: nothing recorded
   outcome.observed = true;

@@ -394,6 +394,8 @@ std::string EncodeStats(const ServiceStats& stats) {
   e.PutI64(stats.days_closed);
   e.PutU32(stats.shards);
   e.PutU64(stats.raw_points);
+  e.PutU64(stats.samples_late);
+  e.PutU64(stats.samples_rejected);
   return EncodeFrame(MsgType::kStats, e.data());
 }
 
@@ -402,14 +404,17 @@ bool DecodeStats(std::string_view payload, ServiceStats* stats) {
   return d.GetU64(&stats->samples) && d.GetU64(&stats->verdicts) &&
          d.GetU64(&stats->links) && d.GetI64(&stats->last_closed_day) &&
          d.GetI64(&stats->days_closed) && d.GetU32(&stats->shards) &&
-         d.GetU64(&stats->raw_points) && d.AtEnd();
+         d.GetU64(&stats->raw_points) && d.GetU64(&stats->samples_late) &&
+         d.GetU64(&stats->samples_rejected) && d.AtEnd();
 }
 
 std::string EncodeError(std::uint16_t code, std::string_view message) {
+  // Clamp before encoding the length so the field never wraps.
+  const std::string_view clamped = message.substr(0, 0xFFFF);
   Encoder e;
   e.PutU16(code);
-  e.PutU16(static_cast<std::uint16_t>(message.size()));
-  e.PutBytes(message.substr(0, 0xFFFF));
+  e.PutU16(static_cast<std::uint16_t>(clamped.size()));
+  e.PutBytes(clamped);
   return EncodeFrame(MsgType::kError, e.data());
 }
 

@@ -59,6 +59,8 @@ struct ServiceStats {
   std::int64_t days_closed = 0;
   std::uint32_t shards = 0;
   std::uint64_t raw_points = 0;     // points retained in the shard tsdbs
+  std::uint64_t samples_late = 0;      // dropped: day already closed
+  std::uint64_t samples_rejected = 0;  // dropped: timestamp out of bounds
 
   friend bool operator==(const ServiceStats&, const ServiceStats&) = default;
 };

@@ -107,6 +107,10 @@ void TcpDaemon::HandleReadable(Conn* conn) {
         conn->closing = true;
         return;
       }
+      if (conn->outbox.size() > max_outbox_bytes_) {
+        conn->closing = true;  // unreading peer: shed it, don't buffer it
+        return;
+      }
       if (n < static_cast<ssize_t>(sizeof(buf))) return;
       continue;
     }

@@ -44,6 +44,12 @@ class TcpDaemon {
   // Thread-safe; wakes the loop through the self-pipe.
   void Shutdown();
 
+  // Per-connection pending-reply cap: a peer that pipelines requests
+  // without reading its replies is dropped (after one best-effort flush)
+  // once this many bytes are queued, so one slow or malicious reader
+  // cannot exhaust daemon memory. Set before Run().
+  void set_max_outbox_bytes(std::size_t n) noexcept { max_outbox_bytes_ = n; }
+
  private:
   struct Conn {
     int fd = -1;
@@ -63,6 +69,7 @@ class TcpDaemon {
   int wake_write_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
+  std::size_t max_outbox_bytes_ = 4u << 20;
   std::vector<Conn*> conns_;
 };
 

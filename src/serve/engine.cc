@@ -10,10 +10,17 @@ namespace manic::serve {
 ShardEngine::ShardEngine(EngineConfig config) : config_(config) {}
 
 void ShardEngine::Ingest(const Sample& s) {
-  ++samples_;
-  if (s.kind == SampleKind::kLossRate) return;
+  if (s.kind == SampleKind::kLossRate) {
+    ++samples_;
+    return;
+  }
 
   const std::int64_t day = stats::DayOf(s.t);
+  if (has_closed_ && day <= closed_through_) {
+    ++late_;
+    return;
+  }
+  ++samples_;
   const std::int64_t within = s.t - day * stats::kSecPerDay;
   int interval = static_cast<int>(within / config_.autocorr.bin_width);
   if (interval < 0) interval = 0;
@@ -39,6 +46,14 @@ void ShardEngine::Ingest(const Sample& s) {
 }
 
 std::vector<VerdictRecord> ShardEngine::CloseDay(std::int64_t day) {
+  has_closed_ = true;
+  closed_through_ = day;
+  // Study day-count for the quality grade, saturated so an extreme day
+  // index cannot overflow the int cast.
+  const int total_days =
+      day >= static_cast<std::int64_t>(std::numeric_limits<int>::max())
+          ? std::numeric_limits<int>::max()
+          : static_cast<int>(day) + 1;
   std::vector<VerdictRecord> verdicts;
   for (auto& [link, per_vp] : links_) {
     double fraction_sum = 0.0;
@@ -75,7 +90,7 @@ std::vector<VerdictRecord> ShardEngine::CloseDay(std::int64_t day) {
         asserting > 0 ? fraction_sum / static_cast<double>(asserting) : 0.0;
     v.congested = v.fraction >= config_.congested_threshold_frac;
     if (measured && day >= 0) {
-      const infer::DataQuality q = acc.Finish(static_cast<int>(day) + 1);
+      const infer::DataQuality q = acc.Finish(total_days);
       v.quality_ok = q.Acceptable(config_.autocorr.quality);
       v.far_coverage_frac = q.far_coverage_frac;
     }

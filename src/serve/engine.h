@@ -54,6 +54,11 @@ class ShardEngine {
       int total_days) const;
 
   std::uint64_t samples_ingested() const noexcept { return samples_; }
+  // Samples dropped because their day was already closed (a closed day can
+  // never be finalized again, so binning them would only leak open-day
+  // state). The service filters these upstream; this is the engine's own
+  // guard for direct users.
+  std::uint64_t late_samples() const noexcept { return late_; }
   std::size_t links_tracked() const noexcept { return links_.size(); }
 
  private:
@@ -61,6 +66,9 @@ class ShardEngine {
   std::map<topo::LinkId, std::map<topo::VpId, infer::StreamingClassifier>>
       links_;
   std::uint64_t samples_ = 0;
+  std::uint64_t late_ = 0;
+  bool has_closed_ = false;
+  std::int64_t closed_through_ = 0;
 };
 
 }  // namespace manic::serve

@@ -1,5 +1,7 @@
 #include "serve/ingest.h"
 
+#include <algorithm>
+#include <limits>
 #include <string>
 
 namespace manic::serve {
@@ -77,8 +79,14 @@ void IngestShard::WorkerLoop() {
         break;
       case MsgKind::kCloseDay: {
         day_verdicts_ = engine_.CloseDay(msg.day);
+        // Saturate the study day-count so an extreme day index cannot
+        // overflow the int cast.
         quality_ = engine_.QualitySnapshot(
-            msg.day >= 0 ? static_cast<int>(msg.day) + 1 : 0);
+            msg.day >= 0
+                ? static_cast<int>(std::min<std::int64_t>(
+                      msg.day, std::numeric_limits<int>::max() - 1)) +
+                      1
+                : 0);
         if (config_.store_raw && config_.retention_horizon_s > 0) {
           const std::size_t dropped =
               db_.EnforceRetention("tslp_rtt", config_.retention_horizon_s) +

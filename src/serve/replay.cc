@@ -56,7 +56,12 @@ ReplayStats ReplayFile(CongestionService* service, const std::string& path) {
       }
       ++stats.frames;
       stats.samples += batch.size();
-      service->SubmitBatch(batch);
+      const SubmitSummary summary = service->SubmitBatch(batch);
+      if (summary.rejected != 0) {
+        stats.error = "stream contains out-of-bounds sample timestamps";
+        std::fclose(file);
+        return stats;
+      }
     }
     if (assembler.corrupt()) {
       stats.error = "corrupt framing in stream file";

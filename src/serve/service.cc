@@ -34,11 +34,35 @@ void CongestionService::Stop() {
   running_ = false;
 }
 
-void CongestionService::Submit(const Sample& s) {
+SubmitOutcome CongestionService::Submit(const Sample& s) {
+  const std::int64_t day = stats::DayOf(s.t);
+  // Admission bounds: the timestamp came off the wire, and an accepted
+  // sample moves the watermark — which CloseThrough then walks day by day.
+  // Anything absurdly far out (absolutely, or relative to the watermark /
+  // live clock) is a hostile or broken producer, not data.
+  bool rejected = day < -kMaxAbsSampleDay || day > kMaxAbsSampleDay;
+  if (!rejected && saw_sample_ &&
+      day > stats::DayOf(watermark_t_) + config_.max_day_jump) {
+    rejected = true;
+  }
+  if (!rejected && config_.clock != nullptr &&
+      day > stats::DayOf(config_.clock->NowSec()) + config_.max_day_jump) {
+    rejected = true;
+  }
+  if (rejected) {
+    samples_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return SubmitOutcome::kRejected;
+  }
   if (!saw_sample_) {
     saw_sample_ = true;
     watermark_t_ = s.t;
-    producer_last_closed_ = stats::DayOf(s.t) - 1;
+    producer_last_closed_ = day - 1;
+  }
+  if (day <= producer_last_closed_) {
+    // The day already closed: its verdict shipped, and the shards would
+    // hold its bins open forever. Drop and count.
+    samples_late_.fetch_add(1, std::memory_order_relaxed);
+    return SubmitOutcome::kLate;
   }
   shards_[s.link % shards_.size()]->PushSample(s);
   samples_accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -47,10 +71,25 @@ void CongestionService::Submit(const Sample& s) {
     // The watermark entered a new day: every earlier day is complete.
     CloseThrough(stats::DayOf(watermark_t_) - 1);
   }
+  return SubmitOutcome::kAccepted;
 }
 
-void CongestionService::SubmitBatch(std::span<const Sample> samples) {
-  for (const Sample& s : samples) Submit(s);
+SubmitSummary CongestionService::SubmitBatch(std::span<const Sample> samples) {
+  SubmitSummary summary;
+  for (const Sample& s : samples) {
+    switch (Submit(s)) {
+      case SubmitOutcome::kAccepted:
+        ++summary.accepted;
+        break;
+      case SubmitOutcome::kLate:
+        ++summary.late;
+        break;
+      case SubmitOutcome::kRejected:
+        ++summary.rejected;
+        break;
+    }
+  }
+  return summary;
 }
 
 void CongestionService::PollClock() {
@@ -150,6 +189,8 @@ std::optional<infer::DataQuality> CongestionService::QueryQuality(
 ServiceStats CongestionService::Stats() const {
   ServiceStats stats;
   stats.samples = samples_accepted_.load(std::memory_order_relaxed);
+  stats.samples_late = samples_late_.load(std::memory_order_relaxed);
+  stats.samples_rejected = samples_rejected_.load(std::memory_order_relaxed);
   stats.shards = static_cast<std::uint32_t>(shards_.size());
   for (const auto& shard : shards_) stats.raw_points += shard->RawPoints();
   runtime::MutexLock lock(mu_);

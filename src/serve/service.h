@@ -43,6 +43,12 @@ namespace manic::serve {
 inline constexpr std::int64_t kNoDayClosed =
     std::numeric_limits<std::int64_t>::min();
 
+// Absolute sanity bound on a sample's day index (~2700 years either side of
+// the study epoch). Wire timestamps are untrusted: without a bound, one
+// frame with t near INT64_MAX would make CloseThrough walk ~1e14 days and
+// overflow the int day-count casts downstream.
+inline constexpr std::int64_t kMaxAbsSampleDay = 1'000'000;
+
 struct ServiceConfig {
   int shards = 1;
   std::size_t ring_capacity = 1 << 14;
@@ -52,6 +58,26 @@ struct ServiceConfig {
   // Live-mode event clock for PollClock(); leave null for pure stream mode
   // (replay), where day boundaries come from sample timestamps only.
   runtime::Clock* clock = nullptr;
+  // A sample may run at most this many days ahead of the stream watermark
+  // (and, in live mode, the clock) before it is rejected as implausible.
+  // Bounds the work one submit frame can trigger: CloseThrough advances at
+  // most this many days per accepted sample.
+  std::int64_t max_day_jump = 366;
+};
+
+// What Submit did with one sample. kLate and kRejected samples are dropped
+// and counted (ServiceStats); kRejected additionally marks a misbehaving
+// producer — the session layer drops the connection.
+enum class SubmitOutcome : std::uint8_t {
+  kAccepted,
+  kLate,      // day at or before the last closed day
+  kRejected,  // timestamp outside the admission bounds
+};
+
+struct SubmitSummary {
+  std::uint64_t accepted = 0;
+  std::uint64_t late = 0;
+  std::uint64_t rejected = 0;
 };
 
 class CongestionService {
@@ -66,8 +92,8 @@ class CongestionService {
   void Stop();
 
   // ---- ingest (single producer thread) --------------------------------------
-  void Submit(const Sample& s);
-  void SubmitBatch(std::span<const Sample> samples);
+  SubmitOutcome Submit(const Sample& s);
+  SubmitSummary SubmitBatch(std::span<const Sample> samples);
   // Live mode: closes every day that ended before the configured clock's
   // now. No-op without a clock.
   void PollClock();
@@ -101,6 +127,8 @@ class CongestionService {
   TimeSec watermark_t_ = 0;
   std::int64_t producer_last_closed_ = kNoDayClosed;
   std::atomic<std::uint64_t> samples_accepted_{0};
+  std::atomic<std::uint64_t> samples_late_{0};
+  std::atomic<std::uint64_t> samples_rejected_{0};
 
   mutable runtime::Mutex mu_;
   std::string log_ GUARDED_BY(mu_);

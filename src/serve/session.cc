@@ -50,8 +50,18 @@ bool Session::Dispatch(MsgType type, std::string_view payload,
         out->append(EncodeError(kErrMalformed, "bad submit batch"));
         return false;
       }
-      service_->SubmitBatch(samples);
-      out->append(EncodeSubmitAck(samples.size()));
+      const SubmitSummary summary = service_->SubmitBatch(samples);
+      if (summary.rejected != 0) {
+        // Out-of-bounds timestamps mark a hostile or broken producer; the
+        // admission bounds (service.h) exist so one frame cannot wedge the
+        // close loop — drop the connection, don't keep ingesting from it.
+        out->append(
+            EncodeError(kErrBadTimestamp, "sample timestamp out of bounds"));
+        return false;
+      }
+      // Late samples were consumed (dropped and counted), so a well-behaved
+      // client still sees every sample acknowledged.
+      out->append(EncodeSubmitAck(summary.accepted + summary.late));
       return true;
     }
     case MsgType::kQueryPoint: {

@@ -24,6 +24,7 @@ inline constexpr std::uint16_t kErrBadVersion = 1;
 inline constexpr std::uint16_t kErrMalformed = 2;
 inline constexpr std::uint16_t kErrUnexpected = 3;
 inline constexpr std::uint16_t kErrCorruptStream = 4;
+inline constexpr std::uint16_t kErrBadTimestamp = 5;
 
 class Session {
  public:

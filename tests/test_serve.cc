@@ -216,6 +216,8 @@ TEST(Codec, QualityAndStatsRoundTrip) {
   stats.days_closed = 5;
   stats.shards = 4;
   stats.raw_points = 99;
+  stats.samples_late = 6;
+  stats.samples_rejected = 1;
   assembler.Feed(EncodeStats(stats));
   ASSERT_TRUE(assembler.Next(&type, &payload));
   ServiceStats rs;
@@ -241,6 +243,23 @@ TEST(Codec, RejectsMalformedPayloads) {
   bad.PutU8(250);  // invalid kind
   bad.PutF32(1.0f);
   EXPECT_FALSE(DecodeSubmitBatch(bad.data(), &samples));
+}
+
+TEST(Codec, EncodeErrorClampsOversizedMessage) {
+  // The length field is u16: a longer message must clamp first so the
+  // field and the appended bytes agree (else DecodeError always rejects).
+  const std::string message(70000, 'x');
+  FrameAssembler assembler;
+  assembler.Feed(EncodeError(7, message));
+  MsgType type;
+  std::string payload;
+  ASSERT_TRUE(assembler.Next(&type, &payload));
+  EXPECT_EQ(type, MsgType::kError);
+  std::uint16_t code = 0;
+  std::string out;
+  ASSERT_TRUE(DecodeError(payload, &code, &out));
+  EXPECT_EQ(code, 7);
+  EXPECT_EQ(out.size(), 0xFFFFu);
 }
 
 TEST(FrameAssembler, ReassemblesByteAtATime) {
@@ -406,6 +425,32 @@ TEST(ShardEngine, LossSamplesDoNotFeedInference) {
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
   }
+}
+
+TEST(ShardEngine, DropsSamplesForClosedDays) {
+  ShardEngine engine{EngineConfig{SmallConfig(), 0.04}};
+  std::vector<float> far, near;
+  std::vector<Sample> samples;
+  DayRows(0xF00D, 0, false, far, near);
+  RowsToSamples(1, 1, 0, far, near, &samples);
+  for (const Sample& s : samples) engine.Ingest(s);
+  engine.CloseDay(0);
+  const std::uint64_t ingested = engine.samples_ingested();
+  // A straggler for the closed day must not re-open its bins.
+  engine.Ingest({10, 1, 1, SampleKind::kFarRtt, 5.0f});
+  EXPECT_EQ(engine.samples_ingested(), ingested);
+  EXPECT_EQ(engine.late_samples(), 1u);
+}
+
+TEST(StreamingClassifier, CloseDayEvictsStaleOpenDays) {
+  infer::StreamingClassifier state(SmallConfig());
+  state.AddSample(3, 0, true, 1.0f);
+  state.AddSample(5, 0, true, 1.0f);
+  EXPECT_EQ(state.OpenDays(), 2u);
+  // Days close in ascending order, so day 3 can never close once day 5
+  // does — it must be evicted, not held forever.
+  state.CloseDay(5);
+  EXPECT_EQ(state.OpenDays(), 0u);
 }
 
 // --------------------------------------------------- replay determinism
@@ -582,6 +627,73 @@ TEST(CongestionService, RetentionTrimsRawPoints) {
   b.Stop();
 }
 
+// -------------------------------------------------- ingest admission bounds
+
+TEST(CongestionService, RejectsImplausibleTimestamps) {
+  CongestionService service(SmallServiceConfig(2));
+  service.Start();
+  service.SubmitBatch(SyntheticStream(/*links=*/2, /*days=*/3));
+  // One hostile sample with t near INT64_MAX must not send the close loop
+  // walking ~1e14 days.
+  EXPECT_EQ(service.Submit({std::numeric_limits<TimeSec>::max() - 1, 1, 1,
+                            SampleKind::kFarRtt, 1.0f}),
+            SubmitOutcome::kRejected);
+  // A jump past the watermark beyond max_day_jump is rejected too...
+  EXPECT_EQ(service.Submit({(2 + 400) * stats::kSecPerDay, 1, 1,
+                            SampleKind::kFarRtt, 1.0f}),
+            SubmitOutcome::kRejected);
+  // ...while a plausible forward jump is not.
+  EXPECT_EQ(service.Submit({5 * stats::kSecPerDay, 1, 1, SampleKind::kFarRtt,
+                            1.0f}),
+            SubmitOutcome::kAccepted);
+  // Flush returns promptly because rejected samples never moved the
+  // watermark.
+  EXPECT_EQ(service.FinishStream(), 5);
+  EXPECT_EQ(service.Stats().samples_rejected, 2u);
+  service.Stop();
+}
+
+TEST(CongestionService, DropsAndCountsLateSamples) {
+  const std::vector<Sample> stream = SyntheticStream(2, 8);
+  CongestionService clean(SmallServiceConfig(2));
+  CongestionService dirty(SmallServiceConfig(2));
+  clean.Start();
+  dirty.Start();
+  clean.SubmitBatch(stream);
+  dirty.SubmitBatch(stream);
+  // The watermark sits in day 7, so day 1 closed long ago: a straggler for
+  // it can never produce a verdict and must not leak open bins.
+  EXPECT_EQ(dirty.Submit({stats::kSecPerDay + 7, 1, 1, SampleKind::kFarRtt,
+                          99.0f}),
+            SubmitOutcome::kLate);
+  clean.FinishStream();
+  dirty.FinishStream();
+  EXPECT_EQ(dirty.Stats().samples_late, 1u);
+  EXPECT_EQ(clean.Stats().samples_late, 0u);
+  // The dropped straggler leaves the verdict log untouched.
+  EXPECT_EQ(dirty.VerdictLogText(), clean.VerdictLogText());
+  clean.Stop();
+  dirty.Stop();
+}
+
+TEST(ReplayFile, RejectsOutOfBoundsTimestamps) {
+  const std::string path = ::testing::TempDir() + "/manic_serve_oob.bin";
+  {
+    StreamWriter writer;
+    ASSERT_TRUE(writer.Open(path));
+    const std::vector<Sample> hostile = {
+        {std::numeric_limits<TimeSec>::max() - 1, 1, 1, SampleKind::kFarRtt,
+         1.0f}};
+    ASSERT_TRUE(writer.WriteBatch(hostile));
+    ASSERT_TRUE(writer.Close());
+  }
+  CongestionService service(SmallServiceConfig(1));
+  service.Start();
+  EXPECT_FALSE(ReplayFile(&service, path).ok);
+  service.Stop();
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------- session
 
 TEST(Session, HandlesFragmentedDelivery) {
@@ -655,6 +767,30 @@ TEST(Session, RejectsGarbageBytes) {
   std::string payload;
   ASSERT_TRUE(replies.Next(&type, &payload));
   EXPECT_EQ(type, MsgType::kError);
+}
+
+TEST(Session, OutOfBoundsTimestampDropsTheConnection) {
+  CongestionService service(SmallServiceConfig(1));
+  service.Start();
+  Session session(&service);
+  std::string out;
+  ASSERT_TRUE(session.Consume(EncodeHello(), &out));
+  out.clear();
+  const std::vector<Sample> hostile = {
+      {std::numeric_limits<TimeSec>::max() - 1, 1, 1, SampleKind::kFarRtt,
+       1.0f}};
+  EXPECT_FALSE(session.Consume(EncodeSubmitBatch(hostile), &out));
+  FrameAssembler replies;
+  replies.Feed(out);
+  MsgType type;
+  std::string payload;
+  ASSERT_TRUE(replies.Next(&type, &payload));
+  EXPECT_EQ(type, MsgType::kError);
+  std::uint16_t code = 0;
+  std::string message;
+  ASSERT_TRUE(DecodeError(payload, &code, &message));
+  EXPECT_EQ(code, kErrBadTimestamp);
+  service.Stop();
 }
 
 // ----------------------------------------------------------------- daemon
@@ -755,6 +891,36 @@ TEST(TcpDaemon, DropsMisbehavingClientButSurvives) {
     EXPECT_EQ(stats->shards, 1u);
   }
 
+  daemon.Shutdown();
+  loop.join();
+  service.Stop();
+}
+
+TEST(TcpDaemon, ShedsClientWhoseOutboxExceedsTheCap) {
+  CongestionService service(SmallServiceConfig(1));
+  service.Start();
+  service.SubmitBatch(SyntheticStream(/*links=*/5, /*days=*/12));
+  service.FinishStream();
+  TcpDaemon daemon(&service);
+  // Handshake and stats replies fit under the cap; a multi-day verdict
+  // range reply does not.
+  daemon.set_max_outbox_bytes(128);
+  ASSERT_TRUE(daemon.Listen(0));
+  std::thread loop([&] { daemon.Run(); });
+  {
+    BlockingClient client;
+    ASSERT_TRUE(client.Connect(daemon.port()));
+    // The oversized reply is flushed best-effort, then the peer is shed.
+    const auto range = client.QueryRange(2, 0, 12 * stats::kSecPerDay);
+    ASSERT_TRUE(range.has_value());
+    EXPECT_FALSE(range->empty());
+    EXPECT_FALSE(client.QueryStats().has_value());  // connection is gone
+
+    // The daemon survives and serves a fresh client.
+    BlockingClient fresh;
+    ASSERT_TRUE(fresh.Connect(daemon.port()));
+    EXPECT_TRUE(fresh.QueryStats().has_value());
+  }
   daemon.Shutdown();
   loop.join();
   service.Stop();
