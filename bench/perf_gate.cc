@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "runtime/metrics.h"
+#include "runtime/parse.h"
 #include "serve/daemon.h"
 #include "serve/engine.h"
 #include "serve/service.h"
@@ -88,6 +89,7 @@ long PeakRssKb() {
 int main(int argc, char** argv) {
   std::string rev = "dev", out_path;
   bool quick = false;
+  bool args_ok = true;
   Workload w;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -98,12 +100,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--quick") {
       quick = true;
     } else if (arg == "--shards" && i + 1 < argc) {
-      w.shards = std::atoi(argv[++i]);
+      w.shards = runtime::ParseBoundedInt(argv[++i], 1, 256, &args_ok);
     } else if (arg == "--links" && i + 1 < argc) {
-      w.links = std::atoi(argv[++i]);
+      w.links = runtime::ParseBoundedInt(argv[++i], 1, 1000000, &args_ok);
     } else if (arg == "--days" && i + 1 < argc) {
-      w.days = std::atoi(argv[++i]);
+      w.days = runtime::ParseBoundedInt(argv[++i], 1, 100000, &args_ok);
     } else {
+      args_ok = false;
+    }
+    if (!args_ok) {
       std::fprintf(stderr,
                    "usage: %s [--rev <sha>] [--out <path>] [--quick] "
                    "[--shards N] [--links N] [--days N]\n",
@@ -137,8 +142,8 @@ int main(int argc, char** argv) {
         AppendDay(static_cast<topo::LinkId>(link),
                   static_cast<topo::VpId>(vp), day, w.autocorr, &day_batch);
       }
-      service.SubmitBatch(day_batch);
-      total_samples += day_batch.size();
+      const serve::SubmitSummary sub = service.SubmitBatch(day_batch);
+      total_samples += sub.accepted;
     }
   }
   service.FinishStream();

@@ -30,6 +30,7 @@
 
 #include "analysis/report.h"
 #include "runtime/metrics.h"
+#include "runtime/parse.h"
 #include "scenario/driver.h"
 #include "serve/replay.h"
 #include "serve/service.h"
@@ -67,6 +68,8 @@ bool RunServeParity(const scenario::StudyOptions& options,
   scenario::UsBroadband world = scenario::MakeUsBroadband();
   const stats::TimeSec bin = options.autocorr.bin_width;
   std::vector<serve::Sample> batch_samples;
+  std::uint64_t dropped = 0;
+  bool record_ok = true;
   scenario::ExportStudyStream(
       world, options,
       [&](topo::VpId vp, topo::LinkId link, std::int64_t day,
@@ -87,11 +90,21 @@ bool RunServeParity(const scenario::StudyOptions& options,
                                    : serve::SampleKind::kNearRtt,
                std::isnan(near[s]) ? 0.0f : near[s]});
         }
-        service.SubmitBatch(batch_samples);
-        if (!record_path.empty()) recorder.WriteBatch(batch_samples);
+        const serve::SubmitSummary sub = service.SubmitBatch(batch_samples);
+        dropped += sub.late + sub.rejected;
+        if (!record_path.empty() && !recorder.WriteBatch(batch_samples)) {
+          record_ok = false;
+        }
       });
   service.FinishStream();
-  if (!record_path.empty() && !recorder.Close()) {
+  if (dropped != 0) {
+    // A batch sample the service refuses would silently fake a divergence
+    // further down; fail loudly at the point of loss instead.
+    std::fprintf(stderr, "serve parity: %llu samples dropped at admission\n",
+                 static_cast<unsigned long long>(dropped));
+    return false;
+  }
+  if (!record_path.empty() && (!record_ok || !recorder.Close())) {
     std::fprintf(stderr, "failed writing --record %s\n", record_path.c_str());
     return false;
   }
@@ -194,6 +207,7 @@ int main(int argc, char** argv) {
   std::string faults_path, checkpoint_path;
   std::string verdict_log_path, record_path;
   bool serve_mode = false;
+  bool args_ok = true;
   int serve_shards = 1;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -205,7 +219,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--serve") {
       serve_mode = true;
     } else if (arg == "--serve-shards" && i + 1 < argc) {
-      serve_shards = std::atoi(argv[++i]);
+      serve_shards = runtime::ParseBoundedInt(argv[++i], 1, 256, &args_ok);
       serve_mode = true;
     } else if (arg == "--verdict-log" && i + 1 < argc) {
       verdict_log_path = argv[++i];
@@ -223,18 +237,30 @@ int main(int argc, char** argv) {
       positional.push_back(argv[i]);
     }
   }
-  if (serve_shards < 1) {
-    std::fprintf(stderr, "--serve-shards must be >= 1\n");
+  scenario::StudyOptions options;
+  options.days = positional.size() > 0
+                     ? runtime::ParseBoundedInt(positional[0], 1, 100000,
+                                                &args_ok)
+                     : 150;
+  options.max_vps =
+      positional.size() > 1
+          ? static_cast<std::size_t>(
+                runtime::ParseBoundedInt(positional[1], 1, 10000, &args_ok))
+          : 6;
+  options.runtime = runtime::RuntimeOptions::FromEnv(/*default_threads=*/0);
+  if (positional.size() > 2) {
+    options.runtime.threads =
+        runtime::ParseBoundedInt(positional[2], 0, 4096, &args_ok);
+  }
+  if (!args_ok) {
+    std::fprintf(stderr,
+                 "bad numeric argument\nusage: %s [days] [max_vps] [threads] "
+                 "[--faults <plan.txt>] [--checkpoint <log>] [--serve] "
+                 "[--serve-shards N] [--verdict-log <path>] "
+                 "[--record <path>]\n",
+                 argv[0]);
     return 2;
   }
-
-  scenario::StudyOptions options;
-  options.days = positional.size() > 0 ? std::atoi(positional[0]) : 150;
-  options.max_vps = positional.size() > 1
-                        ? static_cast<std::size_t>(std::atoi(positional[1]))
-                        : 6;
-  options.runtime = runtime::RuntimeOptions::FromEnv(/*default_threads=*/0);
-  if (positional.size() > 2) options.runtime.threads = std::atoi(positional[2]);
   options.checkpoint_path = checkpoint_path;
   runtime::Metrics metrics;
   options.runtime.metrics = &metrics;

@@ -13,15 +13,19 @@
 #      (continental study in --serve mode at 1 vs 4 ingest shards under the
 #      chaos plan — batch/live parity must hold and the two verdict logs
 #      and stdouts must be byte-identical), and bench/perf_gate --quick
-#      (the BENCH json must be produced and well-formed);
+#      (the BENCH json must be produced and well-formed, and
+#      scripts/perf_compare.sh must find it within 20% of the committed
+#      baseline BENCH_4dce930.json on ingest rate and p99 query latency);
 #   5. sanitizer builds: ThreadSanitizer (-DMANIC_SANITIZE=thread) rerunning
 #      the runtime + driver tests with MANIC_THREADS=4, then UBSan
 #      (-DMANIC_SANITIZE=undefined, non-recoverable) running the full suite
 #      (set MANIC_CHECK_SKIP_UBSAN=1 to skip the UBSan half);
 #   6. static analysis: manic_lint --json over src/ bench/ tests/ examples/
-#      with the graph passes active against tools/manic_lint/layers.txt and
+#      with the graph passes active against tools/manic_lint/layers.txt,
 #      the semantic passes (units dataflow against tools/manic_lint/units.txt
-#      plus the determinism taint pass) (report lands in build/check/
+#      plus the determinism taint pass), and the trust-boundary passes
+#      (taint + must-check + hot-path contracts against
+#      tools/manic_lint/trust.txt) (report lands in build/check/
 #      lint.json; any error-severity finding fails the sweep, warning-only
 #      runs pass); the curated .clang-tidy baseline, which skips with a
 #      warning when clang-tidy is not installed; and — when clang++ is on
@@ -100,6 +104,7 @@ echo "replay determinism OK: verdict log byte-identical at 1 and 4 shards, batch
   --out "$OUT_DIR/BENCH_check.json" > /dev/null
 grep -q '"samples_per_sec"' "$OUT_DIR/BENCH_check.json" || {
   echo "FAIL: perf_gate json missing ingest rate" >&2; exit 1; }
+scripts/perf_compare.sh BENCH_4dce930.json "$OUT_DIR/BENCH_check.json"
 echo "perf gate OK (report: $OUT_DIR/BENCH_check.json)."
 
 echo "== [5/6] sanitizer builds: TSan runtime/driver tests, UBSan full suite =="
@@ -115,13 +120,14 @@ else
   echo "(UBSan half skipped: MANIC_CHECK_SKIP_UBSAN=1)"
 fi
 
-echo "== [6/6] static analysis: manic-lint (rules + graph + semantic passes), clang-tidy, thread-safety =="
+echo "== [6/6] static analysis: manic-lint (rules + graph + semantic + trust passes), clang-tidy, thread-safety =="
 cmake --build build -j "$JOBS" --target manic_lint
 # Exit 1 = error-severity findings (fail), 2 = warnings only (pass, but the
 # findings are on stderr and in the JSON), 3 = usage/IO trouble (fail).
 LINT_STATUS=0
 ./build/tools/manic_lint --json --layers tools/manic_lint/layers.txt \
   --units tools/manic_lint/units.txt \
+  --trust tools/manic_lint/trust.txt \
   src bench tests examples > "$OUT_DIR/lint.json" || LINT_STATUS=$?
 case "$LINT_STATUS" in
   0) echo "manic-lint clean (report: $OUT_DIR/lint.json)" ;;

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Perf regression gate: diff a fresh bench/perf_gate report against the
+# committed baseline and fail on a >20% regression in either the ingest
+# rate (samples_per_sec must stay above 80% of baseline) or the p99 query
+# latency (p99_us must stay below 120% of baseline). The other report
+# fields are informational; this gate only guards the two numbers the
+# serving plane advertises as its contract.
+#
+# Usage: scripts/perf_compare.sh <baseline.json> <new.json>
+set -euo pipefail
+
+BASE="${1:?usage: perf_compare.sh <baseline.json> <new.json>}"
+NEW="${2:?usage: perf_compare.sh <baseline.json> <new.json>}"
+
+[ -r "$BASE" ] || { echo "FAIL: baseline report '$BASE' unreadable" >&2; exit 1; }
+[ -r "$NEW" ] || { echo "FAIL: new report '$NEW' unreadable" >&2; exit 1; }
+
+# Pull a numeric field out of a perf_gate JSON report. The reports are
+# flat enough (one object per line) that a dependency-free awk scan is
+# exact; a missing key is a hard failure, not a silent zero.
+field() {
+  local file="$1" key="$2" value
+  value=$(awk -v k="$key" '
+    {
+      pat = "\"" k "\"[[:space:]]*:[[:space:]]*"
+      if (match($0, pat)) {
+        rest = substr($0, RSTART + RLENGTH)
+        if (match(rest, /^-?[0-9]+(\.[0-9]+)?/)) {
+          print substr(rest, RSTART, RLENGTH)
+          exit
+        }
+      }
+    }' "$file")
+  if [ -z "$value" ]; then
+    echo "FAIL: field \"$key\" missing from $file" >&2
+    exit 1
+  fi
+  printf '%s\n' "$value"
+}
+
+BASE_RATE=$(field "$BASE" samples_per_sec)
+NEW_RATE=$(field "$NEW" samples_per_sec)
+BASE_P99=$(field "$BASE" p99_us)
+NEW_P99=$(field "$NEW" p99_us)
+
+STATUS=0
+
+awk -v b="$BASE_RATE" -v n="$NEW_RATE" 'BEGIN {
+  floor = b * 0.8
+  printf "ingest samples/sec: baseline=%s new=%s floor=%.0f\n", b, n, floor
+  if (n + 0 < floor) exit 1
+}' || {
+  echo "FAIL: ingest rate regressed more than 20% vs baseline" >&2
+  STATUS=1
+}
+
+awk -v b="$BASE_P99" -v n="$NEW_P99" 'BEGIN {
+  ceil = b * 1.2
+  printf "query p99 us: baseline=%s new=%s ceiling=%.1f\n", b, n, ceil
+  if (n + 0 > ceil) exit 1
+}' || {
+  echo "FAIL: p99 query latency regressed more than 20% vs baseline" >&2
+  STATUS=1
+}
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "perf gate: within 20% of baseline ($BASE)."
+fi
+exit "$STATUS"

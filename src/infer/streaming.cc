@@ -24,13 +24,21 @@ DataQuality LinkQualityAccumulator::Finish(int total_days) const {
 StreamingClassifier::StreamingClassifier(AutocorrConfig config)
     : config_(config), rolling_(config) {}
 
+// Called for every sample the serving plane ingests; fenced by the linter's
+// hot-path contract. The only allocations are the justified first-sample-of-
+// a-day bin setup below (open_[day]'s node allocation is the same cold event).
+// manic-lint: hot-path(begin)
 void StreamingClassifier::AddSample(std::int64_t day, int interval,
                                     bool far_side, float value_ms) {
   if (interval < 0 || interval >= config_.intervals_per_day) return;
   OpenDay& od = open_[day];
   if (od.far.empty()) {
+    // First sample of a day: one-time bin allocation for the fresh OpenDay,
+    // not the steady-state path.
+    // manic-lint: allow(hot-path)
     od.far.assign(static_cast<std::size_t>(config_.intervals_per_day),
                   std::numeric_limits<float>::quiet_NaN());
+    // manic-lint: allow(hot-path) -- same one-time cold path as above.
     od.near.assign(static_cast<std::size_t>(config_.intervals_per_day),
                    std::numeric_limits<float>::quiet_NaN());
   }
@@ -39,6 +47,7 @@ void StreamingClassifier::AddSample(std::int64_t day, int interval,
                          : od.near[static_cast<std::size_t>(interval)];
   slot = std::isnan(slot) ? value_ms : std::min(slot, value_ms);
 }
+// manic-lint: hot-path(end)
 
 StreamingClassifier::DayOutcome StreamingClassifier::CloseDay(
     std::int64_t day) {

@@ -1,0 +1,30 @@
+// Bounded integer parsing for the untrusted entry points: argv flags, env
+// overrides, anything that arrives as text. std::atoi silently returns 0 on
+// garbage and has undefined behavior on overflow; every numeric flag in
+// bench/ and examples/ goes through ParseBoundedInt instead, which rejects
+// trailing junk and enforces an explicit [lo, hi] range. The linter's trust
+// pass (tools/manic_lint/trust.txt) declares it a sanitizer: a value that
+// came through here is range-checked by construction.
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace manic::runtime {
+
+// Parses `text` as a base-10 integer in [lo, hi]. On success returns the
+// value and sets *ok to true. On garbage, trailing junk, overflow, or an
+// out-of-range value, returns `lo` and sets *ok to false (never touches
+// *ok otherwise, so one flag can accumulate across many parses).
+inline int ParseBoundedInt(const char* text, int lo, int hi, bool* ok) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < lo || v > hi) {
+    if (ok != nullptr) *ok = false;
+    return lo;
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace manic::runtime

@@ -6,16 +6,24 @@
 #include <cstdlib>
 #include <memory>
 
+#include "runtime/parse.h"
+
 namespace manic::runtime {
 
 RuntimeOptions RuntimeOptions::FromEnv(int default_threads) {
   RuntimeOptions options;
   options.threads = default_threads;
+  // Env overrides are untrusted text like argv: parse bounded, and fall
+  // back to the default rather than letting garbage read as 0.
   if (const char* env = std::getenv("MANIC_THREADS")) {
-    options.threads = std::atoi(env);
+    bool ok = true;
+    const int threads = ParseBoundedInt(env, 0, 4096, &ok);
+    if (ok) options.threads = threads;
   }
   if (const char* env = std::getenv("MANIC_MONTHS_PER_SHARD")) {
-    options.months_per_shard = std::atoi(env);
+    bool ok = true;
+    const int months = ParseBoundedInt(env, 1, 1200, &ok);
+    if (ok) options.months_per_shard = months;
   }
   return options;
 }

@@ -2,9 +2,20 @@
 
 #include <bit>
 #include <cstring>
+#include <limits>
 
 namespace manic::serve {
 namespace {
+
+// Wire counters are u32; the DataQuality fields are int. A hostile counter
+// above INT_MAX must saturate, not wrap negative — a negative gap/churn
+// count would corrupt every downstream quality fraction.
+int SaturateToInt(std::uint32_t wire_count) {
+  constexpr auto kIntMax =
+      static_cast<std::uint32_t>(std::numeric_limits<int>::max());
+  if (wire_count > kIntMax) return std::numeric_limits<int>::max();
+  return static_cast<int>(wire_count);
+}
 
 // All integers travel little-endian regardless of host order; the supported
 // targets are little-endian, so the byte loops below compile to plain loads
@@ -53,6 +64,9 @@ void PutSample(Encoder* e, const Sample& s) {
   e->PutI64(s.t);
   e->PutU32(s.link);
   e->PutU32(s.vp);
+  // Encode side: `s` is a locally built Sample (kind is a validated enum),
+  // not bytes off the wire.
+  // manic-lint: allow(trust)
   e->PutU8(static_cast<std::uint8_t>(s.kind));
   e->PutF32(s.value);
 }
@@ -71,6 +85,9 @@ bool GetSample(Decoder* d, Sample* s) {
 void PutVerdict(Encoder* e, const VerdictRecord& v) {
   e->PutI64(v.day);
   e->PutU32(v.link);
+  // Encode side: the flag bits are three local bools (value <= 7 by
+  // construction), not wire input.
+  // manic-lint: allow(trust)
   const std::uint8_t flags = static_cast<std::uint8_t>(
       (v.recurring ? 1u : 0u) | (v.congested ? 2u : 0u) |
       (v.quality_ok ? 4u : 0u));
@@ -99,7 +116,9 @@ bool GetVerdict(Decoder* d, VerdictRecord* v) {
 
 // ---- Encoder ----------------------------------------------------------------
 
-void Encoder::PutU8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+void Encoder::PutU8(std::uint8_t v) {
+  buf_.push_back(static_cast<char>(v & 0xFF));
+}
 void Encoder::PutU16(std::uint16_t v) { PutLE(&buf_, v); }
 void Encoder::PutU32(std::uint32_t v) { PutLE(&buf_, v); }
 void Encoder::PutU64(std::uint64_t v) { PutLE(&buf_, v); }
@@ -378,10 +397,10 @@ bool DecodeQuality(std::string_view payload, bool* found,
     return false;
   }
   *found = f == 1;
-  quality->longest_gap_intervals = static_cast<int>(gap);
-  quality->days_observed = static_cast<int>(observed);
-  quality->total_days = static_cast<int>(total);
-  quality->vp_churn_events = static_cast<int>(churn);
+  quality->longest_gap_intervals = SaturateToInt(gap);
+  quality->days_observed = SaturateToInt(observed);
+  quality->total_days = SaturateToInt(total);
+  quality->vp_churn_events = SaturateToInt(churn);
   return true;
 }
 

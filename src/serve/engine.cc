@@ -9,6 +9,10 @@ namespace manic::serve {
 
 ShardEngine::ShardEngine(EngineConfig config) : config_(config) {}
 
+// Per-sample admission: runs once for every record off the wire, so it is
+// fenced by the linter's hot-path contract — no allocation, locking, or I/O
+// except the explicitly justified cold branches below.
+// manic-lint: hot-path(begin)
 void ShardEngine::Ingest(const Sample& s) {
   if (s.kind == SampleKind::kLossRate) {
     ++samples_;
@@ -38,12 +42,15 @@ void ShardEngine::Ingest(const Sample& s) {
   auto& per_vp = links_[s.link];
   auto it = per_vp.find(s.vp);
   if (it == per_vp.end()) {
-    it = per_vp
-             .emplace(s.vp, infer::StreamingClassifier(config_.autocorr))
+    // First sample of a (link, vp) pair: a one-time classifier
+    // construction, not the steady-state path.
+    // manic-lint: allow(hot-path)
+    it = per_vp.emplace(s.vp, infer::StreamingClassifier(config_.autocorr))
              .first;
   }
   it->second.AddSample(day, interval, far_side, value_ms);
 }
+// manic-lint: hot-path(end)
 
 std::vector<VerdictRecord> ShardEngine::CloseDay(std::int64_t day) {
   has_closed_ = true;

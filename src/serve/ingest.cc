@@ -72,11 +72,15 @@ void IngestShard::WorkerLoop() {
   for (;;) {
     const Msg msg = ring_.PopBlocking();
     switch (msg.kind) {
+      // The per-sample branch is the worker's steady state and carries the
+      // linter's hot-path contract; day-close below is cold and exempt.
+      // manic-lint: hot-path(begin)
       case MsgKind::kSample:
         engine_.Ingest(msg.sample);
         if (config_.store_raw) Store(msg.sample);
         samples_.fetch_add(1, std::memory_order_relaxed);
         break;
+        // manic-lint: hot-path(end)
       case MsgKind::kCloseDay: {
         day_verdicts_ = engine_.CloseDay(msg.day);
         // Saturate the study day-count so an extreme day index cannot

@@ -34,7 +34,7 @@ class StreamWriter {
   bool failed_ = false;
 };
 
-struct ReplayStats {
+struct [[nodiscard]] ReplayStats {
   std::uint64_t frames = 0;
   std::uint64_t samples = 0;
   bool ok = false;

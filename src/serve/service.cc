@@ -135,6 +135,9 @@ void CongestionService::CloseThrough(std::int64_t target_day) {
       runtime::MutexLock lock(mu_);
       for (const VerdictRecord& v : merged) {
         log_ += FormatVerdictLine(v);
+        // std::map subscript keys cannot overflow, and these verdicts came
+        // from shard-owned engines, not the wire.
+        // manic-lint: allow(trust)
         index_[v.link].push_back(v);
         ++verdict_rows_;
       }

@@ -68,13 +68,13 @@ struct ServiceConfig {
 // What Submit did with one sample. kLate and kRejected samples are dropped
 // and counted (ServiceStats); kRejected additionally marks a misbehaving
 // producer — the session layer drops the connection.
-enum class SubmitOutcome : std::uint8_t {
+enum class [[nodiscard]] SubmitOutcome : std::uint8_t {
   kAccepted,
   kLate,      // day at or before the last closed day
   kRejected,  // timestamp outside the admission bounds
 };
 
-struct SubmitSummary {
+struct [[nodiscard]] SubmitSummary {
   std::uint64_t accepted = 0;
   std::uint64_t late = 0;
   std::uint64_t rejected = 0;

@@ -98,7 +98,7 @@ class Database {
   // combined: how many points are present, how many probed slots came back
   // empty, and the longest interval with no present point (clamped to the
   // window edges; t1 - t0 when nothing is present).
-  struct CoverageStats {
+  struct [[nodiscard]] CoverageStats {
     std::int64_t present = 0;
     std::int64_t missing = 0;
     TimeSec longest_gap_s = 0;

@@ -1,0 +1,15 @@
+// A true positive silenced with the standard suppression comment; the
+// audit still counts it.
+#include <cstdint>
+#include <vector>
+
+struct Decoder {
+  bool GetU32(std::uint32_t* out);
+};
+
+void Decode(Decoder& d, std::vector<int>& out) {
+  std::uint32_t count = 0;
+  d.GetU32(&count);
+  // manic-lint: allow(trust) -- fixture: bounded upstream by the framer
+  out.reserve(count);
+}

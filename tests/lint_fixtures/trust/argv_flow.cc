@@ -1,0 +1,9 @@
+// argv -> atoi -> subscript with no validation (the continental_study
+// argv-parsing bug class).
+#include <cstdlib>
+
+int Pick(int argc, char** argv, const int* table) {
+  int idx = 0;
+  if (argc > 1) idx = std::atoi(argv[1]);
+  return table[idx];
+}

@@ -1,0 +1,20 @@
+// Seeded PR-6-review-class bug: a wire-decoded day bounds a loop and scales
+// a time constant with no admission check — the hostile-day walk.
+#include <cstdint>
+
+struct Decoder {
+  bool GetI64(std::int64_t* out);
+};
+
+constexpr std::int64_t kSecPerDay = 86400;
+
+std::int64_t WalkDays(Decoder& d, std::int64_t closed) {
+  std::int64_t day = 0;
+  d.GetI64(&day);
+  std::int64_t total = 0;
+  while (closed < day) {  // tainted loop bound
+    ++closed;
+    ++total;
+  }
+  return total + day * kSecPerDay;  // tainted time arithmetic
+}

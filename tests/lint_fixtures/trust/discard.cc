@@ -1,0 +1,18 @@
+// Must-check shapes: a silently discarded status return (the PR-6
+// SubmitOutcome bug class), the (void) escape hatch, genuine uses, and a
+// by-name must-check bool function.
+struct Outcome {
+  int v;
+};
+
+Outcome Submit(int x);
+bool MustUse(int x);
+
+int Use() {
+  Submit(1);
+  (void)Submit(2);
+  Outcome kept = Submit(3);
+  MustUse(4);
+  if (MustUse(5)) return 1;
+  return kept.v;
+}

@@ -1,0 +1,11 @@
+// A discarded must-check result silenced with the standard suppression.
+struct Outcome {
+  int v;
+};
+
+Outcome Submit(int x);
+
+void Use() {
+  // manic-lint: allow(must-check) -- fixture: fire-and-forget by design
+  Submit(1);
+}

@@ -1,0 +1,14 @@
+// Name-keyed registry ambiguity guard: a second overload with an
+// unregistered return type shields the name (the token level has no
+// receiver types), so nothing here may be flagged.
+struct Outcome {
+  int v;
+};
+
+Outcome Submit(int x);
+void Submit(double x);
+
+void Use() {
+  Submit(1);
+  Submit(2.0);
+}

@@ -1,0 +1,14 @@
+// A declared wire field feeding time arithmetic. Tainted only when the
+// file sits inside a declared boundary — the test re-roots this fixture
+// both inside and outside src/serve/ to pin the scoping.
+#include <cstdint>
+
+struct Sample {
+  std::int64_t t;
+};
+
+constexpr std::int64_t kSecPerDay = 86400;
+
+std::int64_t Expand(const Sample& s) {
+  return s.t * kSecPerDay;
+}

@@ -1,0 +1,13 @@
+// A justified cold-path allocation inside a hot region, suppressed with
+// the standard comment (the first-sample-of-a-day idiom).
+#include <vector>
+
+void Ingest(std::vector<int>& v, int x) {
+  // manic-lint: hot-path(begin)
+  if (v.empty()) {
+    // manic-lint: allow(hot-path) -- fixture: first-sample cold path
+    v.reserve(64);
+  }
+  v[0] = x;
+  // manic-lint: hot-path(end)
+}

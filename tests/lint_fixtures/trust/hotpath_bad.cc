@@ -1,0 +1,16 @@
+// Seeded hot-path contract violations: allocation, stdio, and locking
+// inside a marked region; the same allocation after the region is fine.
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+std::mutex mu;
+
+void Ingest(std::vector<int>& v, int x) {
+  // manic-lint: hot-path(begin)
+  v.push_back(x);
+  std::fprintf(stderr, "x=%d\n", x);
+  std::lock_guard<std::mutex> g(mu);
+  // manic-lint: hot-path(end)
+  v.push_back(x);
+}

@@ -1,0 +1,12 @@
+// A hot-path region doing only what hot paths may do: arithmetic, array
+// writes, atomics. Zero findings.
+#include <atomic>
+#include <cstdint>
+
+void Accumulate(std::int64_t* slots, std::size_t cap, std::size_t head,
+                std::int64_t value, std::atomic<std::uint64_t>& count) {
+  // manic-lint: hot-path(begin)
+  slots[head & (cap - 1)] += value;
+  count.fetch_add(1, std::memory_order_relaxed);
+  // manic-lint: hot-path(end)
+}

@@ -1,0 +1,6 @@
+// Region hygiene: a begin with no end must itself be an error, so fenced
+// regions cannot silently rot away.
+void Work(int* out, int x) {
+  // manic-lint: hot-path(begin)
+  out[0] = x;
+}

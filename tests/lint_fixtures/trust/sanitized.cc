@@ -1,0 +1,35 @@
+// The same shapes as unclamped.cc / day_walk.cc, but every flow is
+// laundered the sanctioned way: a guard comparison, a sanitizer call, or
+// the modulo-index idiom. Must produce zero findings.
+#include <cstdint>
+#include <vector>
+
+struct Decoder {
+  bool GetU32(std::uint32_t* out);
+  bool GetI64(std::int64_t* out);
+};
+
+constexpr std::uint32_t kMax = 4096;
+constexpr std::int64_t kSecPerDay = 86400;
+
+std::int64_t ClampDay(std::int64_t day);
+
+std::int64_t Decode(Decoder& d, std::vector<int>& out) {
+  std::uint32_t count = 0;
+  d.GetU32(&count);
+  if (count > kMax) return 0;  // guard comparison clears `count`
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out.push_back(static_cast<int>(count));
+  }
+  std::uint32_t slot = 0;
+  d.GetU32(&slot);
+  out[slot % out.size()] = 1;  // modulo index idiom
+  std::int64_t day = 0;
+  d.GetI64(&day);
+  std::int64_t raw = 0;
+  d.GetI64(&raw);
+  const char low = static_cast<char>(raw & 0xFF);  // literal mask bounds it
+  out.push_back(low);
+  return ClampDay(day) * kSecPerDay;  // sanitizer call clears `day`
+}

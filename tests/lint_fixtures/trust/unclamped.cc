@@ -1,0 +1,18 @@
+// Seeded PR-6-review-class bug: an unclamped wire count sizes an
+// allocation, bounds the decode loop, narrows to int, and indexes.
+#include <cstdint>
+#include <vector>
+
+struct Decoder {
+  bool GetU32(std::uint32_t* out);
+};
+
+void Decode(Decoder& d, std::vector<int>& out) {
+  std::uint32_t count = 0;
+  d.GetU32(&count);
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out.push_back(static_cast<int>(count));
+  }
+  out[count] = 0;
+}

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "runtime/canonical.h"
+#include "runtime/parse.h"
 #include "runtime/seed_tree.h"
 #include "runtime/study_executor.h"
 #include "runtime/thread_pool.h"
@@ -28,6 +29,43 @@
 
 namespace manic {
 namespace {
+
+// ---- ParseBoundedInt: the argv/env trust boundary ---------------------------
+
+TEST(ParseBoundedInt, AcceptsInRangeAndKeepsOkTrue) {
+  bool ok = true;
+  EXPECT_EQ(runtime::ParseBoundedInt("42", 0, 100, &ok), 42);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(runtime::ParseBoundedInt("-7", -10, 10, &ok), -7);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(runtime::ParseBoundedInt("0", 0, 0, &ok), 0);
+  EXPECT_TRUE(ok);
+}
+
+TEST(ParseBoundedInt, RejectsGarbageTrailingJunkAndOutOfRange) {
+  const auto rejects = [](const char* text, int lo, int hi) {
+    bool ok = true;
+    const int v = runtime::ParseBoundedInt(text, lo, hi, &ok);
+    EXPECT_FALSE(ok) << "'" << text << "' should not parse";
+    EXPECT_EQ(v, lo) << text;
+  };
+  rejects("", 1, 8);
+  rejects("abc", 1, 8);
+  rejects("4x", 1, 8);       // trailing junk: atoi would read 4
+  rejects("12 ", 1, 64);     // trailing space
+  rejects("0", 1, 8);        // below lo
+  rejects("9", 1, 8);        // above hi
+  rejects("99999999999999999999", 1, 1000000);  // overflows long
+}
+
+TEST(ParseBoundedInt, FailureAccumulatesAcrossParses) {
+  // One ok flag can guard a whole flag loop: a failure sticks even when a
+  // later parse succeeds.
+  bool ok = true;
+  (void)runtime::ParseBoundedInt("bogus", 1, 8, &ok);
+  EXPECT_EQ(runtime::ParseBoundedInt("4", 1, 8, &ok), 4);
+  EXPECT_FALSE(ok);
+}
 
 // ---- SeedTree ---------------------------------------------------------------
 

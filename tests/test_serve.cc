@@ -225,6 +225,30 @@ TEST(Codec, QualityAndStatsRoundTrip) {
   EXPECT_EQ(rs, stats);
 }
 
+TEST(Codec, QualityCountersSaturateInsteadOfWrappingNegative) {
+  // The wire carries the quality counters as u32; a hostile peer can put
+  // 0xFFFFFFFF there (here produced by encoding -1). Decoding must saturate
+  // to INT_MAX — a wrap to a negative count would corrupt every quality
+  // fraction computed downstream.
+  infer::DataQuality q;
+  q.longest_gap_intervals = -1;
+  q.days_observed = -1;
+  q.total_days = -1;
+  q.vp_churn_events = -1;
+  FrameAssembler assembler;
+  assembler.Feed(EncodeQuality(true, q));
+  MsgType type;
+  std::string payload;
+  ASSERT_TRUE(assembler.Next(&type, &payload));
+  bool found = false;
+  infer::DataQuality rq;
+  ASSERT_TRUE(DecodeQuality(payload, &found, &rq));
+  EXPECT_EQ(rq.longest_gap_intervals, std::numeric_limits<int>::max());
+  EXPECT_EQ(rq.days_observed, std::numeric_limits<int>::max());
+  EXPECT_EQ(rq.total_days, std::numeric_limits<int>::max());
+  EXPECT_EQ(rq.vp_churn_events, std::numeric_limits<int>::max());
+}
+
 TEST(Codec, RejectsMalformedPayloads) {
   std::uint32_t version = 0;
   EXPECT_FALSE(DecodeHello("abc", &version));        // short
@@ -468,7 +492,7 @@ TEST(CongestionService, VerdictLogIsIdenticalAtAnyShardCount) {
   for (const int shards : {1, 2, 3, 5}) {
     CongestionService service(SmallServiceConfig(shards));
     service.Start();
-    service.SubmitBatch(stream);
+    EXPECT_EQ(service.SubmitBatch(stream).accepted, stream.size());
     service.FinishStream();
     const std::string log = service.VerdictLogText();
     service.Stop();
@@ -507,7 +531,7 @@ TEST(CongestionService, RecordedStreamReplaysIdentically) {
 
   CongestionService live(SmallServiceConfig(1));
   live.Start();
-  live.SubmitBatch(stream);
+  EXPECT_EQ(live.SubmitBatch(stream).accepted, stream.size());
   live.FinishStream();
   const std::string live_log = live.VerdictLogText();
   live.Stop();
@@ -544,7 +568,7 @@ TEST(CongestionService, QueryPlaneSemantics) {
   const std::vector<Sample> stream = SyntheticStream(4, 10);
   CongestionService service(SmallServiceConfig(2));
   service.Start();
-  service.SubmitBatch(stream);
+  EXPECT_EQ(service.SubmitBatch(stream).accepted, stream.size());
   service.FinishStream();
 
   // Link 2 is congested (even id); verdicts exist for days 5..9.
@@ -596,7 +620,7 @@ TEST(CongestionService, ManualClockClosesDaysInLiveMode) {
     samples.clear();
     DayRows(0xE0E0, day, true, far, near);
     RowsToSamples(1, 1, day, far, near, &samples);
-    service.SubmitBatch(samples);
+    EXPECT_EQ(service.SubmitBatch(samples).accepted, samples.size());
   }
   // Stream-mode watermark closed days 0..6 (day 7 is still open).
   EXPECT_EQ(service.LastClosedDay(), 6);
@@ -615,8 +639,8 @@ TEST(CongestionService, RetentionTrimsRawPoints) {
   CongestionService a(unbounded), b(bounded);
   a.Start();
   b.Start();
-  a.SubmitBatch(stream);
-  b.SubmitBatch(stream);
+  EXPECT_EQ(a.SubmitBatch(stream).accepted, stream.size());
+  EXPECT_EQ(b.SubmitBatch(stream).accepted, stream.size());
   a.FinishStream();
   b.FinishStream();
   EXPECT_LT(b.Stats().raw_points, a.Stats().raw_points);
@@ -632,7 +656,8 @@ TEST(CongestionService, RetentionTrimsRawPoints) {
 TEST(CongestionService, RejectsImplausibleTimestamps) {
   CongestionService service(SmallServiceConfig(2));
   service.Start();
-  service.SubmitBatch(SyntheticStream(/*links=*/2, /*days=*/3));
+  const std::vector<Sample> warmup = SyntheticStream(/*links=*/2, /*days=*/3);
+  EXPECT_EQ(service.SubmitBatch(warmup).accepted, warmup.size());
   // One hostile sample with t near INT64_MAX must not send the close loop
   // walking ~1e14 days.
   EXPECT_EQ(service.Submit({std::numeric_limits<TimeSec>::max() - 1, 1, 1,
@@ -659,8 +684,8 @@ TEST(CongestionService, DropsAndCountsLateSamples) {
   CongestionService dirty(SmallServiceConfig(2));
   clean.Start();
   dirty.Start();
-  clean.SubmitBatch(stream);
-  dirty.SubmitBatch(stream);
+  EXPECT_EQ(clean.SubmitBatch(stream).accepted, stream.size());
+  EXPECT_EQ(dirty.SubmitBatch(stream).accepted, stream.size());
   // The watermark sits in day 7, so day 1 closed long ago: a straggler for
   // it can never produce a verdict and must not leak open bins.
   EXPECT_EQ(dirty.Submit({stats::kSecPerDay + 7, 1, 1, SampleKind::kFarRtt,
@@ -899,7 +924,8 @@ TEST(TcpDaemon, DropsMisbehavingClientButSurvives) {
 TEST(TcpDaemon, ShedsClientWhoseOutboxExceedsTheCap) {
   CongestionService service(SmallServiceConfig(1));
   service.Start();
-  service.SubmitBatch(SyntheticStream(/*links=*/5, /*days=*/12));
+  const std::vector<Sample> fill = SyntheticStream(/*links=*/5, /*days=*/12);
+  EXPECT_EQ(service.SubmitBatch(fill).accepted, fill.size());
   service.FinishStream();
   TcpDaemon daemon(&service);
   // Handshake and stats replies fit under the cap; a multi-day verdict

@@ -230,6 +230,18 @@ TuFacts ExtractFacts(std::string_view source, std::string_view logical_path) {
   facts.umbrella = facts.used.empty() && facts.exported.empty();
 
   facts.allow = ParseSuppressions(lexed.comments);
+  // Hot-path region markers share the "manic-lint:" comment namespace with
+  // suppressions but use a distinct keyword, so neither parser sees the
+  // other's comments.
+  for (const Comment& comment : lexed.comments) {
+    const std::size_t at = comment.text.find("manic-lint:");
+    if (at == std::string::npos) continue;
+    if (comment.text.find("hot-path(begin)", at) != std::string::npos) {
+      facts.hot_markers.emplace_back(comment.end_line, true);
+    } else if (comment.text.find("hot-path(end)", at) != std::string::npos) {
+      facts.hot_markers.emplace_back(comment.end_line, false);
+    }
+  }
   facts.tokens = std::move(lexed.tokens);
   return facts;
 }

@@ -16,6 +16,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "lexer.h"
@@ -48,6 +49,10 @@ struct TuFacts {
   // Suppressions: line -> rules allowed on that line or the line below
   // (same contract as the per-file rules in lint.cc).
   AllowMap allow;
+  // Hot-path contract markers (`// manic-lint: hot-path(begin)` /
+  // `hot-path(end)` comments) in file order: (line, is_begin). The hot-path
+  // pass (trust.h) pairs them into regions and reports unmatched markers.
+  std::vector<std::pair<int, bool>> hot_markers;
   // The file's full token stream, retained so the phase-3 semantic passes
   // (units.h, taint.h) walk expressions without re-reading source.
   std::vector<Token> tokens;

@@ -13,6 +13,7 @@
 #include "lexer.h"
 #include "rules.h"
 #include "taint.h"
+#include "trust.h"
 #include "units.h"
 
 namespace manic::lint {
@@ -217,7 +218,8 @@ int LintPaths(const std::vector<std::string>& paths,
 
 TreeAnalysis AnalyzeTree(const std::vector<std::string>& paths,
                          const LayerManifest* manifest,
-                         const UnitsSpec* units) {
+                         const UnitsSpec* units,
+                         const TrustSpec* trust) {
   TreeAnalysis result;
   std::vector<std::filesystem::path> sources;
   result.read_failure = !CollectSources(paths, sources);
@@ -248,6 +250,11 @@ TreeAnalysis AnalyzeTree(const std::vector<std::string>& paths,
   if (units != nullptr && units->loaded) {
     RunUnitsPass(result.facts, *units, result.findings);
   }
+  if (trust != nullptr && trust->loaded) {
+    RunTrustPass(result.facts, *trust, result.findings);
+    RunMustCheckPass(result.facts, *trust, result.findings);
+  }
+  RunHotPathPass(result.facts, result.findings);
   SortFindings(result.findings);
   return result;
 }
@@ -272,7 +279,7 @@ std::string RenderText(const std::vector<Finding>& findings) {
 std::string RenderJson(const std::vector<Finding>& findings,
                        int files_scanned,
                        const std::map<std::string, int>& suppressions) {
-  std::string out = "{\"schema_version\":2"
+  std::string out = "{\"schema_version\":3"
                     ",\"files_scanned\":" + std::to_string(files_scanned) +
                     ",\"errors\":" + std::to_string(CountErrors(findings)) +
                     ",\"warnings\":" + std::to_string(CountWarnings(findings)) +

@@ -4,7 +4,7 @@
 // "fix now" from "worth a look" without parsing the report.
 //
 //   manic_lint [--json] [--werror] [--quiet] [--graph FILE]
-//              [--layers FILE] [--units FILE] [path...]
+//              [--layers FILE] [--units FILE] [--trust FILE] [path...]
 //
 // Paths default to `src bench tests examples` resolved against the current
 // directory; directories are walked recursively (build*/, .git/,
@@ -13,9 +13,12 @@
 // detection, the layering contract from --layers (default
 // tools/manic_lint/layers.txt; silently skipped when the default is absent,
 // an error when an explicit --layers cannot be read), unused-include
-// (IWYU-lite) warnings, the determinism taint pass (always on), and the
+// (IWYU-lite) warnings, the determinism taint pass (always on), the
 // units dataflow pass from --units (default tools/manic_lint/units.txt,
-// same absent/unreadable behavior as --layers). --graph writes the real
+// same absent/unreadable behavior as --layers), the trust-boundary taint
+// and must-check passes from --trust (default tools/manic_lint/trust.txt,
+// same behavior again), and the hot-path contract pass (always on, driven
+// by in-source markers). --graph writes the real
 // src/ module graph as Graphviz DOT. --json replaces the human report on
 // stdout with one JSON object (scripts/check.sh stage 4 redirects it to
 // build/check/lint.json); the human report then goes to stderr unless
@@ -27,6 +30,7 @@
 
 #include "graph.h"
 #include "lint.h"
+#include "trust.h"
 #include "units.h"
 
 int main(int argc, char** argv) {
@@ -34,8 +38,10 @@ int main(int argc, char** argv) {
   std::string graph_path;
   std::string layers_path;
   std::string units_path;
+  std::string trust_path;
   bool layers_explicit = false;
   bool units_explicit = false;
+  bool trust_explicit = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -45,7 +51,8 @@ int main(int argc, char** argv) {
       werror = true;
     } else if (arg == "--quiet") {
       quiet = true;
-    } else if (arg == "--graph" || arg == "--layers" || arg == "--units") {
+    } else if (arg == "--graph" || arg == "--layers" || arg == "--units" ||
+               arg == "--trust") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "manic_lint: %s needs a file argument\n",
                      arg.c_str());
@@ -56,25 +63,33 @@ int main(int argc, char** argv) {
       } else if (arg == "--layers") {
         layers_path = argv[++i];
         layers_explicit = true;
-      } else {
+      } else if (arg == "--units") {
         units_path = argv[++i];
         units_explicit = true;
+      } else {
+        trust_path = argv[++i];
+        trust_explicit = true;
       }
     } else if (arg == "--help" || arg == "-h") {
       std::fputs(
           "usage: manic_lint [--json] [--werror] [--quiet] [--graph FILE]\n"
-          "                  [--layers FILE] [--units FILE] [path...]\n"
+          "                  [--layers FILE] [--units FILE] [--trust FILE]\n"
+          "                  [path...]\n"
           "Token-level determinism & safety linter plus whole-program\n"
           "architecture analyzer for the MANIC tree.\n"
           "Per-file rules: unordered-iter raw-entropy stdout-write\n"
           "                header-hygiene uninit-member\n"
           "Graph passes:   include-cycle layering unused-include\n"
           "Semantic passes: determinism (always on) units (needs --units)\n"
+          "Trust passes:   trust must-check (need --trust)\n"
+          "                hot-path (always on, marker-driven)\n"
           "                (suppress: // manic-lint: allow(<rule>))\n"
           "--layers FILE   layering manifest (default\n"
           "                tools/manic_lint/layers.txt)\n"
           "--units FILE    unit-suffix lattice (default\n"
           "                tools/manic_lint/units.txt)\n"
+          "--trust FILE    trust-boundary spec (default\n"
+          "                tools/manic_lint/trust.txt)\n"
           "--graph FILE    write the src/ module graph as Graphviz DOT\n"
           "exit codes: 0 clean, 1 errors, 2 warnings only, 3 usage/IO\n",
           stdout);
@@ -89,6 +104,7 @@ int main(int argc, char** argv) {
   if (paths.empty()) paths = {"src", "bench", "tests", "examples"};
   if (layers_path.empty()) layers_path = "tools/manic_lint/layers.txt";
   if (units_path.empty()) units_path = "tools/manic_lint/units.txt";
+  if (trust_path.empty()) trust_path = "tools/manic_lint/trust.txt";
 
   std::string manifest_error;
   const manic::lint::LayerManifest manifest =
@@ -119,9 +135,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::string trust_error;
+  const manic::lint::TrustSpec trust =
+      manic::lint::LoadTrustSpec(trust_path, &trust_error);
+  if (!trust.loaded) {
+    if (trust_explicit) {
+      std::fprintf(stderr, "manic_lint: %s\n", trust_error.c_str());
+      return 3;
+    }
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "manic_lint: note: %s; trust passes skipped\n",
+                   trust_error.c_str());
+    }
+  }
+
   const manic::lint::TreeAnalysis analysis = manic::lint::AnalyzeTree(
       paths, manifest.loaded ? &manifest : nullptr,
-      units.loaded ? &units : nullptr);
+      units.loaded ? &units : nullptr, trust.loaded ? &trust : nullptr);
   if (analysis.read_failure) {
     std::fputs("manic_lint: some inputs could not be read\n", stderr);
     return 3;
