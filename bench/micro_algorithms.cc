@@ -178,7 +178,7 @@ void BM_PoolDispatch(benchmark::State& state) {
       sink.fetch_add(i, std::memory_order_relaxed);
     });
   }
-  benchmark::DoNotOptimize(sink.load());
+  benchmark::DoNotOptimize(sink.load(std::memory_order_relaxed));
   state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_PoolDispatch)->Arg(1)->Arg(2)->Arg(4);

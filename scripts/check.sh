@@ -17,17 +17,22 @@
 #      scripts/perf_compare.sh must find it within 20% of the committed
 #      baseline BENCH_4dce930.json on ingest rate and p99 query latency);
 #   5. sanitizer builds: ThreadSanitizer (-DMANIC_SANITIZE=thread) rerunning
-#      the runtime + driver tests with MANIC_THREADS=4, then UBSan
-#      (-DMANIC_SANITIZE=undefined, non-recoverable) running the full suite
+#      the runtime + driver tests with MANIC_THREADS=4 plus the faulted
+#      chaos study through the full serving plane (--serve, 4 ingest
+#      shards: daemon event loop, shard workers, and the query plane all
+#      under TSan), then UBSan (-DMANIC_SANITIZE=undefined,
+#      non-recoverable) running the full suite
 #      (set MANIC_CHECK_SKIP_UBSAN=1 to skip the UBSan half);
 #   6. static analysis: manic_lint --json over src/ bench/ tests/ examples/
 #      with the graph passes active against tools/manic_lint/layers.txt,
 #      the semantic passes (units dataflow against tools/manic_lint/units.txt
-#      plus the determinism taint pass), and the trust-boundary passes
+#      plus the determinism taint pass), the trust-boundary passes
 #      (taint + must-check + hot-path contracts against
-#      tools/manic_lint/trust.txt) (report lands in build/check/
-#      lint.json; any error-severity finding fails the sweep, warning-only
-#      runs pass); the curated .clang-tidy baseline, which skips with a
+#      tools/manic_lint/trust.txt), and the concurrency passes (atomic
+#      memory-order contracts, thread-role ownership, lock-order deadlock
+#      detection against tools/manic_lint/concurrency.txt) (report lands in
+#      build/check/lint.json; any error-severity finding fails the sweep,
+#      warning-only runs pass); the curated .clang-tidy baseline, which skips with a
 #      warning when clang-tidy is not installed; and — when clang++ is on
 #      PATH — a Clang build of the annotated runtime with -Wthread-safety
 #      promoted to an error, checking the GUARDED_BY/REQUIRES contracts in
@@ -107,11 +112,20 @@ grep -q '"samples_per_sec"' "$OUT_DIR/BENCH_check.json" || {
 scripts/perf_compare.sh BENCH_4dce930.json "$OUT_DIR/BENCH_check.json"
 echo "perf gate OK (report: $OUT_DIR/BENCH_check.json)."
 
-echo "== [5/6] sanitizer builds: TSan runtime/driver tests, UBSan full suite =="
+echo "== [5/6] sanitizer builds: TSan runtime/driver tests + serve chaos study, UBSan full suite =="
 cmake -B build-tsan -S . -DMANIC_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target test_runtime test_driver
+cmake --build build-tsan -j "$JOBS" --target test_runtime test_driver \
+  example_continental_study
 MANIC_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'Runtime|ThreadPool|SeedTree|StudyExecutor|StudyDeterminism|Driver'
+# The serving plane under TSan: daemon event loop + 4 shard workers + the
+# collector handshake, exercised by the faulted chaos study end to end.
+./build-tsan/examples/example_continental_study 45 4 4 \
+  --faults "$CHAOS_PLAN" --serve --serve-shards 4 \
+  > "$OUT_DIR/tsan_serve.txt" 2> "$OUT_DIR/tsan_serve.err"
+grep -q "parity: OK" "$OUT_DIR/tsan_serve.txt" || {
+  echo "FAIL: TSan serve chaos study lost batch/live parity" >&2; exit 1; }
+echo "TSan serve chaos study OK (daemon + 4 shards, fault plan $CHAOS_PLAN)."
 if [ "${MANIC_CHECK_SKIP_UBSAN:-0}" != "1" ]; then
   cmake -B build-ubsan -S . -DMANIC_SANITIZE=undefined >/dev/null
   cmake --build build-ubsan -j "$JOBS"
@@ -120,7 +134,7 @@ else
   echo "(UBSan half skipped: MANIC_CHECK_SKIP_UBSAN=1)"
 fi
 
-echo "== [6/6] static analysis: manic-lint (rules + graph + semantic + trust passes), clang-tidy, thread-safety =="
+echo "== [6/6] static analysis: manic-lint (rules + graph + semantic + trust + concurrency passes), clang-tidy, thread-safety =="
 cmake --build build -j "$JOBS" --target manic_lint
 # Exit 1 = error-severity findings (fail), 2 = warnings only (pass, but the
 # findings are on stderr and in the JSON), 3 = usage/IO trouble (fail).
@@ -128,6 +142,7 @@ LINT_STATUS=0
 ./build/tools/manic_lint --json --layers tools/manic_lint/layers.txt \
   --units tools/manic_lint/units.txt \
   --trust tools/manic_lint/trust.txt \
+  --concurrency tools/manic_lint/concurrency.txt \
   src bench tests examples > "$OUT_DIR/lint.json" || LINT_STATUS=$?
 case "$LINT_STATUS" in
   0) echo "manic-lint clean (report: $OUT_DIR/lint.json)" ;;

@@ -644,10 +644,10 @@ void RunDailyLoopSharded(UsBroadband& world, const StudyOptions& options,
           if (!truly && !inferred) tn.fetch_add(1, std::memory_order_relaxed);
         },
         /*grain=*/16);
-    result.truth_tp += tp.load();
-    result.truth_fp += fp.load();
-    result.truth_fn += fn.load();
-    result.truth_tn += tn.load();
+    result.truth_tp += tp.load(std::memory_order_relaxed);
+    result.truth_fp += fp.load(std::memory_order_relaxed);
+    result.truth_fn += fn.load(std::memory_order_relaxed);
+    result.truth_tn += tn.load(std::memory_order_relaxed);
     Notify(options, "truth", truth_tasks.size(), truth_tasks.size());
   }
 }

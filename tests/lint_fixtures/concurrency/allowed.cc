@@ -1,0 +1,12 @@
+// Suppressed on purpose: the family form silences both the atomic-order
+// error and the pair check while staying visible in the audit.
+#include <atomic>
+
+class Box {
+ public:
+  // manic-lint: allow(concurrency: atomic-order)
+  int Get() { return v_.load(); }
+
+ private:
+  std::atomic<int> v_{0};
+};

@@ -1,0 +1,12 @@
+// Implicit seq_cst atomic operations: every op must name its order.
+#include <atomic>
+
+class Counter {
+ public:
+  void Bump() { hits_.fetch_add(1); }
+  int Read() const { return hits_.load(); }
+  void Reset() { hits_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int> hits_{0};
+};

@@ -1,0 +1,13 @@
+// Publish/consume pairs must be whole: a release store with no acquire
+// load anywhere (or the reverse) fences nothing.
+#include <atomic>
+
+class Chan {
+ public:
+  void Publish() { ready_.store(true, std::memory_order_release); }
+  bool Armed() { return go_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> ready_{false};
+  std::atomic<bool> go_{false};
+};

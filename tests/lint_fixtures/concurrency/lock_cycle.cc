@@ -1,0 +1,22 @@
+// Two mutexes acquired in opposite orders on two paths: a potential
+// deadlock once the paths run on different threads.
+#include <mutex>
+
+namespace fx {
+
+std::mutex mu_a;
+std::mutex mu_b;
+
+void First(int* out) {
+  std::lock_guard<std::mutex> ga(mu_a);
+  std::lock_guard<std::mutex> gb(mu_b);
+  *out += 1;
+}
+
+void Second(int* out) {
+  std::lock_guard<std::mutex> gb(mu_b);
+  std::lock_guard<std::mutex> ga(mu_a);
+  *out += 2;
+}
+
+}  // namespace fx

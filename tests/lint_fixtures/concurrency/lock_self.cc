@@ -1,0 +1,20 @@
+// Re-acquiring a held mutex through a helper call: the runtime mutex is
+// not recursive, so this self-deadlocks the first time it runs.
+#include <mutex>
+
+namespace fx {
+
+std::mutex mu;
+int shared_count = 0;
+
+void Helper() {
+  std::lock_guard<std::mutex> g(mu);
+  shared_count += 1;
+}
+
+void Outer() {
+  std::lock_guard<std::mutex> g(mu);
+  Helper();
+}
+
+}  // namespace fx

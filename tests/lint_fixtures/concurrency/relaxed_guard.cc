@@ -1,0 +1,21 @@
+// A relaxed load must not gate reads of non-atomic shared state: the
+// flag can be observed before the data it advertises.
+#include <atomic>
+
+class Mailbox {
+ public:
+  int Take() {
+    if (ready_.load(std::memory_order_relaxed)) {
+      return value_;
+    }
+    return 0;
+  }
+  void Put(int v) {
+    value_ = v;
+    ready_.store(true, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> ready_{false};
+  int value_ = 0;
+};

@@ -1,0 +1,20 @@
+// Cross-role field write: Push is reachable only from the producer role
+// but mutates the consumer-owned inbox. The pop in Consume (owning role)
+// and the stats_ bump (declared shared) stay silent.
+#include <vector>
+
+class Engine {
+ public:
+  void Produce() { Push(7); }
+  void Consume() {
+    if (!inbox_.empty()) inbox_.pop_back();
+  }
+
+ private:
+  void Push(int v) {
+    inbox_.push_back(v);
+    stats_ += 1;
+  }
+  std::vector<int> inbox_;
+  int stats_ = 0;
+};

@@ -1,0 +1,16 @@
+// A condition variable that is waited on but never notified: the waiter
+// can sleep forever.
+#include <condition_variable>
+#include <mutex>
+
+class Gate {
+ public:
+  void Block() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+};

@@ -262,9 +262,9 @@ TEST(SemanticTree, RealTreeIsCleanUnderBothPasses) {
   EXPECT_LT(total_allows, 20) << "suppression creep";
 }
 
-TEST(SemanticTree, JsonReportCarriesSchemaVersion3) {
+TEST(SemanticTree, JsonReportCarriesSchemaVersion4) {
   const std::string json = RenderJson({}, 3, {{"units", 1}});
-  EXPECT_EQ(json.rfind("{\"schema_version\":3,", 0), 0u) << json;
+  EXPECT_EQ(json.rfind("{\"schema_version\":4,", 0), 0u) << json;
   EXPECT_NE(json.find("\"suppressions\":{\"units\":1}"), std::string::npos)
       << json;
 }

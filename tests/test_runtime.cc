@@ -123,7 +123,7 @@ TEST(ThreadPool, ExecutesEverySubmittedTask) {
     });
   }
   pool.WaitIdle();
-  EXPECT_EQ(count.load(), kTasks);
+  EXPECT_EQ(count.load(std::memory_order_relaxed), kTasks);
   for (std::size_t i = 0; i < kTasks; ++i) ASSERT_EQ(hits[i], 1) << i;
   EXPECT_EQ(metrics.tasks(), kTasks);
   EXPECT_GE(metrics.peak_queue_depth(), 1u);
@@ -136,7 +136,8 @@ TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
   pool.ParallelFor(
       kN, [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
       /*grain=*/7);
-  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1) << i;
   pool.ParallelFor(0, [&](std::size_t) { FAIL(); });  // empty range is a no-op
 }
 
@@ -150,7 +151,7 @@ TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
       inner.fetch_add(1, std::memory_order_relaxed);
     });
   });
-  EXPECT_EQ(inner.load(), 32);
+  EXPECT_EQ(inner.load(std::memory_order_relaxed), 32);
 }
 
 TEST(ThreadPool, StressManyWavesWithUnevenTasks) {
@@ -179,7 +180,7 @@ TEST(ThreadPool, StressManyWavesWithUnevenTasks) {
       ASSERT_NE(v, 0u);
       expect += v;
     }
-    EXPECT_EQ(sum.exchange(0), expect);
+    EXPECT_EQ(sum.exchange(0, std::memory_order_relaxed), expect);
   }
   EXPECT_EQ(metrics.tasks(), 20u * 257u);
 }
@@ -486,7 +487,7 @@ TEST(StudyExecutor, CheckpointResumeSkipsWorkAndMatchesUninterrupted) {
       shard.key = k;
       shard.work = [k, buffers, &works] {
         (*buffers)[k] = static_cast<double>(k) * 1.25 + 0.1;
-        works.fetch_add(1);
+        works.fetch_add(1, std::memory_order_relaxed);
       };
       shard.merge = [k, buffers, merged] { merged->push_back((*buffers)[k]); };
       shard.save = [k, buffers] {
@@ -504,7 +505,7 @@ TEST(StudyExecutor, CheckpointResumeSkipsWorkAndMatchesUninterrupted) {
       shards.push_back(std::move(shard));
     }
     executor.Execute(std::move(shards), {}, &checkpoint);
-    *works_run = works.load();
+    *works_run = works.load(std::memory_order_relaxed);
   };
 
   std::vector<double> first, resumed;
@@ -537,8 +538,9 @@ TEST(StudyExecutor, WatchdogReclaimsQueuedShardsFromAWedgedPool) {
     shard.key = k;
     shard.work = [&release, caller] {
       // A reclaimed shard runs on the calling thread and opens the gate.
-      if (std::this_thread::get_id() == caller) release.store(true);
-      while (!release.load()) {
+      if (std::this_thread::get_id() == caller)
+        release.store(true, std::memory_order_release);
+      while (!release.load(std::memory_order_acquire)) {
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
       }
     };

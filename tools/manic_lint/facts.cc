@@ -259,6 +259,9 @@ AllowMap ParseSuppressions(const std::vector<Comment>& comments) {
     std::string rule;
     std::set<std::string, std::less<>>& rules = allow[comment.end_line];
     auto flush = [&] {
+      // `allow(concurrency: atomic-order)` names a rule family and one of
+      // its rules; the trailing colon is punctuation, not part of the name.
+      while (!rule.empty() && rule.back() == ':') rule.pop_back();
       if (!rule.empty()) rules.insert(rule);
       rule.clear();
     };

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "concurrency.h"
 #include "graph.h"
 #include "lexer.h"
 #include "rules.h"
@@ -219,7 +220,8 @@ int LintPaths(const std::vector<std::string>& paths,
 TreeAnalysis AnalyzeTree(const std::vector<std::string>& paths,
                          const LayerManifest* manifest,
                          const UnitsSpec* units,
-                         const TrustSpec* trust) {
+                         const TrustSpec* trust,
+                         const ConcurrencySpec* concurrency) {
   TreeAnalysis result;
   std::vector<std::filesystem::path> sources;
   result.read_failure = !CollectSources(paths, sources);
@@ -254,6 +256,11 @@ TreeAnalysis AnalyzeTree(const std::vector<std::string>& paths,
     RunTrustPass(result.facts, *trust, result.findings);
     RunMustCheckPass(result.facts, *trust, result.findings);
   }
+  if (concurrency != nullptr && concurrency->loaded) {
+    RunAtomicsPass(result.facts, *concurrency, result.findings);
+    RunThreadRolePass(result.facts, *concurrency, result.findings);
+    RunLockOrderPass(result.facts, *concurrency, result.findings);
+  }
   RunHotPathPass(result.facts, result.findings);
   SortFindings(result.findings);
   return result;
@@ -279,7 +286,7 @@ std::string RenderText(const std::vector<Finding>& findings) {
 std::string RenderJson(const std::vector<Finding>& findings,
                        int files_scanned,
                        const std::map<std::string, int>& suppressions) {
-  std::string out = "{\"schema_version\":3"
+  std::string out = "{\"schema_version\":4"
                     ",\"files_scanned\":" + std::to_string(files_scanned) +
                     ",\"errors\":" + std::to_string(CountErrors(findings)) +
                     ",\"warnings\":" + std::to_string(CountWarnings(findings)) +

@@ -35,9 +35,10 @@
 
 namespace manic::lint {
 
-struct LayerManifest;  // graph.h
-struct UnitsSpec;      // units.h
-struct TrustSpec;      // trust.h
+struct LayerManifest;    // graph.h
+struct UnitsSpec;        // units.h
+struct TrustSpec;        // trust.h
+struct ConcurrencySpec;  // concurrency.h
 
 enum class Severity { kWarning, kError };
 
@@ -73,9 +74,11 @@ int LintPaths(const std::vector<std::string>& paths, std::vector<Finding>& out);
 // Whole-tree analysis: the per-file rules above plus the cross-file graph
 // passes (include cycles, layering contract, unused includes — graph.h),
 // the semantic passes (units dataflow — units.h, determinism taint —
-// taint.h), and the trust-boundary passes (taint flows, must-check
-// discards, hot-path contracts — trust.h), with the per-TU facts table and
-// a suppression audit on the side.
+// taint.h), the trust-boundary passes (taint flows, must-check
+// discards, hot-path contracts — trust.h), and the concurrency passes
+// (atomic memory-order contracts, thread-role ownership, lock-order —
+// concurrency.h), with the per-TU facts table and a suppression audit on
+// the side.
 struct TreeAnalysis {
   std::vector<Finding> findings;  // sorted by (file, line, rule)
   FactsTable facts;
@@ -90,18 +93,21 @@ struct TreeAnalysis {
 // Walks `paths` like LintPaths, then runs the graph and semantic passes.
 // A null (or unloaded) manifest skips the layering pass only; a null (or
 // unloaded) units spec skips the units pass only; a null (or unloaded)
-// trust spec skips the trust and must-check passes only. The determinism
-// taint pass and the hot-path contract pass always run.
+// trust spec skips the trust and must-check passes only; a null (or
+// unloaded) concurrency spec skips the atomics/thread-role/lock-order
+// passes only. The determinism taint pass and the hot-path contract pass
+// always run.
 TreeAnalysis AnalyzeTree(const std::vector<std::string>& paths,
                          const LayerManifest* manifest,
                          const UnitsSpec* units = nullptr,
-                         const TrustSpec* trust = nullptr);
+                         const TrustSpec* trust = nullptr,
+                         const ConcurrencySpec* concurrency = nullptr);
 
 // One "path:line: severity[rule]: message" line per finding.
 std::string RenderText(const std::vector<Finding>& findings);
 
 // Machine-readable report (schema documented in tools/manic_lint/README.md):
-//   {"schema_version":3,"files_scanned":N,"errors":E,"warnings":W,
+//   {"schema_version":4,"files_scanned":N,"errors":E,"warnings":W,
 //    "suppressions":{"rule":N,...},"findings":[...]}
 std::string RenderJson(const std::vector<Finding>& findings,
                        int files_scanned,

@@ -4,7 +4,8 @@
 // "fix now" from "worth a look" without parsing the report.
 //
 //   manic_lint [--json] [--werror] [--quiet] [--graph FILE]
-//              [--layers FILE] [--units FILE] [--trust FILE] [path...]
+//              [--layers FILE] [--units FILE] [--trust FILE]
+//              [--concurrency FILE] [path...]
 //
 // Paths default to `src bench tests examples` resolved against the current
 // directory; directories are walked recursively (build*/, .git/,
@@ -17,7 +18,10 @@
 // units dataflow pass from --units (default tools/manic_lint/units.txt,
 // same absent/unreadable behavior as --layers), the trust-boundary taint
 // and must-check passes from --trust (default tools/manic_lint/trust.txt,
-// same behavior again), and the hot-path contract pass (always on, driven
+// same behavior again), the concurrency passes (atomic memory-order
+// contracts, thread-role ownership, lock-order deadlock detection) from
+// --concurrency (default tools/manic_lint/concurrency.txt, same behavior
+// again), and the hot-path contract pass (always on, driven
 // by in-source markers). --graph writes the real
 // src/ module graph as Graphviz DOT. --json replaces the human report on
 // stdout with one JSON object (scripts/check.sh stage 4 redirects it to
@@ -28,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "concurrency.h"
 #include "graph.h"
 #include "lint.h"
 #include "trust.h"
@@ -39,9 +44,11 @@ int main(int argc, char** argv) {
   std::string layers_path;
   std::string units_path;
   std::string trust_path;
+  std::string concurrency_path;
   bool layers_explicit = false;
   bool units_explicit = false;
   bool trust_explicit = false;
+  bool concurrency_explicit = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -52,7 +59,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--graph" || arg == "--layers" || arg == "--units" ||
-               arg == "--trust") {
+               arg == "--trust" || arg == "--concurrency") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "manic_lint: %s needs a file argument\n",
                      arg.c_str());
@@ -66,15 +73,18 @@ int main(int argc, char** argv) {
       } else if (arg == "--units") {
         units_path = argv[++i];
         units_explicit = true;
-      } else {
+      } else if (arg == "--trust") {
         trust_path = argv[++i];
         trust_explicit = true;
+      } else {
+        concurrency_path = argv[++i];
+        concurrency_explicit = true;
       }
     } else if (arg == "--help" || arg == "-h") {
       std::fputs(
           "usage: manic_lint [--json] [--werror] [--quiet] [--graph FILE]\n"
           "                  [--layers FILE] [--units FILE] [--trust FILE]\n"
-          "                  [path...]\n"
+          "                  [--concurrency FILE] [path...]\n"
           "Token-level determinism & safety linter plus whole-program\n"
           "architecture analyzer for the MANIC tree.\n"
           "Per-file rules: unordered-iter raw-entropy stdout-write\n"
@@ -83,6 +93,9 @@ int main(int argc, char** argv) {
           "Semantic passes: determinism (always on) units (needs --units)\n"
           "Trust passes:   trust must-check (need --trust)\n"
           "                hot-path (always on, marker-driven)\n"
+          "Concurrency:    atomic-order atomic-pair atomic-guard\n"
+          "                thread-role lock-order wait-notify\n"
+          "                (need --concurrency)\n"
           "                (suppress: // manic-lint: allow(<rule>))\n"
           "--layers FILE   layering manifest (default\n"
           "                tools/manic_lint/layers.txt)\n"
@@ -90,6 +103,8 @@ int main(int argc, char** argv) {
           "                tools/manic_lint/units.txt)\n"
           "--trust FILE    trust-boundary spec (default\n"
           "                tools/manic_lint/trust.txt)\n"
+          "--concurrency FILE  thread-role/ownership spec (default\n"
+          "                tools/manic_lint/concurrency.txt)\n"
           "--graph FILE    write the src/ module graph as Graphviz DOT\n"
           "exit codes: 0 clean, 1 errors, 2 warnings only, 3 usage/IO\n",
           stdout);
@@ -105,6 +120,9 @@ int main(int argc, char** argv) {
   if (layers_path.empty()) layers_path = "tools/manic_lint/layers.txt";
   if (units_path.empty()) units_path = "tools/manic_lint/units.txt";
   if (trust_path.empty()) trust_path = "tools/manic_lint/trust.txt";
+  if (concurrency_path.empty()) {
+    concurrency_path = "tools/manic_lint/concurrency.txt";
+  }
 
   std::string manifest_error;
   const manic::lint::LayerManifest manifest =
@@ -150,9 +168,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::string concurrency_error;
+  const manic::lint::ConcurrencySpec concurrency =
+      manic::lint::LoadConcurrencySpec(concurrency_path, &concurrency_error);
+  if (!concurrency.loaded) {
+    if (concurrency_explicit) {
+      std::fprintf(stderr, "manic_lint: %s\n", concurrency_error.c_str());
+      return 3;
+    }
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "manic_lint: note: %s; concurrency passes skipped\n",
+                   concurrency_error.c_str());
+    }
+  }
+
   const manic::lint::TreeAnalysis analysis = manic::lint::AnalyzeTree(
       paths, manifest.loaded ? &manifest : nullptr,
-      units.loaded ? &units : nullptr, trust.loaded ? &trust : nullptr);
+      units.loaded ? &units : nullptr, trust.loaded ? &trust : nullptr,
+      concurrency.loaded ? &concurrency : nullptr);
   if (analysis.read_failure) {
     std::fputs("manic_lint: some inputs could not be read\n", stderr);
     return 3;
