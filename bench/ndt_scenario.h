@@ -25,13 +25,13 @@ using U = scenario::UsBroadband;
 
 struct NdtLinkSetup {
   std::string label;
-  topo::VpId vp = 0;
   DiscoveredLink link;
   ndt::NdtServer server;
-  bool reverse_symmetric = true;
   double paper_uncongested = 0.0;
   double paper_congested = 0.0;
   double paper_p = 0.0;  // <0: "p < 0.001"
+  topo::VpId vp = 0;
+  bool reverse_symmetric = true;
 };
 
 // Classifier: batch autocorrelation over a window of synthesized days.

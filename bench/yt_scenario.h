@@ -19,12 +19,12 @@ using scenario::DiscoveredLink;
 using U = scenario::UsBroadband;
 
 struct YtLinkSetup {
-  topo::VpId vp = 0;
   DiscoveredLink link;
-  topo::Ipv4Addr cache;
-  std::int64_t campaign_start = 0;  // epoch day
-  int campaign_days = 45;
   WindowClassifier classifier;
+  std::int64_t campaign_start = 0;  // epoch day
+  topo::VpId vp = 0;
+  topo::Ipv4Addr cache;
+  int campaign_days = 45;
   char vp_type = 'A';  // 'A' Ark-like, 'S' SamKnows-like (per Fig 5 labels)
 };
 

@@ -14,8 +14,9 @@
 #      chaos plan — batch/live parity must hold and the two verdict logs
 #      and stdouts must be byte-identical), and bench/perf_gate --quick
 #      (the BENCH json must be produced and well-formed, and
-#      scripts/perf_compare.sh must find it within 20% of the committed
-#      baseline BENCH_4dce930.json on ingest rate and p99 query latency);
+#      scripts/perf_compare.sh must find it within 20% of the newest
+#      committed BENCH_*.json baseline on ingest rate and p99 query
+#      latency);
 #   5. sanitizer builds: ThreadSanitizer (-DMANIC_SANITIZE=thread) rerunning
 #      the runtime + driver tests with MANIC_THREADS=4 plus the faulted
 #      chaos study through the full serving plane (--serve, 4 ingest
@@ -48,12 +49,28 @@ THREADS="${MANIC_CHECK_THREADS:-$(nproc)}"
 OUT_DIR="${MANIC_CHECK_OUT:-build/check}"
 mkdir -p "$OUT_DIR"
 
-echo "== [1/6] default build + full test suite =="
+# Per-stage wall-clock bookkeeping: stage <label> closes the previous stage
+# and opens the next; the summary prints at the end of the sweep.
+STAGE_SUMMARY=()
+STAGE_LABEL=""
+STAGE_START=0
+stage() {
+  if [ -n "$STAGE_LABEL" ]; then
+    STAGE_SUMMARY+=("$(printf '%5ds  %s' "$((SECONDS - STAGE_START))" "$STAGE_LABEL")")
+  fi
+  STAGE_LABEL="${1:-}"
+  STAGE_START=$SECONDS
+  if [ -n "$STAGE_LABEL" ]; then
+    echo "== $STAGE_LABEL =="
+  fi
+}
+
+stage "[1/6] default build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/6] determinism gate: table3_overview at 1 vs $THREADS threads =="
+stage "[2/6] determinism gate: table3_overview at 1 vs $THREADS threads"
 JSON="$OUT_DIR/table3_runtime.json"
 : > "$JSON"
 MANIC_THREADS=1 MANIC_RUNTIME_JSON="$JSON" \
@@ -68,7 +85,7 @@ echo "stdout byte-identical at 1 and $THREADS threads."
 echo "wall/CPU records (also in $JSON):"
 cat "$JSON"
 
-echo "== [3/6] chaos gate: continental study under small_chaos.plan, 1 vs $THREADS threads =="
+stage "[3/6] chaos gate: continental study under small_chaos.plan, 1 vs $THREADS threads"
 CHAOS_PLAN=examples/fault_plans/small_chaos.plan
 ./build/examples/example_continental_study 45 4 1 --faults "$CHAOS_PLAN" \
   > "$OUT_DIR/chaos_t1.txt"
@@ -80,7 +97,7 @@ if ! diff -u "$OUT_DIR/chaos_t1.txt" "$OUT_DIR/chaos_tN.txt"; then
 fi
 echo "faulted study stdout byte-identical at 1 and $THREADS threads."
 
-echo "== [4/6] serving plane: daemon smoke, replay determinism, perf gate =="
+stage "[4/6] serving plane: daemon smoke, replay determinism, perf gate"
 ./build/examples/example_serve_quickstart > "$OUT_DIR/serve_quickstart.txt" \
   2> "$OUT_DIR/serve_quickstart.err"
 grep -q "recurring=1 congested=1" "$OUT_DIR/serve_quickstart.txt" || {
@@ -109,10 +126,10 @@ echo "replay determinism OK: verdict log byte-identical at 1 and 4 shards, batch
   --out "$OUT_DIR/BENCH_check.json" > /dev/null
 grep -q '"samples_per_sec"' "$OUT_DIR/BENCH_check.json" || {
   echo "FAIL: perf_gate json missing ingest rate" >&2; exit 1; }
-scripts/perf_compare.sh BENCH_4dce930.json "$OUT_DIR/BENCH_check.json"
+scripts/perf_compare.sh "$OUT_DIR/BENCH_check.json"
 echo "perf gate OK (report: $OUT_DIR/BENCH_check.json)."
 
-echo "== [5/6] sanitizer builds: TSan runtime/driver tests + serve chaos study, UBSan full suite =="
+stage "[5/6] sanitizer builds: TSan runtime/driver tests + serve chaos study, UBSan full suite"
 cmake -B build-tsan -S . -DMANIC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_runtime test_driver \
   example_continental_study
@@ -134,7 +151,7 @@ else
   echo "(UBSan half skipped: MANIC_CHECK_SKIP_UBSAN=1)"
 fi
 
-echo "== [6/6] static analysis: manic-lint (rules + graph + semantic + trust + concurrency passes), clang-tidy, thread-safety =="
+stage "[6/6] static analysis: manic-lint (rules + graph + semantic + trust + concurrency + layout passes), clang-tidy, thread-safety"
 cmake --build build -j "$JOBS" --target manic_lint
 # Exit 1 = error-severity findings (fail), 2 = warnings only (pass, but the
 # findings are on stderr and in the JSON), 3 = usage/IO trouble (fail).
@@ -143,6 +160,7 @@ LINT_STATUS=0
   --units tools/manic_lint/units.txt \
   --trust tools/manic_lint/trust.txt \
   --concurrency tools/manic_lint/concurrency.txt \
+  --layout tools/manic_lint/layout.txt \
   src bench tests examples > "$OUT_DIR/lint.json" || LINT_STATUS=$?
 case "$LINT_STATUS" in
   0) echo "manic-lint clean (report: $OUT_DIR/lint.json)" ;;
@@ -161,5 +179,11 @@ if command -v clang++ >/dev/null 2>&1; then
 else
   echo "(clang thread-safety build skipped: clang++ not installed; CI's clang job covers it)"
 fi
+
+stage ""
+echo "-- stage wall-clock summary --"
+for line in "${STAGE_SUMMARY[@]}"; do
+  echo "  $line"
+done
 
 echo "All checks passed."

@@ -6,11 +6,40 @@
 # fields are informational; this gate only guards the two numbers the
 # serving plane advertises as its contract.
 #
-# Usage: scripts/perf_compare.sh <baseline.json> <new.json>
+# Usage: scripts/perf_compare.sh [<baseline.json>] <new.json>
+#
+# With a single argument, the baseline is resolved automatically: the
+# newest *committed* BENCH_*.json at the repo root, by commit time of the
+# last commit touching each candidate — so landing a fresh BENCH_<rev>.json
+# rolls the gate forward without editing every caller.
 set -euo pipefail
 
-BASE="${1:?usage: perf_compare.sh <baseline.json> <new.json>}"
-NEW="${2:?usage: perf_compare.sh <baseline.json> <new.json>}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+latest_committed_baseline() {
+  local best="" best_t=-1 f t
+  while IFS= read -r f; do
+    t=$(git -C "$ROOT" log -1 --format=%ct -- "$f" 2>/dev/null || true)
+    [ -n "$t" ] || continue  # tracked but never committed: not a baseline
+    if [ "$t" -gt "$best_t" ]; then
+      best_t=$t
+      best="$f"
+    fi
+  done < <(git -C "$ROOT" ls-files 'BENCH_*.json')
+  if [ -z "$best" ]; then
+    echo "FAIL: no committed BENCH_*.json baseline at the repo root" >&2
+    exit 1
+  fi
+  printf '%s/%s\n' "$ROOT" "$best"
+}
+
+if [ "$#" -eq 1 ]; then
+  BASE="$(latest_committed_baseline)"
+  NEW="$1"
+else
+  BASE="${1:?usage: perf_compare.sh [<baseline.json>] <new.json>}"
+  NEW="${2:?usage: perf_compare.sh [<baseline.json>] <new.json>}"
+fi
 
 [ -r "$BASE" ] || { echo "FAIL: baseline report '$BASE' unreadable" >&2; exit 1; }
 [ -r "$NEW" ] || { echo "FAIL: new report '$NEW' unreadable" >&2; exit 1; }

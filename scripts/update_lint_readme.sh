@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Regenerates the rule-catalog table in tools/manic_lint/README.md from
+# `manic_lint --list-rules`, so the documented rule set can never drift
+# from the RuleCatalog() the binary actually ships. Run after adding or
+# reclassifying a rule:
+#
+#   cmake --build build --target manic_lint
+#   scripts/update_lint_readme.sh
+#
+# The table lands between the BEGIN/END RULE CATALOG markers; everything
+# outside the markers is hand-written prose and left untouched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-build/tools/manic_lint}"
+README=tools/manic_lint/README.md
+[ -x "$BIN" ] || { echo "FAIL: $BIN not built (cmake --build build --target manic_lint)" >&2; exit 1; }
+grep -q "BEGIN RULE CATALOG" "$README" || { echo "FAIL: $README has no catalog markers" >&2; exit 1; }
+
+TABLE="$(mktemp)"
+trap 'rm -f "$TABLE" "$README.tmp"' EXIT
+
+{
+  echo "| Rule | Family | Severity | What it catches |"
+  echo "|---|---|---|---|"
+  # The catalog JSON is machine-generated with a fixed record shape and no
+  # escaped characters inside values, so a dependency-free awk scan is exact.
+  "$BIN" --list-rules | awk '
+    function extract(rec, key,   rest) {
+      if (!match(rec, "\"" key "\":\"")) return ""
+      rest = substr(rec, RSTART + RLENGTH)
+      match(rest, /^[^"]*/)
+      return substr(rest, RSTART, RLENGTH)
+    }
+    {
+      n = split($0, recs, /\},\{/)
+      for (i = 1; i <= n; i++) {
+        rule = extract(recs[i], "rule")
+        if (rule == "") continue
+        printf "| `%s` | %s | %s | %s |\n", rule, extract(recs[i], "family"), \
+               extract(recs[i], "severity"), extract(recs[i], "description")
+      }
+    }'
+} > "$TABLE"
+
+awk -v table="$TABLE" '
+  /BEGIN RULE CATALOG/ {
+    print
+    while ((getline line < table) > 0) print line
+    close(table)
+    skipping = 1
+    next
+  }
+  /END RULE CATALOG/ { skipping = 0 }
+  !skipping { print }
+' "$README" > "$README.tmp"
+mv "$README.tmp" "$README"
+echo "updated $README from $BIN --list-rules"

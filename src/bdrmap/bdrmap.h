@@ -109,10 +109,10 @@ class Bdrmap {
   HopInfo Annotate(Ipv4Addr addr) const;
 
   SimNetwork* net_ = nullptr;
-  VpId vp_ = 0;
   Config config_;
-  Asn host_as_ = 0;
   std::set<Asn> host_siblings_;
+  VpId vp_ = 0;
+  Asn host_as_ = 0;
 };
 
 }  // namespace manic::bdrmap

@@ -42,9 +42,9 @@ struct QualityTally {
   // been seen yet: prefix_gap == suffix_gap == max_gap == far_total, which
   // lets Append() treat an all-missing neighbor as one long run.
   std::int64_t prefix_gap = 0, suffix_gap = 0, max_gap = 0;
-  bool any_bin = false;
   std::int64_t days_observed = 0;
   std::int64_t churn = 0;  // day-level observed <-> unobserved transitions
+  bool any_bin = false;
   bool has_days = false;
   bool first_day_observed = false, last_day_observed = false;
 

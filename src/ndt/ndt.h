@@ -37,15 +37,15 @@ struct NdtServer {
 };
 
 struct NdtResult {
-  bool ok = false;
   double download_mbps = 0.0;
   double upload_mbps = 0.0;
   double rtt_ms = 0.0;
   TimeSec when = 0;
-  Ipv4Addr server;
   // Far address of the border link the forward path crossed (if it matched
   // one of the known TSLP links).
   std::optional<Ipv4Addr> forward_link;
+  Ipv4Addr server;
+  bool ok = false;
 };
 
 class NdtClient {
@@ -54,8 +54,8 @@ class NdtClient {
     double access_plan_mbps = 100.0;  // last-mile cap
     double mss_bytes = 1460.0;
     double test_duration_s = 10.0;
-    int samples_per_test = 5;   // instants averaged across the test
     double noise_sigma = 0.05;  // multiplicative measurement noise
+    int samples_per_test = 5;   // instants averaged across the test
     std::uint16_t flow = 0x4E44;
   };
 

@@ -23,18 +23,18 @@ using topo::Ipv4Addr;
 using topo::VpId;
 
 struct TracerouteHop {
-  int ttl = 0;
-  std::optional<Ipv4Addr> addr;  // nullopt: no response at this TTL
   double rtt_ms = 0.0;
+  std::optional<Ipv4Addr> addr;  // nullopt: no response at this TTL
+  int ttl = 0;
   std::uint32_t ip_id = 0;
 };
 
 struct TracerouteResult {
+  std::vector<TracerouteHop> hops;  // hops[i] has ttl i+1
+  TimeSec when = 0;
   Ipv4Addr dst;
   FlowId flow;
-  TimeSec when = 0;
-  std::vector<TracerouteHop> hops;  // hops[i] has ttl i+1
-  bool reached = false;             // destination echo-replied
+  bool reached = false;  // destination echo-replied
 };
 
 // Accounting for a per-VP packets-per-second budget. Probing modules ask
@@ -74,10 +74,10 @@ class RateBudget {
 // beyond the first) draw on a per-destination lifetime budget so one dead
 // target cannot consume the prober's round; first attempts are always free.
 struct RetryPolicy {
-  int max_attempts = 3;
-  double timeout_ms = 0.0;      // 0: no timeout
+  double timeout_ms = 0.0;     // 0: no timeout
   TimeSec backoff_s = 1;
-  int per_target_budget = 16;   // lifetime retries per destination
+  int max_attempts = 3;
+  int per_target_budget = 16;  // lifetime retries per destination
 };
 
 class Prober {

@@ -41,13 +41,17 @@ CheckpointLog::CheckpointLog(std::string path) : path_(std::move(path)) {
       data.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
     return;  // foreign or empty file: treat as no completed shards
   }
+  constexpr std::size_t kHeader = CheckpointRecordHeader::kEncodedSize;
   std::size_t pos = kMagicLen;
-  while (pos + 16 <= data.size()) {
-    const std::uint64_t key = ReadU64(data, pos);
-    const std::uint64_t len = ReadU64(data, pos + 8);
-    if (pos + 16 + len > data.size()) break;  // truncated tail: kill mid-write
-    records_[key] = data.substr(pos + 16, len);
-    pos += 16 + len;
+  while (pos + kHeader <= data.size()) {
+    CheckpointRecordHeader header;
+    header.key = ReadU64(data, pos);
+    header.length = ReadU64(data, pos + 8);
+    if (pos + kHeader + header.length > data.size()) {
+      break;  // truncated tail: kill mid-write
+    }
+    records_[header.key] = data.substr(pos + kHeader, header.length);
+    pos += kHeader + header.length;
   }
   if (pos < data.size()) {
     // Chop the torn record off the file, not just the parse: Record()
@@ -60,10 +64,13 @@ CheckpointLog::CheckpointLog(std::string path) : path_(std::move(path)) {
 }
 
 void CheckpointLog::Record(std::uint64_t key, std::string_view blob) {
+  CheckpointRecordHeader header;
+  header.key = key;
+  header.length = blob.size();
   std::string rec;
-  rec.reserve(16 + blob.size());
-  AppendU64(rec, key);
-  AppendU64(rec, blob.size());
+  rec.reserve(CheckpointRecordHeader::kEncodedSize + blob.size());
+  AppendU64(rec, header.key);
+  AppendU64(rec, header.length);
   rec.append(blob);
   std::ofstream os(path_, std::ios::binary | std::ios::app);
   os.write(rec.data(), static_cast<std::streamsize>(rec.size()));

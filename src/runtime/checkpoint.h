@@ -20,6 +20,20 @@
 
 namespace manic::runtime {
 
+// The fixed prefix of one on-disk checkpoint record: [key][length], both
+// little-endian u64, followed by `length` blob bytes. The shape is pinned
+// in tools/manic_lint/layout.txt (wire-abi pass) — adding a field here
+// would silently orphan every existing checkpoint file, so the pin forces
+// a deliberate format-version bump instead.
+struct CheckpointRecordHeader {
+  std::uint64_t key = 0;
+  std::uint64_t length = 0;
+
+  // Encoded size of the prefix; Record() and the load loop both use this
+  // rather than a bare 16.
+  static constexpr std::uint64_t kEncodedSize = 16;
+};
+
 class BlobWriter {
  public:
   void PutU64(std::uint64_t v) {

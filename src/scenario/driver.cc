@@ -118,9 +118,8 @@ std::vector<DiscoveredLink> DiscoverVpLinks(UsBroadband& world, topo::VpId vp,
         net.ExpectProbe(vp, dest.dst, dest.far_ttl - 1, sim::FlowId{dest.flow},
                         t, /*include_queues=*/false);
     if (!far_base.reachable || !near_base.reachable) continue;
-    out.push_back({vp, v.name, vp_tz, info, border.far_addr, dest.dst,
-                   dest.flow, dest.far_ttl, far_base.rtt_ms,
-                   near_base.rtt_ms});
+    out.push_back({v.name, info, far_base.rtt_ms, near_base.rtt_ms, vp, vp_tz,
+                   border.far_addr, dest.dst, dest.far_ttl, dest.flow});
   }
   return out;
 }
@@ -132,15 +131,15 @@ namespace {
 // their pairs concurrently once discovery (which does mutate the network)
 // has finished.
 struct VpLink {
-  topo::VpId vp = 0;
-  std::string vp_name;
-  int vp_utc_offset = 0;
-  const InterLinkInfo* info = nullptr;
   TslpSynthesizer synth;
-  bool is_comcast = false;
+  std::string vp_name;
+  const InterLinkInfo* info = nullptr;
   // Visibility window (epoch days) for this VP-link pair.
   std::int64_t visible_from = 0;
   std::int64_t visible_until = 0;
+  topo::VpId vp = 0;
+  int vp_utc_offset = 0;
+  bool is_comcast = false;
 };
 
 // The per-pair data-quality bookkeeping now lives in infer/streaming.h so
@@ -207,11 +206,12 @@ std::vector<VpLink> DiscoverPairs(UsBroadband& world,
         }
       }
       pairs.push_back(
-          {vp, dl.vp_name, dl.vp_utc_offset, dl.info,
-           TslpSynthesizer(net, vp, dl.info->link, dl.base_far_ms,
+          {TslpSynthesizer(net, vp, dl.info->link, dl.base_far_ms,
                            dl.base_near_ms, seeds.Leaf(vp, dl.info->link)),
-           world.topo->vp(vp).host_as == UsBroadband::kComcast, from, until});
-      observed_links.insert(dl.info->link);
+           dl.vp_name, dl.info, from, until, vp, dl.vp_utc_offset,
+           world.topo->vp(vp).host_as == UsBroadband::kComcast});
+      // manic-lint: allow(layout: alloc-scale) -- discovery-time dedup set,
+      observed_links.insert(dl.info->link);  // built once per campaign.
     }
   }
   return pairs;

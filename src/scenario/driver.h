@@ -86,16 +86,16 @@ class TslpSynthesizer {
 // the congestion-free baseline RTTs — the shared starting point of every
 // experiment harness.
 struct DiscoveredLink {
-  topo::VpId vp = 0;
   std::string vp_name;
-  int vp_utc_offset = 0;
   const InterLinkInfo* info = nullptr;
-  topo::Ipv4Addr far_addr;
-  topo::Ipv4Addr dest;
-  std::uint16_t flow = 0;
-  int far_ttl = 0;
   double base_far_ms = 0.0;
   double base_near_ms = 0.0;
+  topo::VpId vp = 0;
+  int vp_utc_offset = 0;
+  topo::Ipv4Addr far_addr;
+  topo::Ipv4Addr dest;
+  int far_ttl = 0;
+  std::uint16_t flow = 0;
 };
 
 // Runs bdrmap from `vp` at time t and resolves the discovered borders against

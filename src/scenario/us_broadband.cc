@@ -419,7 +419,7 @@ UsBroadband MakeUsBroadband(const UsBroadbandOptions& options) {
       // Links numbered from the access side: the hard border-mapping case,
       // and the dominant U.S. convention.
       const LinkId link = t.ConnectInter(ar, tr, 1.0, 100.0, access);
-      w.interdomain.push_back({link, access, tcp, city, false});
+      w.interdomain.push_back({city, link, access, tcp, false});
     }
   };
 
@@ -511,7 +511,8 @@ UsBroadband MakeUsBroadband(const UsBroadbandOptions& options) {
     const auto vps_it = w.vps_by_access.find(ep.access);
     if (vps_it != w.vps_by_access.end()) {
       for (const VpId vp : vps_it->second) {
-        vp_cities.insert(t.router(t.vp(vp).first_hop).city);
+        // manic-lint: allow(layout: alloc-scale) -- world-build time, one
+        vp_cities.insert(t.router(t.vp(vp).first_hop).city);  // city per VP.
       }
     }
     std::stable_sort(links.begin(), links.end(),
@@ -531,6 +532,9 @@ UsBroadband MakeUsBroadband(const UsBroadbandOptions& options) {
             w.net->DemandFor(info.link, sim::Direction::kBtoA);
         demand.default_peak_utilization =
             0.45 + 0.35 * stats::Rng::HashToUnit(options.seed, info.link, 7);
+        // manic-lint: allow(layout: alloc-scale) -- a handful of episode
+        // regimes per link, appended once at world construction.
+        // manic-lint: allow(layout: alloc-scale)
         demand.regimes.push_back({StudyMonthStartDay(ep.m0),
                                   StudyMonthStartDay(ep.m1), ep.peak0,
                                   ep.peak1});

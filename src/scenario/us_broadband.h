@@ -34,10 +34,10 @@ struct UsBroadbandOptions {
 };
 
 struct InterLinkInfo {
+  std::string city;
   LinkId link = topo::kInvalidId;
   Asn access = 0;
   Asn tcp = 0;
-  std::string city;
   bool scheduled_congested = false;  // covered by at least one episode
 };
 

@@ -52,9 +52,9 @@ class TcpDaemon {
 
  private:
   struct Conn {
-    int fd = -1;
     Session session;
     std::string outbox;
+    int fd = -1;
     bool closing = false;  // flush what we can, then drop
     explicit Conn(CongestionService* service) : session(service) {}
   };
@@ -101,8 +101,8 @@ class BlockingClient {
   bool SendAll(std::string_view bytes);
   bool ReadFrame(MsgType* type, std::string* payload);
 
-  int fd_ = -1;
   FrameAssembler assembler_;
+  int fd_ = -1;
   std::uint32_t server_shards_ = 0;
 };
 

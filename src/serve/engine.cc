@@ -117,7 +117,8 @@ std::map<topo::LinkId, infer::DataQuality> ShardEngine::QualitySnapshot(
       acc.Add(state.quality());
       measured = true;
     }
-    if (measured) out.emplace(link, acc.Finish(total_days));
+    // manic-lint: allow(layout: alloc-scale) -- day-close deposit map,
+    if (measured) out.emplace(link, acc.Finish(total_days));  // once per day.
   }
   return out;
 }

@@ -38,6 +38,10 @@ struct IngestShardConfig {
   TimeSec retention_horizon_s = 0;
 };
 
+// The declaration order below narrates ownership (producer lane, worker
+// state, handshake lines); the 64 reorderable bytes are the price of the
+// alignas(64) isolation and IngestShard is per-shard, not per-element.
+// manic-lint: allow(layout: layout-pad)
 class IngestShard {
  public:
   explicit IngestShard(IngestShardConfig config = {});
@@ -105,9 +109,14 @@ class IngestShard {
   std::vector<VerdictRecord> day_verdicts_;
   std::map<topo::LinkId, infer::DataQuality> quality_;
 
-  std::atomic<std::int64_t> closed_through_{
+  // closed_through_ is the collector-vs-worker handshake line; the stat
+  // counters live on their own line (they may share it with each other —
+  // both are worker-written, see `same-line` in tools/manic_lint/layout.txt)
+  // so worker counter bumps never invalidate the line the collector spins
+  // on.
+  alignas(64) std::atomic<std::int64_t> closed_through_{
       std::numeric_limits<std::int64_t>::min()};
-  std::atomic<std::uint64_t> samples_{0};
+  alignas(64) std::atomic<std::uint64_t> samples_{0};
   std::atomic<std::uint64_t> raw_points_{0};
 };
 

@@ -102,7 +102,9 @@ class SpscRing {
  private:
   alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
   alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
-  std::vector<T> slots_;
+  // Line-aligned so the producer's tail_ cursor does not share its cache
+  // line with the slot/mask metadata both endpoints read on every op.
+  alignas(64) std::vector<T> slots_;
   std::size_t mask_ = 0;
 };
 

@@ -50,10 +50,8 @@ inline constexpr std::int64_t kNoDayClosed =
 inline constexpr std::int64_t kMaxAbsSampleDay = 1'000'000;
 
 struct ServiceConfig {
-  int shards = 1;
-  std::size_t ring_capacity = 1 << 14;
   EngineConfig engine;
-  bool store_raw = true;
+  std::size_t ring_capacity = 1 << 14;
   TimeSec retention_horizon_s = 0;  // 0 = keep every raw point
   // Live-mode event clock for PollClock(); leave null for pure stream mode
   // (replay), where day boundaries come from sample timestamps only.
@@ -63,6 +61,8 @@ struct ServiceConfig {
   // Bounds the work one submit frame can trigger: CloseThrough advances at
   // most this many days per accepted sample.
   std::int64_t max_day_jump = 366;
+  int shards = 1;
+  bool store_raw = true;
 };
 
 // What Submit did with one sample. kLate and kRejected samples are dropped

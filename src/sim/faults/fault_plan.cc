@@ -63,7 +63,7 @@ const char* FaultKindName(FaultKind kind) noexcept {
 
 FaultPlan& FaultPlan::LinkDown(topo::LinkId link, TimeSec start_s,
                                TimeSec end_s) {
-  events_.push_back({FaultKind::kLinkDown, start_s, end_s, link, 0.0});
+  events_.push_back({start_s, end_s, 0.0, link, FaultKind::kLinkDown});
   return *this;
 }
 
@@ -79,43 +79,43 @@ FaultPlan& FaultPlan::LinkFlaps(topo::LinkId link, TimeSec start_s, int flaps,
 FaultPlan& FaultPlan::LinkBrownout(topo::LinkId link, TimeSec start_s,
                                    TimeSec end_s, double capacity_scale_frac) {
   events_.push_back(
-      {FaultKind::kLinkBrownout, start_s, end_s, link, capacity_scale_frac});
+      {start_s, end_s, capacity_scale_frac, link, FaultKind::kLinkBrownout});
   return *this;
 }
 
 FaultPlan& FaultPlan::VpOutage(topo::VpId vp, TimeSec start_s, TimeSec end_s) {
-  events_.push_back({FaultKind::kVpOutage, start_s, end_s, vp, 0.0});
+  events_.push_back({start_s, end_s, 0.0, vp, FaultKind::kVpOutage});
   return *this;
 }
 
 FaultPlan& FaultPlan::IcmpBlackhole(topo::RouterId router, TimeSec start_s,
                                     TimeSec end_s) {
-  events_.push_back({FaultKind::kIcmpBlackhole, start_s, end_s, router, 0.0});
+  events_.push_back({start_s, end_s, 0.0, router, FaultKind::kIcmpBlackhole});
   return *this;
 }
 
 FaultPlan& FaultPlan::IcmpRateLimit(topo::RouterId router, TimeSec start_s,
                                     TimeSec end_s, double extra_loss_frac) {
   events_.push_back(
-      {FaultKind::kIcmpRateLimit, start_s, end_s, router, extra_loss_frac});
+      {start_s, end_s, extra_loss_frac, router, FaultKind::kIcmpRateLimit});
   return *this;
 }
 
 FaultPlan& FaultPlan::RouteChurn(TimeSec at_s) {
-  events_.push_back({FaultKind::kRouteChurn, at_s, at_s, 0, 0.0});
+  events_.push_back({at_s, at_s, 0.0, 0, FaultKind::kRouteChurn});
   return *this;
 }
 
 FaultPlan& FaultPlan::ClockSkew(topo::VpId vp, TimeSec start_s, TimeSec end_s,
                                 TimeSec skew_s) {
-  events_.push_back({FaultKind::kClockSkew, start_s, end_s, vp,
-                     static_cast<double>(skew_s)});
+  events_.push_back({start_s, end_s, static_cast<double>(skew_s), vp,
+                     FaultKind::kClockSkew});
   return *this;
 }
 
 FaultPlan& FaultPlan::TsdbDrop(topo::VpId vp, TimeSec start_s, TimeSec end_s,
                                double drop_frac) {
-  events_.push_back({FaultKind::kTsdbDrop, start_s, end_s, vp, drop_frac});
+  events_.push_back({start_s, end_s, drop_frac, vp, FaultKind::kTsdbDrop});
   return *this;
 }
 

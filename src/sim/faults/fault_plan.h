@@ -46,13 +46,13 @@ enum class FaultKind : std::uint8_t {
 const char* FaultKindName(FaultKind kind) noexcept;
 
 struct FaultEvent {
-  FaultKind kind = FaultKind::kLinkDown;
   TimeSec start_s = 0;  // inclusive
   TimeSec end_s = 0;    // exclusive (== start_s for kRouteChurn)
-  // Link, VP, or router id, per kind (unused for kRouteChurn).
-  std::uint32_t target = 0;
   // capacity scale / extra loss fraction / skew seconds / drop probability.
   double magnitude = 0.0;
+  // Link, VP, or router id, per kind (unused for kRouteChurn).
+  std::uint32_t target = 0;
+  FaultKind kind = FaultKind::kLinkDown;
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };

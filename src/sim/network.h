@@ -51,14 +51,14 @@ struct Hop {
 
 struct ForwardPath {
   std::vector<Hop> hops;  // hops[k] is where a probe with TTL k+1 expires
-  bool reached = false;   // destination host reachable past the last hop
-  Ipv4Addr dst;
-  Asn dst_as = 0;
   // Final delivery to the destination host beyond the last hop: a real
   // uplink crossing when dst is a VP host, otherwise a fixed stub delay.
+  double host_delay_ms = 0.5;
+  Ipv4Addr dst;
+  Asn dst_as = 0;
   LinkId host_link = topo::kInvalidId;
   Direction host_dir = Direction::kAtoB;
-  double host_delay_ms = 0.5;
+  bool reached = false;  // destination host reachable past the last hop
 };
 
 enum class ProbeOutcome : std::uint8_t { kTtlExpired, kEchoReply, kLost };
@@ -73,13 +73,13 @@ struct ProbeReply {
 
 // Aggregate path quality used by the throughput / streaming models.
 struct PathMetrics {
-  bool reachable = false;
   double rtt_ms = 0.0;         // base + queueing, both directions
   double loss_up = 0.0;        // VP -> destination direction
   double loss_down = 0.0;      // destination -> VP direction
   double min_capacity_gbps = 0.0;
   double worst_down_utilization = 0.0;
   LinkId worst_down_link = topo::kInvalidId;
+  bool reachable = false;
 };
 
 class SimNetwork {
@@ -147,10 +147,10 @@ class SimNetwork {
   // window (300 probes) as one Binomial draw instead of 300 walks; tests
   // verify it matches per-probe simulation.
   struct ProbeExpectation {
-    bool reachable = false;
     double rtt_ms = 0.0;
     double loss_prob = 1.0;
     Ipv4Addr responder;
+    bool reachable = false;
   };
   // include_queues=false yields the congestion-free baseline RTT (pure
   // propagation + ICMP costs), used by the fast series synthesizer.

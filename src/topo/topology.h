@@ -53,13 +53,13 @@ struct IcmpProfile {
 };
 
 struct Router {
-  RouterId id = kInvalidId;
-  Asn owner = 0;
   std::string name;
   std::string city;
-  int utc_offset_hours = 0;  // local time for diurnal demand & Fig 9
   std::vector<IfaceId> interfaces;
   IcmpProfile icmp;
+  RouterId id = kInvalidId;
+  Asn owner = 0;
+  int utc_offset_hours = 0;  // local time for diurnal demand & Fig 9
   // Monotonic IP-ID counter shared across interfaces: the signal the Ally
   // alias-resolution technique exploits.
   mutable std::uint32_t ip_id_counter = 0;

@@ -31,14 +31,14 @@ struct VideoSpec {
 };
 
 struct StreamResult {
-  bool completed = false;          // reached end of video without failure
-  bool failed = false;             // aborted: depleted buffer / segment failure
   double on_throughput_mbps = 0.0; // mean instantaneous rate during ON periods
   double startup_delay_s = 0.0;
-  int rebuffer_events = 0;
   double rtt_ms = 0.0;
   TimeSec when = 0;
   std::optional<Ipv4Addr> forward_link;  // border link crossed toward cache
+  int rebuffer_events = 0;
+  bool completed = false;  // reached end of video without failure
+  bool failed = false;     // aborted: depleted buffer / segment failure
 };
 
 class YoutubeClient {

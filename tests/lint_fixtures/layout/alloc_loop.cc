@@ -1,0 +1,28 @@
+// Alloc-pass fixture: per-element heap allocation inside a loop over a
+// scale-axis collection (`links` matches the test spec's `links*` axis).
+// The map insert, the make_unique, and the raw `new` must each fire;
+// push_back into the flat `out` vector is amortized tail growth and must
+// not. The `arena` variant of the spec exempts the map and the callee.
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace demo {
+
+struct Item {
+  int v = 0;
+};
+
+void Build(const std::vector<int>& links, std::vector<int>& out) {
+  std::map<int, Item> table;
+  std::vector<std::unique_ptr<Item>> owned;
+  for (const int link : links) {
+    table.insert({link, Item{}});
+    owned.push_back(std::make_unique<Item>());
+    Item* raw = new Item;
+    delete raw;
+    out.push_back(link);
+  }
+}
+
+}  // namespace demo

@@ -1,0 +1,21 @@
+// Layout-pass fixture: byte budgets. `Record` is 24 bytes under the model
+// in every field order (8+8+4 rounded to alignment 8), so a 16-byte budget
+// reports "no field order is smaller". `Mixed` is 24 bytes as declared but
+// reordering reaches 16, so its finding carries the suggested order.
+#include <cstdint>
+
+namespace demo {
+
+struct Record {
+  std::int64_t t = 0;
+  double value = 0.0;
+  std::uint32_t id = 0;
+};
+
+struct Mixed {
+  std::uint8_t flag = 0;
+  std::int64_t a = 0;
+  std::uint8_t b = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,27 @@
+// Layout-pass fixture: false sharing. `Queue` is declared multi-thread in
+// the test spec; its atomic cursor sits between two plain fields with no
+// alignas(64), so both neighbors cohabit its cache line. `Isolated` pads
+// the atomic and the following field to line boundaries and is clean.
+// `Paired` relies on a `same-line` declaration in the spec instead.
+#include <atomic>
+#include <cstdint>
+
+namespace demo {
+
+struct Queue {
+  std::uint64_t scratch_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+  std::uint64_t tail_cache_ = 0;
+};
+
+struct Isolated {
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::uint64_t tail_cache_ = 0;
+};
+
+struct Paired {
+  std::atomic<std::uint64_t> count_{0};
+  std::uint64_t shadow_ = 0;
+};
+
+}  // namespace demo

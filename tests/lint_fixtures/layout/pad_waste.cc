@@ -1,0 +1,22 @@
+// Layout-pass fixture: reorderable padding. `Padded` interleaves one-byte
+// flags with eight-byte words (32 bytes declared, 24 after the reorder the
+// finding suggests: 8 wasted bytes, at the default threshold). `Tight`
+// exercises multi-declarator field statements and has no reorderable
+// waste, so it must stay silent.
+#include <cstdint>
+
+namespace demo {
+
+struct Padded {
+  std::uint8_t flag = 0;
+  std::int64_t a = 0;
+  std::uint8_t flag2 = 0;
+  std::int64_t b = 0;
+};
+
+struct Tight {
+  std::int64_t a = 0;
+  std::uint8_t f1 = 0, f2 = 0;
+};
+
+}  // namespace demo

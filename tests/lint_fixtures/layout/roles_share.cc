@@ -1,0 +1,19 @@
+// Layout-pass fixture: false sharing discovered through concurrency.txt
+// thread roles rather than a `multi-thread` spec line. The test spec binds
+// `producer` to Ring::Push and `consumer` to Ring::Pop, making Ring a
+// multi-role struct; its write cursor then shares a cache line with both
+// neighbors.
+#include <atomic>
+#include <cstdint>
+
+namespace demo {
+
+struct Ring {
+  void Push() { w_.fetch_add(1, std::memory_order_release); }
+  std::uint64_t Pop() { return w_.load(std::memory_order_acquire); }
+  std::uint64_t pad_ = 0;
+  std::atomic<std::uint64_t> w_{0};
+  std::uint64_t r_cache_ = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,15 @@
+// Suppression fixture: the family-form allow on the line above the struct
+// silences its layout-budget finding while still landing in the audit
+// under both the rule and the `layout` family.
+#include <cstdint>
+
+namespace demo {
+
+// manic-lint: allow(layout: layout-budget)
+struct Record {
+  std::int64_t t = 0;
+  double value = 0.0;
+  std::uint32_t id = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,17 @@
+// Wire-abi fixture: the classic drive-by field. `PacketHeader` is the
+// pinned 17-byte wire struct from wire_ok.cc plus an unencoded `seq`
+// field — exactly the change that silently forks every recorded stream
+// if it lands without a format bump. The pass must fail loudly here.
+#include <cstdint>
+
+namespace demo {
+
+struct PacketHeader {
+  std::uint64_t t = 0;
+  std::uint32_t link = 0;
+  std::uint8_t kind = 0;
+  float value = 0.0F;
+  std::uint32_t seq = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,14 @@
+// Wire-abi fixture: `PacketHeader` matches its pinned 17-byte encoded
+// layout (t:8 link:4 kind:1 value:4) field-for-field, in order.
+#include <cstdint>
+
+namespace demo {
+
+struct PacketHeader {
+  std::uint64_t t = 0;
+  std::uint32_t link = 0;
+  std::uint8_t kind = 0;
+  float value = 0.0F;
+};
+
+}  // namespace demo

@@ -37,11 +37,11 @@ constexpr sim::TimeSec kDay = 86400;
 // peering link; the helper the injection tests share. A non-empty plan is
 // installed for the whole campaign, discovery included.
 struct CampaignResult {
-  bool recurring = false;
-  double response_rate = 0.0;
-  infer::RejectReason reject = infer::RejectReason::kNone;
   infer::DataQuality quality;
+  double response_rate = 0.0;
   std::uint64_t rounds_vp_down = 0;
+  infer::RejectReason reject = infer::RejectReason::kNone;
+  bool recurring = false;
 };
 
 CampaignResult RunCampaign(scenario::SmallScenario& world,

@@ -165,7 +165,7 @@ TEST(LintJson, ReportIsPinnedAndEscaped) {
   ASSERT_EQ(findings.size(), 1u);
   const std::string json = RenderJson(findings, 1);
   EXPECT_EQ(json,
-            "{\"schema_version\":4,"
+            "{\"schema_version\":5,"
             "\"files_scanned\":1,\"errors\":1,\"warnings\":0,"
             "\"suppressions\":{},"
             "\"findings\":[{\"file\":\"src/sim/roll.cc\",\"line\":8,"

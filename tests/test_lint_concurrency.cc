@@ -327,10 +327,10 @@ TEST(ConcurrencyTree, RealTreeRolesActuallyBind) {
       << "thread-role pass no longer sees IngestShard's worker writes";
 }
 
-TEST(ConcurrencyTree, JsonReportCarriesSchemaVersion4) {
+TEST(ConcurrencyTree, JsonReportCarriesSchemaVersion5) {
   const std::string json =
       RenderJson({}, 3, {{"concurrency", 1}, {"atomic-order", 1}});
-  EXPECT_EQ(json.rfind("{\"schema_version\":4,", 0), 0u) << json;
+  EXPECT_EQ(json.rfind("{\"schema_version\":5,", 0), 0u) << json;
   EXPECT_NE(
       json.find("\"suppressions\":{\"atomic-order\":1,\"concurrency\":1}"),
       std::string::npos)

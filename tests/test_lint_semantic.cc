@@ -259,12 +259,15 @@ TEST(SemanticTree, RealTreeIsCleanUnderBothPasses) {
   for (const auto& [rule, count] : analysis.suppressions) {
     total_allows += count;
   }
-  EXPECT_LT(total_allows, 20) << "suppression creep";
+  // Family-form allows (`allow(layout: alloc-scale)`) count twice: once
+  // under the rule and once under the family, so the tier-6 layout allows
+  // roughly double their line count here.
+  EXPECT_LT(total_allows, 50) << "suppression creep";
 }
 
-TEST(SemanticTree, JsonReportCarriesSchemaVersion4) {
+TEST(SemanticTree, JsonReportCarriesSchemaVersion5) {
   const std::string json = RenderJson({}, 3, {{"units", 1}});
-  EXPECT_EQ(json.rfind("{\"schema_version\":4,", 0), 0u) << json;
+  EXPECT_EQ(json.rfind("{\"schema_version\":5,", 0), 0u) << json;
   EXPECT_NE(json.find("\"suppressions\":{\"units\":1}"), std::string::npos)
       << json;
 }

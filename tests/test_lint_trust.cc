@@ -328,9 +328,9 @@ TEST(TrustTree, RealTreeCarriesHotPathRegions) {
   EXPECT_GE(marker_files, 3) << "hot-path markers missing from src/serve";
 }
 
-TEST(TrustTree, JsonReportCarriesSchemaVersion4) {
+TEST(TrustTree, JsonReportCarriesSchemaVersion5) {
   const std::string json = RenderJson({}, 3, {{"trust", 1}, {"hot-path", 2}});
-  EXPECT_EQ(json.rfind("{\"schema_version\":4,", 0), 0u) << json;
+  EXPECT_EQ(json.rfind("{\"schema_version\":5,", 0), 0u) << json;
   EXPECT_NE(json.find("\"suppressions\":{\"hot-path\":2,\"trust\":1}"),
             std::string::npos)
       << json;

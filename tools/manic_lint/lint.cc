@@ -11,6 +11,7 @@
 
 #include "concurrency.h"
 #include "graph.h"
+#include "layout.h"
 #include "lexer.h"
 #include "rules.h"
 #include "taint.h"
@@ -221,7 +222,8 @@ TreeAnalysis AnalyzeTree(const std::vector<std::string>& paths,
                          const LayerManifest* manifest,
                          const UnitsSpec* units,
                          const TrustSpec* trust,
-                         const ConcurrencySpec* concurrency) {
+                         const ConcurrencySpec* concurrency,
+                         const LayoutSpec* layout) {
   TreeAnalysis result;
   std::vector<std::filesystem::path> sources;
   result.read_failure = !CollectSources(paths, sources);
@@ -261,6 +263,11 @@ TreeAnalysis AnalyzeTree(const std::vector<std::string>& paths,
     RunThreadRolePass(result.facts, *concurrency, result.findings);
     RunLockOrderPass(result.facts, *concurrency, result.findings);
   }
+  if (layout != nullptr && layout->loaded) {
+    RunLayoutPass(result.facts, *layout, concurrency, result.findings);
+    RunAllocPass(result.facts, *layout, result.findings);
+    RunWireAbiPass(result.facts, *layout, result.findings);
+  }
   RunHotPathPass(result.facts, result.findings);
   SortFindings(result.findings);
   return result;
@@ -286,7 +293,7 @@ std::string RenderText(const std::vector<Finding>& findings) {
 std::string RenderJson(const std::vector<Finding>& findings,
                        int files_scanned,
                        const std::map<std::string, int>& suppressions) {
-  std::string out = "{\"schema_version\":4"
+  std::string out = "{\"schema_version\":5"
                     ",\"files_scanned\":" + std::to_string(files_scanned) +
                     ",\"errors\":" + std::to_string(CountErrors(findings)) +
                     ",\"warnings\":" + std::to_string(CountWarnings(findings)) +
@@ -314,6 +321,104 @@ std::string RenderJson(const std::vector<Finding>& findings,
     out += "\"}";
   }
   out += "]}";
+  return out;
+}
+
+const std::vector<RuleInfo>& RuleCatalog() {
+  // One entry per rule the analyzer can emit, grouped by tier. Severity
+  // "error/warning" marks rules whose level depends on context (path
+  // scoping, hot-path regions).
+  static const std::vector<RuleInfo> kCatalog = {
+      {"unordered-iter", "token", "error",
+       "for-loop ranges over unordered containers must fold through the "
+       "canonical-order helpers in src/runtime/canonical.h"},
+      {"raw-entropy", "token", "error",
+       "rand()/srand()/std::random_device/time(nullptr) outside "
+       "src/stats/rng — all randomness flows from explicit seeds"},
+      {"stdout-write", "token", "error",
+       "no stdout writes inside src/runtime or src/scenario; bench stdout "
+       "must stay byte-comparable across thread counts"},
+      {"header-hygiene", "token", "error",
+       "headers carry #pragma once and never `using namespace`"},
+      {"uninit-member", "token", "error/warning",
+       "POD struct members need default initializers (error in "
+       "StudyExecutor-adjacent code, warning elsewhere)"},
+      {"include-cycle", "graph", "error",
+       "the project include graph must stay acyclic"},
+      {"layering", "graph", "error",
+       "includes must respect the layer manifest "
+       "(tools/manic_lint/layers.txt)"},
+      {"unused-include", "graph", "warning",
+       "a project include whose exported symbols the includer never "
+       "mentions"},
+      {"units", "units", "error",
+       "unit-tagged values (seconds vs milliseconds vs fractions) must not "
+       "mix without a declared conversion (tools/manic_lint/units.txt)"},
+      {"determinism", "determinism", "error",
+       "wall-clock and iteration-order taint must not reach study results "
+       "or replay state"},
+      {"trust", "trust", "error",
+       "boundary-tainted values must pass a declared sanitizer before "
+       "reaching a sink (tools/manic_lint/trust.txt)"},
+      {"must-check", "trust", "error",
+       "declared must-check outcomes (decode results, bounds probes) "
+       "cannot be silently discarded"},
+      {"hot-path", "trust", "error/warning",
+       "no allocation, locking, or blocking I/O inside declared hot-path "
+       "regions"},
+      {"atomic-order", "concurrency", "error/warning",
+       "every std::atomic op names an explicit std::memory_order; seq_cst "
+       "inside a hot-path region is a warning"},
+      {"atomic-pair", "concurrency", "error",
+       "a release store with no acquire load of the same atomic anywhere "
+       "in the program (or the converse) is a broken publish pair"},
+      {"atomic-guard", "concurrency", "error",
+       "a relaxed load must not guard reads of non-atomic shared state"},
+      {"thread-role", "concurrency", "error",
+       "code reachable from one declared thread role cannot write fields "
+       "owned by another (tools/manic_lint/concurrency.txt)"},
+      {"lock-order", "concurrency", "error",
+       "the whole-program lock-acquisition graph must stay acyclic"},
+      {"wait-notify", "concurrency", "error",
+       "condition-variable and atomic waits need a matching notify "
+       "somewhere in the program"},
+      {"layout-budget", "layout", "error",
+       "hot per-element structs must fit their declared byte budgets under "
+       "the fixed-size model (tools/manic_lint/layout.txt)"},
+      {"layout-pad", "layout", "warning",
+       "reorderable padding waste at or above the spec threshold, with the "
+       "suggested field order"},
+      {"false-sharing", "layout", "error",
+       "an atomic field in a multi-thread-role struct must not share a "
+       "64-byte cache line with other mutable fields without alignas(64) "
+       "or a declared same-line exemption"},
+      {"alloc-scale", "layout", "error",
+       "no per-element heap allocation inside loops over declared "
+       "scale-axis collections; bulk paths are declared under `arena`"},
+      {"wire-abi", "layout", "error",
+       "structs pinned in the spec's `wire` section must keep exactly the "
+       "pinned fields, order, and encoded byte sizes"},
+  };
+  return kCatalog;
+}
+
+std::string RenderRuleCatalogJson() {
+  std::string out = "{\"schema_version\":5,\"rules\":[";
+  bool first = true;
+  for (const RuleInfo& info : RuleCatalog()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"rule\":\"";
+    AppendEscaped(out, info.rule);
+    out += "\",\"family\":\"";
+    AppendEscaped(out, info.family);
+    out += "\",\"severity\":\"";
+    AppendEscaped(out, info.severity);
+    out += "\",\"description\":\"";
+    AppendEscaped(out, info.description);
+    out += "\"}";
+  }
+  out += "]}\n";
   return out;
 }
 

@@ -39,6 +39,7 @@ struct LayerManifest;    // graph.h
 struct UnitsSpec;        // units.h
 struct TrustSpec;        // trust.h
 struct ConcurrencySpec;  // concurrency.h
+struct LayoutSpec;       // layout.h
 
 enum class Severity { kWarning, kError };
 
@@ -75,10 +76,11 @@ int LintPaths(const std::vector<std::string>& paths, std::vector<Finding>& out);
 // passes (include cycles, layering contract, unused includes — graph.h),
 // the semantic passes (units dataflow — units.h, determinism taint —
 // taint.h), the trust-boundary passes (taint flows, must-check
-// discards, hot-path contracts — trust.h), and the concurrency passes
+// discards, hot-path contracts — trust.h), the concurrency passes
 // (atomic memory-order contracts, thread-role ownership, lock-order —
-// concurrency.h), with the per-TU facts table and a suppression audit on
-// the side.
+// concurrency.h), and the layout passes (byte budgets, padding, false
+// sharing, scale-loop allocation, wire-ABI pins — layout.h), with the
+// per-TU facts table and a suppression audit on the side.
 struct TreeAnalysis {
   std::vector<Finding> findings;  // sorted by (file, line, rule)
   FactsTable facts;
@@ -95,23 +97,42 @@ struct TreeAnalysis {
 // unloaded) units spec skips the units pass only; a null (or unloaded)
 // trust spec skips the trust and must-check passes only; a null (or
 // unloaded) concurrency spec skips the atomics/thread-role/lock-order
-// passes only. The determinism taint pass and the hot-path contract pass
-// always run.
+// passes only; a null (or unloaded) layout spec skips the
+// layout/alloc/wire-abi passes only. The determinism taint pass and the
+// hot-path contract pass always run.
 TreeAnalysis AnalyzeTree(const std::vector<std::string>& paths,
                          const LayerManifest* manifest,
                          const UnitsSpec* units = nullptr,
                          const TrustSpec* trust = nullptr,
-                         const ConcurrencySpec* concurrency = nullptr);
+                         const ConcurrencySpec* concurrency = nullptr,
+                         const LayoutSpec* layout = nullptr);
 
 // One "path:line: severity[rule]: message" line per finding.
 std::string RenderText(const std::vector<Finding>& findings);
 
 // Machine-readable report (schema documented in tools/manic_lint/README.md):
-//   {"schema_version":4,"files_scanned":N,"errors":E,"warnings":W,
+//   {"schema_version":5,"files_scanned":N,"errors":E,"warnings":W,
 //    "suppressions":{"rule":N,...},"findings":[...]}
 std::string RenderJson(const std::vector<Finding>& findings,
                        int files_scanned,
                        const std::map<std::string, int>& suppressions = {});
+
+// The complete rule catalog across all six tiers, in (family, rule) order.
+// `severity` is "error", "warning", or "error/warning" for rules whose
+// severity is context-dependent. This is the single source of truth the
+// README's rule table and `manic_lint --list-rules` are generated from.
+struct RuleInfo {
+  std::string_view rule;
+  std::string_view family;    // token|graph|units|determinism|trust|
+                              // concurrency|layout
+  std::string_view severity;
+  std::string_view description;
+};
+const std::vector<RuleInfo>& RuleCatalog();
+
+// `--list-rules` payload: {"schema_version":5,"rules":[{"rule":...,
+// "family":...,"severity":...,"description":...},...]}
+std::string RenderRuleCatalogJson();
 
 int CountErrors(const std::vector<Finding>& findings);
 int CountWarnings(const std::vector<Finding>& findings);
