@@ -20,6 +20,10 @@
 // parity gate. --serve-shards sets the daemon's ingest shard count (the
 // verdict log must be byte-identical at any value), --verdict-log writes
 // the canonical log, --record captures the wire-format stream to a file.
+// --wal-dir (implies --serve) runs the parity pass crash-safe: every
+// consumed sample is write-ahead logged under the directory, a prior
+// incarnation's log is replayed first, and the run ends with the
+// clean-shutdown marker.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -49,13 +53,28 @@ bool RunServeParity(const scenario::StudyOptions& options,
                     const std::map<std::pair<std::int64_t, std::uint64_t>,
                                    analysis::DayLinkRecord>& batch_records,
                     int shards, const std::string& verdict_log_path,
-                    const std::string& record_path) {
+                    const std::string& record_path,
+                    const std::string& wal_dir) {
   serve::ServiceConfig config;
   config.shards = shards;
   config.engine.autocorr = options.autocorr;
   config.store_raw = false;  // parity needs verdicts, not the raw store
+  config.wal_dir = wal_dir;  // non-empty = crash-safe run (--wal-dir)
   serve::CongestionService service(config);
   service.Start();
+  if (!wal_dir.empty()) {
+    const serve::WalRecoverStats recovered = service.RecoverFromWal();
+    if (!recovered.ok) {
+      std::fprintf(stderr, "wal recovery failed under %s: %s\n",
+                   wal_dir.c_str(), recovered.error.c_str());
+      return false;
+    }
+    if (recovered.samples != 0) {
+      std::fprintf(stderr, "wal: replayed %llu samples, %llu day closes\n",
+                   static_cast<unsigned long long>(recovered.samples),
+                   static_cast<unsigned long long>(recovered.closes));
+    }
+  }
 
   serve::StreamWriter recorder;
   if (!record_path.empty() && !recorder.Open(record_path)) {
@@ -197,6 +216,12 @@ bool RunServeParity(const scenario::StudyOptions& options,
   std::printf("quality grades matched: %zu/%zu links\n", quality_matched,
               batch.link_quality.size());
   std::printf("parity: %s\n", ok ? "OK" : "FAILED");
+  if (!wal_dir.empty() &&
+      service.CloseWalClean() != serve::WalStatus::kOk) {
+    std::fprintf(stderr, "wal clean close failed under %s\n",
+                 wal_dir.c_str());
+    ok = false;
+  }
   service.Stop();
   return ok;
 }
@@ -205,7 +230,7 @@ bool RunServeParity(const scenario::StudyOptions& options,
 
 int main(int argc, char** argv) {
   std::string faults_path, checkpoint_path;
-  std::string verdict_log_path, record_path;
+  std::string verdict_log_path, record_path, wal_dir;
   bool serve_mode = false;
   bool args_ok = true;
   int serve_shards = 1;
@@ -225,12 +250,15 @@ int main(int argc, char** argv) {
       verdict_log_path = argv[++i];
     } else if (arg == "--record" && i + 1 < argc) {
       record_path = argv[++i];
+    } else if (arg == "--wal-dir" && i + 1 < argc) {
+      wal_dir = argv[++i];
+      serve_mode = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [days] [max_vps] [threads] "
                    "[--faults <plan.txt>] [--checkpoint <log>] [--serve] "
                    "[--serve-shards N] [--verdict-log <path>] "
-                   "[--record <path>]\n",
+                   "[--record <path>] [--wal-dir <dir>]\n",
                    arg.c_str(), argv[0]);
       return 2;
     } else {
@@ -257,7 +285,7 @@ int main(int argc, char** argv) {
                  "bad numeric argument\nusage: %s [days] [max_vps] [threads] "
                  "[--faults <plan.txt>] [--checkpoint <log>] [--serve] "
                  "[--serve-shards N] [--verdict-log <path>] "
-                 "[--record <path>]\n",
+                 "[--record <path>] [--wal-dir <dir>]\n",
                  argv[0]);
     return 2;
   }
@@ -364,7 +392,7 @@ int main(int argc, char** argv) {
 
   if (serve_mode) {
     if (!RunServeParity(options, result, batch_records, serve_shards,
-                        verdict_log_path, record_path)) {
+                        verdict_log_path, record_path, wal_dir)) {
       return 1;
     }
   }

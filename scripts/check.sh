@@ -12,16 +12,22 @@
 #      end to end over a loopback socket), the replay-determinism gate
 #      (continental study in --serve mode at 1 vs 4 ingest shards under the
 #      chaos plan — batch/live parity must hold and the two verdict logs
-#      and stdouts must be byte-identical), and bench/perf_gate --quick
-#      (the BENCH json must be produced and well-formed, and
+#      and stdouts must be byte-identical), the crash-recovery gate
+#      (tools/crashloop kills the daemon at 10 seeded points — SIGKILL
+#      mid-stream and torn WAL appends — restarts and recovers each time,
+#      at 1 and at 4 ingest shards; every recovered verdict log must be
+#      byte-identical to the uncrashed reference, and the two references
+#      must match each other), and bench/perf_gate (full workload, best-of-3
+#      reps) with the WAL on (the BENCH json must be produced and well-formed, and
 #      scripts/perf_compare.sh must find it within 20% of the newest
 #      committed BENCH_*.json baseline on ingest rate and p99 query
-#      latency);
+#      latency — durability priced in);
 #   5. sanitizer builds: ThreadSanitizer (-DMANIC_SANITIZE=thread) rerunning
 #      the runtime + driver tests with MANIC_THREADS=4 plus the faulted
 #      chaos study through the full serving plane (--serve, 4 ingest
 #      shards: daemon event loop, shard workers, and the query plane all
-#      under TSan), then UBSan (-DMANIC_SANITIZE=undefined,
+#      under TSan) and a crashloop kill/recover cycle (WAL replay and the
+#      drain path under TSan), then UBSan (-DMANIC_SANITIZE=undefined,
 #      non-recoverable) running the full suite
 #      (set MANIC_CHECK_SKIP_UBSAN=1 to skip the UBSan half);
 #   6. static analysis: manic_lint --json over src/ bench/ tests/ examples/
@@ -122,7 +128,26 @@ fi
 grep -q "parity: OK" "$OUT_DIR/serve_s1.txt" || {
   echo "FAIL: batch/live parity check did not pass" >&2; exit 1; }
 echo "replay determinism OK: verdict log byte-identical at 1 and 4 shards, batch/live parity holds."
-./build/bench/perf_gate --quick --rev check \
+# Crash-recovery gate: seeded kills (SIGKILL mid-stream + torn WAL appends),
+# each incarnation recovers from the WAL and resumes from the watermark; the
+# final verdict log must match an uncrashed reference byte for byte, and the
+# references themselves must be shard-count independent.
+rm -rf "$OUT_DIR/crashloop_s1" "$OUT_DIR/crashloop_s4"
+./build/tools/crashloop --out-dir "$OUT_DIR/crashloop_s1" --shards 1 \
+  --kills 10 --seed 7
+./build/tools/crashloop --out-dir "$OUT_DIR/crashloop_s4" --shards 4 \
+  --kills 10 --seed 7
+if ! cmp -s "$OUT_DIR/crashloop_s1/reference.log" \
+            "$OUT_DIR/crashloop_s4/reference.log"; then
+  echo "FAIL: crashloop reference log differs between 1 and 4 shards" >&2
+  exit 1
+fi
+echo "crash-recovery gate OK: 10 seeded kills survived at 1 and 4 shards, recovered logs byte-identical."
+# Full workload, not --quick: the committed baseline is a full run, and a
+# quick run cannot amortize its day-close fsyncs over enough samples to sit
+# in the same 20% band. Best-of-3 inside perf_gate keeps this a few seconds.
+rm -rf "$OUT_DIR/bench_wal"
+./build/bench/perf_gate --rev check --wal-dir "$OUT_DIR/bench_wal" \
   --out "$OUT_DIR/BENCH_check.json" > /dev/null
 grep -q '"samples_per_sec"' "$OUT_DIR/BENCH_check.json" || {
   echo "FAIL: perf_gate json missing ingest rate" >&2; exit 1; }
@@ -132,7 +157,7 @@ echo "perf gate OK (report: $OUT_DIR/BENCH_check.json)."
 stage "[5/6] sanitizer builds: TSan runtime/driver tests + serve chaos study, UBSan full suite"
 cmake -B build-tsan -S . -DMANIC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target test_runtime test_driver \
-  example_continental_study
+  example_continental_study crashloop
 MANIC_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'Runtime|ThreadPool|SeedTree|StudyExecutor|StudyDeterminism|Driver'
 # The serving plane under TSan: daemon event loop + 4 shard workers + the
@@ -143,6 +168,12 @@ MANIC_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
 grep -q "parity: OK" "$OUT_DIR/tsan_serve.txt" || {
   echo "FAIL: TSan serve chaos study lost batch/live parity" >&2; exit 1; }
 echo "TSan serve chaos study OK (daemon + 4 shards, fault plan $CHAOS_PLAN)."
+# One kill/recover cycle with the race detector on: the WAL replay path,
+# the drain epilogue, and the reconnecting client all run under TSan.
+rm -rf "$OUT_DIR/tsan_crashloop"
+./build-tsan/tools/crashloop --out-dir "$OUT_DIR/tsan_crashloop" --shards 4 \
+  --kills 2 --seed 3
+echo "TSan crashloop OK (2 seeded kills, recover + drain under the race detector)."
 if [ "${MANIC_CHECK_SKIP_UBSAN:-0}" != "1" ]; then
   cmake -B build-ubsan -S . -DMANIC_SANITIZE=undefined >/dev/null
   cmake --build build-ubsan -j "$JOBS"

@@ -55,20 +55,27 @@ bool ValidMsgType(std::uint8_t raw) {
     case MsgType::kError:
     case MsgType::kFlush:
     case MsgType::kFlushAck:
+    case MsgType::kGetWatermark:
+    case MsgType::kWatermark:
       return true;
   }
   return false;
 }
 
-void PutSample(Encoder* e, const Sample& s) {
-  e->PutI64(s.t);
-  e->PutU32(s.link);
-  e->PutU32(s.vp);
-  // Encode side: `s` is a locally built Sample (kind is a validated enum),
-  // not bytes off the wire.
-  // manic-lint: allow(trust)
-  e->PutU8(static_cast<std::uint8_t>(s.kind));
-  e->PutF32(s.value);
+// Bytes of one encoded Sample (pinned: `wire Sample` in layout.txt).
+constexpr std::size_t kWireSampleBytes = 21;
+
+// Writes `word` little-endian at *dst and advances the cursor in place.
+// The raw-pointer form exists for EncodeSubmitBatchTo, where the frame
+// size is known up front and per-sample string appends dominate the WAL
+// flush cost.
+template <typename U>
+void StoreLE(char** dst, U word) {
+  char* raw = *dst;
+  for (std::size_t i = 0; i < sizeof(U); ++i) {
+    raw[i] = static_cast<char>((word >> (8 * i)) & 0xFF);
+  }
+  *dst = raw + sizeof(U);
 }
 
 bool GetSample(Decoder* d, Sample* s) {
@@ -261,18 +268,42 @@ bool DecodeHelloAck(std::string_view payload, std::uint32_t* version,
 }
 
 std::string EncodeSubmitBatch(std::span<const Sample> samples) {
-  Encoder e;
-  e.PutU32(static_cast<std::uint32_t>(samples.size()));
-  for (const Sample& s : samples) PutSample(&e, s);
-  return EncodeFrame(MsgType::kSubmitBatch, e.data());
+  std::string frame;
+  EncodeSubmitBatchTo(samples, &frame);
+  return frame;
+}
+
+void EncodeSubmitBatchTo(std::span<const Sample> samples, std::string* out) {
+  // Samples encode at a fixed width, so the whole frame is sized up front
+  // and filled through one raw cursor: this runs for every WAL flush, and
+  // growth-checked per-field appends are most of the encode cost.
+  const auto count = static_cast<std::uint32_t>(samples.size());
+  const std::size_t base = out->size();
+  out->resize(base + 4 + 1 + 4 + kWireSampleBytes * count);
+  char* cursor = out->data() + base;
+  StoreLE(&cursor, static_cast<std::uint32_t>(1 + 4 + kWireSampleBytes * count));
+  *cursor++ = static_cast<char>(MsgType::kSubmitBatch);
+  StoreLE(&cursor, count);
+  for (const Sample& s : samples) {
+    StoreLE(&cursor, static_cast<std::uint64_t>(s.t));
+    StoreLE(&cursor, s.link);
+    StoreLE(&cursor, s.vp);
+    // Encode side: `s` is a locally built Sample (kind is a validated
+    // enum), not bytes off the wire.
+    // manic-lint: allow(trust)
+    *cursor++ = static_cast<char>(static_cast<std::uint8_t>(s.kind));
+    StoreLE(&cursor, std::bit_cast<std::uint32_t>(s.value));
+  }
 }
 
 bool DecodeSubmitBatch(std::string_view payload, std::vector<Sample>* out) {
   Decoder d(payload);
   std::uint32_t count = 0;
   if (!d.GetU32(&count)) return false;
-  // 21 bytes per encoded sample; reject counts the payload cannot hold.
-  if (payload.size() < 4 + static_cast<std::size_t>(count) * 21) return false;
+  // Fixed bytes per encoded sample; reject counts the payload cannot hold.
+  if (payload.size() < 4 + static_cast<std::size_t>(count) * kWireSampleBytes) {
+    return false;
+  }
   out->clear();
   out->reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -344,9 +375,46 @@ std::string EncodeFlushAck(std::int64_t last_closed_day) {
   return EncodeFrame(MsgType::kFlushAck, e.data());
 }
 
+void EncodeFlushAckTo(std::int64_t last_closed_day, std::string* out) {
+  PutLE(out, static_cast<std::uint32_t>(1 + 8));
+  out->push_back(static_cast<char>(MsgType::kFlushAck));
+  PutLE(out, static_cast<std::uint64_t>(last_closed_day));
+}
+
 bool DecodeFlushAck(std::string_view payload, std::int64_t* last_closed_day) {
   Decoder d(payload);
   return d.GetI64(last_closed_day) && d.AtEnd();
+}
+
+std::string EncodeGetWatermark() {
+  return EncodeFrame(MsgType::kGetWatermark, {});
+}
+
+std::string EncodeWatermark(const WatermarkInfo& info) {
+  Encoder e;
+  e.PutU64(info.samples_consumed);
+  e.PutI64(info.watermark_t);
+  e.PutI64(info.last_closed_day);
+  // Encode side: the flag bits are two local bools (value <= 3 by
+  // construction), not wire input.
+  // manic-lint: allow(trust)
+  const std::uint8_t flags = static_cast<std::uint8_t>(
+      (info.degraded ? 1u : 0u) | (info.saw_sample ? 2u : 0u));
+  e.PutU8(flags);
+  return EncodeFrame(MsgType::kWatermark, e.data());
+}
+
+bool DecodeWatermark(std::string_view payload, WatermarkInfo* info) {
+  Decoder d(payload);
+  std::uint8_t flags = 0;
+  if (!d.GetU64(&info->samples_consumed) || !d.GetI64(&info->watermark_t) ||
+      !d.GetI64(&info->last_closed_day) || !d.GetU8(&flags) || !d.AtEnd()) {
+    return false;
+  }
+  if (flags > 3) return false;
+  info->degraded = (flags & 1u) != 0;
+  info->saw_sample = (flags & 2u) != 0;
+  return true;
 }
 
 std::string EncodeVerdicts(std::span<const VerdictRecord> verdicts) {

@@ -40,6 +40,7 @@ enum class MsgType : std::uint8_t {
   kQueryQuality = 7,  // u32 link
   kQueryStats = 8,    // (empty)
   kFlush = 13,        // (empty) close every day through the watermark
+  kGetWatermark = 15,  // (empty) report the durable ingest watermark
   // server -> client
   kHelloAck = 2,    // u32 version, u32 ingest shards
   kSubmitAck = 4,   // u64 samples accepted
@@ -47,7 +48,25 @@ enum class MsgType : std::uint8_t {
   kQuality = 10,    // u8 found, DataQuality fields
   kStats = 11,      // ServiceStats fields
   kFlushAck = 14,   // i64 last closed day
+  kWatermark = 16,  // WatermarkInfo fields
   kError = 12,      // u16 code, u16 len, message bytes
+};
+
+// The durable ingest watermark (kWatermark): everything a reconnecting
+// client needs to resubmit idempotently. samples_consumed counts accepted +
+// late samples — exactly the samples the WAL holds — so after a daemon
+// restart a client that streamed N samples resumes at offset
+// samples_consumed into its stream: no sample is double-ingested, none is
+// lost. `degraded` mirrors the shed-on-ENOSPC ladder: queries still served,
+// ingest rejected with kErrDegraded.
+struct WatermarkInfo {
+  std::uint64_t samples_consumed = 0;
+  std::int64_t watermark_t = 0;      // newest admitted timestamp
+  std::int64_t last_closed_day = 0;  // kNoDayClosed encoding when none
+  bool degraded = false;
+  bool saw_sample = false;
+
+  friend bool operator==(const WatermarkInfo&, const WatermarkInfo&) = default;
 };
 
 // Aggregate counters the query plane reports (kStats).
@@ -145,6 +164,10 @@ bool DecodeHelloAck(std::string_view payload, std::uint32_t* version,
                     std::uint32_t* shards);
 
 std::string EncodeSubmitBatch(std::span<const Sample> samples);
+// Appends the frame to *out instead of allocating a fresh string — the WAL
+// appender reuses one buffer across appends to keep the ingest path
+// allocation-free in steady state.
+void EncodeSubmitBatchTo(std::span<const Sample> samples, std::string* out);
 bool DecodeSubmitBatch(std::string_view payload, std::vector<Sample>* out);
 std::string EncodeSubmitAck(std::uint64_t accepted);
 bool DecodeSubmitAck(std::string_view payload, std::uint64_t* accepted);
@@ -160,7 +183,13 @@ bool DecodeQueryQuality(std::string_view payload, topo::LinkId* link);
 std::string EncodeQueryStats();
 std::string EncodeFlush();
 std::string EncodeFlushAck(std::int64_t last_closed_day);
+// Buffer-reusing variant (the WAL's day-close marker record).
+void EncodeFlushAckTo(std::int64_t last_closed_day, std::string* out);
 bool DecodeFlushAck(std::string_view payload, std::int64_t* last_closed_day);
+
+std::string EncodeGetWatermark();
+std::string EncodeWatermark(const WatermarkInfo& info);
+bool DecodeWatermark(std::string_view payload, WatermarkInfo* info);
 
 std::string EncodeVerdicts(std::span<const VerdictRecord> verdicts);
 bool DecodeVerdicts(std::string_view payload, std::vector<VerdictRecord>* out);

@@ -22,6 +22,17 @@ bool SetNonBlocking(int fd) {
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+// SO_RCVTIMEO/SO_SNDTIMEO: a blocking call returns EAGAIN after ms instead
+// of hanging forever on a wedged daemon. 0 keeps the block-forever default.
+void ApplySocketTimeout(int fd, std::uint32_t ms) {
+  if (ms == 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 }  // namespace
 
 TcpDaemon::~TcpDaemon() {
@@ -79,6 +90,14 @@ void TcpDaemon::Shutdown() {
   }
 }
 
+void TcpDaemon::Drain() {
+  drain_.store(true, std::memory_order_release);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'd';
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
 bool TcpDaemon::FlushOutbox(Conn* conn) {
   while (!conn->outbox.empty()) {
     const ssize_t n =
@@ -127,11 +146,21 @@ void TcpDaemon::HandleReadable(Conn* conn) {
 void TcpDaemon::Run() {
   std::vector<pollfd> fds;
   while (!stop_.load(std::memory_order_acquire)) {
+    const bool draining = drain_.load(std::memory_order_acquire);
+    if (draining) {
+      // Drain exit condition: every reply in flight has been flushed. New
+      // input is no longer read, so the set of pending bytes only shrinks.
+      bool pending = false;
+      for (const Conn* conn : conns_) {
+        if (!conn->outbox.empty()) pending = true;
+      }
+      if (!pending) break;
+    }
     fds.clear();
-    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({listen_fd_, static_cast<short>(draining ? 0 : POLLIN), 0});
     fds.push_back({wake_read_fd_, POLLIN, 0});
     for (const Conn* conn : conns_) {
-      short events = POLLIN;
+      short events = draining ? 0 : POLLIN;
       if (!conn->outbox.empty()) events |= POLLOUT;
       fds.push_back({conn->fd, events, 0});
     }
@@ -142,36 +171,48 @@ void TcpDaemon::Run() {
     // Live-mode day closes; a no-op without a configured clock.
     service_->PollClock();
 
-    if (ready <= 0) continue;
-
-    if (fds[0].revents & POLLIN) {
-      for (;;) {
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0) break;
-        if (!SetNonBlocking(fd)) {
-          ::close(fd);
-          continue;
+    if (ready > 0) {
+      if (fds[0].revents & POLLIN) {
+        for (;;) {
+          const int fd = ::accept(listen_fd_, nullptr, nullptr);
+          if (fd < 0) break;
+          if (!SetNonBlocking(fd)) {
+            ::close(fd);
+            continue;
+          }
+          Conn* conn = new Conn(service_);
+          conn->fd = fd;
+          conns_.push_back(conn);
         }
-        Conn* conn = new Conn(service_);
-        conn->fd = fd;
-        conns_.push_back(conn);
       }
-    }
-    if (fds[1].revents & POLLIN) {
-      char drain[16];
-      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      if (fds[1].revents & POLLIN) {
+        char wake[16];
+        while (::read(wake_read_fd_, wake, sizeof(wake)) > 0) {
+        }
       }
+
+      // conns_ indices line up with fds[2..]; accept() above only appends.
+      const std::size_t polled = fds.size() - 2;
+      for (std::size_t i = 0; i < polled; ++i) {
+        Conn* conn = conns_[i];
+        const short revents = fds[i + 2].revents;
+        if (revents & (POLLERR | POLLHUP | POLLNVAL)) conn->closing = true;
+        if (!conn->closing && (revents & POLLIN)) HandleReadable(conn);
+        if (revents & (POLLIN | POLLOUT)) {
+          if (!FlushOutbox(conn)) conn->closing = true;
+          conn->idle_ticks = 0;
+        } else {
+          ++conn->idle_ticks;
+        }
+      }
+    } else {
+      // Timed-out tick: nobody moved bytes, everyone idles one notch.
+      for (Conn* conn : conns_) ++conn->idle_ticks;
     }
 
-    // conns_ indices line up with fds[2..]; accept() above only appends.
-    const std::size_t polled = fds.size() - 2;
-    for (std::size_t i = 0; i < polled; ++i) {
-      Conn* conn = conns_[i];
-      const short revents = fds[i + 2].revents;
-      if (revents & (POLLERR | POLLHUP | POLLNVAL)) conn->closing = true;
-      if (!conn->closing && (revents & POLLIN)) HandleReadable(conn);
-      if (revents & (POLLIN | POLLOUT)) {
-        if (!FlushOutbox(conn)) conn->closing = true;
+    if (max_idle_ticks_ != 0) {
+      for (Conn* conn : conns_) {
+        if (conn->idle_ticks > max_idle_ticks_) conn->closing = true;
       }
     }
 
@@ -205,8 +246,13 @@ void TcpDaemon::CloseAll() {
 
 bool BlockingClient::Connect(std::uint16_t port) {
   Close();
+  last_error_ = ClientError::kNone;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) return false;
+  if (fd_ < 0) {
+    last_error_ = ClientError::kConnect;
+    return false;
+  }
+  ApplySocketTimeout(fd_, timeout_ms_);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -214,19 +260,18 @@ bool BlockingClient::Connect(std::uint16_t port) {
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     Close();
-    return false;
-  }
-  if (!SendAll(EncodeHello())) {
-    Close();
+    last_error_ = ClientError::kConnect;
     return false;
   }
   MsgType type;
   std::string payload;
   std::uint32_t version = 0;
-  if (!ReadFrame(&type, &payload) || type != MsgType::kHelloAck ||
+  if (!SendAll(EncodeHello()) || !ReadFrame(&type, &payload) ||
+      type != MsgType::kHelloAck ||
       !DecodeHelloAck(payload, &version, &server_shards_) ||
       version != kProtocolVersion) {
     Close();
+    last_error_ = ClientError::kConnect;
     return false;
   }
   return true;
@@ -248,6 +293,11 @@ bool BlockingClient::SendAll(std::string_view bytes) {
                              MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        last_error_ = ClientError::kTimeout;  // SO_SNDTIMEO expired
+      } else {
+        last_error_ = ClientError::kClosed;
+      }
       return false;
     }
     sent += static_cast<std::size_t>(n);
@@ -258,34 +308,74 @@ bool BlockingClient::SendAll(std::string_view bytes) {
 bool BlockingClient::ReadFrame(MsgType* type, std::string* payload) {
   for (;;) {
     if (assembler_.Next(type, payload)) return true;
-    if (assembler_.corrupt()) return false;
+    if (assembler_.corrupt()) {
+      last_error_ = ClientError::kProtocol;
+      return false;
+    }
     char buf[65536];
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        last_error_ = ClientError::kTimeout;  // SO_RCVTIMEO expired
+      } else {
+        last_error_ = ClientError::kClosed;
+      }
       return false;
     }
     assembler_.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
   }
 }
 
+bool BlockingClient::FailOnReply(MsgType type, std::string_view payload) {
+  std::uint16_t code = 0;
+  std::string message;
+  if (type == MsgType::kError && DecodeError(payload, &code, &message) &&
+      code == kErrDegraded) {
+    last_error_ = ClientError::kDegraded;
+  } else {
+    last_error_ = ClientError::kProtocol;
+  }
+  return false;
+}
+
 bool BlockingClient::Submit(std::span<const Sample> samples) {
-  if (fd_ < 0 || !SendAll(EncodeSubmitBatch(samples))) return false;
+  last_error_ = ClientError::kNone;
+  if (fd_ < 0) {
+    last_error_ = ClientError::kClosed;
+    return false;
+  }
+  if (!SendAll(EncodeSubmitBatch(samples))) return false;
   MsgType type;
   std::string payload;
+  if (!ReadFrame(&type, &payload)) return false;
+  if (type != MsgType::kSubmitAck) return FailOnReply(type, payload);
   std::uint64_t accepted = 0;
-  return ReadFrame(&type, &payload) && type == MsgType::kSubmitAck &&
-         DecodeSubmitAck(payload, &accepted) && accepted == samples.size();
+  if (!DecodeSubmitAck(payload, &accepted) || accepted != samples.size()) {
+    last_error_ = ClientError::kProtocol;
+    return false;
+  }
+  return true;
 }
 
 std::optional<std::vector<VerdictRecord>> BlockingClient::QueryRange(
     topo::LinkId link, TimeSec t0, TimeSec t1) {
-  if (fd_ < 0 || !SendAll(EncodeQueryRange(link, t0, t1))) return std::nullopt;
+  last_error_ = ClientError::kNone;
+  if (fd_ < 0) {
+    last_error_ = ClientError::kClosed;
+    return std::nullopt;
+  }
+  if (!SendAll(EncodeQueryRange(link, t0, t1))) return std::nullopt;
   MsgType type;
   std::string payload;
   std::vector<VerdictRecord> rows;
-  if (!ReadFrame(&type, &payload) || type != MsgType::kVerdicts ||
-      !DecodeVerdicts(payload, &rows)) {
+  if (!ReadFrame(&type, &payload)) return std::nullopt;
+  if (type != MsgType::kVerdicts) {
+    FailOnReply(type, payload);
+    return std::nullopt;
+  }
+  if (!DecodeVerdicts(payload, &rows)) {
+    last_error_ = ClientError::kProtocol;
     return std::nullopt;
   }
   return rows;
@@ -293,53 +383,117 @@ std::optional<std::vector<VerdictRecord>> BlockingClient::QueryRange(
 
 std::optional<VerdictRecord> BlockingClient::QueryPoint(topo::LinkId link,
                                                         TimeSec t) {
-  if (fd_ < 0 || !SendAll(EncodeQueryPoint(link, t))) return std::nullopt;
+  last_error_ = ClientError::kNone;
+  if (fd_ < 0) {
+    last_error_ = ClientError::kClosed;
+    return std::nullopt;
+  }
+  if (!SendAll(EncodeQueryPoint(link, t))) return std::nullopt;
   MsgType type;
   std::string payload;
   std::vector<VerdictRecord> rows;
-  if (!ReadFrame(&type, &payload) || type != MsgType::kVerdicts ||
-      !DecodeVerdicts(payload, &rows) || rows.empty()) {
+  if (!ReadFrame(&type, &payload)) return std::nullopt;
+  if (type != MsgType::kVerdicts) {
+    FailOnReply(type, payload);
     return std::nullopt;
   }
+  if (!DecodeVerdicts(payload, &rows)) {
+    last_error_ = ClientError::kProtocol;
+    return std::nullopt;
+  }
+  if (rows.empty()) return std::nullopt;  // no verdict, not an error
   return rows.front();
 }
 
 std::optional<infer::DataQuality> BlockingClient::QueryQuality(
     topo::LinkId link) {
-  if (fd_ < 0 || !SendAll(EncodeQueryQuality(link))) return std::nullopt;
+  last_error_ = ClientError::kNone;
+  if (fd_ < 0) {
+    last_error_ = ClientError::kClosed;
+    return std::nullopt;
+  }
+  if (!SendAll(EncodeQueryQuality(link))) return std::nullopt;
   MsgType type;
   std::string payload;
   bool found = false;
   infer::DataQuality quality;
-  if (!ReadFrame(&type, &payload) || type != MsgType::kQuality ||
-      !DecodeQuality(payload, &found, &quality) || !found) {
+  if (!ReadFrame(&type, &payload)) return std::nullopt;
+  if (type != MsgType::kQuality) {
+    FailOnReply(type, payload);
     return std::nullopt;
   }
+  if (!DecodeQuality(payload, &found, &quality)) {
+    last_error_ = ClientError::kProtocol;
+    return std::nullopt;
+  }
+  if (!found) return std::nullopt;  // unknown link, not an error
   return quality;
 }
 
 std::optional<ServiceStats> BlockingClient::QueryStats() {
-  if (fd_ < 0 || !SendAll(EncodeQueryStats())) return std::nullopt;
+  last_error_ = ClientError::kNone;
+  if (fd_ < 0) {
+    last_error_ = ClientError::kClosed;
+    return std::nullopt;
+  }
+  if (!SendAll(EncodeQueryStats())) return std::nullopt;
   MsgType type;
   std::string payload;
   ServiceStats stats;
-  if (!ReadFrame(&type, &payload) || type != MsgType::kStats ||
-      !DecodeStats(payload, &stats)) {
+  if (!ReadFrame(&type, &payload)) return std::nullopt;
+  if (type != MsgType::kStats) {
+    FailOnReply(type, payload);
+    return std::nullopt;
+  }
+  if (!DecodeStats(payload, &stats)) {
+    last_error_ = ClientError::kProtocol;
     return std::nullopt;
   }
   return stats;
 }
 
 std::optional<std::int64_t> BlockingClient::Flush() {
-  if (fd_ < 0 || !SendAll(EncodeFlush())) return std::nullopt;
+  last_error_ = ClientError::kNone;
+  if (fd_ < 0) {
+    last_error_ = ClientError::kClosed;
+    return std::nullopt;
+  }
+  if (!SendAll(EncodeFlush())) return std::nullopt;
   MsgType type;
   std::string payload;
   std::int64_t day = 0;
-  if (!ReadFrame(&type, &payload) || type != MsgType::kFlushAck ||
-      !DecodeFlushAck(payload, &day)) {
+  if (!ReadFrame(&type, &payload)) return std::nullopt;
+  if (type != MsgType::kFlushAck) {
+    FailOnReply(type, payload);
+    return std::nullopt;
+  }
+  if (!DecodeFlushAck(payload, &day)) {
+    last_error_ = ClientError::kProtocol;
     return std::nullopt;
   }
   return day;
+}
+
+std::optional<WatermarkInfo> BlockingClient::GetWatermark() {
+  last_error_ = ClientError::kNone;
+  if (fd_ < 0) {
+    last_error_ = ClientError::kClosed;
+    return std::nullopt;
+  }
+  if (!SendAll(EncodeGetWatermark())) return std::nullopt;
+  MsgType type;
+  std::string payload;
+  WatermarkInfo info;
+  if (!ReadFrame(&type, &payload)) return std::nullopt;
+  if (type != MsgType::kWatermark) {
+    FailOnReply(type, payload);
+    return std::nullopt;
+  }
+  if (!DecodeWatermark(payload, &info)) {
+    last_error_ = ClientError::kProtocol;
+    return std::nullopt;
+  }
+  return info;
 }
 
 }  // namespace manic::serve

@@ -43,6 +43,12 @@ class TcpDaemon {
   void Run();
   // Thread-safe; wakes the loop through the self-pipe.
   void Shutdown();
+  // Graceful drain (SIGTERM path): stop accepting, keep the loop alive just
+  // long enough to flush every pending outbox, then exit Run(). Unlike
+  // Shutdown() no reply in flight is dropped, so a client that got its
+  // submit ack can trust the daemon's WAL epilogue covers that sample.
+  // Thread-safe and async-signal-safe (a flag store plus a pipe write).
+  void Drain();
 
   // Per-connection pending-reply cap: a peer that pipelines requests
   // without reading its replies is dropped (after one best-effort flush)
@@ -50,12 +56,19 @@ class TcpDaemon {
   // cannot exhaust daemon memory. Set before Run().
   void set_max_outbox_bytes(std::size_t n) noexcept { max_outbox_bytes_ = n; }
 
+  // Idle-connection reaping: a connection with no socket activity for this
+  // many consecutive poll ticks (~100ms each) is dropped, so abandoned
+  // peers cannot pin daemon memory forever. Counted in loop ticks, not wall
+  // time, to keep the loop free of clock reads. 0 = never reap (default).
+  void set_max_idle_ticks(std::uint32_t n) noexcept { max_idle_ticks_ = n; }
+
  private:
   struct Conn {
     Session session;
     std::string outbox;
     int fd = -1;
-    bool closing = false;  // flush what we can, then drop
+    std::uint32_t idle_ticks = 0;  // poll ticks since the last byte moved
+    bool closing = false;          // flush what we can, then drop
     explicit Conn(CongestionService* service) : session(service) {}
   };
 
@@ -69,8 +82,24 @@ class TcpDaemon {
   int wake_write_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> drain_{false};
   std::size_t max_outbox_bytes_ = 4u << 20;
+  std::uint32_t max_idle_ticks_ = 0;
   std::vector<Conn*> conns_;
+};
+
+// Why each client call failed — transport trouble (retryable) is kept
+// distinct from protocol trouble (not retryable) so RetryingClient can
+// decide without string matching. kTimeout only fires when a socket
+// timeout is configured; without one a dead-but-connected daemon blocks
+// forever (the pre-timeout behavior).
+enum class ClientError : std::uint8_t {
+  kNone = 0,
+  kConnect,   // could not establish the connection / handshake
+  kTimeout,   // socket send/recv timed out (SO_RCVTIMEO / SO_SNDTIMEO)
+  kClosed,    // peer closed or reset the connection
+  kProtocol,  // malformed or unexpected frame; do not retry blindly
+  kDegraded,  // daemon shed ingest (kErrDegraded): back off, do not resend
 };
 
 // Synchronous client for tests, examples, and the perf gate. Not
@@ -79,11 +108,17 @@ class BlockingClient {
  public:
   ~BlockingClient() { Close(); }
 
+  // Socket send/recv timeout applied at Connect() time; 0 = block forever.
+  // Set before Connect().
+  void set_timeout_ms(std::uint32_t ms) noexcept { timeout_ms_ = ms; }
+
   // Connects to 127.0.0.1:port and completes the hello handshake.
   bool Connect(std::uint16_t port);
   void Close();
   bool connected() const noexcept { return fd_ >= 0; }
   std::uint32_t server_shards() const noexcept { return server_shards_; }
+  // Why the most recent call failed (kNone after a success).
+  ClientError last_error() const noexcept { return last_error_; }
 
   // Each call sends one request frame and blocks for the matching reply;
   // nullopt/false mean a transport or protocol failure.
@@ -96,14 +131,22 @@ class BlockingClient {
   // Asks the daemon to close every day through the stream watermark;
   // returns the last closed day.
   std::optional<std::int64_t> Flush();
+  // The durable ingest watermark — how a reconnecting client learns where
+  // to resume its stream (see WatermarkInfo in codec.h).
+  std::optional<WatermarkInfo> GetWatermark();
 
  private:
   bool SendAll(std::string_view bytes);
   bool ReadFrame(MsgType* type, std::string* payload);
+  // Classifies an unexpected reply: kError carrying kErrDegraded maps to
+  // ClientError::kDegraded, everything else to kProtocol. Always false.
+  bool FailOnReply(MsgType type, std::string_view payload);
 
   FrameAssembler assembler_;
   int fd_ = -1;
   std::uint32_t server_shards_ = 0;
+  std::uint32_t timeout_ms_ = 0;
+  ClientError last_error_ = ClientError::kNone;
 };
 
 }  // namespace manic::serve

@@ -75,10 +75,10 @@ ReplayStats ReplayFile(CongestionService* service, const std::string& path) {
     stats.error = "read error";
     return stats;
   }
-  if (assembler.buffered() != 0) {
-    stats.error = "truncated trailing frame";
-    return stats;
-  }
+  // Leftover bytes that never completed a frame are the signature of a
+  // recorder killed mid-write. Every *complete* frame already replayed, so
+  // skip the tail and count it instead of poisoning the whole replay.
+  stats.truncated_tail_bytes = assembler.buffered();
   service->FinishStream();
   stats.ok = true;
   return stats;

@@ -37,14 +37,19 @@ class StreamWriter {
 struct [[nodiscard]] ReplayStats {
   std::uint64_t frames = 0;
   std::uint64_t samples = 0;
+  // Bytes of an incomplete final frame skipped at EOF (a recorder that was
+  // killed mid-write). Counted, not fatal — same contract as the WAL's
+  // torn-tail truncation.
+  std::uint64_t truncated_tail_bytes = 0;
   bool ok = false;
   std::string error;
 };
 
 // Replays a recorded stream into the service: every frame must be a valid
-// kSubmitBatch; anything else (garbage, truncation, foreign frame types)
-// aborts with ok = false. On clean EOF the stream is finished, closing
-// every day through the watermark.
+// kSubmitBatch; garbage and foreign frame types abort with ok = false. An
+// incomplete *final* frame is tolerated (the recorder died mid-write): it
+// is skipped and counted in truncated_tail_bytes. On EOF the stream is
+// finished, closing every day through the watermark.
 ReplayStats ReplayFile(CongestionService* service, const std::string& path);
 
 }  // namespace manic::serve

@@ -1,0 +1,102 @@
+#include "serve/retry.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+namespace manic::serve {
+namespace {
+
+void SleepMs(std::uint64_t ms) {
+  timespec req{};
+  req.tv_sec = static_cast<time_t>(ms / 1000);
+  req.tv_nsec = static_cast<long>(ms % 1000) * 1'000'000L;
+  while (::nanosleep(&req, &req) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
+RetryingClient::RetryingClient(std::function<std::uint16_t()> port_fn,
+                               RetryPolicy policy)
+    : port_fn_(std::move(port_fn)),
+      policy_(policy),
+      jitter_(runtime::SeedTree(policy.seed).Child("retry-jitter")) {
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+  client_.set_timeout_ms(policy_.socket_timeout_ms);
+}
+
+bool RetryingClient::Connect() {
+  if (client_.connected()) return true;
+  return Reconnect();
+}
+
+void RetryingClient::Close() { client_.Close(); }
+
+void RetryingClient::Backoff(int attempt) {
+  // Exponential with full lower-half jitter: delay in [cap/2, cap) where
+  // cap = min(max, base << attempt). The draw comes off the seeded jitter
+  // stream, so backoff schedules replay exactly under a fixed seed.
+  std::uint64_t cap = policy_.base_backoff_ms;
+  for (int i = 0; i < attempt && cap < policy_.max_backoff_ms; ++i) cap *= 2;
+  cap = std::min<std::uint64_t>(cap, policy_.max_backoff_ms);
+  if (cap == 0) return;
+  const double unit = jitter_.LeafUnit(backoff_draws_++);
+  SleepMs(cap / 2 + static_cast<std::uint64_t>(unit * double(cap - cap / 2)));
+}
+
+bool RetryingClient::Reconnect() {
+  client_.Close();
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) Backoff(attempt - 1);
+    if (client_.Connect(port_fn_())) {
+      ++reconnects_;
+      return true;
+    }
+  }
+  return false;
+}
+
+RetryOutcome RetryingClient::Submit(std::span<const Sample> samples) {
+  // A reconnect *before* the send is unambiguous — nothing was in flight —
+  // so it does not force a resync on its own.
+  if (!client_.connected() && !Reconnect()) return RetryOutcome::kFailed;
+  if (client_.Submit(samples)) return RetryOutcome::kOk;
+  switch (client_.last_error()) {
+    case ClientError::kDegraded:
+      return RetryOutcome::kShed;
+    case ClientError::kProtocol:
+      return RetryOutcome::kFailed;  // resending malformed traffic can't help
+    default:
+      break;  // transport trouble: the batch's fate is unknown
+  }
+  client_.Close();
+  if (!Reconnect()) return RetryOutcome::kFailed;
+  return RetryOutcome::kResync;
+}
+
+std::optional<WatermarkInfo> RetryingClient::GetWatermark() {
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (!client_.connected() && !Reconnect()) return std::nullopt;
+    if (auto info = client_.GetWatermark()) return info;
+    if (client_.last_error() == ClientError::kProtocol) return std::nullopt;
+    client_.Close();  // transport trouble: reconnect and ask again
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> RetryingClient::Flush() {
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (!client_.connected() && !Reconnect()) return std::nullopt;
+    if (auto day = client_.Flush()) return day;
+    if (client_.last_error() == ClientError::kProtocol) return std::nullopt;
+    // A flush is idempotent (closes through the watermark), so unlike a
+    // submit it can simply be reissued after the reconnect.
+    client_.Close();
+  }
+  return std::nullopt;
+}
+
+}  // namespace manic::serve

@@ -1,0 +1,81 @@
+// A reconnecting wrapper around BlockingClient: capped exponential backoff
+// with seeded jitter, socket timeouts, and watermark-driven resubmission so
+// a client survives daemon crashes and restarts without double-ingesting.
+//
+// The resync contract: when a submit fails in transit, the daemon may or
+// may not have consumed the batch (the ack was lost either way). Blindly
+// resending would double-ingest, so Submit() reports kResync after
+// reconnecting — the caller asks GetWatermark() for samples_consumed and
+// resumes its deterministic stream at that offset. The WAL guarantees the
+// watermark counts exactly the durable samples, which is what makes the
+// resubmission idempotent (see tools/crashloop for the end-to-end harness).
+//
+// Jitter is seeded (SeedTree), not wall-clock random: two crashloop runs
+// with the same seed back off identically, keeping the harness replayable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "runtime/seed_tree.h"
+#include "serve/daemon.h"
+
+namespace manic::serve {
+
+struct RetryPolicy {
+  int max_attempts = 8;                  // reconnect attempts per operation
+  std::uint32_t base_backoff_ms = 10;    // first retry delay
+  std::uint32_t max_backoff_ms = 2000;   // exponential growth cap
+  std::uint32_t socket_timeout_ms = 5000;  // SO_RCVTIMEO / SO_SNDTIMEO
+  std::uint64_t seed = 1;                // jitter stream root
+};
+
+// What a retried submit did. kResync is the load-bearing case: the batch's
+// fate is unknown (connection died before the ack), the client has already
+// reconnected, and the caller must consult the watermark before resending.
+enum class [[nodiscard]] RetryOutcome : std::uint8_t {
+  kOk,      // acknowledged
+  kResync,  // reconnected after an in-flight failure: watermark-resync first
+  kShed,    // daemon degraded (WAL out of space): do not resend, back off
+  kFailed,  // attempts exhausted or protocol error: give up
+};
+
+class RetryingClient {
+ public:
+  // port_fn re-resolves the daemon's port before each connect attempt — a
+  // restarted daemon binds a fresh ephemeral port, announced out of band
+  // (crashloop re-reads the port file).
+  RetryingClient(std::function<std::uint16_t()> port_fn,
+                 RetryPolicy policy = {});
+
+  // Establishes the connection (with backoff); true when connected.
+  bool Connect();
+  void Close();
+  bool connected() const noexcept { return client_.connected(); }
+  std::uint64_t reconnects() const noexcept { return reconnects_; }
+
+  RetryOutcome Submit(std::span<const Sample> samples);
+  // Retried queries: transport failures reconnect and retry, protocol
+  // failures give up (nullopt).
+  std::optional<WatermarkInfo> GetWatermark();
+  std::optional<std::int64_t> Flush();
+
+  // The wrapped client, for one-shot calls (queries, stats) where the
+  // caller handles failure itself.
+  BlockingClient& raw() noexcept { return client_; }
+
+ private:
+  bool Reconnect();
+  void Backoff(int attempt);
+
+  std::function<std::uint16_t()> port_fn_;
+  RetryPolicy policy_;
+  BlockingClient client_;
+  runtime::SeedTree jitter_;
+  std::uint64_t backoff_draws_ = 0;
+  std::uint64_t reconnects_ = 0;
+};
+
+}  // namespace manic::serve

@@ -35,6 +35,24 @@ void CongestionService::Stop() {
 }
 
 SubmitOutcome CongestionService::Submit(const Sample& s) {
+  const bool was_degraded = degraded_;
+  SubmitOutcome outcome = SubmitOne(s, true);
+  // The single-sample path flushes per call so the caller's view ("Submit
+  // returned") never runs ahead of the log. Batch for throughput.
+  if (WalLive() && FlushWalPending() != WalStatus::kOk) EnterDegraded();
+  // Degradation may also strike inside SubmitOne's day-close walk, so the
+  // shed conversion keys off the transition itself: consumed in memory but
+  // not durable must never read as acknowledged.
+  if (!was_degraded && degraded_ &&
+      (outcome == SubmitOutcome::kAccepted ||
+       outcome == SubmitOutcome::kLate)) {
+    outcome = SubmitOutcome::kShed;
+  }
+  return outcome;
+}
+
+SubmitOutcome CongestionService::SubmitOne(const Sample& s, bool live) {
+  if (live && degraded_) return SubmitOutcome::kShed;
   const std::int64_t day = stats::DayOf(s.t);
   // Admission bounds: the timestamp came off the wire, and an accepted
   // sample moves the watermark — which CloseThrough then walks day by day.
@@ -60,24 +78,42 @@ SubmitOutcome CongestionService::Submit(const Sample& s) {
   }
   if (day <= producer_last_closed_) {
     // The day already closed: its verdict shipped, and the shards would
-    // hold its bins open forever. Drop and count.
+    // hold its bins open forever. Drop and count. Late samples are still
+    // *consumed* — they advance the durable watermark — so they go to the
+    // WAL too: replaying one lands on the identical closed day and drops
+    // identically, keeping recovered counts exact.
+    if (live && WalLive()) {
+      wal_pending_.push_back(s);
+    } else {
+      ++samples_consumed_;  // no WAL, or replaying what is already durable
+    }
     samples_late_.fetch_add(1, std::memory_order_relaxed);
     return SubmitOutcome::kLate;
+  }
+  // Write-ahead: the sample joins the pending WAL record before it reaches
+  // the rings; the record is flushed before any ack or day close publishes.
+  if (live && WalLive()) {
+    wal_pending_.push_back(s);
+  } else {
+    ++samples_consumed_;  // no WAL, or replaying what is already durable
   }
   shards_[s.link % shards_.size()]->PushSample(s);
   samples_accepted_.fetch_add(1, std::memory_order_relaxed);
   if (s.t > watermark_t_) {
     watermark_t_ = s.t;
-    // The watermark entered a new day: every earlier day is complete.
-    CloseThrough(stats::DayOf(watermark_t_) - 1);
+    // The watermark entered a new day: every earlier day is complete. In
+    // replay, closes come from the logged markers instead, so clock-driven
+    // (PollClock) closes recover at their original stream positions.
+    if (live) CloseThrough(stats::DayOf(watermark_t_) - 1);
   }
   return SubmitOutcome::kAccepted;
 }
 
 SubmitSummary CongestionService::SubmitBatch(std::span<const Sample> samples) {
   SubmitSummary summary;
+  const bool was_degraded = degraded_;
   for (const Sample& s : samples) {
-    switch (Submit(s)) {
+    switch (SubmitOne(s, true)) {
       case SubmitOutcome::kAccepted:
         ++summary.accepted;
         break;
@@ -87,9 +123,96 @@ SubmitSummary CongestionService::SubmitBatch(std::span<const Sample> samples) {
       case SubmitOutcome::kRejected:
         ++summary.rejected;
         break;
+      case SubmitOutcome::kShed:
+        ++summary.shed;
+        break;
     }
   }
+  // One WAL record for the whole consumed run: the ack the session sends
+  // after this return is the durability receipt — so if anything degraded
+  // the WAL during this batch (the final flush here, or a day-close flush
+  // mid-loop), the whole batch reports shed instead of acknowledged, even
+  // though the samples already reached the rings (in-memory state is
+  // allowed to run ahead of the log in degraded mode; a restart recovers
+  // the durable prefix and the client resubmits the rest).
+  if (WalLive() && FlushWalPending() != WalStatus::kOk) EnterDegraded();
+  if (!was_degraded && degraded_) {
+    summary.shed += summary.accepted + summary.late;
+    summary.accepted = 0;
+    summary.late = 0;
+  }
   return summary;
+}
+
+WalRecoverStats CongestionService::RecoverFromWal() {
+  WalRecoverStats stats;
+  if (config_.wal_dir.empty()) {
+    stats.ok = true;
+    return stats;
+  }
+  if (!running_) Start();  // replay needs the shard workers
+  replaying_ = true;
+  stats = ReadWal(
+      config_.wal_dir,
+      [this](std::span<const Sample> batch) {
+        // The logged stream is exactly the consumed stream: re-admitting it
+        // reproduces every accepted/late decision, because the watermark
+        // and closed-day state evolve identically.
+        for (const Sample& s : batch) {
+          const SubmitOutcome replayed = SubmitOne(s, false);
+          (void)replayed;  // logged samples re-admit deterministically
+        }
+      },
+      [this](std::int64_t day) { CloseThrough(day); });
+  replaying_ = false;
+  if (!stats.ok) return stats;
+  // New appends land in a fresh segment past everything just replayed.
+  wal_ = std::make_unique<WalWriter>();
+  WalConfig wal_config;
+  wal_config.dir = config_.wal_dir;
+  wal_config.segment_bytes = config_.wal_segment_bytes;
+  wal_config.fsync = config_.wal_fsync;
+  wal_config.fault_hook = config_.wal_fault_hook;
+  const WalStatus opened = wal_->Open(wal_config);
+  if (opened != WalStatus::kOk) {
+    stats.ok = false;
+    stats.error = "cannot open a fresh wal segment under " + config_.wal_dir;
+    EnterDegraded();
+  }
+  return stats;
+}
+
+WalStatus CongestionService::CloseWalClean() {
+  if (wal_ == nullptr) return WalStatus::kOk;
+  if (!WalLive()) return WalStatus::kIoError;  // degraded: nothing to stamp
+  WalStatus status = FlushWalPending();
+  if (status == WalStatus::kOk) status = wal_->CloseClean();
+  if (status != WalStatus::kOk) EnterDegraded();
+  return status;
+}
+
+WatermarkInfo CongestionService::Watermark() const {
+  WatermarkInfo info;
+  info.samples_consumed = samples_consumed_;
+  info.watermark_t = watermark_t_;
+  info.last_closed_day = producer_last_closed_;
+  info.degraded = degraded_;
+  info.saw_sample = saw_sample_;
+  return info;
+}
+
+WalStatus CongestionService::FlushWalPending() {
+  if (wal_pending_.empty()) return WalStatus::kOk;
+  const WalStatus status = wal_->AppendSamples(wal_pending_);
+  if (status == WalStatus::kOk) samples_consumed_ += wal_pending_.size();
+  wal_pending_.clear();  // capacity retained: the buffer is reused forever
+  return status;
+}
+
+void CongestionService::EnterDegraded() {
+  degraded_ = true;
+  wal_pending_.clear();
+  if (wal_ != nullptr) wal_->Abandon();
 }
 
 void CongestionService::PollClock() {
@@ -111,6 +234,16 @@ std::int64_t CongestionService::FinishStream() {
 void CongestionService::CloseThrough(std::int64_t target_day) {
   while (producer_last_closed_ < target_day) {
     const std::int64_t day = producer_last_closed_ + 1;
+    if (WalLive()) {
+      // Durability order: every sample that can contribute to this close,
+      // then the close marker, then (below) the verdicts publish. A crash
+      // before the marker recovers to "day still open" — the verdicts were
+      // never acknowledged to anyone.
+      if (FlushWalPending() != WalStatus::kOk ||
+          wal_->AppendClose(day) != WalStatus::kOk) {
+        EnterDegraded();
+      }
+    }
     // Broadcast the in-band close marker, then wait for every shard to
     // deposit; collecting before the next close is what keeps the deposit
     // slots race-free (see ingest.h).

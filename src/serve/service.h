@@ -37,6 +37,7 @@
 #include "serve/ingest.h"
 #include "serve/sample.h"
 #include "serve/verdict.h"
+#include "serve/wal.h"
 
 namespace manic::serve {
 
@@ -49,6 +50,10 @@ inline constexpr std::int64_t kNoDayClosed =
 // overflow the int day-count casts downstream.
 inline constexpr std::int64_t kMaxAbsSampleDay = 1'000'000;
 
+// Declaration order groups by concern (admission, sharding, durability);
+// the 8 reorderable padding bytes are irrelevant in a one-per-process
+// config struct.
+// manic-lint: allow(layout: layout-pad)
 struct ServiceConfig {
   EngineConfig engine;
   std::size_t ring_capacity = 1 << 14;
@@ -63,21 +68,34 @@ struct ServiceConfig {
   std::int64_t max_day_jump = 366;
   int shards = 1;
   bool store_raw = true;
+  // Crash safety: when non-empty, every consumed sample and day close is
+  // appended to the write-ahead log under this directory before it is
+  // acknowledged, and RecoverFromWal() replays the log on startup so the
+  // post-restart verdict log is byte-identical to an uncrashed run.
+  std::string wal_dir;
+  WalFsync wal_fsync = WalFsync::kDayClose;
+  std::size_t wal_segment_bytes = 64u << 20;
+  // Fault-injection seam behind the WAL's file writes; null = no faults.
+  runtime::IoFaultHook* wal_fault_hook = nullptr;
 };
 
 // What Submit did with one sample. kLate and kRejected samples are dropped
 // and counted (ServiceStats); kRejected additionally marks a misbehaving
-// producer — the session layer drops the connection.
+// producer — the session layer drops the connection. kShed is the degraded
+// (WAL out of space) answer: the sample was NOT consumed, the connection
+// stays up, queries keep working.
 enum class [[nodiscard]] SubmitOutcome : std::uint8_t {
   kAccepted,
   kLate,      // day at or before the last closed day
   kRejected,  // timestamp outside the admission bounds
+  kShed,      // degraded mode: ingest refused, resubmit after recovery
 };
 
 struct [[nodiscard]] SubmitSummary {
   std::uint64_t accepted = 0;
   std::uint64_t late = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
 };
 
 class CongestionService {
@@ -90,6 +108,22 @@ class CongestionService {
 
   void Start();
   void Stop();
+
+  // ---- crash safety (producer thread, before serving) -----------------------
+  // Replays the WAL under config.wal_dir through the shards (starting them
+  // if needed), then opens a fresh segment for new appends. Call once,
+  // before the daemon loop runs. A no-op success when wal_dir is empty.
+  // Idempotent under crashes: dying inside recovery loses nothing.
+  WalRecoverStats RecoverFromWal();
+  // Graceful-drain epilogue: flushes the un-appended tail of consumed
+  // samples, fsyncs, and stamps the clean-shutdown marker. kOk when no WAL
+  // is configured.
+  WalStatus CloseWalClean();
+  // The durable ingest watermark (kGetWatermark reply). Producer thread.
+  WatermarkInfo Watermark() const;
+  // True once a WAL append has failed with ENOSPC: ingest is shed, queries
+  // still served. Producer thread.
+  bool degraded() const noexcept { return degraded_; }
 
   // ---- ingest (single producer thread) --------------------------------------
   SubmitOutcome Submit(const Sample& s);
@@ -116,7 +150,19 @@ class CongestionService {
   int shards() const noexcept { return static_cast<int>(shards_.size()); }
 
  private:
+  // The shared admission + routing path. `live` distinguishes normal ingest
+  // (WAL-append every consumed sample, let a watermark advance close days)
+  // from WAL replay (no re-append; closes come from replayed markers only,
+  // so clock-driven closes recover deterministically too).
+  SubmitOutcome SubmitOne(const Sample& s, bool live);
   void CloseThrough(std::int64_t target_day);
+  bool WalLive() const noexcept {
+    return wal_ != nullptr && wal_->is_open() && !degraded_ && !replaying_;
+  }
+  // Appends the pending run of consumed samples as one WAL record.
+  WalStatus FlushWalPending();
+  // The ENOSPC ladder: drop the WAL, shed ingest, keep the query plane.
+  void EnterDegraded();
 
   ServiceConfig config_;
   std::vector<std::unique_ptr<IngestShard>> shards_;
@@ -126,6 +172,15 @@ class CongestionService {
   bool saw_sample_ = false;
   TimeSec watermark_t_ = 0;
   std::int64_t producer_last_closed_ = kNoDayClosed;
+  std::unique_ptr<WalWriter> wal_;
+  std::vector<Sample> wal_pending_;  // consumed since the last WAL record
+  // The durable consumption count (the kGetWatermark contract): with a WAL,
+  // advanced only when a pending run reaches the log, so it never runs
+  // ahead of what a restart can recover; without one, every consumed
+  // sample counts immediately.
+  std::uint64_t samples_consumed_ = 0;
+  bool replaying_ = false;
+  bool degraded_ = false;
   std::atomic<std::uint64_t> samples_accepted_{0};
   std::atomic<std::uint64_t> samples_late_{0};
   std::atomic<std::uint64_t> samples_rejected_{0};

@@ -51,6 +51,13 @@ bool Session::Dispatch(MsgType type, std::string_view payload,
         return false;
       }
       const SubmitSummary summary = service_->SubmitBatch(samples);
+      if (summary.shed != 0) {
+        // Degraded (WAL out of space): the shed samples were NOT consumed.
+        // Unlike the violations below this keeps the connection — the query
+        // plane still works, and the client resubmits after recovery.
+        out->append(EncodeError(kErrDegraded, "ingest shed: wal out of space"));
+        return true;
+      }
       if (summary.rejected != 0) {
         // Out-of-bounds timestamps mark a hostile or broken producer; the
         // admission bounds (service.h) exist so one frame cannot wedge the
@@ -113,6 +120,14 @@ bool Session::Dispatch(MsgType type, std::string_view payload,
       out->append(EncodeFlushAck(service_->FinishStream()));
       return true;
     }
+    case MsgType::kGetWatermark: {
+      if (!payload.empty()) {
+        out->append(EncodeError(kErrMalformed, "bad watermark request"));
+        return false;
+      }
+      out->append(EncodeWatermark(service_->Watermark()));
+      return true;
+    }
     // Server-to-client types arriving at the server are protocol violations.
     case MsgType::kHelloAck:
     case MsgType::kSubmitAck:
@@ -120,6 +135,7 @@ bool Session::Dispatch(MsgType type, std::string_view payload,
     case MsgType::kQuality:
     case MsgType::kStats:
     case MsgType::kFlushAck:
+    case MsgType::kWatermark:
     case MsgType::kError:
       out->append(EncodeError(kErrUnexpected, "client sent a server frame"));
       return false;

@@ -25,6 +25,9 @@ inline constexpr std::uint16_t kErrMalformed = 2;
 inline constexpr std::uint16_t kErrUnexpected = 3;
 inline constexpr std::uint16_t kErrCorruptStream = 4;
 inline constexpr std::uint16_t kErrBadTimestamp = 5;
+// Degraded mode (WAL out of space): ingest shed, connection kept — the
+// client should poll the watermark and resubmit once the daemon recovers.
+inline constexpr std::uint16_t kErrDegraded = 6;
 
 class Session {
  public:

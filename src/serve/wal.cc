@@ -1,0 +1,308 @@
+#include "serve/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "serve/codec.h"
+
+namespace manic::serve {
+namespace {
+
+constexpr char kMagic[] = "MANICWAL1\n";
+constexpr std::size_t kMagicLen = sizeof(kMagic) - 1;
+constexpr char kCleanMarker[] = "wal-clean";
+
+std::string SegmentName(std::uint32_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%06u.seg", index);
+  return name;
+}
+
+std::string CleanMarkerPath(const std::string& dir) {
+  return dir + "/" + kCleanMarker;
+}
+
+// Segment index parsed from a "wal-NNNNNN.seg" file name; 0 = not a segment.
+std::uint32_t SegmentIndexOf(const std::string& name) {
+  if (name.size() != 14 || name.compare(0, 4, "wal-") != 0 ||
+      name.compare(10, 4, ".seg") != 0) {
+    return 0;
+  }
+  std::uint32_t index = 0;
+  for (std::size_t i = 4; i < 10; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return 0;
+    index = index * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  return index;
+}
+
+// Ascending list of (index, path) for every segment under dir.
+std::vector<std::pair<std::uint32_t, std::string>> ListSegments(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint32_t, std::string>> segments;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::uint32_t index = SegmentIndexOf(entry.path().filename());
+    if (index != 0) segments.emplace_back(index, entry.path().string());
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+}  // namespace
+
+WalWriter::~WalWriter() { Abandon(); }
+
+WalStatus WalWriter::Open(const WalConfig& config) {
+  Abandon();
+  config_ = config;
+  if (config_.segment_bytes == 0) config_.segment_bytes = 1;
+  std::error_code ec;
+  std::filesystem::create_directories(config_.dir, ec);
+  if (ec) return WalStatus::kIoError;
+  // Appending again: the log is live, the previous clean shutdown is over.
+  std::filesystem::remove(CleanMarkerPath(config_.dir), ec);
+  next_segment_ = 1;
+  for (const auto& [index, path] : ListSegments(config_.dir)) {
+    if (index >= next_segment_) next_segment_ = index + 1;
+  }
+  return OpenSegment();
+}
+
+WalStatus WalWriter::OpenSegment() {
+  const std::string path = config_.dir + "/" + SegmentName(next_segment_);
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd_ < 0) return errno == ENOSPC ? WalStatus::kNoSpace : WalStatus::kIoError;
+  ++next_segment_;
+  ++segments_opened_;
+  segment_written_ = 0;
+  return WriteAll(kMagic, kMagicLen);
+}
+
+// The WAL append fast path: runs once per consumed submit batch and per day
+// close, so it is fenced by the linter's hot-path contract — the only I/O
+// and allocation here are the explicitly justified durability calls below.
+// manic-lint: hot-path(begin)
+WalStatus WalWriter::WriteAll(const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    std::size_t attempt = len - off;
+    if (config_.fault_hook != nullptr) {
+      using Kind = runtime::IoFaultHook::WriteFault::Kind;
+      const auto fault = config_.fault_hook->WriteAt(write_ops_++, attempt);
+      switch (fault.kind) {
+        case Kind::kPass:
+          break;
+        case Kind::kEintr:
+          continue;  // the syscall "failed" with EINTR: retry, no bytes moved
+        case Kind::kShort:
+          attempt = std::max<std::size_t>(1, std::min(fault.short_len, attempt));
+          break;
+        case Kind::kEnospc:
+          return WalStatus::kNoSpace;
+      }
+    }
+    // The durability write itself — the one syscall this path exists for.
+    // manic-lint: allow(hot-path)
+    const ssize_t n = ::write(fd_, data + off, attempt);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno == ENOSPC ? WalStatus::kNoSpace : WalStatus::kIoError;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return WalStatus::kOk;
+}
+
+WalStatus WalWriter::AppendFrame(std::string_view frame, bool day_close) {
+  if (fd_ < 0) return WalStatus::kIoError;
+  if (config_.fault_hook != nullptr) {
+    const std::int64_t crash = config_.fault_hook->CrashBytesAt(records_);
+    if (crash >= 0) {
+      // Kill point: emit the prescribed torn prefix, then die where a real
+      // crash would — recovery sees a record cut mid-header or mid-payload.
+      const std::size_t torn =
+          std::min(frame.size(), static_cast<std::size_t>(crash));
+      (void)WriteAll(frame.data(), torn);
+      std::_Exit(42);
+    }
+  }
+  const WalStatus written = WriteAll(frame.data(), frame.size());
+  if (written != WalStatus::kOk) return written;
+  ++records_;
+  segment_written_ += frame.size();
+  if (config_.fsync == WalFsync::kEveryAppend ||
+      (day_close && config_.fsync == WalFsync::kDayClose)) {
+    const WalStatus synced = FsyncNow();
+    if (synced != WalStatus::kOk) return synced;
+  }
+  if (segment_written_ >= config_.segment_bytes) {
+    // Seal the full segment (its bytes must outlive the rotation) and roll
+    // to the next — a cold, once-per-64MiB branch.
+    const WalStatus sealed = FsyncNow();
+    if (sealed != WalStatus::kOk) return sealed;
+    ::close(fd_);
+    fd_ = -1;
+    return OpenSegment();
+  }
+  return WalStatus::kOk;
+}
+
+WalStatus WalWriter::AppendSamples(std::span<const Sample> samples) {
+  if (samples.empty()) return WalStatus::kOk;
+  // frame_buf_ is reused append over append: amortized to zero allocation
+  // once the high-water batch size has been seen.
+  frame_buf_.clear();
+  EncodeSubmitBatchTo(samples, &frame_buf_);
+  return AppendFrame(frame_buf_, false);
+}
+
+WalStatus WalWriter::AppendClose(std::int64_t day) {
+  frame_buf_.clear();
+  EncodeFlushAckTo(day, &frame_buf_);
+  return AppendFrame(frame_buf_, true);
+}
+// manic-lint: hot-path(end)
+
+WalStatus WalWriter::FsyncNow() {
+  if (config_.fault_hook != nullptr &&
+      !config_.fault_hook->FsyncOkAt(fsync_ops_++)) {
+    return WalStatus::kIoError;
+  }
+  // fdatasync, not fsync: recovery needs the appended bytes and the file
+  // size (both covered), not the mtime — whose journal commit is most of
+  // an ext4 fsync's cost on the day-close path.
+  if (::fdatasync(fd_) != 0) {
+    return errno == ENOSPC ? WalStatus::kNoSpace : WalStatus::kIoError;
+  }
+  return WalStatus::kOk;
+}
+
+WalStatus WalWriter::Sync() {
+  if (fd_ < 0) return WalStatus::kIoError;
+  return FsyncNow();
+}
+
+WalStatus WalWriter::CloseClean() {
+  if (fd_ < 0) return WalStatus::kIoError;
+  const WalStatus synced = FsyncNow();
+  if (synced != WalStatus::kOk) return synced;
+  ::close(fd_);
+  fd_ = -1;
+  std::ofstream marker(CleanMarkerPath(config_.dir), std::ios::binary);
+  marker << kMagic;
+  marker.flush();
+  return marker.good() ? WalStatus::kOk : WalStatus::kIoError;
+}
+
+void WalWriter::Abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+WalRecoverStats ReadWal(
+    const std::string& dir,
+    const std::function<void(std::span<const Sample>)>& on_samples,
+    const std::function<void(std::int64_t)>& on_close) {
+  WalRecoverStats stats;
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec)) {
+    stats.ok = true;  // nothing durable yet: a fresh service
+    return stats;
+  }
+  stats.clean_shutdown = std::filesystem::exists(CleanMarkerPath(dir), ec);
+  const auto segments = ListSegments(dir);
+  std::vector<Sample> batch;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const bool last = i + 1 == segments.size();
+    const std::string& path = segments[i].second;
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+      stats.error = "cannot open wal segment " + path;
+      return stats;
+    }
+    std::string data((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    is.close();
+    if (data.size() < kMagicLen) {
+      // A crash while stamping the magic of a fresh segment: nothing was
+      // ever durable here. Anywhere else it is damage.
+      if (!last) {
+        stats.error = "short wal segment " + path;
+        return stats;
+      }
+      stats.truncated_bytes += data.size();
+      std::filesystem::remove(path, ec);
+      break;
+    }
+    if (data.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
+      stats.error = "bad magic in wal segment " + path;
+      return stats;
+    }
+    FrameAssembler assembler;
+    assembler.Feed(std::string_view(data).substr(kMagicLen));
+    MsgType type;
+    std::string payload;
+    while (assembler.Next(&type, &payload)) {
+      if (type == MsgType::kSubmitBatch) {
+        if (!DecodeSubmitBatch(payload, &batch)) {
+          stats.error = "malformed sample record in " + path;
+          return stats;
+        }
+        ++stats.records;
+        stats.samples += batch.size();
+        on_samples(batch);
+      } else if (type == MsgType::kFlushAck) {
+        std::int64_t day = 0;
+        if (!DecodeFlushAck(payload, &day)) {
+          stats.error = "malformed day-close marker in " + path;
+          return stats;
+        }
+        ++stats.records;
+        ++stats.closes;
+        on_close(day);
+      } else {
+        stats.error = "foreign frame type in " + path;
+        return stats;
+      }
+    }
+    if (assembler.corrupt()) {
+      stats.error = "corrupt framing in " + path;
+      return stats;
+    }
+    const std::size_t leftover = assembler.buffered();
+    if (leftover != 0) {
+      if (!last) {
+        // A torn record can only live at the very tail of the log: one in
+        // the middle means the files were damaged, not just interrupted.
+        stats.error = "torn record inside non-final segment " + path;
+        return stats;
+      }
+      // The kill-mid-append signature. Chop it off the file, not just the
+      // parse: the next incarnation appends to a fresh segment, but an
+      // operator concatenating segments must never see half a record.
+      stats.truncated_bytes += leftover;
+      std::filesystem::resize_file(path, data.size() - leftover, ec);
+      if (ec) {
+        stats.error = "cannot truncate torn tail of " + path;
+        return stats;
+      }
+    }
+    ++stats.segments;
+  }
+  stats.ok = true;
+  return stats;
+}
+
+}  // namespace manic::serve

@@ -1,0 +1,148 @@
+// Durable write-ahead log for the serving plane. Every admitted sample and
+// every day close is appended as a v1 codec frame — kSubmitBatch for runs of
+// consumed samples, kFlushAck (payload: the closed day) as the day-close
+// marker — to an append-only segment log under one directory:
+//
+//   wal-000001.seg   [magic "MANICWAL1\n"] [frame] [frame] ...
+//   wal-000002.seg   ...
+//   wal-clean        present only after a graceful CloseClean()
+//
+// Each daemon incarnation appends to a fresh segment, so a crash can tear at
+// most the tail of the newest segment; ReadWal chops that torn tail off the
+// file (the CheckpointLog idiom) and replays every complete record in order.
+// Because the record stream IS the admitted-sample stream, replaying it
+// through the same submit path rebuilds the service byte-identically — the
+// recovered verdict log equals an uncrashed run's at any shard count.
+//
+// Durability ladder (WalFsync): kNone trusts the page cache entirely (crash-
+// of-process safe, not power-loss safe); kDayClose (default) fsyncs at every
+// day-close marker, bounding power-loss exposure to the open day; kEveryAppend
+// fsyncs each record. Between fsyncs, a lost suffix is recovered from the
+// client side: acks are sent only after the record reaches the log, so a
+// reconnecting client (RetryingClient + kGetWatermark) resubmits exactly the
+// un-acked suffix.
+//
+// All file writes funnel through one fault-aware write loop: an installed
+// runtime::IoFaultHook can inject short writes, EINTR, ENOSPC, fsync failure,
+// and mid-record crash points — the seam tools/crashloop and the WAL tests
+// drive. kNoSpace is the degradation trigger: the service sheds ingest and
+// keeps serving queries instead of aborting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "runtime/io_fault.h"
+#include "serve/sample.h"
+
+namespace manic::serve {
+
+// When the log forces bytes to the platter. See the header comment.
+enum class WalFsync : std::uint8_t { kNone, kDayClose, kEveryAppend };
+
+struct WalConfig {
+  std::string dir;
+  // A segment rotates once it holds at least this many record bytes.
+  std::size_t segment_bytes = 64u << 20;
+  WalFsync fsync = WalFsync::kDayClose;
+  // Fault-injection seam; null = no faults.
+  runtime::IoFaultHook* fault_hook = nullptr;
+};
+
+// Outcome of a WAL open/append/sync. kNoSpace (ENOSPC) is recoverable by
+// the degradation ladder — serve queries, shed ingest; kIoError is not.
+enum class [[nodiscard]] WalStatus : std::uint8_t {
+  kOk,
+  kNoSpace,
+  kIoError,
+};
+
+// The fixed prefix of one on-disk WAL record — the v1 frame header, [u32
+// length][u8 type], length counting the type byte plus the payload. Pinned
+// in tools/manic_lint/layout.txt (wire-abi): widening it would orphan every
+// existing log, so the pin forces a deliberate format bump instead.
+struct WalRecordHeader {
+  std::uint32_t length = 0;
+  std::uint8_t type = 0;
+
+  static constexpr std::uint64_t kEncodedSize = 5;
+};
+
+struct [[nodiscard]] WalRecoverStats {
+  std::uint64_t segments = 0;   // segment files replayed
+  std::uint64_t records = 0;    // complete records replayed
+  std::uint64_t samples = 0;    // samples inside replayed batch records
+  std::uint64_t closes = 0;     // day-close markers replayed
+  std::uint64_t truncated_bytes = 0;  // torn tail chopped off the last segment
+  bool clean_shutdown = false;  // the wal-clean marker was present
+  bool ok = false;
+  std::string error;
+};
+
+// Appender. One incarnation = one Open() (fresh segment) + appends +
+// CloseClean() on graceful shutdown. Not thread-safe: the service's single
+// producer (the daemon event loop) owns it.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Creates the directory if needed, removes the clean marker, and opens a
+  // new segment numbered past every existing one.
+  WalStatus Open(const WalConfig& config);
+  bool is_open() const noexcept { return fd_ >= 0; }
+
+  // One kSubmitBatch record for the run of consumed samples. No-op for an
+  // empty span.
+  WalStatus AppendSamples(std::span<const Sample> samples);
+  // One kFlushAck day-close marker; fsyncs under WalFsync::kDayClose.
+  WalStatus AppendClose(std::int64_t day);
+
+  // Forces everything appended so far to the platter, regardless of policy.
+  WalStatus Sync();
+  // Sync + write the clean-shutdown marker + close the descriptor. The next
+  // Open() removes the marker again.
+  WalStatus CloseClean();
+  // Closes the descriptor without the marker — the degraded-mode exit, and
+  // the destructor's path: an unclean close is exactly what recovery expects.
+  void Abandon();
+
+  std::uint64_t records_appended() const noexcept { return records_; }
+  std::uint64_t segments_opened() const noexcept { return segments_opened_; }
+
+ private:
+  WalStatus AppendFrame(std::string_view frame, bool day_close);
+  WalStatus WriteAll(const char* data, std::size_t len);
+  WalStatus OpenSegment();
+  WalStatus FsyncNow();
+
+  WalConfig config_;
+  int fd_ = -1;
+  std::uint32_t next_segment_ = 1;
+  std::uint64_t segments_opened_ = 0;
+  std::uint64_t records_ = 0;        // whole-record append counter (crash seam)
+  std::uint64_t write_ops_ = 0;      // write() attempt counter (fault seam)
+  std::uint64_t fsync_ops_ = 0;      // fsync() attempt counter (fault seam)
+  std::size_t segment_written_ = 0;  // record bytes in the open segment
+  std::string frame_buf_;            // reused per-append encode buffer
+};
+
+// Replays every complete record under `dir` in order: runs of samples to
+// `on_samples`, day-close markers to `on_close`. Chops a torn tail off the
+// newest segment (resize_file) so later appends land on a record boundary —
+// recovery is idempotent: a crash *during* recovery loses nothing, the next
+// attempt replays the identical record stream. Any malformation that is not
+// a torn tail (corrupt framing, a foreign frame type, torn bytes in a
+// non-final segment) fails with ok = false: the log is damaged, not merely
+// interrupted.
+WalRecoverStats ReadWal(
+    const std::string& dir,
+    const std::function<void(std::span<const Sample>)>& on_samples,
+    const std::function<void(std::int64_t)>& on_close);
+
+}  // namespace manic::serve

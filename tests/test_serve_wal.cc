@@ -1,0 +1,644 @@
+// Crash-safety tests for the serving plane's WAL (src/serve/wal) and its
+// integration into CongestionService: round-trip and clean-shutdown
+// markers, torn-tail truncation at EVERY byte boundary of the last record
+// (mid-header and mid-payload), recovery idempotence (a crash during
+// recovery loses nothing — the double-crash case), ENOSPC-mid-append
+// degradation and the shed contract, watermark-driven deduplication, and
+// the deterministic I/O fault script itself.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runtime/io_fault.h"
+#include "serve/codec.h"
+#include "serve/replay.h"
+#include "serve/sample.h"
+#include "serve/service.h"
+#include "serve/session.h"
+#include "serve/wal.h"
+#include "stats/calendar.h"
+
+namespace manic::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A scratch WAL directory, removed on destruction.
+struct WalDir {
+  explicit WalDir(const char* tag)
+      : path(::testing::TempDir() + "/manic_wal_" + tag) {
+    fs::remove_all(path);
+  }
+  ~WalDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+Sample MakeSample(std::int64_t day, int slot, topo::LinkId link,
+                  topo::VpId vp = 1,
+                  SampleKind kind = SampleKind::kFarRtt) {
+  Sample s;
+  s.t = day * stats::kSecPerDay + slot * 3600 + 1800;
+  s.link = link;
+  s.vp = vp;
+  s.kind = kind;
+  s.value = 10.0f + static_cast<float>(slot);
+  return s;
+}
+
+std::vector<Sample> SmallBatch(std::int64_t day, int count) {
+  std::vector<Sample> batch;
+  for (int i = 0; i < count; ++i) {
+    batch.push_back(MakeSample(day, i % 24, 1 + i % 3));
+  }
+  return batch;
+}
+
+infer::AutocorrConfig SmallConfig() {
+  infer::AutocorrConfig config;
+  config.window_days = 6;
+  config.intervals_per_day = 24;
+  config.bin_width = 3600;
+  config.min_elevated_days = 3;
+  config.quality.min_days_observed = 3;
+  config.quality.max_gap_intervals = 2 * 24;
+  return config;
+}
+
+ServiceConfig WalServiceConfig(const std::string& wal_dir, int shards = 1) {
+  ServiceConfig config;
+  config.shards = shards;
+  config.engine.autocorr = SmallConfig();
+  config.wal_dir = wal_dir;
+  config.wal_fsync = WalFsync::kNone;  // crash model = process kill
+  return config;
+}
+
+// Reads the whole single segment file of a one-incarnation WAL.
+std::string SegmentBytes(const std::string& dir) {
+  std::ifstream in(dir + "/wal-000001.seg", std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+// ------------------------------------------------------------- round trip
+
+TEST(WalWriter, RoundTripsSamplesAndCloses) {
+  WalDir dir("roundtrip");
+  const std::vector<Sample> batch1 = SmallBatch(5, 7);
+  const std::vector<Sample> batch2 = SmallBatch(6, 3);
+  {
+    WalWriter writer;
+    WalConfig config;
+    config.dir = dir.path;
+    ASSERT_EQ(writer.Open(config), WalStatus::kOk);
+    EXPECT_EQ(writer.AppendSamples(batch1), WalStatus::kOk);
+    EXPECT_EQ(writer.AppendClose(5), WalStatus::kOk);
+    EXPECT_EQ(writer.AppendSamples(batch2), WalStatus::kOk);
+    EXPECT_EQ(writer.records_appended(), 3u);
+    writer.Abandon();  // unclean: what a crash leaves behind
+  }
+  std::vector<Sample> replayed;
+  std::vector<std::int64_t> closes;
+  const WalRecoverStats stats = ReadWal(
+      dir.path,
+      [&](std::span<const Sample> batch) {
+        replayed.insert(replayed.end(), batch.begin(), batch.end());
+      },
+      [&](std::int64_t day) { closes.push_back(day); });
+  EXPECT_TRUE(stats.ok) << stats.error;
+  EXPECT_FALSE(stats.clean_shutdown);
+  EXPECT_EQ(stats.segments, 1u);
+  EXPECT_EQ(stats.records, 3u);
+  EXPECT_EQ(stats.samples, batch1.size() + batch2.size());
+  EXPECT_EQ(stats.closes, 1u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+  ASSERT_EQ(closes, (std::vector<std::int64_t>{5}));
+  ASSERT_EQ(replayed.size(), batch1.size() + batch2.size());
+  // Bit-exact replay, order preserved.
+  for (std::size_t i = 0; i < batch1.size(); ++i) {
+    EXPECT_EQ(replayed[i].t, batch1[i].t);
+    EXPECT_EQ(replayed[i].link, batch1[i].link);
+    EXPECT_EQ(replayed[i].value, batch1[i].value);
+  }
+}
+
+TEST(WalWriter, CleanMarkerLifecycle) {
+  WalDir dir("clean");
+  WalConfig config;
+  config.dir = dir.path;
+  {
+    WalWriter writer;
+    ASSERT_EQ(writer.Open(config), WalStatus::kOk);
+    EXPECT_EQ(writer.AppendSamples(SmallBatch(1, 2)), WalStatus::kOk);
+    EXPECT_EQ(writer.CloseClean(), WalStatus::kOk);
+  }
+  EXPECT_TRUE(fs::exists(dir.path + "/wal-clean"));
+  const WalRecoverStats stats =
+      ReadWal(dir.path, [](std::span<const Sample>) {}, [](std::int64_t) {});
+  EXPECT_TRUE(stats.ok);
+  EXPECT_TRUE(stats.clean_shutdown);
+  // Appending again invalidates the marker.
+  WalWriter writer;
+  ASSERT_EQ(writer.Open(config), WalStatus::kOk);
+  EXPECT_FALSE(fs::exists(dir.path + "/wal-clean"));
+  EXPECT_EQ(writer.segments_opened(), 1u);
+}
+
+TEST(WalWriter, SegmentsRotateAndReplayInOrder) {
+  WalDir dir("rotate");
+  WalConfig config;
+  config.dir = dir.path;
+  config.segment_bytes = 64;  // force a rotation on nearly every append
+  WalWriter writer;
+  ASSERT_EQ(writer.Open(config), WalStatus::kOk);
+  for (std::int64_t day = 1; day <= 5; ++day) {
+    ASSERT_EQ(writer.AppendSamples(SmallBatch(day, 4)), WalStatus::kOk);
+    ASSERT_EQ(writer.AppendClose(day), WalStatus::kOk);
+  }
+  EXPECT_GT(writer.segments_opened(), 1u);
+  writer.Abandon();
+  std::vector<std::int64_t> closes;
+  std::uint64_t samples = 0;
+  const WalRecoverStats stats = ReadWal(
+      dir.path,
+      [&](std::span<const Sample> batch) { samples += batch.size(); },
+      [&](std::int64_t day) { closes.push_back(day); });
+  EXPECT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(stats.segments, writer.segments_opened());
+  EXPECT_EQ(samples, 20u);
+  EXPECT_EQ(closes, (std::vector<std::int64_t>{1, 2, 3, 4, 5}));
+}
+
+// ------------------------------------------------- torn-tail truncation
+
+// The tentpole truncation test: cut the log at EVERY byte boundary inside
+// the final record — through the 5-byte frame header and through the
+// payload — and require recovery to replay exactly the intact prefix and
+// chop the torn tail off the file.
+TEST(WalRecovery, TruncationAtEveryByteOfLastRecord) {
+  WalDir source("sweep_src");
+  const std::vector<Sample> keep = SmallBatch(3, 5);
+  const std::vector<Sample> torn = SmallBatch(4, 6);
+  {
+    WalWriter writer;
+    WalConfig config;
+    config.dir = source.path;
+    ASSERT_EQ(writer.Open(config), WalStatus::kOk);
+    ASSERT_EQ(writer.AppendSamples(keep), WalStatus::kOk);
+    ASSERT_EQ(writer.AppendSamples(torn), WalStatus::kOk);
+    writer.Abandon();
+  }
+  const std::string full = SegmentBytes(source.path);
+  std::string first_record_frame;
+  EncodeSubmitBatchTo(keep, &first_record_frame);
+  const std::size_t intact_end = 10 /* magic */ + first_record_frame.size();
+  ASSERT_LT(intact_end, full.size());
+
+  for (std::size_t cut = intact_end; cut < full.size(); ++cut) {
+    WalDir dir("sweep_cut");
+    fs::create_directories(dir.path);
+    {
+      std::ofstream out(dir.path + "/wal-000001.seg", std::ios::binary);
+      out.write(full.data(), static_cast<std::streamsize>(cut));
+    }
+    std::uint64_t samples = 0;
+    const WalRecoverStats stats = ReadWal(
+        dir.path,
+        [&](std::span<const Sample> batch) { samples += batch.size(); },
+        [](std::int64_t) { FAIL() << "no closes were logged"; });
+    ASSERT_TRUE(stats.ok) << "cut at byte " << cut << ": " << stats.error;
+    EXPECT_EQ(stats.records, 1u) << "cut at byte " << cut;
+    EXPECT_EQ(samples, keep.size()) << "cut at byte " << cut;
+    EXPECT_EQ(stats.truncated_bytes, cut - intact_end) << "cut " << cut;
+    // The torn tail is gone from the file itself, not just the parse.
+    EXPECT_EQ(fs::file_size(dir.path + "/wal-000001.seg"), intact_end);
+  }
+}
+
+// A crash during recovery must lose nothing: recovery's only write is the
+// torn-tail truncation, after which a second recovery replays the identical
+// record stream — the double-crash scenario.
+TEST(WalRecovery, RecoveryIsIdempotentAfterTornTail) {
+  WalDir dir("double_crash");
+  const std::vector<Sample> keep = SmallBatch(2, 9);
+  {
+    WalWriter writer;
+    WalConfig config;
+    config.dir = dir.path;
+    ASSERT_EQ(writer.Open(config), WalStatus::kOk);
+    ASSERT_EQ(writer.AppendSamples(keep), WalStatus::kOk);
+    ASSERT_EQ(writer.AppendClose(2), WalStatus::kOk);
+    writer.Abandon();
+  }
+  // Tear 7 bytes of a half-written record onto the tail.
+  {
+    std::ofstream out(dir.path + "/wal-000001.seg",
+                      std::ios::binary | std::ios::app);
+    out.write("\x40\x00\x00\x00\x03\x09\x00", 7);
+  }
+  std::uint64_t first_samples = 0, second_samples = 0;
+  const WalRecoverStats first = ReadWal(
+      dir.path,
+      [&](std::span<const Sample> b) { first_samples += b.size(); },
+      [](std::int64_t) {});
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.truncated_bytes, 7u);
+  const WalRecoverStats second = ReadWal(
+      dir.path,
+      [&](std::span<const Sample> b) { second_samples += b.size(); },
+      [](std::int64_t) {});
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(second.truncated_bytes, 0u);  // nothing left to chop
+  EXPECT_EQ(second.records, first.records);
+  EXPECT_EQ(second_samples, first_samples);
+}
+
+TEST(WalRecovery, RejectsDamageThatIsNotATornTail) {
+  // Torn bytes in a NON-final segment = damage, not interruption.
+  WalDir dir("damage");
+  WalConfig config;
+  config.dir = dir.path;
+  {
+    WalWriter writer;
+    ASSERT_EQ(writer.Open(config), WalStatus::kOk);
+    ASSERT_EQ(writer.AppendSamples(SmallBatch(1, 2)), WalStatus::kOk);
+    writer.Abandon();
+  }
+  {
+    std::ofstream out(dir.path + "/wal-000001.seg",
+                      std::ios::binary | std::ios::app);
+    out.write("\x40\x00", 2);  // torn tail on segment 1...
+  }
+  {
+    WalWriter writer;  // ...which a second incarnation makes non-final
+    ASSERT_EQ(writer.Open(config), WalStatus::kOk);
+    ASSERT_EQ(writer.AppendSamples(SmallBatch(2, 2)), WalStatus::kOk);
+    writer.Abandon();
+  }
+  const WalRecoverStats stats =
+      ReadWal(dir.path, [](std::span<const Sample>) {}, [](std::int64_t) {});
+  EXPECT_FALSE(stats.ok);
+  EXPECT_NE(stats.error.find("torn record inside non-final"),
+            std::string::npos);
+}
+
+TEST(WalRecovery, ForeignFrameTypeIsAnError) {
+  WalDir dir("foreign");
+  fs::create_directories(dir.path);
+  {
+    std::ofstream out(dir.path + "/wal-000001.seg", std::ios::binary);
+    out << "MANICWAL1\n" << EncodeQueryStats();  // not a WAL record type
+  }
+  const WalRecoverStats stats =
+      ReadWal(dir.path, [](std::span<const Sample>) {}, [](std::int64_t) {});
+  EXPECT_FALSE(stats.ok);
+  EXPECT_NE(stats.error.find("foreign frame"), std::string::npos);
+}
+
+TEST(WalRecovery, ShortFinalSegmentIsRemovedNotFatal) {
+  // Killed while stamping the magic of a brand-new segment: nothing durable
+  // was lost, the stub is removed.
+  WalDir dir("stub");
+  WalConfig config;
+  config.dir = dir.path;
+  {
+    WalWriter writer;
+    ASSERT_EQ(writer.Open(config), WalStatus::kOk);
+    ASSERT_EQ(writer.AppendSamples(SmallBatch(1, 3)), WalStatus::kOk);
+    writer.Abandon();
+  }
+  {
+    std::ofstream out(dir.path + "/wal-000002.seg", std::ios::binary);
+    out << "MANI";  // 4 of 10 magic bytes
+  }
+  std::uint64_t samples = 0;
+  const WalRecoverStats stats = ReadWal(
+      dir.path, [&](std::span<const Sample> b) { samples += b.size(); },
+      [](std::int64_t) {});
+  EXPECT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(samples, 3u);
+  EXPECT_EQ(stats.truncated_bytes, 4u);
+  EXPECT_FALSE(fs::exists(dir.path + "/wal-000002.seg"));
+}
+
+// ----------------------------------------------------- service integration
+
+// Uncrashed WAL-on run vs a "crash" (drop the service mid-stream without
+// CloseWalClean) + recovery + resume-from-watermark: byte-identical logs,
+// at more than one shard count.
+TEST(ServiceWal, CrashRecoveryMatchesUncrashedRunByteForByte) {
+  std::vector<Sample> stream;
+  for (std::int64_t day = 0; day < 9; ++day) {
+    for (topo::LinkId link = 1; link <= 4; ++link) {
+      for (int slot = 0; slot < 24; ++slot) {
+        stream.push_back(MakeSample(day, slot, link));
+        stream.push_back(
+            MakeSample(day, slot, link, 1, SampleKind::kNearRtt));
+      }
+    }
+  }
+  for (const int shards : {1, 4}) {
+    // Reference: no WAL, one uninterrupted pass.
+    ServiceConfig plain;
+    plain.shards = shards;
+    plain.engine.autocorr = SmallConfig();
+    CongestionService reference(plain);
+    reference.Start();
+    ASSERT_EQ(reference.SubmitBatch(stream).accepted, stream.size());
+    reference.FinishStream();
+    const std::string want = reference.VerdictLogText();
+    reference.Stop();
+    ASSERT_FALSE(want.empty());
+
+    WalDir dir("svc_crash");
+    std::uint64_t resume = 0;
+    {
+      // First incarnation: half the stream in odd-sized batches, then die
+      // (scope exit without CloseWalClean = the crash).
+      CongestionService victim(WalServiceConfig(dir.path, shards));
+      ASSERT_TRUE(victim.RecoverFromWal().ok);
+      std::size_t offset = 0;
+      const std::size_t half = stream.size() / 2;
+      while (offset < half) {
+        const std::size_t n = std::min<std::size_t>(37, half - offset);
+        const SubmitSummary summary = victim.SubmitBatch(
+            std::span<const Sample>(stream.data() + offset, n));
+        ASSERT_EQ(summary.accepted, n);
+        offset += n;
+      }
+      resume = victim.Watermark().samples_consumed;
+      EXPECT_EQ(resume, half);
+      victim.Stop();
+    }
+    // Second incarnation: recover, resume at the watermark, finish.
+    CongestionService recovered(WalServiceConfig(dir.path, shards));
+    const WalRecoverStats stats = recovered.RecoverFromWal();
+    ASSERT_TRUE(stats.ok) << stats.error;
+    EXPECT_FALSE(stats.clean_shutdown);
+    EXPECT_EQ(stats.samples, resume);
+    EXPECT_EQ(recovered.Watermark().samples_consumed, resume);
+    ASSERT_EQ(
+        recovered
+            .SubmitBatch(std::span<const Sample>(
+                stream.data() + resume, stream.size() - resume))
+            .accepted,
+        stream.size() - resume);
+    recovered.FinishStream();
+    EXPECT_EQ(recovered.Watermark().samples_consumed, stream.size());
+    EXPECT_EQ(recovered.VerdictLogText(), want) << "shards " << shards;
+    EXPECT_EQ(recovered.CloseWalClean(), WalStatus::kOk);
+    recovered.Stop();
+  }
+}
+
+// ENOSPC mid-append: the batch that hit the wall reports shed (never
+// acked), ingest sheds from then on, queries keep working, and a restart
+// recovers exactly the durable prefix.
+TEST(ServiceWal, EnospcDegradesShedsAndRecoversDurablePrefix) {
+  WalDir dir("enospc");
+  runtime::ScriptedIoFaults::Config fault_config;
+  fault_config.enospc_at_op = 2;  // op 0 = magic, op 1 = first record, op 2 dies
+  runtime::ScriptedIoFaults faults(fault_config);
+
+  ServiceConfig config = WalServiceConfig(dir.path);
+  config.wal_fault_hook = &faults;
+  CongestionService service(config);
+  ASSERT_TRUE(service.RecoverFromWal().ok);
+
+  const std::vector<Sample> first = SmallBatch(1, 6);
+  const SubmitSummary ok_batch = service.SubmitBatch(first);
+  EXPECT_EQ(ok_batch.accepted, first.size());
+  EXPECT_FALSE(service.degraded());
+  EXPECT_EQ(service.Watermark().samples_consumed, first.size());
+
+  // Fresh day-2 samples: the first advances the watermark, and the day-1
+  // close's WAL flush is what hits the ENOSPC wall — degradation striking
+  // mid-batch, inside CloseThrough, must still convert the ack to shed.
+  const std::vector<Sample> doomed = SmallBatch(2, 4);
+  const SubmitSummary bad_batch = service.SubmitBatch(doomed);
+  EXPECT_EQ(bad_batch.accepted, 0u);
+  EXPECT_EQ(bad_batch.shed, doomed.size());
+  EXPECT_TRUE(service.degraded());
+  // The durable watermark froze at the last successful flush.
+  const WatermarkInfo info = service.Watermark();
+  EXPECT_EQ(info.samples_consumed, first.size());
+  EXPECT_TRUE(info.degraded);
+  // Every later submit sheds without touching ingest state.
+  EXPECT_EQ(service.Submit(MakeSample(1, 3, 2)), SubmitOutcome::kShed);
+  // The query plane still answers.
+  EXPECT_EQ(service.Stats().shards, 1u);
+  EXPECT_EQ(service.CloseWalClean(), WalStatus::kIoError);
+  service.Stop();
+
+  // Restart without faults: exactly the durable prefix comes back.
+  CongestionService recovered(WalServiceConfig(dir.path));
+  const WalRecoverStats stats = recovered.RecoverFromWal();
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(stats.samples, first.size());
+  EXPECT_EQ(recovered.Watermark().samples_consumed, first.size());
+  EXPECT_FALSE(recovered.degraded());
+  recovered.Stop();
+}
+
+// The session layer turns a shed batch into kErrDegraded but keeps the
+// connection: queries still answer on the same session.
+TEST(ServiceWal, SessionKeepsConnectionWhenDegraded) {
+  WalDir dir("sess_degraded");
+  runtime::ScriptedIoFaults::Config fault_config;
+  fault_config.enospc_at_op = 1;  // first record append fails
+  runtime::ScriptedIoFaults faults(fault_config);
+  ServiceConfig config = WalServiceConfig(dir.path);
+  config.wal_fault_hook = &faults;
+  CongestionService service(config);
+  ASSERT_TRUE(service.RecoverFromWal().ok);
+
+  Session session(&service);
+  std::string out;
+  ASSERT_TRUE(session.Consume(EncodeHello(), &out));
+  out.clear();
+  const std::vector<Sample> batch = SmallBatch(1, 3);
+  // Shed batch: the session must answer kError(kErrDegraded) AND keep the
+  // connection alive.
+  ASSERT_TRUE(session.Consume(EncodeSubmitBatch(batch), &out));
+  FrameAssembler assembler;
+  assembler.Feed(out);
+  MsgType type;
+  std::string payload;
+  ASSERT_TRUE(assembler.Next(&type, &payload));
+  ASSERT_EQ(type, MsgType::kError);
+  std::uint16_t code = 0;
+  std::string message;
+  ASSERT_TRUE(DecodeError(payload, &code, &message));
+  EXPECT_EQ(code, kErrDegraded);
+  // Still serving: a stats query round-trips on the same session.
+  out.clear();
+  ASSERT_TRUE(session.Consume(EncodeQueryStats(), &out));
+  assembler.Feed(out);
+  ASSERT_TRUE(assembler.Next(&type, &payload));
+  EXPECT_EQ(type, MsgType::kStats);
+  // And the watermark reply flags the degradation.
+  out.clear();
+  ASSERT_TRUE(session.Consume(EncodeGetWatermark(), &out));
+  assembler.Feed(out);
+  ASSERT_TRUE(assembler.Next(&type, &payload));
+  ASSERT_EQ(type, MsgType::kWatermark);
+  WatermarkInfo info;
+  ASSERT_TRUE(DecodeWatermark(payload, &info));
+  EXPECT_TRUE(info.degraded);
+  EXPECT_EQ(info.samples_consumed, 0u);
+  service.Stop();
+}
+
+// -------------------------------------------------------------- fault hook
+
+TEST(ScriptedIoFaults, IsDeterministicAndSeedSensitive) {
+  runtime::ScriptedIoFaults::Config config;
+  config.seed = 42;
+  config.short_write_prob = 0.3;
+  config.eintr_prob = 0.2;
+  const runtime::ScriptedIoFaults a(config);
+  const runtime::ScriptedIoFaults b(config);
+  config.seed = 43;
+  const runtime::ScriptedIoFaults c(config);
+  bool any_fault = false;
+  bool any_divergence = false;
+  for (std::uint64_t op = 0; op < 200; ++op) {
+    const auto fa = a.WriteAt(op, 100);
+    const auto fb = b.WriteAt(op, 100);
+    EXPECT_EQ(static_cast<int>(fa.kind), static_cast<int>(fb.kind));
+    EXPECT_EQ(fa.short_len, fb.short_len);
+    if (fa.kind != runtime::IoFaultHook::WriteFault::Kind::kPass) {
+      any_fault = true;
+      if (fa.kind == runtime::IoFaultHook::WriteFault::Kind::kShort) {
+        EXPECT_GE(fa.short_len, 1u);
+        EXPECT_LT(fa.short_len, 100u);
+      }
+    }
+    if (static_cast<int>(fa.kind) != static_cast<int>(c.WriteAt(op, 100).kind)) {
+      any_divergence = true;
+    }
+  }
+  EXPECT_TRUE(any_fault);
+  EXPECT_TRUE(any_divergence);
+  EXPECT_TRUE(a.FsyncOkAt(0));
+  EXPECT_EQ(a.CrashBytesAt(0), -1);
+}
+
+// Short writes and EINTR are absorbed by the write loop: the log replays
+// complete and bit-exact despite a hostile syscall layer.
+TEST(ScriptedIoFaults, ShortWritesAndEintrDoNotCorruptTheLog) {
+  WalDir dir("hostile");
+  runtime::ScriptedIoFaults::Config fault_config;
+  fault_config.seed = 7;
+  fault_config.short_write_prob = 0.5;
+  fault_config.eintr_prob = 0.3;
+  runtime::ScriptedIoFaults faults(fault_config);
+  WalConfig config;
+  config.dir = dir.path;
+  config.fault_hook = &faults;
+  WalWriter writer;
+  ASSERT_EQ(writer.Open(config), WalStatus::kOk);
+  for (std::int64_t day = 1; day <= 4; ++day) {
+    ASSERT_EQ(writer.AppendSamples(SmallBatch(day, 11)), WalStatus::kOk);
+    ASSERT_EQ(writer.AppendClose(day), WalStatus::kOk);
+  }
+  writer.Abandon();
+  std::uint64_t samples = 0;
+  std::vector<std::int64_t> closes;
+  const WalRecoverStats stats = ReadWal(
+      dir.path,
+      [&](std::span<const Sample> b) { samples += b.size(); },
+      [&](std::int64_t day) { closes.push_back(day); });
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(samples, 44u);
+  EXPECT_EQ(closes, (std::vector<std::int64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+}
+
+TEST(ScriptedIoFaults, FsyncFailureSurfacesAsIoError) {
+  WalDir dir("fsync_fail");
+  runtime::ScriptedIoFaults::Config fault_config;
+  fault_config.fail_fsync_at = 0;
+  runtime::ScriptedIoFaults faults(fault_config);
+  WalConfig config;
+  config.dir = dir.path;
+  config.fsync = WalFsync::kEveryAppend;
+  config.fault_hook = &faults;
+  WalWriter writer;
+  ASSERT_EQ(writer.Open(config), WalStatus::kOk);
+  EXPECT_EQ(writer.AppendSamples(SmallBatch(1, 2)), WalStatus::kIoError);
+}
+
+// ------------------------------------------------------------------ codec
+
+TEST(WalCodec, BufferReusingEncodersMatchTheAllocatingOnes) {
+  const std::vector<Sample> batch = SmallBatch(2, 5);
+  std::string to;
+  EncodeSubmitBatchTo(batch, &to);
+  EXPECT_EQ(to, EncodeSubmitBatch(batch));
+  to.clear();
+  EncodeFlushAckTo(1234, &to);
+  EXPECT_EQ(to, EncodeFlushAck(1234));
+  // Appending, not overwriting: the WAL reuses one buffer.
+  std::string twice = to;
+  EncodeFlushAckTo(1234, &twice);
+  EXPECT_EQ(twice.size(), 2 * to.size());
+}
+
+TEST(WalCodec, WatermarkRoundTripsAndRejectsJunk) {
+  WatermarkInfo info;
+  info.samples_consumed = 987654321;
+  info.watermark_t = 123456789;
+  info.last_closed_day = -42;
+  info.degraded = true;
+  info.saw_sample = true;
+  const std::string frame = EncodeWatermark(info);
+  FrameAssembler assembler;
+  assembler.Feed(frame);
+  MsgType type;
+  std::string payload;
+  ASSERT_TRUE(assembler.Next(&type, &payload));
+  ASSERT_EQ(type, MsgType::kWatermark);
+  WatermarkInfo decoded;
+  ASSERT_TRUE(DecodeWatermark(payload, &decoded));
+  EXPECT_EQ(decoded, info);
+  // Short payloads and reserved flag bits are malformations.
+  EXPECT_FALSE(DecodeWatermark(payload.substr(0, payload.size() - 1),
+                               &decoded));
+  std::string bad = payload;
+  bad.back() = char(0x7F);
+  EXPECT_FALSE(DecodeWatermark(bad, &decoded));
+}
+
+// ------------------------------------------------------------- replay tool
+
+TEST(ReplayTornTail, TruncatedFinalFrameIsSkippedNotFatal) {
+  const std::string path = ::testing::TempDir() + "/manic_wal_replay.bin";
+  const std::vector<Sample> batch = SmallBatch(1, 4);
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::string frame = EncodeSubmitBatch(batch);
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    out.write(frame.data(), 9);  // torn second frame: header + 4 bytes
+  }
+  ServiceConfig config;
+  config.engine.autocorr = SmallConfig();
+  CongestionService service(config);
+  service.Start();
+  const ReplayStats stats = ReplayFile(&service, path);
+  EXPECT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(stats.frames, 1u);
+  EXPECT_EQ(stats.samples, batch.size());
+  EXPECT_EQ(stats.truncated_tail_bytes, 9u);
+  service.Stop();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace manic::serve
